@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Approx Bechamel Benchmark Counters Hashtbl Instance List Mcore Measure Printf Sim Staged Tables Test Time Toolkit Workload

@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Approx Array Float List Obj_intf Printf Sim Tables Workload

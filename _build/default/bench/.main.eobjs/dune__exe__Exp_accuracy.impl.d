@@ -1,0 +1,1 @@
+bench/exp_accuracy.ml: Approx Array Lincheck List Option Printf Sim Tables Workload

@@ -1,0 +1,1 @@
+bench/exp_amortized.ml: Approx Counters List Sim Tables Workload Zmath

@@ -1,0 +1,1 @@
+bench/exp_awareness.ml: Approx Array Counters List Lowerbound Option Printf Sim Tables Zmath

@@ -1,0 +1,1 @@
+bench/exp_exhaustive.ml: Approx Array Counters Lincheck List Maxreg Obj_intf Prims Sim Tables Workload

@@ -1,0 +1,1 @@
+bench/exp_fig1.ml: Approx Buffer List Printf Sim Tables

@@ -1,0 +1,1 @@
+bench/exp_ksweep.ml: Approx Float List Obj_intf Printf Sim Tables Workload

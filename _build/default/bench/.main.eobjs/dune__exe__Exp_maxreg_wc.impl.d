@@ -1,0 +1,1 @@
+bench/exp_maxreg_wc.ml: Approx Array Counters List Maxreg Obj_intf Sim Tables Zmath

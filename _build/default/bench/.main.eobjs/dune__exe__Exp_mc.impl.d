@@ -1,0 +1,1 @@
+bench/exp_mc.ml: Domain List Mcore Printf Tables Zmath

@@ -1,0 +1,1 @@
+bench/exp_perturb.ml: Approx Counters Float List Lowerbound Maxreg Tables Zmath

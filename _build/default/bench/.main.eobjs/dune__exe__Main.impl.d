@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel_suite Exp_ablation Exp_accuracy Exp_amortized Exp_awareness Exp_exhaustive Exp_fig1 Exp_ksweep Exp_maxreg_wc Exp_mc Exp_perturb List Printf Sys

@@ -1,0 +1,1 @@
+bench/tables.ml: Array Float List Printf String Zmath

@@ -1,0 +1,244 @@
+(* E9: ablation of Algorithm 1's design choices (DESIGN.md §3).
+
+   Three single-ingredient removals, each quantified:
+
+   1. no-helping: without the helping array (paper lines 44-55), a slow
+      reader racing announcing incrementers can take unboundedly many
+      steps. We measure the reader's steps under a 1-reader-step-per-R
+      incrementer-steps schedule until a step budget explodes.
+
+   2. no-probe-resume: always re-probing an interval from its first switch
+      (dropping the persistent l0 cursor of lines 22-24) inflates the cost
+      of announces by up to k failed test&sets each.
+
+   3. full-scan-read: reading every switch instead of the first/last of
+      each interval inflates read cost by Theta(k) per interval.
+
+   E10: the additive relaxation — the k-additive counter of [8]'s
+   discussion, compared with Algorithm 1 at matched "budgets". *)
+
+let starvation_steps ~variant_read ~incs =
+  (* The incrementer gets 8 shared steps per reader step, so the switch
+     frontier (which advances one position per announcement, i.e. per 2
+     incrementer steps early on) stays ahead of the reader's scan until
+     the incrementer exhausts its [incs] budget — announcements get
+     exponentially expensive, so the frontier caps at ~2 log2(incs). The
+     helped reader escapes after O(n) steps regardless; the no-helping
+     reader must walk the whole frontier. *)
+  let n = 2 and k = 2 in
+  let exec = Sim.Exec.create ~trace_steps:false ~n () in
+  let read_steps = ref (-1) in
+  let reader_done = ref false in
+  let incr_op, read_op = variant_read exec ~n ~k in
+  let programs =
+    [| (fun pid ->
+         ignore (Sim.Api.op_int ~name:"read" (fun () -> read_op ~pid));
+         reader_done := true);
+       (fun pid ->
+         for _ = 1 to incs do
+           Sim.Api.op_unit ~name:"inc" (fun () -> incr_op ~pid)
+         done) |]
+  in
+  let script =
+    Array.concat
+      (List.init 50_000 (fun _ -> Array.append (Array.make 8 1) [| 0 |]))
+  in
+  ignore
+    (Sim.Exec.run exec ~programs
+       ~policy:(Sim.Schedule.Script script)
+       ~stop:(fun () -> !reader_done)
+       ());
+  List.iter
+    (fun (name, _, worst, _) -> if name = "read" then read_steps := worst)
+    (Sim.Exec.op_stats exec);
+  (!read_steps, !reader_done)
+
+let run_helping_ablation () =
+  let with_helping exec ~n ~k =
+    let c = Approx.Kcounter.create exec ~n ~k () in
+    ((fun ~pid -> Approx.Kcounter.increment c ~pid),
+     fun ~pid -> Approx.Kcounter.read c ~pid)
+  in
+  let without_helping exec ~n ~k =
+    let c = Approx.Kcounter_variants.No_helping.create exec ~n ~k () in
+    ((fun ~pid -> Approx.Kcounter_variants.No_helping.increment c ~pid),
+     fun ~pid -> Approx.Kcounter_variants.No_helping.read c ~pid)
+  in
+  (* The starving reader's cost grows with the incrementer's work budget:
+     the switch frontier stays ahead of the scan for ~log(total incs)
+     positions. With helping the reader escapes after O(n) steps no matter
+     how long the execution runs. *)
+  let rows =
+    List.map
+      (fun incs ->
+        let s1, d1 = starvation_steps ~variant_read:with_helping ~incs in
+        let s2, d2 = starvation_steps ~variant_read:without_helping ~incs in
+        [ Printf.sprintf "%d" incs;
+          Printf.sprintf "%d%s" s1 (if d1 then "" else " (unfinished)");
+          Printf.sprintf "%d%s" s2 (if d2 then "" else " (unfinished)") ])
+      [ 1_000; 10_000; 100_000; 1_000_000; 10_000_000 ]
+  in
+  Tables.print_table
+    ~title:"slow reader vs flooding incrementer (1:8 schedule)"
+    ~header:[ "concurrent increments"; "reader steps (Alg 1)";
+              "reader steps (no-helping)" ]
+    rows;
+  print_endline
+    "paper: Lemma III.1's wait-freedom proof is exactly the helping\n\
+     mechanism. With it the reader's cost is bounded once and for all;\n\
+     without it the reader chases the switch frontier, paying more the\n\
+     longer the incrementers have run."
+
+let amortized_of ~make ~n ~k ~ops =
+  let exec = Sim.Exec.create ~trace_steps:false ~n () in
+  let counter = make exec ~n ~k in
+  let script =
+    Workload.Script.counter_mix ~seed:13 ~n ~ops_per_process:ops
+      ~read_fraction:0.3
+  in
+  let programs = Workload.Script.counter_programs counter script in
+  ignore (Sim.Exec.run exec ~programs ~policy:(Sim.Schedule.Random 13) ());
+  (Sim.Exec.amortized exec, Sim.Exec.op_stats exec)
+
+let stat_of stats name =
+  match List.find_opt (fun (n, _, _, _) -> n = name) stats with
+  | Some (_, _, worst, mean) -> (worst, mean)
+  | None -> (0, Float.nan)
+
+(* Solo incrementer: measures pure announce cost. With the l0 cursor each
+   announce in an interval probes exactly one switch; without it the j-th
+   announce re-probes the j-1 already-set switches first, a Theta(k)
+   factor on total probe work. *)
+let run_probe_ablation () =
+  let total_inc_steps ~make ~k ~incs =
+    let exec = Sim.Exec.create ~trace_steps:false ~n:1 () in
+    let counter = make exec ~n:1 ~k in
+    let program pid =
+      for _ = 1 to incs do
+        Sim.Api.op_unit ~name:"inc" (fun () -> counter.Obj_intf.c_inc ~pid)
+      done
+    in
+    ignore
+      (Sim.Exec.run exec ~programs:[| program |]
+         ~policy:Sim.Schedule.Round_robin ());
+    Sim.Exec.op_steps_total exec
+  in
+  let rows =
+    List.map
+      (fun k ->
+        let incs = 2_000_000 in
+        let with_cursor =
+          total_inc_steps ~k ~incs ~make:(fun exec ~n ~k ->
+              Approx.Kcounter.handle (Approx.Kcounter.create exec ~n ~k ()))
+        in
+        let without_cursor =
+          total_inc_steps ~k ~incs ~make:(fun exec ~n ~k ->
+              Approx.Kcounter_variants.No_probe_resume.handle
+                (Approx.Kcounter_variants.No_probe_resume.create exec ~n ~k ()))
+        in
+        [ string_of_int k;
+          string_of_int with_cursor;
+          string_of_int without_cursor;
+          Tables.fmt_float
+            (float_of_int without_cursor /. float_of_int (max 1 with_cursor)) ])
+      [ 4; 16; 64 ]
+  in
+  Tables.print_table
+    ~title:"total announce steps, solo incrementer, 2M increments"
+    ~header:[ "k"; "with l0 cursor (Alg 1)"; "without"; "ratio" ]
+    rows;
+  print_endline
+    "paper: the cursor is what makes Lemma III.8's per-interval probe\n\
+     accounting 2(i_p+1)k instead of Theta(i_p k^2): the ratio grows\n\
+     with k."
+
+let run_cost_ablation () =
+  let variants =
+    [ ("Algorithm 1",
+       fun exec ~n ~k ->
+         Approx.Kcounter.handle (Approx.Kcounter.create exec ~n ~k ()));
+      ("no-probe-resume",
+       fun exec ~n ~k ->
+         Approx.Kcounter_variants.No_probe_resume.handle
+           (Approx.Kcounter_variants.No_probe_resume.create exec ~n ~k ()));
+      ("full-scan-read",
+       fun exec ~n ~k ->
+         Approx.Kcounter_variants.Full_scan_read.handle
+           (Approx.Kcounter_variants.Full_scan_read.create exec ~n ~k ())) ]
+  in
+  let n = 16 in
+  let rows =
+    List.concat_map
+      (fun k ->
+        List.map
+          (fun (label, make) ->
+            let amortized, stats = amortized_of ~make ~n ~k ~ops:20_000 in
+            let inc_worst, inc_mean = stat_of stats "inc" in
+            let read_worst, read_mean = stat_of stats "read" in
+            [ string_of_int k;
+              label;
+              Tables.fmt_float amortized;
+              string_of_int inc_worst;
+              Tables.fmt_float inc_mean;
+              string_of_int read_worst;
+              Tables.fmt_float read_mean ])
+          variants)
+      [ 4; 16 ]
+  in
+  Tables.print_table
+    ~title:(Printf.sprintf
+              "cost of dropping each ingredient (n = %d, 20k ops/process)" n)
+    ~header:[ "k"; "variant"; "amortized"; "inc worst"; "inc mean";
+              "read worst"; "read mean" ]
+    rows;
+  print_endline
+    "paper: the l0 cursor is what caps a process's probes per interval at\n\
+     k + 1 total (Lemma III.8's accounting); the first/last-only scan is\n\
+     what caps read cost at 2 per interval (4(i+2) in the proof)."
+
+let run_additive () =
+  Tables.section
+    "E10  Additive vs multiplicative relaxation (Section I-A, [8])";
+  let n = 16 in
+  let ops = 20_000 in
+  let rows =
+    List.concat_map
+      (fun (label, make) ->
+        List.map
+          (fun k ->
+            let amortized, stats =
+              amortized_of
+                ~make:(fun exec ~n ~k -> make exec ~n ~k)
+                ~n ~k ~ops
+            in
+            let read_worst, _ = stat_of stats "read" in
+            let _, inc_mean = stat_of stats "inc" in
+            [ label; string_of_int k; Tables.fmt_float amortized;
+              Tables.fmt_float inc_mean; string_of_int read_worst ])
+          [ 4; 16; 64; 256 ])
+      [ ("k-multiplicative (Alg 1)",
+         fun exec ~n ~k ->
+           Approx.Kcounter.handle
+             (Approx.Kcounter.create exec ~n ~k:(max 2 k) ()));
+        ("k-additive (flush batching)",
+         fun exec ~n ~k ->
+           Approx.Kadditive_counter.handle
+             (Approx.Kadditive_counter.create exec ~n ~k ())) ]
+  in
+  Tables.print_table
+    ~title:(Printf.sprintf "n = %d, 30%% reads" n)
+    ~header:[ "relaxation"; "k"; "amortized"; "inc mean"; "read worst" ]
+    rows;
+  print_endline
+    "shape: the additive counter's reads stay at n steps for every k (its\n\
+     error budget only thins the increments), while the multiplicative\n\
+     counter's reads are O(1) amortized -- the asymmetry behind the\n\
+     paper's focus on the multiplicative relaxation (and [8]'s additive\n\
+     lower bound Omega(min(n-1, log m - log k)))."
+
+let run () =
+  Tables.section "E9  Ablation of Algorithm 1's design choices";
+  run_helping_ablation ();
+  run_probe_ablation ();
+  run_cost_ablation ();
+  run_additive ()

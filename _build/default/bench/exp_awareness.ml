@@ -1,0 +1,160 @@
+(* E3 (Theorem III.11 / Corollary III.10.1): the awareness-set lower bound,
+   measured. Workload: every process does one increment then one read.
+
+   Columns:
+     events        total primitive steps of the execution
+     n*log(n/k^2)  the Theorem III.11 lower-bound shape
+     aw[n/2]       the floor(n/2)-th largest awareness-set size
+     n/(2k^2)      the Corollary III.10.1 bound on aw[n/2]
+
+   Both implementations must satisfy the corollary; the gap between
+   `events` and the bound shows how tight each implementation is. *)
+
+(* [correct ~n] says whether the implementation is a correct
+   k-multiplicative counter for that n: Corollary III.10.1 only applies to
+   correct implementations. Algorithm 1 requires k >= sqrt(n); the exact
+   collect counter is correct for every k >= 1. *)
+let impls ~k =
+  [ ("kcounter",
+     (fun exec ~n ->
+        Approx.Kcounter.handle
+          (Approx.Kcounter.create exec ~n ~k:(max 2 k) ())),
+     fun ~n -> Approx.Accuracy.valid_k ~k:(max 2 k) ~n);
+    ("collect",
+     (fun exec ~n ->
+        Counters.Collect_counter.handle
+          (Counters.Collect_counter.create exec ~n ())),
+     fun ~n:_ -> true) ]
+
+(* The arity effect behind Theorem III.11's log_{q+1} base: with arity-q
+   conditional primitives a process can merge the awareness of q base
+   objects in a single step, so awareness can grow by a factor (q+1) per
+   "round". We measure the steps a gossip protocol needs until every
+   process is aware of everyone: processes repeatedly pick q cells
+   (round-robin over a fixed pattern), k-CAS them to republish their
+   current knowledge, and we count steps until full awareness. *)
+let gossip_rounds ~n ~q =
+  let exec = Sim.Exec.create ~track_awareness:true ~n () in
+  let mem = Sim.Exec.memory exec in
+  let cells = Sim.Memory.alloc_many mem ~name:"g" n (Sim.Memory.V_int 0) in
+  let steps_to_full = ref None in
+  let program pid =
+    (* Publish self, then touch q distinct cells per step with an
+       always-applying k-CAS. The expected values are supplied via
+       [Memory.peek] — a simulator-level convenience that keeps every
+       k-CAS at its change point so each step is a visible arity-q event;
+       the demonstration measures information flow, not algorithmics. *)
+    Sim.Api.write cells.(pid) 1;
+    (* Hypercube-style gossip: in round r, touch the q cells at offsets
+       j * (q+1)^(r-1); awareness multiplies by up to (q+1) per round, so
+       full awareness takes ~log_{q+1} n rounds. *)
+    for round = 1 to 64 do
+      let stride =
+        match Zmath.pow_opt (q + 1) (round - 1) with
+        | Some s -> s mod n
+        | None -> 1
+      in
+      let targets =
+        List.init q (fun j -> (pid + ((j + 1) * max 1 stride)) mod n)
+        |> List.sort_uniq compare
+        |> List.filter (fun c -> c <> pid)
+      in
+      (* Set strictly fresh values so the event is visible (publishing the
+         caller's awareness); expectations are peeked at request time and
+         can be one turn stale, so retry until the k-CAS applies. *)
+      let rec publish () =
+        let entries =
+          List.map
+            (fun c ->
+              let id = cells.(c) in
+              let current = Sim.Memory.peek mem id in
+              (id, current, Sim.Memory.V_int (Sim.Memory.int_exn current + 1)))
+            targets
+        in
+        if not (Sim.Api.kcas entries) then publish ()
+      in
+      if targets <> [] then publish ();
+      match !steps_to_full with
+      | Some _ -> ()
+      | None ->
+        let aw = Option.get (Sim.Exec.awareness exec) in
+        if Sim.Awareness.awareness_size aw pid >= n then
+          steps_to_full := Some (Sim.Exec.steps_total exec)
+    done
+  in
+  ignore
+    (Sim.Exec.run exec ~programs:(Array.make n program)
+       ~policy:Sim.Schedule.Round_robin
+       ~stop:(fun () -> !steps_to_full <> None)
+       ());
+  match !steps_to_full with
+  | Some s -> s
+  | None -> -1
+
+let run_arity () =
+  let rows =
+    List.map
+      (fun n ->
+        string_of_int n
+        :: List.map
+             (fun q -> string_of_int (gossip_rounds ~n ~q))
+             [ 1; 2; 4 ])
+      [ 16; 64; 256 ]
+  in
+  Tables.print_table
+    ~title:"steps until some process is aware of all n (gossip over \
+            arity-q k-CAS)"
+    ~header:[ "n"; "q=1"; "q=2"; "q=4" ]
+    rows;
+  print_endline
+    "shape: higher arity merges awareness faster -- the log_{q+1} base in\n\
+     Theorem III.11's Omega(n log_{q+1}(n/k^2)). (Steps shrink roughly by\n\
+     the ratio of log(q+1) factors as q grows.)"
+
+let run () =
+  Tables.section
+    "E3  Awareness sets and total events (Theorem III.11, Cor III.10.1)\n\
+     workload: each process: 1 increment then 1 read; random schedule";
+  List.iter
+    (fun k ->
+      let rows =
+        List.concat_map
+          (fun n ->
+            List.map
+              (fun (label, make, correct) ->
+                let r =
+                  Lowerbound.Awareness_exp.run ~make ~n ~k:(max 1 k)
+                    ~policy:(Sim.Schedule.Random 5)
+                in
+                let verdict =
+                  if not (correct ~n) then "n/a (k<sqrt n)"
+                  else if float_of_int r.top_half_min >= r.awareness_bound
+                  then "yes"
+                  else "VIOLATED"
+                in
+                [ string_of_int n;
+                  label;
+                  string_of_int r.total_events;
+                  Tables.fmt_float r.events_bound;
+                  string_of_int r.top_half_min;
+                  Tables.fmt_float r.awareness_bound;
+                  verdict ])
+              (impls ~k))
+          [ 8; 16; 32; 64; 128; 256 ]
+      in
+      Tables.print_table
+        ~title:(Printf.sprintf "k = %d" k)
+        ~header:[ "n"; "impl"; "events"; "n*log2(n/k^2)"; "aw[n/2]";
+                  "n/(2k^2)"; "cor holds" ]
+        rows)
+    [ 2; 4 ];
+  print_endline
+    "paper: any CORRECT solo-terminating k-multiplicative counter from\n\
+     read/write/conditional primitives has executions with\n\
+     Omega(n log(n/k^2)) events, and n/2 processes must become aware of\n\
+     n/(2k^2) others. 'n/a' rows run Algorithm 1 outside its k >= sqrt(n)\n\
+     regime, where it is no longer a correct k-multiplicative counter --\n\
+     and, tellingly, its awareness sets drop below the corollary's bound\n\
+     exactly there (the mechanism behind the Theorem III.11 trade-off:\n\
+     cheap executions are only possible while n/(2k^2) is trivial).";
+  run_arity ()

@@ -1,0 +1,126 @@
+(* E4 (Theorem IV.2 vs Theorem V.2): worst-case step complexity of the
+   k-multiplicative-accurate bounded max register vs the exact bounded max
+   register, as the bound m grows.
+
+   Solo workload (worst-case probing): one process writes m-1 then reads;
+   we report the worst-case steps of each operation. The paper predicts
+   O(min(log2 log_k m, n)) for Algorithm 2 — an exponential improvement
+   over the exact register's Theta(log2 m) — and the matching lower bound
+   Omega(min(log2 log_k m, n)) shows the shape is optimal. *)
+
+let solo_worst ~make_ops =
+  let n = 64 in
+  let exec = Sim.Exec.create ~n () in
+  let ops = make_ops exec ~n in
+  let program pid = if pid = 0 then ops pid in
+  ignore
+    (Sim.Exec.run exec
+       ~programs:(Array.init n (fun _ -> program))
+       ~policy:(Sim.Schedule.Solo 0) ());
+  Sim.Metrics.worst_case (Sim.Exec.trace exec)
+
+let kmaxreg_ops ~m ~k exec ~n =
+  let mr = Approx.Kmaxreg.create exec ~n ~m ~k () in
+  fun pid ->
+    Sim.Api.op_unit ~name:"write" (fun () -> Approx.Kmaxreg.write mr ~pid (m - 1));
+    ignore (Sim.Api.op_int ~name:"read" (fun () -> Approx.Kmaxreg.read mr ~pid))
+
+let exact_ops ~m exec ~n:_ =
+  let mr = Maxreg.Tree_maxreg.create exec ~m () in
+  fun pid ->
+    Sim.Api.op_unit ~name:"write" (fun () ->
+        Maxreg.Tree_maxreg.write mr ~pid (m - 1));
+    ignore
+      (Sim.Api.op_int ~name:"read" (fun () -> Maxreg.Tree_maxreg.read mr ~pid))
+
+(* Open-question exploration (Section VI): reads of an m-bounded
+   k-multiplicative counter can be made worst-case optimal
+   (O(min(log2 log_k m, n)), matching Theorem V.4) by placing Algorithm 2's
+   register at the root of the exact AACH tree — see
+   Approx.Kcounter_bounded. Increments keep the exact tree's cost. *)
+let counter_read_worst ~make =
+  let n = 64 in
+  let exec = Sim.Exec.create ~n () in
+  let counter = make exec ~n in
+  let program pid =
+    if pid = 0 then begin
+      counter.Obj_intf.c_inc ~pid;
+      ignore
+        (Sim.Api.op_int ~name:"read" (fun () -> counter.Obj_intf.c_read ~pid))
+    end
+  in
+  ignore
+    (Sim.Exec.run exec
+       ~programs:(Array.init n (fun _ -> program))
+       ~policy:(Sim.Schedule.Solo 0) ());
+  Sim.Metrics.worst_case ~name:"read" (Sim.Exec.trace exec)
+
+let run_bounded_counter () =
+  let rows =
+    List.map
+      (fun e ->
+        let m = 1 lsl e in
+        let approx =
+          counter_read_worst ~make:(fun exec ~n ->
+              Approx.Kcounter_bounded.handle
+                (Approx.Kcounter_bounded.create exec ~n ~m ~k:2 ()))
+        in
+        let exact =
+          counter_read_worst ~make:(fun exec ~n ->
+              Counters.Bounded_tree_counter.handle
+                (Counters.Bounded_tree_counter.create exec ~n ~m ()))
+        in
+        [ Tables.fmt_pow2 m;
+          string_of_int approx;
+          string_of_int (Zmath.ceil_log2 (e + 2));
+          string_of_int exact;
+          string_of_int e ])
+      [ 8; 16; 32; 48 ]
+  in
+  Tables.print_table
+    ~title:"bounded counter reads (open-question exploration, k = 2): \
+            worst-case steps"
+    ~header:[ "m"; "kcounter-bounded read"; "log2 log2 m"; "exact read";
+              "log2 m" ]
+    rows;
+  print_endline
+    "Section VI leaves the worst-case improvement for bounded k-mult\n\
+     counters open. Reads can match Theorem V.4's Omega(min(log2 log_k m,\n\
+     n)) bound (left columns); making increments equally cheap is the\n\
+     part that remains open (ours stay at the exact tree's cost)."
+
+let run () =
+  Tables.section
+    "E4  Worst-case step complexity of bounded max registers (Thm IV.2)\n\
+     solo run: write(m-1) then read; n = 64";
+  let rows =
+    List.concat_map
+      (fun e ->
+        let m = 1 lsl e in
+        List.map
+          (fun k ->
+            let approx = solo_worst ~make_ops:(kmaxreg_ops ~m ~k) in
+            let exact = solo_worst ~make_ops:(exact_ops ~m) in
+            let loglog =
+              Zmath.ceil_log2 (Zmath.floor_log ~base:k (m - 1) + 2)
+            in
+            [ Tables.fmt_pow2 m;
+              string_of_int k;
+              string_of_int approx;
+              string_of_int loglog;
+              string_of_int exact;
+              string_of_int e ])
+          [ 2; 4; 16 ])
+      [ 4; 8; 16; 24; 32; 40; 48 ]
+  in
+  Tables.print_table
+    ~title:"worst-case steps per operation"
+    ~header:[ "m"; "k"; "kmaxreg (Alg 2)"; "log2 log_k m"; "exact tree";
+              "log2 m" ]
+    rows;
+  print_endline
+    "paper: the Alg-2 column tracks log2 log_k m (its reference column)\n\
+     while the exact register tracks log2 m: doubling the exponent of m\n\
+     doubles the exact cost but adds O(1) to Alg 2's. Larger k shrinks\n\
+     Alg 2's cost further.";
+  run_bounded_counter ()

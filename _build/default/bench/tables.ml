@@ -1,0 +1,53 @@
+(* Minimal fixed-width table printing for the experiment harness. Every
+   experiment prints one or more tables in the style of a paper's
+   evaluation section. *)
+
+let rule width = print_endline (String.make width '-')
+
+let print_table ~title ~header rows =
+  let columns = List.length header in
+  let widths = Array.make columns 0 in
+  List.iteri (fun i h -> widths.(i) <- String.length h) header;
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if i < columns then widths.(i) <- max widths.(i)
+              (String.length cell))
+        row)
+    rows;
+  let total =
+    Array.fold_left ( + ) 0 widths + (3 * (columns - 1))
+  in
+  print_newline ();
+  print_endline title;
+  rule total;
+  let print_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then print_string " | ";
+        Printf.printf "%-*s" widths.(i) cell)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  rule total;
+  List.iter print_row rows;
+  rule total
+
+let fmt_float f =
+  if Float.is_nan f then "-"
+  else if Float.abs f >= 1000.0 then Printf.sprintf "%.0f" f
+  else if Float.abs f >= 10.0 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.2f" f
+
+let fmt_pow2 v =
+  (* Render 2^e when v is an exact power of two (and big), else decimal. *)
+  if v >= 4096 && Zmath.is_power ~base:2 v then
+    Printf.sprintf "2^%d" (Zmath.floor_log ~base:2 v)
+  else string_of_int v
+
+let section name =
+  print_newline ();
+  print_endline (String.make 72 '=');
+  Printf.printf "%s\n" name;
+  print_endline (String.make 72 '=')

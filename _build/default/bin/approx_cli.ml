@@ -1,0 +1,402 @@
+(* Command-line driver for the simulated objects: run workloads, dump
+   traces, check linearizability, and run the lower-bound experiments
+   without writing any OCaml.
+
+   Examples:
+     approx_cli counter --impl k --n 8 --k 3 --ops 1000 --read-fraction 0.2
+     approx_cli maxreg --impl k --m 65536 --writes 50 --trace
+     approx_cli lincheck --n 3 --k 2 --ops 5 --seed 11
+     approx_cli awareness --n 64 --k 2
+     approx_cli perturb --object maxreg --m 1048576 --k 2
+*)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument definitions                                         *)
+(* ------------------------------------------------------------------ *)
+
+let n_arg =
+  Arg.(value & opt int 4 & info [ "n"; "procs" ] ~docv:"N" ~doc:"Number of processes.")
+
+let k_arg =
+  Arg.(value & opt int 2 & info [ "k"; "acc" ] ~docv:"K"
+         ~doc:"Accuracy parameter of the k-multiplicative objects.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Deterministic seed for workload and schedule.")
+
+let policy_arg =
+  let policy = Arg.enum [ ("round-robin", `Round_robin); ("random", `Random) ] in
+  Arg.(value & opt policy `Random
+       & info [ "policy" ] ~docv:"POLICY"
+           ~doc:"Scheduling policy: $(b,round-robin) or $(b,random).")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Dump the full execution trace.")
+
+let dump_events_arg =
+  Arg.(value & opt (some string) None
+       & info [ "dump-events" ] ~docv:"FILE"
+           ~doc:"Export the event trace to $(docv) (.csv or .json by \
+                 extension).")
+
+let dump_ops_arg =
+  Arg.(value & opt (some string) None
+       & info [ "dump-ops" ] ~docv:"FILE"
+           ~doc:"Export per-operation metrics to $(docv) as CSV.")
+
+let export_dumps exec ~dump_events ~dump_ops =
+  let mem = Sim.Exec.memory exec in
+  let trace = Sim.Exec.trace exec in
+  (match dump_events with
+   | None -> ()
+   | Some path ->
+     let emit =
+       if Filename.check_suffix path ".json" then Sim.Export.events_json mem
+       else Sim.Export.events_csv mem
+     in
+     Sim.Export.write_file path (emit trace);
+     Printf.printf "events written to %s\n" path);
+  match dump_ops with
+  | None -> ()
+  | Some path ->
+    Sim.Export.write_file path (Sim.Export.ops_csv trace);
+    Printf.printf "operation metrics written to %s\n" path
+
+let make_policy policy seed =
+  match policy with
+  | `Round_robin -> Sim.Schedule.Round_robin
+  | `Random -> Sim.Schedule.Random seed
+
+let print_metrics trace =
+  Printf.printf "operations:\n";
+  List.iter
+    (fun (name, count, worst, mean) ->
+      Printf.printf "  %-8s count=%-7d worst-steps=%-5d mean-steps=%.2f\n" name
+        count worst mean)
+    (Sim.Metrics.by_name trace);
+  Printf.printf "total steps: %d, amortized steps/op: %.3f\n"
+    (Sim.Trace.steps trace)
+    (Sim.Metrics.amortized trace)
+
+(* ------------------------------------------------------------------ *)
+(* counter subcommand                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let counter_impl_arg =
+  let impl =
+    Arg.enum
+      [ ("k", `K); ("collect", `Collect); ("tree", `Tree);
+        ("snapshot", `Snapshot); ("faa", `Faa) ]
+  in
+  Arg.(value & opt impl `K
+       & info [ "impl" ] ~docv:"IMPL"
+           ~doc:"Counter implementation: $(b,k) (Algorithm 1), \
+                 $(b,collect), $(b,tree), $(b,snapshot) or $(b,faa).")
+
+let make_counter impl exec ~n ~k =
+  match impl with
+  | `K -> Approx.Kcounter.handle (Approx.Kcounter.create exec ~n ~k ())
+  | `Collect ->
+    Counters.Collect_counter.handle (Counters.Collect_counter.create exec ~n ())
+  | `Tree -> Counters.Tree_counter.handle (Counters.Tree_counter.create exec ~n ())
+  | `Snapshot ->
+    Counters.Snapshot_counter.handle
+      (Counters.Snapshot_counter.create exec ~n ())
+  | `Faa -> Counters.Faa_counter.handle (Counters.Faa_counter.create exec ())
+
+let run_counter impl n k ops read_fraction seed policy trace dump_events
+    dump_ops =
+  let exec = Sim.Exec.create ~n () in
+  let counter = make_counter impl exec ~n ~k in
+  let script =
+    Workload.Script.counter_mix ~seed ~n ~ops_per_process:ops ~read_fraction
+  in
+  let reads = ref [] in
+  let programs =
+    Workload.Script.counter_programs
+      ~on_read:(fun ~pid result -> reads := (pid, result) :: !reads)
+      counter script
+  in
+  let outcome =
+    Sim.Exec.run exec ~programs ~policy:(make_policy policy seed) ()
+  in
+  Printf.printf "%s: n=%d ops/process=%d -> %d reads, %d steps\n"
+    counter.Obj_intf.c_label n ops
+    (List.length !reads)
+    outcome.steps_total;
+  (match List.rev !reads with
+   | [] -> ()
+   | (pid, first) :: _ ->
+     Printf.printf "first read: p%d -> %d; last read: %s\n" pid first
+       (match !reads with
+        | (pid, last) :: _ -> Printf.sprintf "p%d -> %d" pid last
+        | [] -> "-"));
+  print_metrics (Sim.Exec.trace exec);
+  if trace then Format.printf "%a" Sim.Trace.pp (Sim.Exec.trace exec);
+  export_dumps exec ~dump_events ~dump_ops;
+  0
+
+let counter_cmd =
+  let ops_arg =
+    Arg.(value & opt int 1000
+         & info [ "ops" ] ~docv:"OPS" ~doc:"Operations per process.")
+  in
+  let rf_arg =
+    Arg.(value & opt float 0.2
+         & info [ "read-fraction" ] ~docv:"F"
+             ~doc:"Fraction of operations that are reads.")
+  in
+  Cmd.v
+    (Cmd.info "counter" ~doc:"Run a counter workload in the simulator")
+    Term.(const run_counter $ counter_impl_arg $ n_arg $ k_arg $ ops_arg
+          $ rf_arg $ seed_arg $ policy_arg $ trace_arg $ dump_events_arg
+          $ dump_ops_arg)
+
+(* ------------------------------------------------------------------ *)
+(* maxreg subcommand                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let maxreg_impl_arg =
+  let impl =
+    Arg.enum
+      [ ("k", `K); ("tree", `Tree); ("linear", `Linear);
+        ("unbounded", `Unbounded); ("k-unbounded", `Kunbounded) ]
+  in
+  Arg.(value & opt impl `K
+       & info [ "impl" ] ~docv:"IMPL"
+           ~doc:"Max-register implementation: $(b,k) (Algorithm 2), \
+                 $(b,tree), $(b,linear), $(b,unbounded) or \
+                 $(b,k-unbounded).")
+
+let make_maxreg impl exec ~n ~m ~k =
+  match impl with
+  | `K -> Approx.Kmaxreg.handle (Approx.Kmaxreg.create exec ~n ~m ~k ())
+  | `Tree -> Maxreg.Tree_maxreg.handle (Maxreg.Tree_maxreg.create exec ~m ())
+  | `Linear -> Maxreg.Linear_maxreg.handle (Maxreg.Linear_maxreg.create exec ~n ())
+  | `Unbounded ->
+    Maxreg.Unbounded_maxreg.handle (Maxreg.Unbounded_maxreg.create exec ())
+  | `Kunbounded ->
+    Approx.Kmaxreg_unbounded.handle (Approx.Kmaxreg_unbounded.create exec ~k ())
+
+let run_maxreg impl n m k writes seed policy trace dump_events dump_ops =
+  let exec = Sim.Exec.create ~n () in
+  let mr = make_maxreg impl exec ~n ~m ~k in
+  let script =
+    Workload.Script.writes_then_read ~seed ~n ~writes_per_process:writes
+      ~max_value:m
+  in
+  let reads = ref [] in
+  let programs =
+    Workload.Script.maxreg_programs
+      ~on_read:(fun ~pid result -> reads := (pid, result) :: !reads)
+      mr script
+  in
+  let outcome =
+    Sim.Exec.run exec ~programs ~policy:(make_policy policy seed) ()
+  in
+  Printf.printf "%s: n=%d m=%d -> %d steps\n" mr.Obj_intf.mr_label n m
+    outcome.steps_total;
+  List.iter
+    (fun (pid, x) -> Printf.printf "read by p%d -> %d\n" pid x)
+    (List.rev !reads);
+  print_metrics (Sim.Exec.trace exec);
+  if trace then Format.printf "%a" Sim.Trace.pp (Sim.Exec.trace exec);
+  export_dumps exec ~dump_events ~dump_ops;
+  0
+
+let maxreg_cmd =
+  let m_arg =
+    Arg.(value & opt int 65536
+         & info [ "m"; "bound" ] ~docv:"M" ~doc:"Value bound (bounded registers).")
+  in
+  let writes_arg =
+    Arg.(value & opt int 20
+         & info [ "writes" ] ~docv:"W" ~doc:"Writes per process.")
+  in
+  Cmd.v
+    (Cmd.info "maxreg" ~doc:"Run a max-register workload in the simulator")
+    Term.(const run_maxreg $ maxreg_impl_arg $ n_arg $ m_arg $ k_arg
+          $ writes_arg $ seed_arg $ policy_arg $ trace_arg $ dump_events_arg
+          $ dump_ops_arg)
+
+(* ------------------------------------------------------------------ *)
+(* lincheck subcommand                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_lincheck n k ops seed =
+  let exec = Sim.Exec.create ~n () in
+  let counter = Approx.Kcounter.create exec ~n ~k () in
+  let script =
+    Workload.Script.counter_mix ~seed ~n ~ops_per_process:ops
+      ~read_fraction:0.5
+  in
+  let programs =
+    Workload.Script.counter_programs (Approx.Kcounter.handle counter) script
+  in
+  ignore (Sim.Exec.run exec ~programs ~policy:(Sim.Schedule.Random seed) ());
+  let ops_arr = Lincheck.History.of_trace (Sim.Exec.trace exec) in
+  Array.iter
+    (fun op -> Format.printf "%a@." Lincheck.History.pp_op op)
+    ops_arr;
+  print_newline ();
+  print_string (Lincheck.Render.timeline (Sim.Exec.trace exec));
+  match Lincheck.Checker.check (Lincheck.Spec.k_counter ~k) ops_arr with
+  | Lincheck.Checker.Linearizable witness ->
+    Printf.printf "linearizable (witness: %s)\n"
+      (String.concat " " (List.map string_of_int witness));
+    0
+  | Lincheck.Checker.Not_linearizable ->
+    Printf.printf "NOT LINEARIZABLE\n";
+    1
+
+let lincheck_cmd =
+  let ops_arg =
+    Arg.(value & opt int 4
+         & info [ "ops" ] ~docv:"OPS"
+             ~doc:"Operations per process (keep small; the check is \
+                   exponential).")
+  in
+  Cmd.v
+    (Cmd.info "lincheck"
+       ~doc:"Run Algorithm 1 under a random schedule and check \
+             linearizability against the k-counter specification")
+    Term.(const run_lincheck $ n_arg $ k_arg $ ops_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* awareness subcommand                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_awareness n k seed =
+  let result =
+    Lowerbound.Awareness_exp.run
+      ~make:(fun exec ~n ->
+        Approx.Kcounter.handle (Approx.Kcounter.create exec ~n ~k ()))
+      ~n ~k
+      ~policy:(Sim.Schedule.Random seed)
+  in
+  Printf.printf
+    "n=%d k=%d: %d events (Thm III.11 bound ~ %.0f), top-half awareness %d \
+     (Cor III.10.1 bound %.1f)\n"
+    n k result.total_events result.events_bound result.top_half_min
+    result.awareness_bound;
+  0
+
+let awareness_cmd =
+  Cmd.v
+    (Cmd.info "awareness"
+       ~doc:"Run the inc-then-read workload with awareness tracking \
+             (Section III-D)")
+    Term.(const run_awareness $ n_arg $ k_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* perturb subcommand                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_perturb obj m k =
+  let rounds =
+    match obj with
+    | `Maxreg ->
+      Lowerbound.Perturb.perturb_maxreg
+        ~make:(fun exec ~n ->
+          Approx.Kmaxreg.handle (Approx.Kmaxreg.create exec ~n ~m ~k ()))
+        ~m ~k
+    | `Counter ->
+      Lowerbound.Perturb.perturb_counter
+        ~make:(fun exec ~n ->
+          Approx.Kcounter.handle (Approx.Kcounter.create exec ~n ~k ()))
+        ~m ~k
+  in
+  Printf.printf "%-6s %-14s %-14s %-8s %s\n" "round" "input" "response"
+    "objects" "steps";
+  List.iter
+    (fun r ->
+      Printf.printf "%-6d %-14d %-14d %-8d %d\n" r.Lowerbound.Perturb.index
+        r.Lowerbound.Perturb.input r.Lowerbound.Perturb.response
+        r.Lowerbound.Perturb.distinct_objects r.Lowerbound.Perturb.read_steps)
+    rounds;
+  0
+
+let perturb_cmd =
+  let obj_arg =
+    let obj = Arg.enum [ ("maxreg", `Maxreg); ("counter", `Counter) ] in
+    Arg.(value & opt obj `Maxreg
+         & info [ "object" ] ~docv:"OBJ"
+             ~doc:"Which object to perturb: $(b,maxreg) or $(b,counter).")
+  in
+  let m_arg =
+    Arg.(value & opt int (1 lsl 20)
+         & info [ "m"; "bound" ] ~docv:"M" ~doc:"Bound for the perturbation budget.")
+  in
+  Cmd.v
+    (Cmd.info "perturb"
+       ~doc:"Run the Section V perturbation adversary against Algorithm 1/2")
+    Term.(const run_perturb $ obj_arg $ m_arg $ k_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explore subcommand                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_explore n k incs limit =
+  let script =
+    Array.init n (fun _ ->
+        List.init incs (fun _ -> Workload.Script.Inc) @ [ Workload.Script.Read ])
+  in
+  let build () =
+    let exec = Sim.Exec.create ~n () in
+    let counter = Approx.Kcounter.create exec ~n ~k () in
+    (exec,
+     Workload.Script.counter_programs (Approx.Kcounter.handle counter) script)
+  in
+  let stats =
+    Lincheck.Explore.exhaustive ~build ~spec:(Lincheck.Spec.k_counter ~k)
+      ~limit ()
+  in
+  Printf.printf
+    "explored %d complete executions (%d replays, depth <= %d)%s\n"
+    stats.Lincheck.Explore.executions stats.Lincheck.Explore.replays
+    stats.Lincheck.Explore.max_depth
+    (if stats.Lincheck.Explore.truncated then " [truncated]" else "");
+  if stats.Lincheck.Explore.violations = 0 then begin
+    Printf.printf "all linearizable against the %d-counter specification\n" k;
+    0
+  end
+  else begin
+    Printf.printf "%d VIOLATIONS; first witness schedule: %s\n"
+      stats.Lincheck.Explore.violations
+      (match stats.Lincheck.Explore.first_violation with
+       | None -> "-"
+       | Some s ->
+         String.concat " " (Array.to_list (Array.map string_of_int s)));
+    1
+  end
+
+let explore_cmd =
+  let incs_arg =
+    Arg.(value & opt int 2
+         & info [ "incs" ] ~docv:"I"
+             ~doc:"Increments per process before its final read (keep \
+                   small; exploration is exponential).")
+  in
+  let limit_arg =
+    Arg.(value & opt int 200_000
+         & info [ "limit" ] ~docv:"L" ~doc:"Maximum executions to explore.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Exhaustively enumerate every interleaving of a small \
+             Algorithm 1 configuration and check linearizability")
+    Term.(const run_explore $ n_arg $ k_arg $ incs_arg $ limit_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "deterministic approximate objects (ICDCS 2021) playground" in
+  let info = Cmd.info "approx_cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ counter_cmd; maxreg_cmd; lincheck_cmd; awareness_cmd;
+            perturb_cmd; explore_cmd ]))

@@ -1,0 +1,1 @@
+examples/adversary.ml: Approx Array Float Format Lincheck List Lowerbound Maxreg Option Printf Sim String Workload

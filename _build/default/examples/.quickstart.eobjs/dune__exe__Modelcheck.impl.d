@@ -1,0 +1,1 @@
+examples/modelcheck.ml: Array Format Lincheck List Obj_intf Printf Sim String Workload

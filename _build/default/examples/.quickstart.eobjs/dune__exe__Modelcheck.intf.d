@@ -1,0 +1,1 @@
+examples/modelcheck.mli:

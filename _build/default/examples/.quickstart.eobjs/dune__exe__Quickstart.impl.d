@@ -1,0 +1,1 @@
+examples/quickstart.ml: Approx Array List Printf Sim Zmath

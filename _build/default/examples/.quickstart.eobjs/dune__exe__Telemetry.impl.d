@@ -1,0 +1,1 @@
+examples/telemetry.ml: Float Mcore Printf

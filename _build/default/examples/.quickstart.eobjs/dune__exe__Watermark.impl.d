@@ -1,0 +1,1 @@
+examples/watermark.ml: Approx Array List Maxreg Mcore Printf Sim

@@ -1,0 +1,1 @@
+examples/watermark.mli:

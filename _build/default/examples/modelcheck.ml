@@ -1,0 +1,126 @@
+(* Modelcheck: the verification workflow for your own object.
+
+     dune exec examples/modelcheck.exe
+
+   Walks the three tiers of checking this repository provides, using a
+   deliberately buggy counter as the target:
+
+   1. randomized schedules + the linearizability checker (fast, incomplete)
+   2. PCT schedules (bug-depth-directed randomization)
+   3. exhaustive interleaving exploration (complete, for tiny configs)
+
+   The buggy object is a "lazy counter" whose read returns the value of a
+   cached cell refreshed only by increments — reads can then miss
+   increments completed before they started, which is not linearizable.
+   The bug needs a specific interleaving, so random search may miss it
+   while the explorer cannot. *)
+
+(* The buggy object: inc bumps a shared cell, then refreshes the cache;
+   read returns the cache. A read that runs after an inc I completed but
+   before I's cache refresh is scheduled... cannot happen (refresh is part
+   of inc) — the bug is subtler: two concurrent incs can refresh the cache
+   with a stale sum, so a later read returns less than the number of
+   completed incs. *)
+module Lazy_counter = struct
+  type t = { cell : Sim.Memory.obj_id; cache : Sim.Memory.obj_id }
+
+  let create exec =
+    let mem = Sim.Exec.memory exec in
+    { cell = Sim.Memory.alloc mem ~name:"cell" (Sim.Memory.V_int 0);
+      cache = Sim.Memory.alloc mem ~name:"cache" (Sim.Memory.V_int 0) }
+
+  let increment t ~pid:_ =
+    let v = Sim.Api.faa t.cell 1 in
+    (* BUG: writes the pre-increment value + 1 it observed, which may be
+       stale by the time it lands; a correct implementation would
+       write-max or re-read. *)
+    Sim.Api.write t.cache (v + 1)
+
+  let read t ~pid:_ = Sim.Api.read t.cache
+
+  let handle t =
+    { Obj_intf.c_label = "lazy-counter";
+      c_inc = (fun ~pid -> increment t ~pid);
+      c_read = (fun ~pid -> read t ~pid) }
+end
+
+let build () =
+  let exec = Sim.Exec.create ~n:3 () in
+  let counter = Lazy_counter.create exec in
+  let programs =
+    Workload.Script.counter_programs (Lazy_counter.handle counter)
+      [| [ Inc ]; [ Inc ]; [ Read ] |]
+  in
+  (exec, programs)
+
+let check_one policy =
+  let exec, programs = build () in
+  ignore (Sim.Exec.run exec ~programs ~policy ());
+  match
+    Lincheck.Checker.check_trace Lincheck.Spec.exact_counter
+      (Sim.Exec.trace exec)
+  with
+  | Lincheck.Checker.Linearizable _ -> true
+  | Lincheck.Checker.Not_linearizable -> false
+
+let () =
+  print_endline "Target: a 'lazy counter' with a stale-cache-refresh bug.";
+  print_endline "Workload: p0: inc; p1: inc; p2: read.\n";
+
+  (* Tier 1: random search *)
+  let random_found = ref None in
+  for seed = 1 to 100 do
+    if !random_found = None && not (check_one (Sim.Schedule.Random seed))
+    then random_found := Some seed
+  done;
+  (match !random_found with
+   | Some seed ->
+     Printf.printf "tier 1 (random): violation found at seed %d/100\n" seed
+   | None ->
+     print_endline "tier 1 (random): no violation in 100 seeds");
+
+  (* Tier 2: PCT with depth 4 over the run length *)
+  let pct_found = ref None in
+  for seed = 1 to 100 do
+    if !pct_found = None
+       && not
+            (check_one
+               (Sim.Schedule.Pct
+                  { seed; change_points = 4; expected_length = 6 }))
+    then pct_found := Some seed
+  done;
+  (match !pct_found with
+   | Some seed ->
+     Printf.printf "tier 2 (PCT d=4): violation found at seed %d/100\n" seed
+   | None -> print_endline "tier 2 (PCT d=4): no violation in 100 seeds");
+
+  (* Tier 3: exhaustive *)
+  let stats =
+    Lincheck.Explore.exhaustive ~build ~spec:Lincheck.Spec.exact_counter ()
+  in
+  Printf.printf
+    "tier 3 (exhaustive): %d violations over all %d interleavings\n"
+    stats.Lincheck.Explore.violations stats.Lincheck.Explore.executions;
+  (match stats.Lincheck.Explore.first_violation with
+   | Some schedule ->
+     Printf.printf "  witness schedule: %s\n"
+       (String.concat " " (Array.to_list (Array.map string_of_int schedule)));
+     (* Replay the witness and show the offending history. *)
+     let exec, programs = build () in
+     ignore
+       (Sim.Exec.run exec ~programs ~policy:(Sim.Schedule.Script schedule) ());
+     print_endline "  witness history:";
+     Array.iter
+       (fun op -> Format.printf "    %a@." Lincheck.History.pp_op op)
+       (Lincheck.History.of_trace (Sim.Exec.trace exec));
+     print_endline "  witness timeline:";
+     String.split_on_char '\n'
+       (Lincheck.Render.timeline ~width:60 (Sim.Exec.trace exec))
+     |> List.iter (fun line ->
+            if line <> "" then Printf.printf "    %s\n" line)
+   | None -> print_endline "  (no witness — object is correct)");
+
+  print_endline
+    "\nFor real objects in this repository the same pipeline reports zero\n\
+     violations (bench/main.exe e11); the erratum hunt in\n\
+     test/test_erratum.ml used exactly this workflow."

@@ -1,0 +1,1 @@
+lib/core/kadditive_counter.ml: Array Obj_intf Prims Printf

@@ -1,0 +1,1 @@
+lib/core/kadditive_counter.mli: Obj_intf Sim

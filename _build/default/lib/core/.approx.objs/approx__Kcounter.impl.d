@@ -1,0 +1,1 @@
+lib/core/kcounter.ml: Accuracy Array List Obj_intf Printf Sim

@@ -1,0 +1,1 @@
+lib/core/kcounter.mli: Obj_intf Sim

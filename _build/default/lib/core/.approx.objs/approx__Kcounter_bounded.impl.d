@@ -1,0 +1,1 @@
+lib/core/kcounter_bounded.ml: Array Kmaxreg Maxreg Obj_intf Printf Sim Zmath

@@ -1,0 +1,1 @@
+lib/core/kcounter_bounded.mli: Obj_intf Sim

@@ -1,0 +1,1 @@
+lib/core/kcounter_variants.ml: Accuracy Array Obj_intf Printf Sim

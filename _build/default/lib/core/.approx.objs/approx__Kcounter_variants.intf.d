@@ -1,0 +1,1 @@
+lib/core/kcounter_variants.mli: Obj_intf Sim

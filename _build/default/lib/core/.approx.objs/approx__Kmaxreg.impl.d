@@ -1,0 +1,1 @@
+lib/core/kmaxreg.ml: Maxreg Obj_intf Printf Zmath

@@ -1,0 +1,1 @@
+lib/core/kmaxreg.mli: Obj_intf Sim

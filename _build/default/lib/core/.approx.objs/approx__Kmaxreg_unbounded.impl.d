@@ -1,0 +1,1 @@
+lib/core/kmaxreg_unbounded.ml: Maxreg Obj_intf Printf Zmath

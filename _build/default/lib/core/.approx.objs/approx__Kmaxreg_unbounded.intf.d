@@ -1,0 +1,1 @@
+lib/core/kmaxreg_unbounded.mli: Obj_intf Sim

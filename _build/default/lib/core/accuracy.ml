@@ -1,0 +1,21 @@
+let valid_k ~k ~n = k >= 1 && k * k >= n
+
+let within ~k ~exact x = Zmath.within_k ~k ~exact x
+
+let u_min ~k ~p ~q =
+  1 + Zmath.geometric_sum ~base:k ~lo:2 ~hi:(q + 1) + (p * Zmath.pow k (q + 1))
+
+let u_max ~k ~n ~p ~q =
+  1
+  + Zmath.geometric_sum ~base:k ~lo:2 ~hi:(q + 1)
+  + (p * (k - 1) * Zmath.pow k (q + 1))
+  + (n * (Zmath.pow k (q + 1) - 1))
+
+let return_value ~k ~p ~q =
+  match Zmath.mul_opt k (u_min ~k ~p ~q) with
+  | Some v -> v
+  | None -> raise Zmath.Overflow
+
+let increments_to_set ~k j =
+  if j < 0 then invalid_arg "Accuracy.increments_to_set: negative index";
+  if j = 0 then 1 else Zmath.pow k (((j - 1) / k) + 1)

@@ -1,0 +1,31 @@
+(** The k-multiplicative accuracy relation and the closed-form quantities of
+    Algorithm 1's analysis (Claim III.6), shared by the implementation, the
+    tests and the experiments. *)
+
+val valid_k : k:int -> n:int -> bool
+(** Whether [k] meets Algorithm 1's accuracy precondition [k >= sqrt n]
+    (Theorem III.9). The implementation itself only requires [k >= 2]. *)
+
+val within : k:int -> exact:int -> int -> bool
+(** [within ~k ~exact x] is the k-multiplicative-accurate read condition
+    [exact / k <= x <= exact * k] (rational comparison). *)
+
+val return_value : k:int -> p:int -> q:int -> int
+(** The value returned by Algorithm 1's [ReturnValue(p, q)] (lines 30-34):
+    [k * (1 + p*k^(q+1) + sum over l in 1..q of k^(l+1))].
+    @raise Zmath.Overflow if the value does not fit in an [int]. *)
+
+val u_min : k:int -> p:int -> q:int -> int
+(** Claim III.6's lower bound on the number of increments linearized before
+    a read returning [ReturnValue(p, q)]:
+    [1 + sum over l in 1..q of k^(l+1) + p*k^(q+1)]. *)
+
+val u_max : k:int -> n:int -> p:int -> q:int -> int
+(** Claim III.6's upper bound:
+    [1 + sum over l in 1..q of k^(l+1) + p*(k-1)*k^(q+1) + n*(k^(q+1)-1)]. *)
+
+val increments_to_set : k:int -> int -> int
+(** [increments_to_set ~k j] is the number of [CounterIncrement] instances a
+    single process must perform between successful switch probes in order to
+    attempt [switch_j]: 1 for [j = 0], and [k^(q+1)] for
+    [j] in the interval [qk+1 .. (q+1)k]. *)

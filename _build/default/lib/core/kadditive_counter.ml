@@ -1,0 +1,31 @@
+type t = {
+  cells : Prims.Collect.t;
+  threshold : int;
+  announced : int array;  (* local mirror of own cell *)
+  pending : int array;  (* unflushed increments, < threshold *)
+}
+
+let create exec ?(name = "kadd") ~n ~k () =
+  if n < 1 then invalid_arg "Kadditive_counter.create: n < 1";
+  if k < 0 then invalid_arg "Kadditive_counter.create: k < 0";
+  { cells = Prims.Collect.create exec ~name ~n ();
+    threshold = (k / (n + 1)) + 1;
+    announced = Array.make n 0;
+    pending = Array.make n 0 }
+
+let increment t ~pid =
+  t.pending.(pid) <- t.pending.(pid) + 1;
+  if t.pending.(pid) = t.threshold then begin
+    t.announced.(pid) <- t.announced.(pid) + t.pending.(pid);
+    t.pending.(pid) <- 0;
+    Prims.Collect.update t.cells ~pid t.announced.(pid)
+  end
+
+let read t ~pid:_ = Prims.Collect.collect_fold t.cells ~init:0 ~f:( + )
+
+let flush_threshold t = t.threshold
+
+let handle t =
+  { Obj_intf.c_label = Printf.sprintf "kadditive(t=%d)" t.threshold;
+    c_inc = (fun ~pid -> increment t ~pid);
+    c_read = (fun ~pid -> read t ~pid) }

@@ -1,0 +1,38 @@
+(** A deterministic k-additive-accurate counter — the additive relaxation
+    the paper contrasts with in Section I-A (Aspnes et al. [8] prove an
+    [Omega(min(n-1, log m - log k))] worst-case lower bound for it and give
+    no matching upper bound; this is the natural flush-batching upper
+    construction).
+
+    A [CounterRead] may return any [x] with [|x - v| <= k], where [v] is
+    the number of increments linearized before it.
+
+    Construction: process [p] accumulates increments locally and publishes
+    its total to its single-writer cell once [floor(k/(n+1)) + 1] unflushed
+    increments accumulate; a read collects and sums all cells. At any time
+    every process hides at most [floor(k/(n+1))] increments and the collect
+    itself is accurate to one flush batch, so the total error is at most
+    [(n+1) * floor(k/(n+1)) <= k].
+
+    Step complexity: [CounterRead] is [n] steps;
+    [CounterIncrement] is 1 step every [floor(k/(n+1)) + 1] calls —
+    amortized [~(n+1)/k]. For [k >= n] increments are almost always free,
+    mirroring (in the additive world) what Algorithm 1 achieves
+    multiplicatively. With [k = 0] this degenerates to the exact collect
+    counter. *)
+
+type t
+
+val create : Sim.Exec.t -> ?name:string -> n:int -> k:int -> unit -> t
+(** @raise Invalid_argument if [n < 1] or [k < 0]. *)
+
+val increment : t -> pid:int -> unit
+(** In-fiber; 0 or 1 steps. *)
+
+val read : t -> pid:int -> int
+(** In-fiber; [n] steps. *)
+
+val flush_threshold : t -> int
+(** The batch size [floor(k/(n+1)) + 1] (exposed for tests). *)
+
+val handle : t -> Obj_intf.counter

@@ -1,0 +1,53 @@
+(** Algorithm 1: the wait-free linearizable unbounded
+    k-multiplicative-accurate counter (Section III).
+
+    Shared state is an unbounded sequence of test&set bits
+    [switch_0, switch_1, ...] and a helping array [H] of [n] atomic
+    [(val, sn)] pairs. Each process counts its increments locally
+    ([lcounter]); on reaching its threshold [limit = k^j] it probes the
+    switches of interval [(j-1)k+1 .. jk] (or [switch_0] when [j = 0]) with
+    test&set, announcing [k^j] increments when a probe succeeds. Reads scan
+    the first and last switch of each interval from a persistent position
+    [last] and derive the return value from the last set switch seen; every
+    [n] loop iterations they rescan [H] and return through the helping
+    mechanism once some process's sequence number advanced by at least 2
+    within the read's interval.
+
+    Guarantees (Theorem III.9): wait-free; linearizable with every read [x]
+    of a true count [v] satisfying [v/k <= x <= v*k] provided
+    [k >= sqrt n]; constant amortized step complexity.
+
+    The implementation follows the paper's pseudocode line by line, with
+    the two reconstructions documented in DESIGN.md: [limit] is multiplied
+    by [k] exactly when a probe interval is exhausted (successfully at its
+    last switch, or unsuccessfully past it, or at [switch_0]), and the
+    read-side [(p, q)] pair is persistent alongside [last]. *)
+
+type t
+
+val create : Sim.Exec.t -> ?name:string -> n:int -> k:int -> unit -> t
+(** Build phase only.
+    @raise Invalid_argument if [k < 2] or [n < 1]. The accuracy guarantee
+    additionally needs [k >= sqrt n] ({!Accuracy.valid_k}), which is {e not}
+    enforced — experiment E7 exercises the failure regime on purpose. *)
+
+val increment : t -> pid:int -> unit
+(** [CounterIncrement] (lines 10-28). In-fiber; at most [k + 1] steps, 0
+    steps while below the local threshold. *)
+
+val read : t -> pid:int -> int
+(** [CounterRead] (lines 35-58). In-fiber; wait-free via the helping
+    mechanism. *)
+
+val k : t -> int
+val n : t -> int
+
+val switch_states : t -> (int * int) list
+(** Post-mortem dump of the materialised switches as [(index, bit)] pairs,
+    sorted by index — used by the Figure 1 reproduction and the switch-order
+    property tests. Not a simulated operation (no steps). *)
+
+val local_pending : t -> pid:int -> int
+(** [pid]'s unannounced local increment count ([lcounter]); test hook. *)
+
+val handle : t -> Obj_intf.counter

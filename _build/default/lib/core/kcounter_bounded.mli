@@ -1,0 +1,42 @@
+(** A read-optimized m-bounded k-multiplicative-accurate counter — an
+    exploration of the paper's open question (Section VI: "the maximum
+    improvement in the worst case step complexity of the bounded variant
+    of k-multiplicative-accurate counters remains an open question").
+
+    Construction: the AACH exact tree counter over the processes, except
+    that the {e root} is Algorithm 2's k-multiplicative-accurate max
+    register instead of an exact one. Increments refresh their leaf-to-root
+    path with exact subtree sums; the root stores only the base-k magnitude
+    of the total.
+
+    - [CounterRead] costs one Algorithm-2 read:
+      [O(min(log2 log_k m, n))] worst case — {e matching} Theorem V.4's
+      lower bound [Omega(min(log2 log_k m, n))], so reads are worst-case
+      optimal for this object class.
+    - [CounterIncrement] costs [O(log n * min(log m, n))] worst case (the
+      exact inner path) plus one Algorithm-2 write; whether increments can
+      also be made exponentially cheap is exactly the open question, which
+      this construction does not settle.
+
+    Linearizability follows from the monotone-composition argument: the
+    inner tree makes the root's input the true total at some point in each
+    increment (AACH), and Algorithm 2's register relaxes only the read
+    value, within [v < x <= v*k]. *)
+
+type t
+
+val create : Sim.Exec.t -> ?name:string -> n:int -> m:int -> k:int -> unit -> t
+(** An m-bounded counter: at most [m] increments may be applied.
+    @raise Invalid_argument if [n < 1], [m < 1] or [k < 2]. *)
+
+val increment : t -> pid:int -> unit
+(** In-fiber. @raise Invalid_argument after [m] increments. *)
+
+val read : t -> pid:int -> int
+(** In-fiber; [O(min(log2 log_k m, n))] steps. Returns 0 or a power
+    of [k]. *)
+
+val bound : t -> int
+val k : t -> int
+
+val handle : t -> Obj_intf.counter

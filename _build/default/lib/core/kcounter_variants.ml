@@ -1,0 +1,213 @@
+(* One parameterized implementation; the three public modules instantiate
+   it with a single ingredient removed each. The shared-memory layout and
+   line-by-line structure mirror Kcounter (see kcounter.ml). *)
+
+type config = {
+  helping : bool;  (* CounterRead consults H (paper lines 44-55) *)
+  resume_probe : bool;  (* l0 persists across announces (lines 22-24) *)
+  full_scan : bool;  (* read every switch vs first/last per interval *)
+  startup_fix : bool;
+      (* repair the startup-corner erratum (see Startup_corrected below):
+         first increments are additionally announced in per-process bits,
+         and reads that would return ReturnValue(0,0) collect those bits *)
+}
+
+type local = {
+  mutable lcounter : int;
+  mutable limit_exp : int;
+  mutable limit : int;
+  mutable sn : int;
+  mutable l0 : int;
+  mutable last : int;
+  mutable p : int;
+  mutable q : int;
+}
+
+type t = {
+  n : int;
+  k : int;
+  config : config;
+  switches : Sim.Memory.region;
+  h : Sim.Memory.obj_id array;
+  first_inc : Sim.Memory.obj_id array;  (* used when startup_fix *)
+  started : bool array;  (* local: has pid announced its first inc? *)
+  locals : local array;
+  mem : Sim.Memory.t;
+}
+
+let create_impl config exec ?(name = "kcnt") ~n ~k () =
+  if n < 1 then invalid_arg "Kcounter_variants.create: n < 1";
+  if k < 2 then invalid_arg "Kcounter_variants.create: k < 2";
+  let mem = Sim.Exec.memory exec in
+  { n;
+    k;
+    config;
+    switches =
+      Sim.Memory.region mem ~name:(name ^ ".switch")
+        ~default:(Sim.Memory.V_int 0) ();
+    h =
+      Sim.Memory.alloc_many mem ~name:(name ^ ".H") n
+        (Sim.Memory.V_pair (0, 0));
+    first_inc =
+      (if config.startup_fix then
+         Sim.Memory.alloc_many mem ~name:(name ^ ".first") n
+           (Sim.Memory.V_int 0)
+       else [||]);
+    started = Array.make n false;
+    locals =
+      Array.init n (fun _ ->
+          { lcounter = 0;
+            limit_exp = 0;
+            limit = 1;
+            sn = 0;
+            l0 = 1;
+            last = 0;
+            p = 0;
+            q = 0 });
+    mem }
+
+let switch t j = Sim.Memory.region_cell t.mem t.switches j
+
+let increment_impl t ~pid =
+  let s = t.locals.(pid) in
+  if t.config.startup_fix && not t.started.(pid) then begin
+    t.started.(pid) <- true;
+    Sim.Api.write t.first_inc.(pid) 1
+  end;
+  s.lcounter <- s.lcounter + 1;
+  if s.lcounter = s.limit then begin
+    let j = s.limit_exp in
+    if j > 0 then begin
+      let exhausted = ref true in
+      let start = if t.config.resume_probe then s.l0 else 1 in
+      let l = ref (((j - 1) * t.k) + start) in
+      while !exhausted && !l <= j * t.k do
+        if Sim.Api.test_and_set (switch t !l) = 0 then begin
+          s.sn <- s.sn + 1;
+          Sim.Api.write_pair t.h.(pid) (!l, s.sn);
+          s.lcounter <- 0;
+          s.l0 <- 1 + (!l mod t.k);
+          if !l = j * t.k then begin
+            s.limit_exp <- s.limit_exp + 1;
+            s.limit <- t.k * s.limit
+          end;
+          exhausted := false
+        end
+        else incr l
+      done;
+      if !exhausted then begin
+        s.l0 <- 1;
+        s.limit_exp <- s.limit_exp + 1;
+        s.limit <- t.k * s.limit
+      end
+    end
+    else begin
+      if Sim.Api.test_and_set (switch t 0) = 0 then s.lcounter <- 0;
+      s.limit_exp <- s.limit_exp + 1;
+      s.limit <- t.k * s.limit
+    end
+  end
+
+let return_value t ~p ~q = Accuracy.return_value ~k:t.k ~p ~q
+
+exception Helped of int
+
+let read_impl t ~pid =
+  let s = t.locals.(pid) in
+  let c = ref 0 in
+  let help = Array.make t.n 0 in
+  try
+    while Sim.Api.read (switch t s.last) <> 0 do
+      s.p <- s.last mod t.k;
+      s.q <- s.last / t.k;
+      if t.config.full_scan then s.last <- s.last + 1
+      else if s.last mod t.k = 0 then s.last <- s.last + 1
+      else s.last <- s.last + t.k - 1;
+      incr c;
+      if t.config.helping && !c mod t.n = 0 then
+        if !c = t.n then
+          for j = 0 to t.n - 1 do
+            let _, sn = Sim.Api.read_pair t.h.(j) in
+            help.(j) <- sn
+          done
+        else
+          for j = 0 to t.n - 1 do
+            let v, sn = Sim.Api.read_pair t.h.(j) in
+            if sn - help.(j) >= 2 then
+              raise (Helped (return_value t ~p:(v mod t.k) ~q:(v / t.k)))
+          done
+    done;
+    if s.last = 0 then 0
+    else if t.config.startup_fix && s.p = 0 && s.q = 0 then begin
+      (* Startup corner: only switch_0 is known set. ReturnValue(0,0) = k
+         cannot cover the up to n(k-1) increments parked in local
+         counters; instead count the processes that started incrementing.
+         With c bits seen set: the true count v satisfies c <= v (each
+         started process contributed at least one increment, counting
+         pending first increments as linearized before us) and
+         v <= a*k <= c*k at the collect's start (each started process
+         hides at most k-1 beyond its first), so k*c is within
+         [v/k, v*k] for any n and k. *)
+      let c = ref 0 in
+      for j = 0 to t.n - 1 do
+        c := !c + Sim.Api.read t.first_inc.(j)
+      done;
+      t.k * max 1 !c
+    end
+    else return_value t ~p:s.p ~q:s.q
+  with Helped v -> v
+
+let handle_impl variant t =
+  { Obj_intf.c_label = Printf.sprintf "kcounter/%s(k=%d)" variant t.k;
+    c_inc = (fun ~pid -> increment_impl t ~pid);
+    c_read = (fun ~pid -> read_impl t ~pid) }
+
+module No_helping = struct
+  type nonrec t = t
+
+  let config =
+    { helping = false; resume_probe = true; full_scan = false;
+      startup_fix = false }
+  let create exec ?name ~n ~k () = create_impl config exec ?name ~n ~k ()
+  let increment = increment_impl
+  let read = read_impl
+  let handle = handle_impl "no-helping"
+end
+
+module No_probe_resume = struct
+  type nonrec t = t
+
+  let config =
+    { helping = true; resume_probe = false; full_scan = false;
+      startup_fix = false }
+  let create exec ?name ~n ~k () = create_impl config exec ?name ~n ~k ()
+  let increment = increment_impl
+  let read = read_impl
+  let handle = handle_impl "no-probe-resume"
+end
+
+module Full_scan_read = struct
+  type nonrec t = t
+
+  let config =
+    { helping = true; resume_probe = true; full_scan = true;
+      startup_fix = false }
+
+  let create exec ?name ~n ~k () = create_impl config exec ?name ~n ~k ()
+  let increment = increment_impl
+  let read = read_impl
+  let handle = handle_impl "full-scan-read"
+end
+
+module Startup_corrected = struct
+  type nonrec t = t
+
+  let config =
+    { helping = true; resume_probe = true; full_scan = false;
+      startup_fix = true }
+
+  let create exec ?name ~n ~k () = create_impl config exec ?name ~n ~k ()
+  let increment = increment_impl
+  let read = read_impl
+  let handle = handle_impl "startup-corrected"
+end

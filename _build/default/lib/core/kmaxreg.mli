@@ -1,0 +1,33 @@
+(** Algorithm 2: the wait-free linearizable k-multiplicative-accurate
+    m-bounded max register (Section IV).
+
+    [Write(v)] stores [floor(log_k v) + 1] — the index of the bit to the
+    left of [v]'s most significant base-k digit — into an {e exact} bounded
+    max register [M] of bound [floor(log_k (m-1)) + 2]; [Read] returns 0 if
+    [M] holds 0 and [k^p] when it holds [p]. Since the true maximum [v]
+    then lies in [[k^(p-1), k^p - 1]], the result satisfies
+    [v < k^p <= v*k] (Lemma IV.1).
+
+    Worst-case step complexity: one operation on [M], i.e.
+    [O(min(log2 log_k m, n))] (Theorem IV.2) — matching the lower bound of
+    Theorem V.2 and exponentially better than the exact register's
+    [Theta(log m)]. *)
+
+type t
+
+val create : Sim.Exec.t -> ?name:string -> n:int -> m:int -> k:int -> unit -> t
+(** Build phase only.
+    @raise Invalid_argument if [k < 2], [m < 2] or [n < 1]. *)
+
+val write : t -> pid:int -> int -> unit
+(** In-fiber. @raise Invalid_argument if the value is outside
+    [0 .. m-1]. Writing 0 is a no-op (the register starts at 0). *)
+
+val read : t -> pid:int -> int
+(** In-fiber. The result is 0 or a power of [k]; it can exceed [m - 1]
+    (the relaxed specification only requires [x <= v*k]). *)
+
+val bound : t -> int
+val k : t -> int
+
+val handle : t -> Obj_intf.max_register

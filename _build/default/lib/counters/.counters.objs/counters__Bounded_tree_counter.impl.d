@@ -1,0 +1,1 @@
+lib/counters/bounded_tree_counter.ml: Array Maxreg Obj_intf Printf Sim Zmath

@@ -1,0 +1,1 @@
+lib/counters/bounded_tree_counter.mli: Obj_intf Sim

@@ -1,0 +1,1 @@
+lib/counters/collect_counter.ml: Array Obj_intf Prims

@@ -1,0 +1,1 @@
+lib/counters/collect_counter.mli: Obj_intf Sim

@@ -1,0 +1,1 @@
+lib/counters/faa_counter.ml: Obj_intf Sim

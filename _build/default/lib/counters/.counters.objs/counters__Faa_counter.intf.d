@@ -1,0 +1,1 @@
+lib/counters/faa_counter.mli: Obj_intf Sim

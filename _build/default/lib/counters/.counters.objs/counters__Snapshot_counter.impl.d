@@ -1,0 +1,1 @@
+lib/counters/snapshot_counter.ml: Array Obj_intf Prims

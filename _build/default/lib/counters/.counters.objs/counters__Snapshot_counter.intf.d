@@ -1,0 +1,1 @@
+lib/counters/snapshot_counter.mli: Obj_intf Sim

@@ -1,0 +1,1 @@
+lib/counters/tree_counter.ml: Array Maxreg Obj_intf Printf Sim Zmath

@@ -1,0 +1,1 @@
+lib/counters/tree_counter.mli: Obj_intf Sim

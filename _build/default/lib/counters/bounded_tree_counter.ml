@@ -1,0 +1,69 @@
+type node =
+  | Leaf of Sim.Memory.obj_id
+  | Internal of Maxreg.Bounded_maxreg.t
+  | Empty
+
+type t = {
+  n : int;
+  m : int;
+  size : int;
+  nodes : node array;
+  own : int array;  (* local mirrors of the single-writer leaves *)
+  mutable applied : int;  (* global increment count, bound enforcement *)
+}
+
+let create exec ?(name = "bcnt") ~n ~m () =
+  if n < 1 then invalid_arg "Bounded_tree_counter.create: n < 1";
+  if m < 1 then invalid_arg "Bounded_tree_counter.create: m < 1";
+  let size = Zmath.pow 2 (Zmath.ceil_log2 (max 2 n)) in
+  let mem = Sim.Exec.memory exec in
+  let nodes =
+    Array.init (2 * size) (fun i ->
+        if i = 0 then Empty
+        else if i < size then
+          Internal
+            (Maxreg.Bounded_maxreg.create exec
+               ~name:(Printf.sprintf "%s.node%d" name i)
+               ~n ~m:(m + 1) ())
+        else if i - size < n then
+          Leaf
+            (Sim.Memory.alloc mem
+               ~name:(Printf.sprintf "%s.leaf%d" name (i - size))
+               (Sim.Memory.V_int 0))
+        else Empty)
+  in
+  { n; m; size; nodes; own = Array.make n 0; applied = 0 }
+
+let read_node t ~pid i =
+  match t.nodes.(i) with
+  | Empty -> 0
+  | Leaf cell -> Sim.Api.read cell
+  | Internal mr -> Maxreg.Bounded_maxreg.read mr ~pid
+
+let increment t ~pid =
+  if t.applied >= t.m then
+    invalid_arg "Bounded_tree_counter.increment: bound exceeded";
+  t.applied <- t.applied + 1;
+  t.own.(pid) <- t.own.(pid) + 1;
+  (match t.nodes.(t.size + pid) with
+   | Leaf cell -> Sim.Api.write cell t.own.(pid)
+   | Empty | Internal _ -> assert false);
+  let rec up i =
+    if i >= 1 then begin
+      let sum = read_node t ~pid (2 * i) + read_node t ~pid ((2 * i) + 1) in
+      (match t.nodes.(i) with
+       | Internal mr -> Maxreg.Bounded_maxreg.write mr ~pid sum
+       | Leaf _ | Empty -> assert false);
+      up (i / 2)
+    end
+  in
+  up ((t.size + pid) / 2)
+
+let read t ~pid = read_node t ~pid 1
+
+let bound t = t.m
+
+let handle t =
+  { Obj_intf.c_label = Printf.sprintf "bounded-tree-counter(m=%d)" t.m;
+    c_inc = (fun ~pid -> increment t ~pid);
+    c_read = (fun ~pid -> read t ~pid) }

@@ -1,0 +1,25 @@
+(** m-bounded exact counter — the object class of Theorem V.4's lower
+    bound, built as the AACH tree counter over {e bounded} max registers.
+
+    At most [m] increments may ever be applied; every internal node is an
+    [(m+1)]-bounded max register, so the worst-case step complexity is
+    [O(log2 n * min(log2 m, n))] for [CounterIncrement] and
+    [O(min(log2 m, n))] for [CounterRead] — compare with the unbounded
+    {!Tree_counter}, whose costs depend on the current value [v] instead
+    of the static bound [m]. *)
+
+type t
+
+val create : Sim.Exec.t -> ?name:string -> n:int -> m:int -> unit -> t
+(** @raise Invalid_argument if [n < 1] or [m < 1]. *)
+
+val increment : t -> pid:int -> unit
+(** In-fiber. @raise Invalid_argument after [m] increments (the bound is
+    the caller's contract; exceeding it is a usage error). *)
+
+val read : t -> pid:int -> int
+(** In-fiber. *)
+
+val bound : t -> int
+
+val handle : t -> Obj_intf.counter

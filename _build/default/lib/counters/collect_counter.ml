@@ -1,0 +1,18 @@
+type t = {
+  cells : Prims.Collect.t;
+  own : int array;  (* local mirror; cells are single-writer *)
+}
+
+let create exec ?(name = "cnt") ~n () =
+  { cells = Prims.Collect.create exec ~name ~n (); own = Array.make n 0 }
+
+let increment t ~pid =
+  t.own.(pid) <- t.own.(pid) + 1;
+  Prims.Collect.update t.cells ~pid t.own.(pid)
+
+let read t ~pid:_ = Prims.Collect.collect_fold t.cells ~init:0 ~f:( + )
+
+let handle t =
+  { Obj_intf.c_label = "collect-counter";
+    c_inc = (fun ~pid -> increment t ~pid);
+    c_read = (fun ~pid -> read t ~pid) }

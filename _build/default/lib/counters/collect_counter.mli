@@ -1,0 +1,22 @@
+(** The classic wait-free exact counter with [O(n)]-step reads.
+
+    Process [p] keeps its personal increment count in its single-writer
+    cell; a read collects and sums all cells. Because each cell is
+    monotonically non-decreasing, a single collect linearizes (the sum seen
+    lies between the true count at the read's start and at its end). This is
+    the counter whose worst-case optimality follows from Jayanti, Tan and
+    Toueg — the baseline Algorithm 1 is measured against in E1.
+
+    Step complexity: [CounterIncrement] 1 step, [CounterRead] [n] steps. *)
+
+type t
+
+val create : Sim.Exec.t -> ?name:string -> n:int -> unit -> t
+
+val increment : t -> pid:int -> unit
+(** In-fiber; 1 step. *)
+
+val read : t -> pid:int -> int
+(** In-fiber; [n] steps. *)
+
+val handle : t -> Obj_intf.counter

@@ -1,0 +1,13 @@
+type t = { cell : Sim.Memory.obj_id }
+
+let create exec ?(name = "faa") () =
+  { cell = Sim.Memory.alloc (Sim.Exec.memory exec) ~name (Sim.Memory.V_int 0) }
+
+let increment t ~pid:_ = ignore (Sim.Api.faa t.cell 1)
+
+let read t ~pid:_ = Sim.Api.read t.cell
+
+let handle t =
+  { Obj_intf.c_label = "faa-counter";
+    c_inc = (fun ~pid -> increment t ~pid);
+    c_read = (fun ~pid -> read t ~pid) }

@@ -1,0 +1,17 @@
+(** Fetch-and-add counter: one shared cell, both operations take one step.
+
+    Fetch-and-add is neither historyless nor conditional, so none of the
+    paper's lower bounds applies to it; it serves as the "ideal" reference
+    point in the experiment tables (what hardware-level primitives buy). *)
+
+type t
+
+val create : Sim.Exec.t -> ?name:string -> unit -> t
+
+val increment : t -> pid:int -> unit
+(** In-fiber; 1 step. *)
+
+val read : t -> pid:int -> int
+(** In-fiber; 1 step. *)
+
+val handle : t -> Obj_intf.counter

@@ -1,0 +1,19 @@
+type t = {
+  snap : Prims.Snapshot.t;
+  own : int array;  (* local mirror of the single-writer component *)
+}
+
+let create exec ?(name = "scnt") ~n () =
+  { snap = Prims.Snapshot.create exec ~name ~n (); own = Array.make n 0 }
+
+let increment t ~pid =
+  t.own.(pid) <- t.own.(pid) + 1;
+  Prims.Snapshot.update t.snap ~pid t.own.(pid)
+
+let read t ~pid =
+  Array.fold_left ( + ) 0 (Prims.Snapshot.scan t.snap ~pid)
+
+let handle t =
+  { Obj_intf.c_label = "snapshot-counter";
+    c_inc = (fun ~pid -> increment t ~pid);
+    c_read = (fun ~pid -> read t ~pid) }

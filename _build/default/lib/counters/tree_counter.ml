@@ -1,0 +1,62 @@
+type node =
+  | Leaf of Sim.Memory.obj_id
+  | Internal of Maxreg.Unbounded_maxreg.t
+  | Empty  (* padding leaf when n is not a power of two; constant 0 *)
+
+type t = {
+  n : int;
+  size : int;  (* number of leaf slots; a power of two; node i's children
+                  are 2i and 2i+1, leaves sit at size .. 2*size-1 *)
+  nodes : node array;
+  own : int array;  (* local mirrors of the single-writer leaves *)
+}
+
+let create exec ?(name = "treecnt") ~n () =
+  if n < 1 then invalid_arg "Tree_counter.create: n < 1";
+  let size = Zmath.pow 2 (Zmath.ceil_log2 (max 2 n)) in
+  let mem = Sim.Exec.memory exec in
+  let nodes =
+    Array.init (2 * size) (fun i ->
+        if i = 0 then Empty
+        else if i < size then
+          Internal
+            (Maxreg.Unbounded_maxreg.create exec
+               ~name:(Printf.sprintf "%s.node%d" name i)
+               ())
+        else if i - size < n then
+          Leaf
+            (Sim.Memory.alloc mem
+               ~name:(Printf.sprintf "%s.leaf%d" name (i - size))
+               (Sim.Memory.V_int 0))
+        else Empty)
+  in
+  { n; size; nodes; own = Array.make n 0 }
+
+let read_node t ~pid i =
+  match t.nodes.(i) with
+  | Empty -> 0
+  | Leaf cell -> Sim.Api.read cell
+  | Internal mr -> Maxreg.Unbounded_maxreg.read mr ~pid
+
+let increment t ~pid =
+  t.own.(pid) <- t.own.(pid) + 1;
+  (match t.nodes.(t.size + pid) with
+   | Leaf cell -> Sim.Api.write cell t.own.(pid)
+   | Empty | Internal _ -> assert false);
+  let rec up i =
+    if i >= 1 then begin
+      let sum = read_node t ~pid (2 * i) + read_node t ~pid ((2 * i) + 1) in
+      (match t.nodes.(i) with
+       | Internal mr -> Maxreg.Unbounded_maxreg.write mr ~pid sum
+       | Leaf _ | Empty -> assert false);
+      up (i / 2)
+    end
+  in
+  up ((t.size + pid) / 2)
+
+let read t ~pid = read_node t ~pid 1
+
+let handle t =
+  { Obj_intf.c_label = "tree-counter";
+    c_inc = (fun ~pid -> increment t ~pid);
+    c_read = (fun ~pid -> read t ~pid) }

@@ -1,0 +1,27 @@
+(** The Aspnes–Attiya–Censor-Hillel exact counter ([8], Section 5): a
+    balanced binary tree with one single-writer leaf per process and an
+    exact max register per internal node holding the sum of its subtree.
+
+    [CounterIncrement] bumps the caller's leaf and refreshes every ancestor
+    with the sum of its children's current values; since subtree sums are
+    monotonically non-decreasing, writing them through max registers makes
+    every node's value the true subtree sum at some point inside the
+    writer's interval, which is what the monotone-circuit argument of [8]
+    needs for linearizability.
+
+    Step complexity with our [O(log v)] unbounded max registers:
+    [CounterIncrement] is [O(log n * log v)] and [CounterRead] is
+    [O(log v)] — the paper's quoted [O(min(log n log v, n))] /
+    [O(min(log v, n))] shape, and the polylog baseline of experiment E1. *)
+
+type t
+
+val create : Sim.Exec.t -> ?name:string -> n:int -> unit -> t
+
+val increment : t -> pid:int -> unit
+(** In-fiber; [O(log n * log v)] steps. *)
+
+val read : t -> pid:int -> int
+(** In-fiber; [O(log v)] steps. *)
+
+val handle : t -> Obj_intf.counter

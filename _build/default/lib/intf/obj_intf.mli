@@ -1,0 +1,18 @@
+(** First-class handles to simulated shared objects.
+
+    Experiments, tests and benches manipulate counters and max registers
+    generically through these records, so that the paper's objects
+    (Algorithm 1 / Algorithm 2) and every baseline can be swapped freely.
+    All closures must be called from inside a fiber (they perform steps). *)
+
+type counter = {
+  c_label : string;  (** implementation name used in experiment tables *)
+  c_inc : pid:int -> unit;  (** [CounterIncrement] *)
+  c_read : pid:int -> int;  (** [CounterRead] *)
+}
+
+type max_register = {
+  mr_label : string;  (** implementation name used in experiment tables *)
+  mr_write : pid:int -> int -> unit;  (** [Write(v)] *)
+  mr_read : pid:int -> int;  (** [Read] *)
+}

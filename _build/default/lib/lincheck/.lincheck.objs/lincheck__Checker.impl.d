@@ -1,0 +1,1 @@
+lib/lincheck/checker.ml: Array Hashtbl History List Spec

@@ -1,0 +1,1 @@
+lib/lincheck/checker.mli: History Sim Spec

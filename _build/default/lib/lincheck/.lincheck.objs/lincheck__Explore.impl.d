@@ -1,0 +1,1 @@
+lib/lincheck/explore.ml: Array Checker List Sim

@@ -1,0 +1,1 @@
+lib/lincheck/explore.mli: Sim Spec

@@ -1,0 +1,1 @@
+lib/lincheck/history.ml: Array Format Hashtbl List Sim

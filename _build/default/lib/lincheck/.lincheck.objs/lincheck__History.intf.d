@@ -1,0 +1,1 @@
+lib/lincheck/history.mli: Format Sim

@@ -1,0 +1,1 @@
+lib/lincheck/quiescent.ml: Array Checker History List

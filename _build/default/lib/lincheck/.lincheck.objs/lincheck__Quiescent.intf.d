@@ -1,0 +1,1 @@
+lib/lincheck/quiescent.mli: Checker History Sim Spec

@@ -1,0 +1,1 @@
+lib/lincheck/render.ml: Array Buffer Bytes History Printf Sim String

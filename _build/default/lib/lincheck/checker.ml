@@ -1,0 +1,66 @@
+type verdict =
+  | Linearizable of int list
+  | Not_linearizable
+
+let check spec ops =
+  let n = Array.length ops in
+  if n > 62 then invalid_arg "Checker.check: history too large (> 62 ops)";
+  let pred = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && History.precedes ops.(j) ops.(i) then
+        pred.(i) <- pred.(i) lor (1 lsl j)
+    done
+  done;
+  let completed_mask = ref 0 in
+  for i = 0 to n - 1 do
+    if ops.(i).History.completed then
+      completed_mask := !completed_mask lor (1 lsl i)
+  done;
+  let completed_mask = !completed_mask in
+  let failed : (int * int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let rec dfs mask state acc =
+    if mask land completed_mask = completed_mask then Some (List.rev acc)
+    else begin
+      let key = (mask, spec.Spec.state_key state) in
+      if Hashtbl.mem failed key then None
+      else begin
+        let rec try_ops i =
+          if i = n then begin
+            Hashtbl.add failed key ();
+            None
+          end
+          else if
+            mask land (1 lsl i) = 0
+            (* all real-time predecessors already linearized *)
+            && pred.(i) land lnot mask = 0
+          then begin
+            let op = ops.(i) in
+            match
+              spec.Spec.step state ~name:op.History.name ~arg:op.History.arg
+                ~result:op.History.result
+            with
+            | Some state' ->
+              (match
+                 dfs (mask lor (1 lsl i)) state' (op.History.op_id :: acc)
+               with
+               | Some _ as witness -> witness
+               | None -> try_ops (i + 1))
+            | None -> try_ops (i + 1)
+          end
+          else try_ops (i + 1)
+        in
+        try_ops 0
+      end
+    end
+  in
+  match dfs 0 spec.Spec.initial [] with
+  | Some witness -> Linearizable witness
+  | None -> Not_linearizable
+
+let check_trace spec trace = check spec (History.of_trace trace)
+
+let is_linearizable spec trace =
+  match check_trace spec trace with
+  | Linearizable _ -> true
+  | Not_linearizable -> false

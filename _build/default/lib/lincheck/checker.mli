@@ -1,0 +1,25 @@
+(** Linearizability checker (Wing & Gong style depth-first search with
+    failure memoization).
+
+    Searches for a legal sequential ordering of a history that respects
+    real-time precedence and the given (possibly relational) specification.
+    Pending operations may take effect at any point after their invocation
+    or not at all; completed operations must all be linearized.
+
+    Complexity is exponential in the worst case; histories are limited to
+    62 operations (state is memoized per (linearized-set, spec-state)
+    pair). Intended for test-sized histories, not production monitoring. *)
+
+type verdict =
+  | Linearizable of int list
+      (** witness: op ids in linearization order (pending operations that
+          took no effect are absent) *)
+  | Not_linearizable
+
+val check : 'state Spec.t -> History.op array -> verdict
+(** @raise Invalid_argument if the history exceeds 62 operations. *)
+
+val check_trace : 'state Spec.t -> Sim.Trace.t -> verdict
+(** [check] composed with {!History.of_trace}. *)
+
+val is_linearizable : 'state Spec.t -> Sim.Trace.t -> bool

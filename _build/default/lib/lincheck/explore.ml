@@ -1,0 +1,58 @@
+type stats = {
+  executions : int;
+  replays : int;
+  max_depth : int;
+  violations : int;
+  first_violation : int array option;
+  truncated : bool;
+}
+
+let exhaustive ~build ~spec ?(limit = 200_000) ?(max_depth = 10_000) () =
+  let executions = ref 0 in
+  let replays = ref 0 in
+  let deepest = ref 0 in
+  let violations = ref 0 in
+  let first_violation = ref None in
+  let truncated = ref false in
+  (* Replay [prefix]; return (trace, runnable pids after the prefix). *)
+  let replay prefix =
+    incr replays;
+    let exec, programs = build () in
+    let outcome =
+      Sim.Exec.run exec ~programs
+        ~policy:(Sim.Schedule.Script (Array.of_list (List.rev prefix)))
+        ()
+    in
+    let runnable = ref [] in
+    Array.iteri
+      (fun pid finished -> if not finished then runnable := pid :: !runnable)
+      outcome.completed;
+    (Sim.Exec.trace exec, List.rev !runnable)
+  in
+  (* [prefix] is kept reversed for O(1) extension. *)
+  let rec walk prefix depth =
+    if !truncated then ()
+    else begin
+      deepest := max !deepest depth;
+      if depth > max_depth then invalid_arg "Explore.exhaustive: max_depth";
+      let trace, runnable = replay prefix in
+      match runnable with
+      | [] ->
+        incr executions;
+        (match Checker.check_trace spec trace with
+         | Checker.Linearizable _ -> ()
+         | Checker.Not_linearizable ->
+           incr violations;
+           if !first_violation = None then
+             first_violation := Some (Array.of_list (List.rev prefix)));
+        if !executions >= limit then truncated := true
+      | pids -> List.iter (fun pid -> walk (pid :: prefix) (depth + 1)) pids
+    end
+  in
+  walk [] 0;
+  { executions = !executions;
+    replays = !replays;
+    max_depth = !deepest;
+    violations = !violations;
+    first_violation = !first_violation;
+    truncated = !truncated }

@@ -1,0 +1,52 @@
+type op = {
+  op_id : int;
+  pid : int;
+  name : string;
+  arg : int option;
+  result : int option;
+  completed : bool;
+  inv_index : int;
+  ret_index : int;
+}
+
+let of_trace trace =
+  let table : (int, op) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  Sim.Trace.iteri
+    (fun index event ->
+      match event with
+      | Sim.Trace.Invoke { pid; op_id; name; arg } ->
+        Hashtbl.replace table op_id
+          { op_id;
+            pid;
+            name;
+            arg;
+            result = None;
+            completed = false;
+            inv_index = index;
+            ret_index = max_int };
+        order := op_id :: !order
+      | Sim.Trace.Return { op_id; result; _ } ->
+        (match Hashtbl.find_opt table op_id with
+         | None -> ()
+         | Some op ->
+           Hashtbl.replace table op_id
+             { op with result; completed = true; ret_index = index })
+      | Sim.Trace.Step _ | Sim.Trace.Note _ -> ())
+    trace;
+  List.rev_map (fun op_id -> Hashtbl.find table op_id) !order
+  |> Array.of_list
+
+let precedes a b = a.completed && a.ret_index < b.inv_index
+
+let completed_ops ops =
+  Array.of_list (List.filter (fun op -> op.completed) (Array.to_list ops))
+
+let pp_op ppf op =
+  let pp_int_opt ppf = function
+    | None -> Format.fprintf ppf "-"
+    | Some v -> Format.fprintf ppf "%d" v
+  in
+  Format.fprintf ppf "#%d p%d %s(%a) -> %a%s" op.op_id op.pid op.name
+    pp_int_opt op.arg pp_int_opt op.result
+    (if op.completed then "" else " (pending)")

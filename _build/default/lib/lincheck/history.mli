@@ -1,0 +1,28 @@
+(** Operation histories extracted from execution traces.
+
+    A history is the projection of a trace onto operation invocation and
+    response events; it is what linearizability is defined over
+    (Herlihy & Wing). Pending operations (invoked but not returned) are kept
+    and flagged. *)
+
+type op = {
+  op_id : int;
+  pid : int;
+  name : string;
+  arg : int option;
+  result : int option;
+  completed : bool;
+  inv_index : int;  (** trace position of the invocation *)
+  ret_index : int;  (** trace position of the response, [max_int] if pending *)
+}
+
+val of_trace : Sim.Trace.t -> op array
+(** Operations in invocation order. *)
+
+val precedes : op -> op -> bool
+(** Real-time precedence: [a]'s response occurs before [b]'s invocation.
+    Pending operations precede nothing. *)
+
+val completed_ops : op array -> op array
+
+val pp_op : Format.formatter -> op -> unit

@@ -1,0 +1,57 @@
+(* Assign each operation a block number: walking the trace positions in
+   order, a quiescent point is any instant where no operation is pending;
+   each maximal pending-overlap region is one block. Then rewrite each
+   op's interval to [block, block] and reuse the linearizability checker —
+   precedence collapses to block order. *)
+
+let block_assignment ops =
+  let n = Array.length ops in
+  if n = 0 then [||]
+  else begin
+    (* Events sorted by trace position: +1 at inv, -1 at ret. *)
+    let events = ref [] in
+    Array.iteri
+      (fun i (op : History.op) ->
+        events := (op.inv_index, `Inv, i) :: !events;
+        if op.completed then events := (op.ret_index, `Ret, i) :: !events)
+      ops;
+    let events =
+      List.sort
+        (fun (a, _, _) (b, _, _) -> compare a b)
+        (List.rev !events)
+    in
+    let blocks = Array.make n 0 in
+    let pending = ref 0 in
+    let block = ref 0 in
+    List.iter
+      (fun (_, kind, i) ->
+        match kind with
+        | `Inv ->
+          blocks.(i) <- !block;
+          incr pending
+        | `Ret ->
+          decr pending;
+          (* a quiescent point closes the block *)
+          if !pending = 0 then incr block)
+      events;
+    blocks
+  end
+
+let check spec ops =
+  let blocks = block_assignment ops in
+  let relaxed =
+    Array.mapi
+      (fun i (op : History.op) ->
+        { op with
+          inv_index = blocks.(i);
+          ret_index = (if op.completed then blocks.(i) else max_int) })
+      ops
+  in
+  Checker.check spec relaxed
+
+let check_trace spec trace = check spec (History.of_trace trace)
+
+let is_quiescently_consistent spec trace =
+  match check_trace spec trace with
+  | Checker.Linearizable _ -> true
+  | Checker.Not_linearizable -> false

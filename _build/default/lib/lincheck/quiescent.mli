@@ -1,0 +1,27 @@
+(** Quiescent consistency checking.
+
+    Quiescent consistency (Aspnes, Herlihy & Shavit) is the weaker cousin
+    of linearizability the relaxation literature often compares against:
+    operations separated by a {e quiescent point} (an instant with no
+    operation pending) must take effect in that order, but operations
+    between two quiescent points may be reordered arbitrarily — even
+    against real time.
+
+    Checking reduces to linearizability checking with precedence relaxed
+    to block order: we partition the history at its quiescent points and
+    re-run the {!Checker} with every operation's interval widened to its
+    block, so only cross-block order constrains the search.
+
+    Useful for classifying almost-correct objects: the buggy "lazy
+    counter" of examples/modelcheck.ml is quiescently consistent but not
+    linearizable, while a counter that loses increments outright fails
+    both. *)
+
+val check : 'state Spec.t -> History.op array -> Checker.verdict
+(** Pending operations are treated as belonging to the final block (they
+    may also be dropped, as in linearizability checking).
+    @raise Invalid_argument if the history exceeds 62 operations. *)
+
+val check_trace : 'state Spec.t -> Sim.Trace.t -> Checker.verdict
+
+val is_quiescently_consistent : 'state Spec.t -> Sim.Trace.t -> bool

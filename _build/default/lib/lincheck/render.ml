@@ -1,0 +1,65 @@
+let timeline ?(width = 100) trace =
+  let ops = History.of_trace trace in
+  if Array.length ops = 0 then "(empty history)\n"
+  else begin
+    let total = max 1 (Sim.Trace.length trace) in
+    let scale index = index * (width - 1) / total in
+    let max_pid =
+      Array.fold_left (fun acc (o : History.op) -> max acc o.pid) 0 ops
+    in
+    let rows =
+      Array.init (max_pid + 1) (fun _ -> Bytes.make (width + 1) ' ')
+    in
+    Array.iter
+      (fun (op : History.op) ->
+        let row = rows.(op.pid) in
+        let from = scale op.inv_index in
+        let till =
+          if op.completed then scale op.ret_index
+          else width  (* pending: open to the right *)
+        in
+        let till = max till (from + 1) in
+        Bytes.set row from '|';
+        for i = from + 1 to till - 1 do
+          if i <= width then Bytes.set row i '.'
+        done;
+        if op.completed && till <= width then Bytes.set row till '|';
+        (* Label inside the interval, truncated to fit. *)
+        let label =
+          op.name
+          ^ (match op.arg with
+             | Some v -> Printf.sprintf "(%d)" v
+             | None -> "")
+          ^ (match op.result with
+             | Some v -> Printf.sprintf "=%d" v
+             | None -> if op.completed then "" else "?")
+        in
+        let room = till - from - 1 in
+        let label =
+          if String.length label > room then
+            String.sub label 0 (max 0 room)
+          else label
+        in
+        String.iteri
+          (fun i c ->
+            if from + 1 + i <= width then Bytes.set row (from + 1 + i) c)
+          label)
+      ops;
+    let buf = Buffer.create ((max_pid + 1) * (width + 8)) in
+    Array.iteri
+      (fun pid row ->
+        (* Only render processes that invoked something. *)
+        if Array.exists (fun (o : History.op) -> o.pid = pid) ops then begin
+          Buffer.add_string buf (Printf.sprintf "p%-2d " pid);
+          (* Trim only the right side to keep interval alignment. *)
+          let b = Bytes.to_string row in
+          let len = ref (String.length b) in
+          while !len > 0 && b.[!len - 1] = ' ' do
+            decr len
+          done;
+          Buffer.add_string buf (String.sub b 0 !len);
+          Buffer.add_char buf '\n'
+        end)
+      rows;
+    Buffer.contents buf
+  end

@@ -1,0 +1,20 @@
+(** ASCII timeline rendering of small histories.
+
+    Turns a trace into a per-process timeline in which each operation's
+    interval (invocation to response) is drawn to scale, e.g.
+
+    {v
+    p0 |inc........|      |read=2....|
+    p1     |inc........|
+    p2 |inc...............|
+    v}
+
+    Intended for debugging checker verdicts and explorer witnesses (see
+    examples/modelcheck.ml and the CLI's [lincheck] command); keep
+    histories small or the rendering will be scaled down aggressively. *)
+
+val timeline : ?width:int -> Sim.Trace.t -> string
+(** [timeline trace] renders one line per process (default maximum [width]
+    of 100 columns; intervals are proportionally rescaled when the trace
+    is longer). Pending operations are drawn to the end of the trace with
+    an open right edge. *)

@@ -1,0 +1,68 @@
+type 'state t = {
+  label : string;
+  initial : 'state;
+  step :
+    'state -> name:string -> arg:int option -> result:int option ->
+    'state option;
+  state_key : 'state -> int;
+}
+
+let counter_with ~label ~read_ok =
+  { label;
+    initial = 0;
+    step =
+      (fun count ~name ~arg:_ ~result ->
+        match name, result with
+        | "inc", _ -> Some (count + 1)
+        | "read", Some x -> if read_ok ~count x then Some count else None
+        | "read", None -> None
+        | _ -> None);
+    state_key = Fun.id }
+
+let exact_counter =
+  counter_with ~label:"exact-counter" ~read_ok:(fun ~count x -> x = count)
+
+let k_counter ~k =
+  if k < 1 then invalid_arg "Spec.k_counter: k < 1";
+  counter_with
+    ~label:(Printf.sprintf "%d-counter" k)
+    ~read_ok:(fun ~count x -> x >= 0 && Zmath.within_k ~k ~exact:count x)
+
+let k_additive_counter ~k =
+  if k < 0 then invalid_arg "Spec.k_additive_counter: k < 0";
+  counter_with
+    ~label:(Printf.sprintf "%d-additive-counter" k)
+    ~read_ok:(fun ~count x -> x >= 0 && abs (x - count) <= k)
+
+let max_register_with ~label ~read_ok =
+  { label;
+    initial = 0;
+    step =
+      (fun best ~name ~arg ~result ->
+        match name, arg, result with
+        | "write", Some v, _ -> if v < 0 then None else Some (max best v)
+        | "write", None, _ -> None
+        | "read", _, Some x -> if read_ok ~best x then Some best else None
+        | "read", _, None -> None
+        | _ -> None);
+    state_key = Fun.id }
+
+let exact_max_register =
+  max_register_with ~label:"exact-maxreg" ~read_ok:(fun ~best x -> x = best)
+
+let k_max_register ~k =
+  if k < 1 then invalid_arg "Spec.k_max_register: k < 1";
+  max_register_with
+    ~label:(Printf.sprintf "%d-maxreg" k)
+    ~read_ok:(fun ~best x -> x >= 0 && Zmath.within_k ~k ~exact:best x)
+
+let register =
+  { label = "register";
+    initial = 0;
+    step =
+      (fun value ~name ~arg ~result ->
+        match name, arg, result with
+        | "write", Some v, _ -> Some v
+        | "read", _, Some x -> if x = value then Some value else None
+        | _ -> None);
+    state_key = Fun.id }

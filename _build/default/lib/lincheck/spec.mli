@@ -1,0 +1,46 @@
+(** Sequential specifications, including relaxed (relational) ones.
+
+    A specification maps a state and an observed operation (name, argument,
+    result) to the successor state, or rejects the observation. Exact
+    objects are functional; the k-multiplicative-accurate objects are
+    {e relations} — a read may return any value in the accuracy envelope —
+    which this interface accommodates directly.
+
+    Operation-name conventions (shared with {!Workload} and the examples):
+    counters use ["inc"] / ["read"]; max registers use ["write"] (argument
+    required) / ["read"]. *)
+
+type 'state t = {
+  label : string;
+  initial : 'state;
+  step :
+    'state -> name:string -> arg:int option -> result:int option ->
+    'state option;
+      (** [None] if the observation is illegal in this state. A pending
+          mutator is presented with [result = None]. *)
+  state_key : 'state -> int;
+      (** injective encoding of states for memoization *)
+}
+
+val exact_counter : int t
+(** ["inc"] increments; ["read"] must return the exact count. *)
+
+val k_counter : k:int -> int t
+(** ["read"] may return any [x] with [count/k <= x <= count*k]
+    (Section I definition; rational comparison). *)
+
+val k_additive_counter : k:int -> int t
+(** ["read"] may return any [x] with [|x - count| <= k] (the k-additive
+    relaxation of Aspnes et al. [8], discussed in Section I-A). *)
+
+val exact_max_register : int t
+(** ["write v"] raises the maximum; ["read"] returns it exactly. *)
+
+val k_max_register : k:int -> int t
+(** ["read"] may return any [x] with [max/k <= x <= max*k], and must
+    return 0 while nothing positive was written (the paper's reads return
+    the initial value 0 before the first write). *)
+
+val register : int t
+(** An ordinary read/write register (last-write-wins); used to self-test
+    the checker on a classic object. *)

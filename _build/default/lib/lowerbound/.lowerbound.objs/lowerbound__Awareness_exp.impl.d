@@ -1,0 +1,1 @@
+lib/lowerbound/awareness_exp.ml: Array Float Sim Workload

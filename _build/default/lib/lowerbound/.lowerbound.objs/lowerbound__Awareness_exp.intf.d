@@ -1,0 +1,1 @@
+lib/lowerbound/awareness_exp.mli: Obj_intf Sim

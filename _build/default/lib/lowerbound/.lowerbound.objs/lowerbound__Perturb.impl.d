@@ -1,0 +1,1 @@
+lib/lowerbound/perturb.ml: Array Fun List Obj_intf Sim Zmath

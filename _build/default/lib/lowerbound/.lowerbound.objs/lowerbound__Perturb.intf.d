@@ -1,0 +1,1 @@
+lib/lowerbound/perturb.mli: Obj_intf Sim

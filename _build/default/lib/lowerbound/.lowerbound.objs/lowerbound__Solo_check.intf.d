@@ -1,0 +1,1 @@
+lib/lowerbound/solo_check.mli: Sim

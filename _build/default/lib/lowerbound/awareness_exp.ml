@@ -1,0 +1,36 @@
+type result = {
+  n : int;
+  k : int;
+  total_events : int;
+  awareness_sizes : int array;
+  top_half_min : int;
+  events_bound : float;
+  awareness_bound : float;
+}
+
+let run ~make ~n ~k ~policy =
+  let exec = Sim.Exec.create ~track_awareness:true ~n () in
+  let counter = make exec ~n in
+  let script = Workload.Script.inc_then_read ~n in
+  let programs = Workload.Script.counter_programs counter script in
+  let outcome = Sim.Exec.run exec ~programs ~policy () in
+  let aware =
+    match Sim.Exec.awareness exec with
+    | Some aw -> aw
+    | None -> assert false
+  in
+  let sizes = Sim.Awareness.sizes aware in
+  let sorted = Array.copy sizes in
+  Array.sort (fun a b -> compare b a) sorted;
+  (* the floor(n/2)-th largest awareness-set size *)
+  let top_half_min = sorted.(max 0 ((n / 2) - 1)) in
+  let ratio = float_of_int n /. float_of_int (k * k) in
+  { n;
+    k;
+    total_events = outcome.steps_total;
+    awareness_sizes = sizes;
+    top_half_min;
+    events_bound =
+      (if ratio > 1.0 then float_of_int n *. (Float.log ratio /. Float.log 2.0)
+       else 0.0);
+    awareness_bound = ratio /. 2.0 }

@@ -1,0 +1,37 @@
+(** The awareness-set experiment behind the amortized lower bound
+    (Section III-D).
+
+    Runs the canonical workload of Theorem III.11 — every process performs
+    one [CounterIncrement] followed by one [CounterRead] — with the
+    simulator's awareness instrumentation enabled, and reports:
+
+    - the total number of events (steps), which Theorem III.11 bounds below
+      by [Omega(n log_{q+1}(n/k^2))] for solo-terminating implementations
+      from read/write/conditional primitives;
+    - the awareness-set sizes, which Corollary III.10.1 says must reach
+      [n/(2k^2)] for at least [n/2] processes.
+
+    The experiment {e validates} the lower bound's premises on concrete
+    implementations (any correct k-multiplicative counter must satisfy
+    both), and exhibits how far above the bound each implementation sits. *)
+
+type result = {
+  n : int;
+  k : int;
+  total_events : int;  (** all steps of the execution *)
+  awareness_sizes : int array;  (** per process, unsorted *)
+  top_half_min : int;
+      (** the [n/2]-th largest awareness-set size: Corollary III.10.1
+          asserts [top_half_min >= n/(2k^2)] *)
+  events_bound : float;  (** the Theorem III.11 quantity [n * log2(n/k^2)] *)
+  awareness_bound : float;  (** the Corollary III.10.1 quantity [n/(2k^2)] *)
+}
+
+val run :
+  make:(Sim.Exec.t -> n:int -> Obj_intf.counter) ->
+  n:int ->
+  k:int ->
+  policy:Sim.Schedule.t ->
+  result
+(** Build the counter in a fresh awareness-tracking execution, run the
+    inc-then-read workload under [policy], and measure. *)

@@ -1,0 +1,140 @@
+type round = {
+  index : int;
+  input : int;
+  response : int;
+  distinct_objects : int;
+  read_steps : int;
+}
+
+(* Lemma V.1's value schedule: v_1 = 1, v_{r+1} = k^2 v_r + 1, capped at
+   m - 1 (and at int overflow). *)
+let maxreg_values ~m ~k =
+  let rec go acc v =
+    match Zmath.mul_opt (k * k) v with
+    | Some v' when v' + 1 <= m - 1 -> go ((v' + 1) :: acc) (v' + 1)
+    | Some _ | None -> List.rev acc
+  in
+  if m < 2 then [] else go [ 1 ] 1
+
+(* Lemma V.3's batch schedule: I_1 = 1, I_r = (k^2 - 1) sum_{j<r} I_j + r,
+   while the running total stays <= m. *)
+let counter_batches ~m ~k =
+  let rec go acc total r =
+    let batch = ((k * k) - 1) * total + r in
+    if batch <= 0 || total + batch > m then List.rev acc
+    else go (batch :: acc) (total + batch) (r + 1)
+  in
+  if m < 1 then [] else go [ 1 ] 1 2
+
+let rounds_bound_maxreg ~m ~k = List.length (maxreg_values ~m ~k)
+let rounds_bound_counter ~m ~k = List.length (counter_batches ~m ~k)
+
+(* Run one replay: every writer performs its job solo in pid order, then
+   the reader (process n-1) performs one solo operation whose metrics are
+   returned. *)
+let replay ~n ~build ~reader_op =
+  let exec = Sim.Exec.create ~n () in
+  let obj, job = build exec in
+  let programs =
+    Array.init n (fun pid -> if pid = n - 1 then reader_op obj else job)
+  in
+  let policy =
+    Sim.Schedule.Seq (List.init n (fun pid -> Sim.Schedule.Solo pid))
+  in
+  let outcome = Sim.Exec.run exec ~programs ~policy () in
+  assert (Array.for_all Fun.id outcome.completed);
+  let trace = Sim.Exec.trace exec in
+  let read_record =
+    Array.to_list (Sim.Metrics.ops trace)
+    |> List.filter (fun r -> r.Sim.Metrics.name = "read")
+    |> function
+    | [ r ] -> r
+    | _ -> invalid_arg "Perturb.replay: expected exactly one read"
+  in
+  read_record
+
+let perturb_maxreg ~make ~m ~k =
+  if k < 2 then invalid_arg "Perturb.perturb_maxreg: k < 2";
+  let values = maxreg_values ~m ~k in
+  let total_rounds = List.length values in
+  let n = total_rounds + 1 in
+  let prev_response = ref (-1) in
+  List.mapi
+    (fun i v_r ->
+      let r = i + 1 in
+      let this_round_values =
+        List.filteri (fun j _ -> j < r) values
+      in
+      let build exec =
+        let mr = make exec ~n in
+        let job pid =
+          if pid < r then
+            let v = List.nth this_round_values pid in
+            Sim.Api.op_unit ~name:"write" ~arg:v (fun () ->
+                mr.Obj_intf.mr_write ~pid v)
+        in
+        (mr, job)
+      in
+      let reader_op mr pid =
+        ignore
+          (Sim.Api.op_int ~name:"read" (fun () -> mr.Obj_intf.mr_read ~pid))
+      in
+      let record = replay ~n ~build ~reader_op in
+      let response =
+        match record.Sim.Metrics.result with
+        | Some x -> x
+        | None -> invalid_arg "Perturb: read returned no value"
+      in
+      (* Each round genuinely perturbs the reader (see interface). *)
+      assert (response > !prev_response);
+      prev_response := response;
+      { index = r;
+        input = v_r;
+        response;
+        distinct_objects = record.Sim.Metrics.distinct_objects;
+        read_steps = record.Sim.Metrics.steps })
+    values
+
+let perturb_counter ~make ~m ~k =
+  if k < 2 then invalid_arg "Perturb.perturb_counter: k < 2";
+  let batches = counter_batches ~m ~k in
+  let total_rounds = List.length batches in
+  let n = total_rounds + 1 in
+  List.mapi
+    (fun i batch_r ->
+      let r = i + 1 in
+      let this_round = List.filteri (fun j _ -> j < r) batches in
+      let sum_before = List.fold_left ( + ) 0 this_round - batch_r in
+      let build exec =
+        let counter = make exec ~n in
+        let job pid =
+          if pid < r then begin
+            let batch = List.nth this_round pid in
+            for _ = 1 to batch do
+              Sim.Api.op_unit ~name:"inc" (fun () ->
+                  counter.Obj_intf.c_inc ~pid)
+            done
+          end
+        in
+        (counter, job)
+      in
+      let reader_op counter pid =
+        ignore
+          (Sim.Api.op_int ~name:"read" (fun () ->
+               counter.Obj_intf.c_read ~pid))
+      in
+      let record = replay ~n ~build ~reader_op in
+      let response =
+        match record.Sim.Metrics.result with
+        | Some x -> x
+        | None -> invalid_arg "Perturb: read returned no value"
+      in
+      (* The response must exceed k * (increments before this round):
+         that is what makes round r a perturbation (Lemma V.3). *)
+      assert (response > k * sum_before || sum_before = 0);
+      { index = r;
+        input = batch_r;
+        response;
+        distinct_objects = record.Sim.Metrics.distinct_objects;
+        read_steps = record.Sim.Metrics.steps })
+    batches

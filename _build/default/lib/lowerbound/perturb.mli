@@ -1,0 +1,69 @@
+(** Constructive perturbation experiments for the worst-case lower bounds of
+    Section V (Lemmas V.1 and V.3, Theorems V.2 and V.4).
+
+    The L-perturbable argument of [5] builds executions
+    [alpha_r lambda_r] in which a reader's solo run is perturbed [r] times;
+    [5, Theorem 1] then yields that some operation accesses
+    [Omega(min(log2 L, n))] distinct base objects.
+
+    This module realises the perturbing {e write schedules} of the paper's
+    lemmas against concrete implementations and measures both sides:
+
+    - the number of perturbation rounds [L] achieved before the bound [m]
+      is exhausted — Lemma V.1 predicts [Theta(log_k m)] for max registers,
+      Lemma V.3 the same for counters (via the increment batches
+      [I_r = (k^2 - 1) * sum I_j + r]);
+    - the number of distinct base objects the reader's solo operation
+      accesses after round [r], which must be at least [log2 r] for any
+      obstruction-free implementation from historyless primitives.
+
+    Simplification relative to [5, Definition 2] (documented in DESIGN.md):
+    each round's perturbing operations run to completion instead of being
+    held as pending events in [lambda]. For the implementations in this
+    repository a completed write/batch provably changes the reader's solo
+    response (the paper's choice [v_r = k^2 v_{r-1} + 1] forces
+    [new response >= v_r / k > k * v_{r-1} >= old response]), so every
+    round is a genuine perturbation; the pending-event machinery of [5] is
+    only needed for implementations that delay visibility, which
+    obstruction-freedom cannot rely on. *)
+
+type round = {
+  index : int;  (** 1-based perturbation round *)
+  input : int;
+      (** the value written ([v_r], max register) or the batch size
+          ([I_r], counter) in this round *)
+  response : int;  (** the reader's solo response after the round *)
+  distinct_objects : int;
+      (** distinct base objects accessed by the reader's solo operation *)
+  read_steps : int;  (** steps of the reader's solo operation *)
+}
+
+val perturb_maxreg :
+  make:(Sim.Exec.t -> n:int -> Obj_intf.max_register) ->
+  m:int ->
+  k:int ->
+  round list
+(** Lemma V.1's schedule: round [r] writes [v_r = k^2 * v_{r-1} + 1]
+    (with [v_0 = 0]) while [v_r <= m - 1]. Each round is replayed from
+    scratch: writers perform their writes one after another, then the
+    reader runs a solo read. Every round's response strictly exceeds the
+    previous one (verified by an assertion). *)
+
+val perturb_counter :
+  make:(Sim.Exec.t -> n:int -> Obj_intf.counter) ->
+  m:int ->
+  k:int ->
+  round list
+(** Lemma V.3's schedule: round [r] performs
+    [I_r = (k^2 - 1) * sum_{j<r} I_j + r] increments (with [I_1 = 1])
+    while the running total stays [<= m]. The reader's solo read after
+    round [r] must exceed [k * sum_{j<r} I_j] (verified by an
+    assertion). *)
+
+val rounds_bound_maxreg : m:int -> k:int -> int
+(** The analytic round count of Lemma V.1: the largest [r] with
+    [v_r <= m - 1]. *)
+
+val rounds_bound_counter : m:int -> k:int -> int
+(** The analytic round count of Lemma V.3: the largest [r] with
+    [sum_{j<=r} I_j <= m]. *)

@@ -1,0 +1,21 @@
+type outcome =
+  | Terminated
+  | Exhausted of int
+
+let run ~make ~n ~prefix_seed ~prefix_len ~solo_pid ~budget =
+  let exec = Sim.Exec.create ~n () in
+  let programs = make exec ~n in
+  let rng = Workload.Rng.create ~seed:prefix_seed in
+  let prefix = Array.init prefix_len (fun _ -> Workload.Rng.int rng n) in
+  (* The prefix consumes at most [prefix_len] steps (one per scheduling
+     turn); everything beyond that is the solo phase. Wait-freedom implies
+     the solo process finishes its whole remaining program within a bound
+     depending only on its program, so [budget] solo steps must suffice. *)
+  let outcome =
+    Sim.Exec.run exec ~programs
+      ~policy:(Sim.Schedule.Seq
+                 [ Sim.Schedule.Script prefix; Sim.Schedule.Solo solo_pid ])
+      ~max_steps:(prefix_len + budget) ()
+  in
+  if outcome.completed.(solo_pid) then Terminated
+  else Exhausted outcome.steps_total

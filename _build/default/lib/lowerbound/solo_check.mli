@@ -1,0 +1,34 @@
+(** Solo-termination (obstruction-freedom) checker.
+
+    The paper's lower bounds assume solo-terminating implementations: a
+    process finishes its operation if it runs alone for long enough
+    (Section II). This harness checks the property experimentally: drive a
+    random prefix of an execution, then freeze every process except one and
+    require that process to complete a pending operation (or its whole
+    program) within a step budget.
+
+    All objects in this repository are wait-free, so they must pass for
+    every prefix; the harness exists to property-test that claim (and to
+    catch liveness regressions such as unbounded retry loops). *)
+
+type outcome =
+  | Terminated  (** the solo process finished its whole remaining program *)
+  | Exhausted of int
+      (** total steps taken when the budget ran out with the solo process
+          still pending *)
+
+val run :
+  make:(Sim.Exec.t -> n:int -> (int -> unit) array) ->
+  n:int ->
+  prefix_seed:int ->
+  prefix_len:int ->
+  solo_pid:int ->
+  budget:int ->
+  outcome
+(** [run ~make ~n ~prefix_seed ~prefix_len ~solo_pid ~budget] builds a
+    fresh execution with [make], drives it at most [prefix_len] scheduling
+    turns under a seeded random schedule (one step per turn at most), then
+    runs [solo_pid] alone. [Terminated] iff [solo_pid] finished its whole
+    remaining program within [budget] further steps — a consequence of
+    wait-freedom when the per-process program is a bounded operation
+    list. *)

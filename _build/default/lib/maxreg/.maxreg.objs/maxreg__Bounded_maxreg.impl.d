@@ -1,0 +1,1 @@
+lib/maxreg/bounded_maxreg.ml: Linear_maxreg Obj_intf Tree_maxreg Zmath

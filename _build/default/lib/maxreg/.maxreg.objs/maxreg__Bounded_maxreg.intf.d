@@ -1,0 +1,1 @@
+lib/maxreg/bounded_maxreg.mli: Obj_intf Sim

@@ -1,0 +1,1 @@
+lib/maxreg/linear_maxreg.ml: Array Obj_intf Prims

@@ -1,0 +1,1 @@
+lib/maxreg/linear_maxreg.mli: Obj_intf Sim

@@ -1,0 +1,1 @@
+lib/maxreg/tree_maxreg.ml: Obj_intf Sim

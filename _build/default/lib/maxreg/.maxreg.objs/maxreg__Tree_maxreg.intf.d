@@ -1,0 +1,1 @@
+lib/maxreg/tree_maxreg.mli: Obj_intf Sim

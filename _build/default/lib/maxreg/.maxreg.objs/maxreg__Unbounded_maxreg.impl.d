@@ -1,0 +1,1 @@
+lib/maxreg/unbounded_maxreg.ml: Array Obj_intf Printf Tree_maxreg Zmath

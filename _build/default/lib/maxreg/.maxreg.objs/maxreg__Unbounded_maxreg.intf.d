@@ -1,0 +1,1 @@
+lib/maxreg/unbounded_maxreg.mli: Obj_intf Sim

@@ -1,0 +1,30 @@
+(* Snapshot-based: a single collect is NOT linearizable for maxima (unlike
+   monotone sums, the maximum can jump past the value a collect assembles:
+   read c0=0; W(9) to c0 completes; W(7) to c1 completes; read c1=7 ->
+   returning 7 has no valid linearization point). The read must be an
+   atomic scan. Our linearizability checker caught this on a random
+   schedule; see test_maxreg.ml. *)
+
+type t = {
+  snap : Prims.Snapshot.t;
+  (* Local mirror of each process's own component (single-writer). *)
+  own : int array;
+}
+
+let create exec ?(name = "maxreg") ~n () =
+  { snap = Prims.Snapshot.create exec ~name ~n (); own = Array.make n 0 }
+
+let write t ~pid v =
+  if v < 0 then invalid_arg "Linear_maxreg.write: negative value";
+  if v > t.own.(pid) then begin
+    t.own.(pid) <- v;
+    Prims.Snapshot.update t.snap ~pid v
+  end
+
+let read t ~pid =
+  Array.fold_left max 0 (Prims.Snapshot.scan t.snap ~pid)
+
+let handle t =
+  { Obj_intf.mr_label = "linear-maxreg";
+    mr_write = (fun ~pid v -> write t ~pid v);
+    mr_read = (fun ~pid -> read t ~pid) }

@@ -1,0 +1,34 @@
+(** Snapshot-based exact unbounded max register — the [O(poly n)] branch of
+    the [O(min(log m, n))] construction.
+
+    Process [p] keeps the maximum of its own writes in its snapshot
+    component; a read takes an atomic scan and returns the component-wise
+    maximum. The scan {e must} be atomic: a plain collect is not
+    linearizable for maxima, because the true maximum can jump {e past} the
+    value a collect assembles (it does not pass through intermediate values
+    the way a sum of increments does). This repository's first version used
+    a collect and was caught by the linearizability checker — kept here as
+    a cautionary tale (see the module implementation's header comment and
+    [test/test_maxreg.ml]).
+
+    Step complexity with the classic Afek et al. snapshot: [O(n^2)] per
+    operation ([Write] is 1 step while the value does not increase the
+    caller's component). The paper's [O(n)] figure assumes a linear-time
+    snapshot (e.g. Inoue et al.), which we do not reproduce; only the
+    [m > 2^n] regime of {!Bounded_maxreg} is affected, where the tree
+    branch is unavailable anyway (see DESIGN.md substitutions). *)
+
+type t
+
+val create : Sim.Exec.t -> ?name:string -> n:int -> unit -> t
+(** Build phase only. Initial value 0. *)
+
+val write : t -> pid:int -> int -> unit
+(** In-fiber; [O(n^2)] steps (0 steps when the value does not exceed the
+    caller's previous writes). *)
+
+val read : t -> pid:int -> int
+(** In-fiber; [O(n^2)] steps. *)
+
+val handle : t -> Obj_intf.max_register
+(** Generic handle for experiments. *)

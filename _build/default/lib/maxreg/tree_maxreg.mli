@@ -1,0 +1,33 @@
+(** The Aspnes–Attiya–Censor-Hillel m-bounded exact max register
+    ("Polylogarithmic concurrent data structures from monotone circuits",
+    JACM 2012) — reference [8] of the paper.
+
+    A balanced binary tree over the value range [0 .. m-1]. Each internal
+    node carries a one-bit switch: 0 routes to the left (low) half, 1 to the
+    right (high) half. [Write(v)] descends towards [v]'s leaf, writing the
+    switches on the high-going edges bottom-up; [Read] follows switches
+    downward. Both take [O(log2 m)] steps — the exponential improvement over
+    the [Omega(n)] bound of Jayanti, Tan and Toueg that Algorithm 2 builds
+    on.
+
+    Nodes are materialised lazily so huge bounds (e.g. [m = 2^48] in
+    experiment E4) only allocate the cells an execution touches; laziness is
+    local computation and costs no steps. *)
+
+type t
+
+val create : Sim.Exec.t -> ?name:string -> m:int -> unit -> t
+(** An m-bounded max register holding values [0 .. m-1], initially 0.
+    Build phase only. @raise Invalid_argument if [m < 1]. *)
+
+val write : t -> pid:int -> int -> unit
+(** In-fiber; [O(log2 m)] steps.
+    @raise Invalid_argument if the value is outside [0 .. m-1]. *)
+
+val read : t -> pid:int -> int
+(** In-fiber; [O(log2 m)] steps. *)
+
+val bound : t -> int
+
+val handle : t -> Obj_intf.max_register
+(** Generic handle for experiments. *)

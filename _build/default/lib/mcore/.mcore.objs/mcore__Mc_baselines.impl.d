@@ -1,0 +1,1 @@
+lib/mcore/mc_baselines.ml: Array Atomic Mutex

@@ -1,0 +1,1 @@
+lib/mcore/mc_kcounter.ml: Array Atomic Zmath

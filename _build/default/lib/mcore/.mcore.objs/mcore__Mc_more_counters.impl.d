@@ -1,0 +1,1 @@
+lib/mcore/mc_more_counters.ml: Array Atomic Zmath

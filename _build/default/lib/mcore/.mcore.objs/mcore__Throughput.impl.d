@@ -1,0 +1,1 @@
+lib/mcore/throughput.ml: Array Atomic Domain Float Unix

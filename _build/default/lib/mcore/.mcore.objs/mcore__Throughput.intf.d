@@ -1,0 +1,1 @@
+lib/mcore/throughput.mli:

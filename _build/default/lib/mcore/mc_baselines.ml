@@ -1,0 +1,44 @@
+module Faa_counter = struct
+  type t = int Atomic.t
+
+  let create () = Atomic.make 0
+  let increment t = ignore (Atomic.fetch_and_add t 1)
+  let read t = Atomic.get t
+end
+
+module Collect_counter = struct
+  type t = int Atomic.t array
+
+  let create ~n = Array.init n (fun _ -> Atomic.make 0)
+  let increment t ~pid = Atomic.incr t.(pid)
+  let read t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t
+end
+
+module Lock_counter = struct
+  type t = { mutex : Mutex.t; mutable count : int }
+
+  let create () = { mutex = Mutex.create (); count = 0 }
+
+  let increment t =
+    Mutex.lock t.mutex;
+    t.count <- t.count + 1;
+    Mutex.unlock t.mutex
+
+  let read t =
+    Mutex.lock t.mutex;
+    let v = t.count in
+    Mutex.unlock t.mutex;
+    v
+end
+
+module Cas_maxreg = struct
+  type t = int Atomic.t
+
+  let create () = Atomic.make 0
+
+  let rec write t v =
+    let cur = Atomic.get t in
+    if v > cur && not (Atomic.compare_and_set t cur v) then write t v
+
+  let read t = Atomic.get t
+end

@@ -1,0 +1,117 @@
+type local = {
+  mutable lcounter : int;
+  mutable limit_exp : int;
+  mutable limit : int;
+  mutable sn : int;
+  mutable l0 : int;
+  mutable last : int;
+  mutable p : int;
+  mutable q : int;
+}
+
+type t = {
+  n : int;
+  k : int;
+  switches : int Atomic.t array;
+  h : (int * int) Atomic.t array;
+  locals : local array;
+}
+
+let create ?(switch_capacity = 4096) ~n ~k () =
+  if n < 1 then invalid_arg "Mc_kcounter.create: n < 1";
+  if k < 2 then invalid_arg "Mc_kcounter.create: k < 2";
+  { n;
+    k;
+    switches = Array.init switch_capacity (fun _ -> Atomic.make 0);
+    h = Array.init n (fun _ -> Atomic.make (0, 0));
+    locals =
+      Array.init n (fun _ ->
+          { lcounter = 0;
+            limit_exp = 0;
+            limit = 1;
+            sn = 0;
+            l0 = 1;
+            last = 0;
+            p = 0;
+            q = 0 }) }
+
+let k t = t.k
+let n t = t.n
+
+let test_and_set t j =
+  if j >= Array.length t.switches then
+    invalid_arg "Mc_kcounter: switch capacity exhausted";
+  if Atomic.compare_and_set t.switches.(j) 0 1 then 0 else 1
+
+let increment t ~pid =
+  let s = t.locals.(pid) in
+  s.lcounter <- s.lcounter + 1;
+  if s.lcounter = s.limit then begin
+    let j = s.limit_exp in
+    if j > 0 then begin
+      let exhausted = ref true in
+      let l = ref (((j - 1) * t.k) + s.l0) in
+      while !exhausted && !l <= j * t.k do
+        if test_and_set t !l = 0 then begin
+          s.sn <- s.sn + 1;
+          Atomic.set t.h.(pid) (!l, s.sn);
+          s.lcounter <- 0;
+          s.l0 <- 1 + (!l mod t.k);
+          if !l = j * t.k then begin
+            s.limit_exp <- s.limit_exp + 1;
+            s.limit <- t.k * s.limit
+          end;
+          exhausted := false
+        end
+        else incr l
+      done;
+      if !exhausted then begin
+        s.l0 <- 1;
+        s.limit_exp <- s.limit_exp + 1;
+        s.limit <- t.k * s.limit
+      end
+    end
+    else begin
+      if test_and_set t 0 = 0 then s.lcounter <- 0;
+      s.limit_exp <- s.limit_exp + 1;
+      s.limit <- t.k * s.limit
+    end
+  end
+
+let return_value t ~p ~q =
+  t.k
+  * (1
+     + Zmath.geometric_sum ~base:t.k ~lo:2 ~hi:(q + 1)
+     + (p * Zmath.pow t.k (q + 1)))
+
+exception Helped of int
+
+let read t ~pid =
+  let s = t.locals.(pid) in
+  let c = ref 0 in
+  let help = Array.make t.n 0 in
+  try
+    while Atomic.get t.switches.(s.last) <> 0 do
+      s.p <- s.last mod t.k;
+      s.q <- s.last / t.k;
+      if s.last mod t.k = 0 then s.last <- s.last + 1
+      else s.last <- s.last + t.k - 1;
+      incr c;
+      if !c mod t.n = 0 then
+        if !c = t.n then
+          for j = 0 to t.n - 1 do
+            let _, sn = Atomic.get t.h.(j) in
+            help.(j) <- sn
+          done
+        else
+          for j = 0 to t.n - 1 do
+            let v, sn = Atomic.get t.h.(j) in
+            if sn - help.(j) >= 2 then
+              raise (Helped (return_value t ~p:(v mod t.k) ~q:(v / t.k)))
+          done
+    done;
+    if s.last = 0 then 0 else return_value t ~p:s.p ~q:s.q
+  with Helped v -> v
+
+let switches_set t =
+  Array.fold_left (fun acc sw -> acc + Atomic.get sw) 0 t.switches

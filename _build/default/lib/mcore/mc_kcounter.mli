@@ -1,0 +1,27 @@
+(** Algorithm 1 on real hardware: the k-multiplicative-accurate counter
+    over OCaml 5 [Atomic] cells, runnable across domains.
+
+    Mirrors {!Approx.Kcounter} exactly (switch probing, helping array,
+    persistent locals) with test&set realised as
+    [Atomic.compare_and_set switch 0 1]. Each participating domain must own
+    a distinct pid in [0 .. n-1]; per-pid local state is unsynchronised by
+    design (the algorithm's locals are process-private).
+
+    The switch sequence is pre-allocated: index [j] is only reached after
+    roughly [k^(j/k)] increments, so the default capacity of 4096 can never
+    be exhausted in practice (reaching switch 200 with [k = 2] already
+    requires over [2^100] increments). *)
+
+type t
+
+val create : ?switch_capacity:int -> n:int -> k:int -> unit -> t
+(** @raise Invalid_argument if [k < 2] or [n < 1]. *)
+
+val increment : t -> pid:int -> unit
+val read : t -> pid:int -> int
+
+val k : t -> int
+val n : t -> int
+
+val switches_set : t -> int
+(** Number of switches currently set (diagnostic; racy by nature). *)

@@ -1,0 +1,55 @@
+(* The inner exact bounded max register: an AACH switch tree over values
+   0 .. b-1 stored as a recursive record tree of atomic bits (b is tiny:
+   log_k m + 2). *)
+type node =
+  | Trivial
+  | Split of { half : int; switch : int Atomic.t; left : node; right : node }
+
+let rec make_node m =
+  if m = 1 then Trivial
+  else begin
+    let half = (m + 1) / 2 in
+    Split
+      { half;
+        switch = Atomic.make 0;
+        left = make_node half;
+        right = make_node (m - half) }
+  end
+
+let rec write_node node v =
+  match node with
+  | Trivial -> ()
+  | Split { half; switch; left; right } ->
+    if v < half then begin
+      if Atomic.get switch = 0 then write_node left v
+    end
+    else begin
+      write_node right (v - half);
+      Atomic.set switch 1
+    end
+
+let rec read_node node =
+  match node with
+  | Trivial -> 0
+  | Split { half; switch; left; right } ->
+    if Atomic.get switch = 1 then half + read_node right else read_node left
+
+type t = { m : int; k : int; root : node }
+
+let create ~m ~k () =
+  if k < 2 then invalid_arg "Mc_kmaxreg.create: k < 2";
+  if m < 2 then invalid_arg "Mc_kmaxreg.create: m < 2";
+  let inner_bound = Zmath.floor_log ~base:k (m - 1) + 2 in
+  { m; k; root = make_node inner_bound }
+
+let write t v =
+  if v < 0 || v >= t.m then invalid_arg "Mc_kmaxreg.write: value out of range";
+  if v > 0 then write_node t.root (Zmath.floor_log ~base:t.k v + 1)
+
+let read t =
+  match read_node t.root with
+  | 0 -> 0
+  | p -> Zmath.pow t.k p
+
+let bound t = t.m
+let k t = t.k

@@ -1,0 +1,20 @@
+(** Algorithm 2 on real hardware: the k-multiplicative-accurate m-bounded
+    max register over [Atomic] cells.
+
+    The exact inner max register is the AACH switch tree over the index
+    range [0 .. floor(log_k (m-1)) + 1], laid out as a heap of atomic bits;
+    [write]/[read] cost [O(log2 log_k m)] shared accesses. *)
+
+type t
+
+val create : m:int -> k:int -> unit -> t
+(** @raise Invalid_argument if [k < 2] or [m < 2]. *)
+
+val write : t -> int -> unit
+(** @raise Invalid_argument if the value is outside [0 .. m-1]. *)
+
+val read : t -> int
+(** Returns 0 or a power of [k]. *)
+
+val bound : t -> int
+val k : t -> int

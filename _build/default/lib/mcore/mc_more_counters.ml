@@ -1,0 +1,69 @@
+module Kadditive = struct
+  type t = {
+    cells : int Atomic.t array;
+    threshold : int;
+    pending : int array;  (* domain-local; one slot per pid *)
+  }
+
+  let create ~n ~k () =
+    if n < 1 then invalid_arg "Mc_more_counters.Kadditive: n < 1";
+    if k < 0 then invalid_arg "Mc_more_counters.Kadditive: k < 0";
+    { cells = Array.init n (fun _ -> Atomic.make 0);
+      threshold = (k / (n + 1)) + 1;
+      pending = Array.make n 0 }
+
+  let increment t ~pid =
+    t.pending.(pid) <- t.pending.(pid) + 1;
+    if t.pending.(pid) = t.threshold then begin
+      (* The cell is single-writer: a plain read-add-set is safe. *)
+      Atomic.set t.cells.(pid) (Atomic.get t.cells.(pid) + t.pending.(pid));
+      t.pending.(pid) <- 0
+    end
+
+  let read t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.cells
+
+  let flush_threshold t = t.threshold
+end
+
+module Tree_counter = struct
+  type t = {
+    n : int;
+    size : int;  (* leaf slots, power of two; heap layout *)
+    leaves : int Atomic.t array;
+    nodes : int Atomic.t array;  (* 1-based heap of subtree-sum maxima *)
+  }
+
+  let create ~n () =
+    if n < 1 then invalid_arg "Mc_more_counters.Tree_counter: n < 1";
+    let size = Zmath.pow 2 (Zmath.ceil_log2 (max 2 n)) in
+    { n;
+      size;
+      leaves = Array.init n (fun _ -> Atomic.make 0);
+      nodes = Array.init size (fun _ -> Atomic.make 0) }
+
+  let child_value t i =
+    if i >= t.size then
+      (* leaf slot *)
+      let leaf = i - t.size in
+      if leaf < t.n then Atomic.get t.leaves.(leaf) else 0
+    else Atomic.get t.nodes.(i)
+
+  (* Lock-free write-max: retire when the node already holds >= sum. *)
+  let rec write_max cell sum =
+    let cur = Atomic.get cell in
+    if sum > cur && not (Atomic.compare_and_set cell cur sum) then
+      write_max cell sum
+
+  let increment t ~pid =
+    Atomic.set t.leaves.(pid) (Atomic.get t.leaves.(pid) + 1);
+    let rec up i =
+      if i >= 1 then begin
+        let sum = child_value t (2 * i) + child_value t ((2 * i) + 1) in
+        write_max t.nodes.(i) sum;
+        up (i / 2)
+      end
+    in
+    up ((t.size + pid) / 2)
+
+  let read t = Atomic.get t.nodes.(1)
+end

@@ -1,0 +1,31 @@
+type result = {
+  domains : int;
+  total_ops : int;
+  elapsed_s : float;
+  ops_per_sec : float;
+}
+
+let run ~domains ~ops_per_domain ~worker =
+  if domains < 1 then invalid_arg "Throughput.run: domains < 1";
+  let start = Atomic.make false in
+  let spawn pid =
+    Domain.spawn (fun () ->
+        while not (Atomic.get start) do
+          Domain.cpu_relax ()
+        done;
+        for op_index = 0 to ops_per_domain - 1 do
+          worker ~pid ~op_index
+        done)
+  in
+  let workers = Array.init domains spawn in
+  let t0 = Unix.gettimeofday () in
+  Atomic.set start true;
+  Array.iter Domain.join workers;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let total_ops = domains * ops_per_domain in
+  { domains;
+    total_ops;
+    elapsed_s;
+    ops_per_sec =
+      (if elapsed_s > 0.0 then float_of_int total_ops /. elapsed_s
+       else Float.infinity) }

@@ -1,0 +1,21 @@
+(** Domain-based throughput harness for experiment E8.
+
+    Spawns [domains] worker domains, releases them simultaneously through a
+    start barrier, lets each perform [ops_per_domain] operations, and
+    reports aggregate throughput in operations per second (wall clock). *)
+
+type result = {
+  domains : int;
+  total_ops : int;
+  elapsed_s : float;
+  ops_per_sec : float;
+}
+
+val run :
+  domains:int ->
+  ops_per_domain:int ->
+  worker:(pid:int -> op_index:int -> unit) ->
+  result
+(** [worker] is called [ops_per_domain] times on each domain with that
+    domain's pid in [0 .. domains-1]; it must be safe to run in parallel
+    with itself under distinct pids. *)

@@ -1,0 +1,1 @@
+lib/prims/collect.ml: Array Sim

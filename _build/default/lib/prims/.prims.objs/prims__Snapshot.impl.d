@@ -1,0 +1,1 @@
+lib/prims/snapshot.ml: Array Sim

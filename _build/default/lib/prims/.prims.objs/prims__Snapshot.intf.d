@@ -1,0 +1,1 @@
+lib/prims/snapshot.mli: Sim

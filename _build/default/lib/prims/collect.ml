@@ -1,0 +1,17 @@
+type t = { cells : Sim.Memory.obj_id array }
+
+let create exec ?(name = "collect") ~n () =
+  { cells =
+      Sim.Memory.alloc_many (Sim.Exec.memory exec) ~name n (Sim.Memory.V_int 0)
+  }
+
+let update t ~pid v = Sim.Api.write t.cells.(pid) v
+
+let read_own t ~pid = Sim.Api.read t.cells.(pid)
+
+let collect t = Array.map (fun cell -> Sim.Api.read cell) t.cells
+
+let collect_fold t ~init ~f =
+  Array.fold_left (fun acc cell -> f acc (Sim.Api.read cell)) init t.cells
+
+let n t = Array.length t.cells

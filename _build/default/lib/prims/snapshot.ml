@@ -1,0 +1,62 @@
+(* Each cell holds [V_vec [| seq; data; view_0; ...; view_{n-1} |]]: a
+   sequence number, the component's current value and the view embedded by
+   the writing update. *)
+
+type t = {
+  n : int;
+  cells : Sim.Memory.obj_id array;
+  (* Local mirror of each process's own sequence number; sound because the
+     cell is single-writer. Local state costs no steps. *)
+  seqs : int array;
+}
+
+let create exec ?(name = "snap") ~n () =
+  let initial = Sim.Memory.V_vec (Array.make (n + 2) 0) in
+  { n;
+    cells =
+      Sim.Memory.alloc_many (Sim.Exec.memory exec) ~name n initial;
+    seqs = Array.make n 0 }
+
+let n t = t.n
+
+let seq_of cell = cell.(0)
+let data_of cell = cell.(1)
+let view_of t cell = Array.sub cell 2 t.n
+
+let collect t = Array.map (fun id -> Sim.Api.read_vec id) t.cells
+
+(* One double-collect round; [moved] persists across rounds. *)
+let scan t ~pid:_ =
+  let moved = Array.make t.n false in
+  let rec round () =
+    let a = collect t in
+    let b = collect t in
+    let agree = ref true in
+    let borrowed = ref None in
+    for i = 0 to t.n - 1 do
+      if seq_of a.(i) <> seq_of b.(i) then begin
+        agree := false;
+        if moved.(i) then begin
+          match !borrowed with
+          | None -> borrowed := Some (view_of t b.(i))
+          | Some _ -> ()
+        end
+        else moved.(i) <- true
+      end
+    done;
+    if !agree then Array.map data_of b
+    else
+      match !borrowed with
+      | Some view -> view
+      | None -> round ()
+  in
+  round ()
+
+let update t ~pid v =
+  let view = scan t ~pid in
+  t.seqs.(pid) <- t.seqs.(pid) + 1;
+  let cell = Array.make (t.n + 2) 0 in
+  cell.(0) <- t.seqs.(pid);
+  cell.(1) <- v;
+  Array.blit view 0 cell 2 t.n;
+  Sim.Api.write_vec t.cells.(pid) cell

@@ -1,0 +1,1 @@
+lib/sim/api.ml: Effect Fiber Memory

@@ -1,0 +1,1 @@
+lib/sim/awareness.ml: Array Hashtbl Int List Memory Set

@@ -1,0 +1,1 @@
+lib/sim/exec.ml: Array Awareness Effect Fiber Float Hashtbl List Memory Schedule Trace

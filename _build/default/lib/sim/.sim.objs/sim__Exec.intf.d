@@ -1,0 +1,1 @@
+lib/sim/exec.mli: Awareness Memory Schedule Trace

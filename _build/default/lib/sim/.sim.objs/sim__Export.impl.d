@@ -1,0 +1,1 @@
+lib/sim/export.ml: Array Buffer Char Format Fun Memory Metrics Printf String Trace

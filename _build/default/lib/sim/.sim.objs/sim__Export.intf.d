@@ -1,0 +1,1 @@
+lib/sim/export.mli: Buffer Memory Trace

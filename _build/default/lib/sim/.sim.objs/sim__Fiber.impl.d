@@ -1,0 +1,1 @@
+lib/sim/fiber.ml: Effect Memory

@@ -1,0 +1,1 @@
+lib/sim/fiber.mli: Effect Memory

@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Array Float Hashtbl Int List Memory Set Trace

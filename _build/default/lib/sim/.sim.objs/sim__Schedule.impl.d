@@ -1,0 +1,1 @@
+lib/sim/schedule.ml: Array Hashtbl Int64 List

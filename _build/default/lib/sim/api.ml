@@ -1,0 +1,41 @@
+let access a = Effect.perform (Fiber.Access a)
+
+let read_value id = access (Memory.Read id)
+let read id = Memory.int_exn (read_value id)
+let read_pair id = Memory.pair_exn (read_value id)
+
+let write id v = ignore (access (Memory.Write (id, Memory.V_int v)))
+
+let write_pair id (a, b) =
+  ignore (access (Memory.Write (id, Memory.V_pair (a, b))))
+
+let read_vec id = Memory.vec_exn (read_value id)
+
+let write_vec id a = ignore (access (Memory.Write (id, Memory.V_vec a)))
+
+let test_and_set id = Memory.int_exn (access (Memory.Test_and_set id))
+
+let cas id ~expect ~value =
+  Memory.int_exn (access (Memory.Cas (id, expect, value))) = 1
+
+let cas_int id ~expect ~value =
+  cas id ~expect:(Memory.V_int expect) ~value:(Memory.V_int value)
+
+let kcas entries = Memory.int_exn (access (Memory.Kcas entries)) = 1
+
+let faa id d = Memory.int_exn (access (Memory.Faa (id, d)))
+
+let op ~name ?arg f =
+  Effect.perform (Fiber.Annotate (Fiber.Invoke (name, arg)));
+  let result = f () in
+  Effect.perform (Fiber.Annotate (Fiber.Return result));
+  result
+
+let op_int ~name ?arg f =
+  match op ~name ?arg (fun () -> Some (f ())) with
+  | Some v -> v
+  | None -> assert false
+
+let op_unit ~name ?arg f = ignore (op ~name ?arg (fun () -> f (); None))
+
+let note text = Effect.perform (Fiber.Annotate (Fiber.Note text))

@@ -1,0 +1,60 @@
+(** Primitive operations for algorithm code running inside a fiber.
+
+    Every function here performs the {!Fiber.Access} effect and therefore
+    costs exactly one step, except {!op} / {!note}, which emit zero-cost
+    trace annotations. These functions must only be called from within a
+    program passed to {!Exec.run}. *)
+
+val read : Memory.obj_id -> int
+(** Read an integer cell. One step. *)
+
+val read_value : Memory.obj_id -> Memory.value
+(** Read a cell of any type. One step. *)
+
+val read_pair : Memory.obj_id -> int * int
+(** Read a pair cell. One step. *)
+
+val write : Memory.obj_id -> int -> unit
+(** Write an integer cell. One step. *)
+
+val write_pair : Memory.obj_id -> int * int -> unit
+(** Write a pair cell atomically. One step. *)
+
+val read_vec : Memory.obj_id -> int array
+(** Read a vector cell; the result must be treated as immutable. One step. *)
+
+val write_vec : Memory.obj_id -> int array -> unit
+(** Write a vector cell atomically; the array must not be mutated after the
+    call. One step. *)
+
+val test_and_set : Memory.obj_id -> int
+(** Set an integer cell to 1, returning its previous value. One step. *)
+
+val cas : Memory.obj_id -> expect:Memory.value -> value:Memory.value -> bool
+(** Compare-and-swap; [true] iff the swap happened. One step. *)
+
+val cas_int : Memory.obj_id -> expect:int -> value:int -> bool
+(** {!cas} specialised to integer cells. One step. *)
+
+val kcas : (Memory.obj_id * Memory.value * Memory.value) list -> bool
+(** Multi-word compare-and-swap. One step (a single primitive of arity k,
+    as in Section III-D). *)
+
+val faa : Memory.obj_id -> int -> int
+(** Fetch-and-add, returning the previous value. One step. Not historyless;
+    reserved for baseline objects. *)
+
+val op : name:string -> ?arg:int -> (unit -> int option) -> int option
+(** [op ~name f] brackets [f ()] with operation invocation/response trace
+    annotations, making it visible to the linearizability checker and to
+    per-operation step metrics. Returns [f ()]'s result. Zero steps of its
+    own. *)
+
+val op_int : name:string -> ?arg:int -> (unit -> int) -> int
+(** Like {!op} for operations that always return a value. *)
+
+val op_unit : name:string -> ?arg:int -> (unit -> unit) -> unit
+(** Like {!op} for operations with no return value. *)
+
+val note : string -> unit
+(** Emit a free-form trace marker. Zero steps. *)

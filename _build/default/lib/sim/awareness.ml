@@ -1,0 +1,40 @@
+module Iset = Set.Make (Int)
+
+type t = {
+  n : int;
+  visible : (Memory.obj_id, Iset.t) Hashtbl.t;
+  aware : Iset.t array;
+}
+
+let create ~n =
+  { n; visible = Hashtbl.create 64; aware = Array.init n Iset.singleton }
+
+let visibility t id =
+  match Hashtbl.find_opt t.visible id with
+  | Some s -> s
+  | None -> Iset.empty
+
+let on_step t ~pid ~access ~changed =
+  assert (pid >= 0 && pid < t.n);
+  let objs = Memory.objects_of_access access in
+  if Memory.is_write access then begin
+    if changed then
+      List.iter
+        (fun id -> Hashtbl.replace t.visible id t.aware.(pid))
+        objs
+  end
+  else begin
+    (* The primitive reads every object it touches. *)
+    let learned =
+      List.fold_left
+        (fun acc id -> Iset.union acc (visibility t id))
+        t.aware.(pid) objs
+    in
+    t.aware.(pid) <- learned;
+    if changed then
+      List.iter (fun id -> Hashtbl.replace t.visible id learned) objs
+  end
+
+let aware_of t p = Iset.elements t.aware.(p)
+let awareness_size t p = Iset.cardinal t.aware.(p)
+let sizes t = Array.init t.n (fun p -> Iset.cardinal t.aware.(p))

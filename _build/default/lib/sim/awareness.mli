@@ -1,0 +1,38 @@
+(** Awareness-set instrumentation (paper Definitions III.2 and III.3).
+
+    Process [p] is {e aware} of process [q] after an execution [E] if
+    [p = q], or if [p] read a shared value directly written by [q] or
+    transitively influenced by one. The lower bound of Section III-D hinges
+    on how slowly awareness can accumulate when only read/write and
+    conditional primitives are used.
+
+    The tracker maintains, per base object, the set of processes whose
+    influence is currently {e visible} on it, and per process its awareness
+    set [AW(E, p)]. Update rules applied on every step, matching the
+    historyless/conditional semantics used by the paper:
+
+    - a plain write by [p] overwrites the object's visibility with
+      [AW(p)] (writes read nothing, so [p] learns nothing);
+    - a read by [p] adds the object's visibility to [AW(p)];
+    - a non-write RMW (test&set, CAS, k-CAS, fetch&add) by [p] first adds the
+      visibility of every accessed object to [AW(p)], then — only if the
+      event was visible (changed some cell) — overwrites the visibility of
+      each changed object with the updated [AW(p)]. *)
+
+type t
+
+val create : n:int -> t
+
+val on_step : t -> pid:int -> access:Memory.access -> changed:bool -> unit
+(** Record one step by process [pid]. [changed] must be the visibility flag
+    returned by {!Memory.apply}. *)
+
+val aware_of : t -> int -> int list
+(** [aware_of t p] is [AW(E, p)] as a sorted pid list (always contains
+    [p]). *)
+
+val awareness_size : t -> int -> int
+(** [awareness_size t p = List.length (aware_of t p)]. *)
+
+val sizes : t -> int array
+(** Awareness-set size of each process. *)

@@ -1,0 +1,186 @@
+type stat = {
+  mutable s_count : int;
+  mutable s_steps : int;
+  mutable s_max : int;
+}
+
+type t = {
+  mem : Memory.t;
+  n : int;
+  trace : Trace.t;
+  trace_steps : bool;
+  aware : Awareness.t option;
+  mutable op_counter : int;
+  current_op : int array;
+  current_stat : stat option array;
+  current_op_steps : int array;
+  stats : (string, stat) Hashtbl.t;
+  steps_by_pid : int array;
+  mutable op_steps : int;
+  mutable nsteps : int;
+  mutable ran : bool;
+}
+
+let create ?(track_awareness = false) ?(trace_steps = true) ~n () =
+  { mem = Memory.create ();
+    n;
+    trace = Trace.create ();
+    trace_steps;
+    aware = (if track_awareness then Some (Awareness.create ~n) else None);
+    op_counter = 0;
+    current_op = Array.make n (-1);
+    current_stat = Array.make n None;
+    current_op_steps = Array.make n 0;
+    stats = Hashtbl.create 8;
+    steps_by_pid = Array.make n 0;
+    op_steps = 0;
+    nsteps = 0;
+    ran = false }
+
+let memory t = t.mem
+let n t = t.n
+let trace t = t.trace
+let awareness t = t.aware
+let steps_total t = t.nsteps
+
+let ops_invoked t = t.op_counter
+
+let op_steps_total t = t.op_steps
+
+let amortized t =
+  if t.op_counter = 0 then Float.nan
+  else float_of_int t.op_steps /. float_of_int t.op_counter
+
+let op_stats t =
+  Hashtbl.fold
+    (fun name s acc ->
+      (name, s.s_count, s.s_max,
+       float_of_int s.s_steps /. float_of_int (max 1 s.s_count))
+      :: acc)
+    t.stats []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+
+type stop_reason =
+  | All_finished
+  | Policy_abstained
+  | Max_steps
+  | Stop_condition
+
+type outcome = {
+  schedule_taken : int array;
+  completed : bool array;
+  steps_total : int;
+  steps_by_pid : int array;
+  reason : stop_reason;
+}
+
+type fiber_state =
+  | Not_started of (unit -> unit)
+  | Pending of Memory.access * (Memory.value, Fiber.status) Effect.Deep.continuation
+  | Finished
+
+let stat_for t name =
+  match Hashtbl.find_opt t.stats name with
+  | Some s -> s
+  | None ->
+    let s = { s_count = 0; s_steps = 0; s_max = 0 } in
+    Hashtbl.add t.stats name s;
+    s
+
+let on_annot t pid ann =
+  match (ann : Fiber.annotation) with
+  | Fiber.Invoke (name, arg) ->
+    let op_id = t.op_counter in
+    t.op_counter <- op_id + 1;
+    t.current_op.(pid) <- op_id;
+    let s = stat_for t name in
+    s.s_count <- s.s_count + 1;
+    t.current_stat.(pid) <- Some s;
+    t.current_op_steps.(pid) <- 0;
+    Trace.add t.trace (Trace.Invoke { pid; op_id; name; arg })
+  | Fiber.Return result ->
+    (match t.current_stat.(pid) with
+     | Some s -> s.s_max <- max s.s_max t.current_op_steps.(pid)
+     | None -> ());
+    t.current_stat.(pid) <- None;
+    Trace.add t.trace (Trace.Return { pid; op_id = t.current_op.(pid); result });
+    t.current_op.(pid) <- -1
+  | Fiber.Note text ->
+    Trace.add t.trace (Trace.Note { pid; op_id = t.current_op.(pid); text })
+
+let run t ~programs ~policy ?(max_steps = 50_000_000) ?stop () =
+  if t.ran then invalid_arg "Exec.run: execution already consumed";
+  if Array.length programs <> t.n then
+    invalid_arg "Exec.run: wrong number of programs";
+  t.ran <- true;
+  let states =
+    Array.init t.n (fun pid -> Not_started (fun () -> programs.(pid) pid))
+  in
+  let unfinished = ref t.n in
+  let taken = ref [] in
+  let ntaken = ref 0 in
+  let absorb pid status =
+    match (status : Fiber.status) with
+    | Fiber.Yielded (access, k) -> states.(pid) <- Pending (access, k)
+    | Fiber.Done ->
+      states.(pid) <- Finished;
+      decr unfinished
+  in
+  let turn pid =
+    (match states.(pid) with
+     | Not_started f -> absorb pid (Fiber.start ~on_annot:(on_annot t pid) f)
+     | Pending _ | Finished -> ());
+    match states.(pid) with
+    | Pending (access, k) ->
+      let response, changed = Memory.apply t.mem access in
+      t.steps_by_pid.(pid) <- t.steps_by_pid.(pid) + 1;
+      t.nsteps <- t.nsteps + 1;
+      (match t.current_stat.(pid) with
+       | Some s ->
+         s.s_steps <- s.s_steps + 1;
+         t.op_steps <- t.op_steps + 1;
+         t.current_op_steps.(pid) <- t.current_op_steps.(pid) + 1
+       | None -> ());
+      if t.trace_steps then
+        Trace.add t.trace
+          (Trace.Step
+             { pid; op_id = t.current_op.(pid); access; response; changed });
+      (match t.aware with
+       | Some aw -> Awareness.on_step aw ~pid ~access ~changed
+       | None -> ());
+      absorb pid (Fiber.resume k response)
+    | Finished -> ()
+    | Not_started _ -> assert false
+  in
+  let chooser = Schedule.instantiate policy ~n:t.n in
+  let runnable pid =
+    match states.(pid) with Finished -> false | Not_started _ | Pending _ -> true
+  in
+  let should_stop () = match stop with None -> false | Some f -> f () in
+  let rec loop () =
+    if !unfinished = 0 then All_finished
+    else if t.nsteps >= max_steps then Max_steps
+    else if should_stop () then Stop_condition
+    else
+      match Schedule.choose chooser ~runnable with
+      | None -> Policy_abstained
+      | Some pid ->
+        taken := pid :: !taken;
+        incr ntaken;
+        turn pid;
+        loop ()
+  in
+  let reason = loop () in
+  let schedule_taken = Array.make !ntaken 0 in
+  List.iteri
+    (fun i pid -> schedule_taken.(!ntaken - 1 - i) <- pid)
+    !taken;
+  { schedule_taken;
+    completed =
+      Array.map
+        (fun st ->
+          match st with Finished -> true | Not_started _ | Pending _ -> false)
+        states;
+    steps_total = t.nsteps;
+    steps_by_pid = Array.copy t.steps_by_pid;
+    reason }

@@ -1,0 +1,143 @@
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let int_opt_str = function
+  | None -> ""
+  | Some v -> string_of_int v
+
+let value_str v = Format.asprintf "%a" Memory.pp_value v
+
+let access_str a = Format.asprintf "%a" Memory.pp_access a
+
+let first_object access =
+  match Memory.objects_of_access access with
+  | [] -> None
+  | id :: _ -> Some id
+
+let events_csv mem trace buf =
+  Buffer.add_string buf
+    "index,kind,pid,op_id,detail,object,object_name,response,changed\n";
+  Trace.iteri
+    (fun index event ->
+      let add_row ~kind ~pid ~op_id ~detail ~obj ~response ~changed =
+        let obj_id, obj_name =
+          match obj with
+          | None -> ("", "")
+          | Some id -> (string_of_int id, Memory.name_of mem id)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%d,%s,%d,%d,%s,%s,%s,%s,%s\n" index kind pid op_id
+             (csv_escape detail) obj_id (csv_escape obj_name)
+             (csv_escape response) changed)
+      in
+      match event with
+      | Trace.Invoke { pid; op_id; name; arg } ->
+        add_row ~kind:"invoke" ~pid ~op_id
+          ~detail:(name ^ match arg with
+            | None -> ""
+            | Some v -> Printf.sprintf "(%d)" v)
+          ~obj:None ~response:"" ~changed:""
+      | Trace.Step { pid; op_id; access; response; changed } ->
+        add_row ~kind:"step" ~pid ~op_id ~detail:(access_str access)
+          ~obj:(first_object access) ~response:(value_str response)
+          ~changed:(string_of_bool changed)
+      | Trace.Return { pid; op_id; result } ->
+        add_row ~kind:"return" ~pid ~op_id ~detail:(int_opt_str result)
+          ~obj:None ~response:"" ~changed:""
+      | Trace.Note { pid; op_id; text } ->
+        add_row ~kind:"note" ~pid ~op_id ~detail:text ~obj:None ~response:""
+          ~changed:"")
+    trace
+
+let ops_csv trace buf =
+  Buffer.add_string buf
+    "op_id,pid,name,arg,result,completed,steps,distinct_objects\n";
+  Array.iter
+    (fun (r : Metrics.op_record) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%s,%s,%s,%b,%d,%d\n" r.op_id r.pid
+           (csv_escape r.name) (int_opt_str r.arg) (int_opt_str r.result)
+           r.completed r.steps r.distinct_objects))
+    (Metrics.ops trace)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let events_json mem trace buf =
+  Buffer.add_string buf "[";
+  let first = ref true in
+  Trace.iteri
+    (fun index event ->
+      if !first then first := false else Buffer.add_string buf ",";
+      Buffer.add_string buf "\n  ";
+      let field_str key v =
+        Printf.sprintf "\"%s\":\"%s\"" key (json_escape v)
+      in
+      let field_int key v = Printf.sprintf "\"%s\":%d" key v in
+      let obj fields =
+        Buffer.add_string buf ("{" ^ String.concat "," fields ^ "}")
+      in
+      match event with
+      | Trace.Invoke { pid; op_id; name; arg } ->
+        obj
+          ([ field_int "index" index;
+             field_str "kind" "invoke";
+             field_int "pid" pid;
+             field_int "op_id" op_id;
+             field_str "op" name ]
+           @ match arg with
+           | None -> []
+           | Some v -> [ field_int "arg" v ])
+      | Trace.Step { pid; op_id; access; response; changed } ->
+        obj
+          ([ field_int "index" index;
+             field_str "kind" "step";
+             field_int "pid" pid;
+             field_int "op_id" op_id;
+             field_str "access" (access_str access);
+             field_str "response" (value_str response);
+             Printf.sprintf "\"changed\":%b" changed ]
+           @ match first_object access with
+           | None -> []
+           | Some id ->
+             [ field_int "object" id;
+               field_str "object_name" (Memory.name_of mem id) ])
+      | Trace.Return { pid; op_id; result } ->
+        obj
+          ([ field_int "index" index;
+             field_str "kind" "return";
+             field_int "pid" pid;
+             field_int "op_id" op_id ]
+           @ match result with
+           | None -> []
+           | Some v -> [ field_int "result" v ])
+      | Trace.Note { pid; op_id; text } ->
+        obj
+          [ field_int "index" index;
+            field_str "kind" "note";
+            field_int "pid" pid;
+            field_int "op_id" op_id;
+            field_str "text" text ])
+    trace;
+  Buffer.add_string buf "\n]\n"
+
+let write_file path emit =
+  let buf = Buffer.create 4096 in
+  emit buf;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf))

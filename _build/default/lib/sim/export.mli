@@ -1,0 +1,21 @@
+(** Trace and metrics export for offline analysis (spreadsheets, plotting).
+
+    Plain CSV and JSON emitters with no external dependencies. Event rows
+    reference base objects by id and name; operation rows aggregate the
+    per-operation metrics of {!Metrics}. *)
+
+val events_csv : Memory.t -> Trace.t -> Buffer.t -> unit
+(** One row per trace event:
+    [index,kind,pid,op_id,detail,object,object_name,response,changed].
+    [detail] is the operation name (invoke/return/note) or the primitive
+    (step). *)
+
+val ops_csv : Trace.t -> Buffer.t -> unit
+(** One row per operation:
+    [op_id,pid,name,arg,result,completed,steps,distinct_objects]. *)
+
+val events_json : Memory.t -> Trace.t -> Buffer.t -> unit
+(** The same information as {!events_csv}, as a JSON array of objects. *)
+
+val write_file : string -> (Buffer.t -> unit) -> unit
+(** [write_file path emit] writes the emitted buffer to [path]. *)

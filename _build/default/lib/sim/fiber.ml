@@ -1,0 +1,33 @@
+type annotation =
+  | Invoke of string * int option
+  | Return of int option
+  | Note of string
+
+type _ Effect.t +=
+  | Access : Memory.access -> Memory.value Effect.t
+  | Annotate : annotation -> unit Effect.t
+
+type status =
+  | Yielded of Memory.access * (Memory.value, status) Effect.Deep.continuation
+  | Done
+
+let start ~on_annot f =
+  let open Effect.Deep in
+  match_with f ()
+    { retc = (fun () -> Done);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Access access ->
+            Some
+              (fun (k : (a, status) continuation) -> Yielded (access, k))
+          | Annotate ann ->
+            Some
+              (fun (k : (a, status) continuation) ->
+                on_annot ann;
+                continue k ())
+          | _ -> None);
+    }
+
+let resume k response = Effect.Deep.continue k response

@@ -1,0 +1,36 @@
+(** Simulated processes as OCaml-5 effect fibers.
+
+    Algorithm code is written in direct style and performs the {!Access}
+    effect for every shared-memory primitive; the scheduler in {!Exec}
+    resumes the fiber with the primitive's response. Each [Access] is one
+    {e step} in the paper's step-complexity metric. Local computation between
+    accesses is free, matching the model of Section II.
+
+    The {!Annotate} effect carries zero-cost metadata (operation
+    invocations/responses) into the execution trace; it is handled inline and
+    does not yield control. *)
+
+type annotation =
+  | Invoke of string * int option  (** operation name and optional argument *)
+  | Return of int option  (** operation response *)
+  | Note of string  (** free-form trace marker *)
+
+type _ Effect.t +=
+  | Access : Memory.access -> Memory.value Effect.t
+  | Annotate : annotation -> unit Effect.t
+
+type status =
+  | Yielded of Memory.access * (Memory.value, status) Effect.Deep.continuation
+      (** the fiber requested a primitive and is suspended awaiting its
+          response *)
+  | Done  (** the fiber ran to completion *)
+
+val start : on_annot:(annotation -> unit) -> (unit -> unit) -> status
+(** [start ~on_annot f] runs [f ()] up to its first access request (or to
+    completion). Annotations encountered along the way are delivered to
+    [on_annot] synchronously. Exceptions raised by [f] propagate. *)
+
+val resume :
+  (Memory.value, status) Effect.Deep.continuation -> Memory.value -> status
+(** [resume k response] delivers a primitive response to a suspended fiber
+    and runs it to its next access request (or to completion). *)

@@ -1,0 +1,179 @@
+type obj_id = int
+
+type value =
+  | V_int of int
+  | V_pair of int * int
+  | V_vec of int array
+
+type access =
+  | Read of obj_id
+  | Write of obj_id * value
+  | Test_and_set of obj_id
+  | Cas of obj_id * value * value
+  | Kcas of (obj_id * value * value) list
+  | Faa of obj_id * int
+
+type region_state = {
+  region_name : string;
+  default : value;
+  cells : (int, obj_id) Hashtbl.t;
+}
+
+type t = {
+  mutable store : value array;
+  mutable names : string array;
+  mutable used : int;
+  mutable regions : region_state list;
+}
+
+type region = region_state
+
+let create () =
+  { store = Array.make 64 (V_int 0);
+    names = Array.make 64 "";
+    used = 0;
+    regions = [] }
+
+let ensure_capacity t needed =
+  let cap = Array.length t.store in
+  if needed > cap then begin
+    let cap' = max needed (2 * cap) in
+    let store' = Array.make cap' (V_int 0) in
+    let names' = Array.make cap' "" in
+    Array.blit t.store 0 store' 0 t.used;
+    Array.blit t.names 0 names' 0 t.used;
+    t.store <- store';
+    t.names <- names'
+  end
+
+let alloc t ?(name = "o") v =
+  ensure_capacity t (t.used + 1);
+  let id = t.used in
+  t.store.(id) <- v;
+  t.names.(id) <- name;
+  t.used <- t.used + 1;
+  id
+
+let alloc_many t ?(name = "o") len v =
+  Array.init len (fun i -> alloc t ~name:(Printf.sprintf "%s[%d]" name i) v)
+
+let region t ?(name = "region") ~default () =
+  let r = { region_name = name; default; cells = Hashtbl.create 16 } in
+  t.regions <- r :: t.regions;
+  r
+
+let region_cell t r i =
+  match Hashtbl.find_opt r.cells i with
+  | Some id -> id
+  | None ->
+    let id =
+      alloc t ~name:(Printf.sprintf "%s[%d]" r.region_name i) r.default
+    in
+    Hashtbl.add r.cells i id;
+    id
+
+let region_cells_allocated _t r =
+  Hashtbl.fold (fun i id acc -> (i, id) :: acc) r.cells []
+  |> List.sort (fun (i, _) (j, _) -> compare i j)
+
+let check_id t id =
+  if id < 0 || id >= t.used then
+    invalid_arg (Printf.sprintf "Memory: object id %d out of range" id)
+
+let peek t id =
+  check_id t id;
+  t.store.(id)
+
+let poke t id v =
+  check_id t id;
+  t.store.(id) <- v
+
+let num_objects t = t.used
+
+let name_of t id =
+  check_id t id;
+  t.names.(id)
+
+let int_exn = function
+  | V_int v -> v
+  | V_pair _ | V_vec _ -> invalid_arg "Memory.int_exn: pair value"
+
+let pair_exn = function
+  | V_pair (a, b) -> (a, b)
+  | V_int _ | V_vec _ -> invalid_arg "Memory.pair_exn: integer value"
+
+let vec_exn = function
+  | V_vec a -> a
+  | V_int _ | V_pair _ -> invalid_arg "Memory.vec_exn: scalar value"
+
+let apply t a =
+  match a with
+  | Read id -> (peek t id, false)
+  | Write (id, v) ->
+    let old = peek t id in
+    t.store.(id) <- v;
+    (v, old <> v)
+  | Test_and_set id ->
+    let old = int_exn (peek t id) in
+    t.store.(id) <- V_int 1;
+    (V_int old, old = 0)
+  | Cas (id, expect, v) ->
+    let old = peek t id in
+    if old = expect then begin
+      t.store.(id) <- v;
+      (V_int 1, old <> v)
+    end
+    else (V_int 0, false)
+  | Kcas entries ->
+    let ok =
+      List.for_all (fun (id, expect, _) -> peek t id = expect) entries
+    in
+    if ok then begin
+      let changed =
+        List.fold_left
+          (fun acc (id, expect, v) ->
+            t.store.(id) <- v;
+            acc || expect <> v)
+          false entries
+      in
+      (V_int 1, changed)
+    end
+    else (V_int 0, false)
+  | Faa (id, d) ->
+    let old = int_exn (peek t id) in
+    t.store.(id) <- V_int (old + d);
+    (V_int old, d <> 0)
+
+let objects_of_access = function
+  | Read id | Write (id, _) | Test_and_set id | Cas (id, _, _) | Faa (id, _) ->
+    [ id ]
+  | Kcas entries -> List.map (fun (id, _, _) -> id) entries
+
+let is_write = function
+  | Write _ -> true
+  | Read _ | Test_and_set _ | Cas _ | Kcas _ | Faa _ -> false
+
+let pp_value ppf = function
+  | V_int v -> Format.fprintf ppf "%d" v
+  | V_pair (a, b) -> Format.fprintf ppf "(%d,%d)" a b
+  | V_vec a ->
+    Format.fprintf ppf "[|%a|]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ";")
+         Format.pp_print_int)
+      (Array.to_list a)
+
+let pp_access ppf = function
+  | Read id -> Format.fprintf ppf "read(%d)" id
+  | Write (id, v) -> Format.fprintf ppf "write(%d,%a)" id pp_value v
+  | Test_and_set id -> Format.fprintf ppf "tas(%d)" id
+  | Cas (id, e, v) ->
+    Format.fprintf ppf "cas(%d,%a,%a)" id pp_value e pp_value v
+  | Kcas entries ->
+    Format.fprintf ppf "kcas(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ";")
+         (fun ppf (id, e, v) ->
+           Format.fprintf ppf "%d:%a->%a" id pp_value e pp_value v))
+      entries
+  | Faa (id, d) -> Format.fprintf ppf "faa(%d,%+d)" id d

@@ -1,0 +1,106 @@
+(** Shared base objects of the asynchronous shared-memory model.
+
+    A {!t} is a flat store of atomic cells ("base objects" in the paper's
+    terminology). Cells are created either individually with {!alloc} or on
+    demand through a {!region}, which models an unbounded array of base
+    objects (e.g. the infinite [switch] sequence of Algorithm 1) while only
+    materialising the cells an execution actually touches.
+
+    All mutation during a simulated execution goes through {!apply}, which
+    applies a single primitive atomically and reports both the primitive's
+    response and whether the cell contents changed (used by the awareness
+    instrumentation of Section III-D). *)
+
+type obj_id = int
+(** Identity of a base object. Stable within one execution; ids are
+    allocation-order dependent, so cross-execution comparisons must go
+    through region indices or names, never raw ids. *)
+
+type value =
+  | V_int of int  (** an integer (or boolean 0/1) cell *)
+  | V_pair of int * int
+      (** a register holding an atomic pair, e.g. the [(val, sn)] entries of
+          Algorithm 1's helping array [H] *)
+  | V_vec of int array
+      (** a register holding an atomic vector, e.g. the embedded views of the
+          Afek et al. atomic snapshot. Registers of unbounded word size are
+          standard in this model. The array must be treated as immutable. *)
+
+type access =
+  | Read of obj_id
+  | Write of obj_id * value
+  | Test_and_set of obj_id
+      (** sets an integer cell to 1 and returns its previous value *)
+  | Cas of obj_id * value * value  (** [Cas (o, expect, v)] *)
+  | Kcas of (obj_id * value * value) list
+      (** multi-word compare-and-swap; a conditional primitive of arity
+          [length] (Definition III.1) *)
+  | Faa of obj_id * int
+      (** fetch-and-add; {b not} historyless — used only by baselines *)
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> ?name:string -> value -> obj_id
+(** [alloc t v] creates a fresh cell initialised to [v]. *)
+
+val alloc_many : t -> ?name:string -> int -> value -> obj_id array
+(** [alloc_many t len v] creates [len] cells initialised to [v]; cells are
+    named ["name[i]"]. *)
+
+type region
+(** An unbounded array of cells sharing a default initial value. *)
+
+val region : t -> ?name:string -> default:value -> unit -> region
+
+val region_cell : t -> region -> int -> obj_id
+(** [region_cell t r i] is the id of cell [i] of [r], allocating it (with the
+    region default) on first use. Deterministic per [(r, i)]. *)
+
+val region_cells_allocated : t -> region -> (int * obj_id) list
+(** All materialised cells of a region, as [(index, id)] pairs sorted by
+    index. Intended for post-mortem inspection (e.g. dumping switch states
+    for the Figure 1 reproduction). *)
+
+val peek : t -> obj_id -> value
+(** Direct read outside the simulated execution (no step is charged). *)
+
+val poke : t -> obj_id -> value -> unit
+(** Direct write outside the simulated execution (no step is charged). *)
+
+val apply : t -> access -> value * bool
+(** [apply t a] atomically applies primitive [a] and returns
+    [(response, changed)]. [changed] is whether some cell's contents changed,
+    i.e. whether the event was applied at a non-fixed point (visible in the
+    sense of Section III-D).
+
+    Responses: [Read] and [Test_and_set] and [Faa] return the previous value;
+    [Write] returns the written value; [Cas]/[Kcas] return [V_int 1] on
+    success and [V_int 0] on failure.
+
+    @raise Invalid_argument on a type mismatch (e.g. [Test_and_set] on a pair
+    cell) or an out-of-range id. *)
+
+val num_objects : t -> int
+
+val name_of : t -> obj_id -> string
+
+val objects_of_access : access -> obj_id list
+(** The base objects an access touches, in syntactic order. *)
+
+val is_write : access -> bool
+(** Whether the primitive is a plain write (reads nothing). *)
+
+val int_exn : value -> int
+(** Project an integer cell value. @raise Invalid_argument on a pair. *)
+
+val pair_exn : value -> int * int
+(** Project a pair cell value. @raise Invalid_argument on an integer. *)
+
+val vec_exn : value -> int array
+(** Project a vector cell value. @raise Invalid_argument on a scalar. *)
+
+val pp_value : Format.formatter -> value -> unit
+
+val pp_access : Format.formatter -> access -> unit

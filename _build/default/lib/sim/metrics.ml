@@ -1,0 +1,123 @@
+module Iset = Set.Make (Int)
+
+type op_record = {
+  op_id : int;
+  pid : int;
+  name : string;
+  arg : int option;
+  result : int option;
+  completed : bool;
+  steps : int;
+  distinct_objects : int;
+}
+
+type acc = {
+  mutable a_name : string;
+  mutable a_pid : int;
+  mutable a_arg : int option;
+  mutable a_result : int option;
+  mutable a_completed : bool;
+  mutable a_steps : int;
+  mutable a_objects : Iset.t;
+}
+
+let ops trace =
+  let table : (int, acc) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] in
+  let find op_id = Hashtbl.find_opt table op_id in
+  Trace.iter
+    (fun event ->
+      match event with
+      | Trace.Invoke { pid; op_id; name; arg } ->
+        let a =
+          { a_name = name;
+            a_pid = pid;
+            a_arg = arg;
+            a_result = None;
+            a_completed = false;
+            a_steps = 0;
+            a_objects = Iset.empty }
+        in
+        Hashtbl.replace table op_id a;
+        order := op_id :: !order
+      | Trace.Step { op_id; access; _ } ->
+        (match find op_id with
+         | None -> ()
+         | Some a ->
+           a.a_steps <- a.a_steps + 1;
+           List.iter
+             (fun o -> a.a_objects <- Iset.add o a.a_objects)
+             (Memory.objects_of_access access))
+      | Trace.Return { op_id; result; _ } ->
+        (match find op_id with
+         | None -> ()
+         | Some a ->
+           a.a_result <- result;
+           a.a_completed <- true)
+      | Trace.Note _ -> ())
+    trace;
+  let ids = List.rev !order in
+  List.map
+    (fun op_id ->
+      match find op_id with
+      | None -> assert false
+      | Some a ->
+        { op_id;
+          pid = a.a_pid;
+          name = a.a_name;
+          arg = a.a_arg;
+          result = a.a_result;
+          completed = a.a_completed;
+          steps = a.a_steps;
+          distinct_objects = Iset.cardinal a.a_objects })
+    ids
+  |> Array.of_list
+
+let total_op_steps trace =
+  Array.fold_left (fun acc r -> acc + r.steps) 0 (ops trace)
+
+let amortized trace =
+  let records = ops trace in
+  if Array.length records = 0 then Float.nan
+  else
+    let total = Array.fold_left (fun acc r -> acc + r.steps) 0 records in
+    float_of_int total /. float_of_int (Array.length records)
+
+let matching ?name records =
+  match name with
+  | None -> records
+  | Some n -> Array.of_list
+                (List.filter (fun r -> r.name = n) (Array.to_list records))
+
+let worst_case ?name trace =
+  let records = matching ?name (ops trace) in
+  Array.fold_left (fun acc r -> max acc r.steps) 0 records
+
+let max_distinct_objects ?name trace =
+  let records = matching ?name (ops trace) in
+  Array.fold_left (fun acc r -> max acc r.distinct_objects) 0 records
+
+let by_name trace =
+  let records = ops trace in
+  let table : (string, int ref * int ref * int ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  Array.iter
+    (fun r ->
+      let count, maxs, sums =
+        match Hashtbl.find_opt table r.name with
+        | Some entry -> entry
+        | None ->
+          let entry = (ref 0, ref 0, ref 0) in
+          Hashtbl.add table r.name entry;
+          entry
+      in
+      incr count;
+      maxs := max !maxs r.steps;
+      sums := !sums + r.steps)
+    records;
+  Hashtbl.fold
+    (fun name (count, maxs, sums) acc ->
+      (name, !count, !maxs, float_of_int !sums /. float_of_int !count) :: acc)
+    table []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)

@@ -1,0 +1,40 @@
+(** Step-complexity metrics over execution traces.
+
+    Implements the paper's measures: [Nsteps(op, E)] per operation, the
+    amortized step complexity
+    [AmtSteps = (sum over op of Nsteps(op, E)) / |Ops(E)|] (Section II), the
+    worst-case per-operation step count, and the number of distinct base
+    objects an operation accesses (the quantity bounded below by the
+    perturbation argument of Section V). *)
+
+type op_record = {
+  op_id : int;
+  pid : int;
+  name : string;
+  arg : int option;
+  result : int option;  (** [None] for unit-returning or incomplete ops *)
+  completed : bool;  (** whether the operation returned in the trace *)
+  steps : int;  (** [Nsteps(op, E)] *)
+  distinct_objects : int;  (** distinct base objects accessed by the op *)
+}
+
+val ops : Trace.t -> op_record array
+(** All operations invoked in the trace, in invocation order. *)
+
+val total_op_steps : Trace.t -> int
+(** Steps charged to some operation (excludes build-phase or bare steps). *)
+
+val amortized : Trace.t -> float
+(** Amortized step complexity; [nan] if no operation was invoked. *)
+
+val worst_case : ?name:string -> Trace.t -> int
+(** Maximum [Nsteps] over all operations (optionally restricted to
+    operations called [name]); [0] if there are none. *)
+
+val max_distinct_objects : ?name:string -> Trace.t -> int
+(** Maximum number of distinct base objects accessed by a single operation
+    (optionally restricted by name). *)
+
+val by_name : Trace.t -> (string * int * int * float) list
+(** Per operation name: [(name, count, max_steps, mean_steps)], sorted by
+    name. *)

@@ -1,0 +1,162 @@
+type t =
+  | Round_robin
+  | Random of int
+  | Script of int array
+  | Solo of int
+  | Seq of t list
+  | Pct of { seed : int; change_points : int; expected_length : int }
+  | Custom of string * (n:int -> step:int -> runnable:(int -> bool) -> int option)
+
+type chooser =
+  | C_round_robin of { n : int; mutable next : int }
+  | C_random of { n : int; mutable state : int64 }
+  | C_script of { script : int array; mutable pos : int }
+  | C_solo of int
+  | C_seq of { mutable active : chooser list }
+  | C_pct of {
+      n : int;
+      priorities : int array;  (* higher runs first *)
+      change_at : (int, unit) Hashtbl.t;  (* step indices *)
+      mutable step : int;
+      mutable next_low : int;  (* next demotion priority, decreasing *)
+    }
+  | C_custom of {
+      cn : int;
+      f : n:int -> step:int -> runnable:(int -> bool) -> int option;
+      mutable cstep : int;
+    }
+
+(* SplitMix64; deterministic and independent of [Stdlib.Random]. *)
+let splitmix64_mix state =
+  let z = Int64.add state 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  (Int64.add state 0x9E3779B97F4A7C15L,
+   Int64.logxor z (Int64.shift_right_logical z 31))
+
+let rand_int state bound =
+  let state', bits = splitmix64_mix state in
+  (state',
+   Int64.to_int (Int64.rem (Int64.logand bits Int64.max_int)
+                   (Int64.of_int bound)))
+
+let rec instantiate t ~n =
+  match t with
+  | Round_robin -> C_round_robin { n; next = 0 }
+  | Random seed ->
+    (* Mix the seed so that nearby seeds give unrelated streams. *)
+    let state = Int64.add (Int64.of_int seed) 0x9E3779B97F4A7C15L in
+    C_random { n; state }
+  | Script script -> C_script { script; pos = 0 }
+  | Solo pid -> C_solo pid
+  | Seq policies -> C_seq { active = List.map (instantiate ~n) policies }
+  | Pct { seed; change_points; expected_length } ->
+    if change_points < 1 then invalid_arg "Schedule.Pct: change_points < 1";
+    if expected_length < 1 then
+      invalid_arg "Schedule.Pct: expected_length < 1";
+    let state = ref (Int64.of_int (seed lxor 0x5DEECE66)) in
+    let draw bound =
+      let state', v = rand_int !state bound in
+      state := state';
+      v
+    in
+    (* Random priority permutation in [change_points, change_points + n). *)
+    let priorities = Array.init n (fun i -> change_points + i) in
+    for i = n - 1 downto 1 do
+      let j = draw (i + 1) in
+      let tmp = priorities.(i) in
+      priorities.(i) <- priorities.(j);
+      priorities.(j) <- tmp
+    done;
+    let change_at = Hashtbl.create change_points in
+    for _ = 1 to change_points - 1 do
+      Hashtbl.replace change_at (draw expected_length) ()
+    done;
+    C_pct { n; priorities; change_at; step = 0; next_low = change_points - 1 }
+  | Custom (_, f) -> C_custom { cn = n; f; cstep = 0 }
+
+let rec choose c ~runnable =
+  match c with
+  | C_round_robin r ->
+    let rec scan tries i =
+      if tries = r.n then None
+      else if runnable i then begin
+        r.next <- (i + 1) mod r.n;
+        Some i
+      end
+      else scan (tries + 1) ((i + 1) mod r.n)
+    in
+    scan 0 r.next
+  | C_random r ->
+    (* O(1) in the common case (most processes runnable): draw uniformly
+       and retry a few times; fall back to a circular scan from a final
+       draw, which keeps the choice deterministic in the seed. *)
+    let draw () =
+      let state', v = rand_int r.state r.n in
+      r.state <- state';
+      v
+    in
+    let rec attempt tries =
+      if tries = 0 then begin
+        let start = draw () in
+        let rec scan offset =
+          if offset = r.n then None
+          else
+            let i = (start + offset) mod r.n in
+            if runnable i then Some i else scan (offset + 1)
+        in
+        scan 0
+      end
+      else
+        let i = draw () in
+        if runnable i then Some i else attempt (tries - 1)
+    in
+    attempt 8
+  | C_script s ->
+    let rec scan () =
+      if s.pos >= Array.length s.script then None
+      else begin
+        let pid = s.script.(s.pos) in
+        s.pos <- s.pos + 1;
+        if runnable pid then Some pid else scan ()
+      end
+    in
+    scan ()
+  | C_solo pid -> if runnable pid then Some pid else None
+  | C_seq s ->
+    (match s.active with
+     | [] -> None
+     | c0 :: rest ->
+       (match choose c0 ~runnable with
+        | Some pid -> Some pid
+        | None ->
+          s.active <- rest;
+          choose c ~runnable))
+  | C_pct p ->
+    let highest () =
+      let best = ref (-1) in
+      for i = 0 to p.n - 1 do
+        if runnable i && (!best < 0 || p.priorities.(i) > p.priorities.(!best))
+        then best := i
+      done;
+      if !best < 0 then None else Some !best
+    in
+    (match highest () with
+     | None -> None
+     | Some pid ->
+       if Hashtbl.mem p.change_at p.step then begin
+         (* Demote the process that would run; rechoose. *)
+         p.priorities.(pid) <- p.next_low;
+         p.next_low <- p.next_low - 1
+       end;
+       p.step <- p.step + 1;
+       highest ())
+  | C_custom c ->
+    let step = c.cstep in
+    c.cstep <- step + 1;
+    (match c.f ~n:c.cn ~step ~runnable with
+     | Some pid when not (runnable pid) ->
+       invalid_arg "Schedule.Custom: chose a non-runnable process"
+     | choice -> choice)

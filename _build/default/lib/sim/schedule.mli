@@ -1,0 +1,48 @@
+(** Scheduling policies.
+
+    A schedule decides, before every step, which runnable process moves next.
+    The asynchronous adversary of the paper is modelled by {!script} (an
+    explicit step sequence, used by the lower-bound constructions, which
+    replay deterministic executions) and by {!random} (a seeded adversary for
+    stress testing). Policies are {e descriptions}; each {!Exec.run}
+    instantiates fresh mutable state, so the same policy value can drive many
+    executions deterministically. *)
+
+type t =
+  | Round_robin
+      (** cyclic order [p0, p1, ..., p_{n-1}, p0, ...], skipping finished
+          processes *)
+  | Random of int  (** uniform among runnable processes, seeded LCG *)
+  | Script of int array
+      (** explicit pid sequence; entries naming non-runnable processes are
+          skipped; yields no further steps once exhausted *)
+  | Solo of int  (** only the given process, until it finishes *)
+  | Seq of t list
+      (** run each policy until it abstains, then move to the next *)
+  | Pct of { seed : int; change_points : int; expected_length : int }
+      (** Probabilistic Concurrency Testing (Burckhardt et al., ASPLOS
+          2010): processes get random priorities and the highest-priority
+          runnable process always runs, except at [change_points - 1]
+          random step indices (sampled from [0, expected_length)) where
+          the running process's priority is demoted below all others.
+          Finds bugs of "depth" [change_points] with probability
+          [>= 1/(n * expected_length^(change_points-1))]. Deterministic in
+          [seed]. *)
+  | Custom of string * (n:int -> step:int -> runnable:(int -> bool) -> int option)
+      (** A fully reactive adversary: the closure is called before every
+          turn with the turn index and the runnable predicate, and may
+          consult any state it captured (e.g. {!Memory.peek} on the
+          execution's memory — adversaries know everything). Returning
+          [None] abstains. The string names the adversary in debugging
+          output. Determinism and replayability are the closure's
+          responsibility (the recorded [schedule_taken] always replays). *)
+
+type chooser
+(** Instantiated mutable scheduling state. *)
+
+val instantiate : t -> n:int -> chooser
+
+val choose : chooser -> runnable:(int -> bool) -> int option
+(** [choose c ~runnable] picks the next process to step, or [None] if the
+    policy abstains (script exhausted, solo process finished, no runnable
+    process). *)

@@ -1,0 +1,79 @@
+type event =
+  | Invoke of { pid : int; op_id : int; name : string; arg : int option }
+  | Step of {
+      pid : int;
+      op_id : int;
+      access : Memory.access;
+      response : Memory.value;
+      changed : bool;
+    }
+  | Return of { pid : int; op_id : int; result : int option }
+  | Note of { pid : int; op_id : int; text : string }
+
+type t = {
+  mutable events : event array;
+  mutable used : int;
+  mutable nsteps : int;
+}
+
+let dummy = Note { pid = -1; op_id = -1; text = "" }
+
+let create () = { events = Array.make 256 dummy; used = 0; nsteps = 0 }
+
+let add t e =
+  if t.used = Array.length t.events then begin
+    let events' = Array.make (2 * t.used) dummy in
+    Array.blit t.events 0 events' 0 t.used;
+    t.events <- events'
+  end;
+  t.events.(t.used) <- e;
+  t.used <- t.used + 1;
+  match e with
+  | Step _ -> t.nsteps <- t.nsteps + 1
+  | Invoke _ | Return _ | Note _ -> ()
+
+let length t = t.used
+
+let get t i =
+  if i < 0 || i >= t.used then invalid_arg "Trace.get: index out of range";
+  t.events.(i)
+
+let iter f t =
+  for i = 0 to t.used - 1 do
+    f t.events.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.used - 1 do
+    f i t.events.(i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.used - 1 do
+    acc := f !acc t.events.(i)
+  done;
+  !acc
+
+let to_list t = List.init t.used (fun i -> t.events.(i))
+
+let steps t = t.nsteps
+
+let pp_arg ppf = function
+  | None -> ()
+  | Some v -> Format.fprintf ppf "(%d)" v
+
+let pp_event ppf = function
+  | Invoke { pid; op_id; name; arg } ->
+    Format.fprintf ppf "p%d: invoke #%d %s%a" pid op_id name pp_arg arg
+  | Step { pid; op_id; access; response; changed } ->
+    Format.fprintf ppf "p%d: step #%d %a -> %a%s" pid op_id Memory.pp_access
+      access Memory.pp_value response
+      (if changed then " !" else "")
+  | Return { pid; op_id; result } ->
+    Format.fprintf ppf "p%d: return #%d%a" pid op_id pp_arg result
+  | Note { pid; op_id; text } ->
+    Format.fprintf ppf "p%d: note #%d %s" pid op_id text
+
+let pp ppf t =
+  iter (fun e -> Format.fprintf ppf "%a@." pp_event e) t

@@ -1,0 +1,36 @@
+(** Execution traces.
+
+    A trace is the totally-ordered sequence of events of one simulated
+    execution: operation invocations, primitive steps and operation
+    responses, in the order they occurred. Linearizability checking
+    ({!Lincheck}), step-complexity metrics ({!Metrics}) and the lower-bound
+    experiments all consume traces. *)
+
+type event =
+  | Invoke of { pid : int; op_id : int; name : string; arg : int option }
+  | Step of {
+      pid : int;
+      op_id : int;  (** operation the step belongs to, [-1] outside any *)
+      access : Memory.access;
+      response : Memory.value;
+      changed : bool;  (** whether the event was visible (changed a cell) *)
+    }
+  | Return of { pid : int; op_id : int; result : int option }
+  | Note of { pid : int; op_id : int; text : string }
+
+type t
+
+val create : unit -> t
+val add : t -> event -> unit
+val length : t -> int
+val get : t -> int -> event
+val iter : (event -> unit) -> t -> unit
+val iteri : (int -> event -> unit) -> t -> unit
+val fold : ('a -> event -> 'a) -> 'a -> t -> 'a
+val to_list : t -> event list
+
+val steps : t -> int
+(** Number of [Step] events, i.e. total step count of the execution. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

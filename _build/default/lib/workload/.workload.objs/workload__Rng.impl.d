@@ -1,0 +1,1 @@
+lib/workload/rng.ml: Int64

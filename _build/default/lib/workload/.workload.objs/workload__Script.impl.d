@@ -1,0 +1,1 @@
+lib/workload/script.ml: Array List Obj_intf Rng Sim

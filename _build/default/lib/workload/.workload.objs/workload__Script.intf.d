@@ -1,0 +1,1 @@
+lib/workload/script.mli: Obj_intf

@@ -1,0 +1,17 @@
+(** Small deterministic PRNG (SplitMix64) for workload generation.
+
+    Independent of [Stdlib.Random] so that workloads are reproducible from
+    their seed alone, regardless of what tests or benches do globally. *)
+
+type t
+
+val create : seed:int -> t
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0 .. bound-1]. [bound >= 1]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> p:float -> bool
+(** [true] with probability [p]. *)

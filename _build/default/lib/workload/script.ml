@@ -1,0 +1,70 @@
+type op =
+  | Inc
+  | Read
+  | Write of int
+
+type t = op list array
+
+let counter_programs ?on_read (counter : Obj_intf.counter) script =
+  Array.map
+    (fun ops pid ->
+      List.iter
+        (fun op ->
+          match op with
+          | Inc -> Sim.Api.op_unit ~name:"inc" (fun () -> counter.c_inc ~pid)
+          | Read ->
+            let result =
+              Sim.Api.op_int ~name:"read" (fun () -> counter.c_read ~pid)
+            in
+            (match on_read with
+             | Some f -> f ~pid result
+             | None -> ())
+          | Write _ ->
+            invalid_arg "Script.counter_programs: Write in counter script")
+        ops)
+    script
+
+let maxreg_programs ?on_read (mr : Obj_intf.max_register) script =
+  Array.map
+    (fun ops pid ->
+      List.iter
+        (fun op ->
+          match op with
+          | Write v ->
+            Sim.Api.op_unit ~name:"write" ~arg:v (fun () ->
+                mr.mr_write ~pid v)
+          | Read ->
+            let result =
+              Sim.Api.op_int ~name:"read" (fun () -> mr.mr_read ~pid)
+            in
+            (match on_read with
+             | Some f -> f ~pid result
+             | None -> ())
+          | Inc -> invalid_arg "Script.maxreg_programs: Inc in maxreg script")
+        ops)
+    script
+
+let total_ops script =
+  Array.fold_left (fun acc ops -> acc + List.length ops) 0 script
+
+let counter_mix ~seed ~n ~ops_per_process ~read_fraction =
+  let rng = Rng.create ~seed in
+  Array.init n (fun _pid ->
+      List.init ops_per_process (fun _ ->
+          if Rng.bool rng ~p:read_fraction then Read else Inc))
+
+let inc_then_read ~n = Array.init n (fun _ -> [ Inc; Read ])
+
+let writes_then_read ~seed ~n ~writes_per_process ~max_value =
+  if max_value < 2 then invalid_arg "Script.writes_then_read: max_value < 2";
+  let rng = Rng.create ~seed in
+  Array.init n (fun _pid ->
+      List.init writes_per_process (fun _ ->
+          Write (1 + Rng.int rng (max_value - 1)))
+      @ [ Read ])
+
+let monotone_writes ~n ~writes_per_process ~stride =
+  Array.init n (fun pid ->
+      List.concat
+        (List.init writes_per_process (fun i ->
+             [ Write ((pid * stride) + 1 + (i * n * stride)); Read ])))

@@ -1,0 +1,53 @@
+(** Per-process operation scripts and the drivers turning them into
+    simulator programs.
+
+    A script assigns each process the list of operations it will perform.
+    Drivers wrap every operation in {!Sim.Api.op} with the canonical names
+    (["inc"], ["read"], ["write"]) so that traces feed directly into
+    {!Lincheck} and {!Sim.Metrics}. *)
+
+type op =
+  | Inc  (** counter increment *)
+  | Read  (** counter or max-register read *)
+  | Write of int  (** max-register write *)
+
+type t = op list array
+(** [t.(pid)] is the operation sequence of process [pid]. *)
+
+val counter_programs :
+  ?on_read:(pid:int -> int -> unit) ->
+  Obj_intf.counter ->
+  t ->
+  (int -> unit) array
+(** Programs executing the script against a counter. [on_read] observes
+    every read result (local computation; no steps).
+    @raise Invalid_argument if the script contains [Write]. *)
+
+val maxreg_programs :
+  ?on_read:(pid:int -> int -> unit) ->
+  Obj_intf.max_register ->
+  t ->
+  (int -> unit) array
+(** Programs executing the script against a max register.
+    @raise Invalid_argument if the script contains [Inc]. *)
+
+val total_ops : t -> int
+
+val counter_mix :
+  seed:int -> n:int -> ops_per_process:int -> read_fraction:float -> t
+(** Random mix of increments and reads, i.i.d. per slot. *)
+
+val inc_then_read : n:int -> t
+(** The lower-bound workload of Theorem III.11: every process performs one
+    increment followed by one read. *)
+
+val writes_then_read :
+  seed:int -> n:int -> writes_per_process:int -> max_value:int -> t
+(** Each process writes [writes_per_process] uniform values in
+    [1 .. max_value-1] and finishes with one read. *)
+
+val monotone_writes :
+  n:int -> writes_per_process:int -> stride:int -> t
+(** Process [p] writes the increasing sequence
+    [p*stride + 1, p*stride + 1 + n*stride, ...] interleaved with reads —
+    a high-contention monotone workload for max registers. *)

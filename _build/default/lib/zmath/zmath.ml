@@ -1,0 +1,82 @@
+exception Overflow
+
+let mul_opt a b =
+  if a < 0 || b < 0 then invalid_arg "Zmath.mul_opt: negative argument";
+  if a = 0 || b = 0 then Some 0
+  else if a > max_int / b then None
+  else Some (a * b)
+
+let pow_opt k e =
+  if k < 0 || e < 0 then invalid_arg "Zmath.pow_opt: negative argument";
+  let rec go acc k e =
+    if e = 0 then Some acc
+    else
+      let acc = if e land 1 = 1 then mul_opt acc k else Some acc in
+      match acc with
+      | None -> None
+      | Some acc ->
+        if e lsr 1 = 0 then Some acc
+        else (match mul_opt k k with
+              | None -> None
+              | Some k2 -> go acc k2 (e lsr 1))
+  in
+  go 1 k e
+
+let pow k e =
+  match pow_opt k e with
+  | Some v -> v
+  | None -> raise Overflow
+
+let floor_log ~base v =
+  if base < 2 then invalid_arg "Zmath.floor_log: base < 2";
+  if v < 1 then invalid_arg "Zmath.floor_log: v < 1";
+  let rec go e acc =
+    match mul_opt acc base with
+    | Some acc' when acc' <= v -> go (e + 1) acc'
+    | Some _ | None -> e
+  in
+  go 0 1
+
+let is_power_aux ~base v e =
+  match pow_opt base e with Some p -> p = v | None -> false
+
+let ceil_log ~base v =
+  if v = 1 then 0
+  else
+    let f = floor_log ~base v in
+    if is_power_aux ~base v f then f else f + 1
+
+let ceil_log2 v = ceil_log ~base:2 v
+
+let is_power ~base v =
+  if v < 1 then false else is_power_aux ~base v (floor_log ~base v)
+
+let ceil_sqrt v =
+  if v < 0 then invalid_arg "Zmath.ceil_sqrt: negative argument";
+  if v = 0 then 0
+  else begin
+    let s = int_of_float (Float.sqrt (float_of_int v)) in
+    (* Correct the float estimate in both directions. *)
+    let s = ref (max 1 s) in
+    while !s * !s >= v && !s > 1 && (!s - 1) * (!s - 1) >= v do decr s done;
+    while !s * !s < v do incr s done;
+    !s
+  end
+
+let within_k ~k ~exact x =
+  if k < 1 || exact < 0 || x < 0 then
+    invalid_arg "Zmath.within_k: negative argument";
+  let le_mul a b c =
+    (* a <= b * c without overflow *)
+    match mul_opt b c with Some p -> a <= p | None -> true
+  in
+  le_mul exact x k && le_mul x exact k
+
+let geometric_sum ~base ~lo ~hi =
+  let rec go acc l =
+    if l > hi then acc
+    else
+      let term = pow base l in
+      if acc > max_int - term then raise Overflow else go (acc + term) (l + 1)
+  in
+  if lo > hi then 0 else go 0 lo

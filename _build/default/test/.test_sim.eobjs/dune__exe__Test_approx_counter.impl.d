@@ -1,0 +1,1 @@
+test/test_approx_counter.ml: Alcotest Approx Array Fun Lincheck List Option Printf Sim Workload

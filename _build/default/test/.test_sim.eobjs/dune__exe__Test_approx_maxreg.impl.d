@@ -1,0 +1,1 @@
+test/test_approx_maxreg.ml: Alcotest Approx Array Lincheck List Maxreg Option Printf QCheck QCheck_alcotest Sim Workload Zmath

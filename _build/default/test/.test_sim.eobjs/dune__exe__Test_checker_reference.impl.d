@@ -1,0 +1,1 @@
+test/test_checker_reference.ml: Alcotest Array Lincheck List QCheck QCheck_alcotest Sim Workload

@@ -1,0 +1,1 @@
+test/test_counters.ml: Alcotest Array Counters Lincheck List Obj_intf Printf Sim Workload

@@ -1,0 +1,1 @@
+test/test_erratum.ml: Alcotest Approx Array Lincheck List Printf QCheck QCheck_alcotest Sim Workload Zmath

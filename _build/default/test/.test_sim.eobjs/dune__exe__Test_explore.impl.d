@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Approx Array Counters Fun Lincheck List Obj_intf Prims Printf Sim Workload

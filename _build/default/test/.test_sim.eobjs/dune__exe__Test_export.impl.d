@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Buffer Counters Filename Fun List Sim String Sys Workload

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Approx Array Counters Lincheck List Printf Sim Workload Zmath

@@ -1,0 +1,1 @@
+test/test_lincheck.ml: Alcotest Array Counters Lincheck List Option QCheck QCheck_alcotest Sim Workload

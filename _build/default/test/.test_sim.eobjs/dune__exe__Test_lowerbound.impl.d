@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest Approx Counters Float List Lowerbound Maxreg Printf Sim

@@ -1,0 +1,1 @@
+test/test_maxreg.ml: Alcotest Array Lincheck List Maxreg Obj_intf Option Printf QCheck QCheck_alcotest Sim Workload Zmath

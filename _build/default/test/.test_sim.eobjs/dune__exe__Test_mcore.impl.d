@@ -1,0 +1,1 @@
+test/test_mcore.ml: Alcotest Array Atomic List Mcore Printf Zmath

@@ -1,0 +1,1 @@
+test/test_more_counters.ml: Alcotest Array Atomic Counters Lincheck List Mcore Printf Sim Workload Zmath

@@ -1,0 +1,1 @@
+test/test_prims.ml: Alcotest Array List Prims Sim

@@ -1,0 +1,1 @@
+test/test_quiescent.ml: Alcotest Counters Lincheck List Obj_intf Printf Sim Workload

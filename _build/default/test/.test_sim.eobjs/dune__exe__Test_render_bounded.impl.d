@@ -1,0 +1,1 @@
+test/test_render_bounded.ml: Alcotest Approx Array Counters Lincheck List Printf Sim String Workload Zmath

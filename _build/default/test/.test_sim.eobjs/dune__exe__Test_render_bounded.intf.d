@@ -1,0 +1,1 @@
+test/test_render_bounded.mli:

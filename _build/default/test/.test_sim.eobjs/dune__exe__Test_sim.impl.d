@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Format List Option Sim

@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Approx Array Counters Fun List Maxreg Obj_intf Printf Sim Workload Zmath

@@ -1,0 +1,1 @@
+test/test_solo.ml: Alcotest Approx Counters Format Fun List Lowerbound Maxreg QCheck QCheck_alcotest Sim Workload Zmath

@@ -1,0 +1,1 @@
+test/test_variants.ml: Alcotest Approx Array Lincheck List Obj_intf Printf Sim Workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Counters List Printf Sim Workload

@@ -1,0 +1,1 @@
+test/test_zmath.ml: Alcotest QCheck QCheck_alcotest Zmath

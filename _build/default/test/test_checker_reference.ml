@@ -1,0 +1,143 @@
+(* Differential testing of the linearizability checker: a brute-force
+   reference (enumerate all orderings of completed ops x all subsets of
+   pending mutators, filter by real-time precedence, replay through the
+   spec) must agree with the memoized DFS checker on small histories. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force reference checker                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec insert_everywhere x = function
+  | [] -> [ [ x ] ]
+  | y :: rest ->
+    (x :: y :: rest)
+    :: List.map (fun l -> y :: l) (insert_everywhere x rest)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | x :: rest ->
+    List.concat_map (insert_everywhere x) (permutations rest)
+
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+    let without = subsets rest in
+    without @ List.map (fun s -> x :: s) without
+
+let respects_realtime ops =
+  (* No completed op may appear after an op it precedes. *)
+  let rec go = function
+    | [] -> true
+    | (a : Lincheck.History.op) :: rest ->
+      List.for_all (fun b -> not (Lincheck.History.precedes b a)) rest
+      && go rest
+  in
+  go ops
+
+let legal spec ops =
+  let rec replay state = function
+    | [] -> true
+    | (op : Lincheck.History.op) :: rest ->
+      (match
+         spec.Lincheck.Spec.step state ~name:op.name ~arg:op.arg
+           ~result:op.result
+       with
+       | Some state' -> replay state' rest
+       | None -> false)
+  in
+  replay spec.Lincheck.Spec.initial ops
+
+let reference_check spec (history : Lincheck.History.op array) =
+  let completed, pending =
+    List.partition
+      (fun (o : Lincheck.History.op) -> o.completed)
+      (Array.to_list history)
+  in
+  (* Pending reads can never be legal (no result); only mutators matter. *)
+  let pending_mutators =
+    List.filter (fun (o : Lincheck.History.op) -> o.name <> "read") pending
+  in
+  List.exists
+    (fun included ->
+      List.exists
+        (fun order -> respects_realtime order && legal spec order)
+        (permutations (completed @ included)))
+    (subsets pending_mutators)
+
+(* ------------------------------------------------------------------ *)
+(* Random history generation                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Generate a small random history directly (not via the simulator), so
+   that both legal and illegal histories appear. *)
+let random_history rng ~n_ops =
+  let trace = Sim.Trace.create () in
+  let pending = ref [] in
+  let op_counter = ref 0 in
+  for _ = 1 to n_ops do
+    (* Either invoke a new op on a fresh pid, or return a pending one. *)
+    let invoke =
+      List.length !pending = 0
+      || (List.length !pending < 3 && Workload.Rng.bool rng ~p:0.55)
+    in
+    if invoke then begin
+      let op_id = !op_counter in
+      incr op_counter;
+      let pid = op_id in
+      let name = if Workload.Rng.bool rng ~p:0.5 then "inc" else "read" in
+      Sim.Trace.add trace (Sim.Trace.Invoke { pid; op_id; name; arg = None });
+      pending := (op_id, pid, name) :: !pending
+    end
+    else begin
+      let idx = Workload.Rng.int rng (List.length !pending) in
+      let op_id, pid, name = List.nth !pending idx in
+      pending := List.filter (fun (id, _, _) -> id <> op_id) !pending;
+      let result =
+        if name = "read" then Some (Workload.Rng.int rng 4) else None
+      in
+      Sim.Trace.add trace (Sim.Trace.Return { pid; op_id; result })
+    end
+  done;
+  Lincheck.History.of_trace trace
+
+let prop_agrees_with_reference =
+  QCheck.Test.make ~name:"DFS checker agrees with brute force" ~count:300
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Workload.Rng.create ~seed in
+      let history = random_history rng ~n_ops:(4 + Workload.Rng.int rng 5) in
+      if Array.length history > 7 then true
+      else begin
+        let spec = Lincheck.Spec.exact_counter in
+        let fast =
+          match Lincheck.Checker.check spec history with
+          | Lincheck.Checker.Linearizable _ -> true
+          | Lincheck.Checker.Not_linearizable -> false
+        in
+        fast = reference_check spec history
+      end)
+
+let prop_agrees_k_counter =
+  QCheck.Test.make ~name:"DFS checker agrees with brute force (k-spec)"
+    ~count:300
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Workload.Rng.create ~seed in
+      let history = random_history rng ~n_ops:(4 + Workload.Rng.int rng 5) in
+      if Array.length history > 7 then true
+      else begin
+        let spec = Lincheck.Spec.k_counter ~k:2 in
+        let fast =
+          match Lincheck.Checker.check spec history with
+          | Lincheck.Checker.Linearizable _ -> true
+          | Lincheck.Checker.Not_linearizable -> false
+        in
+        fast = reference_check spec history
+      end)
+
+let suite =
+  [ qtest prop_agrees_with_reference; qtest prop_agrees_k_counter ]
+
+let () = Alcotest.run "checker_reference" [ ("checker_reference", suite) ]

@@ -1,0 +1,263 @@
+(* Tests for exhaustive schedule exploration and the PCT scheduler. *)
+
+let check = Alcotest.check
+let vi = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive exploration                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_explore_faa_counter () =
+  (* 2 processes x (inc; read): every interleaving linearizable. *)
+  let build () =
+    let exec = Sim.Exec.create ~n:2 () in
+    let counter = Counters.Faa_counter.create exec () in
+    let programs =
+      Workload.Script.counter_programs (Counters.Faa_counter.handle counter)
+        (Workload.Script.inc_then_read ~n:2)
+    in
+    (exec, programs)
+  in
+  let stats =
+    Lincheck.Explore.exhaustive ~build ~spec:Lincheck.Spec.exact_counter ()
+  in
+  check vi "violations" 0 stats.violations;
+  Alcotest.(check bool) "not truncated" false stats.truncated;
+  (* 2 procs, 2 steps each: (4 choose 2) = 6 interleavings. *)
+  check vi "executions" 6 stats.executions
+
+let test_explore_kcounter_exhaustive () =
+  (* Exhaustively verify Algorithm 1's linearizability on a small
+     instance: n = 2, k = 2, each process incs twice then reads. *)
+  let build () =
+    let exec = Sim.Exec.create ~n:2 () in
+    let counter = Approx.Kcounter.create exec ~n:2 ~k:2 () in
+    let programs =
+      Workload.Script.counter_programs (Approx.Kcounter.handle counter)
+        [| [ Inc; Inc; Read ]; [ Inc; Inc; Read ] |]
+    in
+    (exec, programs)
+  in
+  let stats =
+    Lincheck.Explore.exhaustive ~build ~spec:(Lincheck.Spec.k_counter ~k:2) ()
+  in
+  check vi "violations" 0 stats.violations;
+  Alcotest.(check bool) "not truncated" false stats.truncated;
+  Alcotest.(check bool) "explored many executions" true
+    (stats.executions > 10)
+
+let test_explore_kmaxreg_exhaustive () =
+  (* m = 5 keeps the inner register on the tree branch for n = 2 (the
+     snapshot branch retries under contention, blowing up the state
+     space beyond exhaustive reach). *)
+  let build () =
+    let exec = Sim.Exec.create ~n:2 () in
+    let mr = Approx.Kmaxreg.create exec ~n:2 ~m:5 ~k:2 () in
+    let programs =
+      Workload.Script.maxreg_programs (Approx.Kmaxreg.handle mr)
+        [| [ Write 2; Read ]; [ Write 4; Read ] |]
+    in
+    (exec, programs)
+  in
+  let stats =
+    Lincheck.Explore.exhaustive ~build
+      ~spec:(Lincheck.Spec.k_max_register ~k:2) ()
+  in
+  check vi "violations" 0 stats.violations;
+  Alcotest.(check bool) "not truncated" false stats.truncated
+
+(* Negative control: the collect-based max register this repository's
+   first Linear_maxreg used. A read that collects cells one by one is not
+   linearizable (the maximum can jump past the assembled value); the
+   explorer must find a violating interleaving. *)
+module Broken_collect_maxreg = struct
+  type t = { cells : Prims.Collect.t; own : int array }
+
+  let create exec ~n =
+    { cells = Prims.Collect.create exec ~name:"broken" ~n ();
+      own = Array.make n 0 }
+
+  let write t ~pid v =
+    if v > t.own.(pid) then begin
+      t.own.(pid) <- v;
+      Prims.Collect.update t.cells ~pid v
+    end
+
+  let read t ~pid:_ = Prims.Collect.collect_fold t.cells ~init:0 ~f:max
+
+  let handle t =
+    { Obj_intf.mr_label = "broken-collect-maxreg";
+      mr_write = (fun ~pid v -> write t ~pid v);
+      mr_read = (fun ~pid -> read t ~pid) }
+end
+
+let test_explore_finds_collect_maxreg_bug () =
+  (* 3 processes: a reader and two writers; writer A writes the larger
+     value to the cell the reader scans first. *)
+  let build () =
+    let exec = Sim.Exec.create ~n:3 () in
+    let mr = Broken_collect_maxreg.create exec ~n:3 in
+    let programs =
+      Workload.Script.maxreg_programs
+        (Broken_collect_maxreg.handle mr)
+        [| [ Write 9 ]; [ Write 7 ]; [ Read; Read ] |]
+    in
+    (exec, programs)
+  in
+  let stats =
+    Lincheck.Explore.exhaustive ~build ~spec:Lincheck.Spec.exact_max_register
+      ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "found %d violations in %d executions" stats.violations
+       stats.executions)
+    true
+    (stats.violations > 0);
+  (* The witness schedule replays to a genuinely non-linearizable trace. *)
+  match stats.first_violation with
+  | None -> Alcotest.fail "no witness"
+  | Some schedule ->
+    let exec, programs = build () in
+    ignore
+      (Sim.Exec.run exec ~programs ~policy:(Sim.Schedule.Script schedule) ());
+    (match
+       Lincheck.Checker.check_trace Lincheck.Spec.exact_max_register
+         (Sim.Exec.trace exec)
+     with
+     | Lincheck.Checker.Not_linearizable -> ()
+     | Lincheck.Checker.Linearizable _ ->
+       Alcotest.fail "witness schedule did not reproduce")
+
+let test_explore_limit () =
+  let build () =
+    let exec = Sim.Exec.create ~n:3 () in
+    let counter = Counters.Collect_counter.create exec ~n:3 () in
+    let programs =
+      Workload.Script.counter_programs
+        (Counters.Collect_counter.handle counter)
+        (Array.make 3 [ Workload.Script.Inc; Read; Inc; Read ])
+    in
+    (exec, programs)
+  in
+  let stats =
+    Lincheck.Explore.exhaustive ~build ~spec:Lincheck.Spec.exact_counter
+      ~limit:50 ()
+  in
+  Alcotest.(check bool) "truncated" true stats.truncated;
+  check vi "leaves capped" 50 stats.executions
+
+(* ------------------------------------------------------------------ *)
+(* PCT scheduler                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_pct_deterministic () =
+  let draw seed =
+    let c =
+      Sim.Schedule.instantiate
+        (Sim.Schedule.Pct { seed; change_points = 3; expected_length = 40 })
+        ~n:4
+    in
+    List.init 40 (fun _ ->
+        match Sim.Schedule.choose c ~runnable:(fun _ -> true) with
+        | Some pid -> pid
+        | None -> -1)
+  in
+  check (Alcotest.list vi) "same seed" (draw 5) (draw 5);
+  Alcotest.(check bool) "different seeds differ" true (draw 5 <> draw 6)
+
+let test_pct_priority_based () =
+  (* With no change points, PCT runs the highest-priority process
+     exclusively until it finishes. *)
+  let c =
+    Sim.Schedule.instantiate
+      (Sim.Schedule.Pct { seed = 1; change_points = 1; expected_length = 10 })
+      ~n:3
+  in
+  let picks =
+    List.init 10 (fun _ ->
+        match Sim.Schedule.choose c ~runnable:(fun _ -> true) with
+        | Some pid -> pid
+        | None -> -1)
+  in
+  match picks with
+  | first :: rest ->
+    Alcotest.(check bool) "single process runs" true
+      (List.for_all (fun p -> p = first) rest)
+  | [] -> Alcotest.fail "no picks"
+
+let test_pct_demotion_changes_processes () =
+  (* With change points, different processes get to run. *)
+  let distinct seed =
+    let c =
+      Sim.Schedule.instantiate
+        (Sim.Schedule.Pct { seed; change_points = 4; expected_length = 30 })
+        ~n:4
+    in
+    List.init 30 (fun _ ->
+        match Sim.Schedule.choose c ~runnable:(fun _ -> true) with
+        | Some pid -> pid
+        | None -> -1)
+    |> List.sort_uniq compare |> List.length
+  in
+  (* over several seeds, at least one schedule exercises 3+ processes *)
+  Alcotest.(check bool) "change points diversify" true
+    (List.exists (fun s -> distinct s >= 3) [ 1; 2; 3; 4; 5 ])
+
+let test_pct_respects_runnable () =
+  let c =
+    Sim.Schedule.instantiate
+      (Sim.Schedule.Pct { seed = 9; change_points = 2; expected_length = 20 })
+      ~n:3
+  in
+  let runnable pid = pid <> 1 in
+  for _ = 1 to 20 do
+    match Sim.Schedule.choose c ~runnable with
+    | Some 1 -> Alcotest.fail "picked non-runnable process"
+    | Some _ -> ()
+    | None -> Alcotest.fail "abstained with runnable processes"
+  done
+
+let test_pct_drives_kcounter () =
+  (* PCT schedules exercise the counter without violating the spec. *)
+  for seed = 0 to 19 do
+    let n = 3 in
+    let exec = Sim.Exec.create ~n () in
+    let counter = Approx.Kcounter.create exec ~n ~k:2 () in
+    let script =
+      Workload.Script.counter_mix ~seed ~n ~ops_per_process:5
+        ~read_fraction:0.4
+    in
+    let programs =
+      Workload.Script.counter_programs (Approx.Kcounter.handle counter) script
+    in
+    let outcome =
+      Sim.Exec.run exec ~programs
+        ~policy:(Sim.Schedule.Pct
+                   { seed; change_points = 5; expected_length = 60 })
+        ()
+    in
+    Alcotest.(check bool) "all finished" true
+      (Array.for_all Fun.id outcome.completed);
+    match
+      Lincheck.Checker.check_trace (Lincheck.Spec.k_counter ~k:2)
+        (Sim.Exec.trace exec)
+    with
+    | Lincheck.Checker.Linearizable _ -> ()
+    | Lincheck.Checker.Not_linearizable ->
+      Alcotest.failf "seed %d: not linearizable" seed
+  done
+
+let suite =
+  [ ("explore faa counter", `Quick, test_explore_faa_counter);
+    ("explore kcounter exhaustive", `Slow, test_explore_kcounter_exhaustive);
+    ("explore kmaxreg exhaustive", `Slow, test_explore_kmaxreg_exhaustive);
+    ("explore finds collect-maxreg bug", `Quick,
+     test_explore_finds_collect_maxreg_bug);
+    ("explore limit", `Quick, test_explore_limit);
+    ("pct deterministic", `Quick, test_pct_deterministic);
+    ("pct priority based", `Quick, test_pct_priority_based);
+    ("pct demotion diversifies", `Quick, test_pct_demotion_changes_processes);
+    ("pct respects runnable", `Quick, test_pct_respects_runnable);
+    ("pct drives kcounter", `Quick, test_pct_drives_kcounter) ]
+
+let () = Alcotest.run "explore" [ ("explore", suite) ]

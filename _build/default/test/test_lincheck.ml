@@ -1,0 +1,299 @@
+(* Self-tests for the linearizability checker: hand-crafted histories with
+   known verdicts, plus property tests against the specs. *)
+
+let check = Alcotest.check
+
+(* Build a history directly (bypassing the simulator) from a list of
+   events: (`Inv (op_id, pid, name, arg)) and (`Ret (op_id, result)). *)
+let history events =
+  let trace = Sim.Trace.create () in
+  List.iter
+    (fun event ->
+      match event with
+      | `Inv (op_id, pid, name, arg) ->
+        Sim.Trace.add trace (Sim.Trace.Invoke { pid; op_id; name; arg })
+      | `Ret (op_id, pid, result) ->
+        Sim.Trace.add trace (Sim.Trace.Return { pid; op_id; result }))
+    events;
+  Lincheck.History.of_trace trace
+
+let is_lin spec events =
+  match Lincheck.Checker.check spec (history events) with
+  | Lincheck.Checker.Linearizable _ -> true
+  | Lincheck.Checker.Not_linearizable -> false
+
+(* ------------------------------------------------------------------ *)
+(* Register histories (textbook cases)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_register_sequential_ok () =
+  Alcotest.(check bool) "w1 r1" true
+    (is_lin Lincheck.Spec.register
+       [ `Inv (0, 0, "write", Some 1);
+         `Ret (0, 0, None);
+         `Inv (1, 0, "read", None);
+         `Ret (1, 0, Some 1) ])
+
+let test_register_stale_read_rejected () =
+  (* read returning the overwritten value after the overwrite completed *)
+  Alcotest.(check bool) "stale read" false
+    (is_lin Lincheck.Spec.register
+       [ `Inv (0, 0, "write", Some 1);
+         `Ret (0, 0, None);
+         `Inv (1, 0, "write", Some 2);
+         `Ret (1, 0, None);
+         `Inv (2, 1, "read", None);
+         `Ret (2, 1, Some 1) ])
+
+let test_register_concurrent_either_ok () =
+  (* A read concurrent with a write may return old or new value. *)
+  let base result =
+    [ `Inv (0, 0, "write", Some 1);
+      `Ret (0, 0, None);
+      `Inv (1, 0, "write", Some 2);
+      `Inv (2, 1, "read", None);
+      `Ret (2, 1, Some result);
+      `Ret (1, 0, None) ]
+  in
+  Alcotest.(check bool) "old value" true (is_lin Lincheck.Spec.register (base 1));
+  Alcotest.(check bool) "new value" true (is_lin Lincheck.Spec.register (base 2));
+  Alcotest.(check bool) "other value" false
+    (is_lin Lincheck.Spec.register (base 3))
+
+let test_new_old_inversion_rejected () =
+  (* Two sequential reads seeing new-then-old is not linearizable. *)
+  Alcotest.(check bool) "inversion" false
+    (is_lin Lincheck.Spec.register
+       [ `Inv (0, 0, "write", Some 1);
+         `Ret (0, 0, None);
+         `Inv (1, 0, "write", Some 2);
+         `Inv (2, 1, "read", None);
+         `Ret (2, 1, Some 2);
+         `Inv (3, 1, "read", None);
+         `Ret (3, 1, Some 1);
+         `Ret (1, 0, None) ])
+
+(* ------------------------------------------------------------------ *)
+(* Counter histories                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_exact_counter_ok () =
+  Alcotest.(check bool) "inc inc read 2" true
+    (is_lin Lincheck.Spec.exact_counter
+       [ `Inv (0, 0, "inc", None);
+         `Ret (0, 0, None);
+         `Inv (1, 0, "inc", None);
+         `Ret (1, 0, None);
+         `Inv (2, 0, "read", None);
+         `Ret (2, 0, Some 2) ])
+
+let test_exact_counter_missed_inc_rejected () =
+  Alcotest.(check bool) "read 1 after 2 incs" false
+    (is_lin Lincheck.Spec.exact_counter
+       [ `Inv (0, 0, "inc", None);
+         `Ret (0, 0, None);
+         `Inv (1, 0, "inc", None);
+         `Ret (1, 0, None);
+         `Inv (2, 0, "read", None);
+         `Ret (2, 0, Some 1) ])
+
+let test_pending_inc_may_count () =
+  (* An inc that never returned may still be linearized. *)
+  Alcotest.(check bool) "pending inc counted" true
+    (is_lin Lincheck.Spec.exact_counter
+       [ `Inv (0, 0, "inc", None);
+         `Inv (1, 1, "read", None);
+         `Ret (1, 1, Some 1) ])
+
+let test_pending_inc_may_not_count () =
+  Alcotest.(check bool) "pending inc ignored" true
+    (is_lin Lincheck.Spec.exact_counter
+       [ `Inv (0, 0, "inc", None);
+         `Inv (1, 1, "read", None);
+         `Ret (1, 1, Some 0) ])
+
+let test_k_counter_envelope () =
+  let events x =
+    [ `Inv (0, 0, "inc", None);
+      `Ret (0, 0, None);
+      `Inv (1, 0, "inc", None);
+      `Ret (1, 0, None);
+      `Inv (2, 0, "inc", None);
+      `Ret (2, 0, None);
+      `Inv (3, 0, "inc", None);
+      `Ret (3, 0, None);
+      `Inv (4, 0, "read", None);
+      `Ret (4, 0, Some x) ]
+  in
+  let spec = Lincheck.Spec.k_counter ~k:2 in
+  Alcotest.(check bool) "x=2 ok (4/2)" true (is_lin spec (events 2));
+  Alcotest.(check bool) "x=8 ok (4*2)" true (is_lin spec (events 8));
+  Alcotest.(check bool) "x=1 rejected" false (is_lin spec (events 1));
+  Alcotest.(check bool) "x=9 rejected" false (is_lin spec (events 9))
+
+let test_k_counter_zero_strict () =
+  (* With zero increments, a k-approximate read must return exactly 0. *)
+  let spec = Lincheck.Spec.k_counter ~k:10 in
+  Alcotest.(check bool) "0 ok" true
+    (is_lin spec [ `Inv (0, 0, "read", None); `Ret (0, 0, Some 0) ]);
+  Alcotest.(check bool) "1 rejected" false
+    (is_lin spec [ `Inv (0, 0, "read", None); `Ret (0, 0, Some 1) ])
+
+(* ------------------------------------------------------------------ *)
+(* Max-register histories                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_exact_maxreg_ok () =
+  Alcotest.(check bool) "max kept" true
+    (is_lin Lincheck.Spec.exact_max_register
+       [ `Inv (0, 0, "write", Some 9);
+         `Ret (0, 0, None);
+         `Inv (1, 0, "write", Some 3);
+         `Ret (1, 0, None);
+         `Inv (2, 0, "read", None);
+         `Ret (2, 0, Some 9) ])
+
+let test_exact_maxreg_drop_rejected () =
+  Alcotest.(check bool) "max dropped" false
+    (is_lin Lincheck.Spec.exact_max_register
+       [ `Inv (0, 0, "write", Some 9);
+         `Ret (0, 0, None);
+         `Inv (1, 0, "write", Some 3);
+         `Ret (1, 0, None);
+         `Inv (2, 0, "read", None);
+         `Ret (2, 0, Some 3) ])
+
+let test_k_maxreg_envelope () =
+  let events x =
+    [ `Inv (0, 0, "write", Some 8);
+      `Ret (0, 0, None);
+      `Inv (1, 0, "read", None);
+      `Ret (1, 0, Some x) ]
+  in
+  let spec = Lincheck.Spec.k_max_register ~k:2 in
+  Alcotest.(check bool) "x=4 ok" true (is_lin spec (events 4));
+  Alcotest.(check bool) "x=16 ok" true (is_lin spec (events 16));
+  Alcotest.(check bool) "x=3 rejected" false (is_lin spec (events 3));
+  Alcotest.(check bool) "x=17 rejected" false (is_lin spec (events 17))
+
+(* ------------------------------------------------------------------ *)
+(* Checker mechanics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_witness_is_legal () =
+  (* The returned witness replays through the spec successfully. *)
+  let events =
+    [ `Inv (0, 0, "inc", None);
+      `Inv (1, 1, "inc", None);
+      `Ret (0, 0, None);
+      `Ret (1, 1, None);
+      `Inv (2, 0, "read", None);
+      `Ret (2, 0, Some 2) ]
+  in
+  let ops = history events in
+  (match Lincheck.Checker.check Lincheck.Spec.exact_counter ops with
+   | Lincheck.Checker.Not_linearizable -> Alcotest.fail "should linearize"
+   | Lincheck.Checker.Linearizable witness ->
+     check Alcotest.int "all completed ops in witness" 3 (List.length witness);
+     let find id =
+       Array.to_list ops
+       |> List.find (fun (o : Lincheck.History.op) -> o.op_id = id)
+     in
+     let final =
+       List.fold_left
+         (fun state id ->
+           let op = find id in
+           match
+             Lincheck.Spec.(Lincheck.Spec.exact_counter.step) state
+               ~name:op.Lincheck.History.name ~arg:op.arg ~result:op.result
+           with
+           | Some s -> s
+           | None -> Alcotest.fail "witness step illegal")
+         Lincheck.Spec.(Lincheck.Spec.exact_counter.initial)
+         witness
+     in
+     check Alcotest.int "final state" 2 final)
+
+let test_history_size_limit () =
+  let events =
+    List.concat
+      (List.init 63 (fun i ->
+           [ `Inv (i, 0, "inc", None); `Ret (i, 0, None) ]))
+  in
+  Alcotest.check_raises "history too large"
+    (Invalid_argument "Checker.check: history too large (> 62 ops)")
+    (fun () ->
+      ignore (Lincheck.Checker.check Lincheck.Spec.exact_counter
+                (history events)))
+
+let test_empty_history () =
+  Alcotest.(check bool) "empty linearizable" true
+    (is_lin Lincheck.Spec.exact_counter [])
+
+(* Cross-validation: random faa-counter histories are always accepted by
+   the exact spec, and reads perturbed upward are rejected. *)
+let prop_random_histories =
+  QCheck.Test.make ~name:"faa histories linearizable; perturbed rejected"
+    ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let n = 3 in
+      let exec = Sim.Exec.create ~n () in
+      let counter = Counters.Faa_counter.create exec () in
+      let script =
+        Workload.Script.counter_mix ~seed ~n ~ops_per_process:4
+          ~read_fraction:0.5
+      in
+      let programs =
+        Workload.Script.counter_programs (Counters.Faa_counter.handle counter)
+          script
+      in
+      ignore
+        (Sim.Exec.run exec ~programs ~policy:(Sim.Schedule.Random seed) ());
+      let ops = Lincheck.History.of_trace (Sim.Exec.trace exec) in
+      let ok =
+        match Lincheck.Checker.check Lincheck.Spec.exact_counter ops with
+        | Lincheck.Checker.Linearizable _ -> true
+        | Lincheck.Checker.Not_linearizable -> false
+      in
+      (* Perturb: add 1000 to the first completed read's result; with at
+         most 12 increments in the history this cannot be legal. *)
+      let perturbed = Array.map (fun o -> o) ops in
+      let changed = ref false in
+      Array.iteri
+        (fun i (o : Lincheck.History.op) ->
+          if (not !changed) && o.name = "read" && o.completed then begin
+            perturbed.(i) <-
+              { o with result = Some (Option.get o.result + 1000) };
+            changed := true
+          end)
+        perturbed;
+      let bad_accepted =
+        !changed
+        &&
+        match Lincheck.Checker.check Lincheck.Spec.exact_counter perturbed with
+        | Lincheck.Checker.Linearizable _ -> true
+        | Lincheck.Checker.Not_linearizable -> false
+      in
+      ok && not bad_accepted)
+
+let suite =
+  [ ("register sequential", `Quick, test_register_sequential_ok);
+    ("register stale read", `Quick, test_register_stale_read_rejected);
+    ("register concurrent either", `Quick, test_register_concurrent_either_ok);
+    ("new-old inversion", `Quick, test_new_old_inversion_rejected);
+    ("exact counter ok", `Quick, test_exact_counter_ok);
+    ("exact counter missed inc", `Quick, test_exact_counter_missed_inc_rejected);
+    ("pending inc may count", `Quick, test_pending_inc_may_count);
+    ("pending inc may not count", `Quick, test_pending_inc_may_not_count);
+    ("k counter envelope", `Quick, test_k_counter_envelope);
+    ("k counter zero strict", `Quick, test_k_counter_zero_strict);
+    ("exact maxreg ok", `Quick, test_exact_maxreg_ok);
+    ("exact maxreg drop", `Quick, test_exact_maxreg_drop_rejected);
+    ("k maxreg envelope", `Quick, test_k_maxreg_envelope);
+    ("witness is legal", `Quick, test_witness_is_legal);
+    ("history size limit", `Quick, test_history_size_limit);
+    ("empty history", `Quick, test_empty_history);
+    QCheck_alcotest.to_alcotest prop_random_histories ]
+
+let () = Alcotest.run "lincheck" [ ("lincheck", suite) ]

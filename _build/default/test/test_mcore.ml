@@ -1,0 +1,178 @@
+(* Tests for the real-multicore (Atomic/Domain) implementations. The
+   container may have a single core; these tests validate safety and
+   accuracy, not speedups. *)
+
+let check = Alcotest.check
+let vi = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Mc_kcounter                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_kcounter_sequential_accuracy () =
+  let k = 3 in
+  let counter = Mcore.Mc_kcounter.create ~n:1 ~k () in
+  for v = 1 to 5_000 do
+    Mcore.Mc_kcounter.increment counter ~pid:0;
+    let x = Mcore.Mc_kcounter.read counter ~pid:0 in
+    if not (Zmath.within_k ~k ~exact:v x) then
+      Alcotest.failf "read %d of count %d outside envelope" x v
+  done
+
+let test_kcounter_parallel_quiescent () =
+  let domains = 4 in
+  let per_domain = 20_000 in
+  let k = 2 in
+  (* k < sqrt(4) = 2 is allowed boundary: k = 2 >= sqrt(4). *)
+  let counter = Mcore.Mc_kcounter.create ~n:domains ~k () in
+  let result =
+    Mcore.Throughput.run ~domains ~ops_per_domain:per_domain
+      ~worker:(fun ~pid ~op_index:_ ->
+        Mcore.Mc_kcounter.increment counter ~pid)
+  in
+  check vi "all ops ran" (domains * per_domain) result.total_ops;
+  (* Quiescent read: actual total v = domains * per_domain, but up to
+     (limit - 1) increments per process may remain unannounced; the
+     k-multiplicative envelope must still hold. *)
+  let x = Mcore.Mc_kcounter.read counter ~pid:0 in
+  let v = domains * per_domain in
+  Alcotest.(check bool)
+    (Printf.sprintf "quiescent read %d within [v/k, v*k] of %d" x v)
+    true
+    (Zmath.within_k ~k ~exact:v x)
+
+let test_kcounter_parallel_mixed_envelope () =
+  let domains = 3 in
+  let per_domain = 10_000 in
+  let k = 2 in
+  let counter = Mcore.Mc_kcounter.create ~n:domains ~k () in
+  let violations = Atomic.make 0 in
+  let done_incs = Array.init domains (fun _ -> Atomic.make 0) in
+  ignore
+    (Mcore.Throughput.run ~domains ~ops_per_domain:per_domain
+       ~worker:(fun ~pid ~op_index ->
+         if op_index mod 100 = 99 then begin
+           (* Reads interleaved with increments: check the coarse envelope
+              [completed/k, k*(all possibly started)]. *)
+           let low_bound =
+             Array.fold_left (fun acc c -> acc + Atomic.get c) 0 done_incs
+           in
+           let x = Mcore.Mc_kcounter.read counter ~pid in
+           let high_possible = domains * per_domain in
+           if x * k < low_bound || x > k * high_possible then
+             Atomic.incr violations;
+           ignore low_bound
+         end
+         else begin
+           Mcore.Mc_kcounter.increment counter ~pid;
+           Atomic.incr done_incs.(pid)
+         end));
+  check vi "no envelope violations" 0 (Atomic.get violations)
+
+(* ------------------------------------------------------------------ *)
+(* Mc_kmaxreg                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_kmaxreg_sequential () =
+  let k = 2 and m = 1 lsl 20 in
+  let mr = Mcore.Mc_kmaxreg.create ~m ~k () in
+  check vi "initial" 0 (Mcore.Mc_kmaxreg.read mr);
+  let best = ref 0 in
+  List.iter
+    (fun v ->
+      Mcore.Mc_kmaxreg.write mr v;
+      best := max !best v;
+      let x = Mcore.Mc_kmaxreg.read mr in
+      if not (x >= !best && x <= !best * k) then
+        Alcotest.failf "read %d for max %d" x !best)
+    [ 1; 100; 7; 65_535; 3; 1_000_000 ]
+
+let test_kmaxreg_parallel_watermark () =
+  let domains = 4 in
+  let per_domain = 25_000 in
+  let k = 2 and m = 1 lsl 30 in
+  let mr = Mcore.Mc_kmaxreg.create ~m ~k () in
+  ignore
+    (Mcore.Throughput.run ~domains ~ops_per_domain:per_domain
+       ~worker:(fun ~pid ~op_index ->
+         Mcore.Mc_kmaxreg.write mr ((op_index * domains) + pid + 1)));
+  let v = ((per_domain - 1) * domains) + domains in
+  let x = Mcore.Mc_kmaxreg.read mr in
+  Alcotest.(check bool)
+    (Printf.sprintf "quiescent read %d within envelope of %d" x v)
+    true
+    (x >= v && x <= v * k)
+
+(* ------------------------------------------------------------------ *)
+(* Baselines                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_faa_parallel_exact () =
+  let domains = 4 and per_domain = 50_000 in
+  let counter = Mcore.Mc_baselines.Faa_counter.create () in
+  ignore
+    (Mcore.Throughput.run ~domains ~ops_per_domain:per_domain
+       ~worker:(fun ~pid:_ ~op_index:_ ->
+         Mcore.Mc_baselines.Faa_counter.increment counter));
+  check vi "exact" (domains * per_domain)
+    (Mcore.Mc_baselines.Faa_counter.read counter)
+
+let test_collect_parallel_exact () =
+  let domains = 4 and per_domain = 50_000 in
+  let counter = Mcore.Mc_baselines.Collect_counter.create ~n:domains in
+  ignore
+    (Mcore.Throughput.run ~domains ~ops_per_domain:per_domain
+       ~worker:(fun ~pid ~op_index:_ ->
+         Mcore.Mc_baselines.Collect_counter.increment counter ~pid));
+  check vi "exact" (domains * per_domain)
+    (Mcore.Mc_baselines.Collect_counter.read counter)
+
+let test_lock_parallel_exact () =
+  let domains = 4 and per_domain = 20_000 in
+  let counter = Mcore.Mc_baselines.Lock_counter.create () in
+  ignore
+    (Mcore.Throughput.run ~domains ~ops_per_domain:per_domain
+       ~worker:(fun ~pid:_ ~op_index:_ ->
+         Mcore.Mc_baselines.Lock_counter.increment counter));
+  check vi "exact" (domains * per_domain)
+    (Mcore.Mc_baselines.Lock_counter.read counter)
+
+let test_cas_maxreg_parallel_exact () =
+  let domains = 4 and per_domain = 25_000 in
+  let mr = Mcore.Mc_baselines.Cas_maxreg.create () in
+  ignore
+    (Mcore.Throughput.run ~domains ~ops_per_domain:per_domain
+       ~worker:(fun ~pid ~op_index ->
+         Mcore.Mc_baselines.Cas_maxreg.write mr ((op_index * domains) + pid)));
+  check vi "exact max"
+    (((per_domain - 1) * domains) + domains - 1)
+    (Mcore.Mc_baselines.Cas_maxreg.read mr)
+
+let test_throughput_reports () =
+  let r =
+    Mcore.Throughput.run ~domains:2 ~ops_per_domain:1_000
+      ~worker:(fun ~pid:_ ~op_index:_ -> ())
+  in
+  check vi "domains" 2 r.domains;
+  check vi "total ops" 2_000 r.total_ops;
+  Alcotest.(check bool) "positive throughput" true (r.ops_per_sec > 0.0)
+
+let test_kcounter_validation () =
+  Alcotest.check_raises "k < 2"
+    (Invalid_argument "Mc_kcounter.create: k < 2") (fun () ->
+      ignore (Mcore.Mc_kcounter.create ~n:2 ~k:1 ()))
+
+let suite =
+  [ ("kcounter sequential accuracy", `Quick, test_kcounter_sequential_accuracy);
+    ("kcounter parallel quiescent", `Quick, test_kcounter_parallel_quiescent);
+    ("kcounter parallel mixed", `Quick, test_kcounter_parallel_mixed_envelope);
+    ("kmaxreg sequential", `Quick, test_kmaxreg_sequential);
+    ("kmaxreg parallel watermark", `Quick, test_kmaxreg_parallel_watermark);
+    ("faa parallel exact", `Quick, test_faa_parallel_exact);
+    ("collect parallel exact", `Quick, test_collect_parallel_exact);
+    ("lock parallel exact", `Quick, test_lock_parallel_exact);
+    ("cas maxreg parallel exact", `Quick, test_cas_maxreg_parallel_exact);
+    ("throughput reports", `Quick, test_throughput_reports);
+    ("kcounter validation", `Quick, test_kcounter_validation) ]
+
+let () = Alcotest.run "mcore" [ ("mcore", suite) ]

@@ -1,0 +1,152 @@
+(* Tests for the quiescent-consistency checker. *)
+
+let history events =
+  let trace = Sim.Trace.create () in
+  List.iter
+    (fun event ->
+      match event with
+      | `Inv (op_id, pid, name, arg) ->
+        Sim.Trace.add trace (Sim.Trace.Invoke { pid; op_id; name; arg })
+      | `Ret (op_id, pid, result) ->
+        Sim.Trace.add trace (Sim.Trace.Return { pid; op_id; result }))
+    events;
+  Lincheck.History.of_trace trace
+
+let is_qc spec events =
+  match Lincheck.Quiescent.check spec (history events) with
+  | Lincheck.Checker.Linearizable _ -> true
+  | Lincheck.Checker.Not_linearizable -> false
+
+let is_lin spec events =
+  match Lincheck.Checker.check spec (history events) with
+  | Lincheck.Checker.Linearizable _ -> true
+  | Lincheck.Checker.Not_linearizable -> false
+
+(* Overlapping ops whose results are only explainable by reordering
+   against real time *within* the overlap: QC accepts, linearizability
+   rejects. Two overlapping incs, then (still overlapping) a read=1; the
+   read returned before either inc's response. QC: all one block, order
+   inc, read, inc. Linearizability also accepts this one (pending incs are
+   flexible)... so use completed ops: w(1) then r=2 then w(2), all
+   pairwise overlapping is also lin-ok. The classic separator: two
+   *sequential* ops inside one busy block:
+     p0: |--inc------------------|
+     p1:    |-inc-|  |-read=1-|
+   read=1 follows a completed inc (so linearizability needs >= ... with
+   p0's inc pending it can count 1: inc(p1) then read=1 works... make it
+   read=0: follows one completed inc in real time -> not linearizable;
+   but p0's op spans everything, so there is no quiescent point between
+   them -> one block -> QC may order read first -> QC-ok. *)
+let qc_not_lin =
+  [ `Inv (0, 0, "inc", None);
+    `Inv (1, 1, "inc", None);
+    `Ret (1, 1, None);
+    `Inv (2, 1, "read", None);
+    `Ret (2, 1, Some 0);
+    `Ret (0, 0, None) ]
+
+let test_qc_weaker_than_lin () =
+  let spec = Lincheck.Spec.exact_counter in
+  Alcotest.(check bool) "not linearizable" false (is_lin spec qc_not_lin);
+  Alcotest.(check bool) "quiescently consistent" true (is_qc spec qc_not_lin)
+
+let test_qc_respects_quiescent_points () =
+  (* inc completes, quiescent point, then read=0: both must reject. *)
+  let events =
+    [ `Inv (0, 0, "inc", None);
+      `Ret (0, 0, None);
+      `Inv (1, 1, "read", None);
+      `Ret (1, 1, Some 0) ]
+  in
+  let spec = Lincheck.Spec.exact_counter in
+  Alcotest.(check bool) "not linearizable" false (is_lin spec events);
+  Alcotest.(check bool) "not quiescently consistent" false
+    (is_qc spec events)
+
+let test_lin_implies_qc () =
+  (* Random faa-counter executions are linearizable, hence QC. *)
+  for seed = 0 to 19 do
+    let n = 3 in
+    let exec = Sim.Exec.create ~n () in
+    let counter = Counters.Faa_counter.create exec () in
+    let script =
+      Workload.Script.counter_mix ~seed ~n ~ops_per_process:4
+        ~read_fraction:0.5
+    in
+    let programs =
+      Workload.Script.counter_programs (Counters.Faa_counter.handle counter)
+        script
+    in
+    ignore (Sim.Exec.run exec ~programs ~policy:(Sim.Schedule.Random seed) ());
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d qc" seed)
+      true
+      (Lincheck.Quiescent.is_quiescently_consistent Lincheck.Spec.exact_counter
+         (Sim.Exec.trace exec))
+  done
+
+(* The modelcheck example's lazy counter: not linearizable (the explorer
+   proves it), and its bug is strong enough to break quiescent consistency
+   too — the stale cache value persists across the quiescent point that
+   precedes the read, so even the weaker model rejects the witness. *)
+module Lazy_counter = struct
+  type t = { cell : Sim.Memory.obj_id; cache : Sim.Memory.obj_id }
+
+  let create exec =
+    let mem = Sim.Exec.memory exec in
+    { cell = Sim.Memory.alloc mem ~name:"cell" (Sim.Memory.V_int 0);
+      cache = Sim.Memory.alloc mem ~name:"cache" (Sim.Memory.V_int 0) }
+
+  let handle t =
+    { Obj_intf.c_label = "lazy";
+      c_inc =
+        (fun ~pid:_ ->
+          let v = Sim.Api.faa t.cell 1 in
+          Sim.Api.write t.cache (v + 1));
+      c_read = (fun ~pid:_ -> Sim.Api.read t.cache) }
+end
+
+let test_lazy_counter_is_qc_not_lin () =
+  let build () =
+    let exec = Sim.Exec.create ~n:3 () in
+    let counter = Lazy_counter.create exec in
+    ( exec,
+      Workload.Script.counter_programs (Lazy_counter.handle counter)
+        [| [ Inc ]; [ Inc ]; [ Read ] |] )
+  in
+  let stats =
+    Lincheck.Explore.exhaustive ~build ~spec:Lincheck.Spec.exact_counter ()
+  in
+  Alcotest.(check bool) "not linearizable somewhere" true
+    (stats.Lincheck.Explore.violations > 0);
+  (* Replay the witness; it must still be quiescently consistent. *)
+  match stats.Lincheck.Explore.first_violation with
+  | None -> Alcotest.fail "no witness"
+  | Some schedule ->
+    let exec, programs = build () in
+    ignore
+      (Sim.Exec.run exec ~programs ~policy:(Sim.Schedule.Script schedule) ());
+    Alcotest.(check bool) "witness violates QC too" false
+      (Lincheck.Quiescent.is_quiescently_consistent
+         Lincheck.Spec.exact_counter (Sim.Exec.trace exec))
+
+let test_pending_ops_share_final_block () =
+  (* A pending op suppresses all later quiescent points: a read invoked
+     after it may still be ordered before it. *)
+  let events =
+    [ `Inv (0, 0, "inc", None);
+      (* never returns *)
+      `Inv (1, 1, "read", None);
+      `Ret (1, 1, Some 0) ]
+  in
+  Alcotest.(check bool) "qc ok" true
+    (is_qc Lincheck.Spec.exact_counter events)
+
+let suite =
+  [ ("qc weaker than lin", `Quick, test_qc_weaker_than_lin);
+    ("qc respects quiescent points", `Quick, test_qc_respects_quiescent_points);
+    ("lin implies qc", `Quick, test_lin_implies_qc);
+    ("lazy counter breaks qc too", `Quick, test_lazy_counter_is_qc_not_lin);
+    ("pending shares final block", `Quick, test_pending_ops_share_final_block) ]
+
+let () = Alcotest.run "quiescent" [ ("quiescent", suite) ]

@@ -1,0 +1,206 @@
+(* Tests for the read-optimized bounded k-mult counter and the history
+   timeline renderer. *)
+
+let check = Alcotest.check
+let vi = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Kcounter_bounded                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_bounded_sequential_envelope () =
+  let n = 1 and m = 4_000 and k = 2 in
+  let exec = Sim.Exec.create ~n () in
+  let counter = Approx.Kcounter_bounded.create exec ~n ~m ~k () in
+  let program pid =
+    for v = 1 to 2_000 do
+      Approx.Kcounter_bounded.increment counter ~pid;
+      let x = Approx.Kcounter_bounded.read counter ~pid in
+      if not (x > v / (k + 1) && x >= v && x <= v * k) then
+        (* Alg 2's guarantee: v < x <= v*k for positive v. *)
+        Alcotest.failf "v=%d x=%d" v x
+    done
+  in
+  ignore
+    (Sim.Exec.run exec ~programs:[| program |] ~policy:Sim.Schedule.Round_robin
+       ())
+
+let test_bounded_read_is_power_of_k () =
+  let n = 2 and m = 1_000 and k = 3 in
+  let exec = Sim.Exec.create ~n () in
+  let counter = Approx.Kcounter_bounded.create exec ~n ~m ~k () in
+  let reads = ref [] in
+  let program pid =
+    for _ = 1 to 100 do
+      Approx.Kcounter_bounded.increment counter ~pid
+    done;
+    reads := Approx.Kcounter_bounded.read counter ~pid :: !reads
+  in
+  ignore
+    (Sim.Exec.run exec ~programs:(Array.make n program)
+       ~policy:(Sim.Schedule.Random 5) ());
+  List.iter
+    (fun x ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d is a power of %d" x k)
+        true
+        (Zmath.is_power ~base:k x))
+    !reads
+
+let test_bounded_read_cost_loglog () =
+  (* The headline: reads cost O(log2 log_k m), matching Theorem V.4. *)
+  let read_cost ~m =
+    let n = 64 in
+    let exec = Sim.Exec.create ~n () in
+    let counter = Approx.Kcounter_bounded.create exec ~n ~m ~k:2 () in
+    let program pid =
+      if pid = 0 then begin
+        Approx.Kcounter_bounded.increment counter ~pid;
+        ignore
+          (Sim.Api.op_int ~name:"read" (fun () ->
+               Approx.Kcounter_bounded.read counter ~pid))
+      end
+    in
+    ignore
+      (Sim.Exec.run exec
+         ~programs:(Array.init n (fun _ -> program))
+         ~policy:(Sim.Schedule.Solo 0) ());
+    Sim.Metrics.worst_case ~name:"read" (Sim.Exec.trace exec)
+  in
+  let small = read_cost ~m:(1 lsl 8) in
+  let huge = read_cost ~m:(1 lsl 48) in
+  let budget = Zmath.ceil_log2 (Zmath.floor_log ~base:2 ((1 lsl 48) - 1) + 2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "read %d -> %d stays ~log2 log m (budget %d)" small huge
+       (budget + 1))
+    true
+    (huge <= budget + 1 && huge - small <= 3)
+
+let test_bounded_linearizable () =
+  let k = 2 in
+  for seed = 0 to 19 do
+    let n = 3 in
+    let exec = Sim.Exec.create ~n () in
+    let counter = Approx.Kcounter_bounded.create exec ~n ~m:100 ~k () in
+    let script =
+      Workload.Script.counter_mix ~seed ~n ~ops_per_process:5
+        ~read_fraction:0.4
+    in
+    let programs =
+      Workload.Script.counter_programs
+        (Approx.Kcounter_bounded.handle counter)
+        script
+    in
+    ignore (Sim.Exec.run exec ~programs ~policy:(Sim.Schedule.Random seed) ());
+    match
+      Lincheck.Checker.check_trace (Lincheck.Spec.k_counter ~k)
+        (Sim.Exec.trace exec)
+    with
+    | Lincheck.Checker.Linearizable _ -> ()
+    | Lincheck.Checker.Not_linearizable ->
+      Alcotest.failf "seed %d: not linearizable" seed
+  done
+
+let test_bounded_exhaustive () =
+  let build () =
+    let exec = Sim.Exec.create ~n:2 () in
+    let counter = Approx.Kcounter_bounded.create exec ~n:2 ~m:4 ~k:2 () in
+    (* One incrementer and one reader keep the interleaving space small
+       (each increment refreshes a whole path). *)
+    (exec,
+     Workload.Script.counter_programs
+       (Approx.Kcounter_bounded.handle counter)
+       [| [ Inc; Read ]; [ Read ] |])
+  in
+  let stats =
+    Lincheck.Explore.exhaustive ~build ~spec:(Lincheck.Spec.k_counter ~k:2) ()
+  in
+  check vi "violations" 0 stats.Lincheck.Explore.violations;
+  Alcotest.(check bool) "explored" true (stats.Lincheck.Explore.executions > 5)
+
+let test_bounded_enforces_bound () =
+  let exec = Sim.Exec.create ~n:1 () in
+  let counter = Approx.Kcounter_bounded.create exec ~n:1 ~m:2 ~k:2 () in
+  let program pid =
+    Approx.Kcounter_bounded.increment counter ~pid;
+    Approx.Kcounter_bounded.increment counter ~pid;
+    Alcotest.check_raises "bound"
+      (Invalid_argument "Kcounter_bounded.increment: bound exceeded")
+      (fun () -> Approx.Kcounter_bounded.increment counter ~pid)
+  in
+  ignore
+    (Sim.Exec.run exec ~programs:[| program |] ~policy:Sim.Schedule.Round_robin
+       ())
+
+(* ------------------------------------------------------------------ *)
+(* Timeline renderer                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let sample_trace () =
+  let trace = Sim.Trace.create () in
+  Sim.Trace.add trace (Sim.Trace.Invoke { pid = 0; op_id = 0; name = "inc"; arg = None });
+  Sim.Trace.add trace (Sim.Trace.Invoke { pid = 1; op_id = 1; name = "read"; arg = None });
+  Sim.Trace.add trace (Sim.Trace.Return { pid = 0; op_id = 0; result = None });
+  Sim.Trace.add trace (Sim.Trace.Return { pid = 1; op_id = 1; result = Some 1 });
+  Sim.Trace.add trace (Sim.Trace.Invoke { pid = 0; op_id = 2; name = "inc"; arg = None });
+  trace
+
+let test_timeline_basic () =
+  let out = Lincheck.Render.timeline (sample_trace ()) in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  check vi "two process rows" 2 (List.length lines);
+  (match lines with
+   | [ l0; l1 ] ->
+     Alcotest.(check bool) "p0 labelled" true
+       (String.length l0 > 3 && String.sub l0 0 3 = "p0 ");
+     Alcotest.(check bool) "p1 labelled" true
+       (String.length l1 > 3 && String.sub l1 0 3 = "p1 ");
+     Alcotest.(check bool) "read result shown" true
+       (let rec contains sub s i =
+          i + String.length sub <= String.length s
+          && (String.sub s i (String.length sub) = sub
+              || contains sub s (i + 1))
+        in
+        contains "read=1" l1 0)
+   | _ -> Alcotest.fail "unexpected shape")
+
+let test_timeline_pending_open () =
+  let out = Lincheck.Render.timeline (sample_trace ()) in
+  (* The pending inc (op 2) is drawn open to the right: its row must not
+     end with '|'. *)
+  let lines = String.split_on_char '\n' (String.trim out) in
+  (match lines with
+   | l0 :: _ ->
+     Alcotest.(check bool) "open right edge" true
+       (l0.[String.length l0 - 1] <> '|')
+   | [] -> Alcotest.fail "no output")
+
+let test_timeline_empty () =
+  check Alcotest.string "empty" "(empty history)\n"
+    (Lincheck.Render.timeline (Sim.Trace.create ()))
+
+let test_timeline_from_simulation () =
+  let exec = Sim.Exec.create ~n:3 () in
+  let counter = Counters.Faa_counter.create exec () in
+  let programs =
+    Workload.Script.counter_programs (Counters.Faa_counter.handle counter)
+      (Workload.Script.inc_then_read ~n:3)
+  in
+  ignore (Sim.Exec.run exec ~programs ~policy:(Sim.Schedule.Random 3) ());
+  let out = Lincheck.Render.timeline (Sim.Exec.trace exec) in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  check vi "three rows" 3 (List.length lines)
+
+let suite =
+  [ ("bounded sequential envelope", `Quick, test_bounded_sequential_envelope);
+    ("bounded read power of k", `Quick, test_bounded_read_is_power_of_k);
+    ("bounded read cost loglog", `Quick, test_bounded_read_cost_loglog);
+    ("bounded linearizable", `Quick, test_bounded_linearizable);
+    ("bounded exhaustive", `Quick, test_bounded_exhaustive);
+    ("bounded enforces bound", `Quick, test_bounded_enforces_bound);
+    ("timeline basic", `Quick, test_timeline_basic);
+    ("timeline pending open", `Quick, test_timeline_pending_open);
+    ("timeline empty", `Quick, test_timeline_empty);
+    ("timeline from simulation", `Quick, test_timeline_from_simulation) ]
+
+let () = Alcotest.run "render_bounded" [ ("render_bounded", suite) ]

@@ -1,0 +1,492 @@
+(* Unit tests for the shared-memory simulator: memory primitives, fiber
+   scheduling, trace recording, schedules, awareness tracking, metrics. *)
+
+let v = Alcotest.int
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_memory_alloc_peek () =
+  let mem = Sim.Memory.create () in
+  let a = Sim.Memory.alloc mem (Sim.Memory.V_int 7) in
+  let b = Sim.Memory.alloc mem ~name:"b" (Sim.Memory.V_pair (1, 2)) in
+  check v "a value" 7 (Sim.Memory.int_exn (Sim.Memory.peek mem a));
+  check (Alcotest.pair v v) "b value" (1, 2)
+    (Sim.Memory.pair_exn (Sim.Memory.peek mem b));
+  check Alcotest.string "b name" "b" (Sim.Memory.name_of mem b);
+  check v "count" 2 (Sim.Memory.num_objects mem)
+
+let test_memory_apply_read_write () =
+  let mem = Sim.Memory.create () in
+  let a = Sim.Memory.alloc mem (Sim.Memory.V_int 0) in
+  let r, changed = Sim.Memory.apply mem (Sim.Memory.Read a) in
+  check v "read returns" 0 (Sim.Memory.int_exn r);
+  check Alcotest.bool "read never changes" false changed;
+  let _, changed = Sim.Memory.apply mem (Sim.Memory.Write (a, V_int 5)) in
+  check Alcotest.bool "write changes" true changed;
+  let _, changed = Sim.Memory.apply mem (Sim.Memory.Write (a, V_int 5)) in
+  check Alcotest.bool "same write is invisible" false changed;
+  check v "final" 5 (Sim.Memory.int_exn (Sim.Memory.peek mem a))
+
+let test_memory_tas () =
+  let mem = Sim.Memory.create () in
+  let a = Sim.Memory.alloc mem (Sim.Memory.V_int 0) in
+  let r, changed = Sim.Memory.apply mem (Sim.Memory.Test_and_set a) in
+  check v "first tas returns 0" 0 (Sim.Memory.int_exn r);
+  check Alcotest.bool "first tas visible" true changed;
+  let r, changed = Sim.Memory.apply mem (Sim.Memory.Test_and_set a) in
+  check v "second tas returns 1" 1 (Sim.Memory.int_exn r);
+  check Alcotest.bool "second tas invisible" false changed
+
+let test_memory_cas () =
+  let mem = Sim.Memory.create () in
+  let a = Sim.Memory.alloc mem (Sim.Memory.V_int 3) in
+  let ok, _ =
+    Sim.Memory.apply mem (Sim.Memory.Cas (a, V_int 3, V_int 9))
+  in
+  check v "cas success" 1 (Sim.Memory.int_exn ok);
+  let ok, changed =
+    Sim.Memory.apply mem (Sim.Memory.Cas (a, V_int 3, V_int 11))
+  in
+  check v "cas failure" 0 (Sim.Memory.int_exn ok);
+  check Alcotest.bool "failed cas invisible" false changed;
+  check v "value" 9 (Sim.Memory.int_exn (Sim.Memory.peek mem a))
+
+let test_memory_kcas () =
+  let mem = Sim.Memory.create () in
+  let a = Sim.Memory.alloc mem (Sim.Memory.V_int 1) in
+  let b = Sim.Memory.alloc mem (Sim.Memory.V_int 2) in
+  let ok, _ =
+    Sim.Memory.apply mem
+      (Sim.Memory.Kcas [ (a, V_int 1, V_int 10); (b, V_int 2, V_int 20) ])
+  in
+  check v "kcas success" 1 (Sim.Memory.int_exn ok);
+  let ok, _ =
+    Sim.Memory.apply mem
+      (Sim.Memory.Kcas [ (a, V_int 10, V_int 0); (b, V_int 99, V_int 0) ])
+  in
+  check v "kcas fails if any mismatch" 0 (Sim.Memory.int_exn ok);
+  check v "a untouched" 10 (Sim.Memory.int_exn (Sim.Memory.peek mem a));
+  check v "b untouched" 20 (Sim.Memory.int_exn (Sim.Memory.peek mem b))
+
+let test_memory_faa () =
+  let mem = Sim.Memory.create () in
+  let a = Sim.Memory.alloc mem (Sim.Memory.V_int 10) in
+  let r, _ = Sim.Memory.apply mem (Sim.Memory.Faa (a, 5)) in
+  check v "faa returns previous" 10 (Sim.Memory.int_exn r);
+  check v "faa adds" 15 (Sim.Memory.int_exn (Sim.Memory.peek mem a))
+
+let test_memory_region () =
+  let mem = Sim.Memory.create () in
+  let r = Sim.Memory.region mem ~name:"sw" ~default:(Sim.Memory.V_int 0) () in
+  let c5 = Sim.Memory.region_cell mem r 5 in
+  let c5' = Sim.Memory.region_cell mem r 5 in
+  check v "same index same cell" c5 c5';
+  let c9 = Sim.Memory.region_cell mem r 9 in
+  Alcotest.(check bool) "distinct indices distinct cells" true (c5 <> c9);
+  let allocated = Sim.Memory.region_cells_allocated mem r in
+  check (Alcotest.list (Alcotest.pair v v)) "allocated sorted"
+    [ (5, c5); (9, c9) ] allocated
+
+let test_memory_type_mismatch () =
+  let mem = Sim.Memory.create () in
+  let p = Sim.Memory.alloc mem (Sim.Memory.V_pair (0, 0)) in
+  Alcotest.check_raises "tas on pair" (Invalid_argument
+    "Memory.int_exn: pair value")
+    (fun () -> ignore (Sim.Memory.apply mem (Sim.Memory.Test_and_set p)))
+
+(* ------------------------------------------------------------------ *)
+(* Exec + Api                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Two processes write their pid+1 to a shared register and read it back. *)
+let test_exec_two_writers () =
+  let exec = Sim.Exec.create ~n:2 () in
+  let cell = Sim.Memory.alloc (Sim.Exec.memory exec) (Sim.Memory.V_int 0) in
+  let results = Array.make 2 (-1) in
+  let program pid =
+    Sim.Api.write cell (pid + 1);
+    results.(pid) <- Sim.Api.read cell
+  in
+  let outcome =
+    Sim.Exec.run exec ~programs:[| program; program |]
+      ~policy:Sim.Schedule.Round_robin ()
+  in
+  check Alcotest.bool "all completed" true
+    (Array.for_all (fun x -> x) outcome.completed);
+  (* Round-robin: p0 writes, p1 writes, p0 reads 2, p1 reads 2. *)
+  check v "p0 read" 2 results.(0);
+  check v "p1 read" 2 results.(1);
+  check v "total steps" 4 outcome.steps_total;
+  check (Alcotest.array v) "per-pid steps" [| 2; 2 |] outcome.steps_by_pid
+
+let test_exec_solo () =
+  let exec = Sim.Exec.create ~n:3 () in
+  let cell = Sim.Memory.alloc (Sim.Exec.memory exec) (Sim.Memory.V_int 0) in
+  let program pid =
+    for _ = 1 to 3 do
+      ignore (Sim.Api.faa cell (pid + 1))
+    done
+  in
+  let outcome =
+    Sim.Exec.run exec
+      ~programs:[| program; program; program |]
+      ~policy:(Sim.Schedule.Solo 1) ()
+  in
+  check Alcotest.bool "p1 completed" true outcome.completed.(1);
+  check Alcotest.bool "p0 not started" false outcome.completed.(0);
+  check v "cell" 6 (Sim.Memory.int_exn (Sim.Memory.peek (Sim.Exec.memory exec) cell));
+  Alcotest.(check bool) "abstained" true
+    (outcome.reason = Sim.Exec.Policy_abstained)
+
+let test_exec_script_replay () =
+  (* A seeded random run, replayed from its recorded schedule, yields an
+     identical trace. *)
+  let build () =
+    let exec = Sim.Exec.create ~n:4 () in
+    let cell = Sim.Memory.alloc (Sim.Exec.memory exec) (Sim.Memory.V_int 0) in
+    let program pid =
+      ignore (Sim.Api.faa cell 1);
+      ignore (Sim.Api.faa cell (10 * (pid + 1)));
+      ignore (Sim.Api.read cell)
+    in
+    (exec, Array.make 4 program)
+  in
+  let exec1, programs1 = build () in
+  let o1 =
+    Sim.Exec.run exec1 ~programs:programs1 ~policy:(Sim.Schedule.Random 42) ()
+  in
+  let exec2, programs2 = build () in
+  let o2 =
+    Sim.Exec.run exec2 ~programs:programs2
+      ~policy:(Sim.Schedule.Script o1.schedule_taken) ()
+  in
+  check (Alcotest.array v) "same schedule" o1.schedule_taken o2.schedule_taken;
+  let dump exec =
+    Format.asprintf "%a" Sim.Trace.pp (Sim.Exec.trace exec)
+  in
+  check Alcotest.string "same trace" (dump exec1) (dump exec2)
+
+let test_exec_max_steps () =
+  let exec = Sim.Exec.create ~n:1 () in
+  let cell = Sim.Memory.alloc (Sim.Exec.memory exec) (Sim.Memory.V_int 0) in
+  let program _pid =
+    while Sim.Api.read cell = 0 do
+      ()
+    done
+  in
+  let outcome =
+    Sim.Exec.run exec ~programs:[| program |] ~policy:Sim.Schedule.Round_robin
+      ~max_steps:100 ()
+  in
+  Alcotest.(check bool) "max steps hit" true (outcome.reason = Sim.Exec.Max_steps);
+  check v "steps bounded" 100 outcome.steps_total
+
+let test_exec_stop_condition () =
+  let exec = Sim.Exec.create ~n:2 () in
+  let cell = Sim.Memory.alloc (Sim.Exec.memory exec) (Sim.Memory.V_int 0) in
+  let seen = ref false in
+  let program pid =
+    if pid = 0 then begin
+      Sim.Api.write cell 1;
+      seen := true;
+      Sim.Api.write cell 2
+    end
+    else
+      while Sim.Api.read cell < 2 do
+        ()
+      done
+  in
+  let outcome =
+    Sim.Exec.run exec ~programs:[| program; program |]
+      ~policy:(Sim.Schedule.Solo 0) ~stop:(fun () -> !seen) ()
+  in
+  Alcotest.(check bool) "stopped" true (outcome.reason = Sim.Exec.Stop_condition)
+
+let test_exec_single_shot () =
+  let exec = Sim.Exec.create ~n:1 () in
+  let programs = [| (fun _ -> ()) |] in
+  ignore (Sim.Exec.run exec ~programs ~policy:Sim.Schedule.Round_robin ());
+  Alcotest.check_raises "second run rejected"
+    (Invalid_argument "Exec.run: execution already consumed")
+    (fun () ->
+      ignore (Sim.Exec.run exec ~programs ~policy:Sim.Schedule.Round_robin ()))
+
+(* ------------------------------------------------------------------ *)
+(* Operation annotations + metrics                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_ops () =
+  let exec = Sim.Exec.create ~n:2 () in
+  let cell = Sim.Memory.alloc (Sim.Exec.memory exec) (Sim.Memory.V_int 0) in
+  let program pid =
+    Sim.Api.op_unit ~name:"inc" (fun () -> ignore (Sim.Api.faa cell 1));
+    if pid = 0 then
+      ignore (Sim.Api.op_int ~name:"get" (fun () -> Sim.Api.read cell))
+  in
+  ignore
+    (Sim.Exec.run exec ~programs:[| program; program |]
+       ~policy:Sim.Schedule.Round_robin ());
+  let records = Sim.Metrics.ops (Sim.Exec.trace exec) in
+  check v "three ops" 3 (Array.length records);
+  let incs =
+    Array.to_list records |> List.filter (fun r -> r.Sim.Metrics.name = "inc")
+  in
+  check v "two incs" 2 (List.length incs);
+  List.iter
+    (fun r ->
+      check v "inc takes one step" 1 r.Sim.Metrics.steps;
+      Alcotest.(check bool) "completed" true r.Sim.Metrics.completed)
+    incs;
+  let amortized = Sim.Metrics.amortized (Sim.Exec.trace exec) in
+  check (Alcotest.float 0.001) "amortized" 1.0 amortized;
+  check v "worst get" 1 (Sim.Metrics.worst_case ~name:"get" (Sim.Exec.trace exec))
+
+let test_metrics_distinct_objects () =
+  let exec = Sim.Exec.create ~n:1 () in
+  let mem = Sim.Exec.memory exec in
+  let cells = Sim.Memory.alloc_many mem 4 (Sim.Memory.V_int 0) in
+  let program _pid =
+    Sim.Api.op_unit ~name:"touch" (fun () ->
+        Array.iter (fun c -> ignore (Sim.Api.read c)) cells;
+        (* revisit the first cell: distinct count must not grow *)
+        ignore (Sim.Api.read cells.(0)))
+  in
+  ignore
+    (Sim.Exec.run exec ~programs:[| program |]
+       ~policy:Sim.Schedule.Round_robin ());
+  check v "distinct objects" 4
+    (Sim.Metrics.max_distinct_objects (Sim.Exec.trace exec));
+  check v "steps" 5 (Sim.Metrics.worst_case (Sim.Exec.trace exec))
+
+(* ------------------------------------------------------------------ *)
+(* Schedules                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_schedule_round_robin_skips () =
+  let c = Sim.Schedule.instantiate Sim.Schedule.Round_robin ~n:3 in
+  let runnable pid = pid <> 1 in
+  check (Alcotest.option v) "first" (Some 0) (Sim.Schedule.choose c ~runnable);
+  check (Alcotest.option v) "skips 1" (Some 2) (Sim.Schedule.choose c ~runnable);
+  check (Alcotest.option v) "wraps" (Some 0) (Sim.Schedule.choose c ~runnable);
+  let none pid = pid < 0 in
+  check (Alcotest.option v) "no runnable" None (Sim.Schedule.choose c ~runnable:none)
+
+let test_schedule_script_exhaustion () =
+  let c = Sim.Schedule.instantiate (Sim.Schedule.Script [| 2; 0 |]) ~n:3 in
+  let runnable _ = true in
+  check (Alcotest.option v) "first" (Some 2) (Sim.Schedule.choose c ~runnable);
+  check (Alcotest.option v) "second" (Some 0) (Sim.Schedule.choose c ~runnable);
+  check (Alcotest.option v) "exhausted" None (Sim.Schedule.choose c ~runnable)
+
+let test_schedule_seq () =
+  let c =
+    Sim.Schedule.instantiate
+      (Sim.Schedule.Seq [ Sim.Schedule.Script [| 1 |]; Sim.Schedule.Solo 0 ])
+      ~n:2
+  in
+  let runnable _ = true in
+  check (Alcotest.option v) "script first" (Some 1) (Sim.Schedule.choose c ~runnable);
+  check (Alcotest.option v) "then solo" (Some 0) (Sim.Schedule.choose c ~runnable);
+  check (Alcotest.option v) "solo again" (Some 0) (Sim.Schedule.choose c ~runnable)
+
+let test_schedule_custom () =
+  (* A reactive adversary: alternate p0/p1 by step parity, abstain after
+     step 5. *)
+  let policy =
+    Sim.Schedule.Custom
+      ("parity",
+       fun ~n:_ ~step ~runnable ->
+         if step > 5 then None
+         else
+           let pid = step mod 2 in
+           if runnable pid then Some pid else None)
+  in
+  let c = Sim.Schedule.instantiate policy ~n:2 in
+  let picks =
+    List.init 8 (fun _ -> Sim.Schedule.choose c ~runnable:(fun _ -> true))
+  in
+  check
+    (Alcotest.list (Alcotest.option v))
+    "parity then abstain"
+    [ Some 0; Some 1; Some 0; Some 1; Some 0; Some 1; None; None ]
+    picks
+
+let test_schedule_custom_nonrunnable_rejected () =
+  let policy =
+    Sim.Schedule.Custom ("bad", fun ~n:_ ~step:_ ~runnable:_ -> Some 1)
+  in
+  let c = Sim.Schedule.instantiate policy ~n:2 in
+  Alcotest.check_raises "non-runnable choice rejected"
+    (Invalid_argument "Schedule.Custom: chose a non-runnable process")
+    (fun () -> ignore (Sim.Schedule.choose c ~runnable:(fun pid -> pid = 0)))
+
+let test_schedule_random_deterministic () =
+  let draw seed =
+    let c = Sim.Schedule.instantiate (Sim.Schedule.Random seed) ~n:5 in
+    List.init 20 (fun _ ->
+        match Sim.Schedule.choose c ~runnable:(fun _ -> true) with
+        | Some pid -> pid
+        | None -> -1)
+  in
+  check (Alcotest.list v) "same seed same draws" (draw 7) (draw 7);
+  Alcotest.(check bool) "different seeds differ" true (draw 7 <> draw 8)
+
+(* ------------------------------------------------------------------ *)
+(* Awareness                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_awareness_direct_read () =
+  let exec = Sim.Exec.create ~track_awareness:true ~n:2 () in
+  let cell = Sim.Memory.alloc (Sim.Exec.memory exec) (Sim.Memory.V_int 0) in
+  let program pid =
+    if pid = 0 then Sim.Api.write cell 1 else ignore (Sim.Api.read cell)
+  in
+  ignore
+    (Sim.Exec.run exec ~programs:[| program; program |]
+       ~policy:(Sim.Schedule.Script [| 0; 1 |]) ());
+  let aw = Option.get (Sim.Exec.awareness exec) in
+  check (Alcotest.list v) "reader aware of writer" [ 0; 1 ]
+    (Sim.Awareness.aware_of aw 1);
+  check (Alcotest.list v) "writer aware of self only" [ 0 ]
+    (Sim.Awareness.aware_of aw 0)
+
+let test_awareness_transitive () =
+  (* p0 writes a; p1 reads a then writes b; p2 reads b: p2 aware of p0. *)
+  let exec = Sim.Exec.create ~track_awareness:true ~n:3 () in
+  let mem = Sim.Exec.memory exec in
+  let a = Sim.Memory.alloc mem (Sim.Memory.V_int 0) in
+  let b = Sim.Memory.alloc mem (Sim.Memory.V_int 0) in
+  let program pid =
+    match pid with
+    | 0 -> Sim.Api.write a 1
+    | 1 ->
+      ignore (Sim.Api.read a);
+      Sim.Api.write b 1
+    | _ -> ignore (Sim.Api.read b)
+  in
+  ignore
+    (Sim.Exec.run exec ~programs:(Array.make 3 program)
+       ~policy:(Sim.Schedule.Script [| 0; 1; 1; 2 |]) ());
+  let aw = Option.get (Sim.Exec.awareness exec) in
+  check (Alcotest.list v) "transitive awareness" [ 0; 1; 2 ]
+    (Sim.Awareness.aware_of aw 2)
+
+let test_awareness_overwrite_hides () =
+  (* p0 writes a; p1 overwrites a without reading; p2 reads a: p2 is aware
+     of p1 but not p0 (writes are historyless overwrites). *)
+  let exec = Sim.Exec.create ~track_awareness:true ~n:3 () in
+  let a = Sim.Memory.alloc (Sim.Exec.memory exec) (Sim.Memory.V_int 0) in
+  let program pid =
+    match pid with
+    | 0 -> Sim.Api.write a 1
+    | 1 -> Sim.Api.write a 2
+    | _ -> ignore (Sim.Api.read a)
+  in
+  ignore
+    (Sim.Exec.run exec ~programs:(Array.make 3 program)
+       ~policy:(Sim.Schedule.Script [| 0; 1; 2 |]) ());
+  let aw = Option.get (Sim.Exec.awareness exec) in
+  check (Alcotest.list v) "overwrite hides first writer" [ 1; 2 ]
+    (Sim.Awareness.aware_of aw 2)
+
+let test_awareness_tas_learns () =
+  (* p0 sets the bit; p1's failed TAS still reads it, learning about p0. *)
+  let exec = Sim.Exec.create ~track_awareness:true ~n:2 () in
+  let bit = Sim.Memory.alloc (Sim.Exec.memory exec) (Sim.Memory.V_int 0) in
+  let program _pid = ignore (Sim.Api.test_and_set bit) in
+  ignore
+    (Sim.Exec.run exec ~programs:(Array.make 2 program)
+       ~policy:(Sim.Schedule.Script [| 0; 1 |]) ());
+  let aw = Option.get (Sim.Exec.awareness exec) in
+  check (Alcotest.list v) "failed tas learns" [ 0; 1 ]
+    (Sim.Awareness.aware_of aw 1)
+
+(* ------------------------------------------------------------------ *)
+(* Edge cases                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_exec_program_exception_propagates () =
+  let exec = Sim.Exec.create ~n:1 () in
+  let program _pid = failwith "boom" in
+  Alcotest.check_raises "exception propagates" (Failure "boom") (fun () ->
+      ignore
+        (Sim.Exec.run exec ~programs:[| program |]
+           ~policy:Sim.Schedule.Round_robin ()))
+
+let test_trace_get_bounds () =
+  let trace = Sim.Trace.create () in
+  Alcotest.check_raises "get out of range"
+    (Invalid_argument "Trace.get: index out of range") (fun () ->
+      ignore (Sim.Trace.get trace 0))
+
+let test_schedule_seq_empty () =
+  let c = Sim.Schedule.instantiate (Sim.Schedule.Seq []) ~n:2 in
+  check (Alcotest.option v) "empty seq abstains" None
+    (Sim.Schedule.choose c ~runnable:(fun _ -> true))
+
+let test_schedule_script_empty () =
+  let c = Sim.Schedule.instantiate (Sim.Schedule.Script [||]) ~n:2 in
+  check (Alcotest.option v) "empty script abstains" None
+    (Sim.Schedule.choose c ~runnable:(fun _ -> true))
+
+let test_memory_kcas_empty () =
+  (* A 0-arity k-CAS is vacuously successful and invisible. *)
+  let mem = Sim.Memory.create () in
+  let r, changed = Sim.Memory.apply mem (Sim.Memory.Kcas []) in
+  check v "vacuous success" 1 (Sim.Memory.int_exn r);
+  Alcotest.(check bool) "invisible" false changed
+
+let test_exec_zero_cost_ops_counted () =
+  (* Operations with no shared steps still count toward |Ops(E)|. *)
+  let exec = Sim.Exec.create ~n:1 () in
+  let program _pid =
+    for _ = 1 to 10 do
+      Sim.Api.op_unit ~name:"noop" (fun () -> ())
+    done
+  in
+  ignore
+    (Sim.Exec.run exec ~programs:[| program |] ~policy:Sim.Schedule.Round_robin
+       ());
+  check v "ops invoked" 10 (Sim.Exec.ops_invoked exec);
+  check v "no steps" 0 (Sim.Exec.op_steps_total exec);
+  check (Alcotest.float 0.001) "amortized 0" 0.0 (Sim.Exec.amortized exec)
+
+let suite =
+  [ ("memory alloc/peek", `Quick, test_memory_alloc_peek);
+    ("exec program exception", `Quick, test_exec_program_exception_propagates);
+    ("trace get bounds", `Quick, test_trace_get_bounds);
+    ("schedule seq empty", `Quick, test_schedule_seq_empty);
+    ("schedule script empty", `Quick, test_schedule_script_empty);
+    ("memory kcas empty", `Quick, test_memory_kcas_empty);
+    ("exec zero-cost ops", `Quick, test_exec_zero_cost_ops_counted);
+    ("memory read/write", `Quick, test_memory_apply_read_write);
+    ("memory tas", `Quick, test_memory_tas);
+    ("memory cas", `Quick, test_memory_cas);
+    ("memory kcas", `Quick, test_memory_kcas);
+    ("memory faa", `Quick, test_memory_faa);
+    ("memory region", `Quick, test_memory_region);
+    ("memory type mismatch", `Quick, test_memory_type_mismatch);
+    ("exec two writers", `Quick, test_exec_two_writers);
+    ("exec solo", `Quick, test_exec_solo);
+    ("exec script replay", `Quick, test_exec_script_replay);
+    ("exec max steps", `Quick, test_exec_max_steps);
+    ("exec stop condition", `Quick, test_exec_stop_condition);
+    ("exec single shot", `Quick, test_exec_single_shot);
+    ("metrics ops", `Quick, test_metrics_ops);
+    ("metrics distinct objects", `Quick, test_metrics_distinct_objects);
+    ("schedule round robin", `Quick, test_schedule_round_robin_skips);
+    ("schedule script", `Quick, test_schedule_script_exhaustion);
+    ("schedule seq", `Quick, test_schedule_seq);
+    ("schedule random deterministic", `Quick, test_schedule_random_deterministic);
+    ("schedule custom", `Quick, test_schedule_custom);
+    ("schedule custom non-runnable", `Quick,
+     test_schedule_custom_nonrunnable_rejected);
+    ("awareness direct", `Quick, test_awareness_direct_read);
+    ("awareness transitive", `Quick, test_awareness_transitive);
+    ("awareness overwrite", `Quick, test_awareness_overwrite_hides);
+    ("awareness tas", `Quick, test_awareness_tas_learns) ]
+
+let () = Alcotest.run "sim" [ ("sim", suite) ]

@@ -1,0 +1,144 @@
+(* Tests for workload generation: determinism, shapes, drivers. *)
+
+let check = Alcotest.check
+let vi = Alcotest.int
+
+let test_rng_deterministic () =
+  let seq seed =
+    let rng = Workload.Rng.create ~seed in
+    List.init 50 (fun _ -> Workload.Rng.int rng 1000)
+  in
+  check (Alcotest.list vi) "same seed" (seq 42) (seq 42);
+  Alcotest.(check bool) "different seed" true (seq 42 <> seq 43)
+
+let test_rng_bounds () =
+  let rng = Workload.Rng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let v = Workload.Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_rng_float_range () =
+  let rng = Workload.Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let f = Workload.Rng.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_rng_bool_bias () =
+  let rng = Workload.Rng.create ~seed:11 in
+  let hits = ref 0 in
+  let trials = 100_000 in
+  for _ = 1 to trials do
+    if Workload.Rng.bool rng ~p:0.25 then incr hits
+  done;
+  let ratio = float_of_int !hits /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.3f near 0.25" ratio)
+    true
+    (ratio > 0.23 && ratio < 0.27)
+
+let test_counter_mix_shape () =
+  let script =
+    Workload.Script.counter_mix ~seed:5 ~n:4 ~ops_per_process:100
+      ~read_fraction:0.3
+  in
+  check vi "n processes" 4 (Array.length script);
+  check vi "total ops" 400 (Workload.Script.total_ops script);
+  let reads =
+    Array.fold_left
+      (fun acc ops ->
+        acc
+        + List.length (List.filter (fun op -> op = Workload.Script.Read) ops))
+      0 script
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "read count %d near 120" reads)
+    true
+    (reads > 80 && reads < 160)
+
+let test_counter_mix_deterministic () =
+  let s1 =
+    Workload.Script.counter_mix ~seed:9 ~n:3 ~ops_per_process:50
+      ~read_fraction:0.5
+  in
+  let s2 =
+    Workload.Script.counter_mix ~seed:9 ~n:3 ~ops_per_process:50
+      ~read_fraction:0.5
+  in
+  Alcotest.(check bool) "same seed same script" true (s1 = s2)
+
+let test_inc_then_read () =
+  let script = Workload.Script.inc_then_read ~n:5 in
+  check vi "n" 5 (Array.length script);
+  Array.iter
+    (fun ops ->
+      check vi "two ops" 2 (List.length ops);
+      match ops with
+      | [ Workload.Script.Inc; Workload.Script.Read ] -> ()
+      | _ -> Alcotest.fail "wrong shape")
+    script
+
+let test_writes_then_read_range () =
+  let max_value = 50 in
+  let script =
+    Workload.Script.writes_then_read ~seed:1 ~n:3 ~writes_per_process:20
+      ~max_value
+  in
+  Array.iter
+    (fun ops ->
+      List.iter
+        (fun op ->
+          match op with
+          | Workload.Script.Write v ->
+            if v < 1 || v >= max_value then Alcotest.failf "value %d" v
+          | Workload.Script.Read -> ()
+          | Workload.Script.Inc -> Alcotest.fail "unexpected inc")
+        ops;
+      match List.rev ops with
+      | Workload.Script.Read :: _ -> ()
+      | _ -> Alcotest.fail "must end with read")
+    script
+
+let test_monotone_writes_distinct () =
+  let script = Workload.Script.monotone_writes ~n:3 ~writes_per_process:4
+      ~stride:1 in
+  (* All written values are distinct across processes. *)
+  let values =
+    Array.to_list script
+    |> List.concat_map
+         (List.filter_map (fun op ->
+              match op with
+              | Workload.Script.Write v -> Some v
+              | Workload.Script.Read | Workload.Script.Inc -> None))
+  in
+  check vi "count" 12 (List.length values);
+  check vi "distinct" 12 (List.length (List.sort_uniq compare values))
+
+let test_driver_rejects_wrong_ops () =
+  let exec = Sim.Exec.create ~n:1 () in
+  let counter = Counters.Faa_counter.create exec () in
+  let programs =
+    Workload.Script.counter_programs (Counters.Faa_counter.handle counter)
+      [| [ Workload.Script.Write 3 ] |]
+  in
+  (* The failure surfaces when the program runs. *)
+  Alcotest.check_raises "write in counter script"
+    (Invalid_argument "Script.counter_programs: Write in counter script")
+    (fun () ->
+      ignore
+        (Sim.Exec.run exec ~programs ~policy:Sim.Schedule.Round_robin ()))
+
+let suite =
+  [ ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng bounds", `Quick, test_rng_bounds);
+    ("rng float range", `Quick, test_rng_float_range);
+    ("rng bool bias", `Quick, test_rng_bool_bias);
+    ("counter mix shape", `Quick, test_counter_mix_shape);
+    ("counter mix deterministic", `Quick, test_counter_mix_deterministic);
+    ("inc then read", `Quick, test_inc_then_read);
+    ("writes then read range", `Quick, test_writes_then_read_range);
+    ("monotone writes distinct", `Quick, test_monotone_writes_distinct);
+    ("driver rejects wrong ops", `Quick, test_driver_rejects_wrong_ops) ]
+
+let () = Alcotest.run "workload" [ ("workload", suite) ]
