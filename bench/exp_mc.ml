@@ -52,7 +52,7 @@ let run () =
   Printf.printf "(host has %d recognized core(s))\n"
     (Domain.recommended_domain_count ());
   let ops = 300_000 in
-  let domain_counts = [ 1; 2; 4 ] in
+  let domain_counts = Mcore.Throughput.sweep_domains ~max_domains:4 () in
   let counter_rows =
     List.map
       (fun domains ->

@@ -22,6 +22,7 @@ let experiments =
     ("e9e10", "ablations + additive relaxation", Exp_ablation.run);
     ("e11", "exhaustive interleaving exploration", Exp_exhaustive.run);
     ("mc", "multicore throughput (E8)", Exp_mc.run);
+    ("perf", "benchmark pipeline -> BENCH_1.json", Exp_perf.run);
     ("bechamel", "wall-clock microbenchmarks (T1)", Bechamel_suite.run) ]
 
 let list_experiments () =

@@ -391,6 +391,73 @@ let explore_cmd =
     Term.(const run_explore $ n_arg $ k_arg $ incs_arg $ limit_arg)
 
 (* ------------------------------------------------------------------ *)
+(* bench subcommand                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_bench trials warmup ops domains out smoke =
+  let cfg =
+    if smoke then { Perf.Pipeline.smoke_config with out_path = out }
+    else
+      { Perf.Pipeline.default_config with
+        trials;
+        warmup_trials = warmup;
+        ops_per_domain = ops;
+        domains =
+          (match domains with
+           | [] -> Perf.Pipeline.default_config.domains
+           | ds -> ds);
+        out_path = out }
+  in
+  if cfg.trials < 1 || cfg.warmup_trials < 0 || cfg.ops_per_domain < 1
+     || List.exists (fun d -> d < 1) cfg.domains
+  then begin
+    prerr_endline "bench: trials/ops/domains must be positive";
+    2
+  end
+  else begin
+    Perf.Pipeline.run cfg;
+    0
+  end
+
+let bench_cmd =
+  let trials_arg =
+    Arg.(value & opt int 5
+         & info [ "trials" ] ~docv:"T"
+             ~doc:"Recorded trials per measurement (min/median/max are \
+                   taken over these).")
+  in
+  let warmup_arg =
+    Arg.(value & opt int 1
+         & info [ "warmup" ] ~docv:"W"
+             ~doc:"Discarded warmup trials per measurement.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 100_000
+         & info [ "ops" ] ~docv:"OPS" ~doc:"Operations per domain per trial.")
+  in
+  let domains_arg =
+    Arg.(value & opt (list int) []
+         & info [ "domains" ] ~docv:"D,D,..."
+             ~doc:"Domain counts to sweep (default: 1,2 plus powers of \
+                   two up to the recognized core count).")
+  in
+  let out_arg =
+    Arg.(value & opt string "BENCH_1.json"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Output JSON path.")
+  in
+  let smoke_arg =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Run the tiny smoke configuration (fast; for CI).")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run the multicore benchmark pipeline and write a BENCH_*.json \
+             performance record")
+    Term.(const run_bench $ trials_arg $ warmup_arg $ ops_arg $ domains_arg
+          $ out_arg $ smoke_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "deterministic approximate objects (ICDCS 2021) playground" in
@@ -399,4 +466,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ counter_cmd; maxreg_cmd; lincheck_cmd; awareness_cmd;
-            perturb_cmd; explore_cmd ]))
+            perturb_cmd; explore_cmd; bench_cmd ]))

@@ -1,0 +1,21 @@
+(** Minimal JSON serializer for the benchmark pipeline (BENCH_*.json).
+
+    The container has no JSON library, so this is a small dependency-free
+    writer: a value AST plus pretty-printed emission. Non-finite floats
+    serialize as [null] (JSON has no representation for them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed JSON text, newline-terminated. *)
+
+val write_file : path:string -> t -> unit
+(** Serialize atomically: write [path ^ ".tmp"], then rename over
+    [path], so a crashed benchmark run never leaves a torn file. *)

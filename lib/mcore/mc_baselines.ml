@@ -1,15 +1,18 @@
 module Faa_counter = struct
   type t = int Atomic.t
 
-  let create () = Atomic.make 0
+  let create () = Padded.atomic 0
   let increment t = ignore (Atomic.fetch_and_add t 1)
   let read t = Atomic.get t
 end
 
 module Collect_counter = struct
+  (* One padded cell per domain: without the padding, neighbouring
+     pids' cells share a cache line and "contention-free" increments
+     still ping the line between cores. *)
   type t = int Atomic.t array
 
-  let create ~n = Array.init n (fun _ -> Atomic.make 0)
+  let create ~n = Padded.atomic_array n 0
   let increment t ~pid = Atomic.incr t.(pid)
   let read t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t
 end
@@ -17,7 +20,7 @@ end
 module Lock_counter = struct
   type t = { mutex : Mutex.t; mutable count : int }
 
-  let create () = { mutex = Mutex.create (); count = 0 }
+  let create () = Padded.copy { mutex = Mutex.create (); count = 0 }
 
   let increment t =
     Mutex.lock t.mutex;
@@ -34,7 +37,7 @@ end
 module Cas_maxreg = struct
   type t = int Atomic.t
 
-  let create () = Atomic.make 0
+  let create () = Padded.atomic 0
 
   let rec write t v =
     let cur = Atomic.get t in

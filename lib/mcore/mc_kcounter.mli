@@ -7,21 +7,44 @@
     a distinct pid in [0 .. n-1]; per-pid local state is unsynchronised by
     design (the algorithm's locals are process-private).
 
-    The switch sequence is pre-allocated: index [j] is only reached after
-    roughly [k^(j/k)] increments, so the default capacity of 4096 can never
-    be exhausted in practice (reaching switch 200 with [k = 2] already
-    requires over [2^100] increments). *)
+    Hot-path properties:
+    - [increment] and [read] perform zero heap allocations, including on
+      the announcement and helping slow paths: announcements are stored
+      as {!Packed} single-word atomics rather than tuples, and the read
+      helping baseline reuses a per-pid scratch array.
+    - per-pid state ([h] announcement cells, locals, scratch) is padded
+      to cache-line granularity ({!Padded}) so increments by different
+      domains never contend on a line.
+
+    Capacity: the switch sequence starts at [switch_capacity] cells and
+    grows (lock-free, by doubling) on demand, so exhaustion is
+    recoverable — growth allocates, but index [j] is only reached after
+    roughly [k^(j/k)] increments, so growth beyond the default is
+    already astronomically rare. The absolute ceiling is
+    [Packed.max_value + 1 = 2^20] switches, imposed by the packed
+    announcement encoding; {!Capacity_exceeded} is raised beyond it
+    (unreachable in any physical execution: switch [2^20] with [k = 2]
+    would take [2^(2^19)] increments). *)
+
+exception Capacity_exceeded of int
+(** Raised with the offending switch index if the packed-encoding
+    ceiling of [2^20] switches is ever exceeded. *)
 
 type t
 
 val create : ?switch_capacity:int -> n:int -> k:int -> unit -> t
-(** @raise Invalid_argument if [k < 2] or [n < 1]. *)
+(** @raise Invalid_argument if [k < 2], [n < 1], or [switch_capacity]
+    is outside [1 .. 2^20]. [switch_capacity] (default 1024) is only
+    the initial allocation; the switch array grows on demand. *)
 
 val increment : t -> pid:int -> unit
 val read : t -> pid:int -> int
 
 val k : t -> int
 val n : t -> int
+
+val capacity : t -> int
+(** Current length of the (growable) switch array. *)
 
 val switches_set : t -> int
 (** Number of switches currently set (diagnostic; racy by nature). *)

@@ -1,24 +1,25 @@
 module Kadditive = struct
   type t = {
-    cells : int Atomic.t array;
+    cells : int Atomic.t array;  (* padded: one cell per pid *)
     threshold : int;
-    pending : int array;  (* domain-local; one slot per pid *)
+    pending : Padded.Int_array.t;  (* domain-local; one slot per pid *)
   }
 
   let create ~n ~k () =
     if n < 1 then invalid_arg "Mc_more_counters.Kadditive: n < 1";
     if k < 0 then invalid_arg "Mc_more_counters.Kadditive: k < 0";
-    { cells = Array.init n (fun _ -> Atomic.make 0);
+    { cells = Padded.atomic_array n 0;
       threshold = (k / (n + 1)) + 1;
-      pending = Array.make n 0 }
+      pending = Padded.Int_array.make n 0 }
 
   let increment t ~pid =
-    t.pending.(pid) <- t.pending.(pid) + 1;
-    if t.pending.(pid) = t.threshold then begin
+    let pending = Padded.Int_array.get t.pending pid + 1 in
+    if pending = t.threshold then begin
       (* The cell is single-writer: a plain read-add-set is safe. *)
-      Atomic.set t.cells.(pid) (Atomic.get t.cells.(pid) + t.pending.(pid));
-      t.pending.(pid) <- 0
+      Atomic.set t.cells.(pid) (Atomic.get t.cells.(pid) + pending);
+      Padded.Int_array.set t.pending pid 0
     end
+    else Padded.Int_array.set t.pending pid pending
 
   let read t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.cells
 
@@ -29,7 +30,7 @@ module Tree_counter = struct
   type t = {
     n : int;
     size : int;  (* leaf slots, power of two; heap layout *)
-    leaves : int Atomic.t array;
+    leaves : int Atomic.t array;  (* padded: single-writer per pid *)
     nodes : int Atomic.t array;  (* 1-based heap of subtree-sum maxima *)
   }
 
@@ -38,8 +39,8 @@ module Tree_counter = struct
     let size = Zmath.pow 2 (Zmath.ceil_log2 (max 2 n)) in
     { n;
       size;
-      leaves = Array.init n (fun _ -> Atomic.make 0);
-      nodes = Array.init size (fun _ -> Atomic.make 0) }
+      leaves = Padded.atomic_array n 0;
+      nodes = Padded.atomic_array size 0 }
 
   let child_value t i =
     if i >= t.size then
@@ -54,16 +55,18 @@ module Tree_counter = struct
     if sum > cur && not (Atomic.compare_and_set cell cur sum) then
       write_max cell sum
 
+  (* Top-level recursion: a nested [let rec] capturing [t] would
+     allocate a closure per increment. *)
+  let rec up t i =
+    if i >= 1 then begin
+      let sum = child_value t (2 * i) + child_value t ((2 * i) + 1) in
+      write_max t.nodes.(i) sum;
+      up t (i / 2)
+    end
+
   let increment t ~pid =
     Atomic.set t.leaves.(pid) (Atomic.get t.leaves.(pid) + 1);
-    let rec up i =
-      if i >= 1 then begin
-        let sum = child_value t (2 * i) + child_value t ((2 * i) + 1) in
-        write_max t.nodes.(i) sum;
-        up (i / 2)
-      end
-    in
-    up ((t.size + pid) / 2)
+    up t ((t.size + pid) / 2)
 
   let read t = Atomic.get t.nodes.(1)
 end

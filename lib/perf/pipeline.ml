@@ -1,0 +1,221 @@
+module J = Mcore.Bench_json
+
+type config = {
+  trials : int;
+  warmup_trials : int;
+  ops_per_domain : int;
+  domains : int list;
+  sim_n : int;
+  sim_k : int;
+  sim_ops_per_process : int;
+  out_path : string;
+}
+
+let default_config =
+  { trials = 5;
+    warmup_trials = 1;
+    ops_per_domain = 100_000;
+    domains = Mcore.Throughput.sweep_domains ~max_domains:8 ();
+    sim_n = 16;
+    sim_k = 4;
+    sim_ops_per_process = 2048;
+    out_path = "BENCH_1.json" }
+
+let smoke_config =
+  { trials = 3;
+    warmup_trials = 0;
+    ops_per_domain = 500;
+    domains = [ 1; 2 ];
+    sim_n = 4;
+    sim_k = 2;
+    sim_ops_per_process = 64;
+    out_path = Filename.concat (Filename.get_temp_dir_name ()) "BENCH_smoke.json" }
+
+(* ------------------------------------------------------------------ *)
+(* Throughput measurements                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Fresh object per measurement so trials of one configuration never see
+   state accumulated under another object/mix/domain-count. *)
+let counter_objects ~domains =
+  let k = max 2 (Zmath.ceil_sqrt domains) in
+  [ ("kcounter",
+     fun () ->
+       let kc = Mcore.Mc_kcounter.create ~n:domains ~k () in
+       ((fun ~pid -> Mcore.Mc_kcounter.increment kc ~pid),
+        fun ~pid -> ignore (Mcore.Mc_kcounter.read kc ~pid)));
+    ("faa",
+     fun () ->
+       let c = Mcore.Mc_baselines.Faa_counter.create () in
+       ((fun ~pid:_ -> Mcore.Mc_baselines.Faa_counter.increment c),
+        fun ~pid:_ -> ignore (Mcore.Mc_baselines.Faa_counter.read c)));
+    ("collect",
+     fun () ->
+       let c = Mcore.Mc_baselines.Collect_counter.create ~n:domains in
+       ((fun ~pid -> Mcore.Mc_baselines.Collect_counter.increment c ~pid),
+        fun ~pid:_ -> ignore (Mcore.Mc_baselines.Collect_counter.read c))) ]
+
+let maxreg_objects ~domains =
+  [ ("kmaxreg",
+     fun () ->
+       let mr = Mcore.Mc_kmaxreg.create ~m:(1 lsl 30) ~k:2 () in
+       ((fun ~pid ~op_index ->
+          Mcore.Mc_kmaxreg.write mr ((op_index * domains) + pid + 1)),
+        fun ~pid:_ ~op_index:_ -> ignore (Mcore.Mc_kmaxreg.read mr)));
+    ("cas-loop",
+     fun () ->
+       let mr = Mcore.Mc_baselines.Cas_maxreg.create () in
+       ((fun ~pid ~op_index ->
+          Mcore.Mc_baselines.Cas_maxreg.write mr
+            ((op_index * domains) + pid + 1)),
+        fun ~pid:_ ~op_index:_ -> ignore (Mcore.Mc_baselines.Cas_maxreg.read mr))) ]
+
+let stats_fields (s : Mcore.Throughput.stats) =
+  [ ("domains", J.Int s.s_domains);
+    ("trials", J.Int s.s_trials);
+    ("ops_per_trial", J.Int s.s_ops_per_trial);
+    ("ops_per_sec_min", J.Float s.s_min_ops_per_sec);
+    ("ops_per_sec_median", J.Float s.s_median_ops_per_sec);
+    ("ops_per_sec_max", J.Float s.s_max_ops_per_sec) ]
+
+let counter_throughput cfg =
+  List.concat_map
+    (fun domains ->
+      List.concat_map
+        (fun (label, make) ->
+          List.map
+            (fun (mix : Mcore.Throughput.mix) ->
+              let inc, read = make () in
+              let worker =
+                Mcore.Throughput.mixed_worker mix ~inc ~read
+              in
+              let stats =
+                Mcore.Throughput.measure ~warmup_trials:cfg.warmup_trials
+                  ~trials:cfg.trials ~domains
+                  ~ops_per_domain:cfg.ops_per_domain ~worker ()
+              in
+              J.Obj
+                (("object", J.Str label)
+                 :: ("workload", J.Str mix.mix_label)
+                 :: stats_fields stats))
+            Mcore.Throughput.mixes)
+        (counter_objects ~domains))
+    cfg.domains
+
+let maxreg_throughput cfg =
+  List.concat_map
+    (fun domains ->
+      List.map
+        (fun (label, make) ->
+          let write, _read = make () in
+          let stats =
+            Mcore.Throughput.measure ~warmup_trials:cfg.warmup_trials
+              ~trials:cfg.trials ~domains ~ops_per_domain:cfg.ops_per_domain
+              ~worker:(fun ~pid ~op_index -> write ~pid ~op_index)
+              ()
+          in
+          J.Obj
+            (("object", J.Str label)
+             :: ("workload", J.Str "write-only")
+             :: stats_fields stats))
+        (maxreg_objects ~domains))
+    cfg.domains
+
+(* ------------------------------------------------------------------ *)
+(* Simulator amortized-step metrics (Theorem III.9, Algorithm 1)       *)
+(* ------------------------------------------------------------------ *)
+
+let simulator_metrics cfg =
+  let n = cfg.sim_n and k = cfg.sim_k in
+  let exec = Sim.Exec.create ~trace_steps:false ~n () in
+  let counter = Approx.Kcounter.create exec ~n ~k () in
+  let script =
+    Workload.Script.counter_mix ~seed:42 ~n
+      ~ops_per_process:cfg.sim_ops_per_process ~read_fraction:0.3
+  in
+  let programs =
+    Workload.Script.counter_programs (Approx.Kcounter.handle counter) script
+  in
+  ignore (Sim.Exec.run exec ~programs ~policy:(Sim.Schedule.Random 42) ());
+  let per_op =
+    List.map
+      (fun (name, count, worst, mean) ->
+        J.Obj
+          [ ("name", J.Str name);
+            ("count", J.Int count);
+            ("worst_steps", J.Int worst);
+            ("mean_steps", J.Float mean) ])
+      (Sim.Exec.op_stats exec)
+  in
+  J.Obj
+    [ ("object", J.Str "kcounter (Algorithm 1)");
+      ("n", J.Int n);
+      ("k", J.Int k);
+      ("ops_per_process", J.Int cfg.sim_ops_per_process);
+      ("read_fraction", J.Float 0.3);
+      ("ops_invoked", J.Int (Sim.Exec.ops_invoked exec));
+      ("op_steps_total", J.Int (Sim.Exec.op_steps_total exec));
+      ("amortized_steps_per_op", J.Float (Sim.Exec.amortized exec));
+      ("per_op", J.List per_op) ]
+
+(* ------------------------------------------------------------------ *)
+(* Assembly                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let bench_json cfg =
+  J.Obj
+    [ ("schema_version", J.Int 1);
+      ("suite", J.Str "approx_objects perf pipeline");
+      ("host",
+       J.Obj
+         [ ("recognized_cores", J.Int (Domain.recommended_domain_count ()));
+           ("ocaml_version", J.Str Sys.ocaml_version);
+           ("word_size", J.Int Sys.word_size) ]);
+      ("config",
+       J.Obj
+         [ ("trials", J.Int cfg.trials);
+           ("warmup_trials", J.Int cfg.warmup_trials);
+           ("ops_per_domain", J.Int cfg.ops_per_domain);
+           ("domains", J.List (List.map (fun d -> J.Int d) cfg.domains)) ]);
+      ("counter_throughput", J.List (counter_throughput cfg));
+      ("maxreg_throughput", J.List (maxreg_throughput cfg));
+      ("simulator", J.Obj [ ("algorithm1", simulator_metrics cfg) ]) ]
+
+let run ?(quiet = false) cfg =
+  let json = bench_json cfg in
+  J.write_file ~path:cfg.out_path json;
+  if not quiet then begin
+    Printf.printf "perf pipeline: %d trial(s) x %d ops/domain, domains {%s}\n"
+      cfg.trials cfg.ops_per_domain
+      (String.concat ", " (List.map string_of_int cfg.domains));
+    (match json with
+     | J.Obj fields ->
+       (match List.assoc_opt "counter_throughput" fields with
+        | Some (J.List rows) ->
+          List.iter
+            (fun row ->
+              match row with
+              | J.Obj r ->
+                let str k' =
+                  match List.assoc_opt k' r with
+                  | Some (J.Str s) -> s
+                  | _ -> "?"
+                in
+                let num k' =
+                  match List.assoc_opt k' r with
+                  | Some (J.Float f) -> f
+                  | Some (J.Int i) -> float_of_int i
+                  | _ -> Float.nan
+                in
+                Printf.printf
+                  "  %-9s %-10s domains=%.0f  median %8.2f Mops/s  (min %.2f, max %.2f)\n"
+                  (str "object") (str "workload") (num "domains")
+                  (num "ops_per_sec_median" /. 1e6)
+                  (num "ops_per_sec_min" /. 1e6)
+                  (num "ops_per_sec_max" /. 1e6)
+              | _ -> ())
+            rows
+        | _ -> ())
+     | _ -> ());
+    Printf.printf "written to %s\n" cfg.out_path
+  end

@@ -1,0 +1,42 @@
+(** The reproducible benchmark pipeline behind [BENCH_*.json].
+
+    One entry point produces the whole performance record for a
+    revision: multicore throughput (k-counter and max-register vs their
+    exact baselines, across domain counts and operation mixes, each
+    summarised as min/median/max over repeated trials) plus the
+    simulator's amortized step metrics for Algorithm 1 (the measured
+    form of Theorem III.9). The record is serialized with
+    {!Mcore.Bench_json} so successive revisions can be diffed —
+    a durable perf trajectory rather than one-off console tables.
+
+    Wired into [bench/main.exe] as experiment id [perf] and into
+    [approx_cli] as the [bench] subcommand. *)
+
+type config = {
+  trials : int;  (** recorded trials per measurement (>= 1) *)
+  warmup_trials : int;  (** discarded warmup trials per measurement *)
+  ops_per_domain : int;  (** operations per domain per trial *)
+  domains : int list;  (** domain counts to sweep *)
+  sim_n : int;  (** simulator: processes *)
+  sim_k : int;  (** simulator: accuracy parameter *)
+  sim_ops_per_process : int;  (** simulator: ops per process *)
+  out_path : string;  (** where to write the JSON record *)
+}
+
+val default_config : config
+(** 5 trials x 100k ops/domain over {!Mcore.Throughput.sweep_domains}
+    (always including domains = 1 and 2); simulator at n = 16,
+    k = ceil(sqrt n) = 4, 2048 ops/process; writes [BENCH_1.json] in
+    the current directory. *)
+
+val smoke_config : config
+(** Tiny counts (3 trials x 500 ops, 64 sim ops) for the [dune runtest]
+    smoke test; writes to a temporary file. Keeps the pipeline from
+    silently bitrotting without slowing the test suite down. *)
+
+val bench_json : config -> Mcore.Bench_json.t
+(** Run every measurement and assemble the record (no I/O). *)
+
+val run : ?quiet:bool -> config -> unit
+(** {!bench_json}, then atomically write [config.out_path] and print a
+    one-screen summary (unless [quiet]). *)

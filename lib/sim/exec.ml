@@ -117,8 +117,19 @@ let run t ~programs ~policy ?(max_steps = 50_000_000) ?stop () =
     Array.init t.n (fun pid -> Not_started (fun () -> programs.(pid) pid))
   in
   let unfinished = ref t.n in
-  let taken = ref [] in
+  (* Growable int buffer: long runs (max_steps up to 50M) must not
+     build a 50M-cons list just to record the schedule. *)
+  let taken = ref (Array.make 1024 0) in
   let ntaken = ref 0 in
+  let record pid =
+    if !ntaken = Array.length !taken then begin
+      let bigger = Array.make (2 * !ntaken) 0 in
+      Array.blit !taken 0 bigger 0 !ntaken;
+      taken := bigger
+    end;
+    !taken.(!ntaken) <- pid;
+    incr ntaken
+  in
   let absorb pid status =
     match (status : Fiber.status) with
     | Fiber.Yielded (access, k) -> states.(pid) <- Pending (access, k)
@@ -165,17 +176,12 @@ let run t ~programs ~policy ?(max_steps = 50_000_000) ?stop () =
       match Schedule.choose chooser ~runnable with
       | None -> Policy_abstained
       | Some pid ->
-        taken := pid :: !taken;
-        incr ntaken;
+        record pid;
         turn pid;
         loop ()
   in
   let reason = loop () in
-  let schedule_taken = Array.make !ntaken 0 in
-  List.iteri
-    (fun i pid -> schedule_taken.(!ntaken - 1 - i) <- pid)
-    !taken;
-  { schedule_taken;
+  { schedule_taken = Array.sub !taken 0 !ntaken;
     completed =
       Array.map
         (fun st ->

@@ -6,36 +6,45 @@ let mul_opt a b =
   else if a > max_int / b then None
   else Some (a * b)
 
-let pow_opt k e =
-  if k < 0 || e < 0 then invalid_arg "Zmath.pow_opt: negative argument";
+(* [pow], [floor_log] and [within_k] sit on the multicore hot paths
+   (every non-trivial k-counter read computes a ReturnValue, every
+   k-max-register write takes a log), so they are written with inline
+   overflow tests instead of [mul_opt]: without flambda each [Some]
+   would be a minor-heap allocation per loop iteration. *)
+
+let pow k e =
+  if k < 0 || e < 0 then invalid_arg "Zmath.pow: negative argument";
   let rec go acc k e =
-    if e = 0 then Some acc
-    else
-      let acc = if e land 1 = 1 then mul_opt acc k else Some acc in
-      match acc with
-      | None -> None
-      | Some acc ->
-        if e lsr 1 = 0 then Some acc
-        else (match mul_opt k k with
-              | None -> None
-              | Some k2 -> go acc k2 (e lsr 1))
+    if e = 0 then acc
+    else begin
+      let acc =
+        if e land 1 = 1 then begin
+          if k <> 0 && acc > max_int / k then raise Overflow;
+          acc * k
+        end
+        else acc
+      in
+      if e lsr 1 = 0 then acc
+      else begin
+        if k <> 0 && k > max_int / k then raise Overflow;
+        go acc (k * k) (e lsr 1)
+      end
+    end
   in
   go 1 k e
 
-let pow k e =
-  match pow_opt k e with
-  | Some v -> v
-  | None -> raise Overflow
+let pow_opt k e = match pow k e with v -> Some v | exception Overflow -> None
+
+(* The loop takes every free variable as a parameter: a nested [let rec]
+   capturing [base]/[v] would allocate a closure per call. *)
+let rec floor_log_go base v e acc =
+  (* [acc <= v / base] iff [acc * base <= v], and rules out overflow. *)
+  if acc > v / base then e else floor_log_go base v (e + 1) (acc * base)
 
 let floor_log ~base v =
   if base < 2 then invalid_arg "Zmath.floor_log: base < 2";
   if v < 1 then invalid_arg "Zmath.floor_log: v < 1";
-  let rec go e acc =
-    match mul_opt acc base with
-    | Some acc' when acc' <= v -> go (e + 1) acc'
-    | Some _ | None -> e
-  in
-  go 0 1
+  floor_log_go base v 0 1
 
 let is_power_aux ~base v e =
   match pow_opt base e with Some p -> p = v | None -> false
@@ -67,16 +76,18 @@ let within_k ~k ~exact x =
   if k < 1 || exact < 0 || x < 0 then
     invalid_arg "Zmath.within_k: negative argument";
   let le_mul a b c =
-    (* a <= b * c without overflow *)
-    match mul_opt b c with Some p -> a <= p | None -> true
+    (* a <= b * c without overflow (or allocation: this is called from
+       accuracy assertions inside benchmark loops) *)
+    if b <> 0 && c > max_int / b then true else a <= b * c
   in
   le_mul exact x k && le_mul x exact k
 
+let rec geometric_sum_go base hi acc l =
+  if l > hi then acc
+  else
+    let term = pow base l in
+    if acc > max_int - term then raise Overflow
+    else geometric_sum_go base hi (acc + term) (l + 1)
+
 let geometric_sum ~base ~lo ~hi =
-  let rec go acc l =
-    if l > hi then acc
-    else
-      let term = pow base l in
-      if acc > max_int - term then raise Overflow else go (acc + term) (l + 1)
-  in
-  if lo > hi then 0 else go 0 lo
+  if lo > hi then 0 else geometric_sum_go base hi 0 lo

@@ -160,7 +160,223 @@ let test_throughput_reports () =
 let test_kcounter_validation () =
   Alcotest.check_raises "k < 2"
     (Invalid_argument "Mc_kcounter.create: k < 2") (fun () ->
-      ignore (Mcore.Mc_kcounter.create ~n:2 ~k:1 ()))
+      ignore (Mcore.Mc_kcounter.create ~n:2 ~k:1 ()));
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Mc_kcounter.create: switch_capacity out of range")
+    (fun () -> ignore (Mcore.Mc_kcounter.create ~switch_capacity:0 ~n:1 ~k:2 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Packed announcement encoding                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_packed_roundtrip () =
+  let cases =
+    [ (0, 0); (0, 1); (1, 0); (1, 1);
+      (Mcore.Packed.max_value, 0);
+      (0, Mcore.Packed.sn_mask);
+      (Mcore.Packed.max_value, Mcore.Packed.sn_mask);
+      (12345, 6789) ]
+  in
+  List.iter
+    (fun (value, sn) ->
+      let p = Mcore.Packed.pack ~value ~sn in
+      Alcotest.(check bool) "packed word non-negative" true (p >= 0);
+      check vi (Printf.sprintf "value of pack(%d,%d)" value sn) value
+        (Mcore.Packed.value p);
+      check vi (Printf.sprintf "sn of pack(%d,%d)" value sn) sn
+        (Mcore.Packed.sn p))
+    cases;
+  (* sn is stored modulo 2^sn_bits *)
+  check vi "sn wraps" 1
+    (Mcore.Packed.sn (Mcore.Packed.pack ~value:0 ~sn:(Mcore.Packed.sn_mask + 2)))
+
+let test_packed_sn_delta () =
+  let m = Mcore.Packed.sn_mask in
+  check vi "no wrap" 2 (Mcore.Packed.sn_delta 5 3);
+  check vi "wrap by one" 1 (Mcore.Packed.sn_delta 0 m);
+  check vi "wrap by three" 3 (Mcore.Packed.sn_delta 1 (m - 1));
+  check vi "equal" 0 (Mcore.Packed.sn_delta 7 7)
+
+(* ------------------------------------------------------------------ *)
+(* Padded helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_padded_int_array () =
+  let a = Mcore.Padded.Int_array.make 5 3 in
+  check vi "length" 5 (Mcore.Padded.Int_array.length a);
+  check vi "init" 3 (Mcore.Padded.Int_array.get a 4);
+  Mcore.Padded.Int_array.set a 2 10;
+  check vi "set/get" 10 (Mcore.Padded.Int_array.get a 2);
+  check vi "sum" (3 + 3 + 10 + 3 + 3) (Mcore.Padded.Int_array.sum a)
+
+let test_padded_atomic () =
+  let a = Mcore.Padded.atomic 7 in
+  check vi "initial" 7 (Atomic.get a);
+  Atomic.set a 9;
+  check vi "set" 9 (Atomic.get a);
+  check vi "faa" 9 (Atomic.fetch_and_add a 4);
+  check vi "after faa" 13 (Atomic.get a);
+  (* copy preserves record contents and mutability *)
+  let r = Mcore.Padded.copy (ref 5) in
+  r := 6;
+  check vi "padded ref" 6 !r;
+  (* non-blocks pass through *)
+  check vi "immediate" 42 (Mcore.Padded.copy 42)
+
+(* ------------------------------------------------------------------ *)
+(* Switch-capacity growth                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_kcounter_capacity_growth () =
+  let k = 2 in
+  let counter = Mcore.Mc_kcounter.create ~switch_capacity:1 ~n:1 ~k () in
+  check vi "initial capacity" 1 (Mcore.Mc_kcounter.capacity counter);
+  for v = 1 to 10_000 do
+    Mcore.Mc_kcounter.increment counter ~pid:0;
+    if v mod 100 = 0 then begin
+      let x = Mcore.Mc_kcounter.read counter ~pid:0 in
+      if not (Approx.Accuracy.within ~k ~exact:v x) then
+        Alcotest.failf "read %d of count %d outside envelope after growth" x v
+    end
+  done;
+  Alcotest.(check bool)
+    "capacity grew" true
+    (Mcore.Mc_kcounter.capacity counter > 1)
+
+(* ------------------------------------------------------------------ *)
+(* Zero-allocation fast paths                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* [Gc.minor_words] itself boxes its float result, so allow a small
+   slack; any per-operation allocation over [ops] iterations would blow
+   far past it. *)
+let assert_no_alloc label ~ops f =
+  let before = Gc.minor_words () in
+  for i = 0 to ops - 1 do
+    f i
+  done;
+  let after = Gc.minor_words () in
+  let delta = after -. before in
+  if delta > 256.0 then
+    Alcotest.failf "%s allocated %.0f minor words over %d ops" label delta ops
+
+let test_kcounter_increment_no_alloc () =
+  let counter = Mcore.Mc_kcounter.create ~n:2 ~k:2 () in
+  (* Warmup: cross several limit boundaries so announcements happen
+     both before and during the measured window. *)
+  for _ = 1 to 10_000 do
+    Mcore.Mc_kcounter.increment counter ~pid:0
+  done;
+  assert_no_alloc "increment" ~ops:100_000 (fun _ ->
+      Mcore.Mc_kcounter.increment counter ~pid:0)
+
+let test_kcounter_read_no_alloc () =
+  let counter = Mcore.Mc_kcounter.create ~n:2 ~k:2 () in
+  for _ = 1 to 10_000 do
+    Mcore.Mc_kcounter.increment counter ~pid:0
+  done;
+  ignore (Mcore.Mc_kcounter.read counter ~pid:1);
+  assert_no_alloc "read" ~ops:10_000 (fun _ ->
+      ignore (Mcore.Mc_kcounter.read counter ~pid:1))
+
+let test_kmaxreg_no_alloc () =
+  let mr = Mcore.Mc_kmaxreg.create ~m:(1 lsl 30) ~k:2 () in
+  Mcore.Mc_kmaxreg.write mr 1;
+  assert_no_alloc "maxreg write+read" ~ops:10_000 (fun i ->
+      Mcore.Mc_kmaxreg.write mr (i + 1);
+      ignore (Mcore.Mc_kmaxreg.read mr))
+
+(* ------------------------------------------------------------------ *)
+(* Accuracy stress across domains (the padded/packed hot paths)        *)
+(* ------------------------------------------------------------------ *)
+
+(* Every read must land in the k-multiplicative envelope of some count
+   between the increments already completed when the read starts (lo)
+   and all increments the run can possibly perform (hi): within the
+   interval [lo/k, hi*k], i.e. within ~k of a witness in [lo, hi]. *)
+let stress_accuracy ~domains () =
+  let per_domain = 20_000 in
+  let k = 2 in
+  let counter = Mcore.Mc_kcounter.create ~n:domains ~k () in
+  let completed = Array.init domains (fun _ -> Atomic.make 0) in
+  let hi = domains * per_domain in
+  let violations = Atomic.make 0 in
+  ignore
+    (Mcore.Throughput.run ~domains ~ops_per_domain:per_domain
+       ~worker:(fun ~pid ~op_index ->
+         if op_index mod 50 = 49 then begin
+           let lo =
+             Array.fold_left (fun acc c -> acc + Atomic.get c) 0 completed
+           in
+           let x = Mcore.Mc_kcounter.read counter ~pid in
+           let ok =
+             Approx.Accuracy.within ~k ~exact:lo x
+             || Approx.Accuracy.within ~k ~exact:hi x
+             || (lo <= x && x <= hi)
+           in
+           if not ok then Atomic.incr violations
+         end
+         else begin
+           Mcore.Mc_kcounter.increment counter ~pid;
+           Atomic.incr completed.(pid)
+         end));
+  check vi
+    (Printf.sprintf "no envelope violations at domains=%d" domains)
+    0 (Atomic.get violations);
+  (* quiescent read must be k-accurate for the exact final count *)
+  let final = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 completed in
+  let x = Mcore.Mc_kcounter.read counter ~pid:0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "quiescent read %d within envelope of %d" x final)
+    true
+    (Approx.Accuracy.within ~k ~exact:final x)
+
+(* ------------------------------------------------------------------ *)
+(* Throughput harness stats                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_throughput_measure_stats () =
+  let s =
+    Mcore.Throughput.measure ~warmup_trials:1 ~trials:5 ~domains:2
+      ~ops_per_domain:500
+      ~worker:(fun ~pid:_ ~op_index:_ -> ())
+      ()
+  in
+  check vi "domains" 2 s.Mcore.Throughput.s_domains;
+  check vi "trials" 5 s.Mcore.Throughput.s_trials;
+  check vi "ops per trial" 1_000 s.Mcore.Throughput.s_ops_per_trial;
+  Alcotest.(check bool) "min <= median" true
+    (s.Mcore.Throughput.s_min_ops_per_sec
+     <= s.Mcore.Throughput.s_median_ops_per_sec);
+  Alcotest.(check bool) "median <= max" true
+    (s.Mcore.Throughput.s_median_ops_per_sec
+     <= s.Mcore.Throughput.s_max_ops_per_sec);
+  Alcotest.(check bool) "positive" true
+    (s.Mcore.Throughput.s_min_ops_per_sec > 0.0)
+
+let test_sweep_domains () =
+  let sweep = Mcore.Throughput.sweep_domains () in
+  Alcotest.(check bool) "starts with 1;2" true
+    (match sweep with 1 :: 2 :: _ -> true | _ -> false);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "within cap" true (d >= 1 && d <= 8))
+    sweep;
+  let capped = Mcore.Throughput.sweep_domains ~max_domains:2 () in
+  Alcotest.(check (list int)) "capped at 2" [ 1; 2 ] capped
+
+let test_mixed_worker_rates () =
+  let incs = ref 0 and reads = ref 0 in
+  let worker =
+    Mcore.Throughput.mixed_worker Mcore.Throughput.read_heavy
+      ~inc:(fun ~pid:_ -> incr incs)
+      ~read:(fun ~pid:_ -> incr reads)
+  in
+  for op_index = 0 to 999 do
+    worker ~pid:0 ~op_index
+  done;
+  check vi "read-heavy reads per 1000" 950 !reads;
+  check vi "read-heavy incs per 1000" 50 !incs
 
 let suite =
   [ ("kcounter sequential accuracy", `Quick, test_kcounter_sequential_accuracy);
@@ -173,6 +389,19 @@ let suite =
     ("lock parallel exact", `Quick, test_lock_parallel_exact);
     ("cas maxreg parallel exact", `Quick, test_cas_maxreg_parallel_exact);
     ("throughput reports", `Quick, test_throughput_reports);
-    ("kcounter validation", `Quick, test_kcounter_validation) ]
+    ("kcounter validation", `Quick, test_kcounter_validation);
+    ("packed roundtrip", `Quick, test_packed_roundtrip);
+    ("packed sn delta", `Quick, test_packed_sn_delta);
+    ("padded int array", `Quick, test_padded_int_array);
+    ("padded atomic", `Quick, test_padded_atomic);
+    ("kcounter capacity growth", `Quick, test_kcounter_capacity_growth);
+    ("kcounter increment zero-alloc", `Quick, test_kcounter_increment_no_alloc);
+    ("kcounter read zero-alloc", `Quick, test_kcounter_read_no_alloc);
+    ("kmaxreg zero-alloc", `Quick, test_kmaxreg_no_alloc);
+    ("accuracy stress domains=1", `Quick, stress_accuracy ~domains:1);
+    ("accuracy stress domains=2", `Quick, stress_accuracy ~domains:2);
+    ("throughput measure stats", `Quick, test_throughput_measure_stats);
+    ("sweep domains", `Quick, test_sweep_domains);
+    ("mixed worker rates", `Quick, test_mixed_worker_rates) ]
 
 let () = Alcotest.run "mcore" [ ("mcore", suite) ]

@@ -1,0 +1,20 @@
+#!/bin/sh
+# CI check: formatting, build, tests (which include the perf-pipeline
+# smoke test), and a fresh smoke BENCH record. Run from the repo root.
+set -e
+
+echo "== dune build @fmt (dune files; ocamlformat is not installed) =="
+dune build @fmt
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest (includes bench smoke) =="
+dune runtest
+
+echo "== bench pipeline smoke (CLI path) =="
+dune exec bin/approx_cli.exe -- bench --smoke --out /tmp/BENCH_ci_smoke.json \
+  > /dev/null
+rm -f /tmp/BENCH_ci_smoke.json
+
+echo "CI checks passed."
