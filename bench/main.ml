@@ -21,6 +21,7 @@ let experiments =
      Exp_accuracy.run);
     ("e9e10", "ablations + additive relaxation", Exp_ablation.run);
     ("e11", "exhaustive interleaving exploration", Exp_exhaustive.run);
+    ("backends", "functor-instantiation smoke matrix", Exp_backends.run);
     ("mc", "multicore throughput (E8)", Exp_mc.run);
     ("perf", "benchmark pipeline -> BENCH_1.json", Exp_perf.run);
     ("bechamel", "wall-clock microbenchmarks (T1)", Bechamel_suite.run) ]

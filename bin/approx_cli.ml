@@ -391,6 +391,41 @@ let explore_cmd =
     Term.(const run_explore $ n_arg $ k_arg $ incs_arg $ limit_arg)
 
 (* ------------------------------------------------------------------ *)
+(* backends subcommand                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_backends seed =
+  let rows = Backend_smoke.rows ~seed () in
+  Printf.printf "functor smoke matrix: n=%d k=%d incs=%d\n" Backend_smoke.n
+    Backend_smoke.k Backend_smoke.incs;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %-14s counter=%-6d %-3s maxreg=%-6d %-3s pid0-steps=%d\n"
+        r.Backend_smoke.backend r.Backend_smoke.counter_read
+        (if r.Backend_smoke.counter_ok then "ok" else "BAD")
+        r.Backend_smoke.maxreg_read
+        (if r.Backend_smoke.maxreg_ok then "ok" else "BAD")
+        r.Backend_smoke.steps)
+    rows;
+  if Backend_smoke.all_ok rows then begin
+    print_endline "all backends within the k-multiplicative envelope";
+    0
+  end
+  else begin
+    print_endline "ENVELOPE VIOLATION in the backend matrix";
+    1
+  end
+
+let backends_cmd =
+  Cmd.v
+    (Cmd.info "backends"
+       ~doc:"Drive the functorized Algorithms 1 & 2 through every backend \
+             instantiation (sim, chaos(sim), atomic, chaos(atomic)) and \
+             check the accuracy envelopes")
+    Term.(const run_backends $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
 (* bench subcommand                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -466,4 +501,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ counter_cmd; maxreg_cmd; lincheck_cmd; awareness_cmd;
-            perturb_cmd; explore_cmd; bench_cmd ]))
+            perturb_cmd; explore_cmd; backends_cmd; bench_cmd ]))

@@ -1,0 +1,28 @@
+(* The exact CAS-retry max register baseline over the backend's CAS
+   cell: writers re-read and CAS until the cell holds at least their
+   value. Exact and constant-time for reads, but writes are only
+   lock-free (a faster writer can starve a slower one) — the
+   wait-free k-multiplicative register of Algorithm 2 is the point of
+   comparison. Exercises the conditional-primitive side of the
+   base-object model (Definition III.1). *)
+
+module Make (B : Backend.Backend_intf.S) = struct
+  type t = { cell : B.cas_cell }
+
+  let create ctx ?(name = "casmax") () = { cell = B.cas_cell ctx ~name 0 }
+
+  let rec write t ~pid v =
+    if v < 0 then invalid_arg "Cas_maxreg_algo.write: negative value"
+    else begin
+      let cur = B.cas_read t.cell ~pid in
+      if v > cur && not (B.compare_and_set t.cell ~pid ~expect:cur ~value:v)
+      then write t ~pid v
+    end
+
+  let read t ~pid = B.cas_read t.cell ~pid
+
+  let handle t =
+    { Obj_intf.mr_label = "cas-maxreg";
+      mr_write = (fun ~pid v -> write t ~pid v);
+      mr_read = (fun ~pid -> read t ~pid) }
+end

@@ -1,0 +1,16 @@
+(** The exact CAS-retry max register baseline as a functor over the
+    primitive backend. Lock-free (not wait-free) writes, constant-time
+    reads; the conditional-primitive baseline Algorithm 2 is measured
+    against. *)
+
+module Make (B : Backend.Backend_intf.S) : sig
+  type t
+
+  val create : B.ctx -> ?name:string -> unit -> t
+
+  val write : t -> pid:int -> int -> unit
+  (** @raise Invalid_argument on a negative value. *)
+
+  val read : t -> pid:int -> int
+  val handle : t -> Obj_intf.max_register
+end

@@ -1,0 +1,35 @@
+(* The exact collect-based counter baseline over the backend's
+   single-writer register array: process i keeps its own increment
+   count in slot i (mirrored locally — slots are single-writer), and a
+   read collects all n slots. Monotone per-slot sums make the collect
+   linearizable (unlike maxima; see Linear_maxreg). Exact, but reads
+   cost n primitive steps — the baseline Algorithm 1 beats. *)
+
+module Make (B : Backend.Backend_intf.S) = struct
+  type t = {
+    n : int;
+    cells : B.swmr_array;
+    own : int array;  (* local mirror of each process's own slot *)
+  }
+
+  let create ctx ?(name = "cnt") ~n () =
+    if n < 1 then invalid_arg "Collect_counter_algo.create: n < 1";
+    { n; cells = B.swmr_array ctx ~name ~n ~init:0 (); own = Array.make n 0 }
+
+  let increment t ~pid =
+    t.own.(pid) <- t.own.(pid) + 1;
+    B.swmr_write t.cells ~pid t.own.(pid)
+
+  let rec collect_from t ~pid i acc =
+    if i >= t.n then acc
+    else collect_from t ~pid (i + 1) (acc + B.swmr_read t.cells ~pid i)
+
+  let read t ~pid = collect_from t ~pid 0 0
+
+  let n t = t.n
+
+  let handle t =
+    { Obj_intf.c_label = "collect-counter";
+      c_inc = (fun ~pid -> increment t ~pid);
+      c_read = (fun ~pid -> read t ~pid) }
+end

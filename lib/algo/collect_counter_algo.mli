@@ -1,0 +1,16 @@
+(** The exact collect counter baseline as a functor over the primitive
+    backend: single-writer per-process slots, reads collect all [n].
+    Linearizable because per-slot sums are monotone; increments cost 1
+    step and reads cost [n]. *)
+
+module Make (B : Backend.Backend_intf.S) : sig
+  type t
+
+  val create : B.ctx -> ?name:string -> n:int -> unit -> t
+  (** @raise Invalid_argument if [n < 1]. *)
+
+  val increment : t -> pid:int -> unit
+  val read : t -> pid:int -> int
+  val n : t -> int
+  val handle : t -> Obj_intf.counter
+end

@@ -1,0 +1,176 @@
+(* Algorithm 1 — the wait-free linearizable k-multiplicative-accurate
+   counter (Section III) — written once, over an abstract primitive
+   backend. The simulator wrapper (Approx.Kcounter) and the multicore
+   wrapper (Mcore.Mc_kcounter) are instantiations of this functor; see
+   those modules for the paper-facing documentation.
+
+   The body is the allocation-free formulation from the multicore
+   rewrite: tail recursions instead of ref cells and exceptions, a
+   reusable per-pid helping-scratch array, persistent read-side
+   (last, p, q). Under Sim_backend every primitive is one charged step
+   and the step sequences are exactly those of the paper's pseudocode
+   (probe loop lines 12-22, read loop lines 35-58 with the helping
+   rescan every n iterations). *)
+
+module Make (B : Backend.Backend_intf.S) = struct
+  type local = {
+    mutable lcounter : int;  (* unannounced increments *)
+    mutable limit_exp : int;  (* j with limit = k^j *)
+    mutable limit : int;  (* announce threshold, k^limit_exp *)
+    mutable sn : int;  (* announcements by this process *)
+    mutable l0 : int;  (* 1-based probe start within the current interval *)
+    mutable last : int;  (* read-side scan position *)
+    mutable p : int;  (* last mod k of the last set switch seen *)
+    mutable q : int;  (* last / k of the last set switch seen *)
+    help : int array;  (* reusable read scratch; only slots 0 .. n-1 used *)
+  }
+
+  type t = {
+    n : int;
+    k : int;
+    switches : B.ts_array;
+    h : B.ann_array;
+    locals : local array;
+  }
+
+  let max_capacity = min B.ts_max_capacity (B.ann_max_value + 1)
+
+  let create ctx ?(name = "kcnt") ?capacity_hint ~n ~k () =
+    if n < 1 then invalid_arg "Kcounter_algo.create: n < 1";
+    if k < 2 then invalid_arg "Kcounter_algo.create: k < 2";
+    { n;
+      k;
+      switches = B.ts_array ctx ~name:(name ^ ".switch") ?capacity_hint ();
+      h = B.ann_array ctx ~name:(name ^ ".H") ~n ();
+      locals =
+        Array.init n (fun _ ->
+            Backend.Padded.copy
+              { lcounter = 0;
+                limit_exp = 0;
+                limit = 1;
+                sn = 0;
+                l0 = 1;
+                last = 0;
+                p = 0;
+                q = 0;
+                help = Array.make (n + Backend.Padded.padding_words) 0 }) }
+
+  let k t = t.k
+  let n t = t.n
+
+  (* Probe switches l .. j*k for the j-th limit boundary (lines 12-22).
+     Tail-recursive so the announcement path stays allocation-free. *)
+  let rec announce_scan t s ~pid ~j l =
+    if l > j * t.k then begin
+      (* interval exhausted: someone else set every switch *)
+      s.l0 <- 1;
+      s.limit_exp <- s.limit_exp + 1;
+      s.limit <- t.k * s.limit
+    end
+    else if B.test_and_set t.switches ~pid l then begin
+      s.sn <- B.sn_succ s.sn;
+      B.announce t.h ~pid ~value:l ~sn:s.sn;
+      s.lcounter <- 0;
+      s.l0 <- 1 + (l mod t.k);
+      (* lines 20-21: the interval is exhausted iff we just set its last
+         switch; only then does the threshold grow. *)
+      if l = j * t.k then begin
+        s.limit_exp <- s.limit_exp + 1;
+        s.limit <- t.k * s.limit
+      end
+    end
+    else announce_scan t s ~pid ~j (l + 1)
+
+  (* CounterIncrement, paper lines 10-28. *)
+  let increment t ~pid =
+    let s = t.locals.(pid) in
+    s.lcounter <- s.lcounter + 1;
+    if s.lcounter = s.limit then begin
+      let j = s.limit_exp in
+      if j > 0 then announce_scan t s ~pid ~j (((j - 1) * t.k) + s.l0)
+      else begin
+        (* lines 25-28: first announcement targets switch_0; the paper
+           does not publish it in H (helping only ever adopts interval
+           switches). *)
+        if B.test_and_set t.switches ~pid 0 then s.lcounter <- 0;
+        s.limit_exp <- s.limit_exp + 1;
+        s.limit <- t.k * s.limit
+      end
+    end
+
+  (* ReturnValue(p, q), paper lines 30-34: k * u_min(p, q), with the
+     overflow test inlined (an option-returning guard would allocate on
+     every non-trivial read). *)
+  let return_value t ~p ~q =
+    let u =
+      1
+      + Zmath.geometric_sum ~base:t.k ~lo:2 ~hi:(q + 1)
+      + (p * Zmath.pow t.k (q + 1))
+    in
+    if u <> 0 && t.k > max_int / u then raise Zmath.Overflow;
+    t.k * u
+
+  let collect_help t s ~pid =
+    for j = 0 to t.n - 1 do
+      s.help.(j) <- B.ann_sn (B.ann_load t.h ~pid j)
+    done
+
+  (* The switch index announced by any process that announced at least
+     twice since [collect_help], or -1. A top-level recursion, not a
+     nested [let rec]: capturing [t]/[s] would allocate a closure on
+     the read path. *)
+  let rec check_help_from t s ~pid j =
+    if j >= t.n then -1
+    else begin
+      let a = B.ann_load t.h ~pid j in
+      if B.sn_delta (B.ann_sn a) s.help.(j) >= 2 then B.ann_value a
+      else check_help_from t s ~pid (j + 1)
+    end
+
+  (* The read loop of Algorithm 1 (lines 35-58): hop between first and
+     last switch of each interval from the persistent position [last];
+     every n probes rescan H, returning through the helping mechanism
+     once some process's sequence number advanced by >= 2. *)
+  let rec read_loop t s ~pid c =
+    if not (B.ts_read t.switches ~pid s.last) then
+      if s.last = 0 then 0 else return_value t ~p:s.p ~q:s.q
+    else begin
+      s.p <- s.last mod t.k;
+      s.q <- s.last / t.k;
+      if s.last mod t.k = 0 then s.last <- s.last + 1
+      else s.last <- s.last + t.k - 1;
+      let c = c + 1 in
+      if c mod t.n = 0 then
+        if c = t.n then begin
+          (* lines 46-48: first pass only records sequence numbers *)
+          collect_help t s ~pid;
+          read_loop t s ~pid c
+        end
+        else begin
+          (* lines 49-55: a process whose sn advanced by >= 2 set a
+             switch entirely within our interval; adopt it. *)
+          let v = check_help_from t s ~pid 0 in
+          if v >= 0 then return_value t ~p:(v mod t.k) ~q:(v / t.k)
+          else read_loop t s ~pid c
+        end
+      else read_loop t s ~pid c
+    end
+
+  (* CounterRead, paper lines 35-58. *)
+  let read t ~pid = read_loop t t.locals.(pid) ~pid 0
+
+  let local_pending t ~pid = t.locals.(pid).lcounter
+  let switch_states t = B.ts_states t.switches
+  let capacity t = B.ts_capacity t.switches
+
+  let switches_set t =
+    List.fold_left
+      (fun acc (_, b) -> if b then acc + 1 else acc)
+      0
+      (B.ts_states t.switches)
+
+  let handle t =
+    { Obj_intf.c_label = Printf.sprintf "kcounter(k=%d)" t.k;
+      c_inc = (fun ~pid -> increment t ~pid);
+      c_read = (fun ~pid -> read t ~pid) }
+end

@@ -1,0 +1,52 @@
+(** Algorithm 1 as a functor over the primitive backend.
+
+    The k-multiplicative-accurate unbounded counter (Section III),
+    written once against {!Backend.Backend_intf.S}: test&set switch
+    probing, the helping array [H], persistent read-side locals.
+    Instantiate with {!Sim_backend} for exact-step simulation
+    ({!Approx.Kcounter}), {!Backend.Atomic_backend} for the
+    zero-allocation multicore object ({!Mcore.Mc_kcounter}), or a
+    {!Backend.Chaos_backend} decoration of either for fault
+    injection. *)
+
+module Make (B : Backend.Backend_intf.S) : sig
+  type t
+
+  val max_capacity : int
+  (** The backend's absolute switch-index ceiling for this object:
+      the smaller of its test&set capacity and its announcement
+      encoding range. Exceeding it raises the backend's
+      [Ts_capacity_exceeded] with both index and ceiling. *)
+
+  val create :
+    B.ctx -> ?name:string -> ?capacity_hint:int -> n:int -> k:int -> unit -> t
+  (** Build phase only. [capacity_hint] presizes the backend's switch
+      storage where one exists.
+      @raise Invalid_argument if [k < 2] or [n < 1]. The accuracy
+      guarantee additionally needs [k >= sqrt n], which is {e not}
+      enforced (experiment E7 exercises the failure regime). *)
+
+  val increment : t -> pid:int -> unit
+  (** [CounterIncrement] (lines 10-28); at most [k + 1] primitive
+      steps, 0 while below the local threshold. *)
+
+  val read : t -> pid:int -> int
+  (** [CounterRead] (lines 35-58); wait-free via helping. *)
+
+  val k : t -> int
+  val n : t -> int
+
+  val local_pending : t -> pid:int -> int
+  (** [pid]'s unannounced local increment count; test hook. *)
+
+  val switch_states : t -> (int * bool) list
+  (** Post-mortem dump of the materialised switches; no steps. *)
+
+  val capacity : t -> int
+  (** Current physical switch capacity (diagnostic). *)
+
+  val switches_set : t -> int
+  (** Number of switches currently set (diagnostic; racy by nature). *)
+
+  val handle : t -> Obj_intf.counter
+end

@@ -1,0 +1,49 @@
+(* Algorithm 2 — the k-multiplicative-accurate m-bounded max register
+   (Section IV) — over an abstract primitive backend. Write(v) stores
+   floor(log_k v) + 1 into an exact bounded max register M of bound
+   floor(log_k (m-1)) + 2; Read returns 0 or k^p. The inner exact
+   register defaults to the shared AACH switch heap
+   (Tree_maxreg_algo.Make (B)); wrappers may substitute any exact
+   register handle (Approx.Kmaxreg keeps the simulator's tree-vs-
+   snapshot selection that realises the O(min(log2 log_k m, n)) bound
+   of Theorem IV.2). *)
+
+module Make (B : Backend.Backend_intf.S) = struct
+  module Tree = Tree_maxreg_algo.Make (B)
+
+  type t = { m : int; k : int; inner : Obj_intf.max_register }
+
+  let inner_bound ~m ~k = Zmath.floor_log ~base:k (m - 1) + 2
+
+  let create ctx ?(name = "kmax") ?inner ~m ~k () =
+    if k < 2 then invalid_arg "Kmaxreg_algo.create: k < 2";
+    if m < 2 then invalid_arg "Kmaxreg_algo.create: m < 2";
+    let inner =
+      match inner with
+      | Some handle -> handle
+      | None ->
+        (* M stores indices 0 .. floor(log_k (m-1)) + 1. *)
+        Tree.handle (Tree.create ctx ~name ~m:(inner_bound ~m ~k) ())
+    in
+    { m; k; inner }
+
+  let write t ~pid v =
+    if v < 0 || v >= t.m then invalid_arg "Kmaxreg_algo.write: value out of range";
+    if v > 0 then
+      (* lines 8-9: index of the bit left of v's base-k MSB *)
+      t.inner.Obj_intf.mr_write ~pid (Zmath.floor_log ~base:t.k v + 1)
+
+  let read t ~pid =
+    (* lines 2-5 *)
+    match t.inner.Obj_intf.mr_read ~pid with
+    | 0 -> 0
+    | p -> Zmath.pow t.k p
+
+  let bound t = t.m
+  let k t = t.k
+
+  let handle t =
+    { Obj_intf.mr_label = Printf.sprintf "kmaxreg(k=%d)" t.k;
+      mr_write = (fun ~pid v -> write t ~pid v);
+      mr_read = (fun ~pid -> read t ~pid) }
+end

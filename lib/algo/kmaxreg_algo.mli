@@ -1,0 +1,44 @@
+(** Algorithm 2 as a functor over the primitive backend.
+
+    The k-multiplicative-accurate m-bounded max register (Section IV):
+    writes store base-k digit indices into an exact bounded max
+    register [M] of bound [floor(log_k (m-1)) + 2]; reads return 0 or
+    [k^p] with [v < k^p <= v*k] (Lemma IV.1). The inner register
+    defaults to the shared {!Tree_maxreg_algo} switch heap; wrappers
+    may pass any exact max-register handle instead. *)
+
+module Make (B : Backend.Backend_intf.S) : sig
+  module Tree : module type of Tree_maxreg_algo.Make (B)
+
+  type t
+
+  val inner_bound : m:int -> k:int -> int
+  (** The value bound of the inner exact register,
+      [floor(log_k (m-1)) + 2]. Exposed so wrappers substituting their
+      own inner register size it identically. *)
+
+  val create :
+    B.ctx ->
+    ?name:string ->
+    ?inner:Obj_intf.max_register ->
+    m:int ->
+    k:int ->
+    unit ->
+    t
+  (** Build phase only. [inner] (default: a fresh
+      {!Tree_maxreg_algo} instance of bound {!inner_bound}) must be an
+      {e exact} max register over [0 .. inner_bound - 1].
+      @raise Invalid_argument if [k < 2] or [m < 2]. *)
+
+  val write : t -> pid:int -> int -> unit
+  (** @raise Invalid_argument if the value is outside [0 .. m-1].
+      Writing 0 is a no-op (the register starts at 0). *)
+
+  val read : t -> pid:int -> int
+  (** 0 or a power of [k]; may exceed [m - 1] (the relaxed
+      specification only requires [x <= v*k]). *)
+
+  val bound : t -> int
+  val k : t -> int
+  val handle : t -> Obj_intf.max_register
+end

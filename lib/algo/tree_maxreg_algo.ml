@@ -1,0 +1,68 @@
+(* The exact bounded max register of Aspnes-Attiya-Censor-Hillel: a
+   switch tree over values 0 .. m-1, written once over the backend's
+   multi-writer registers. This is the body that used to exist twice —
+   as the lazily-materialised pointer tree in lib/maxreg/tree_maxreg.ml
+   and as the flat atomic heap in lib/mcore/mc_kmaxreg.ml — and whose
+   shapes drifted apart (the PR 1 tree-vs-heap divergence).
+
+   Layout: a 1-based heap of switch bits — node [i]'s children are [2i]
+   and [2i+1] — walked tail-recursively over (index, span) integers, so
+   write/read are allocation-free. Node spans split as
+   half = (span + 1) / 2, matching the old pointer tree exactly, so the
+   primitive step sequences (and with Sim_backend the charged steps)
+   are unchanged. Backends with lazy register arrays (the simulator's
+   regions) only materialise the switches an execution touches, so a
+   huge value range still costs only what is reached. *)
+
+module Make (B : Backend.Backend_intf.S) = struct
+  type t = { m : int; heap : B.reg_array }
+
+  let heap_len ~m = 2 * Zmath.pow 2 (Zmath.ceil_log2 (max m 1))
+
+  let create ctx ?(name = "treemax") ~m () =
+    if m < 1 then invalid_arg "Tree_maxreg_algo.create: m < 1";
+    { m;
+      heap =
+        B.reg_array ctx ~name:(name ^ ".switch") ~len:(heap_len ~m) ~init:0 ()
+    }
+
+  let bound t = t.m
+
+  (* Node [i] spans [span] values. Writing v >= half descends right
+     first and only then raises the switch (the AACH ordering that
+     makes the register linearizable); writing v < half is futile once
+     the switch is up, because the register already holds a larger
+     value. *)
+  let rec write_node t ~pid i span v =
+    if span > 1 then begin
+      let half = (span + 1) / 2 in
+      if v < half then begin
+        if B.reg_get t.heap ~pid i = 0 then write_node t ~pid (2 * i) half v
+      end
+      else begin
+        write_node t ~pid ((2 * i) + 1) (span - half) (v - half);
+        B.reg_set t.heap ~pid i 1
+      end
+    end
+
+  let rec read_node t ~pid i span acc =
+    if span <= 1 then acc
+    else begin
+      let half = (span + 1) / 2 in
+      if B.reg_get t.heap ~pid i = 1 then
+        read_node t ~pid ((2 * i) + 1) (span - half) (acc + half)
+      else read_node t ~pid (2 * i) half acc
+    end
+
+  let write t ~pid v =
+    if v < 0 || v >= t.m then
+      invalid_arg "Tree_maxreg_algo.write: value out of range";
+    write_node t ~pid 1 t.m v
+
+  let read t ~pid = read_node t ~pid 1 t.m 0
+
+  let handle t =
+    { Obj_intf.mr_label = "tree-maxreg";
+      mr_write = (fun ~pid v -> write t ~pid v);
+      mr_read = (fun ~pid -> read t ~pid) }
+end

@@ -1,0 +1,22 @@
+(** The exact bounded max register (AACH switch tree) as a functor
+    over the primitive backend.
+
+    One shared body — a flat 1-based heap of switch bits walked
+    tail-recursively — replaces the simulator pointer tree and the
+    multicore atomic heap that previously drifted apart. Write/read
+    cost [O(log2 m)] primitive steps and are allocation-free. *)
+
+module Make (B : Backend.Backend_intf.S) : sig
+  type t
+
+  val create : B.ctx -> ?name:string -> m:int -> unit -> t
+  (** An exact max register over values [0 .. m-1].
+      @raise Invalid_argument if [m < 1]. *)
+
+  val write : t -> pid:int -> int -> unit
+  (** @raise Invalid_argument if the value is outside [0 .. m-1]. *)
+
+  val read : t -> pid:int -> int
+  val bound : t -> int
+  val handle : t -> Obj_intf.max_register
+end

@@ -1,0 +1,172 @@
+(* The hardware instantiation of Backend_intf.S: primitives are OCaml 5
+   [Atomic] cells, padded to cache-line granularity (Padded) so
+   logically independent per-process state never false-shares, with
+   announcements packed into single immediate words (Packed) so the
+   announcement/helping paths stay allocation-free.
+
+   Step accounting is opt-in: a counting context keeps one padded
+   per-pid slot and every primitive bumps the caller's slot (single
+   writer, so exact per owning domain and contention-free). The
+   non-counting default costs one predictable branch per primitive. *)
+
+let label = "atomic"
+
+type ctx = {
+  count : bool;
+  step_counts : Padded.Int_array.t;  (* length 0 when not counting *)
+}
+
+let ctx ?count_steps () =
+  match count_steps with
+  | None -> { count = false; step_counts = Padded.Int_array.make 0 0 }
+  | Some n ->
+    if n < 1 then invalid_arg "Atomic_backend.ctx: count_steps < 1";
+    { count = true; step_counts = Padded.Int_array.make n 0 }
+
+let[@inline] bump c pid =
+  if c.count then
+    Padded.Int_array.set c.step_counts pid
+      (Padded.Int_array.get c.step_counts pid + 1)
+
+let steps c ~pid = if c.count then Padded.Int_array.get c.step_counts pid else 0
+
+let pause c ~pid =
+  bump c pid;
+  Domain.cpu_relax ()
+
+(* ------------------------------------------------------------------ *)
+(* Registers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type reg = { r_ctx : ctx; cell : int Atomic.t }
+
+let reg c ?name:_ v = { r_ctx = c; cell = Padded.atomic v }
+
+let read r ~pid =
+  bump r.r_ctx pid;
+  Atomic.get r.cell
+
+let write r ~pid v =
+  bump r.r_ctx pid;
+  Atomic.set r.cell v
+
+(* Multi-writer register arrays are materialised eagerly (one padded
+   atomic per slot); lazy materialisation is a simulator luxury. *)
+type reg_array = { ra_ctx : ctx; cells : int Atomic.t array }
+
+let reg_array c ?name:_ ~len ~init () =
+  if len < 0 then invalid_arg "Atomic_backend.reg_array: negative length";
+  { ra_ctx = c; cells = Padded.atomic_array len init }
+
+let reg_get a ~pid i =
+  bump a.ra_ctx pid;
+  Atomic.get a.cells.(i)
+
+let reg_set a ~pid i v =
+  bump a.ra_ctx pid;
+  Atomic.set a.cells.(i) v
+
+type swmr_array = reg_array
+
+let swmr_array c ?name ~n ~init () =
+  if n < 1 then invalid_arg "Atomic_backend.swmr_array: n < 1";
+  reg_array c ?name ~len:n ~init ()
+
+let swmr_read a ~pid i = reg_get a ~pid i
+let swmr_write a ~pid v = reg_set a ~pid pid v
+
+(* ------------------------------------------------------------------ *)
+(* Test&set switch sequences                                           *)
+(* ------------------------------------------------------------------ *)
+
+exception Ts_capacity_exceeded of { index : int; max_capacity : int }
+
+(* Beyond this the packed announcement encoding runs out of value bits,
+   so the switch sequence shares the ceiling. Unreachable in any
+   physical execution: attempting switch j takes ~k^(j/k) increments,
+   so even j = 2^20 with k = 2 needs 2^(2^19) increments. *)
+let ts_max_capacity = Packed.max_value + 1
+
+type ts_array = { ts_ctx : ctx; switches : int Atomic.t array Atomic.t }
+
+let ts_array c ?name:_ ?(capacity_hint = 1024) () =
+  if capacity_hint < 1 || capacity_hint > ts_max_capacity then
+    invalid_arg "Atomic_backend.ts_array: capacity_hint out of range";
+  { ts_ctx = c; switches = Atomic.make (Padded.atomic_array capacity_hint 0) }
+
+(* Install a larger switch array. The atomic cells themselves are
+   shared between the old and new arrays, so concurrent test&sets on
+   existing switches are unaffected; racing growers CAS and the losers
+   simply retry against the winner's (at least as large) array. *)
+let rec grow t j =
+  let arr = Atomic.get t.switches in
+  let len = Array.length arr in
+  if j < len then arr
+  else if j >= ts_max_capacity then
+    raise (Ts_capacity_exceeded { index = j; max_capacity = ts_max_capacity })
+  else begin
+    let len' = min ts_max_capacity (max (2 * len) (j + 1)) in
+    let bigger =
+      Array.init len' (fun i -> if i < len then arr.(i) else Padded.atomic 0)
+    in
+    ignore (Atomic.compare_and_set t.switches arr bigger);
+    grow t j
+  end
+
+let test_and_set t ~pid j =
+  bump t.ts_ctx pid;
+  let arr = Atomic.get t.switches in
+  let arr = if j < Array.length arr then arr else grow t j in
+  Atomic.compare_and_set arr.(j) 0 1
+
+(* A switch beyond the current array was never set. *)
+let ts_read t ~pid j =
+  bump t.ts_ctx pid;
+  let arr = Atomic.get t.switches in
+  j < Array.length arr && Atomic.get arr.(j) <> 0
+
+let ts_capacity t = Array.length (Atomic.get t.switches)
+
+let ts_states t =
+  let arr = Atomic.get t.switches in
+  List.init (Array.length arr) (fun i -> (i, Atomic.get arr.(i) <> 0))
+
+(* ------------------------------------------------------------------ *)
+(* CAS cells                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type cas_cell = reg
+
+let cas_cell c ?name v = reg c ?name v
+let cas_read r ~pid = read r ~pid
+
+let compare_and_set r ~pid ~expect ~value =
+  bump r.r_ctx pid;
+  Atomic.compare_and_set r.cell expect value
+
+(* ------------------------------------------------------------------ *)
+(* Announcements: Packed single-word atomics                           *)
+(* ------------------------------------------------------------------ *)
+
+type ann_array = { an_ctx : ctx; cells : int Atomic.t array }
+
+type ann = int
+
+let ann_max_value = Packed.max_value
+
+let ann_array c ?name:_ ~n () =
+  if n < 1 then invalid_arg "Atomic_backend.ann_array: n < 1";
+  { an_ctx = c; cells = Padded.atomic_array n (Packed.pack ~value:0 ~sn:0) }
+
+let announce a ~pid ~value ~sn =
+  bump a.an_ctx pid;
+  Atomic.set a.cells.(pid) (Packed.pack ~value ~sn)
+
+let ann_load a ~pid i =
+  bump a.an_ctx pid;
+  Atomic.get a.cells.(i)
+
+let ann_value = Packed.value
+let ann_sn = Packed.sn
+let sn_succ sn = (sn + 1) land Packed.sn_mask
+let sn_delta = Packed.sn_delta

@@ -1,0 +1,21 @@
+(** The hardware backend: primitives over padded OCaml 5 [Atomic]
+    cells, runnable across domains.
+
+    Satisfies {!Backend_intf.S} with every operation allocation-free
+    ([ann] is a {!Packed} immediate word; per-process state is padded
+    to cache-line granularity so distinct pids never contend on a
+    line). The switch sequence starts at [capacity_hint] cells and
+    grows lock-free (by doubling) on demand; the absolute ceiling is
+    [Packed.max_value + 1 = 2^20] switches, imposed by the packed
+    announcement encoding, beyond which {!Ts_capacity_exceeded}
+    reports both the index and the ceiling. *)
+
+include Backend_intf.S
+
+val ctx : ?count_steps:int -> unit -> ctx
+(** [ctx ()] is a non-counting context ({!Backend_intf.S.steps}
+    returns 0; one predictable branch of overhead per primitive).
+    [ctx ~count_steps:n ()] additionally keeps one padded step counter
+    per pid in [0 .. n-1], each written only by its owner — exact per
+    owning domain, contention-free, still allocation-free.
+    @raise Invalid_argument if [count_steps < 1]. *)

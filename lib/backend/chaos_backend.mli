@@ -1,0 +1,22 @@
+(** Deterministic fault injection as a backend decorator.
+
+    [Make (B)] satisfies {!Backend_intf.S} over [B]'s own structures:
+    before each primitive the calling process's seeded LCG stream is
+    advanced and, at the configured rate, a bounded burst of
+    [B.pause] delay units is injected (charged no-op steps in the
+    simulator, [Domain.cpu_relax] bursts on hardware). Injection is a
+    pure function of [(seed, pid, #primitives issued by pid)] —
+    independent of scheduling — so chaos-wrapped executions replay
+    deterministically and remain explorable by {!Lincheck.Explore}. *)
+
+module Make (B : Backend_intf.S) : sig
+  include Backend_intf.S
+
+  val ctx : ?rate:int -> ?max_pause:int -> seed:int -> n:int -> B.ctx -> ctx
+  (** [ctx ~seed ~n inner] decorates [inner] for processes
+      [0 .. n-1]. A delay burst is injected before roughly 1 in [rate]
+      (default 4) primitives; each burst is [1 .. max_pause] (default
+      3) pauses, both drawn from the per-pid stream.
+      @raise Invalid_argument if [rate < 1], [max_pause < 1] or
+      [n < 1]. *)
+end

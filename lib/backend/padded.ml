@@ -1,0 +1,46 @@
+let padding_words = 15
+
+(* Only ordinary tag-0 blocks are padded: extending closures, objects,
+   float arrays or no-scan blocks with unit-initialised words would
+   corrupt their layout. [Obj.new_block] unit-initialises every field,
+   so the GC can always scan the padding. *)
+let copy (type a) (x : a) : a =
+  let r = Obj.repr x in
+  if Obj.is_block r && Obj.tag r = 0 then begin
+    let n = Obj.size r in
+    let b = Obj.new_block 0 (n + padding_words) in
+    for i = 0 to n - 1 do
+      Obj.set_field b i (Obj.field r i)
+    done;
+    Obj.obj b
+  end
+  else x
+
+let atomic v = copy (Atomic.make v)
+
+let atomic_array n v = Array.init n (fun _ -> atomic v)
+
+module Int_array = struct
+  type t = int array
+
+  let stride = 16
+
+  let make n v =
+    if n < 0 then invalid_arg "Padded.Int_array.make: negative length";
+    let a = Array.make (n * stride) 0 in
+    for i = 0 to n - 1 do
+      a.(i * stride) <- v
+    done;
+    a
+
+  let length a = Array.length a / stride
+  let get a i = a.(i * stride)
+  let set a i v = a.(i * stride) <- v
+
+  let sum a =
+    let total = ref 0 in
+    for i = 0 to length a - 1 do
+      total := !total + get a i
+    done;
+    !total
+end

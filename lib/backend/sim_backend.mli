@@ -1,0 +1,23 @@
+(** The simulator backend: primitives over {!Sim.Memory} base objects.
+
+    Satisfies {!Backend.Backend_intf.S} with every primitive performing
+    exactly one {!Sim.Api} access — one charged step of the simulated
+    execution — so functorized algorithms instantiated here have
+    precisely the step counts of the paper's complexity statements, and
+    every existing lincheck/awareness/metrics harness drives the shared
+    functor bodies unchanged.
+
+    All operations must run inside a fiber of the context's execution
+    (they perform {!Sim.Api} effects); constructors are build-phase
+    only. The switch sequence and register arrays are {!Sim.Memory}
+    regions: logically unbounded, materialised on first touch
+    ({!Backend.Backend_intf.S.ts_max_capacity} is [max_int] and
+    [Ts_capacity_exceeded] is never raised). *)
+
+include Backend.Backend_intf.S
+
+val ctx : Sim.Exec.t -> ctx
+(** A context over the execution's memory. Per-pid {!steps} counters
+    record primitives issued through this context, which coincide with
+    the fiber steps the simulator charges for them. Lightweight; create
+    one per object family. *)

@@ -1,143 +1,26 @@
-(* Persistent local state of process [i] (paper lines 4-9). [p] and [q] are
-   the read-side decomposition of the last set switch seen (implicitly
-   persistent in the paper's pseudocode; see DESIGN.md). *)
-type local = {
-  mutable lcounter : int;  (* unannounced increments *)
-  mutable limit_exp : int;  (* j with limit = k^j *)
-  mutable limit : int;  (* announce threshold, k^limit_exp *)
-  mutable sn : int;  (* switches set so far by this process *)
-  mutable l0 : int;  (* 1-based probe start within the current interval *)
-  mutable last : int;  (* read-side scan position *)
-  mutable p : int;  (* last mod k of the last set switch seen *)
-  mutable q : int;  (* last / k of the last set switch seen *)
-}
+(* Algorithm 1 in the simulator: the shared functor body
+   (Algo.Kcounter_algo) instantiated with the effects-based Sim backend,
+   so every primitive is exactly one charged simulator step. The
+   line-by-line pseudocode transcription that used to live here verbatim
+   is now the functor body — the same one Mcore.Mc_kcounter instantiates
+   over hardware atomics. *)
 
-type t = {
-  n : int;
-  k : int;
-  switches : Sim.Memory.region;
-  h : Sim.Memory.obj_id array;  (* helping array H *)
-  locals : local array;
-  mem : Sim.Memory.t;
-}
+module A = Algo.Kcounter_algo.Make (Sim_backend)
+
+type t = A.t
 
 let create exec ?(name = "kcnt") ~n ~k () =
   if n < 1 then invalid_arg "Kcounter.create: n < 1";
   if k < 2 then invalid_arg "Kcounter.create: k < 2";
-  let mem = Sim.Exec.memory exec in
-  { n;
-    k;
-    switches =
-      Sim.Memory.region mem ~name:(name ^ ".switch")
-        ~default:(Sim.Memory.V_int 0) ();
-    h =
-      Sim.Memory.alloc_many mem ~name:(name ^ ".H") n
-        (Sim.Memory.V_pair (0, 0));
-    locals =
-      Array.init n (fun _ ->
-          { lcounter = 0;
-            limit_exp = 0;
-            limit = 1;
-            sn = 0;
-            l0 = 1;
-            last = 0;
-            p = 0;
-            q = 0 });
-    mem }
+  A.create (Sim_backend.ctx exec) ~name ~n ~k ()
 
-let k t = t.k
-let n t = t.n
-
-let switch t j = Sim.Memory.region_cell t.mem t.switches j
-
-(* CounterIncrement, paper lines 10-28. *)
-let increment t ~pid =
-  let s = t.locals.(pid) in
-  s.lcounter <- s.lcounter + 1;
-  if s.lcounter = s.limit then begin
-    let j = s.limit_exp in
-    (* lines 13-24: probe the interval [(j-1)k + l0 .. jk] *)
-    if j > 0 then begin
-      let exhausted = ref true in
-      let l = ref (((j - 1) * t.k) + s.l0) in
-      while !exhausted && !l <= j * t.k do
-        if Sim.Api.test_and_set (switch t !l) = 0 then begin
-          s.sn <- s.sn + 1;
-          Sim.Api.write_pair t.h.(pid) (!l, s.sn);
-          s.lcounter <- 0;
-          s.l0 <- 1 + (!l mod t.k);
-          (* line 20-21: the interval is exhausted iff we just set its last
-             switch; only then does the threshold grow. *)
-          if !l = j * t.k then begin
-            s.limit_exp <- s.limit_exp + 1;
-            s.limit <- t.k * s.limit
-          end;
-          exhausted := false
-        end
-        else incr l
-      done;
-      if !exhausted then begin
-        (* line 24 + 28: every switch of the interval was already set. *)
-        s.l0 <- 1;
-        s.limit_exp <- s.limit_exp + 1;
-        s.limit <- t.k * s.limit
-      end
-    end
-    else begin
-      (* lines 25-28: first announcement targets switch_0. The paper does
-         not publish this announcement in H (helping only ever adopts
-         interval switches). *)
-      if Sim.Api.test_and_set (switch t 0) = 0 then s.lcounter <- 0;
-      s.limit_exp <- s.limit_exp + 1;
-      s.limit <- t.k * s.limit
-    end
-  end
-
-(* ReturnValue(p, q), paper lines 30-34. *)
-let return_value t ~p ~q = Accuracy.return_value ~k:t.k ~p ~q
-
-exception Helped of int
-
-(* CounterRead, paper lines 35-58. *)
-let read t ~pid =
-  let s = t.locals.(pid) in
-  let c = ref 0 in
-  let help = Array.make t.n 0 in
-  try
-    while Sim.Api.read (switch t s.last) <> 0 do
-      s.p <- s.last mod t.k;
-      s.q <- s.last / t.k;
-      (* lines 40-43: hop between first and last switch of each interval *)
-      if s.last mod t.k = 0 then s.last <- s.last + 1
-      else s.last <- s.last + t.k - 1;
-      incr c;
-      if !c mod t.n = 0 then
-        if !c = t.n then
-          (* lines 46-48: first pass only records sequence numbers *)
-          for j = 0 to t.n - 1 do
-            let _, sn = Sim.Api.read_pair t.h.(j) in
-            help.(j) <- sn
-          done
-        else
-          (* lines 49-55: a process whose sn advanced by >= 2 set a switch
-             entirely within our interval; adopt its announcement. *)
-          for j = 0 to t.n - 1 do
-            let v, sn = Sim.Api.read_pair t.h.(j) in
-            if sn - help.(j) >= 2 then
-              raise (Helped (return_value t ~p:(v mod t.k) ~q:(v / t.k)))
-          done
-    done;
-    (* lines 56-58 *)
-    if s.last = 0 then 0 else return_value t ~p:s.p ~q:s.q
-  with Helped v -> v
+let increment = A.increment
+let read = A.read
+let k = A.k
+let n = A.n
 
 let switch_states t =
-  Sim.Memory.region_cells_allocated t.mem t.switches
-  |> List.map (fun (i, id) -> (i, Sim.Memory.int_exn (Sim.Memory.peek t.mem id)))
+  List.map (fun (i, b) -> (i, if b then 1 else 0)) (A.switch_states t)
 
-let local_pending t ~pid = t.locals.(pid).lcounter
-
-let handle t =
-  { Obj_intf.c_label = Printf.sprintf "kcounter(k=%d)" t.k;
-    c_inc = (fun ~pid -> increment t ~pid);
-    c_read = (fun ~pid -> read t ~pid) }
+let local_pending = A.local_pending
+let handle = A.handle

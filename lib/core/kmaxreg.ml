@@ -1,29 +1,30 @@
-type t = { m : int; k : int; inner : Maxreg.Bounded_maxreg.t }
+(* Algorithm 2 in the simulator: the shared functor body
+   (Algo.Kmaxreg_algo) over the Sim backend. The inner exact register
+   stays Maxreg.Bounded_maxreg so the simulator keeps its tree-vs-
+   linear(snapshot) selection — that choice is what realises the
+   O(min(log2 log_k m, n)) bound of Theorem IV.2. *)
+
+module A = Algo.Kmaxreg_algo.Make (Sim_backend)
+
+type t = A.t
 
 let create exec ?(name = "kmax") ~n ~m ~k () =
   if k < 2 then invalid_arg "Kmaxreg.create: k < 2";
   if m < 2 then invalid_arg "Kmaxreg.create: m < 2";
   if n < 1 then invalid_arg "Kmaxreg.create: n < 1";
-  (* M stores indices 0 .. floor(log_k (m-1)) + 1. *)
-  let inner_bound = Zmath.floor_log ~base:k (m - 1) + 2 in
-  { m; k; inner = Maxreg.Bounded_maxreg.create exec ~name ~n ~m:inner_bound () }
+  let inner =
+    Maxreg.Bounded_maxreg.create exec ~name ~n ~m:(A.inner_bound ~m ~k) ()
+  in
+  A.create (Sim_backend.ctx exec) ~name
+    ~inner:(Maxreg.Bounded_maxreg.handle inner)
+    ~m ~k ()
 
 let write t ~pid v =
-  if v < 0 || v >= t.m then invalid_arg "Kmaxreg.write: value out of range";
-  if v > 0 then
-    (* lines 8-9: index of the bit left of v's base-k MSB *)
-    Maxreg.Bounded_maxreg.write t.inner ~pid (Zmath.floor_log ~base:t.k v + 1)
+  if v < 0 || v >= A.bound t then
+    invalid_arg "Kmaxreg.write: value out of range";
+  A.write t ~pid v
 
-let read t ~pid =
-  (* lines 2-5 *)
-  match Maxreg.Bounded_maxreg.read t.inner ~pid with
-  | 0 -> 0
-  | p -> Zmath.pow t.k p
-
-let bound t = t.m
-let k t = t.k
-
-let handle t =
-  { Obj_intf.mr_label = Printf.sprintf "kmaxreg(k=%d)" t.k;
-    mr_write = (fun ~pid v -> write t ~pid v);
-    mr_read = (fun ~pid -> read t ~pid) }
+let read = A.read
+let bound = A.bound
+let k = A.k
+let handle = A.handle

@@ -1,18 +1,14 @@
-type t = {
-  cells : Prims.Collect.t;
-  own : int array;  (* local mirror; cells are single-writer *)
-}
+(* The exact collect counter in the simulator: the shared functor body
+   (Algo.Collect_counter_algo) over the Sim backend's single-writer
+   cells. Step costs are unchanged: 1 per increment, n per read. *)
+
+module A = Algo.Collect_counter_algo.Make (Sim_backend)
+
+type t = A.t
 
 let create exec ?(name = "cnt") ~n () =
-  { cells = Prims.Collect.create exec ~name ~n (); own = Array.make n 0 }
+  A.create (Sim_backend.ctx exec) ~name ~n ()
 
-let increment t ~pid =
-  t.own.(pid) <- t.own.(pid) + 1;
-  Prims.Collect.update t.cells ~pid t.own.(pid)
-
-let read t ~pid:_ = Prims.Collect.collect_fold t.cells ~init:0 ~f:( + )
-
-let handle t =
-  { Obj_intf.c_label = "collect-counter";
-    c_inc = (fun ~pid -> increment t ~pid);
-    c_read = (fun ~pid -> read t ~pid) }
+let increment = A.increment
+let read = A.read
+let handle = A.handle

@@ -1,0 +1,13 @@
+(* The CAS-retry exact max register in the simulator: the shared
+   functor body (Algo.Cas_maxreg_algo) over the Sim backend. Lock-free
+   but not wait-free — the conditional-primitive baseline Algorithm 2
+   is compared against. *)
+
+module A = Algo.Cas_maxreg_algo.Make (Sim_backend)
+
+type t = A.t
+
+let create exec ?(name = "casmax") () = A.create (Sim_backend.ctx exec) ~name ()
+let write = A.write
+let read = A.read
+let handle = A.handle

@@ -1,0 +1,23 @@
+(** The exact CAS-retry max register (simulator instantiation of
+    {!Algo.Cas_maxreg_algo}).
+
+    Writers re-read and compare-and-swap until the cell holds at least
+    their value: exact, constant-step reads, but writes are only
+    lock-free — a faster writer can starve a slower one, which is
+    precisely the behaviour the wait-free k-multiplicative register of
+    Algorithm 2 avoids. Exercises the conditional-primitive side of the
+    base-object model (Definition III.1). *)
+
+type t
+
+val create : Sim.Exec.t -> ?name:string -> unit -> t
+(** Build phase only; the register starts at 0. *)
+
+val write : t -> pid:int -> int -> unit
+(** In-fiber; lock-free (1 read + 1 CAS per attempt).
+    @raise Invalid_argument if the value is negative. *)
+
+val read : t -> pid:int -> int
+(** In-fiber; 1 step. *)
+
+val handle : t -> Obj_intf.max_register

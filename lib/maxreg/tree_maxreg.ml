@@ -1,74 +1,23 @@
-type node = { m : int; mutable repr : repr }
+(* The AACH switch tree in the simulator: the shared functor body
+   (Algo.Tree_maxreg_algo) over the Sim backend. The lazily-materialised
+   pointer tree that used to live here is now the functor's flat switch
+   heap — same split (half = (span+1)/2), same primitive step sequence,
+   and the backend's lazy region cells preserve the only-what-you-touch
+   allocation behaviour for huge bounds (E4's m = 2^48). *)
 
-and repr =
-  | Unmaterialized
-  | Trivial  (* m = 1: the only representable value is 0 *)
-  | Split of {
-      half : int;
-      switch : Sim.Memory.obj_id;
-      left : node;
-      right : node;
-    }
+module A = Algo.Tree_maxreg_algo.Make (Sim_backend)
 
-type t = { mem : Sim.Memory.t; name : string; root : node }
+type t = A.t
 
 let create exec ?(name = "treemax") ~m () =
   if m < 1 then invalid_arg "Tree_maxreg.create: m < 1";
-  { mem = Sim.Exec.memory exec; name; root = { m; repr = Unmaterialized } }
+  A.create (Sim_backend.ctx exec) ~name ~m ()
 
-let bound t = t.root.m
-
-(* Lazy materialisation is local computation: no steps are charged. *)
-let materialize t node =
-  match node.repr with
-  | Unmaterialized ->
-    let repr =
-      if node.m = 1 then Trivial
-      else begin
-        let half = (node.m + 1) / 2 in
-        let switch =
-          Sim.Memory.alloc t.mem ~name:(t.name ^ ".switch") (Sim.Memory.V_int 0)
-        in
-        Split
-          { half;
-            switch;
-            left = { m = half; repr = Unmaterialized };
-            right = { m = node.m - half; repr = Unmaterialized } }
-      end
-    in
-    node.repr <- repr;
-    repr
-  | repr -> repr
-
-let rec write_node t node v =
-  match materialize t node with
-  | Unmaterialized -> assert false
-  | Trivial -> ()
-  | Split { half; switch; left; right } ->
-    if v < half then begin
-      if Sim.Api.read switch = 0 then write_node t left v
-    end
-    else begin
-      write_node t right (v - half);
-      Sim.Api.write switch 1
-    end
-
-let write t ~pid:_ v =
-  if v < 0 || v >= t.root.m then
+let write t ~pid v =
+  if v < 0 || v >= A.bound t then
     invalid_arg "Tree_maxreg.write: value out of range";
-  write_node t t.root v
+  A.write t ~pid v
 
-let rec read_node t node =
-  match materialize t node with
-  | Unmaterialized -> assert false
-  | Trivial -> 0
-  | Split { half; switch; left; right } ->
-    if Sim.Api.read switch = 1 then half + read_node t right
-    else read_node t left
-
-let read t ~pid:_ = read_node t t.root
-
-let handle t =
-  { Obj_intf.mr_label = "tree-maxreg";
-    mr_write = (fun ~pid v -> write t ~pid v);
-    mr_read = (fun ~pid -> read t ~pid) }
+let read = A.read
+let bound = A.bound
+let handle = A.handle

@@ -6,15 +6,19 @@ module Faa_counter = struct
   let read t = Atomic.get t
 end
 
-module Collect_counter = struct
-  (* One padded cell per domain: without the padding, neighbouring
-     pids' cells share a cache line and "contention-free" increments
-     still ping the line between cores. *)
-  type t = int Atomic.t array
+(* Collect counter and CAS max register are instantiations of the
+   shared lib/algo baselines (the same bodies the simulator's
+   Counters.Collect_counter / Maxreg.Cas_maxreg instantiate); these
+   wrappers keep the historical pid-free surfaces. *)
 
-  let create ~n = Padded.atomic_array n 0
-  let increment t ~pid = Atomic.incr t.(pid)
-  let read t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t
+module Collect_counter = struct
+  module A = Algo.Collect_counter_algo.Make (Backend.Atomic_backend)
+
+  type t = A.t
+
+  let create ~n = A.create (Backend.Atomic_backend.ctx ()) ~n ()
+  let increment t ~pid = A.increment t ~pid
+  let read t = A.read t ~pid:0
 end
 
 module Lock_counter = struct
@@ -35,13 +39,11 @@ module Lock_counter = struct
 end
 
 module Cas_maxreg = struct
-  type t = int Atomic.t
+  module A = Algo.Cas_maxreg_algo.Make (Backend.Atomic_backend)
 
-  let create () = Padded.atomic 0
+  type t = A.t
 
-  let rec write t v =
-    let cur = Atomic.get t in
-    if v > cur && not (Atomic.compare_and_set t cur v) then write t v
-
-  let read t = Atomic.get t
+  let create () = A.create (Backend.Atomic_backend.ctx ()) ()
+  let write t v = A.write t ~pid:0 v
+  let read t = A.read t ~pid:0
 end

@@ -1,6 +1,8 @@
 (** Multicore baseline objects for the throughput comparison (experiment
     E8): what the k-multiplicative objects are traded off against on real
-    hardware. *)
+    hardware. [Collect_counter] and [Cas_maxreg] are instantiations of
+    the shared [lib/algo] baseline functors over
+    {!Backend.Atomic_backend}. *)
 
 module Faa_counter : sig
   (** Single fetch&add cell: the hardware-primitive ideal; every increment

@@ -1,171 +1,28 @@
-exception Capacity_exceeded of int
+(* Algorithm 1 on real hardware: the shared functor body
+   (Algo.Kcounter_algo) instantiated with the Atomic backend. The
+   algorithm lives in lib/algo — this wrapper only preserves the
+   historical Mc_kcounter surface (validation messages, diagnostics,
+   the capacity exception). *)
 
-type local = {
-  mutable lcounter : int;
-  mutable limit_exp : int;
-  mutable limit : int;
-  mutable sn : int;
-  mutable l0 : int;
-  mutable last : int;
-  mutable p : int;
-  mutable q : int;
-  help : int array;  (* reusable read scratch; only slots 0 .. n-1 used *)
-}
+module A = Algo.Kcounter_algo.Make (Backend.Atomic_backend)
 
-type t = {
-  n : int;
-  k : int;
-  switches : int Atomic.t array Atomic.t;
-  h : int Atomic.t array;  (* Packed announcements, one padded cell per pid *)
-  locals : local array;
-}
+exception Capacity_exceeded = Backend.Atomic_backend.Ts_capacity_exceeded
 
-(* Beyond this the packed announcement encoding runs out of value bits.
-   Unreachable in any physical execution: attempting switch j takes
-   ~k^(j/k) increments, so even j = 2^20 with k = 2 needs 2^(2^19)
-   increments. *)
-let max_capacity = Packed.max_value + 1
+let max_capacity = A.max_capacity
+
+type t = A.t
 
 let create ?(switch_capacity = 1024) ~n ~k () =
   if n < 1 then invalid_arg "Mc_kcounter.create: n < 1";
   if k < 2 then invalid_arg "Mc_kcounter.create: k < 2";
   if switch_capacity < 1 || switch_capacity > max_capacity then
     invalid_arg "Mc_kcounter.create: switch_capacity out of range";
-  { n;
-    k;
-    switches = Atomic.make (Padded.atomic_array switch_capacity 0);
-    h = Padded.atomic_array n 0;
-    locals =
-      Array.init n (fun _ ->
-          Padded.copy
-            { lcounter = 0;
-              limit_exp = 0;
-              limit = 1;
-              sn = 0;
-              l0 = 1;
-              last = 0;
-              p = 0;
-              q = 0;
-              help = Array.make (n + Padded.padding_words) 0 }) }
+  A.create (Backend.Atomic_backend.ctx ()) ~capacity_hint:switch_capacity ~n ~k
+    ()
 
-let k t = t.k
-let n t = t.n
-let capacity t = Array.length (Atomic.get t.switches)
-
-(* Install a larger switch array. The atomic cells themselves are
-   shared between the old and new arrays, so concurrent test&sets on
-   existing switches are unaffected; racing growers CAS and the losers
-   simply retry against the winner's (at least as large) array. *)
-let rec grow t j =
-  let arr = Atomic.get t.switches in
-  let len = Array.length arr in
-  if j < len then arr
-  else if j >= max_capacity then raise (Capacity_exceeded j)
-  else begin
-    let len' = min max_capacity (max (2 * len) (j + 1)) in
-    let bigger =
-      Array.init len' (fun i -> if i < len then arr.(i) else Padded.atomic 0)
-    in
-    ignore (Atomic.compare_and_set t.switches arr bigger);
-    grow t j
-  end
-
-let test_and_set t j =
-  let arr = Atomic.get t.switches in
-  let arr = if j < Array.length arr then arr else grow t j in
-  if Atomic.compare_and_set arr.(j) 0 1 then 0 else 1
-
-(* A switch beyond the current array was never set. *)
-let switch_set t j =
-  let arr = Atomic.get t.switches in
-  j < Array.length arr && Atomic.get arr.(j) <> 0
-
-(* Probe switches l .. j*k for the j-th limit boundary (lines 12-22 of
-   Algorithm 1). Written as a tail recursion rather than with ref
-   cells so the announcement path stays allocation-free. *)
-let rec announce_scan t s ~pid ~j l =
-  if l > j * t.k then begin
-    (* interval exhausted: someone else set every switch *)
-    s.l0 <- 1;
-    s.limit_exp <- s.limit_exp + 1;
-    s.limit <- t.k * s.limit
-  end
-  else if test_and_set t l = 0 then begin
-    s.sn <- (s.sn + 1) land Packed.sn_mask;
-    Atomic.set t.h.(pid) (Packed.pack ~value:l ~sn:s.sn);
-    s.lcounter <- 0;
-    s.l0 <- 1 + (l mod t.k);
-    if l = j * t.k then begin
-      s.limit_exp <- s.limit_exp + 1;
-      s.limit <- t.k * s.limit
-    end
-  end
-  else announce_scan t s ~pid ~j (l + 1)
-
-let increment t ~pid =
-  let s = t.locals.(pid) in
-  s.lcounter <- s.lcounter + 1;
-  if s.lcounter = s.limit then begin
-    let j = s.limit_exp in
-    if j > 0 then announce_scan t s ~pid ~j (((j - 1) * t.k) + s.l0)
-    else begin
-      if test_and_set t 0 = 0 then s.lcounter <- 0;
-      s.limit_exp <- s.limit_exp + 1;
-      s.limit <- t.k * s.limit
-    end
-  end
-
-let return_value t ~p ~q =
-  t.k
-  * (1
-     + Zmath.geometric_sum ~base:t.k ~lo:2 ~hi:(q + 1)
-     + (p * Zmath.pow t.k (q + 1)))
-
-let collect_help t s =
-  for j = 0 to t.n - 1 do
-    s.help.(j) <- Packed.sn (Atomic.get t.h.(j))
-  done
-
-(* The packed announcement of any process that announced at least twice
-   since [collect_help], or -1 (packed words are non-negative). A
-   top-level recursion, not a nested [let rec]: capturing [t]/[s] would
-   allocate a closure on the read path. *)
-let rec check_help_from t s j =
-  if j >= t.n then -1
-  else
-    let packed = Atomic.get t.h.(j) in
-    if Packed.sn_delta (Packed.sn packed) s.help.(j) >= 2 then packed
-    else check_help_from t s (j + 1)
-
-(* The read loop of Algorithm 1 (lines 23-29 plus the helping rule),
-   exception- and allocation-free: [c] counts probed switches, the
-   scratch baseline lives in the per-process local state. *)
-let rec read_loop t s c =
-  if not (switch_set t s.last) then
-    if s.last = 0 then 0 else return_value t ~p:s.p ~q:s.q
-  else begin
-    s.p <- s.last mod t.k;
-    s.q <- s.last / t.k;
-    if s.last mod t.k = 0 then s.last <- s.last + 1
-    else s.last <- s.last + t.k - 1;
-    let c = c + 1 in
-    if c mod t.n = 0 then
-      if c = t.n then begin
-        collect_help t s;
-        read_loop t s c
-      end
-      else begin
-        let packed = check_help_from t s 0 in
-        if packed >= 0 then begin
-          let v = Packed.value packed in
-          return_value t ~p:(v mod t.k) ~q:(v / t.k)
-        end
-        else read_loop t s c
-      end
-    else read_loop t s c
-  end
-
-let read t ~pid = read_loop t t.locals.(pid) 0
-
-let switches_set t =
-  Array.fold_left (fun acc sw -> acc + Atomic.get sw) 0 (Atomic.get t.switches)
+let increment = A.increment
+let read = A.read
+let k = A.k
+let n = A.n
+let capacity = A.capacity
+let switches_set = A.switches_set

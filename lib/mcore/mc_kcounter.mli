@@ -1,41 +1,50 @@
 (** Algorithm 1 on real hardware: the k-multiplicative-accurate counter
     over OCaml 5 [Atomic] cells, runnable across domains.
 
-    Mirrors {!Approx.Kcounter} exactly (switch probing, helping array,
-    persistent locals) with test&set realised as
-    [Atomic.compare_and_set switch 0 1]. Each participating domain must own
-    a distinct pid in [0 .. n-1]; per-pid local state is unsynchronised by
-    design (the algorithm's locals are process-private).
+    The algorithm body is {!Algo.Kcounter_algo} — the same functor
+    {!Approx.Kcounter} instantiates over the simulator — applied to
+    {!Backend.Atomic_backend}, with test&set realised as
+    [Atomic.compare_and_set switch 0 1]. Each participating domain must
+    own a distinct pid in [0 .. n-1]; per-pid local state is
+    unsynchronised by design (the algorithm's locals are
+    process-private).
 
-    Hot-path properties:
-    - [increment] and [read] perform zero heap allocations, including on
-      the announcement and helping slow paths: announcements are stored
-      as {!Packed} single-word atomics rather than tuples, and the read
-      helping baseline reuses a per-pid scratch array.
-    - per-pid state ([h] announcement cells, locals, scratch) is padded
-      to cache-line granularity ({!Padded}) so increments by different
-      domains never contend on a line.
+    Hot-path properties (inherited from the Atomic backend):
+    - [increment] and [read] perform zero heap allocations, including
+      on the announcement and helping slow paths: announcements are
+      stored as {!Backend.Packed} single-word atomics rather than
+      tuples, and the read helping baseline reuses a per-pid scratch
+      array.
+    - per-pid state ([H] announcement cells, locals, scratch) is padded
+      to cache-line granularity ({!Backend.Padded}) so increments by
+      different domains never contend on a line.
 
     Capacity: the switch sequence starts at [switch_capacity] cells and
     grows (lock-free, by doubling) on demand, so exhaustion is
     recoverable — growth allocates, but index [j] is only reached after
     roughly [k^(j/k)] increments, so growth beyond the default is
     already astronomically rare. The absolute ceiling is
-    [Packed.max_value + 1 = 2^20] switches, imposed by the packed
+    {!max_capacity} [= 2^20] switches, imposed by the packed
     announcement encoding; {!Capacity_exceeded} is raised beyond it
     (unreachable in any physical execution: switch [2^20] with [k = 2]
     would take [2^(2^19)] increments). *)
 
-exception Capacity_exceeded of int
-(** Raised with the offending switch index if the packed-encoding
-    ceiling of [2^20] switches is ever exceeded. *)
+exception Capacity_exceeded of { index : int; max_capacity : int }
+(** Raised if the switch-capacity ceiling is ever exceeded, carrying
+    both the offending index and the ceiling itself (so the message is
+    actionable without consulting these docs). An alias of the Atomic
+    backend's [Ts_capacity_exceeded]. *)
+
+val max_capacity : int
+(** The absolute switch-capacity ceiling, [2^20] — the number of
+    switch indices the packed announcement encoding can name. *)
 
 type t
 
 val create : ?switch_capacity:int -> n:int -> k:int -> unit -> t
 (** @raise Invalid_argument if [k < 2], [n < 1], or [switch_capacity]
-    is outside [1 .. 2^20]. [switch_capacity] (default 1024) is only
-    the initial allocation; the switch array grows on demand. *)
+    is outside [1 .. max_capacity]. [switch_capacity] (default 1024) is
+    only the initial allocation; the switch array grows on demand. *)
 
 val increment : t -> pid:int -> unit
 val read : t -> pid:int -> int

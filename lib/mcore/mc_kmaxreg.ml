@@ -1,58 +1,24 @@
-(* The inner exact bounded max register: an AACH switch tree over values
-   0 .. b-1 (b is tiny: log_k m + 2). The tree is laid out as a flat
-   1-based heap of atomic switch bits — node [i]'s children are [2i] and
-   [2i+1] — rather than a pointer-chasing record tree: every probe is a
-   single array access, the walk is tail-recursive over (index, span)
-   integers, and each switch bit is padded to its own cache line so
-   concurrent writers touching sibling switches don't false-share. *)
+(* Algorithm 2 on real hardware: the shared functor body
+   (Algo.Kmaxreg_algo, with its default Tree_maxreg_algo switch-heap
+   inner register) instantiated with the Atomic backend. The heap
+   layout that used to live here verbatim is now the shared
+   Algo.Tree_maxreg_algo body — the same one the simulator's
+   Maxreg.Tree_maxreg instantiates. *)
 
-type t = {
-  m : int;
-  k : int;
-  inner_bound : int;  (* values the inner exact register ranges over *)
-  switches : int Atomic.t array;  (* 1-based heap; leaves have no switch *)
-}
+module A = Algo.Kmaxreg_algo.Make (Backend.Atomic_backend)
+
+type t = A.t
 
 let create ~m ~k () =
   if k < 2 then invalid_arg "Mc_kmaxreg.create: k < 2";
   if m < 2 then invalid_arg "Mc_kmaxreg.create: m < 2";
-  let inner_bound = Zmath.floor_log ~base:k (m - 1) + 2 in
-  let heap_size = 2 * Zmath.pow 2 (Zmath.ceil_log2 inner_bound) in
-  { m; k; inner_bound; switches = Padded.atomic_array heap_size 0 }
-
-(* Node [i] spans [span] values. Writing v >= half descends right first
-   and only then raises the switch (the AACH ordering that makes the
-   register linearizable); writing v < half is futile once the switch is
-   up, because the register already holds a larger value. *)
-let rec write_node t i span v =
-  if span > 1 then begin
-    let half = (span + 1) / 2 in
-    if v < half then begin
-      if Atomic.get t.switches.(i) = 0 then write_node t (2 * i) half v
-    end
-    else begin
-      write_node t ((2 * i) + 1) (span - half) (v - half);
-      Atomic.set t.switches.(i) 1
-    end
-  end
-
-let rec read_node t i span acc =
-  if span <= 1 then acc
-  else begin
-    let half = (span + 1) / 2 in
-    if Atomic.get t.switches.(i) = 1 then
-      read_node t ((2 * i) + 1) (span - half) (acc + half)
-    else read_node t (2 * i) half acc
-  end
+  A.create (Backend.Atomic_backend.ctx ()) ~m ~k ()
 
 let write t v =
-  if v < 0 || v >= t.m then invalid_arg "Mc_kmaxreg.write: value out of range";
-  if v > 0 then write_node t 1 t.inner_bound (Zmath.floor_log ~base:t.k v + 1)
+  if v < 0 || v >= A.bound t then
+    invalid_arg "Mc_kmaxreg.write: value out of range";
+  A.write t ~pid:0 v
 
-let read t =
-  match read_node t 1 t.inner_bound 0 with
-  | 0 -> 0
-  | p -> Zmath.pow t.k p
-
-let bound t = t.m
-let k t = t.k
+let read t = A.read t ~pid:0
+let bound = A.bound
+let k = A.k

@@ -1,9 +1,4 @@
-let value_bits = 20
-let sn_bits = 42
-let max_value = (1 lsl value_bits) - 1
-let sn_mask = (1 lsl sn_bits) - 1
-
-let[@inline] pack ~value ~sn = (value lsl sn_bits) lor (sn land sn_mask)
-let[@inline] value p = p lsr sn_bits
-let[@inline] sn p = p land sn_mask
-let[@inline] sn_delta a b = (a - b) land sn_mask
+(* Relocated to lib/backend (the announcement encoding is a backend
+   concern); re-exported here so existing Mcore.Packed users keep
+   working. *)
+include Backend.Packed

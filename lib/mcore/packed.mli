@@ -1,44 +1,7 @@
-(** Single-word encoding of Algorithm 1's announcement pairs.
+(** Deprecated alias of {!Backend.Packed}, the single-word announcement
+    encoding, which moved to [lib/backend] with the primitive-backend
+    layer. New code should use {!Backend.Packed} directly. *)
 
-    The multicore k-counter used to store its per-process announcement
-    as an [(int * int) Atomic.t] — a switch index plus a sequence
-    number — which forced a fresh tuple allocation on every
-    announcement and a dependent load on every helping read. Packing
-    both into one immediate [int] makes [Atomic.set]/[Atomic.get] of an
-    announcement allocation-free and single-word atomic by
-    construction.
-
-    Layout (63-bit OCaml int): the switch index ("value") occupies the
-    high {!value_bits} bits, the sequence number the low {!sn_bits}
-    bits. [value <= max_value] is guaranteed by the counter's switch
-    capacity cap; sequence numbers wrap modulo [2^sn_bits], which is
-    harmless because helpers only compare small differences (a wrap
-    needs [2^42] announcements by one process — announcements are
-    geometrically rare, so the sun burns out first). *)
-
-val value_bits : int
-(** 20: packed values (switch indices) range over [0 .. 2^20 - 1]. *)
-
-val sn_bits : int
-(** 42: sequence numbers live modulo [2^42]. *)
-
-val max_value : int
-(** [2^value_bits - 1], the largest encodable switch index. *)
-
-val sn_mask : int
-(** [2^sn_bits - 1]. *)
-
-val pack : value:int -> sn:int -> int
-(** [pack ~value ~sn] encodes the pair. [sn] is reduced modulo
-    [2^sn_bits]; [value] must be in [0 .. max_value] (unchecked on the
-    hot path — the counter enforces it via its capacity cap). *)
-
-val value : int -> int
-(** High-bits component of a packed word. *)
-
-val sn : int -> int
-(** Low-bits component of a packed word. *)
-
-val sn_delta : int -> int -> int
-(** [sn_delta a b] is the wraparound difference [a - b] modulo
-    [2^sn_bits] — how many announcements lie between [b] and [a]. *)
+include module type of struct
+  include Backend.Packed
+end

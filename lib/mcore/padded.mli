@@ -1,51 +1,7 @@
-(** Cache-line padding helpers for the multicore hot paths.
+(** Deprecated alias of {!Backend.Padded}, the cache-line padding
+    helpers, which moved to [lib/backend] with the primitive-backend
+    layer. New code should use {!Backend.Padded} directly. *)
 
-    An [int Atomic.t] is a one-field heap block (two words with its
-    header); allocating one per process puts many of them on the same
-    64-byte cache line, so logically independent per-process cells ping
-    the same line back and forth between cores (false sharing). OCaml
-    5.1 has no [Atomic.make_contended], so these helpers recreate it:
-    each block is copied into an oversized block whose trailing words
-    are dead padding, pushing the next allocation onto a different
-    line (the multicore-magic [copy_as_padded] technique).
-
-    Only ordinary tag-0 blocks (records, tuples, non-float arrays,
-    [Atomic.t]) are padded; anything else is returned unchanged. *)
-
-val padding_words : int
-(** Dead words appended to each padded block (15, i.e. blocks are
-    inflated past two 64-byte cache lines on 64-bit). *)
-
-val copy : 'a -> 'a
-(** [copy x] is a shallow copy of [x] inflated with {!padding_words}
-    trailing padding words, or [x] itself when [x] is not a tag-0 heap
-    block. Call it once at construction time, before the value is
-    shared: the copy has a fresh identity. *)
-
-val atomic : 'a -> 'a Atomic.t
-(** [atomic v] is [Atomic.make v] padded to its own cache line. *)
-
-val atomic_array : int -> int -> int Atomic.t array
-(** [atomic_array n v] is an array of [n] independently padded atomics,
-    each initialised to [v]. *)
-
-module Int_array : sig
-  (** A plain [int array] striped so that logically adjacent slots sit
-      on distinct cache lines: slot [i] lives at word [i * stride].
-      Used for per-process mutable counters that are written by one
-      domain and read by others (or not shared at all, but allocated
-      side by side). *)
-
-  type t
-
-  val stride : int
-  (** Words between consecutive slots (16 = two cache lines). *)
-
-  val make : int -> int -> t
-  (** [make n v] is a padded array of [n] slots, all set to [v]. *)
-
-  val length : t -> int
-  val get : t -> int -> int
-  val set : t -> int -> int -> unit
-  val sum : t -> int
+include module type of struct
+  include Backend.Padded
 end

@@ -1,0 +1,26 @@
+(** Functor-instantiation smoke matrix.
+
+    Drives the shared Algorithm 1 and Algorithm 2 functor bodies
+    through all four backend instantiations — Sim, Chaos(Sim), Atomic,
+    Chaos(Atomic) — on one small deterministic workload and checks the
+    k-multiplicative envelopes. CI fails the build if any instantiation
+    stops satisfying its accuracy guarantee. *)
+
+type row = {
+  backend : string;  (** the backend's [label] *)
+  counter_read : int;  (** quiescent counter read after the increments *)
+  counter_ok : bool;  (** read within [[incs/k, incs*k]] *)
+  maxreg_read : int;  (** quiescent max-register read *)
+  maxreg_ok : bool;  (** read within [[max, max*k]] *)
+  steps : int;  (** primitives issued by pid 0, incl. injected pauses *)
+}
+
+val n : int
+val k : int
+val incs : int
+
+val rows : ?seed:int -> unit -> row list
+(** One row per backend, in matrix order: sim, chaos(sim), atomic,
+    chaos(atomic). [seed] (default 7) seeds the chaos streams. *)
+
+val all_ok : row list -> bool

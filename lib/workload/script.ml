@@ -47,6 +47,29 @@ let maxreg_programs ?on_read (mr : Obj_intf.max_register) script =
 let total_ops script =
   Array.fold_left (fun acc ops -> acc + List.length ops) 0 script
 
+let interleave ~seed script =
+  let rng = Rng.create ~seed in
+  let rest = Array.map (fun ops -> ref ops) script in
+  let remaining = ref (total_ops script) in
+  let out = ref [] in
+  while !remaining > 0 do
+    (* Pick the r-th pending operation; its process goes next. Weighting
+       by pending count keeps long programs from finishing last. *)
+    let r = ref (Rng.int rng !remaining) in
+    let pid = ref 0 in
+    while !r >= List.length !(rest.(!pid)) do
+      r := !r - List.length !(rest.(!pid));
+      incr pid
+    done;
+    (match !(rest.(!pid)) with
+     | [] -> assert false
+     | op :: tl ->
+       rest.(!pid) := tl;
+       out := (!pid, op) :: !out);
+    decr remaining
+  done;
+  List.rev !out
+
 let counter_mix ~seed ~n ~ops_per_process ~read_fraction =
   let rng = Rng.create ~seed in
   Array.init n (fun _pid ->

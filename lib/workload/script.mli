@@ -33,6 +33,12 @@ val maxreg_programs :
 
 val total_ops : t -> int
 
+val interleave : seed:int -> t -> (int * op) list
+(** A deterministic global sequentialisation of the script: a uniform
+    (seeded) shuffle of all operations that preserves each process's
+    program order. Drives the cross-backend differential tests, where
+    the same interleaving is replayed op-by-op against two backends. *)
+
 val counter_mix :
   seed:int -> n:int -> ops_per_process:int -> read_fraction:float -> t
 (** Random mix of increments and reads, i.i.d. per slot. *)

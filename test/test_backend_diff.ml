@@ -1,0 +1,238 @@
+(* Cross-backend differential tests: the same workload script, pushed
+   through the same functor body over Sim_backend and Atomic_backend,
+   must produce identical observable read sequences.
+
+   One deterministic global interleaving (Workload.Script.interleave)
+   is replayed op-by-op: on the simulator inside a single fiber (the
+   object is created for n processes; fiber 0 performs every operation
+   with the operation's own ~pid), on hardware as a plain sequential
+   loop (domains = 1). Both executions apply the same abstract
+   operation sequence, so any divergence is a backend bug — a packed
+   encoding slip, a switch-growth bug, a step-sequence divergence that
+   changes helping. *)
+
+let check = Alcotest.check
+
+module SK = Algo.Kcounter_algo.Make (Sim_backend)
+module AK = Algo.Kcounter_algo.Make (Backend.Atomic_backend)
+module SM = Algo.Kmaxreg_algo.Make (Sim_backend)
+module AM = Algo.Kmaxreg_algo.Make (Backend.Atomic_backend)
+module SC = Algo.Collect_counter_algo.Make (Sim_backend)
+module AC = Algo.Collect_counter_algo.Make (Backend.Atomic_backend)
+module Chaos_atomic = Backend.Chaos_backend.Make (Backend.Atomic_backend)
+module CK = Algo.Kcounter_algo.Make (Chaos_atomic)
+
+(* Run [apply] over the interleaving inside fiber 0 of a fresh
+   n-process simulator execution (processes 1 .. n-1 are idle; the
+   ~pid each operation carries selects the object-level process). *)
+let run_in_sim ~n ~build ~apply seq =
+  let exec = Sim.Exec.create ~n () in
+  let obj = build exec in
+  let reads = ref [] in
+  let programs =
+    Array.init n (fun i _fiber ->
+        if i = 0 then
+          List.iter
+            (fun (pid, op) ->
+              match apply obj ~pid op with
+              | None -> ()
+              | Some v -> reads := v :: !reads)
+            seq)
+  in
+  let outcome = Sim.Exec.run exec ~programs ~policy:Sim.Schedule.Round_robin () in
+  Alcotest.(check bool) "sim run finished" true
+    (Array.for_all Fun.id outcome.completed);
+  List.rev !reads
+
+let run_direct ~apply obj seq =
+  let reads = ref [] in
+  List.iter
+    (fun (pid, op) ->
+      match apply obj ~pid op with
+      | None -> ()
+      | Some v -> reads := v :: !reads)
+    seq;
+  List.rev !reads
+
+(* ------------------------------------------------------------------ *)
+(* k-multiplicative counter (Algorithm 1)                              *)
+(* ------------------------------------------------------------------ *)
+
+let apply_counter increment read obj ~pid op =
+  match op with
+  | Workload.Script.Inc ->
+    increment obj ~pid;
+    None
+  | Workload.Script.Read -> Some (read obj ~pid)
+  | Workload.Script.Write _ -> assert false
+
+let test_kcounter_diff () =
+  List.iter
+    (fun (n, k, seed) ->
+      let seq =
+        Workload.Script.interleave ~seed
+          (Workload.Script.counter_mix ~seed ~n ~ops_per_process:60
+             ~read_fraction:0.3)
+      in
+      let sim_reads =
+        run_in_sim ~n
+          ~build:(fun exec -> SK.create (Sim_backend.ctx exec) ~n ~k ())
+          ~apply:(apply_counter SK.increment SK.read)
+          seq
+      in
+      let atomic =
+        AK.create (Backend.Atomic_backend.ctx ()) ~capacity_hint:1 ~n ~k ()
+      in
+      let atomic_reads =
+        run_direct ~apply:(apply_counter AK.increment AK.read) atomic seq
+      in
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "kcounter reads agree (n=%d k=%d seed=%d)" n k seed)
+        sim_reads atomic_reads)
+    [ (1, 2, 1); (2, 2, 2); (3, 4, 3); (4, 3, 4) ]
+
+let test_kcounter_diff_chaos () =
+  (* Chaos injection only adds delay primitives; sequentially it must
+     not change a single read. *)
+  List.iter
+    (fun seed ->
+      let n = 3 and k = 2 in
+      let seq =
+        Workload.Script.interleave ~seed
+          (Workload.Script.counter_mix ~seed ~n ~ops_per_process:50
+             ~read_fraction:0.25)
+      in
+      let plain = AK.create (Backend.Atomic_backend.ctx ()) ~n ~k () in
+      let plain_reads =
+        run_direct ~apply:(apply_counter AK.increment AK.read) plain seq
+      in
+      let chaos_ctx =
+        Chaos_atomic.ctx ~rate:2 ~seed ~n (Backend.Atomic_backend.ctx ())
+      in
+      let chaotic = CK.create chaos_ctx ~n ~k () in
+      let chaos_reads =
+        run_direct ~apply:(apply_counter CK.increment CK.read) chaotic seq
+      in
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "chaos-wrapped reads agree (seed=%d)" seed)
+        plain_reads chaos_reads)
+    [ 5; 6 ]
+
+(* ------------------------------------------------------------------ *)
+(* k-multiplicative max register (Algorithm 2)                         *)
+(* ------------------------------------------------------------------ *)
+
+let apply_maxreg write read obj ~pid op =
+  match op with
+  | Workload.Script.Write v ->
+    write obj ~pid v;
+    None
+  | Workload.Script.Read -> Some (read obj ~pid)
+  | Workload.Script.Inc -> assert false
+
+let test_kmaxreg_diff () =
+  List.iter
+    (fun (n, k, seed) ->
+      let m = 1 lsl 20 in
+      let script =
+        Workload.Script.writes_then_read ~seed ~n ~writes_per_process:25
+          ~max_value:m
+      in
+      let seq = Workload.Script.interleave ~seed script in
+      let sim_reads =
+        run_in_sim ~n
+          ~build:(fun exec -> SM.create (Sim_backend.ctx exec) ~m ~k ())
+          ~apply:(apply_maxreg SM.write SM.read)
+          seq
+      in
+      let atomic = AM.create (Backend.Atomic_backend.ctx ()) ~m ~k () in
+      let atomic_reads =
+        run_direct ~apply:(apply_maxreg AM.write AM.read) atomic seq
+      in
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "kmaxreg reads agree (n=%d k=%d seed=%d)" n k seed)
+        sim_reads atomic_reads)
+    [ (1, 2, 7); (2, 3, 8); (4, 2, 9) ]
+
+(* ------------------------------------------------------------------ *)
+(* Collect counter baseline (exact)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_collect_diff () =
+  List.iter
+    (fun (n, seed) ->
+      let script =
+        Workload.Script.counter_mix ~seed ~n ~ops_per_process:40
+          ~read_fraction:0.5
+      in
+      let seq = Workload.Script.interleave ~seed script in
+      let sim_reads =
+        run_in_sim ~n
+          ~build:(fun exec -> SC.create (Sim_backend.ctx exec) ~n ())
+          ~apply:(apply_counter SC.increment SC.read)
+          seq
+      in
+      let atomic = AC.create (Backend.Atomic_backend.ctx ()) ~n () in
+      let atomic_reads =
+        run_direct ~apply:(apply_counter AC.increment AC.read) atomic seq
+      in
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "collect reads agree (n=%d seed=%d)" n seed)
+        sim_reads atomic_reads;
+      (* The collect counter is exact, so sequentially every read equals
+         the number of increments applied before it — a cheap oracle that
+         both backends are not merely wrong in the same way. *)
+      let incs = ref 0 and oracle = ref [] in
+      List.iter
+        (fun (_, op) ->
+          match op with
+          | Workload.Script.Inc -> incr incs
+          | Workload.Script.Read -> oracle := !incs :: !oracle
+          | Workload.Script.Write _ -> ())
+        seq;
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "collect reads exact (n=%d seed=%d)" n seed)
+        (List.rev !oracle) atomic_reads)
+    [ (1, 11); (3, 12); (5, 13) ]
+
+(* ------------------------------------------------------------------ *)
+(* Interleave itself                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_interleave_properties () =
+  let script =
+    Workload.Script.counter_mix ~seed:42 ~n:4 ~ops_per_process:30
+      ~read_fraction:0.5
+  in
+  let seq = Workload.Script.interleave ~seed:42 script in
+  check Alcotest.int "length" (Workload.Script.total_ops script)
+    (List.length seq);
+  (* Per-process order is preserved. *)
+  Array.iteri
+    (fun pid ops ->
+      let projected =
+        List.filter_map (fun (p, op) -> if p = pid then Some op else None) seq
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "pid %d program order" pid)
+        true (projected = ops))
+    script;
+  (* Deterministic in the seed. *)
+  Alcotest.(check bool) "same seed" true
+    (Workload.Script.interleave ~seed:42 script = seq);
+  Alcotest.(check bool) "different seed differs" true
+    (Workload.Script.interleave ~seed:43 script <> seq)
+
+let suite =
+  [ ("kcounter sim vs atomic", `Quick, test_kcounter_diff);
+    ("kcounter atomic vs chaos", `Quick, test_kcounter_diff_chaos);
+    ("kmaxreg sim vs atomic", `Quick, test_kmaxreg_diff);
+    ("collect sim vs atomic", `Quick, test_collect_diff);
+    ("interleave properties", `Quick, test_interleave_properties) ]
+
+let () = Alcotest.run "backend_diff" [ ("backend_diff", suite) ]

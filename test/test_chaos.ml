@@ -1,0 +1,154 @@
+(* Lincheck coverage for chaos-wrapped Algorithm 1: the counter functor
+   instantiated over Chaos_backend.Make (Sim_backend), so every
+   primitive may be preceded by a deterministic seeded burst of charged
+   delay steps. Injection is a pure function of (seed, pid, #primitives
+   issued by pid) — schedule-independent — so exhaustive exploration
+   remains sound: each rebuild reproduces the same perturbed algorithm
+   and only the schedule varies. *)
+
+let check = Alcotest.check
+let vi = Alcotest.int
+
+module Chaos_sim = Backend.Chaos_backend.Make (Sim_backend)
+module Chaos_atomic = Backend.Chaos_backend.Make (Backend.Atomic_backend)
+module CK = Algo.Kcounter_algo.Make (Chaos_sim)
+module SK = Algo.Kcounter_algo.Make (Sim_backend)
+module CKA = Algo.Kcounter_algo.Make (Chaos_atomic)
+module CMA = Algo.Kmaxreg_algo.Make (Chaos_atomic)
+
+let build_chaos_counter ~seed ~rate ~n ~k script () =
+  let exec = Sim.Exec.create ~n () in
+  let ctx = Chaos_sim.ctx ~rate ~seed ~n (Sim_backend.ctx exec) in
+  let counter = CK.create ctx ~n ~k () in
+  let programs =
+    Workload.Script.counter_programs (CK.handle counter) script
+  in
+  (exec, programs)
+
+let test_chaos_kcounter_exhaustive_n2 () =
+  (* n = 2, each process incs then reads, injected pauses at rate 1/2:
+     every interleaving of the perturbed executions linearizes against
+     the k-multiplicative counter spec. *)
+  let stats =
+    Lincheck.Explore.exhaustive
+      ~build:
+        (build_chaos_counter ~seed:1 ~rate:2 ~n:2 ~k:2
+           [| [ Inc; Read ]; [ Inc; Read ] |])
+      ~spec:(Lincheck.Spec.k_counter ~k:2) ()
+  in
+  check vi "violations" 0 stats.violations;
+  Alcotest.(check bool) "not truncated" false stats.truncated;
+  Alcotest.(check bool) "explored many executions" true (stats.executions > 10)
+
+let test_chaos_kcounter_exhaustive_n2_seeds () =
+  (* Different seeds perturb different primitives; the spec must hold
+     for each. *)
+  List.iter
+    (fun seed ->
+      let stats =
+        Lincheck.Explore.exhaustive
+          ~build:
+            (build_chaos_counter ~seed ~rate:2 ~n:2 ~k:2
+               [| [ Inc; Inc; Read ]; [ Read ] |])
+          ~spec:(Lincheck.Spec.k_counter ~k:2) ()
+      in
+      check vi (Printf.sprintf "violations (seed=%d)" seed) 0 stats.violations)
+    [ 2; 3; 4 ]
+
+let test_chaos_kcounter_bounded_n3 () =
+  (* n = 3 under injected delays: the state space is too large to
+     exhaust, so explore a bounded prefix (truncation expected). *)
+  let stats =
+    Lincheck.Explore.exhaustive
+      ~build:
+        (build_chaos_counter ~seed:5 ~rate:2 ~n:3 ~k:2
+           [| [ Inc; Read ]; [ Inc; Read ]; [ Inc; Read ] |])
+      ~spec:(Lincheck.Spec.k_counter ~k:2) ~limit:300 ()
+  in
+  check vi "violations" 0 stats.violations;
+  Alcotest.(check bool) "truncated" true stats.truncated;
+  check vi "bounded exploration" 300 stats.executions
+
+(* ------------------------------------------------------------------ *)
+(* Sequential accuracy under injected yields                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_chaos_sim_sequential_accuracy () =
+  let n = 2 and k = 3 in
+  (* The same program over the chaos-wrapped and the plain backend:
+     accuracy must hold under injection, and the chaotic run must take
+     strictly more charged steps (pauses are real steps). *)
+  let run_one (type c t)
+      (increment : t -> pid:int -> unit) (read : t -> pid:int -> int)
+      (make : Sim.Exec.t -> c) (create : c -> t) =
+    let exec = Sim.Exec.create ~n () in
+    let counter = create (make exec) in
+    let failures = ref [] in
+    let programs =
+      Array.init n (fun i _fiber ->
+          if i = 0 then
+            for v = 1 to 1_000 do
+              increment counter ~pid:(v mod n);
+              if v mod 50 = 0 then begin
+                let x = read counter ~pid:0 in
+                if not (Zmath.within_k ~k ~exact:v x) then
+                  failures := (v, x) :: !failures
+              end
+            done)
+    in
+    ignore (Sim.Exec.run exec ~programs ~policy:Sim.Schedule.Round_robin ());
+    (match !failures with
+     | [] -> ()
+     | (v, x) :: _ -> Alcotest.failf "read %d of count %d outside envelope" x v);
+    Sim.Exec.steps_total exec
+  in
+  let chaotic =
+    run_one CK.increment CK.read
+      (fun exec -> Chaos_sim.ctx ~rate:1 ~seed:9 ~n (Sim_backend.ctx exec))
+      (fun ctx -> CK.create ctx ~n ~k ())
+  in
+  let plain =
+    run_one SK.increment SK.read
+      (fun exec -> Sim_backend.ctx exec)
+      (fun ctx -> SK.create ctx ~n ~k ())
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "pauses were injected (%d > %d steps)" chaotic plain)
+    true (chaotic > plain)
+
+let test_chaos_atomic_sequential_accuracy () =
+  let k = 2 in
+  let ctx = Chaos_atomic.ctx ~rate:2 ~seed:13 ~n:1 (Backend.Atomic_backend.ctx ()) in
+  let counter = CKA.create ctx ~n:1 ~k () in
+  for v = 1 to 3_000 do
+    CKA.increment counter ~pid:0;
+    let x = CKA.read counter ~pid:0 in
+    if not (Zmath.within_k ~k ~exact:v x) then
+      Alcotest.failf "read %d of count %d outside envelope" x v
+  done
+
+let test_chaos_atomic_kmaxreg_accuracy () =
+  let k = 2 and m = 1 lsl 16 in
+  let ctx = Chaos_atomic.ctx ~rate:2 ~seed:17 ~n:1 (Backend.Atomic_backend.ctx ()) in
+  let mr = CMA.create ctx ~m ~k () in
+  let best = ref 0 in
+  List.iter
+    (fun v ->
+      CMA.write mr ~pid:0 v;
+      best := max !best v;
+      let x = CMA.read mr ~pid:0 in
+      if not (x >= !best && x <= !best * k) then
+        Alcotest.failf "read %d for max %d" x !best)
+    [ 1; 9; 300; 7; 40_000; 12; 65_000 ]
+
+let suite =
+  [ ("chaos kcounter exhaustive n=2", `Quick, test_chaos_kcounter_exhaustive_n2);
+    ("chaos kcounter exhaustive seeds", `Slow,
+     test_chaos_kcounter_exhaustive_n2_seeds);
+    ("chaos kcounter bounded n=3", `Quick, test_chaos_kcounter_bounded_n3);
+    ("chaos sim sequential accuracy", `Quick, test_chaos_sim_sequential_accuracy);
+    ("chaos atomic sequential accuracy", `Quick,
+     test_chaos_atomic_sequential_accuracy);
+    ("chaos atomic kmaxreg accuracy", `Quick, test_chaos_atomic_kmaxreg_accuracy) ]
+
+let () = Alcotest.run "chaos" [ ("chaos", suite) ]

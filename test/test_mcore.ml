@@ -163,7 +163,16 @@ let test_kcounter_validation () =
       ignore (Mcore.Mc_kcounter.create ~n:2 ~k:1 ()));
   Alcotest.check_raises "capacity 0"
     (Invalid_argument "Mc_kcounter.create: switch_capacity out of range")
-    (fun () -> ignore (Mcore.Mc_kcounter.create ~switch_capacity:0 ~n:1 ~k:2 ()))
+    (fun () -> ignore (Mcore.Mc_kcounter.create ~switch_capacity:0 ~n:1 ~k:2 ()));
+  (* The ceiling is exported and matches the packed encoding's range. *)
+  check vi "max_capacity" (1 lsl 20) Mcore.Mc_kcounter.max_capacity;
+  Alcotest.check_raises "capacity above ceiling"
+    (Invalid_argument "Mc_kcounter.create: switch_capacity out of range")
+    (fun () ->
+      ignore
+        (Mcore.Mc_kcounter.create
+           ~switch_capacity:(Mcore.Mc_kcounter.max_capacity + 1)
+           ~n:1 ~k:2 ()))
 
 (* ------------------------------------------------------------------ *)
 (* Packed announcement encoding                                        *)

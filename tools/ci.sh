@@ -12,6 +12,9 @@ dune build
 echo "== dune runtest (includes bench smoke) =="
 dune runtest
 
+echo "== backend functor-instantiation smoke matrix =="
+dune exec bin/approx_cli.exe -- backends
+
 echo "== bench pipeline smoke (CLI path) =="
 dune exec bin/approx_cli.exe -- bench --smoke --out /tmp/BENCH_ci_smoke.json \
   > /dev/null
