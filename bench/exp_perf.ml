@@ -1,14 +1,15 @@
 (* perf: the reproducible benchmark pipeline. Unlike the console-only
    tables of the other experiments, this one persists its measurements:
-   it writes BENCH_1.json (throughput min/median/max over repeated
+   it writes BENCH_2.json (throughput min/median/max over repeated
    trials for the k-counter and k-max-register vs their exact baselines,
-   plus Algorithm 1's simulated amortized step metrics) so the perf
+   end-to-end service throughput/latency through the wire protocol, plus
+   Algorithm 1's simulated amortized step metrics) so the perf
    trajectory of the repository is diffable across revisions. See
    EXPERIMENTS.md, "Performance trajectory". *)
 
 let run () =
   Tables.section
-    "perf  Benchmark pipeline -> BENCH_1.json (throughput + amortized steps)";
+    "perf  Benchmark pipeline -> BENCH_2.json (throughput + amortized steps)";
   Printf.printf "(host has %d recognized core(s))\n"
     (Domain.recommended_domain_count ());
   Perf.Pipeline.run Perf.Pipeline.default_config

@@ -477,7 +477,7 @@ let bench_cmd =
                    two up to the recognized core count).")
   in
   let out_arg =
-    Arg.(value & opt string "BENCH_1.json"
+    Arg.(value & opt string "BENCH_2.json"
          & info [ "out" ] ~docv:"FILE" ~doc:"Output JSON path.")
   in
   let smoke_arg =
@@ -493,12 +493,232 @@ let bench_cmd =
           $ out_arg $ smoke_arg)
 
 (* ------------------------------------------------------------------ *)
+(* service subcommands: serve / loadgen / stats                        *)
+(* ------------------------------------------------------------------ *)
+
+let unix_arg =
+  Arg.(value & opt string "/tmp/approx_service.sock"
+       & info [ "unix" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path of the service.")
+
+let tcp_arg =
+  Arg.(value & opt (some int) None
+       & info [ "tcp" ] ~docv:"PORT"
+           ~doc:"Use TCP on 127.0.0.1:$(docv) instead of the Unix \
+                 socket (0 picks a free port when serving).")
+
+let addr_of ~unix ~tcp =
+  match tcp with
+  | Some port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+  | None -> Unix.ADDR_UNIX unix
+
+let counters_arg =
+  Arg.(value & opt int 4
+       & info [ "counters" ] ~docv:"C"
+           ~doc:"Number of hosted k-counters (named c0 .. c<C-1>).")
+
+let run_serve shards queue_capacity max_batch max_pending unix tcp counters k
+    duration =
+  if shards < 1 || counters < 1 || k < 2 || queue_capacity < 1
+     || max_batch < 1 || max_pending < 1
+  then begin
+    prerr_endline "serve: shards/counters/queue/batch/pending must be \
+                   positive and k >= 2";
+    2
+  end
+  else begin
+    let config =
+      { Service.Server.default_config with
+        shards;
+        queue_capacity;
+        max_batch;
+        max_pending;
+        specs = Service.Objects.default_specs ~counters ~k }
+    in
+    let listen =
+      match tcp with
+      | Some port -> `Tcp ("127.0.0.1", port)
+      | None -> `Unix unix
+    in
+    let srv = Service.Server.start ~config ~listen () in
+    let addr =
+      match Service.Server.sockaddr srv with
+      | Unix.ADDR_UNIX p -> p
+      | Unix.ADDR_INET (host, port) ->
+        Printf.sprintf "%s:%d" (Unix.string_of_inet_addr host) port
+    in
+    Printf.printf "serving %d objects on %s: %d shard(s), batch<=%d, \
+                   queue=%d, pending<=%d\n%!"
+      (List.length config.specs) addr shards max_batch queue_capacity
+      max_pending;
+    let stop = ref false in
+    let handler = Sys.Signal_handle (fun _ -> stop := true) in
+    Sys.set_signal Sys.sigint handler;
+    Sys.set_signal Sys.sigterm handler;
+    let deadline =
+      if duration > 0.0 then Unix.gettimeofday () +. duration else infinity
+    in
+    while (not !stop) && Unix.gettimeofday () < deadline do
+      try Unix.sleepf 0.1 with Unix.Unix_error (EINTR, _, _) -> ()
+    done;
+    Service.Server.stop srv;
+    0
+  end
+
+let serve_cmd =
+  let queue_arg =
+    Arg.(value & opt int 1024
+         & info [ "queue" ] ~docv:"Q" ~doc:"Per-shard task-queue bound.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 64
+         & info [ "batch" ] ~docv:"B"
+             ~doc:"Max tasks one shard wakeup drains.")
+  in
+  let pending_arg =
+    Arg.(value & opt int 256
+         & info [ "pending" ] ~docv:"P"
+             ~doc:"Per-connection in-flight request bound (beyond it \
+                   the server answers BUSY).")
+  in
+  let shards_arg =
+    Arg.(value & opt int 2
+         & info [ "shards" ] ~docv:"S" ~doc:"Worker domains.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 0.0
+         & info [ "duration" ] ~docv:"SECS"
+             ~doc:"Exit after $(docv) seconds (0 = run until SIGINT).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Host approximate objects behind the binary wire protocol \
+             (sharded multi-domain server with built-in metrics)")
+    Term.(const run_serve $ shards_arg $ queue_arg $ batch_arg $ pending_arg
+          $ unix_arg $ tcp_arg $ counters_arg $ k_arg $ duration_arg)
+
+let run_loadgen unix tcp connections ops pipeline read_permille targets seed =
+  let cfg =
+    { Service.Loadgen.default_config with
+      connections;
+      ops_per_connection = ops;
+      pipeline;
+      read_permille;
+      seed }
+  in
+  let cfg =
+    match targets with [] -> cfg | ts -> { cfg with targets = ts }
+  in
+  if connections < 1 || ops < 1 || pipeline < 1 || read_permille < 0
+     || read_permille > 1000
+  then begin
+    prerr_endline "loadgen: connections/ops/pipeline must be positive and \
+                   read-permille in 0..1000";
+    2
+  end
+  else begin
+    match Service.Loadgen.run ~addr:(addr_of ~unix ~tcp) cfg with
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "loadgen: cannot reach the service: %s\n"
+        (Unix.error_message e);
+      1
+    | r ->
+    Printf.printf
+      "loadgen: %d conn x %d ops (window %d): %d ok, %d busy, %d errors\n"
+      connections ops pipeline r.Service.Loadgen.ok r.Service.Loadgen.busy
+      r.Service.Loadgen.errors;
+    Printf.printf "throughput %.0f ops/s, latency p50 %d ns, p99 %d ns\n"
+      r.Service.Loadgen.ops_per_sec r.Service.Loadgen.p50_ns
+      r.Service.Loadgen.p99_ns;
+    if r.Service.Loadgen.errors > 0 then 1 else 0
+  end
+
+let loadgen_cmd =
+  let connections_arg =
+    Arg.(value & opt int 4
+         & info [ "connections" ] ~docv:"C" ~doc:"Client connections (domains).")
+  in
+  let ops_arg =
+    Arg.(value & opt int 10_000
+         & info [ "ops" ] ~docv:"OPS" ~doc:"Operations per connection.")
+  in
+  let pipeline_arg =
+    Arg.(value & opt int 8
+         & info [ "pipeline" ] ~docv:"W"
+             ~doc:"In-flight request window per connection.")
+  in
+  let rp_arg =
+    Arg.(value & opt int 200
+         & info [ "read-permille" ] ~docv:"RP"
+             ~doc:"Reads per 1000 operations; the rest increment.")
+  in
+  let targets_arg =
+    Arg.(value & opt (list string) []
+         & info [ "targets" ] ~docv:"NAME,..."
+             ~doc:"Counter objects to drive (default c0,c1,c2,c3).")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Run the closed-loop load generator against a running \
+             service and report throughput and latency percentiles")
+    Term.(const run_loadgen $ unix_arg $ tcp_arg $ connections_arg $ ops_arg
+          $ pipeline_arg $ rp_arg $ targets_arg $ seed_arg)
+
+let run_stats unix tcp =
+  match Service.Client.connect (addr_of ~unix ~tcp) with
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "stats: cannot reach the service: %s\n"
+      (Unix.error_message e);
+    1
+  | client ->
+    let json = Service.Client.stats_json client in
+    Service.Client.close client;
+    print_string json;
+    0
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Fetch a running service's metrics registry (op counters, \
+             latency histograms, accuracy self-checks) as JSON")
+    Term.(const run_stats $ unix_arg $ tcp_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let commands =
+  [ counter_cmd; maxreg_cmd; lincheck_cmd; awareness_cmd; perturb_cmd;
+    explore_cmd; backends_cmd; bench_cmd; serve_cmd; loadgen_cmd; stats_cmd ]
+
+let usage_to_stderr () =
+  prerr_endline "usage: approx_cli COMMAND [OPTION]...";
+  prerr_endline "commands:";
+  List.iter
+    (fun cmd -> Printf.eprintf "  %s\n" (Cmd.name cmd))
+    commands;
+  prerr_endline "run 'approx_cli COMMAND --help' for details"
 
 let () =
+  (* An unknown (or missing) subcommand prints usage to stderr and
+     exits 2 — not cmdliner's generic CLI-error status. Unambiguous
+     command prefixes still reach cmdliner's own resolution. *)
+  let known name =
+    List.exists
+      (fun cmd -> String.starts_with ~prefix:name (Cmd.name cmd))
+      commands
+  in
+  let bad_invocation =
+    if Array.length Sys.argv < 2 then true
+    else
+      let a = Sys.argv.(1) in
+      String.length a > 0 && a.[0] <> '-' && not (known a)
+  in
+  if bad_invocation then begin
+    (if Array.length Sys.argv >= 2 then
+       Printf.eprintf "approx_cli: unknown command '%s'\n" Sys.argv.(1)
+     else prerr_endline "approx_cli: missing command");
+    usage_to_stderr ();
+    exit 2
+  end;
   let doc = "deterministic approximate objects (ICDCS 2021) playground" in
-  let info = Cmd.info "approx_cli" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval'
-       (Cmd.group info
-          [ counter_cmd; maxreg_cmd; lincheck_cmd; awareness_cmd;
-            perturb_cmd; explore_cmd; backends_cmd; bench_cmd ]))
+  let info = Cmd.info "approx_cli" ~version:"1.2.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info commands))

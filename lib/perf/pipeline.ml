@@ -8,6 +8,10 @@ type config = {
   sim_n : int;
   sim_k : int;
   sim_ops_per_process : int;
+  service_shards : int list;
+  service_pipeline : int list;
+  service_connections : int;
+  service_ops_per_connection : int;
   out_path : string;
 }
 
@@ -19,7 +23,11 @@ let default_config =
     sim_n = 16;
     sim_k = 4;
     sim_ops_per_process = 2048;
-    out_path = "BENCH_1.json" }
+    service_shards = [ 1; 2; 4 ];
+    service_pipeline = [ 1; 8; 32 ];
+    service_connections = 4;
+    service_ops_per_connection = 10_000;
+    out_path = "BENCH_2.json" }
 
 let smoke_config =
   { trials = 3;
@@ -29,6 +37,10 @@ let smoke_config =
     sim_n = 4;
     sim_k = 2;
     sim_ops_per_process = 64;
+    service_shards = [ 2 ];
+    service_pipeline = [ 1; 8 ];
+    service_connections = 2;
+    service_ops_per_connection = 300;
     out_path = Filename.concat (Filename.get_temp_dir_name ()) "BENCH_smoke.json" }
 
 (* ------------------------------------------------------------------ *)
@@ -122,6 +134,60 @@ let maxreg_throughput cfg =
     cfg.domains
 
 (* ------------------------------------------------------------------ *)
+(* Service layer: end-to-end throughput through the wire protocol      *)
+(* ------------------------------------------------------------------ *)
+
+(* Each cell starts a fresh server on a private Unix socket, drives it
+   with the closed-loop load generator and records throughput plus
+   latency percentiles; the accuracy self-check counter doubles as an
+   end-to-end correctness gate for the benchmark itself. *)
+let service_throughput cfg =
+  List.concat_map
+    (fun shards ->
+      List.map
+        (fun pipeline ->
+          let path =
+            Filename.concat
+              (Filename.get_temp_dir_name ())
+              (Printf.sprintf "approx_bench_%d_%d_%d.sock" (Unix.getpid ())
+                 shards pipeline)
+          in
+          let config = { Service.Server.default_config with shards } in
+          let srv = Service.Server.start ~config ~listen:(`Unix path) () in
+          let r =
+            Fun.protect
+              ~finally:(fun () -> Service.Server.stop srv)
+              (fun () ->
+                let lg =
+                  { Service.Loadgen.default_config with
+                    connections = cfg.service_connections;
+                    ops_per_connection = cfg.service_ops_per_connection;
+                    pipeline;
+                    seed = 42 }
+                in
+                let r = Service.Loadgen.run ~addr:(Service.Server.sockaddr srv) lg in
+                let acc =
+                  Service.Metrics.acc_violations_total (Service.Server.metrics srv)
+                in
+                (r, acc))
+          in
+          let lg_r, acc = r in
+          J.Obj
+            [ ("shards", J.Int shards);
+              ("pipeline", J.Int pipeline);
+              ("connections", J.Int cfg.service_connections);
+              ("ops_per_connection", J.Int cfg.service_ops_per_connection);
+              ("ok", J.Int lg_r.Service.Loadgen.ok);
+              ("busy", J.Int lg_r.Service.Loadgen.busy);
+              ("errors", J.Int lg_r.Service.Loadgen.errors);
+              ("ops_per_sec", J.Float lg_r.Service.Loadgen.ops_per_sec);
+              ("p50_ns", J.Int lg_r.Service.Loadgen.p50_ns);
+              ("p99_ns", J.Int lg_r.Service.Loadgen.p99_ns);
+              ("acc_violations", J.Int acc) ])
+        cfg.service_pipeline)
+    cfg.service_shards
+
+(* ------------------------------------------------------------------ *)
 (* Simulator amortized-step metrics (Theorem III.9, Algorithm 1)       *)
 (* ------------------------------------------------------------------ *)
 
@@ -164,7 +230,7 @@ let simulator_metrics cfg =
 
 let bench_json cfg =
   J.Obj
-    [ ("schema_version", J.Int 1);
+    [ ("schema_version", J.Int 2);
       ("suite", J.Str "approx_objects perf pipeline");
       ("host",
        J.Obj
@@ -176,9 +242,17 @@ let bench_json cfg =
          [ ("trials", J.Int cfg.trials);
            ("warmup_trials", J.Int cfg.warmup_trials);
            ("ops_per_domain", J.Int cfg.ops_per_domain);
-           ("domains", J.List (List.map (fun d -> J.Int d) cfg.domains)) ]);
+           ("domains", J.List (List.map (fun d -> J.Int d) cfg.domains));
+           ("service_shards",
+            J.List (List.map (fun s -> J.Int s) cfg.service_shards));
+           ("service_pipeline",
+            J.List (List.map (fun w -> J.Int w) cfg.service_pipeline));
+           ("service_connections", J.Int cfg.service_connections);
+           ("service_ops_per_connection",
+            J.Int cfg.service_ops_per_connection) ]);
       ("counter_throughput", J.List (counter_throughput cfg));
       ("maxreg_throughput", J.List (maxreg_throughput cfg));
+      ("service", J.List (service_throughput cfg));
       ("simulator", J.Obj [ ("algorithm1", simulator_metrics cfg) ]) ]
 
 let run ?(quiet = false) cfg =
@@ -213,6 +287,26 @@ let run ?(quiet = false) cfg =
                   (num "ops_per_sec_median" /. 1e6)
                   (num "ops_per_sec_min" /. 1e6)
                   (num "ops_per_sec_max" /. 1e6)
+              | _ -> ())
+            rows
+        | _ -> ());
+       (match List.assoc_opt "service" fields with
+        | Some (J.List rows) ->
+          List.iter
+            (fun row ->
+              match row with
+              | J.Obj r ->
+                let num k' =
+                  match List.assoc_opt k' r with
+                  | Some (J.Float f) -> f
+                  | Some (J.Int i) -> float_of_int i
+                  | _ -> Float.nan
+                in
+                Printf.printf
+                  "  service   shards=%.0f window=%-3.0f  %8.2f kops/s  p50 %6.0f ns  p99 %8.0f ns  busy=%.0f\n"
+                  (num "shards") (num "pipeline")
+                  (num "ops_per_sec" /. 1e3)
+                  (num "p50_ns") (num "p99_ns") (num "busy")
               | _ -> ())
             rows
         | _ -> ())

@@ -3,9 +3,12 @@
     One entry point produces the whole performance record for a
     revision: multicore throughput (k-counter and max-register vs their
     exact baselines, across domain counts and operation mixes, each
-    summarised as min/median/max over repeated trials) plus the
-    simulator's amortized step metrics for Algorithm 1 (the measured
-    form of Theorem III.9). The record is serialized with
+    summarised as min/median/max over repeated trials), end-to-end
+    service-layer throughput and latency percentiles (the sharded
+    server of {!Service.Server} driven by {!Service.Loadgen} over the
+    wire protocol, swept across shard counts and pipeline windows),
+    plus the simulator's amortized step metrics for Algorithm 1 (the
+    measured form of Theorem III.9). The record is serialized with
     {!Mcore.Bench_json} so successive revisions can be diffed —
     a durable perf trajectory rather than one-off console tables.
 
@@ -20,14 +23,19 @@ type config = {
   sim_n : int;  (** simulator: processes *)
   sim_k : int;  (** simulator: accuracy parameter *)
   sim_ops_per_process : int;  (** simulator: ops per process *)
+  service_shards : int list;  (** service: shard counts to sweep *)
+  service_pipeline : int list;  (** service: in-flight windows to sweep *)
+  service_connections : int;  (** service: loadgen connections *)
+  service_ops_per_connection : int;  (** service: ops per connection *)
   out_path : string;  (** where to write the JSON record *)
 }
 
 val default_config : config
 (** 5 trials x 100k ops/domain over {!Mcore.Throughput.sweep_domains}
     (always including domains = 1 and 2); simulator at n = 16,
-    k = ceil(sqrt n) = 4, 2048 ops/process; writes [BENCH_1.json] in
-    the current directory. *)
+    k = ceil(sqrt n) = 4, 2048 ops/process; service swept over
+    shards {1, 2, 4} x windows {1, 8, 32} with 4 connections x 10k
+    ops; writes [BENCH_2.json] in the current directory. *)
 
 val smoke_config : config
 (** Tiny counts (3 trials x 500 ops, 64 sim ops) for the [dune runtest]

@@ -1,0 +1,61 @@
+type 'a t = {
+  slots : 'a option array;
+  mutable head : int;  (* next pop *)
+  mutable tail : int;  (* next push *)
+  mutable size : int;
+  mutable closed : bool;
+  mu : Mutex.t;
+  nonempty : Condition.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bqueue.create: capacity < 1";
+  { slots = Array.make capacity None;
+    head = 0;
+    tail = 0;
+    size = 0;
+    closed = false;
+    mu = Mutex.create ();
+    nonempty = Condition.create () }
+
+let capacity t = Array.length t.slots
+
+let try_push t x =
+  Mutex.lock t.mu;
+  let ok = (not t.closed) && t.size < capacity t in
+  if ok then begin
+    t.slots.(t.tail) <- Some x;
+    t.tail <- (t.tail + 1) mod capacity t;
+    t.size <- t.size + 1;
+    if t.size = 1 then Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.mu;
+  ok
+
+let pop_batch t ~max dst =
+  let max = min max (Array.length dst) in
+  Mutex.lock t.mu;
+  while t.size = 0 && not t.closed do
+    Condition.wait t.nonempty t.mu
+  done;
+  let n = min max t.size in
+  for i = 0 to n - 1 do
+    dst.(i) <- t.slots.(t.head);
+    t.slots.(t.head) <- None;
+    t.head <- (t.head + 1) mod capacity t
+  done;
+  t.size <- t.size - n;
+  Mutex.unlock t.mu;
+  n
+
+let close t =
+  Mutex.lock t.mu;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mu
+
+let length t =
+  Mutex.lock t.mu;
+  let n = t.size in
+  Mutex.unlock t.mu;
+  n

@@ -1,0 +1,29 @@
+(** Bounded blocking MPSC queue between the I/O domain and a shard.
+
+    The bound is the backpressure mechanism: {!try_push} never blocks
+    and never grows the queue — when the shard is saturated the caller
+    gets [false] back and answers the client with BUSY instead of
+    buffering unboundedly. {!pop_batch} is the batching mechanism: one
+    blocking call drains up to [max] queued items, so a shard that
+    falls behind amortises its wakeups over whole batches. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Enqueue without blocking; [false] if the queue is full or
+    closed. *)
+
+val pop_batch : 'a t -> max:int -> 'a option array -> int
+(** Block until at least one item is queued (or the queue is closed),
+    then dequeue up to [min max (Array.length dst)] items into
+    [dst.(0 ..)] and return how many. Returns [0] only when the queue
+    is closed {e and} drained — the consumer's termination signal. *)
+
+val close : 'a t -> unit
+(** Reject further pushes and wake the consumer; already-queued items
+    still drain. Idempotent. *)
+
+val length : 'a t -> int

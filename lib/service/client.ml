@@ -1,0 +1,105 @@
+type t = {
+  fd : Unix.file_descr;
+  mutable rbuf : Bytes.t;
+  mutable roff : int;  (* consumed prefix *)
+  mutable rlen : int;  (* valid bytes (roff <= rlen) *)
+  out : Buffer.t;
+  mutable next_id : int;
+}
+
+let connect addr =
+  let domain = Unix.domain_of_sockaddr addr in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error _ -> () (* Unix-domain sockets *));
+  { fd;
+    rbuf = Bytes.create 65536;
+    roff = 0;
+    rlen = 0;
+    out = Buffer.create 4096;
+    next_id = 0 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- Wire.mask_id (id + 1);
+  id
+
+let send t req = Wire.encode_request t.out req
+
+let flush t =
+  let b = Buffer.to_bytes t.out in
+  Buffer.clear t.out;
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write t.fd b !off (len - !off)
+  done
+
+let compact t =
+  if t.roff = t.rlen then begin
+    t.roff <- 0;
+    t.rlen <- 0
+  end
+  else if t.rlen = Bytes.length t.rbuf then begin
+    Bytes.blit t.rbuf t.roff t.rbuf 0 (t.rlen - t.roff);
+    t.rlen <- t.rlen - t.roff;
+    t.roff <- 0
+  end
+
+let rec recv t =
+  match Wire.decode_response t.rbuf ~off:t.roff ~len:(t.rlen - t.roff) with
+  | Wire.Decoded (resp, consumed) ->
+    t.roff <- t.roff + consumed;
+    if t.roff = t.rlen then compact t;
+    resp
+  | Wire.Oversized n ->
+    failwith (Printf.sprintf "Service.Client.recv: oversized frame (%d)" n)
+  | Wire.Malformed m -> failwith ("Service.Client.recv: malformed frame: " ^ m)
+  | Wire.Need_more ->
+    compact t;
+    if t.rlen = Bytes.length t.rbuf then begin
+      (* A frame larger than the buffer: grow (bounded by the protocol
+         cap, which [decode_response] enforces first). *)
+      let nb = Bytes.create (2 * Bytes.length t.rbuf) in
+      Bytes.blit t.rbuf 0 nb 0 t.rlen;
+      t.rbuf <- nb
+    end;
+    let n = Unix.read t.fd t.rbuf t.rlen (Bytes.length t.rbuf - t.rlen) in
+    if n = 0 then raise End_of_file;
+    t.rlen <- t.rlen + n;
+    recv t
+
+let roundtrip t req =
+  send t req;
+  flush t;
+  let resp = recv t in
+  if Wire.response_id resp <> Wire.request_id req then
+    failwith "Service.Client: response id does not match request id";
+  resp
+
+let inc t name = roundtrip t (Wire.Inc { id = fresh_id t; name })
+let read_op t name = roundtrip t (Wire.Read { id = fresh_id t; name })
+
+let write t name value =
+  roundtrip t (Wire.Write { id = fresh_id t; name; value })
+
+let read_value t name =
+  match read_op t name with
+  | Wire.Value { value; _ } -> value
+  | _ -> failwith ("Service.Client.read_value: non-Value reply for " ^ name)
+
+let ping t =
+  match roundtrip t (Wire.Ping { id = fresh_id t }) with
+  | Wire.Pong _ -> true
+  | _ -> false
+
+let stats_json t =
+  match roundtrip t (Wire.Stats { id = fresh_id t }) with
+  | Wire.Stats_json { json; _ } -> json
+  | _ -> failwith "Service.Client.stats_json: non-STATS reply"

@@ -1,0 +1,53 @@
+(** Client library for the approximate-object service.
+
+    A client owns one blocking socket. Requests can be issued two
+    ways:
+
+    - {e convenience}: {!inc} / {!read_value} / {!write} / {!ping} /
+      {!stats_json} send one request, flush, and block for its
+      response.
+    - {e pipelined}: {!send} buffers encoded requests locally,
+      {!flush} pushes the whole buffer in one write (which is what
+      makes the server's read batching kick in), {!recv} blocks for
+      the next response. Responses carry the echoed request id; the
+      server may interleave BUSY replies ahead of earlier object ops,
+      so match on ids, not arrival order.
+
+    Clients are not domain-safe: one client per domain. *)
+
+type t
+
+val connect : Unix.sockaddr -> t
+(** @raise Unix.Unix_error if the server is unreachable. *)
+
+val close : t -> unit
+
+val fresh_id : t -> int
+(** Next request id (increments per call, wraps at 2^32). *)
+
+(** {2 Pipelined interface} *)
+
+val send : t -> Wire.request -> unit
+(** Encode into the local buffer; nothing hits the socket yet. *)
+
+val flush : t -> unit
+(** Write the buffered requests in one coalesced write. *)
+
+val recv : t -> Wire.response
+(** Block until one full response frame arrives.
+    @raise End_of_file if the server closes the connection.
+    @raise Failure on an undecodable or oversized response. *)
+
+(** {2 Synchronous convenience ops} *)
+
+val inc : t -> string -> Wire.response
+val read_op : t -> string -> Wire.response
+val write : t -> string -> int -> Wire.response
+
+val read_value : t -> string -> int
+(** @raise Failure unless the reply is [Value]. *)
+
+val ping : t -> bool
+val stats_json : t -> string
+(** The server's metrics registry as JSON text.
+    @raise Failure unless the reply is [Stats_json]. *)

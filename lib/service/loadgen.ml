@@ -1,0 +1,109 @@
+type config = {
+  connections : int;
+  ops_per_connection : int;
+  pipeline : int;
+  read_permille : int;
+  targets : string list;
+  seed : int;
+}
+
+let default_config =
+  { connections = 4;
+    ops_per_connection = 10_000;
+    pipeline = 8;
+    read_permille = 200;
+    targets = [ "c0"; "c1"; "c2"; "c3" ];
+    seed = 1 }
+
+type result = {
+  ok : int;
+  busy : int;
+  errors : int;
+  elapsed_s : float;
+  ops_per_sec : float;
+  p50_ns : int;
+  p99_ns : int;
+  latency : Histogram.t;
+}
+
+(* SplitMix-style step: deterministic per (seed, connection). *)
+let next state =
+  state := (!state * 2862933555777941757) + 3037000493;
+  (!state lsr 33) land max_int
+
+let worker ~addr ~cfg ~cid ~start =
+  let client = Client.connect addr in
+  let hist = Histogram.create () in
+  let ok = ref 0 and busy = ref 0 and errors = ref 0 in
+  let targets = Array.of_list cfg.targets in
+  let send_times = Array.make cfg.pipeline 0.0 in
+  let state = ref ((cfg.seed * 0x9E3779B9) + cid + 1) in
+  while not (Atomic.get start) do
+    Domain.cpu_relax ()
+  done;
+  let sent = ref 0 and completed = ref 0 in
+  while !completed < cfg.ops_per_connection do
+    while
+      !sent < cfg.ops_per_connection && !sent - !completed < cfg.pipeline
+    do
+      let id = !sent in
+      let r = next state in
+      let name = targets.(r mod Array.length targets) in
+      let is_read = (r / 64) mod 1000 < cfg.read_permille in
+      send_times.(id mod cfg.pipeline) <- Unix.gettimeofday ();
+      Client.send client
+        (if is_read then Wire.Read { id; name } else Wire.Inc { id; name });
+      incr sent
+    done;
+    Client.flush client;
+    let resp = Client.recv client in
+    let id = Wire.response_id resp in
+    Histogram.record hist
+      (int_of_float
+         ((Unix.gettimeofday () -. send_times.(id mod cfg.pipeline)) *. 1e9));
+    (match resp with
+     | Wire.Value _ -> incr ok
+     | Wire.Busy _ -> incr busy
+     | Wire.Unknown_object _ | Wire.Bad_request _ -> incr errors
+     | Wire.Stats_json _ | Wire.Pong _ -> incr errors);
+    incr completed
+  done;
+  Client.close client;
+  (hist, !ok, !busy, !errors)
+
+let run ~addr cfg =
+  if cfg.connections < 1 then invalid_arg "Loadgen.run: connections < 1";
+  if cfg.ops_per_connection < 1 then invalid_arg "Loadgen.run: ops < 1";
+  if cfg.pipeline < 1 then invalid_arg "Loadgen.run: pipeline < 1";
+  if cfg.targets = [] then invalid_arg "Loadgen.run: no targets";
+  if cfg.read_permille < 0 || cfg.read_permille > 1000 then
+    invalid_arg "Loadgen.run: read_permille outside 0..1000";
+  let start = Atomic.make false in
+  let domains =
+    Array.init cfg.connections (fun cid ->
+        Domain.spawn (fun () -> worker ~addr ~cfg ~cid ~start))
+  in
+  let t0 = Unix.gettimeofday () in
+  Atomic.set start true;
+  let parts = Array.map Domain.join domains in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let latency = Histogram.create () in
+  let ok = ref 0 and busy = ref 0 and errors = ref 0 in
+  Array.iter
+    (fun (h, o, b, e) ->
+      Histogram.merge ~into:latency h;
+      ok := !ok + o;
+      busy := !busy + b;
+      errors := !errors + e)
+    parts;
+  let completed = !ok + !busy + !errors in
+  { ok = !ok;
+    busy = !busy;
+    errors = !errors;
+    elapsed_s;
+    ops_per_sec =
+      (if elapsed_s > 0.0 then float_of_int completed /. elapsed_s
+       else Float.infinity);
+    p50_ns = Histogram.percentile latency 0.5;
+    p99_ns = Histogram.percentile latency 0.99;
+    latency }

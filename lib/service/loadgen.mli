@@ -1,0 +1,38 @@
+(** Closed-loop load generator for the service: the measurement side
+    of the BENCH `service` experiment.
+
+    Each connection runs on its own domain with a window of at most
+    [pipeline] requests in flight: it tops the window up, flushes the
+    batch in one write, then blocks for a response — so client-side
+    latency includes queueing, shard execution and both coalesced
+    I/O paths. Op choice (target object, inc vs read) is a seeded LCG,
+    so a given config replays the same op sequence. *)
+
+type config = {
+  connections : int;  (** Client domains. *)
+  ops_per_connection : int;
+  pipeline : int;  (** In-flight window per connection (>= 1). *)
+  read_permille : int;  (** Reads per 1000 ops; the rest increment. *)
+  targets : string list;  (** Counter objects to drive. *)
+  seed : int;
+}
+
+val default_config : config
+(** 4 connections x 10_000 ops, pipeline 8, 200 permille reads,
+    targets [c0 .. c3], seed 1. *)
+
+type result = {
+  ok : int;  (** [Value] replies. *)
+  busy : int;  (** BUSY backpressure replies. *)
+  errors : int;  (** Unknown-object / bad-request replies. *)
+  elapsed_s : float;
+  ops_per_sec : float;  (** Completed responses per second. *)
+  p50_ns : int;
+  p99_ns : int;
+  latency : Histogram.t;  (** Merged client-side latency. *)
+}
+
+val run : addr:Unix.sockaddr -> config -> result
+(** Connect, release all connections through a start barrier, run to
+    completion, merge per-connection results.
+    @raise Invalid_argument on a nonsensical config. *)

@@ -1,0 +1,141 @@
+module J = Mcore.Bench_json
+
+type obj = {
+  o_name : string;
+  o_kind : string;
+  o_shard : int;
+  mutable incs : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable rejects : int;
+  mutable acc_checks : int;
+  mutable acc_violations : int;
+  mutable last_served : int;
+  mutable last_exact : int;
+}
+
+type shard = {
+  s_shard : int;
+  mutable tasks : int;
+  mutable batches : int;
+  mutable max_batch : int;
+  s_latency : Histogram.t;
+}
+
+(* I/O-domain-owned counters live in their own padded record so they
+   never share a cache line with a shard's. *)
+type io_counters = {
+  mutable accepted : int;
+  mutable closed : int;
+  mutable busy_replies : int;
+  mutable protocol_errors : int;
+  mutable oversized_frames : int;
+  mutable stats_requests : int;
+}
+
+type t = {
+  shards : shard array;
+  mutable objs : obj list;  (* reversed registration order; build phase only *)
+  io : io_counters;
+  m_read_batch : Histogram.t;
+}
+
+let create ~shards =
+  if shards < 1 then invalid_arg "Metrics.create: shards < 1";
+  { shards =
+      Array.init shards (fun s ->
+          Backend.Padded.copy
+            { s_shard = s;
+              tasks = 0;
+              batches = 0;
+              max_batch = 0;
+              s_latency = Histogram.create () });
+    objs = [];
+    io =
+      Backend.Padded.copy
+        { accepted = 0;
+          closed = 0;
+          busy_replies = 0;
+          protocol_errors = 0;
+          oversized_frames = 0;
+          stats_requests = 0 };
+    m_read_batch = Histogram.create () }
+
+let add_obj t ~name ~kind ~shard =
+  let o =
+    Backend.Padded.copy
+      { o_name = name;
+        o_kind = kind;
+        o_shard = shard;
+        incs = 0;
+        reads = 0;
+        writes = 0;
+        rejects = 0;
+        acc_checks = 0;
+        acc_violations = 0;
+        last_served = 0;
+        last_exact = 0 }
+  in
+  t.objs <- o :: t.objs;
+  o
+
+let shard t s = t.shards.(s)
+let objects t = List.rev t.objs
+let read_batch t = t.m_read_batch
+let conn_accepted t = t.io.accepted <- t.io.accepted + 1
+let conn_closed t = t.io.closed <- t.io.closed + 1
+let busy_reply t = t.io.busy_replies <- t.io.busy_replies + 1
+let protocol_error t = t.io.protocol_errors <- t.io.protocol_errors + 1
+let oversized_frame t = t.io.oversized_frames <- t.io.oversized_frames + 1
+let stats_request t = t.io.stats_requests <- t.io.stats_requests + 1
+let accepted t = t.io.accepted
+let closed t = t.io.closed
+let busy_replies t = t.io.busy_replies
+let protocol_errors t = t.io.protocol_errors
+let oversized_frames t = t.io.oversized_frames
+
+let total_ops t =
+  List.fold_left
+    (fun acc o -> acc + o.incs + o.reads + o.writes)
+    0 t.objs
+
+let acc_violations_total t =
+  List.fold_left (fun acc o -> acc + o.acc_violations) 0 t.objs
+
+let obj_json o =
+  J.Obj
+    [ ("name", J.Str o.o_name);
+      ("kind", J.Str o.o_kind);
+      ("shard", J.Int o.o_shard);
+      ("incs", J.Int o.incs);
+      ("reads", J.Int o.reads);
+      ("writes", J.Int o.writes);
+      ("rejects", J.Int o.rejects);
+      ("acc_checks", J.Int o.acc_checks);
+      ("acc_violations", J.Int o.acc_violations);
+      ("last_served", J.Int o.last_served);
+      ("last_exact", J.Int o.last_exact) ]
+
+let shard_json s =
+  J.Obj
+    [ ("shard", J.Int s.s_shard);
+      ("tasks", J.Int s.tasks);
+      ("batches", J.Int s.batches);
+      ("max_batch", J.Int s.max_batch);
+      ("latency_ns", Histogram.to_json s.s_latency) ]
+
+let to_json t =
+  J.Obj
+    [ ("server",
+       J.Obj
+         [ ("connections_accepted", J.Int t.io.accepted);
+           ("connections_closed", J.Int t.io.closed);
+           ("busy_replies", J.Int t.io.busy_replies);
+           ("protocol_errors", J.Int t.io.protocol_errors);
+           ("oversized_frames", J.Int t.io.oversized_frames);
+           ("stats_requests", J.Int t.io.stats_requests);
+           ("total_ops", J.Int (total_ops t));
+           ("acc_violations_total", J.Int (acc_violations_total t)) ]);
+      ("read_batch", Histogram.to_json t.m_read_batch);
+      ("shards", J.List (Array.to_list (Array.map shard_json t.shards)));
+      ("objects", J.List (List.map obj_json (objects t))) ]

@@ -1,0 +1,77 @@
+(** The service observability registry: per-object op counters,
+    per-shard latency histograms, I/O-layer counters and the
+    k-multiplicative accuracy self-check results, exported as one JSON
+    document through the STATS protocol op.
+
+    Ownership discipline instead of locks: every mutable field has a
+    single writing domain — an {!obj} or {!shard} record is written
+    only by the shard that owns it, the connection-level counters only
+    by the I/O domain. Readers (the STATS handler, tests) may look at
+    any field from any domain and observe a momentarily stale but
+    memory-safe snapshot; OCaml immediate ints never tear. Shard and
+    object records are cache-line padded so two shards bumping their
+    own counters never share a line. *)
+
+type obj = {
+  o_name : string;
+  o_kind : string;  (** ["kcounter"], ["faa"], ["kmaxreg"], ["cas-maxreg"] *)
+  o_shard : int;
+  mutable incs : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable rejects : int;  (** WRITEs refused as [Bad_request] (value out of range) *)
+  mutable acc_checks : int;
+      (** Reads compared against the debug exact object (approximate
+          kinds only). *)
+  mutable acc_violations : int;
+      (** Comparisons outside the k-multiplicative envelope — any
+          non-zero value is a bug in the served algorithm. *)
+  mutable last_served : int;
+  mutable last_exact : int;
+}
+
+type shard = {
+  s_shard : int;
+  mutable tasks : int;  (** Requests executed by this shard. *)
+  mutable batches : int;  (** Queue drains (>= 1 task each). *)
+  mutable max_batch : int;
+  s_latency : Histogram.t;
+      (** Nanoseconds from I/O-domain enqueue to response encoded. *)
+}
+
+type t
+
+val create : shards:int -> t
+
+val add_obj : t -> name:string -> kind:string -> shard:int -> obj
+(** Register an object at server construction time (before any domain
+    shares [t]). *)
+
+val shard : t -> int -> shard
+val objects : t -> obj list
+
+val read_batch : t -> Histogram.t
+(** Requests decoded per read syscall (the I/O batching histogram;
+    I/O-domain single-writer). *)
+
+(** I/O-domain counters. *)
+
+val conn_accepted : t -> unit
+val conn_closed : t -> unit
+val busy_reply : t -> unit
+val protocol_error : t -> unit
+val oversized_frame : t -> unit
+val stats_request : t -> unit
+
+val accepted : t -> int
+val closed : t -> int
+val busy_replies : t -> int
+val protocol_errors : t -> int
+val oversized_frames : t -> int
+
+val total_ops : t -> int
+(** Sum of all per-object op counters (racy snapshot). *)
+
+val acc_violations_total : t -> int
+
+val to_json : t -> Mcore.Bench_json.t

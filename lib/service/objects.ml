@@ -1,0 +1,153 @@
+type kind =
+  | Kcounter of { k : int }
+  | Faa
+  | Kmaxreg of { k : int; m : int }
+  | Cas_maxreg
+
+type spec = { name : string; kind : kind }
+
+let kind_label = function
+  | Kcounter _ -> "kcounter"
+  | Faa -> "faa"
+  | Kmaxreg _ -> "kmaxreg"
+  | Cas_maxreg -> "cas-maxreg"
+
+let is_counter = function
+  | Kcounter _ | Faa -> true
+  | Kmaxreg _ | Cas_maxreg -> false
+
+let default_specs ~counters ~k =
+  if counters < 1 then invalid_arg "Objects.default_specs: counters < 1";
+  if k < 2 then invalid_arg "Objects.default_specs: k < 2";
+  List.init counters (fun i ->
+      { name = Printf.sprintf "c%d" i; kind = Kcounter { k } })
+  @ [ { name = "faa"; kind = Faa };
+      { name = "kmaxreg"; kind = Kmaxreg { k; m = 1 lsl 30 } };
+      { name = "cas-maxreg"; kind = Cas_maxreg } ]
+
+(* The debug exact shadow is a plain mutable int: the owning shard is
+   the only writer and compares in the same serialised step. *)
+type impl =
+  | I_kcounter of Mcore.Mc_kcounter.t * int ref * int  (* counter, exact, k *)
+  | I_faa of Mcore.Mc_baselines.Faa_counter.t
+  | I_kmaxreg of Mcore.Mc_kmaxreg.t * int ref * int * int  (* reg, exact, k, m *)
+  | I_casmax of Mcore.Mc_baselines.Cas_maxreg.t
+
+type obj = { o_spec : spec; o_shard : int; impl : impl; o_stats : Metrics.obj }
+
+let spec o = o.o_spec
+let shard_of o = o.o_shard
+let stats o = o.o_stats
+
+type table = { by_name : (string, obj) Hashtbl.t; order : obj list }
+
+let shard_of_name ~shards name = Hashtbl.hash name mod shards
+
+let build ~metrics ~shards specs =
+  if specs = [] then invalid_arg "Objects.build: no objects";
+  let by_name = Hashtbl.create 64 in
+  let order =
+    List.map
+      (fun s ->
+        if Hashtbl.mem by_name s.name then
+          invalid_arg ("Objects.build: duplicate object name " ^ s.name);
+        if String.length s.name > Wire.max_name_len || s.name = "" then
+          invalid_arg ("Objects.build: bad object name " ^ s.name);
+        let shard = shard_of_name ~shards s.name in
+        let impl =
+          match s.kind with
+          | Kcounter { k } ->
+            I_kcounter (Mcore.Mc_kcounter.create ~n:shards ~k (), ref 0, k)
+          | Faa -> I_faa (Mcore.Mc_baselines.Faa_counter.create ())
+          | Kmaxreg { k; m } ->
+            I_kmaxreg (Mcore.Mc_kmaxreg.create ~m ~k (), ref 0, k, m)
+          | Cas_maxreg -> I_casmax (Mcore.Mc_baselines.Cas_maxreg.create ())
+        in
+        let o =
+          { o_spec = s;
+            o_shard = shard;
+            impl;
+            o_stats =
+              Metrics.add_obj metrics ~name:s.name ~kind:(kind_label s.kind)
+                ~shard }
+        in
+        Hashtbl.add by_name s.name o;
+        o)
+      specs
+  in
+  { by_name; order }
+
+let find t name = Hashtbl.find_opt t.by_name name
+let to_list t = t.order
+
+(* ------------------------------------------------------------------ *)
+(* Operations (owning shard only)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let inc o ~pid =
+  match o.impl with
+  | I_kcounter (c, exact, _) ->
+    Mcore.Mc_kcounter.increment c ~pid;
+    incr exact;
+    o.o_stats.incs <- o.o_stats.incs + 1;
+    Ok 0
+  | I_faa c ->
+    Mcore.Mc_baselines.Faa_counter.increment c;
+    o.o_stats.incs <- o.o_stats.incs + 1;
+    Ok 0
+  | I_kmaxreg _ | I_casmax _ ->
+    o.o_stats.rejects <- o.o_stats.rejects + 1;
+    Error ()
+
+(* [lower_exact]: Algorithm 2 rounds up to a power of k, so a max
+   register must additionally serve [>= exact]; Algorithm 1 may round
+   either way within [exact/k .. exact*k]. *)
+let accuracy_check o ~k ~served ~exact ~lower_exact =
+  o.o_stats.acc_checks <- o.o_stats.acc_checks + 1;
+  o.o_stats.last_served <- served;
+  o.o_stats.last_exact <- exact;
+  let ok =
+    Zmath.within_k ~k ~exact served && ((not lower_exact) || served >= exact)
+  in
+  if not ok then o.o_stats.acc_violations <- o.o_stats.acc_violations + 1
+
+let read o ~pid =
+  o.o_stats.reads <- o.o_stats.reads + 1;
+  match o.impl with
+  | I_kcounter (c, exact, k) ->
+    let served = Mcore.Mc_kcounter.read c ~pid in
+    accuracy_check o ~k ~served ~exact:!exact ~lower_exact:false;
+    served
+  | I_faa c -> Mcore.Mc_baselines.Faa_counter.read c
+  | I_kmaxreg (r, exact, k, _) ->
+    let served = Mcore.Mc_kmaxreg.read r in
+    accuracy_check o ~k ~served ~exact:!exact ~lower_exact:true;
+    served
+  | I_casmax r -> Mcore.Mc_baselines.Cas_maxreg.read r
+
+let write o ~pid:_ v =
+  match o.impl with
+  | I_kmaxreg (r, exact, _, m) ->
+    if v < 0 || v >= m then begin
+      o.o_stats.rejects <- o.o_stats.rejects + 1;
+      Error ()
+    end
+    else begin
+      Mcore.Mc_kmaxreg.write r v;
+      if v > !exact then exact := v;
+      o.o_stats.writes <- o.o_stats.writes + 1;
+      Ok 0
+    end
+  | I_casmax r ->
+    if v < 0 then begin
+      o.o_stats.rejects <- o.o_stats.rejects + 1;
+      Error ()
+    end
+    else begin
+      Mcore.Mc_baselines.Cas_maxreg.write r v;
+      o.o_stats.writes <- o.o_stats.writes + 1;
+      Ok 0
+    end
+  | I_kcounter _ | I_faa _ ->
+    o.o_stats.rejects <- o.o_stats.rejects + 1;
+    Error ()

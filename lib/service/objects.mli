@@ -1,0 +1,67 @@
+(** The table of named objects a server hosts: the paper's
+    k-multiplicative counter (Algorithm 1) and max register
+    (Algorithm 2) in their multicore [Atomic_backend] instantiations,
+    plus the exact baselines they are traded off against.
+
+    Routing: an object's name hashes to one shard, which owns the
+    object for its lifetime — every INC/READ/WRITE on it executes on
+    that shard's domain with [pid = shard]. Single-shard ownership
+    serialises each object's operations, which makes the accuracy
+    self-check exact: at the moment a READ executes there is no
+    concurrent increment, so the served value must satisfy the
+    k-multiplicative envelope against the debug exact counter, not
+    just up to a race. The envelope is still the multicore code path —
+    the algorithm instances are created with [n = shards] and run on
+    whatever domain owns the shard.
+
+    The table is immutable after {!build}; lookups from the I/O domain
+    race with nothing. *)
+
+type kind =
+  | Kcounter of { k : int }  (** Algorithm 1 + a debug exact count. *)
+  | Faa  (** Exact fetch&add baseline counter. *)
+  | Kmaxreg of { k : int; m : int }  (** Algorithm 2 + a debug exact max. *)
+  | Cas_maxreg  (** Exact CAS-loop baseline max register. *)
+
+type spec = { name : string; kind : kind }
+
+val kind_label : kind -> string
+val is_counter : kind -> bool
+
+val default_specs : counters:int -> k:int -> spec list
+(** [counters] k-counters named [c0 .. c<n-1>], one [faa] baseline,
+    one [kmaxreg] (bound [2^30]) and one [cas-maxreg] — the default
+    serving set.
+    @raise Invalid_argument if [counters < 1] or [k < 2]. *)
+
+type obj
+
+val spec : obj -> spec
+val shard_of : obj -> int
+val stats : obj -> Metrics.obj
+
+type table
+
+val build : metrics:Metrics.t -> shards:int -> spec list -> table
+(** Construct every object (build phase, no concurrency).
+    @raise Invalid_argument on duplicate names, empty specs, a name
+    over {!Wire.max_name_len}, or invalid kind parameters. *)
+
+val find : table -> string -> obj option
+val to_list : table -> obj list
+
+(** {2 Operations}
+
+    Called only by the owning shard ([pid] = the object's shard).
+    Each records its op count — and for reads on approximate kinds,
+    the accuracy self-check — into the object's {!Metrics.obj}. *)
+
+val inc : obj -> pid:int -> (int, unit) result
+(** [Ok 0], or [Error ()] for a non-counter object. *)
+
+val read : obj -> pid:int -> int
+(** The served value (any kind). *)
+
+val write : obj -> pid:int -> int -> (int, unit) result
+(** [Ok 0] for an in-range max-register write; [Error ()] for a
+    counter object or an out-of-range value (recorded as a reject). *)

@@ -1,0 +1,405 @@
+type config = {
+  shards : int;
+  queue_capacity : int;
+  max_batch : int;
+  max_pending : int;
+  max_conns : int;
+  specs : Objects.spec list;
+}
+
+let default_config =
+  { shards = 2;
+    queue_capacity = 1024;
+    max_batch = 64;
+    max_pending = 256;
+    max_conns = 1024;
+    specs = Objects.default_specs ~counters:4 ~k:4 }
+
+type listen = [ `Unix of string | `Tcp of string * int ]
+
+(* Connection state is split by owner: [c_in]/[c_in_len] and the flush
+   cursor belong to the I/O domain alone; [c_out] is the only
+   cross-domain field and is guarded by [c_out_mu]; [c_pending] and
+   [c_has_out] are atomics; [c_alive] is written by the I/O domain and
+   read racily by shards (a stale [true] merely encodes a response
+   that is never flushed). *)
+type conn = {
+  c_fd : Unix.file_descr;
+  c_in : Bytes.t;
+  mutable c_in_len : int;
+  c_out_mu : Mutex.t;
+  c_out : Buffer.t;
+  mutable c_flush : Bytes.t;
+  mutable c_flush_off : int;
+  c_pending : int Atomic.t;
+  c_has_out : bool Atomic.t;
+  mutable c_alive : bool;
+}
+
+type task = {
+  t_conn : conn;
+  t_obj : Objects.obj;
+  t_op : [ `Inc | `Read | `Write of int ];
+  t_id : int;
+  t_enq : float;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  addr : Unix.sockaddr;
+  unix_path : string option;
+  metrics : Metrics.t;
+  table : Objects.table;
+  queues : task Bqueue.t array;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  stop_flag : bool Atomic.t;
+  stopped : bool Atomic.t;
+  mutable io_domain : unit Domain.t option;
+  mutable shard_domains : unit Domain.t array;
+}
+
+let sockaddr t = t.addr
+let metrics t = t.metrics
+let table t = t.table
+let config t = t.cfg
+
+(* ------------------------------------------------------------------ *)
+(* Output path (I/O domain and shards)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let wake t =
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1) with
+  | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _) -> ()
+
+(* Append a response to the connection's buffer; any domain. The
+   [exchange] dedups pipe wakeups: only the writer that turns
+   [c_has_out] on pays the syscall. *)
+let enqueue_response t conn resp =
+  if conn.c_alive then begin
+    Mutex.lock conn.c_out_mu;
+    Wire.encode_response conn.c_out resp;
+    Mutex.unlock conn.c_out_mu;
+    if not (Atomic.exchange conn.c_has_out true) then wake t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Shard domains                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let exec_task t shard_id (stats : Metrics.shard) task =
+  let id = task.t_id in
+  let resp =
+    match task.t_op with
+    | `Inc -> (
+      match Objects.inc task.t_obj ~pid:shard_id with
+      | Ok v -> Wire.Value { id; value = v }
+      | Error () -> Wire.Bad_request { id })
+    | `Read -> Wire.Value { id; value = Objects.read task.t_obj ~pid:shard_id }
+    | `Write v -> (
+      match Objects.write task.t_obj ~pid:shard_id v with
+      | Ok r -> Wire.Value { id; value = r }
+      | Error () -> Wire.Bad_request { id })
+  in
+  stats.tasks <- stats.tasks + 1;
+  enqueue_response t task.t_conn resp;
+  Histogram.record stats.s_latency
+    (int_of_float ((Unix.gettimeofday () -. task.t_enq) *. 1e9));
+  ignore (Atomic.fetch_and_add task.t_conn.c_pending (-1))
+
+let shard_loop t shard_id =
+  let q = t.queues.(shard_id) in
+  let stats = Metrics.shard t.metrics shard_id in
+  let batch = Array.make t.cfg.max_batch None in
+  let rec go () =
+    let n = Bqueue.pop_batch q ~max:t.cfg.max_batch batch in
+    if n > 0 then begin
+      stats.batches <- stats.batches + 1;
+      if n > stats.max_batch then stats.max_batch <- n;
+      for i = 0 to n - 1 do
+        (match batch.(i) with
+         | Some task -> exec_task t shard_id stats task
+         | None -> ());
+        batch.(i) <- None
+      done;
+      go ()
+    end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* I/O domain                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let close_conn t conn =
+  if conn.c_alive then begin
+    conn.c_alive <- false;
+    Metrics.conn_closed t.metrics;
+    try Unix.close conn.c_fd with Unix.Unix_error _ -> ()
+  end
+
+let dispatch t conn req =
+  let object_op id name op =
+    match Objects.find t.table name with
+    | None -> enqueue_response t conn (Wire.Unknown_object { id })
+    | Some obj ->
+      if Atomic.get conn.c_pending >= t.cfg.max_pending then begin
+        Metrics.busy_reply t.metrics;
+        enqueue_response t conn (Wire.Busy { id })
+      end
+      else begin
+        let task =
+          { t_conn = conn;
+            t_obj = obj;
+            t_op = op;
+            t_id = id;
+            t_enq = Unix.gettimeofday () }
+        in
+        if Bqueue.try_push t.queues.(Objects.shard_of obj) task then
+          Atomic.incr conn.c_pending
+        else begin
+          Metrics.busy_reply t.metrics;
+          enqueue_response t conn (Wire.Busy { id })
+        end
+      end
+  in
+  match req with
+  | Wire.Stats { id } ->
+    Metrics.stats_request t.metrics;
+    let json = Mcore.Bench_json.to_string (Metrics.to_json t.metrics) in
+    enqueue_response t conn (Wire.Stats_json { id; json })
+  | Wire.Ping { id } -> enqueue_response t conn (Wire.Pong { id })
+  | Wire.Inc { id; name } -> object_op id name `Inc
+  | Wire.Read { id; name } -> object_op id name `Read
+  | Wire.Write { id; name; value } -> object_op id name (`Write value)
+
+(* Parse every complete frame in [c_in] — the read batch — then
+   compact the leftover prefix of the next frame to the front. *)
+let parse_frames t conn =
+  let rec go off frames =
+    match
+      Wire.decode_request conn.c_in ~off ~len:(conn.c_in_len - off)
+    with
+    | Wire.Decoded (req, consumed) ->
+      dispatch t conn req;
+      go (off + consumed) (frames + 1)
+    | Wire.Need_more ->
+      if conn.c_in_len - off >= Bytes.length conn.c_in then begin
+        (* Cannot happen while max_request_payload < buffer size; close
+           rather than spin if the invariant is ever broken. *)
+        Metrics.protocol_error t.metrics;
+        close_conn t conn
+      end
+      else begin
+        if off > 0 then
+          Bytes.blit conn.c_in off conn.c_in 0 (conn.c_in_len - off);
+        conn.c_in_len <- conn.c_in_len - off;
+        if frames > 0 then
+          Histogram.record (Metrics.read_batch t.metrics) frames
+      end
+    | Wire.Oversized _ ->
+      Metrics.oversized_frame t.metrics;
+      Metrics.protocol_error t.metrics;
+      close_conn t conn
+    | Wire.Malformed _ ->
+      Metrics.protocol_error t.metrics;
+      close_conn t conn
+  in
+  go 0 0
+
+let handle_readable t conn =
+  let space = Bytes.length conn.c_in - conn.c_in_len in
+  if space > 0 then
+    match Unix.read conn.c_fd conn.c_in conn.c_in_len space with
+    | 0 -> close_conn t conn
+    | n ->
+      conn.c_in_len <- conn.c_in_len + n;
+      parse_frames t conn
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> close_conn t conn
+
+(* Per-connection output backlog: undrained flush bytes plus whatever
+   shards have buffered. Reading pauses past the watermark, so a
+   client that floods requests without consuming responses bounds its
+   own footprint instead of growing the reply buffer forever. *)
+let out_high_watermark = 1 lsl 18
+
+let out_backlog conn =
+  let pending_flush = Bytes.length conn.c_flush - conn.c_flush_off in
+  Mutex.lock conn.c_out_mu;
+  let buffered = Buffer.length conn.c_out in
+  Mutex.unlock conn.c_out_mu;
+  pending_flush + buffered
+
+let make_conn fd =
+  { c_fd = fd;
+    c_in = Bytes.create 65536;
+    c_in_len = 0;
+    c_out_mu = Mutex.create ();
+    c_out = Buffer.create 4096;
+    c_flush = Bytes.empty;
+    c_flush_off = 0;
+    c_pending = Atomic.make 0;
+    c_has_out = Atomic.make false;
+    c_alive = true }
+
+let rec accept_loop t conns =
+  match Unix.accept ~cloexec:true t.listen_fd with
+  | fd, _ ->
+    if List.length !conns >= t.cfg.max_conns then begin
+      Metrics.conn_accepted t.metrics;
+      Metrics.conn_closed t.metrics;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+    end
+    else begin
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> () (* Unix-domain sockets *));
+      Metrics.conn_accepted t.metrics;
+      conns := make_conn fd :: !conns
+    end;
+    accept_loop t conns
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (EINTR, _, _) -> accept_loop t conns
+  | exception Unix.Unix_error _ -> ()
+
+(* One coalesced write per flushable connection: swap the shared
+   buffer out under its mutex at most once per drained cursor, then
+   push as much as the socket accepts. *)
+let try_flush t conn =
+  if conn.c_flush_off >= Bytes.length conn.c_flush && Atomic.get conn.c_has_out
+  then begin
+    Atomic.set conn.c_has_out false;
+    Mutex.lock conn.c_out_mu;
+    let b = Buffer.to_bytes conn.c_out in
+    Buffer.clear conn.c_out;
+    Mutex.unlock conn.c_out_mu;
+    conn.c_flush <- b;
+    conn.c_flush_off <- 0
+  end;
+  if conn.c_flush_off < Bytes.length conn.c_flush then begin
+    match
+      Unix.write conn.c_fd conn.c_flush conn.c_flush_off
+        (Bytes.length conn.c_flush - conn.c_flush_off)
+    with
+    | n -> conn.c_flush_off <- conn.c_flush_off + n
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> close_conn t conn
+  end
+
+let drain_wake t =
+  let b = Bytes.create 256 in
+  let rec go () =
+    match Unix.read t.wake_r b 0 256 with
+    | 256 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  in
+  go ()
+
+let io_loop t =
+  let conns = ref [] in
+  while not (Atomic.get t.stop_flag) do
+    let rs =
+      t.wake_r :: t.listen_fd
+      :: List.filter_map
+           (fun c ->
+             if c.c_alive && out_backlog c < out_high_watermark then
+               Some c.c_fd
+             else None)
+           !conns
+    in
+    let ws =
+      List.filter_map
+        (fun c ->
+          if
+            c.c_alive
+            && (c.c_flush_off < Bytes.length c.c_flush
+                || Atomic.get c.c_has_out)
+          then Some c.c_fd
+          else None)
+        !conns
+    in
+    (match Unix.select rs ws [] 0.25 with
+     | exception Unix.Unix_error (EINTR, _, _) -> ()
+     | r, _, _ ->
+       if List.mem t.wake_r r then drain_wake t;
+       if List.mem t.listen_fd r then accept_loop t conns;
+       List.iter
+         (fun c -> if c.c_alive && List.mem c.c_fd r then handle_readable t c)
+         !conns;
+       (* Flush everything flushable — including output produced by
+          shards while we were parsing, without waiting a cycle. *)
+       List.iter (fun c -> if c.c_alive then try_flush t c) !conns;
+       conns := List.filter (fun c -> c.c_alive) !conns)
+  done;
+  List.iter (fun c -> close_conn t c) !conns
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bind_listen = function
+  | `Unix path ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 128;
+    (fd, Unix.ADDR_UNIX path, Some path)
+  | `Tcp (host, port) ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    Unix.listen fd 128;
+    (fd, Unix.getsockname fd, None)
+
+let start ?(config = default_config) ~listen () =
+  if config.shards < 1 then invalid_arg "Server.start: shards < 1";
+  if config.queue_capacity < 1 then invalid_arg "Server.start: queue_capacity < 1";
+  if config.max_batch < 1 then invalid_arg "Server.start: max_batch < 1";
+  if config.max_pending < 1 then invalid_arg "Server.start: max_pending < 1";
+  if config.max_conns < 1 then invalid_arg "Server.start: max_conns < 1";
+  let metrics = Metrics.create ~shards:config.shards in
+  let table = Objects.build ~metrics ~shards:config.shards config.specs in
+  let listen_fd, addr, unix_path = bind_listen listen in
+  Unix.set_nonblock listen_fd;
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let t =
+    { cfg = config;
+      listen_fd;
+      addr;
+      unix_path;
+      metrics;
+      table;
+      queues =
+        Array.init config.shards (fun _ ->
+            Bqueue.create ~capacity:config.queue_capacity);
+      wake_r;
+      wake_w;
+      stop_flag = Atomic.make false;
+      stopped = Atomic.make false;
+      io_domain = None;
+      shard_domains = [||] }
+  in
+  t.shard_domains <-
+    Array.init config.shards (fun s -> Domain.spawn (fun () -> shard_loop t s));
+  t.io_domain <- Some (Domain.spawn (fun () -> io_loop t));
+  t
+
+let stop t =
+  if not (Atomic.exchange t.stopped true) then begin
+    Atomic.set t.stop_flag true;
+    wake t;
+    Option.iter Domain.join t.io_domain;
+    Array.iter Bqueue.close t.queues;
+    Array.iter Domain.join t.shard_domains;
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      [ t.listen_fd; t.wake_r; t.wake_w ];
+    Option.iter
+      (fun p -> try Unix.unlink p with Unix.Unix_error _ -> ())
+      t.unix_path
+  end

@@ -1,0 +1,68 @@
+(** The sharded, batched approximate-object server.
+
+    Topology: one I/O domain plus [shards] worker domains. The I/O
+    domain owns every socket: it accepts connections, drains each
+    readable socket with a single [read] that may carry many frames
+    (the read batch), decodes requests and routes each to the queue of
+    the shard that owns the named object ({!Objects}). Each shard
+    domain blocks on its bounded queue, drains up to [max_batch] tasks
+    per wakeup, executes them against the multicore algorithm
+    instances with [pid = shard], and appends the encoded responses to
+    the connection's output buffer — which the I/O domain flushes with
+    single coalesced [write]s.
+
+    Backpressure is explicit and bounded everywhere: a connection may
+    have at most [max_pending] requests in flight and each shard queue
+    holds at most [queue_capacity] tasks; a request that would exceed
+    either limit is answered immediately with BUSY and nothing is
+    buffered. A frame whose header exceeds the protocol cap closes the
+    connection before the payload is read.
+
+    STATS and PING are served directly on the I/O domain (they touch
+    no object); all object ops flow through the owning shard, which
+    also gives every object a serial execution history — the basis of
+    the exact accuracy self-check recorded in {!Metrics}.
+
+    A dead client costs nothing: when a socket errors or EOFs
+    (including mid-frame), the connection is marked dead and closed by
+    the I/O domain; responses still in flight from shards are encoded
+    into a buffer that is never flushed and the shard stays
+    serviceable for every other connection. *)
+
+type config = {
+  shards : int;  (** Worker domains (>= 1). *)
+  queue_capacity : int;  (** Per-shard task-queue bound. *)
+  max_batch : int;  (** Max tasks one shard wakeup drains. *)
+  max_pending : int;  (** Per-connection in-flight request bound. *)
+  max_conns : int;  (** Accepted connections beyond this are closed. *)
+  specs : Objects.spec list;  (** Objects to host (fixed at start). *)
+}
+
+val default_config : config
+(** 2 shards, 1024-task queues, 64-task batches, 256 in-flight
+    requests per connection, 1024 connections,
+    [Objects.default_specs ~counters:4 ~k:4]. *)
+
+type listen =
+  [ `Unix of string  (** Unix-domain socket path (stale path unlinked). *)
+  | `Tcp of string * int  (** Host and port; port 0 picks a free one. *) ]
+
+type t
+
+val start : ?config:config -> listen:listen -> unit -> t
+(** Bind, build the object table, spawn the shard and I/O domains and
+    return immediately; the returned handle is ready to serve.
+    @raise Invalid_argument on a nonsensical config;
+    @raise Unix.Unix_error if the socket cannot be bound. *)
+
+val sockaddr : t -> Unix.sockaddr
+(** The bound address — with [`Tcp (_, 0)], the actual port. *)
+
+val metrics : t -> Metrics.t
+val table : t -> Objects.table
+val config : t -> config
+
+val stop : t -> unit
+(** Close the listener and every connection, drain the shard queues,
+    join all domains and unlink a Unix socket path. Idempotent;
+    blocks until the domains have exited. *)

@@ -1,0 +1,165 @@
+let header_len = 4
+let max_request_payload = 4096
+let max_response_payload = 1 lsl 20
+let max_name_len = 255
+
+type request =
+  | Inc of { id : int; name : string }
+  | Read of { id : int; name : string }
+  | Write of { id : int; name : string; value : int }
+  | Stats of { id : int }
+  | Ping of { id : int }
+
+type response =
+  | Value of { id : int; value : int }
+  | Busy of { id : int }
+  | Unknown_object of { id : int }
+  | Bad_request of { id : int }
+  | Stats_json of { id : int; json : string }
+  | Pong of { id : int }
+
+let request_id = function
+  | Inc { id; _ } | Read { id; _ } | Write { id; _ } | Stats { id }
+  | Ping { id } ->
+    id
+
+let response_id = function
+  | Value { id; _ } | Busy { id } | Unknown_object { id } | Bad_request { id }
+  | Stats_json { id; _ } | Pong { id } ->
+    id
+
+let mask_id id = id land 0xFFFF_FFFF
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let add_u32 buf v = Buffer.add_int32_be buf (Int32.of_int (mask_id v))
+let add_i64 buf v = Buffer.add_int64_be buf (Int64.of_int v)
+
+let add_header buf payload_len =
+  Buffer.add_int32_be buf (Int32.of_int payload_len)
+
+let check_name name =
+  if String.length name > max_name_len then
+    invalid_arg "Wire.encode_request: object name longer than 255 bytes"
+
+let encode_request buf req =
+  (match req with
+   | Inc { name; _ } | Read { name; _ } | Write { name; _ } -> check_name name
+   | Stats _ | Ping _ -> ());
+  let named op id name extra =
+    add_header buf (6 + String.length name + extra);
+    Buffer.add_uint8 buf op;
+    add_u32 buf id;
+    Buffer.add_uint8 buf (String.length name);
+    Buffer.add_string buf name
+  in
+  match req with
+  | Inc { id; name } -> named 1 id name 0
+  | Read { id; name } -> named 2 id name 0
+  | Write { id; name; value } ->
+    named 3 id name 8;
+    add_i64 buf value
+  | Stats { id } ->
+    add_header buf 5;
+    Buffer.add_uint8 buf 4;
+    add_u32 buf id
+  | Ping { id } ->
+    add_header buf 5;
+    Buffer.add_uint8 buf 5;
+    add_u32 buf id
+
+let encode_response buf resp =
+  let bare status id =
+    add_header buf 5;
+    Buffer.add_uint8 buf status;
+    add_u32 buf id
+  in
+  match resp with
+  | Value { id; value } ->
+    add_header buf 13;
+    Buffer.add_uint8 buf 0;
+    add_u32 buf id;
+    add_i64 buf value
+  | Busy { id } -> bare 1 id
+  | Unknown_object { id } -> bare 2 id
+  | Bad_request { id } -> bare 3 id
+  | Stats_json { id; json } ->
+    if 5 + String.length json > max_response_payload then
+      invalid_arg "Wire.encode_response: STATS payload too large";
+    add_header buf (5 + String.length json);
+    Buffer.add_uint8 buf 4;
+    add_u32 buf id;
+    Buffer.add_string buf json
+  | Pong { id } -> bare 5 id
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type 'a decoded =
+  | Decoded of 'a * int
+  | Need_more
+  | Oversized of int
+  | Malformed of string
+
+let get_u32 b off = Int32.to_int (Bytes.get_int32_be b off) land 0xFFFF_FFFF
+let get_i64 b off = Int64.to_int (Bytes.get_int64_be b off)
+
+(* Shared framing: validate the header against [max_payload], then hand
+   a complete payload to [parse]. *)
+let decode ~max_payload ~parse b ~off ~len =
+  if len < header_len then Need_more
+  else begin
+    let plen = Int32.to_int (Bytes.get_int32_be b off) in
+    if plen < 1 || plen > max_payload then Oversized plen
+    else if len < header_len + plen then Need_more
+    else
+      match parse b (off + header_len) plen with
+      | Some msg -> Decoded (msg, header_len + plen)
+      | None -> Malformed "unparseable payload"
+  end
+
+let parse_request b off plen =
+  if plen < 5 then None
+  else
+    let op = Bytes.get_uint8 b off in
+    let id = get_u32 b (off + 1) in
+    match op with
+    | 4 -> if plen = 5 then Some (Stats { id }) else None
+    | 5 -> if plen = 5 then Some (Ping { id }) else None
+    | 1 | 2 | 3 ->
+      if plen < 6 then None
+      else begin
+        let nlen = Bytes.get_uint8 b (off + 5) in
+        let extra = if op = 3 then 8 else 0 in
+        if plen <> 6 + nlen + extra then None
+        else
+          let name = Bytes.sub_string b (off + 6) nlen in
+          match op with
+          | 1 -> Some (Inc { id; name })
+          | 2 -> Some (Read { id; name })
+          | _ -> Some (Write { id; name; value = get_i64 b (off + 6 + nlen) })
+      end
+    | _ -> None
+
+let parse_response b off plen =
+  if plen < 5 then None
+  else
+    let status = Bytes.get_uint8 b off in
+    let id = get_u32 b (off + 1) in
+    match status with
+    | 0 -> if plen = 13 then Some (Value { id; value = get_i64 b (off + 5) }) else None
+    | 1 -> if plen = 5 then Some (Busy { id }) else None
+    | 2 -> if plen = 5 then Some (Unknown_object { id }) else None
+    | 3 -> if plen = 5 then Some (Bad_request { id }) else None
+    | 4 -> Some (Stats_json { id; json = Bytes.sub_string b (off + 5) (plen - 5) })
+    | 5 -> if plen = 5 then Some (Pong { id }) else None
+    | _ -> None
+
+let decode_request b ~off ~len =
+  decode ~max_payload:max_request_payload ~parse:parse_request b ~off ~len
+
+let decode_response b ~off ~len =
+  decode ~max_payload:max_response_payload ~parse:parse_response b ~off ~len

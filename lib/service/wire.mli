@@ -1,0 +1,100 @@
+(** The length-prefixed binary wire protocol of the approximate-object
+    service.
+
+    Every message is a {e frame}: a 4-byte big-endian payload length
+    followed by the payload. Request payloads are
+
+    {v
+    byte  0        op      (1=INC 2=READ 3=WRITE 4=STATS 5=PING)
+    bytes 1-4      request id, unsigned 32-bit big-endian
+    byte  5        object-name length L        (INC/READ/WRITE only)
+    bytes 6..6+L-1 object name                 (INC/READ/WRITE only)
+    bytes +0..+7   value, signed 64-bit BE     (WRITE only)
+    v}
+
+    and response payloads are
+
+    {v
+    byte  0        status  (0=VALUE 1=BUSY 2=UNKNOWN_OBJECT
+                            3=BAD_REQUEST 4=STATS_JSON 5=PONG)
+    bytes 1-4      echoed request id
+    bytes +0..+7   value, signed 64-bit BE     (VALUE only)
+    bytes 5..      UTF-8 JSON text             (STATS_JSON only)
+    v}
+
+    Request ids are echoed verbatim, so a client may pipeline requests
+    and match responses out of order (the server preserves per-object
+    order but interleaves backpressure replies immediately).
+
+    Decoders are incremental: they inspect a byte range that may hold
+    any prefix of a frame stream and either decode one complete
+    message, ask for more bytes, or reject the stream. A frame whose
+    header announces more than the direction's maximum payload
+    ({!max_request_payload} / {!max_response_payload}) is rejected as
+    [Oversized] {e before} any of the payload arrives, so a malicious
+    length header cannot make a peer buffer unboundedly. *)
+
+val header_len : int
+(** Frame-header bytes (4). *)
+
+val max_request_payload : int
+(** Requests are tiny; anything above this (4096) is [Oversized]. *)
+
+val max_response_payload : int
+(** Responses carry STATS JSON; the cap is 2^20 bytes. *)
+
+val max_name_len : int
+(** Object names fit the 1-byte length field: 255. *)
+
+type request =
+  | Inc of { id : int; name : string }
+  | Read of { id : int; name : string }
+  | Write of { id : int; name : string; value : int }
+  | Stats of { id : int }
+  | Ping of { id : int }
+
+type response =
+  | Value of { id : int; value : int }
+  | Busy of { id : int }
+  | Unknown_object of { id : int }
+  | Bad_request of { id : int }
+  | Stats_json of { id : int; json : string }
+  | Pong of { id : int }
+
+val request_id : request -> int
+val response_id : response -> int
+
+val mask_id : int -> int
+(** Reduce an arbitrary int into the unsigned 32-bit id domain (ids
+    wrap; a pipelining client never has 2^32 requests in flight). *)
+
+val encode_request : Buffer.t -> request -> unit
+(** Append one full frame (header + payload).
+    @raise Invalid_argument if the name exceeds {!max_name_len}. *)
+
+val encode_response : Buffer.t -> response -> unit
+(** @raise Invalid_argument if the STATS payload would exceed
+    {!max_response_payload}. *)
+
+type 'a decoded =
+  | Decoded of 'a * int
+      (** One complete message and the bytes consumed (header
+          included); the caller advances its offset and retries. *)
+  | Need_more
+      (** The range holds only a frame prefix — read more bytes. A
+          truncated frame is indistinguishable from a pending one, so
+          truncation surfaces as [Need_more] followed by the
+          connection's EOF. *)
+  | Oversized of int
+      (** The header announces the given payload length, beyond the
+          direction's cap. Unrecoverable: the stream cannot be
+          resynchronised. *)
+  | Malformed of string
+      (** The frame is complete but its payload does not parse (bad
+          op/status byte, name overruns the payload, trailing bytes).
+          Unrecoverable. *)
+
+val decode_request : Bytes.t -> off:int -> len:int -> request decoded
+(** Decode the first request frame of [bytes off .. off+len-1]. *)
+
+val decode_response : Bytes.t -> off:int -> len:int -> response decoded

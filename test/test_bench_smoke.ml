@@ -68,7 +68,8 @@ let test_pipeline_smoke () =
     [ "schema_version"; "counter_throughput"; "maxreg_throughput";
       "amortized_steps_per_op"; "ops_per_sec_median"; "ops_per_sec_min";
       "ops_per_sec_max"; "kcounter"; "faa"; "\"domains\": 1";
-      "\"domains\": 2" ]
+      "\"domains\": 2"; "\"service\""; "\"shards\": 2"; "p50_ns"; "p99_ns";
+      "\"errors\": 0"; "\"acc_violations\": 0" ]
 
 let suite =
   [ ("json basic", `Quick, test_json_basic);

@@ -1,0 +1,140 @@
+(* The service latency histogram: bucket-boundary edge cases (exact
+   powers of two), the zero-count percentile contract, monotonicity
+   properties, and the allocation-free record hot path. *)
+
+module H = Service.Histogram
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Edge cases                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_bucket_boundaries () =
+  check Alcotest.int "0 -> bucket 0" 0 (H.bucket_index 0);
+  check Alcotest.int "1 -> bucket 0" 0 (H.bucket_index 1);
+  check Alcotest.int "negative clamps to 0" 0 (H.bucket_index (-5));
+  (* An exact power of two is the LOWER boundary of its own bucket. *)
+  for i = 1 to 61 do
+    let v = 1 lsl i in
+    check Alcotest.int (Printf.sprintf "2^%d" i) i (H.bucket_index v);
+    check Alcotest.int (Printf.sprintf "2^%d - 1" i) (i - 1)
+      (H.bucket_index (v - 1));
+    check Alcotest.int (Printf.sprintf "2^%d + 1" i) i (H.bucket_index (v + 1))
+  done;
+  check Alcotest.int "max_int lands in the last bucket" (H.buckets - 1)
+    (H.bucket_index max_int)
+
+let test_bounds_cover () =
+  for i = 0 to H.buckets - 1 do
+    check Alcotest.int
+      (Printf.sprintf "lo bucket %d maps to itself" i)
+      i
+      (H.bucket_index (H.bucket_lo i));
+    check Alcotest.int
+      (Printf.sprintf "hi bucket %d maps to itself" i)
+      i
+      (H.bucket_index (H.bucket_hi i))
+  done;
+  check Alcotest.int "last hi is max_int" max_int (H.bucket_hi (H.buckets - 1))
+
+let test_empty_percentile () =
+  let h = H.create () in
+  check Alcotest.int "empty p50 is 0, not an exception" 0 (H.percentile h 0.5);
+  check Alcotest.int "empty p0" 0 (H.percentile h 0.0);
+  check Alcotest.int "empty p100" 0 (H.percentile h 1.0);
+  check Alcotest.int "empty count" 0 (H.count h)
+
+let test_percentile_clamps () =
+  let h = H.create () in
+  H.record h 10;
+  check Alcotest.int "p < 0 clamps" (H.percentile h 0.0) (H.percentile h (-3.0));
+  check Alcotest.int "p > 1 clamps" (H.percentile h 1.0) (H.percentile h 7.0)
+
+let test_single_sample () =
+  let h = H.create () in
+  H.record h 1000;
+  let hi = H.bucket_hi (H.bucket_index 1000) in
+  check Alcotest.int "p50 is the sample's bucket hi" hi (H.percentile h 0.5);
+  check Alcotest.int "p99 too" hi (H.percentile h 0.99);
+  check Alcotest.int "sum" 1000 (H.sum h)
+
+let test_merge_and_reset () =
+  let a = H.create () and b = H.create () in
+  List.iter (H.record a) [ 1; 2; 3 ];
+  List.iter (H.record b) [ 100; 200 ];
+  H.merge ~into:a b;
+  check Alcotest.int "merged count" 5 (H.count a);
+  check Alcotest.int "merged sum" 306 (H.sum a);
+  H.reset a;
+  check Alcotest.int "reset count" 0 (H.count a);
+  check Alcotest.int "reset percentile" 0 (H.percentile a 0.99)
+
+let test_record_no_alloc () =
+  let h = H.create () in
+  H.record h 5;
+  let before = Gc.minor_words () in
+  for i = 0 to 9_999 do
+    H.record h (i * 17)
+  done;
+  let after = Gc.minor_words () in
+  if after -. before > 256.0 then
+    Alcotest.failf "record allocated %.0f minor words" (after -. before)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let nonneg = QCheck.map abs QCheck.int
+
+let prop_index_monotone =
+  QCheck.Test.make ~count:1000 ~name:"bucket_index is monotone"
+    (QCheck.pair nonneg nonneg) (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      H.bucket_index lo <= H.bucket_index hi)
+
+let prop_value_within_bucket =
+  QCheck.Test.make ~count:1000 ~name:"v sits inside its bucket's bounds"
+    nonneg (fun v ->
+      let i = H.bucket_index v in
+      H.bucket_lo i <= v && v <= H.bucket_hi i)
+
+let prop_cumulative_monotone =
+  QCheck.Test.make ~count:200
+    ~name:"percentile is monotone in p and bounded by recorded range"
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 50) (QCheck.map abs QCheck.small_int))
+    (fun samples ->
+      let h = H.create () in
+      List.iter (H.record h) samples;
+      let ps = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
+      let vals = List.map (H.percentile h) ps in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a <= b && sorted rest
+        | _ -> true
+      in
+      let max_hi = H.bucket_hi (H.bucket_index (List.fold_left max 0 samples)) in
+      sorted vals && List.for_all (fun v -> v <= max_hi) vals)
+
+let prop_count_preserved =
+  QCheck.Test.make ~count:200 ~name:"count equals samples recorded"
+    (QCheck.list (QCheck.map abs QCheck.small_int)) (fun samples ->
+      let h = H.create () in
+      List.iter (H.record h) samples;
+      H.count h = List.length samples)
+
+let () =
+  Alcotest.run "service_histogram"
+    [ ("edge-cases",
+       [ ("bucket boundaries at exact powers", `Quick, test_bucket_boundaries);
+         ("bucket bounds self-consistent", `Quick, test_bounds_cover);
+         ("zero-count percentile is 0", `Quick, test_empty_percentile);
+         ("percentile clamps p", `Quick, test_percentile_clamps);
+         ("single sample", `Quick, test_single_sample);
+         ("merge and reset", `Quick, test_merge_and_reset);
+         ("record allocates nothing", `Quick, test_record_no_alloc) ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_index_monotone;
+           prop_value_within_bucket;
+           prop_cumulative_monotone;
+           prop_count_preserved ]) ]

@@ -1,0 +1,276 @@
+(* End-to-end tests of the sharded service over a Unix-domain socket:
+   correctness of served ops, the k-multiplicative accuracy self-check
+   against the debug exact counter, the STATS op, bounded-queue
+   backpressure, and chaos (clients killed mid-request must leave
+   every shard serviceable). *)
+
+module Srv = Service.Server
+module Cl = Service.Client
+module W = Service.Wire
+module M = Service.Metrics
+
+let check = Alcotest.check
+
+let sock_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "approx_svc_test_%d_%d.sock" (Unix.getpid ()) !n)
+
+let with_server ?config f =
+  let srv = Srv.start ?config ~listen:(`Unix (sock_path ())) () in
+  Fun.protect ~finally:(fun () -> Srv.stop srv) (fun () -> f srv)
+
+let value_exn = function
+  | W.Value { value; _ } -> value
+  | _ -> Alcotest.fail "expected a Value reply"
+
+let obj_stats srv name =
+  List.find (fun o -> o.M.o_name = name) (M.objects (Srv.metrics srv))
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  nl = 0 || go 0
+
+(* Poll until [cond] holds or ~5s pass; chaos outcomes are observed by
+   the server asynchronously. *)
+let await cond =
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec go () =
+    if (not (cond ())) && Unix.gettimeofday () < deadline then begin
+      Unix.sleepf 0.01;
+      go ()
+    end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Basic serving                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_basic_ops () =
+  with_server (fun srv ->
+      let c = Cl.connect (Srv.sockaddr srv) in
+      Alcotest.(check bool) "ping" true (Cl.ping c);
+      for _ = 1 to 100 do
+        ignore (value_exn (Cl.inc c "faa"))
+      done;
+      check Alcotest.int "faa reads exactly" 100 (Cl.read_value c "faa");
+      ignore (value_exn (Cl.write c "cas-maxreg" 4242));
+      check Alcotest.int "cas-maxreg reads back the max" 4242
+        (Cl.read_value c "cas-maxreg");
+      ignore (value_exn (Cl.write c "kmaxreg" 1000));
+      let served = Cl.read_value c "kmaxreg" in
+      Alcotest.(check bool) "kmaxreg within [exact, k*exact]" true
+        (served >= 1000 && served <= 1000 * 4);
+      (match Cl.inc c "no-such-object" with
+       | W.Unknown_object _ -> ()
+       | _ -> Alcotest.fail "expected Unknown_object");
+      (match Cl.write c "faa" 3 with
+       | W.Bad_request _ -> ()
+       | _ -> Alcotest.fail "expected Bad_request for WRITE on a counter");
+      (match Cl.write c "kmaxreg" (-1) with
+       | W.Bad_request _ -> ()
+       | _ -> Alcotest.fail "expected Bad_request for out-of-range WRITE");
+      Cl.close c)
+
+let test_kcounter_accuracy () =
+  with_server (fun srv ->
+      let c = Cl.connect (Srv.sockaddr srv) in
+      let exact = ref 0 in
+      for round = 1 to 20 do
+        for _ = 1 to round * 10 do
+          ignore (value_exn (Cl.inc c "c0"));
+          incr exact
+        done;
+        let served = value_exn (Cl.read_op c "c0") in
+        Alcotest.(check bool)
+          (Printf.sprintf "read %d within k-envelope of %d" served !exact)
+          true
+          (Zmath.within_k ~k:4 ~exact:!exact served)
+      done;
+      (* The server's own self-check agrees. *)
+      let stats = obj_stats srv "c0" in
+      check Alcotest.int "20 self-checks ran" 20 stats.M.acc_checks;
+      check Alcotest.int "no self-check violations" 0 stats.M.acc_violations;
+      check Alcotest.int "exact shadow tracked every inc" !exact
+        stats.M.last_exact;
+      Cl.close c)
+
+(* ------------------------------------------------------------------ *)
+(* Loadgen against a 4-shard server                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_loadgen_4_shards () =
+  let config = { Srv.default_config with shards = 4 } in
+  with_server ~config (fun srv ->
+      let cfg =
+        { Service.Loadgen.default_config with
+          connections = 3;
+          ops_per_connection = 2_000;
+          pipeline = 16;
+          seed = 11 }
+      in
+      let r = Service.Loadgen.run ~addr:(Srv.sockaddr srv) cfg in
+      check Alcotest.int "no protocol errors" 0 r.Service.Loadgen.errors;
+      check Alcotest.int "every op completed" 6_000
+        (r.Service.Loadgen.ok + r.Service.Loadgen.busy);
+      Alcotest.(check bool) "throughput measured" true
+        (r.Service.Loadgen.ops_per_sec > 0.0);
+      Alcotest.(check bool) "p50 <= p99" true
+        (r.Service.Loadgen.p50_ns <= r.Service.Loadgen.p99_ns);
+      check Alcotest.int "latency histogram holds every op" 6_000
+        (Service.Histogram.count r.Service.Loadgen.latency);
+      let m = Srv.metrics srv in
+      check Alcotest.int "no accuracy violations under load" 0
+        (M.acc_violations_total m);
+      Alcotest.(check bool) "ops were recorded" true (M.total_ops m > 0);
+      for s = 0 to config.Srv.shards - 1 do
+        let sh = M.shard m s in
+        check Alcotest.int
+          (Printf.sprintf "shard %d latency samples = tasks" s)
+          sh.M.tasks
+          (Service.Histogram.count sh.M.s_latency)
+      done;
+      (* STATS over the wire: JSON text with live counters. *)
+      let c = Cl.connect (Srv.sockaddr srv) in
+      let json = Cl.stats_json c in
+      Cl.close c;
+      Alcotest.(check bool) "stats is a JSON object" true (json.[0] = '{');
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "stats mentions %S" needle)
+            true (contains ~needle json))
+        [ "\"acc_violations_total\": 0"; "latency_ns"; "read_batch";
+          "\"kind\": \"kcounter\""; "total_ops" ])
+
+(* ------------------------------------------------------------------ *)
+(* Backpressure                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_backpressure_bounded () =
+  (* A 1-deep shard queue + 1-task batches against a 4000-request
+     pipelined burst: the server must answer every request (BUSY at
+     saturation), never buffer unboundedly, and keep serving after. *)
+  let config =
+    { Srv.default_config with
+      shards = 1;
+      queue_capacity = 1;
+      max_batch = 1;
+      max_pending = 1_000_000 }
+  in
+  with_server ~config (fun srv ->
+      let c = Cl.connect (Srv.sockaddr srv) in
+      let burst = 4_000 in
+      for id = 0 to burst - 1 do
+        Cl.send c (W.Inc { id; name = "c0" })
+      done;
+      Cl.flush c;
+      let ok = ref 0 and busy = ref 0 in
+      for _ = 1 to burst do
+        match Cl.recv c with
+        | W.Value _ -> incr ok
+        | W.Busy _ -> incr busy
+        | _ -> Alcotest.fail "unexpected reply under burst"
+      done;
+      check Alcotest.int "every request answered" burst (!ok + !busy);
+      Alcotest.(check bool) "some requests served" true (!ok > 0);
+      (* The connection is still fully serviceable afterwards. *)
+      Alcotest.(check bool) "ping after burst" true (Cl.ping c);
+      (* Exactly the accepted increments reached the object. *)
+      check Alcotest.int "served increments counted exactly" !ok
+        (obj_stats srv "c0").M.incs;
+      check Alcotest.int "busy replies counted" !busy
+        (M.busy_replies (Srv.metrics srv));
+      Cl.close c)
+
+let test_max_pending_bound () =
+  let config = { Srv.default_config with shards = 1; max_pending = 4 } in
+  with_server ~config (fun srv ->
+      let c = Cl.connect (Srv.sockaddr srv) in
+      (* Sequential (closed-loop, window 1) ops never trip the bound. *)
+      for _ = 1 to 50 do
+        ignore (value_exn (Cl.inc c "c0"))
+      done;
+      check Alcotest.int "sequential ops all served" 0
+        (M.busy_replies (Srv.metrics srv));
+      Cl.close c)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: dead clients and poisonous frames                            *)
+(* ------------------------------------------------------------------ *)
+
+let raw_connect addr =
+  let fd =
+    Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0
+  in
+  Unix.connect fd addr;
+  fd
+
+let test_kill_client_mid_request () =
+  let config = { Srv.default_config with shards = 2 } in
+  with_server ~config (fun srv ->
+      let addr = Srv.sockaddr srv in
+      (* Victim 1 dies mid-frame: a header announcing 20 payload bytes
+         followed by only 3 of them, then the socket vanishes. *)
+      let v1 = raw_connect addr in
+      let torn = Buffer.create 8 in
+      Buffer.add_int32_be torn 20l;
+      Buffer.add_string torn "\x01ab";
+      let tb = Buffer.to_bytes torn in
+      ignore (Unix.write v1 tb 0 (Bytes.length tb));
+      Unix.close v1;
+      (* Victim 2 sends a complete request and dies without reading the
+         response (exercises the dead-connection write path). *)
+      let v2 = Cl.connect addr in
+      Cl.send v2 (W.Inc { id = 7; name = "c1" });
+      Cl.flush v2;
+      Cl.close v2;
+      (* Victim 3 sends an oversized frame header; the server must
+         reject and close it. *)
+      let v3 = raw_connect addr in
+      let big = Buffer.create 8 in
+      Buffer.add_int32_be big 0x7FFFFFFFl;
+      let bb = Buffer.to_bytes big in
+      ignore (Unix.write v3 bb 0 (Bytes.length bb));
+      let m = Srv.metrics srv in
+      await (fun () -> M.oversized_frames m >= 1);
+      check Alcotest.int "oversized frame rejected" 1 (M.oversized_frames m);
+      (try Unix.close v3 with Unix.Unix_error _ -> ());
+      await (fun () -> M.closed m >= 3);
+      check Alcotest.int "all victims reaped" 3 (M.closed m);
+      (* Both shards must still be fully serviceable. *)
+      let c = Cl.connect addr in
+      for _ = 1 to 25 do
+        ignore (value_exn (Cl.inc c "c0"));
+        ignore (value_exn (Cl.inc c "c1"));
+        ignore (value_exn (Cl.inc c "faa"))
+      done;
+      check Alcotest.int "exact counter consistent after chaos" 25
+        (Cl.read_value c "faa");
+      Alcotest.(check bool) "k-counter still within envelope" true
+        (Zmath.within_k ~k:4 ~exact:25 (Cl.read_value c "c0"));
+      Alcotest.(check bool) "ping" true (Cl.ping c);
+      check Alcotest.int "no accuracy violations after chaos" 0
+        (M.acc_violations_total m);
+      Cl.close c)
+
+let () =
+  Alcotest.run "service_server"
+    [ ("serving",
+       [ ("basic ops and error replies", `Quick, test_basic_ops);
+         ("k-counter accuracy self-check", `Quick, test_kcounter_accuracy);
+         ("loadgen against 4 shards", `Quick, test_loadgen_4_shards) ]);
+      ("backpressure",
+       [ ("bounded queue answers BUSY, stays up", `Quick,
+          test_backpressure_bounded);
+         ("sequential load never trips pending bound", `Quick,
+          test_max_pending_bound) ]);
+      ("chaos",
+       [ ("clients killed mid-request", `Quick, test_kill_client_mid_request) ])
+    ]

@@ -1,0 +1,188 @@
+(* Wire-protocol tests: encode/decode roundtrips as properties over
+   arbitrary messages, incremental decoding (truncated frames must ask
+   for more, never crash or misparse), and rejection of oversized and
+   malformed frames. *)
+
+module W = Service.Wire
+
+let encode_req req =
+  let b = Buffer.create 64 in
+  W.encode_request b req;
+  Buffer.to_bytes b
+
+let encode_resp resp =
+  let b = Buffer.create 64 in
+  W.encode_response b resp;
+  Buffer.to_bytes b
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_id = QCheck.Gen.int_bound 0xFFFF_FFFF
+
+let gen_name =
+  QCheck.Gen.(
+    int_range 1 W.max_name_len >>= fun n ->
+    string_size ~gen:(char_range 'a' 'z') (return n))
+
+let gen_request =
+  QCheck.Gen.(
+    gen_id >>= fun id ->
+    oneof
+      [ map (fun name -> W.Inc { id; name }) gen_name;
+        map (fun name -> W.Read { id; name }) gen_name;
+        map2 (fun name value -> W.Write { id; name; value }) gen_name int;
+        return (W.Stats { id });
+        return (W.Ping { id }) ])
+
+let gen_response =
+  QCheck.Gen.(
+    gen_id >>= fun id ->
+    oneof
+      [ map (fun value -> W.Value { id; value }) int;
+        return (W.Busy { id });
+        return (W.Unknown_object { id });
+        return (W.Bad_request { id });
+        map
+          (fun json -> W.Stats_json { id; json })
+          (string_size ~gen:printable (int_bound 200));
+        return (W.Pong { id }) ])
+
+let arb_request = QCheck.make gen_request
+let arb_response = QCheck.make gen_response
+
+(* ------------------------------------------------------------------ *)
+(* Roundtrip properties                                                *)
+(* ------------------------------------------------------------------ *)
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"request roundtrip" arb_request
+    (fun req ->
+      let b = encode_req req in
+      match W.decode_request b ~off:0 ~len:(Bytes.length b) with
+      | W.Decoded (req', consumed) ->
+        req' = req && consumed = Bytes.length b
+      | _ -> false)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"response roundtrip" arb_response
+    (fun resp ->
+      let b = encode_resp resp in
+      match W.decode_response b ~off:0 ~len:(Bytes.length b) with
+      | W.Decoded (resp', consumed) ->
+        resp' = resp && consumed = Bytes.length b
+      | _ -> false)
+
+let prop_request_truncation =
+  QCheck.Test.make ~count:500
+    ~name:"every strict prefix of a request frame asks for more"
+    arb_request (fun req ->
+      let b = encode_req req in
+      let ok = ref true in
+      for len = 0 to Bytes.length b - 1 do
+        match W.decode_request b ~off:0 ~len with
+        | W.Need_more -> ()
+        | _ -> ok := false
+      done;
+      !ok)
+
+let prop_request_offset =
+  QCheck.Test.make ~count:500 ~name:"decoding is offset-independent"
+    (QCheck.pair arb_request arb_request) (fun (a, b') ->
+      (* Two frames back to back: decoding at the second frame's offset
+         yields the second message. *)
+      let buf = Buffer.create 64 in
+      W.encode_request buf a;
+      let off = Buffer.length buf in
+      W.encode_request buf b';
+      let bytes = Buffer.to_bytes buf in
+      match W.decode_request bytes ~off ~len:(Bytes.length bytes - off) with
+      | W.Decoded (m, consumed) ->
+        m = b' && consumed = Bytes.length bytes - off
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Rejection                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let frame_of_payload payload =
+  let b = Buffer.create 64 in
+  Buffer.add_int32_be b (Int32.of_int (String.length payload));
+  Buffer.add_string b payload;
+  Buffer.to_bytes b
+
+let expect_oversized name b =
+  match W.decode_request b ~off:0 ~len:(Bytes.length b) with
+  | W.Oversized _ -> ()
+  | _ -> Alcotest.failf "%s: expected Oversized" name
+
+let expect_malformed name b =
+  match W.decode_request b ~off:0 ~len:(Bytes.length b) with
+  | W.Malformed _ -> ()
+  | _ -> Alcotest.failf "%s: expected Malformed" name
+
+let test_oversized () =
+  (* A header announcing an oversized payload is rejected before any
+     payload bytes arrive: 4 header bytes suffice. *)
+  let b = Buffer.create 4 in
+  Buffer.add_int32_be b (Int32.of_int (W.max_request_payload + 1));
+  expect_oversized "max+1, header only" (Buffer.to_bytes b);
+  let b = Buffer.create 4 in
+  Buffer.add_int32_be b 0x7FFFFFFFl;
+  expect_oversized "huge" (Buffer.to_bytes b);
+  let b = Buffer.create 4 in
+  Buffer.add_int32_be b (-1l);
+  expect_oversized "negative length" (Buffer.to_bytes b);
+  let b = Buffer.create 4 in
+  Buffer.add_int32_be b 0l;
+  Buffer.add_string b "x";
+  expect_oversized "zero-length payload" (Buffer.to_bytes b)
+
+let test_malformed () =
+  expect_malformed "bad op byte" (frame_of_payload "\x63AAAA");
+  expect_malformed "stats with trailing junk" (frame_of_payload "\x04AAAAxx");
+  (* INC whose name-length byte overruns the payload. *)
+  expect_malformed "name overruns payload" (frame_of_payload "\x01AAAA\xffab");
+  (* INC with trailing bytes after the name. *)
+  expect_malformed "trailing bytes" (frame_of_payload "\x01AAAA\x01abXYZ");
+  (* Response-only status byte is not a request op. *)
+  expect_malformed "response opcode as request" (frame_of_payload "\x00AAAA")
+
+let test_max_request_boundary () =
+  (* The largest legal request frame (255-byte name WRITE) stays under
+     the request cap; a payload of exactly max_request_payload is
+     accepted by the framing layer (then rejected as unparseable). *)
+  let name = String.make W.max_name_len 'n' in
+  let b = encode_req (W.Write { id = 1; name; value = max_int }) in
+  (match W.decode_request b ~off:0 ~len:(Bytes.length b) with
+   | W.Decoded _ -> ()
+   | _ -> Alcotest.fail "largest legal request rejected");
+  let payload = String.make W.max_request_payload 'z' in
+  match
+    W.decode_request (frame_of_payload payload) ~off:0
+      ~len:(W.header_len + W.max_request_payload)
+  with
+  | W.Malformed _ -> ()
+  | W.Oversized _ -> Alcotest.fail "boundary payload flagged oversized"
+  | _ -> Alcotest.fail "garbage payload decoded"
+
+let test_name_too_long () =
+  Alcotest.check_raises "encode rejects long names"
+    (Invalid_argument "Wire.encode_request: object name longer than 255 bytes")
+    (fun () ->
+      ignore (encode_req (W.Inc { id = 0; name = String.make 256 'x' })))
+
+let () =
+  Alcotest.run "service_wire"
+    [ ("roundtrip",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_request_roundtrip;
+           prop_response_roundtrip;
+           prop_request_truncation;
+           prop_request_offset ]);
+      ("rejection",
+       [ ("oversized frames", `Quick, test_oversized);
+         ("malformed frames", `Quick, test_malformed);
+         ("request-size boundary", `Quick, test_max_request_boundary);
+         ("name length cap", `Quick, test_name_too_long) ]) ]

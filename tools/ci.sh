@@ -20,4 +20,43 @@ dune exec bin/approx_cli.exe -- bench --smoke --out /tmp/BENCH_ci_smoke.json \
   > /dev/null
 rm -f /tmp/BENCH_ci_smoke.json
 
+echo "== unknown subcommand exits 2 with usage on stderr =="
+set +e
+dune exec bin/approx_cli.exe -- frobnicate >/tmp/approx_ci_out.txt \
+  2>/tmp/approx_ci_err.txt
+code=$?
+set -e
+[ "$code" -eq 2 ] || { echo "expected exit 2, got $code"; exit 1; }
+grep -q "usage: approx_cli COMMAND" /tmp/approx_ci_err.txt \
+  || { echo "usage missing from stderr"; exit 1; }
+rm -f /tmp/approx_ci_out.txt /tmp/approx_ci_err.txt
+
+echo "== service smoke: 2-shard server + loadgen + stats JSON =="
+SOCK=/tmp/approx_ci_service.sock
+rm -f "$SOCK"
+dune exec bin/approx_cli.exe -- serve --shards 2 --unix "$SOCK" \
+  --duration 30 &
+SERVE_PID=$!
+trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
+# Wait for the socket to appear.
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "service socket never appeared"; exit 1; }
+dune exec bin/approx_cli.exe -- loadgen --unix "$SOCK" \
+  --connections 2 --ops 2000 --pipeline 8
+dune exec bin/approx_cli.exe -- stats --unix "$SOCK" \
+  > /tmp/approx_ci_stats.json
+grep -q '"acc_violations_total": 0' /tmp/approx_ci_stats.json \
+  || { echo "stats JSON missing clean accuracy self-check"; exit 1; }
+grep -q '"latency_ns"' /tmp/approx_ci_stats.json \
+  || { echo "stats JSON missing latency histograms"; exit 1; }
+grep -q '"total_ops"' /tmp/approx_ci_stats.json \
+  || { echo "stats JSON missing op counters"; exit 1; }
+kill $SERVE_PID
+wait $SERVE_PID 2>/dev/null || true
+trap - EXIT
+rm -f /tmp/approx_ci_stats.json "$SOCK"
+
 echo "CI checks passed."
