@@ -1,15 +1,18 @@
 (* perf: the reproducible benchmark pipeline. Unlike the console-only
    tables of the other experiments, this one persists its measurements:
-   it writes BENCH_2.json (throughput min/median/max over repeated
+   it writes BENCH_3.json (throughput min/median/max over repeated
    trials for the k-counter and k-max-register vs their exact baselines,
-   end-to-end service throughput/latency through the wire protocol, plus
-   Algorithm 1's simulated amortized step metrics) so the perf
-   trajectory of the repository is diffable across revisions. See
-   EXPERIMENTS.md, "Performance trajectory". *)
+   the slack-aware fast-path ablations, end-to-end service
+   throughput/latency through the wire protocol, plus Algorithm 1's
+   simulated amortized step metrics) so the perf trajectory of the
+   repository is diffable across revisions. See EXPERIMENTS.md,
+   "Performance trajectory". *)
 
 let run () =
   Tables.section
-    "perf  Benchmark pipeline -> BENCH_2.json (throughput + amortized steps)";
-  Printf.printf "(host has %d recognized core(s))\n"
-    (Domain.recommended_domain_count ());
-  Perf.Pipeline.run Perf.Pipeline.default_config
+    "perf  Benchmark pipeline -> BENCH_3.json (throughput + amortized steps)";
+  let cores = Perf.Pipeline.detect_cores () in
+  Printf.printf "(host has %d core(s); runtime recognized %d, source %s)\n"
+    cores.Perf.Pipeline.effective_cores cores.Perf.Pipeline.raw_cores
+    cores.Perf.Pipeline.cores_source;
+  ignore (Perf.Pipeline.run Perf.Pipeline.default_config)

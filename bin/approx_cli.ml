@@ -429,7 +429,7 @@ let backends_cmd =
 (* bench subcommand                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let run_bench trials warmup ops domains out smoke =
+let run_bench trials warmup ops domains out smoke check_floor =
   let cfg =
     if smoke then { Perf.Pipeline.smoke_config with out_path = out }
     else
@@ -450,8 +450,25 @@ let run_bench trials warmup ops domains out smoke =
     2
   end
   else begin
-    Perf.Pipeline.run cfg;
-    0
+    ignore (Perf.Pipeline.run cfg);
+    match check_floor with
+    | None -> 0
+    | Some floor ->
+      (* A dedicated full-size measurement: smoke-sized trials are
+         spawn-dominated and not comparable to a committed record. *)
+      let median = Perf.Pipeline.read_heavy_floor_probe () in
+      if median >= floor then begin
+        Printf.printf
+          "floor check: kcounter read-heavy median %.6g >= %.6g ops/s\n"
+          median floor;
+        0
+      end
+      else begin
+        Printf.eprintf
+          "floor check FAILED: kcounter read-heavy median %.6g < %.6g ops/s\n"
+          median floor;
+        1
+      end
   end
 
 let bench_cmd =
@@ -477,7 +494,7 @@ let bench_cmd =
                    two up to the recognized core count).")
   in
   let out_arg =
-    Arg.(value & opt string "BENCH_2.json"
+    Arg.(value & opt string "BENCH_3.json"
          & info [ "out" ] ~docv:"FILE" ~doc:"Output JSON path.")
   in
   let smoke_arg =
@@ -485,12 +502,19 @@ let bench_cmd =
          & info [ "smoke" ]
              ~doc:"Run the tiny smoke configuration (fast; for CI).")
   in
+  let check_floor_arg =
+    Arg.(value & opt (some float) None
+         & info [ "check-floor" ] ~docv:"OPS_PER_SEC"
+             ~doc:"After the run, fail (exit 1) unless the kcounter \
+                   read-heavy domains=1 median is at least $(docv) — the \
+                   CI regression guard against a committed BENCH record.")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Run the multicore benchmark pipeline and write a BENCH_*.json \
              performance record")
     Term.(const run_bench $ trials_arg $ warmup_arg $ ops_arg $ domains_arg
-          $ out_arg $ smoke_arg)
+          $ out_arg $ smoke_arg $ check_floor_arg)
 
 (* ------------------------------------------------------------------ *)
 (* service subcommands: serve / loadgen / stats                        *)
@@ -597,23 +621,52 @@ let serve_cmd =
     Term.(const run_serve $ shards_arg $ queue_arg $ batch_arg $ pending_arg
           $ unix_arg $ tcp_arg $ counters_arg $ k_arg $ duration_arg)
 
-let run_loadgen unix tcp connections ops pipeline read_permille targets seed =
+(* --mix R:I:A — relative read:inc:add weights, normalized to permille
+   (e.g. 8:1:1 is 800 reads, 100 incs, 100 adds per 1000 ops). *)
+let parse_mix s =
+  match String.split_on_char ':' s with
+  | [ r; i; a ] ->
+    (match (int_of_string_opt r, int_of_string_opt i, int_of_string_opt a) with
+     | Some r, Some i, Some a when r >= 0 && i >= 0 && a >= 0 && r + i + a > 0
+       ->
+       let total = r + i + a in
+       Some (r * 1000 / total, a * 1000 / total)
+     | _ -> None)
+  | _ -> None
+
+let run_loadgen unix tcp connections ops pipeline read_permille mix add_delta
+    targets seed =
+  let mix_permilles =
+    match mix with
+    | None -> Some (read_permille, 0)
+    | Some s -> parse_mix s
+  in
+  match mix_permilles with
+  | None ->
+    Printf.eprintf
+      "loadgen: malformed --mix %S (expected READ:INC:ADD, nonnegative \
+       integers, not all zero)\n"
+      (Option.value mix ~default:"");
+    2
+  | Some (read_permille, add_permille) ->
   let cfg =
     { Service.Loadgen.default_config with
       connections;
       ops_per_connection = ops;
       pipeline;
       read_permille;
+      add_permille;
+      add_delta;
       seed }
   in
   let cfg =
     match targets with [] -> cfg | ts -> { cfg with targets = ts }
   in
   if connections < 1 || ops < 1 || pipeline < 1 || read_permille < 0
-     || read_permille > 1000
+     || read_permille > 1000 || add_delta < 0
   then begin
-    prerr_endline "loadgen: connections/ops/pipeline must be positive and \
-                   read-permille in 0..1000";
+    prerr_endline "loadgen: connections/ops/pipeline must be positive, \
+                   read-permille in 0..1000 and add-delta >= 0";
     2
   end
   else begin
@@ -650,7 +703,21 @@ let loadgen_cmd =
   let rp_arg =
     Arg.(value & opt int 200
          & info [ "read-permille" ] ~docv:"RP"
-             ~doc:"Reads per 1000 operations; the rest increment.")
+             ~doc:"Reads per 1000 operations; the rest increment. \
+                   Overridden by $(b,--mix).")
+  in
+  let mix_arg =
+    Arg.(value & opt (some string) None
+         & info [ "mix" ] ~docv:"R:I:A"
+             ~doc:"Relative read:inc:add weights, normalized to permille \
+                   (e.g. $(b,8:1:1) is 800 reads, 100 unit INCs and 100 \
+                   bulk ADDs per 1000 ops). Takes precedence over \
+                   $(b,--read-permille).")
+  in
+  let add_delta_arg =
+    Arg.(value & opt int 16
+         & info [ "add-delta" ] ~docv:"D"
+             ~doc:"Delta carried by each bulk ADD issued via $(b,--mix).")
   in
   let targets_arg =
     Arg.(value & opt (list string) []
@@ -662,7 +729,8 @@ let loadgen_cmd =
        ~doc:"Run the closed-loop load generator against a running \
              service and report throughput and latency percentiles")
     Term.(const run_loadgen $ unix_arg $ tcp_arg $ connections_arg $ ops_arg
-          $ pipeline_arg $ rp_arg $ targets_arg $ seed_arg)
+          $ pipeline_arg $ rp_arg $ mix_arg $ add_delta_arg $ targets_arg
+          $ seed_arg)
 
 let run_stats unix tcp =
   match Service.Client.connect (addr_of ~unix ~tcp) with
@@ -720,5 +788,5 @@ let () =
     exit 2
   end;
   let doc = "deterministic approximate objects (ICDCS 2021) playground" in
-  let info = Cmd.info "approx_cli" ~version:"1.2.0" ~doc in
+  let info = Cmd.info "approx_cli" ~version:"1.3.0" ~doc in
   exit (Cmd.eval' (Cmd.group info commands))

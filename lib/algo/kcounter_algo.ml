@@ -22,6 +22,10 @@ module Make (B : Backend.Backend_intf.S) = struct
     mutable last : int;  (* read-side scan position *)
     mutable p : int;  (* last mod k of the last set switch seen *)
     mutable q : int;  (* last / k of the last set switch seen *)
+    mutable cache_value : int;  (* last full-read result, if validated *)
+    mutable cache_version : int;  (* flip watermark it was read under; -1 = none *)
+    mutable fast_hits : int;  (* read_fast served from cache *)
+    mutable fast_misses : int;  (* read_fast fell through to the full read *)
     help : int array;  (* reusable read scratch; only slots 0 .. n-1 used *)
   }
 
@@ -53,6 +57,10 @@ module Make (B : Backend.Backend_intf.S) = struct
                 last = 0;
                 p = 0;
                 q = 0;
+                cache_value = 0;
+                cache_version = -1;
+                fast_hits = 0;
+                fast_misses = 0;
                 help = Array.make (n + Backend.Padded.padding_words) 0 }) }
 
   let k t = t.k
@@ -81,22 +89,47 @@ module Make (B : Backend.Backend_intf.S) = struct
     end
     else announce_scan t s ~pid ~j (l + 1)
 
-  (* CounterIncrement, paper lines 10-28. *)
-  let increment t ~pid =
-    let s = t.locals.(pid) in
-    s.lcounter <- s.lcounter + 1;
-    if s.lcounter = s.limit then begin
-      let j = s.limit_exp in
-      if j > 0 then announce_scan t s ~pid ~j (((j - 1) * t.k) + s.l0)
-      else begin
-        (* lines 25-28: first announcement targets switch_0; the paper
-           does not publish it in H (helping only ever adopts interval
-           switches). *)
-        if B.test_and_set t.switches ~pid 0 then s.lcounter <- 0;
-        s.limit_exp <- s.limit_exp + 1;
-        s.limit <- t.k * s.limit
-      end
+  (* One limit-boundary announcement — the body of lines 23-28, run
+     exactly when [lcounter] has just reached [limit]. *)
+  let announce_boundary t s ~pid =
+    let j = s.limit_exp in
+    if j > 0 then announce_scan t s ~pid ~j (((j - 1) * t.k) + s.l0)
+    else begin
+      (* lines 25-28: first announcement targets switch_0; the paper
+         does not publish it in H (helping only ever adopts interval
+         switches). *)
+      if B.test_and_set t.switches ~pid 0 then s.lcounter <- 0;
+      s.limit_exp <- s.limit_exp + 1;
+      s.limit <- t.k * s.limit
     end
+
+  (* CounterAdd: [amount] logical increments buffered locally, touching
+     shared memory only at the limit boundaries the unit-increment
+     schedule would also cross. The loop pins [lcounter] to exactly
+     [limit], announces, then restores the carried remainder — so the
+     boundary crossings (and hence the primitive step sequence, and the
+     amortized accounting of Theorem III.9) are identical to [amount]
+     unit increments, while everything between boundaries is private
+     arithmetic. Accuracy is unaffected: deferral up to [limit] is
+     Algorithm 1's own slack mechanism (lines 10-11). *)
+  let add t ~pid amount =
+    if amount < 0 then invalid_arg "Kcounter_algo.add: negative amount";
+    let s = t.locals.(pid) in
+    if amount > max_int - s.lcounter then raise Zmath.Overflow;
+    s.lcounter <- s.lcounter + amount;
+    while s.lcounter >= s.limit do
+      if s.limit > max_int / t.k then raise Zmath.Overflow;
+      let pending = s.lcounter - s.limit in
+      s.lcounter <- s.limit;
+      announce_boundary t s ~pid;
+      s.lcounter <- s.lcounter + pending
+    done
+
+  (* CounterIncrement, paper lines 10-28: [add 1]. The specialisation
+     is step-for-step the paper's pseudocode — after every operation
+     [lcounter < limit] holds, so the while loop fires iff the unit
+     increment lands exactly on [limit], with a zero carry. *)
+  let increment t ~pid = add t ~pid 1
 
   (* ReturnValue(p, q), paper lines 30-34: k * u_min(p, q), with the
      overflow test inlined (an option-returning guard would allocate on
@@ -158,6 +191,42 @@ module Make (B : Backend.Backend_intf.S) = struct
 
   (* CounterRead, paper lines 35-58. *)
   let read t ~pid = read_loop t t.locals.(pid) ~pid 0
+
+  (* Validated-cache read: serve the cached value when the switch
+     array's flip watermark is unchanged — one primitive step, zero
+     allocation. A miss runs the full read bracketed by the watermark
+     (the validation load that failed doubles as the pre-read stamp)
+     and caches only if no flip landed in between; otherwise the
+     (value, version) pairing would be unsound — a flip could land
+     after the value was computed yet before the stamp, leaving a
+     permanently stale cache.
+
+     Linearizability of a hit: the backend bumps the watermark after a
+     flip lands and before the flipping operation returns, so an
+     unchanged watermark proves every flip since the cached full read
+     belongs to a still-in-flight operation. Linearizing the cached
+     read before those concurrent increments is therefore legal, and
+     the served value is one a fresh full read could also have
+     returned. *)
+  let read_fast t ~pid =
+    let s = t.locals.(pid) in
+    let v = B.ts_version t.switches ~pid in
+    if v = s.cache_version then begin
+      s.fast_hits <- s.fast_hits + 1;
+      s.cache_value
+    end
+    else begin
+      s.fast_misses <- s.fast_misses + 1;
+      let value = read_loop t s ~pid 0 in
+      if B.ts_version t.switches ~pid = v then begin
+        s.cache_value <- value;
+        s.cache_version <- v
+      end;
+      value
+    end
+
+  let fast_hits t ~pid = t.locals.(pid).fast_hits
+  let fast_misses t ~pid = t.locals.(pid).fast_misses
 
   let local_pending t ~pid = t.locals.(pid).lcounter
   let switch_states t = B.ts_states t.switches

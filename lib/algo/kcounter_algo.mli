@@ -28,10 +28,39 @@ module Make (B : Backend.Backend_intf.S) : sig
 
   val increment : t -> pid:int -> unit
   (** [CounterIncrement] (lines 10-28); at most [k + 1] primitive
-      steps, 0 while below the local threshold. *)
+      steps, 0 while below the local threshold. Equivalent to
+      [add t ~pid 1] (and implemented as such). *)
+
+  val add : t -> pid:int -> int -> unit
+  (** [add t ~pid amount] applies [amount] logical increments. The
+      deferred total is buffered in [pid]'s local counter and shared
+      switches are touched only at the limit boundaries [amount] unit
+      increments would also cross, so one bulk [add] performs the same
+      primitive steps as the equivalent increment sequence — but the
+      arithmetic between boundaries is free. Amortized cost per
+      logical increment therefore stays within Theorem III.9's
+      constant bound and {e drops} as [amount] grows.
+      @raise Invalid_argument if [amount < 0].
+      @raise Zmath.Overflow if the deferred total or the announce
+      threshold would exceed [max_int]. *)
 
   val read : t -> pid:int -> int
   (** [CounterRead] (lines 35-58); wait-free via helping. *)
+
+  val read_fast : t -> pid:int -> int
+  (** Validated-cache read: one watermark load (one primitive step,
+      zero allocations) when no switch has flipped since [pid]'s last
+      completed full read; otherwise a full {!read} bracketed by
+      watermark loads, cached only if no flip raced it. Linearizable —
+      the backend's watermark contract guarantees any flip the
+      validation load has not observed belongs to a still-concurrent
+      operation. Same accuracy envelope as {!read}. *)
+
+  val fast_hits : t -> pid:int -> int
+  (** {!read_fast} calls by [pid] served from its cache. *)
+
+  val fast_misses : t -> pid:int -> int
+  (** {!read_fast} calls by [pid] that fell through to a full read. *)
 
   val k : t -> int
   val n : t -> int

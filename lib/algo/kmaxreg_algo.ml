@@ -11,21 +11,51 @@
 module Make (B : Backend.Backend_intf.S) = struct
   module Tree = Tree_maxreg_algo.Make (B)
 
-  type t = { m : int; k : int; inner : Obj_intf.max_register }
+  (* Per-pid validated read cache (see Kcounter_algo.read_fast for the
+     protocol and the linearizability argument). Only available when
+     the inner register is the default switch heap, whose modification
+     watermark Tree.version exposes; a custom inner handle is opaque,
+     so read_fast then degrades to the plain read. *)
+  type cache = {
+    mutable cache_value : int;
+    mutable cache_version : int;  (* -1 = nothing cached *)
+    mutable fast_hits : int;
+    mutable fast_misses : int;
+  }
+
+  type t = {
+    m : int;
+    k : int;
+    inner : Obj_intf.max_register;
+    tree : Tree.t option;  (* the default inner, when we built it *)
+    caches : cache array;
+  }
 
   let inner_bound ~m ~k = Zmath.floor_log ~base:k (m - 1) + 2
 
-  let create ctx ?(name = "kmax") ?inner ~m ~k () =
+  let create ctx ?(name = "kmax") ?inner ?(n = 1) ~m ~k () =
     if k < 2 then invalid_arg "Kmaxreg_algo.create: k < 2";
     if m < 2 then invalid_arg "Kmaxreg_algo.create: m < 2";
-    let inner =
+    if n < 1 then invalid_arg "Kmaxreg_algo.create: n < 1";
+    let inner_tree, inner =
       match inner with
-      | Some handle -> handle
+      | Some handle -> (None, handle)
       | None ->
         (* M stores indices 0 .. floor(log_k (m-1)) + 1. *)
-        Tree.handle (Tree.create ctx ~name ~m:(inner_bound ~m ~k) ())
+        let tree = Tree.create ctx ~name ~m:(inner_bound ~m ~k) () in
+        (Some tree, Tree.handle tree)
     in
-    { m; k; inner }
+    { m;
+      k;
+      inner;
+      tree = inner_tree;
+      caches =
+        Array.init n (fun _ ->
+            Backend.Padded.copy
+              { cache_value = 0;
+                cache_version = -1;
+                fast_hits = 0;
+                fast_misses = 0 }) }
 
   let write t ~pid v =
     if v < 0 || v >= t.m then invalid_arg "Kmaxreg_algo.write: value out of range";
@@ -38,6 +68,32 @@ module Make (B : Backend.Backend_intf.S) = struct
     match t.inner.Obj_intf.mr_read ~pid with
     | 0 -> 0
     | p -> Zmath.pow t.k p
+
+  (* Validated-cache read over the inner heap's watermark; same
+     hit/miss protocol as Kcounter_algo.read_fast. Requires [pid] to be
+     within the [n] given at creation. *)
+  let read_fast t ~pid =
+    match t.tree with
+    | None -> read t ~pid
+    | Some tree ->
+      let s = t.caches.(pid) in
+      let v = Tree.version tree ~pid in
+      if v = s.cache_version then begin
+        s.fast_hits <- s.fast_hits + 1;
+        s.cache_value
+      end
+      else begin
+        s.fast_misses <- s.fast_misses + 1;
+        let value = read t ~pid in
+        if Tree.version tree ~pid = v then begin
+          s.cache_value <- value;
+          s.cache_version <- v
+        end;
+        value
+      end
+
+  let fast_hits t ~pid = t.caches.(pid).fast_hits
+  let fast_misses t ~pid = t.caches.(pid).fast_misses
 
   let bound t = t.m
   let k t = t.k

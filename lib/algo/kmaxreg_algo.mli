@@ -21,14 +21,17 @@ module Make (B : Backend.Backend_intf.S) : sig
     B.ctx ->
     ?name:string ->
     ?inner:Obj_intf.max_register ->
+    ?n:int ->
     m:int ->
     k:int ->
     unit ->
     t
   (** Build phase only. [inner] (default: a fresh
       {!Tree_maxreg_algo} instance of bound {!inner_bound}) must be an
-      {e exact} max register over [0 .. inner_bound - 1].
-      @raise Invalid_argument if [k < 2] or [m < 2]. *)
+      {e exact} max register over [0 .. inner_bound - 1]. [n] (default
+      1) sizes the per-pid {!read_fast} caches; pids in [0 .. n-1] may
+      use the fast read path.
+      @raise Invalid_argument if [k < 2], [m < 2] or [n < 1]. *)
 
   val write : t -> pid:int -> int -> unit
   (** @raise Invalid_argument if the value is outside [0 .. m-1].
@@ -37,6 +40,17 @@ module Make (B : Backend.Backend_intf.S) : sig
   val read : t -> pid:int -> int
   (** 0 or a power of [k]; may exceed [m - 1] (the relaxed
       specification only requires [x <= v*k]). *)
+
+  val read_fast : t -> pid:int -> int
+  (** Validated-cache read over the default inner heap's modification
+      watermark: one primitive step and zero allocations when nothing
+      was written since [pid]'s last completed full read. Falls back
+      to {!read} when a custom [inner] handle was supplied (its
+      watermark is not observable). [pid] must be within the [n] of
+      {!create}. *)
+
+  val fast_hits : t -> pid:int -> int
+  val fast_misses : t -> pid:int -> int
 
   val bound : t -> int
   val k : t -> int

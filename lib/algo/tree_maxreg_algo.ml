@@ -61,6 +61,10 @@ module Make (B : Backend.Backend_intf.S) = struct
 
   let read t ~pid = read_node t ~pid 1 t.m 0
 
+  (* The heap's modification watermark (one step): unchanged iff no
+     switch write landed, i.e. the register value cannot have grown. *)
+  let version t ~pid = B.reg_array_version t.heap ~pid
+
   let handle t =
     { Obj_intf.mr_label = "tree-maxreg";
       mr_write = (fun ~pid v -> write t ~pid v);

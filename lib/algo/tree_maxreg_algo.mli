@@ -17,6 +17,12 @@ module Make (B : Backend.Backend_intf.S) : sig
   (** @raise Invalid_argument if the value is outside [0 .. m-1]. *)
 
   val read : t -> pid:int -> int
+
+  val version : t -> pid:int -> int
+  (** The switch heap's monotone modification watermark (one primitive
+      step): unchanged between two loads iff no heap write landed in
+      between, which is what validated read caching revalidates on. *)
+
   val bound : t -> int
   val handle : t -> Obj_intf.max_register
 end

@@ -51,12 +51,22 @@ let write r ~pid v =
   Atomic.set r.cell v
 
 (* Multi-writer register arrays are materialised eagerly (one padded
-   atomic per slot); lazy materialisation is a simulator luxury. *)
-type reg_array = { ra_ctx : ctx; cells : int Atomic.t array }
+   atomic per slot); lazy materialisation is a simulator luxury.
+
+   [version] is the array's monotone modification watermark: bumped
+   with a fetch&add *after* each write lands (the signature's ordering
+   contract — a write a reader hasn't seen the bump of belongs to an
+   operation that hasn't returned). Padded so validation loads by
+   readers never contend with the data cells. *)
+type reg_array = {
+  ra_ctx : ctx;
+  cells : int Atomic.t array;
+  ra_version : int Atomic.t;
+}
 
 let reg_array c ?name:_ ~len ~init () =
   if len < 0 then invalid_arg "Atomic_backend.reg_array: negative length";
-  { ra_ctx = c; cells = Padded.atomic_array len init }
+  { ra_ctx = c; cells = Padded.atomic_array len init; ra_version = Padded.atomic 0 }
 
 let reg_get a ~pid i =
   bump a.ra_ctx pid;
@@ -64,7 +74,12 @@ let reg_get a ~pid i =
 
 let reg_set a ~pid i v =
   bump a.ra_ctx pid;
-  Atomic.set a.cells.(i) v
+  Atomic.set a.cells.(i) v;
+  ignore (Atomic.fetch_and_add a.ra_version 1)
+
+let reg_array_version a ~pid =
+  bump a.ra_ctx pid;
+  Atomic.get a.ra_version
 
 type swmr_array = reg_array
 
@@ -87,12 +102,18 @@ exception Ts_capacity_exceeded of { index : int; max_capacity : int }
    so even j = 2^20 with k = 2 needs 2^(2^19) increments. *)
 let ts_max_capacity = Packed.max_value + 1
 
-type ts_array = { ts_ctx : ctx; switches : int Atomic.t array Atomic.t }
+type ts_array = {
+  ts_ctx : ctx;
+  switches : int Atomic.t array Atomic.t;
+  ts_ver : int Atomic.t;  (* flip watermark; bumped after each 0 -> 1 flip *)
+}
 
 let ts_array c ?name:_ ?(capacity_hint = 1024) () =
   if capacity_hint < 1 || capacity_hint > ts_max_capacity then
     invalid_arg "Atomic_backend.ts_array: capacity_hint out of range";
-  { ts_ctx = c; switches = Atomic.make (Padded.atomic_array capacity_hint 0) }
+  { ts_ctx = c;
+    switches = Atomic.make (Padded.atomic_array capacity_hint 0);
+    ts_ver = Padded.atomic 0 }
 
 (* Install a larger switch array. The atomic cells themselves are
    shared between the old and new arrays, so concurrent test&sets on
@@ -117,7 +138,13 @@ let test_and_set t ~pid j =
   bump t.ts_ctx pid;
   let arr = Atomic.get t.switches in
   let arr = if j < Array.length arr then arr else grow t j in
-  Atomic.compare_and_set arr.(j) 0 1
+  let flipped = Atomic.compare_and_set arr.(j) 0 1 in
+  if flipped then ignore (Atomic.fetch_and_add t.ts_ver 1);
+  flipped
+
+let ts_version t ~pid =
+  bump t.ts_ctx pid;
+  Atomic.get t.ts_ver
 
 (* A switch beyond the current array was never set. *)
 let ts_read t ~pid j =

@@ -74,6 +74,24 @@ module type S = sig
   val reg_get : reg_array -> pid:int -> int -> int
   val reg_set : reg_array -> pid:int -> int -> int -> unit
 
+  val reg_array_version : reg_array -> pid:int -> int
+  (** A monotone modification watermark for the whole array: a
+      non-negative stamp that strictly increases with (i.e. no later
+      than one primitive after) every {!reg_set}. One step — this is
+      the load that makes validated read caching cheap.
+
+      Contract (same as {!ts_version}): the stamp is bumped {e after}
+      the write lands, by the writing process, before its operation
+      returns. So if a reader observes the same stamp at two points in
+      time, every write that landed in between belongs to an operation
+      that had not yet returned at the second observation — i.e. is
+      still concurrent with the reader, and a cached value from the
+      first observation is a linearizable answer at the second. A
+      reader must pair a cached value with a stamp read {e before} and
+      re-read {e after} the full read (caching only when the two
+      agree), because a write may land between a stamp load and the
+      value read. *)
+
   (** {2 Single-writer register arrays}
 
       One slot per process; slot [i] is written only by process [i]
@@ -117,6 +135,20 @@ module type S = sig
 
   val ts_read : ts_array -> pid:int -> int -> bool
   (** Whether [switch_j] is set. One step. *)
+
+  val ts_version : ts_array -> pid:int -> int
+  (** A monotone flip watermark: a non-negative stamp that increases
+      with every switch that flips 0 -> 1 (and never otherwise
+      decreases; backends may over-bump on failed probes, which only
+      costs readers a spurious cache invalidation). One step.
+
+      Ordering contract: the bump happens {e after} the flip lands and
+      {e before} the flipping process's operation returns. Hence an
+      unchanged stamp across two reader observations proves every flip
+      in between is part of a still-in-flight (concurrent) operation,
+      which is what makes serving a cached value linearizable — see
+      {!reg_array_version} for the full argument and the read-side
+      double-check protocol. *)
 
   val ts_capacity : ts_array -> int
   (** Current physical capacity (diagnostic; [max_int] if unbounded). *)

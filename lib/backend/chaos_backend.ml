@@ -82,6 +82,10 @@ module Make (B : Backend_intf.S) = struct
     maybe_pause a.ra_ctx pid;
     B.reg_set a.ra ~pid i v
 
+  let reg_array_version a ~pid =
+    maybe_pause a.ra_ctx pid;
+    B.reg_array_version a.ra ~pid
+
   type swmr_array = { sw_ctx : ctx; sw : B.swmr_array }
 
   let swmr_array c ?name ~n ~init () =
@@ -111,6 +115,10 @@ module Make (B : Backend_intf.S) = struct
   let ts_read t ~pid j =
     maybe_pause t.ts_ctx pid;
     B.ts_read t.ts ~pid j
+
+  let ts_version t ~pid =
+    maybe_pause t.ts_ctx pid;
+    B.ts_version t.ts ~pid
 
   let ts_capacity t = B.ts_capacity t.ts
   let ts_states t = B.ts_states t.ts

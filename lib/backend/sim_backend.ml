@@ -53,13 +53,26 @@ let write r ~pid v =
   bump r.r_ctx pid;
   Sim.Api.write r.id v
 
-type reg_array = { ra_ctx : ctx; region : Sim.Memory.region; len : int }
+(* [version] is uncharged metadata, not a simulated cell: bumping it
+   after the write costs no step (the paper's algorithms don't maintain
+   it — the backend does), while *reading* it via [reg_array_version]
+   is one charged step like any other primitive. The bump happens after
+   the [Sim.Api.write] effect resolves, which is the ordering the
+   signature contract requires: a flip/write whose bump a reader has
+   not seen belongs to an operation that has not returned yet. *)
+type reg_array = {
+  ra_ctx : ctx;
+  region : Sim.Memory.region;
+  len : int;
+  mutable ra_version : int;
+}
 
 let reg_array c ?(name = "regs") ~len ~init () =
   if len < 0 then invalid_arg "Sim_backend.reg_array: negative length";
   { ra_ctx = c;
     region = Sim.Memory.region (mem c) ~name ~default:(Sim.Memory.V_int init) ();
-    len }
+    len;
+    ra_version = 0 }
 
 let reg_get a ~pid i =
   bump a.ra_ctx pid;
@@ -67,7 +80,16 @@ let reg_get a ~pid i =
 
 let reg_set a ~pid i v =
   bump a.ra_ctx pid;
-  Sim.Api.write (Sim.Memory.region_cell (mem a.ra_ctx) a.region i) v
+  Sim.Api.write (Sim.Memory.region_cell (mem a.ra_ctx) a.region i) v;
+  a.ra_version <- a.ra_version + 1
+
+(* One charged step (the scratch read is the simulated access; the
+   metadata load piggybacks on it, mirroring how a hardware backend
+   pays one atomic load). *)
+let reg_array_version a ~pid =
+  bump a.ra_ctx pid;
+  ignore (Sim.Api.read a.ra_ctx.scratch);
+  a.ra_version
 
 type swmr_array = { sw_ctx : ctx; cells : Sim.Memory.obj_id array }
 
@@ -92,15 +114,29 @@ exception Ts_capacity_exceeded of { index : int; max_capacity : int }
 
 let ts_max_capacity = max_int
 
-type ts_array = { ts_ctx : ctx; region : Sim.Memory.region }
+type ts_array = {
+  ts_ctx : ctx;
+  region : Sim.Memory.region;
+  mutable ts_ver : int;  (* flip watermark; uncharged metadata, see reg_array *)
+}
 
 let ts_array c ?(name = "switch") ?capacity_hint:_ () =
   { ts_ctx = c;
-    region = Sim.Memory.region (mem c) ~name ~default:(Sim.Memory.V_int 0) () }
+    region = Sim.Memory.region (mem c) ~name ~default:(Sim.Memory.V_int 0) ();
+    ts_ver = 0 }
 
 let test_and_set t ~pid j =
   bump t.ts_ctx pid;
-  Sim.Api.test_and_set (Sim.Memory.region_cell (mem t.ts_ctx) t.region j) = 0
+  let flipped =
+    Sim.Api.test_and_set (Sim.Memory.region_cell (mem t.ts_ctx) t.region j) = 0
+  in
+  if flipped then t.ts_ver <- t.ts_ver + 1;
+  flipped
+
+let ts_version t ~pid =
+  bump t.ts_ctx pid;
+  ignore (Sim.Api.read t.ts_ctx.scratch);
+  t.ts_ver
 
 let ts_read t ~pid j =
   bump t.ts_ctx pid;

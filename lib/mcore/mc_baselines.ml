@@ -3,6 +3,7 @@ module Faa_counter = struct
 
   let create () = Padded.atomic 0
   let increment t = ignore (Atomic.fetch_and_add t 1)
+  let add t n = ignore (Atomic.fetch_and_add t n)
   let read t = Atomic.get t
 end
 

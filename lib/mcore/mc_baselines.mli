@@ -12,6 +12,11 @@ module Faa_counter : sig
 
   val create : unit -> t
   val increment : t -> unit
+
+  val add : t -> int -> unit
+  (** One fetch&add of [n] — the exact baseline for batched
+      increments. *)
+
   val read : t -> int
 end
 

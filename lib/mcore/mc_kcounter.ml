@@ -21,7 +21,11 @@ let create ?(switch_capacity = 1024) ~n ~k () =
     ()
 
 let increment = A.increment
+let add = A.add
 let read = A.read
+let read_fast = A.read_fast
+let fast_hits = A.fast_hits
+let fast_misses = A.fast_misses
 let k = A.k
 let n = A.n
 let capacity = A.capacity

@@ -47,7 +47,30 @@ val create : ?switch_capacity:int -> n:int -> k:int -> unit -> t
     only the initial allocation; the switch array grows on demand. *)
 
 val increment : t -> pid:int -> unit
+
+val add : t -> pid:int -> int -> unit
+(** Bulk increment: [amount] logical increments buffered locally,
+    touching shared switches only at the limit boundaries unit
+    increments would also cross — so amortized shared-memory cost per
+    logical increment drops with the batch size while the k-envelope
+    is preserved (deferral up to the local limit is Algorithm 1's own
+    slack mechanism). Allocation-free.
+    @raise Invalid_argument on a negative amount. *)
+
 val read : t -> pid:int -> int
+
+val read_fast : t -> pid:int -> int
+(** Validated-cache read: one atomic load (and zero allocations) when
+    no switch flipped since [pid]'s last completed full read,
+    otherwise a full {!read}. Linearizable, same k-accuracy as
+    {!read}; the watermark protocol is documented in
+    {!Algo.Kcounter_algo}. *)
+
+val fast_hits : t -> pid:int -> int
+(** {!read_fast} calls by [pid] served from its cache. *)
+
+val fast_misses : t -> pid:int -> int
+(** {!read_fast} calls by [pid] that fell through to a full read. *)
 
 val k : t -> int
 val n : t -> int

@@ -20,5 +20,8 @@ let write t v =
   A.write t ~pid:0 v
 
 let read t = A.read t ~pid:0
+let read_fast t = A.read_fast t ~pid:0
+let fast_hits t = A.fast_hits t ~pid:0
+let fast_misses t = A.fast_misses t ~pid:0
 let bound = A.bound
 let k = A.k

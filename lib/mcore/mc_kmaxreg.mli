@@ -19,5 +19,14 @@ val write : t -> int -> unit
 val read : t -> int
 (** Returns 0 or a power of [k]. *)
 
+val read_fast : t -> int
+(** Validated-cache read: one atomic load when nothing was written to
+    the inner switch heap since the last completed full read,
+    otherwise a full {!read}. Single-cache (pid 0), so meaningful for
+    a single reading domain — the service layer's owning shard. *)
+
+val fast_hits : t -> int
+val fast_misses : t -> int
+
 val bound : t -> int
 val k : t -> int

@@ -88,9 +88,14 @@ let mixed_worker mix ~inc ~read ~pid ~op_index =
 (* Domain sweep                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let sweep_domains ?(max_domains = 8) () =
+let sweep_domains ?(max_domains = 8) ?cores () =
   if max_domains < 1 then invalid_arg "Throughput.sweep_domains";
-  let recommended = Domain.recommended_domain_count () in
+  let recommended =
+    match cores with
+    | Some c when c >= 1 -> c
+    | Some _ -> invalid_arg "Throughput.sweep_domains: cores < 1"
+    | None -> Domain.recommended_domain_count ()
+  in
   let rec doublings d acc =
     if d > max_domains || d > recommended then List.rev acc
     else doublings (2 * d) (d :: acc)

@@ -76,8 +76,11 @@ val mixed_worker :
 
 (** {2 Domain sweep} *)
 
-val sweep_domains : ?max_domains:int -> unit -> int list
+val sweep_domains : ?max_domains:int -> ?cores:int -> unit -> int list
 (** Domain counts to benchmark: always [1; 2] (even on a single-core
     host, where extra domains time-slice), then powers of two up to
-    [min max_domains (Domain.recommended_domain_count ())].
-    [max_domains] defaults to 8. *)
+    [min max_domains cores]. [cores] defaults to
+    [Domain.recommended_domain_count ()] — pass an override when the
+    runtime under-reports the host (see [Perf.Pipeline.detect_cores]).
+    [max_domains] defaults to 8.
+    @raise Invalid_argument if [max_domains < 1] or [cores < 1]. *)

@@ -1,5 +1,12 @@
 module J = Mcore.Bench_json
 
+type service_mix = {
+  sm_label : string;
+  sm_read_permille : int;
+  sm_add_permille : int;
+  sm_add_delta : int;
+}
+
 type config = {
   trials : int;
   warmup_trials : int;
@@ -8,26 +15,76 @@ type config = {
   sim_n : int;
   sim_k : int;
   sim_ops_per_process : int;
+  fastpath_batch_sizes : int list;
   service_shards : int list;
   service_pipeline : int list;
+  service_mixes : service_mix list;
   service_connections : int;
   service_ops_per_connection : int;
   out_path : string;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Host core detection                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type cores = { raw_cores : int; effective_cores : int; cores_source : string }
+
+(* Some container runtimes pin Domain.recommended_domain_count to 1
+   even when more CPUs are online; ask the OS before believing it. *)
+let first_int_line cmd =
+  try
+    let ic = Unix.open_process_in cmd in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 -> int_of_string_opt line
+    | _ -> None
+  with Unix.Unix_error _ | Sys_error _ -> None
+
+let detect_cores () =
+  let raw = Domain.recommended_domain_count () in
+  if raw > 1 then { raw_cores = raw; effective_cores = raw; cores_source = "runtime" }
+  else
+    match first_int_line "getconf _NPROCESSORS_ONLN 2>/dev/null" with
+    | Some c when c >= 1 ->
+      { raw_cores = raw; effective_cores = max raw c; cores_source = "getconf" }
+    | _ ->
+      (match first_int_line "nproc 2>/dev/null" with
+       | Some c when c >= 1 ->
+         { raw_cores = raw; effective_cores = max raw c; cores_source = "nproc" }
+       | _ -> { raw_cores = raw; effective_cores = raw; cores_source = "runtime" })
+
+let default_mixes =
+  [ { sm_label = "mixed";
+      sm_read_permille = 200;
+      sm_add_permille = 0;
+      sm_add_delta = 16 };
+    { sm_label = "read-heavy";
+      sm_read_permille = 950;
+      sm_add_permille = 0;
+      sm_add_delta = 16 };
+    { sm_label = "add-heavy";
+      sm_read_permille = 100;
+      sm_add_permille = 300;
+      sm_add_delta = 16 } ]
+
 let default_config =
   { trials = 5;
     warmup_trials = 1;
     ops_per_domain = 100_000;
-    domains = Mcore.Throughput.sweep_domains ~max_domains:8 ();
+    domains =
+      Mcore.Throughput.sweep_domains ~max_domains:8
+        ~cores:(detect_cores ()).effective_cores ();
     sim_n = 16;
     sim_k = 4;
     sim_ops_per_process = 2048;
+    fastpath_batch_sizes = [ 1; 16; 256; 4096 ];
     service_shards = [ 1; 2; 4 ];
     service_pipeline = [ 1; 8; 32 ];
+    service_mixes = default_mixes;
     service_connections = 4;
     service_ops_per_connection = 10_000;
-    out_path = "BENCH_2.json" }
+    out_path = "BENCH_3.json" }
 
 let smoke_config =
   { trials = 3;
@@ -37,8 +94,18 @@ let smoke_config =
     sim_n = 4;
     sim_k = 2;
     sim_ops_per_process = 64;
+    fastpath_batch_sizes = [ 1; 16 ];
     service_shards = [ 2 ];
     service_pipeline = [ 1; 8 ];
+    service_mixes =
+      [ { sm_label = "mixed";
+          sm_read_permille = 200;
+          sm_add_permille = 0;
+          sm_add_delta = 16 };
+        { sm_label = "add-heavy";
+          sm_read_permille = 100;
+          sm_add_permille = 300;
+          sm_add_delta = 16 } ];
     service_connections = 2;
     service_ops_per_connection = 300;
     out_path = Filename.concat (Filename.get_temp_dir_name ()) "BENCH_smoke.json" }
@@ -55,7 +122,7 @@ let counter_objects ~domains =
      fun () ->
        let kc = Mcore.Mc_kcounter.create ~n:domains ~k () in
        ((fun ~pid -> Mcore.Mc_kcounter.increment kc ~pid),
-        fun ~pid -> ignore (Mcore.Mc_kcounter.read kc ~pid)));
+        fun ~pid -> ignore (Mcore.Mc_kcounter.read_fast kc ~pid)));
     ("faa",
      fun () ->
        let c = Mcore.Mc_baselines.Faa_counter.create () in
@@ -134,56 +201,176 @@ let maxreg_throughput cfg =
     cfg.domains
 
 (* ------------------------------------------------------------------ *)
+(* Fastpath ablation: cached reads and batched increments              *)
+(* ------------------------------------------------------------------ *)
+
+(* Same mixes as counter_throughput, but each (mix, domains) cell is
+   run twice on the k-counter: once through the plain collect-style
+   [read] and once through the watermark-validated [read_fast], so the
+   record carries the ablation rather than a before/after diff across
+   revisions. The cache hit/miss counters are summed over pids after
+   the measurement (warmup included — they are reported as a rate). *)
+let fastpath_read_ablation cfg =
+  List.concat_map
+    (fun domains ->
+      let k = max 2 (Zmath.ceil_sqrt domains) in
+      List.concat_map
+        (fun (mix : Mcore.Throughput.mix) ->
+          List.map
+            (fun (variant, cached) ->
+              let kc = Mcore.Mc_kcounter.create ~n:domains ~k () in
+              let inc ~pid = Mcore.Mc_kcounter.increment kc ~pid in
+              let read ~pid =
+                if cached then ignore (Mcore.Mc_kcounter.read_fast kc ~pid)
+                else ignore (Mcore.Mc_kcounter.read kc ~pid)
+              in
+              let worker = Mcore.Throughput.mixed_worker mix ~inc ~read in
+              let stats =
+                Mcore.Throughput.measure ~warmup_trials:cfg.warmup_trials
+                  ~trials:cfg.trials ~domains
+                  ~ops_per_domain:cfg.ops_per_domain ~worker ()
+              in
+              let hits = ref 0 and misses = ref 0 in
+              for pid = 0 to domains - 1 do
+                hits := !hits + Mcore.Mc_kcounter.fast_hits kc ~pid;
+                misses := !misses + Mcore.Mc_kcounter.fast_misses kc ~pid
+              done;
+              J.Obj
+                (("object", J.Str "kcounter")
+                 :: ("variant", J.Str variant)
+                 :: ("workload", J.Str mix.mix_label)
+                 :: stats_fields stats
+                 @ [ ("cache_hits", J.Int !hits);
+                     ("cache_misses", J.Int !misses) ]))
+            [ ("uncached", false); ("cached", true) ])
+        Mcore.Throughput.mixes)
+    cfg.domains
+
+(* Batched increments: every op is one [add batch], so increments/sec =
+   ops/sec x batch. The faa baseline gets the same treatment (a single
+   fetch-and-add of [batch]) to keep the comparison honest. *)
+let fastpath_inc_batching cfg =
+  List.concat_map
+    (fun domains ->
+      let k = max 2 (Zmath.ceil_sqrt domains) in
+      List.concat_map
+        (fun batch ->
+          let cells =
+            [ ("kcounter",
+               fun () ->
+                 let kc = Mcore.Mc_kcounter.create ~n:domains ~k () in
+                 fun ~pid -> Mcore.Mc_kcounter.add kc ~pid batch);
+              ("faa",
+               fun () ->
+                 let c = Mcore.Mc_baselines.Faa_counter.create () in
+                 fun ~pid:_ -> Mcore.Mc_baselines.Faa_counter.add c batch) ]
+          in
+          List.map
+            (fun (label, make) ->
+              let add = make () in
+              let stats =
+                Mcore.Throughput.measure ~warmup_trials:cfg.warmup_trials
+                  ~trials:cfg.trials ~domains
+                  ~ops_per_domain:cfg.ops_per_domain
+                  ~worker:(fun ~pid ~op_index:_ -> add ~pid)
+                  ()
+              in
+              let b = float_of_int batch in
+              J.Obj
+                (("object", J.Str label)
+                 :: ("batch", J.Int batch)
+                 :: stats_fields stats
+                 @ [ ("increments_per_sec_median",
+                      J.Float (stats.s_median_ops_per_sec *. b)) ]))
+            cells)
+        cfg.fastpath_batch_sizes)
+    cfg.domains
+
+let fastpath cfg =
+  J.Obj
+    [ ("read_ablation", J.List (fastpath_read_ablation cfg));
+      ("inc_batching", J.List (fastpath_inc_batching cfg)) ]
+
+(* ------------------------------------------------------------------ *)
 (* Service layer: end-to-end throughput through the wire protocol      *)
 (* ------------------------------------------------------------------ *)
 
 (* Each cell starts a fresh server on a private Unix socket, drives it
    with the closed-loop load generator and records throughput plus
    latency percentiles; the accuracy self-check counter doubles as an
-   end-to-end correctness gate for the benchmark itself. *)
+   end-to-end correctness gate for the benchmark itself. The fused-op
+   counters come from the same metrics registry and quantify how much
+   work the drain-batch fast path absorbed. *)
 let service_throughput cfg =
   List.concat_map
     (fun shards ->
-      List.map
+      List.concat_map
         (fun pipeline ->
-          let path =
-            Filename.concat
-              (Filename.get_temp_dir_name ())
-              (Printf.sprintf "approx_bench_%d_%d_%d.sock" (Unix.getpid ())
-                 shards pipeline)
-          in
-          let config = { Service.Server.default_config with shards } in
-          let srv = Service.Server.start ~config ~listen:(`Unix path) () in
-          let r =
-            Fun.protect
-              ~finally:(fun () -> Service.Server.stop srv)
-              (fun () ->
-                let lg =
-                  { Service.Loadgen.default_config with
-                    connections = cfg.service_connections;
-                    ops_per_connection = cfg.service_ops_per_connection;
-                    pipeline;
-                    seed = 42 }
-                in
-                let r = Service.Loadgen.run ~addr:(Service.Server.sockaddr srv) lg in
-                let acc =
-                  Service.Metrics.acc_violations_total (Service.Server.metrics srv)
-                in
-                (r, acc))
-          in
-          let lg_r, acc = r in
-          J.Obj
-            [ ("shards", J.Int shards);
-              ("pipeline", J.Int pipeline);
-              ("connections", J.Int cfg.service_connections);
-              ("ops_per_connection", J.Int cfg.service_ops_per_connection);
-              ("ok", J.Int lg_r.Service.Loadgen.ok);
-              ("busy", J.Int lg_r.Service.Loadgen.busy);
-              ("errors", J.Int lg_r.Service.Loadgen.errors);
-              ("ops_per_sec", J.Float lg_r.Service.Loadgen.ops_per_sec);
-              ("p50_ns", J.Int lg_r.Service.Loadgen.p50_ns);
-              ("p99_ns", J.Int lg_r.Service.Loadgen.p99_ns);
-              ("acc_violations", J.Int acc) ])
+          List.map
+            (fun mix ->
+              let path =
+                Filename.concat
+                  (Filename.get_temp_dir_name ())
+                  (Printf.sprintf "approx_bench_%d_%d_%d_%s.sock"
+                     (Unix.getpid ()) shards pipeline mix.sm_label)
+              in
+              let config = { Service.Server.default_config with shards } in
+              let srv = Service.Server.start ~config ~listen:(`Unix path) () in
+              let r =
+                Fun.protect
+                  ~finally:(fun () -> Service.Server.stop srv)
+                  (fun () ->
+                    let lg =
+                      { Service.Loadgen.default_config with
+                        connections = cfg.service_connections;
+                        ops_per_connection = cfg.service_ops_per_connection;
+                        pipeline;
+                        read_permille = mix.sm_read_permille;
+                        add_permille = mix.sm_add_permille;
+                        add_delta = mix.sm_add_delta;
+                        seed = 42 }
+                    in
+                    let r =
+                      Service.Loadgen.run ~addr:(Service.Server.sockaddr srv) lg
+                    in
+                    let m = Service.Server.metrics srv in
+                    let fused = ref 0 and deferred = ref 0 in
+                    for s = 0 to shards - 1 do
+                      let sh = Service.Metrics.shard m s in
+                      fused := !fused + sh.Service.Metrics.fused_applies;
+                      deferred := !deferred + sh.Service.Metrics.deferred_ops
+                    done;
+                    let memo_hits =
+                      List.fold_left
+                        (fun acc (o : Service.Metrics.obj) ->
+                          acc + o.Service.Metrics.batch_read_hits)
+                        0
+                        (Service.Metrics.objects m)
+                    in
+                    (r, Service.Metrics.acc_violations_total m, !fused,
+                     !deferred, memo_hits))
+              in
+              let lg_r, acc, fused, deferred, memo_hits = r in
+              J.Obj
+                [ ("shards", J.Int shards);
+                  ("pipeline", J.Int pipeline);
+                  ("mix", J.Str mix.sm_label);
+                  ("read_permille", J.Int mix.sm_read_permille);
+                  ("add_permille", J.Int mix.sm_add_permille);
+                  ("add_delta", J.Int mix.sm_add_delta);
+                  ("connections", J.Int cfg.service_connections);
+                  ("ops_per_connection", J.Int cfg.service_ops_per_connection);
+                  ("ok", J.Int lg_r.Service.Loadgen.ok);
+                  ("busy", J.Int lg_r.Service.Loadgen.busy);
+                  ("errors", J.Int lg_r.Service.Loadgen.errors);
+                  ("ops_per_sec", J.Float lg_r.Service.Loadgen.ops_per_sec);
+                  ("p50_ns", J.Int lg_r.Service.Loadgen.p50_ns);
+                  ("p99_ns", J.Int lg_r.Service.Loadgen.p99_ns);
+                  ("fused_applies", J.Int fused);
+                  ("deferred_ops", J.Int deferred);
+                  ("batch_read_hits", J.Int memo_hits);
+                  ("acc_violations", J.Int acc) ])
+            cfg.service_mixes)
         cfg.service_pipeline)
     cfg.service_shards
 
@@ -229,12 +416,15 @@ let simulator_metrics cfg =
 (* ------------------------------------------------------------------ *)
 
 let bench_json cfg =
+  let cores = detect_cores () in
   J.Obj
-    [ ("schema_version", J.Int 2);
+    [ ("schema_version", J.Int 3);
       ("suite", J.Str "approx_objects perf pipeline");
       ("host",
        J.Obj
-         [ ("recognized_cores", J.Int (Domain.recommended_domain_count ()));
+         [ ("recognized_cores", J.Int cores.raw_cores);
+           ("effective_cores", J.Int cores.effective_cores);
+           ("cores_source", J.Str cores.cores_source);
            ("ocaml_version", J.Str Sys.ocaml_version);
            ("word_size", J.Int Sys.word_size) ]);
       ("config",
@@ -243,17 +433,71 @@ let bench_json cfg =
            ("warmup_trials", J.Int cfg.warmup_trials);
            ("ops_per_domain", J.Int cfg.ops_per_domain);
            ("domains", J.List (List.map (fun d -> J.Int d) cfg.domains));
+           ("fastpath_batch_sizes",
+            J.List (List.map (fun b -> J.Int b) cfg.fastpath_batch_sizes));
            ("service_shards",
             J.List (List.map (fun s -> J.Int s) cfg.service_shards));
            ("service_pipeline",
             J.List (List.map (fun w -> J.Int w) cfg.service_pipeline));
+           ("service_mixes",
+            J.List (List.map (fun m -> J.Str m.sm_label) cfg.service_mixes));
            ("service_connections", J.Int cfg.service_connections);
            ("service_ops_per_connection",
             J.Int cfg.service_ops_per_connection) ]);
       ("counter_throughput", J.List (counter_throughput cfg));
       ("maxreg_throughput", J.List (maxreg_throughput cfg));
+      ("fastpath", fastpath cfg);
       ("service", J.List (service_throughput cfg));
       ("simulator", J.Obj [ ("algorithm1", simulator_metrics cfg) ]) ]
+
+(* ------------------------------------------------------------------ *)
+(* Record queries (CI regression guard)                                *)
+(* ------------------------------------------------------------------ *)
+
+let row_matches r ~object_ ~workload ~domains =
+  let str k' = match List.assoc_opt k' r with Some (J.Str s) -> Some s | _ -> None in
+  let int k' = match List.assoc_opt k' r with Some (J.Int i) -> Some i | _ -> None in
+  str "object" = Some object_
+  && str "workload" = Some workload
+  && int "domains" = Some domains
+
+(* The CI guard's measurement: the same cell as the record's kcounter
+   read-heavy domains=1 row, but always at full measurement size —
+   smoke trials (500 ops) are dominated by Domain.spawn/join, so their
+   absolute medians cannot be compared against a committed full-size
+   record. At the cached-read throughput this costs well under a
+   second. *)
+let read_heavy_floor_probe ?(trials = 3) ?(ops_per_domain = 200_000) () =
+  let make = List.assoc "kcounter" (counter_objects ~domains:1) in
+  let inc, read = make () in
+  let worker =
+    Mcore.Throughput.mixed_worker Mcore.Throughput.read_heavy ~inc ~read
+  in
+  let stats =
+    Mcore.Throughput.measure ~warmup_trials:1 ~trials ~domains:1
+      ~ops_per_domain ~worker ()
+  in
+  stats.Mcore.Throughput.s_median_ops_per_sec
+
+let kcounter_read_heavy_median json =
+  match json with
+  | J.Obj fields ->
+    (match List.assoc_opt "counter_throughput" fields with
+     | Some (J.List rows) ->
+       List.find_map
+         (fun row ->
+           match row with
+           | J.Obj r
+             when row_matches r ~object_:"kcounter" ~workload:"read-heavy"
+                    ~domains:1 ->
+             (match List.assoc_opt "ops_per_sec_median" r with
+              | Some (J.Float f) -> Some f
+              | Some (J.Int i) -> Some (float_of_int i)
+              | _ -> None)
+           | _ -> None)
+         rows
+     | _ -> None)
+  | _ -> None
 
 let run ?(quiet = false) cfg =
   let json = bench_json cfg in
@@ -264,31 +508,66 @@ let run ?(quiet = false) cfg =
       (String.concat ", " (List.map string_of_int cfg.domains));
     (match json with
      | J.Obj fields ->
+       let str_of r k' =
+         match List.assoc_opt k' r with Some (J.Str s) -> s | _ -> "?"
+       in
+       let num_of r k' =
+         match List.assoc_opt k' r with
+         | Some (J.Float f) -> f
+         | Some (J.Int i) -> float_of_int i
+         | _ -> Float.nan
+       in
        (match List.assoc_opt "counter_throughput" fields with
         | Some (J.List rows) ->
           List.iter
             (fun row ->
               match row with
               | J.Obj r ->
-                let str k' =
-                  match List.assoc_opt k' r with
-                  | Some (J.Str s) -> s
-                  | _ -> "?"
-                in
-                let num k' =
-                  match List.assoc_opt k' r with
-                  | Some (J.Float f) -> f
-                  | Some (J.Int i) -> float_of_int i
-                  | _ -> Float.nan
-                in
                 Printf.printf
                   "  %-9s %-10s domains=%.0f  median %8.2f Mops/s  (min %.2f, max %.2f)\n"
-                  (str "object") (str "workload") (num "domains")
-                  (num "ops_per_sec_median" /. 1e6)
-                  (num "ops_per_sec_min" /. 1e6)
-                  (num "ops_per_sec_max" /. 1e6)
+                  (str_of r "object") (str_of r "workload") (num_of r "domains")
+                  (num_of r "ops_per_sec_median" /. 1e6)
+                  (num_of r "ops_per_sec_min" /. 1e6)
+                  (num_of r "ops_per_sec_max" /. 1e6)
               | _ -> ())
             rows
+        | _ -> ());
+       (match List.assoc_opt "fastpath" fields with
+        | Some (J.Obj fp) ->
+          (match List.assoc_opt "read_ablation" fp with
+           | Some (J.List rows) ->
+             List.iter
+               (fun row ->
+                 match row with
+                 | J.Obj r ->
+                   let hits = num_of r "cache_hits"
+                   and misses = num_of r "cache_misses" in
+                   let rate =
+                     if hits +. misses > 0.0 then hits /. (hits +. misses)
+                     else 0.0
+                   in
+                   Printf.printf
+                     "  fastpath  %-8s %-10s domains=%.0f  median %8.2f Mops/s  hit-rate %.3f\n"
+                     (str_of r "variant") (str_of r "workload")
+                     (num_of r "domains")
+                     (num_of r "ops_per_sec_median" /. 1e6)
+                     rate
+                 | _ -> ())
+               rows
+           | _ -> ());
+          (match List.assoc_opt "inc_batching" fp with
+           | Some (J.List rows) ->
+             List.iter
+               (fun row ->
+                 match row with
+                 | J.Obj r ->
+                   Printf.printf
+                     "  batching  %-9s batch=%-5.0f domains=%.0f  %8.2f M incs/s\n"
+                     (str_of r "object") (num_of r "batch") (num_of r "domains")
+                     (num_of r "increments_per_sec_median" /. 1e6)
+                 | _ -> ())
+               rows
+           | _ -> ())
         | _ -> ());
        (match List.assoc_opt "service" fields with
         | Some (J.List rows) ->
@@ -296,20 +575,16 @@ let run ?(quiet = false) cfg =
             (fun row ->
               match row with
               | J.Obj r ->
-                let num k' =
-                  match List.assoc_opt k' r with
-                  | Some (J.Float f) -> f
-                  | Some (J.Int i) -> float_of_int i
-                  | _ -> Float.nan
-                in
                 Printf.printf
-                  "  service   shards=%.0f window=%-3.0f  %8.2f kops/s  p50 %6.0f ns  p99 %8.0f ns  busy=%.0f\n"
-                  (num "shards") (num "pipeline")
-                  (num "ops_per_sec" /. 1e3)
-                  (num "p50_ns") (num "p99_ns") (num "busy")
+                  "  service   shards=%.0f window=%-3.0f %-10s %8.2f kops/s  p50 %6.0f ns  p99 %8.0f ns  fused=%.0f\n"
+                  (num_of r "shards") (num_of r "pipeline") (str_of r "mix")
+                  (num_of r "ops_per_sec" /. 1e3)
+                  (num_of r "p50_ns") (num_of r "p99_ns")
+                  (num_of r "deferred_ops")
               | _ -> ())
             rows
         | _ -> ())
      | _ -> ());
     Printf.printf "written to %s\n" cfg.out_path
-  end
+  end;
+  json

@@ -3,17 +3,27 @@
     One entry point produces the whole performance record for a
     revision: multicore throughput (k-counter and max-register vs their
     exact baselines, across domain counts and operation mixes, each
-    summarised as min/median/max over repeated trials), end-to-end
+    summarised as min/median/max over repeated trials), the slack-aware
+    fast-path ablation (validated-cache reads vs plain reads, and
+    batched [add] vs unit increments across batch sizes), end-to-end
     service-layer throughput and latency percentiles (the sharded
     server of {!Service.Server} driven by {!Service.Loadgen} over the
-    wire protocol, swept across shard counts and pipeline windows),
-    plus the simulator's amortized step metrics for Algorithm 1 (the
-    measured form of Theorem III.9). The record is serialized with
-    {!Mcore.Bench_json} so successive revisions can be diffed —
-    a durable perf trajectory rather than one-off console tables.
+    wire protocol, swept across shard counts, pipeline windows and
+    read:inc:add mixes), plus the simulator's amortized step metrics
+    for Algorithm 1 (the measured form of Theorem III.9). The record is
+    serialized with {!Mcore.Bench_json} so successive revisions can be
+    diffed — a durable perf trajectory rather than one-off console
+    tables.
 
     Wired into [bench/main.exe] as experiment id [perf] and into
     [approx_cli] as the [bench] subcommand. *)
+
+type service_mix = {
+  sm_label : string;
+  sm_read_permille : int;  (** READs per 1000 ops *)
+  sm_add_permille : int;  (** bulk ADDs per 1000 ops *)
+  sm_add_delta : int;  (** delta carried by each ADD *)
+}
 
 type config = {
   trials : int;  (** recorded trials per measurement (>= 1) *)
@@ -23,19 +33,39 @@ type config = {
   sim_n : int;  (** simulator: processes *)
   sim_k : int;  (** simulator: accuracy parameter *)
   sim_ops_per_process : int;  (** simulator: ops per process *)
+  fastpath_batch_sizes : int list;
+      (** batch sizes for the [add] batching ablation *)
   service_shards : int list;  (** service: shard counts to sweep *)
   service_pipeline : int list;  (** service: in-flight windows to sweep *)
+  service_mixes : service_mix list;  (** service: op mixes to sweep *)
   service_connections : int;  (** service: loadgen connections *)
   service_ops_per_connection : int;  (** service: ops per connection *)
   out_path : string;  (** where to write the JSON record *)
 }
 
+(** {2 Host core detection} *)
+
+type cores = {
+  raw_cores : int;  (** what [Domain.recommended_domain_count] said *)
+  effective_cores : int;  (** after consulting the OS (>= raw) *)
+  cores_source : string;  (** ["runtime"], ["getconf"] or ["nproc"] *)
+}
+
+val detect_cores : unit -> cores
+(** [Domain.recommended_domain_count], but when the runtime reports a
+    single core (as it does under some containers) double-check with
+    [getconf _NPROCESSORS_ONLN] and then [nproc] before believing it.
+    Both the raw and effective values are recorded in the bench host
+    stanza so records from misdetecting hosts remain interpretable. *)
+
 val default_config : config
 (** 5 trials x 100k ops/domain over {!Mcore.Throughput.sweep_domains}
-    (always including domains = 1 and 2); simulator at n = 16,
-    k = ceil(sqrt n) = 4, 2048 ops/process; service swept over
-    shards {1, 2, 4} x windows {1, 8, 32} with 4 connections x 10k
-    ops; writes [BENCH_2.json] in the current directory. *)
+    driven by {!detect_cores} (always including domains = 1 and 2);
+    simulator at n = 16, k = ceil(sqrt n) = 4, 2048 ops/process;
+    batch sizes {1, 16, 256, 4096}; service swept over shards
+    {1, 2, 4} x windows {1, 8, 32} x mixes {mixed, read-heavy,
+    add-heavy} with 4 connections x 10k ops; writes [BENCH_3.json]
+    in the current directory. *)
 
 val smoke_config : config
 (** Tiny counts (3 trials x 500 ops, 64 sim ops) for the [dune runtest]
@@ -43,8 +73,22 @@ val smoke_config : config
     silently bitrotting without slowing the test suite down. *)
 
 val bench_json : config -> Mcore.Bench_json.t
-(** Run every measurement and assemble the record (no I/O). *)
+(** Run every measurement and assemble the record (no file I/O). *)
 
-val run : ?quiet:bool -> config -> unit
+val kcounter_read_heavy_median : Mcore.Bench_json.t -> float option
+(** The kcounter read-heavy domains=1 median from a record's
+    [counter_throughput] section, if present — the series the CI
+    regression guard tracks across BENCH_*.json revisions. *)
+
+val read_heavy_floor_probe :
+  ?trials:int -> ?ops_per_domain:int -> unit -> float
+(** Measure that same cell directly (3 trials x 200k ops by default,
+    after one warmup trial) and return the median in ops/s. The CI
+    guard uses this rather than the smoke record's row: 500-op smoke
+    trials are dominated by domain spawn/join overhead, so only a
+    full-size measurement is comparable against a committed record. *)
+
+val run : ?quiet:bool -> config -> Mcore.Bench_json.t
 (** {!bench_json}, then atomically write [config.out_path] and print a
-    one-screen summary (unless [quiet]). *)
+    one-screen summary (unless [quiet]); returns the record for
+    in-process checks such as the CI throughput floor. *)

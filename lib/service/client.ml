@@ -84,6 +84,7 @@ let roundtrip t req =
   resp
 
 let inc t name = roundtrip t (Wire.Inc { id = fresh_id t; name })
+let add t name delta = roundtrip t (Wire.Add { id = fresh_id t; name; delta })
 let read_op t name = roundtrip t (Wire.Read { id = fresh_id t; name })
 
 let write t name value =

@@ -41,6 +41,10 @@ val recv : t -> Wire.response
 (** {2 Synchronous convenience ops} *)
 
 val inc : t -> string -> Wire.response
+
+val add : t -> string -> int -> Wire.response
+(** Bulk increment: one ADD request of the given delta. *)
+
 val read_op : t -> string -> Wire.response
 val write : t -> string -> int -> Wire.response
 

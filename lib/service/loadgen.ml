@@ -3,6 +3,8 @@ type config = {
   ops_per_connection : int;
   pipeline : int;
   read_permille : int;
+  add_permille : int;
+  add_delta : int;
   targets : string list;
   seed : int;
 }
@@ -12,6 +14,8 @@ let default_config =
     ops_per_connection = 10_000;
     pipeline = 8;
     read_permille = 200;
+    add_permille = 0;
+    add_delta = 16;
     targets = [ "c0"; "c1"; "c2"; "c3" ];
     seed = 1 }
 
@@ -49,10 +53,13 @@ let worker ~addr ~cfg ~cid ~start =
       let id = !sent in
       let r = next state in
       let name = targets.(r mod Array.length targets) in
-      let is_read = (r / 64) mod 1000 < cfg.read_permille in
+      let mille = (r / 64) mod 1000 in
       send_times.(id mod cfg.pipeline) <- Unix.gettimeofday ();
       Client.send client
-        (if is_read then Wire.Read { id; name } else Wire.Inc { id; name });
+        (if mille < cfg.read_permille then Wire.Read { id; name }
+         else if mille < cfg.read_permille + cfg.add_permille then
+           Wire.Add { id; name; delta = cfg.add_delta }
+         else Wire.Inc { id; name });
       incr sent
     done;
     Client.flush client;
@@ -78,6 +85,10 @@ let run ~addr cfg =
   if cfg.targets = [] then invalid_arg "Loadgen.run: no targets";
   if cfg.read_permille < 0 || cfg.read_permille > 1000 then
     invalid_arg "Loadgen.run: read_permille outside 0..1000";
+  if
+    cfg.add_permille < 0 || cfg.read_permille + cfg.add_permille > 1000
+  then invalid_arg "Loadgen.run: read + add permille outside 0..1000";
+  if cfg.add_delta < 0 then invalid_arg "Loadgen.run: add_delta < 0";
   let start = Atomic.make false in
   let domains =
     Array.init cfg.connections (fun cid ->

@@ -12,14 +12,18 @@ type config = {
   connections : int;  (** Client domains. *)
   ops_per_connection : int;
   pipeline : int;  (** In-flight window per connection (>= 1). *)
-  read_permille : int;  (** Reads per 1000 ops; the rest increment. *)
+  read_permille : int;  (** Reads per 1000 ops. *)
+  add_permille : int;
+      (** Bulk ADDs per 1000 ops ([read + add <= 1000]); the
+          remainder are unit INCs. *)
+  add_delta : int;  (** Delta carried by each ADD. *)
   targets : string list;  (** Counter objects to drive. *)
   seed : int;
 }
 
 val default_config : config
-(** 4 connections x 10_000 ops, pipeline 8, 200 permille reads,
-    targets [c0 .. c3], seed 1. *)
+(** 4 connections x 10_000 ops, pipeline 8, 200 permille reads, no
+    ADDs (delta 16 when enabled), targets [c0 .. c3], seed 1. *)
 
 type result = {
   ok : int;  (** [Value] replies. *)

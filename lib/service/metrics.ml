@@ -5,6 +5,7 @@ type obj = {
   o_kind : string;
   o_shard : int;
   mutable incs : int;
+  mutable adds : int;
   mutable reads : int;
   mutable writes : int;
   mutable rejects : int;
@@ -12,6 +13,9 @@ type obj = {
   mutable acc_violations : int;
   mutable last_served : int;
   mutable last_exact : int;
+  mutable batch_read_hits : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
 }
 
 type shard = {
@@ -19,6 +23,9 @@ type shard = {
   mutable tasks : int;
   mutable batches : int;
   mutable max_batch : int;
+  mutable fused_applies : int;
+  mutable deferred_ops : int;
+  s_fused : Histogram.t;
   s_latency : Histogram.t;
 }
 
@@ -49,6 +56,9 @@ let create ~shards =
               tasks = 0;
               batches = 0;
               max_batch = 0;
+              fused_applies = 0;
+              deferred_ops = 0;
+              s_fused = Histogram.create ();
               s_latency = Histogram.create () });
     objs = [];
     io =
@@ -68,13 +78,17 @@ let add_obj t ~name ~kind ~shard =
         o_kind = kind;
         o_shard = shard;
         incs = 0;
+        adds = 0;
         reads = 0;
         writes = 0;
         rejects = 0;
         acc_checks = 0;
         acc_violations = 0;
         last_served = 0;
-        last_exact = 0 }
+        last_exact = 0;
+        batch_read_hits = 0;
+        cache_hits = 0;
+        cache_misses = 0 }
   in
   t.objs <- o :: t.objs;
   o
@@ -96,7 +110,7 @@ let oversized_frames t = t.io.oversized_frames
 
 let total_ops t =
   List.fold_left
-    (fun acc o -> acc + o.incs + o.reads + o.writes)
+    (fun acc o -> acc + o.incs + o.adds + o.reads + o.writes)
     0 t.objs
 
 let acc_violations_total t =
@@ -108,13 +122,17 @@ let obj_json o =
       ("kind", J.Str o.o_kind);
       ("shard", J.Int o.o_shard);
       ("incs", J.Int o.incs);
+      ("adds", J.Int o.adds);
       ("reads", J.Int o.reads);
       ("writes", J.Int o.writes);
       ("rejects", J.Int o.rejects);
       ("acc_checks", J.Int o.acc_checks);
       ("acc_violations", J.Int o.acc_violations);
       ("last_served", J.Int o.last_served);
-      ("last_exact", J.Int o.last_exact) ]
+      ("last_exact", J.Int o.last_exact);
+      ("batch_read_hits", J.Int o.batch_read_hits);
+      ("cache_hits", J.Int o.cache_hits);
+      ("cache_misses", J.Int o.cache_misses) ]
 
 let shard_json s =
   J.Obj
@@ -122,6 +140,9 @@ let shard_json s =
       ("tasks", J.Int s.tasks);
       ("batches", J.Int s.batches);
       ("max_batch", J.Int s.max_batch);
+      ("fused_applies", J.Int s.fused_applies);
+      ("deferred_ops", J.Int s.deferred_ops);
+      ("fused_per_drain", Histogram.to_json s.s_fused);
       ("latency_ns", Histogram.to_json s.s_latency) ]
 
 let to_json t =

@@ -17,6 +17,7 @@ type obj = {
   o_kind : string;  (** ["kcounter"], ["faa"], ["kmaxreg"], ["cas-maxreg"] *)
   o_shard : int;
   mutable incs : int;
+  mutable adds : int;  (** Bulk ADD requests (each worth its delta). *)
   mutable reads : int;
   mutable writes : int;
   mutable rejects : int;  (** WRITEs refused as [Bad_request] (value out of range) *)
@@ -28,6 +29,13 @@ type obj = {
           non-zero value is a bug in the served algorithm. *)
   mutable last_served : int;
   mutable last_exact : int;
+  mutable batch_read_hits : int;
+      (** READs answered from the per-drain memo instead of a fresh
+          object read (drain-batch read fusion). *)
+  mutable cache_hits : int;
+      (** The algorithm-level validated-cache hit counter (snapshot of
+          the owning pid's [fast_hits]); approximate kinds only. *)
+  mutable cache_misses : int;
 }
 
 type shard = {
@@ -35,6 +43,13 @@ type shard = {
   mutable tasks : int;  (** Requests executed by this shard. *)
   mutable batches : int;  (** Queue drains (>= 1 task each). *)
   mutable max_batch : int;
+  mutable fused_applies : int;
+      (** Bulk applies performed — dirty objects per drain, summed. *)
+  mutable deferred_ops : int;
+      (** INC/ADD requests that were coalesced into those applies. *)
+  s_fused : Histogram.t;
+      (** Per drain: INC/ADD requests coalesced (the fused-ops-per-
+          drain distribution; 0 for drains with no increments). *)
   s_latency : Histogram.t;
       (** Nanoseconds from I/O-domain enqueue to response encoded. *)
 }

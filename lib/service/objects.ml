@@ -33,11 +33,31 @@ type impl =
   | I_kmaxreg of Mcore.Mc_kmaxreg.t * int ref * int * int  (* reg, exact, k, m *)
   | I_casmax of Mcore.Mc_baselines.Cas_maxreg.t
 
-type obj = { o_spec : spec; o_shard : int; impl : impl; o_stats : Metrics.obj }
+(* [pending_delta]/[o_dirty] and [batch_value]/[batch_stamp] are
+   drain-batch scratch, touched only by the owning shard between a
+   queue drain's accumulate and reply phases (Server.exec_batch):
+   deferred increments fused into one [apply_pending], and the one
+   computed read value every READ of the drain is answered from. *)
+type obj = {
+  o_spec : spec;
+  o_shard : int;
+  impl : impl;
+  o_stats : Metrics.obj;
+  mutable pending_delta : int;
+  mutable o_dirty : bool;
+  mutable batch_value : int;
+  mutable batch_stamp : int;  (* drain stamp of batch_value; -1 = none *)
+}
 
 let spec o = o.o_spec
 let shard_of o = o.o_shard
 let stats o = o.o_stats
+let is_counter_obj o = is_counter o.o_spec.kind
+
+(* ADD deltas beyond this are rejected as Bad_request: it keeps a
+   drain's fused total (max_batch * delta) far from int overflow while
+   allowing any sane client-side batch. *)
+let max_add_delta = 1 lsl 32
 
 type table = { by_name : (string, obj) Hashtbl.t; order : obj list }
 
@@ -69,7 +89,11 @@ let build ~metrics ~shards specs =
             impl;
             o_stats =
               Metrics.add_obj metrics ~name:s.name ~kind:(kind_label s.kind)
-                ~shard }
+                ~shard;
+            pending_delta = 0;
+            o_dirty = false;
+            batch_value = 0;
+            batch_stamp = -1 }
         in
         Hashtbl.add by_name s.name o;
         o)
@@ -111,19 +135,78 @@ let accuracy_check o ~k ~served ~exact ~lower_exact =
   in
   if not ok then o.o_stats.acc_violations <- o.o_stats.acc_violations + 1
 
+(* Reads take the validated-cache fast path. The accuracy self-check
+   stays exact: the owning shard is the object's only mutator, so an
+   unchanged watermark means the switch state is untouched and a fresh
+   full read would return the very same value the cache holds. *)
 let read o ~pid =
   o.o_stats.reads <- o.o_stats.reads + 1;
   match o.impl with
   | I_kcounter (c, exact, k) ->
-    let served = Mcore.Mc_kcounter.read c ~pid in
+    let served = Mcore.Mc_kcounter.read_fast c ~pid in
+    o.o_stats.cache_hits <- Mcore.Mc_kcounter.fast_hits c ~pid;
+    o.o_stats.cache_misses <- Mcore.Mc_kcounter.fast_misses c ~pid;
     accuracy_check o ~k ~served ~exact:!exact ~lower_exact:false;
     served
   | I_faa c -> Mcore.Mc_baselines.Faa_counter.read c
   | I_kmaxreg (r, exact, k, _) ->
-    let served = Mcore.Mc_kmaxreg.read r in
+    let served = Mcore.Mc_kmaxreg.read_fast r in
+    o.o_stats.cache_hits <- Mcore.Mc_kmaxreg.fast_hits r;
+    o.o_stats.cache_misses <- Mcore.Mc_kmaxreg.fast_misses r;
     accuracy_check o ~k ~served ~exact:!exact ~lower_exact:true;
     served
   | I_casmax r -> Mcore.Mc_baselines.Cas_maxreg.read r
+
+(* ------------------------------------------------------------------ *)
+(* Drain-batch fusion (owning shard only; see Server.exec_batch)       *)
+(* ------------------------------------------------------------------ *)
+
+(* Accumulate one INC ([via_add = false], delta 1) or ADD into the
+   object's pending total. Returns [true] iff this deferral dirtied a
+   clean object — the caller's cue to put it on the drain's dirty
+   list. The caller must have validated kind (counter) and delta
+   ([0 .. max_add_delta]). *)
+let defer o ~via_add delta =
+  if via_add then o.o_stats.adds <- o.o_stats.adds + 1
+  else o.o_stats.incs <- o.o_stats.incs + 1;
+  o.pending_delta <- o.pending_delta + delta;
+  if o.o_dirty then false
+  else begin
+    o.o_dirty <- true;
+    true
+  end
+
+(* Apply every deferred increment of the drain as one bulk add. *)
+let apply_pending o ~pid =
+  let n = o.pending_delta in
+  o.pending_delta <- 0;
+  o.o_dirty <- false;
+  if n > 0 then
+    match o.impl with
+    | I_kcounter (c, exact, _) ->
+      Mcore.Mc_kcounter.add c ~pid n;
+      exact := !exact + n
+    | I_faa c -> Mcore.Mc_baselines.Faa_counter.add c n
+    | I_kmaxreg _ | I_casmax _ -> assert false (* defer checks the kind *)
+
+(* Serve a READ within drain [stamp]: compute the value once per
+   (object, drain), answer every further READ of the drain from the
+   memo. Sound because all requests popped in one drain are in flight
+   concurrently — any of them may linearize at the single computed
+   read. [stamp] must be distinct per drain (the shard's drain
+   counter). *)
+let batch_read o ~pid ~stamp =
+  if o.batch_stamp = stamp then begin
+    o.o_stats.reads <- o.o_stats.reads + 1;
+    o.o_stats.batch_read_hits <- o.o_stats.batch_read_hits + 1;
+    o.batch_value
+  end
+  else begin
+    let v = read o ~pid in
+    o.batch_stamp <- stamp;
+    o.batch_value <- v;
+    v
+  end
 
 let write o ~pid:_ v =
   match o.impl with

@@ -40,6 +40,14 @@ val spec : obj -> spec
 val shard_of : obj -> int
 val stats : obj -> Metrics.obj
 
+val is_counter_obj : obj -> bool
+(** Whether INC/ADD applies to this object ({!is_counter} of its
+    kind). *)
+
+val max_add_delta : int
+(** Largest ADD delta the server accepts per request ([2^32]); keeps
+    a drain's fused total far from int overflow. *)
+
 type table
 
 val build : metrics:Metrics.t -> shards:int -> spec list -> table
@@ -60,8 +68,32 @@ val inc : obj -> pid:int -> (int, unit) result
 (** [Ok 0], or [Error ()] for a non-counter object. *)
 
 val read : obj -> pid:int -> int
-(** The served value (any kind). *)
+(** The served value (any kind). Approximate kinds take the validated
+    watermark-cache fast path ([read_fast]); the accuracy self-check
+    remains exact because the owning shard is the only mutator, so an
+    unchanged watermark implies a fresh full read would return the
+    cached value. *)
 
 val write : obj -> pid:int -> int -> (int, unit) result
 (** [Ok 0] for an in-range max-register write; [Error ()] for a
     counter object or an out-of-range value (recorded as a reject). *)
+
+(** {2 Drain-batch fusion}
+
+    Owning shard only, between the accumulate and reply phases of one
+    queue drain ({!Server}); see each function's comment in the
+    implementation for the linearizability argument. *)
+
+val defer : obj -> via_add:bool -> int -> bool
+(** Accumulate one INC ([via_add = false], delta 1) or ADD (delta in
+    [0 .. max_add_delta], validated by the caller) into the object's
+    pending total; [true] iff the object was clean (caller adds it to
+    the drain's dirty list). Counter objects only. *)
+
+val apply_pending : obj -> pid:int -> unit
+(** Apply the drain's deferred increments as one bulk add and mark the
+    object clean. *)
+
+val batch_read : obj -> pid:int -> stamp:int -> int
+(** Serve a READ in drain [stamp], computing the object's value at
+    most once per drain ([stamp] must be distinct per drain). *)

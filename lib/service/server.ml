@@ -39,7 +39,7 @@ type conn = {
 type task = {
   t_conn : conn;
   t_obj : Objects.obj;
-  t_op : [ `Inc | `Read | `Write of int ];
+  t_op : [ `Inc | `Add of int | `Read | `Write of int ];
   t_id : int;
   t_enq : float;
 }
@@ -88,41 +88,111 @@ let enqueue_response t conn resp =
 (* Shard domains                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let exec_task t shard_id (stats : Metrics.shard) task =
-  let id = task.t_id in
-  let resp =
-    match task.t_op with
-    | `Inc -> (
-      match Objects.inc task.t_obj ~pid:shard_id with
-      | Ok v -> Wire.Value { id; value = v }
-      | Error () -> Wire.Bad_request { id })
-    | `Read -> Wire.Value { id; value = Objects.read task.t_obj ~pid:shard_id }
-    | `Write v -> (
-      match Objects.write task.t_obj ~pid:shard_id v with
-      | Ok r -> Wire.Value { id; value = r }
-      | Error () -> Wire.Bad_request { id })
-  in
+let finish_task t (stats : Metrics.shard) task resp =
   stats.tasks <- stats.tasks + 1;
   enqueue_response t task.t_conn resp;
   Histogram.record stats.s_latency
     (int_of_float ((Unix.gettimeofday () -. task.t_enq) *. 1e9));
   ignore (Atomic.fetch_and_add task.t_conn.c_pending (-1))
 
+(* Drain-batch fusion. Every task popped in one drain is in flight
+   concurrently — the client pipelined all of them and none has been
+   answered — so the shard may linearize them in any serial order.
+   That makes two fusions sound:
+   - all INC/ADDs for one object coalesce into a single bulk
+     [Objects.apply_pending] (phase 1 accumulates, phase 2 applies);
+   - every READ of one object is answered from a single computed
+     value ([Objects.batch_read], keyed by the drain stamp) — they
+     all linearize at that one read.
+   Replies still go out in arrival order with per-task latency
+   accounting; WRITEs and rejections are handled inline in phase 1
+   (a WRITE between two READs of a max register in the same drain is
+   concurrent with both, so answering both reads from one value
+   remains linearizable). *)
+let exec_batch t shard_id (stats : Metrics.shard) batch n ~stamp ~dirty =
+  let n_dirty = ref 0 in
+  let deferred = ref 0 in
+  (* Phase 1: writes and rejections inline; increments accumulate;
+     reads wait for phase 3. *)
+  for i = 0 to n - 1 do
+    match batch.(i) with
+    | None -> ()
+    | Some task -> (
+      let id = task.t_id in
+      match task.t_op with
+      | `Write v ->
+        let resp =
+          match Objects.write task.t_obj ~pid:shard_id v with
+          | Ok r -> Wire.Value { id; value = r }
+          | Error () -> Wire.Bad_request { id }
+        in
+        finish_task t stats task resp;
+        batch.(i) <- None
+      | `Inc | `Add _ ->
+        let bad_delta =
+          match task.t_op with
+          | `Add d -> d < 0 || d > Objects.max_add_delta
+          | _ -> false
+        in
+        if bad_delta || not (Objects.is_counter_obj task.t_obj) then begin
+          let os = Objects.stats task.t_obj in
+          os.rejects <- os.rejects + 1;
+          finish_task t stats task (Wire.Bad_request { id });
+          batch.(i) <- None
+        end
+        else begin
+          let via_add, delta =
+            match task.t_op with `Add d -> (true, d) | _ -> (false, 1)
+          in
+          if Objects.defer task.t_obj ~via_add delta then begin
+            dirty.(!n_dirty) <- Some task.t_obj;
+            incr n_dirty
+          end;
+          incr deferred
+        end
+      | `Read -> ())
+  done;
+  (* Phase 2: one bulk add per dirty object. *)
+  for j = 0 to !n_dirty - 1 do
+    (match dirty.(j) with
+     | Some obj -> Objects.apply_pending obj ~pid:shard_id
+     | None -> ());
+    dirty.(j) <- None
+  done;
+  stats.fused_applies <- stats.fused_applies + !n_dirty;
+  stats.deferred_ops <- stats.deferred_ops + !deferred;
+  Histogram.record stats.s_fused !deferred;
+  (* Phase 3: replies in arrival order. *)
+  for i = 0 to n - 1 do
+    match batch.(i) with
+    | None -> ()
+    | Some task ->
+      let id = task.t_id in
+      let resp =
+        match task.t_op with
+        | `Inc | `Add _ -> Wire.Value { id; value = 0 }
+        | `Read ->
+          Wire.Value
+            { id; value = Objects.batch_read task.t_obj ~pid:shard_id ~stamp }
+        | `Write _ -> assert false (* finished in phase 1 *)
+      in
+      finish_task t stats task resp;
+      batch.(i) <- None
+  done
+
 let shard_loop t shard_id =
   let q = t.queues.(shard_id) in
   let stats = Metrics.shard t.metrics shard_id in
   let batch = Array.make t.cfg.max_batch None in
+  let dirty = Array.make t.cfg.max_batch None in
+  let stamp = ref 0 in
   let rec go () =
     let n = Bqueue.pop_batch q ~max:t.cfg.max_batch batch in
     if n > 0 then begin
       stats.batches <- stats.batches + 1;
       if n > stats.max_batch then stats.max_batch <- n;
-      for i = 0 to n - 1 do
-        (match batch.(i) with
-         | Some task -> exec_task t shard_id stats task
-         | None -> ());
-        batch.(i) <- None
-      done;
+      incr stamp;
+      exec_batch t shard_id stats batch n ~stamp:!stamp ~dirty;
       go ()
     end
   in
@@ -171,6 +241,7 @@ let dispatch t conn req =
     enqueue_response t conn (Wire.Stats_json { id; json })
   | Wire.Ping { id } -> enqueue_response t conn (Wire.Pong { id })
   | Wire.Inc { id; name } -> object_op id name `Inc
+  | Wire.Add { id; name; delta } -> object_op id name (`Add delta)
   | Wire.Read { id; name } -> object_op id name `Read
   | Wire.Write { id; name; value } -> object_op id name (`Write value)
 

@@ -9,6 +9,7 @@ type request =
   | Write of { id : int; name : string; value : int }
   | Stats of { id : int }
   | Ping of { id : int }
+  | Add of { id : int; name : string; delta : int }
 
 type response =
   | Value of { id : int; value : int }
@@ -20,7 +21,7 @@ type response =
 
 let request_id = function
   | Inc { id; _ } | Read { id; _ } | Write { id; _ } | Stats { id }
-  | Ping { id } ->
+  | Ping { id } | Add { id; _ } ->
     id
 
 let response_id = function
@@ -46,7 +47,9 @@ let check_name name =
 
 let encode_request buf req =
   (match req with
-   | Inc { name; _ } | Read { name; _ } | Write { name; _ } -> check_name name
+   | Inc { name; _ } | Read { name; _ } | Write { name; _ }
+   | Add { name; _ } ->
+     check_name name
    | Stats _ | Ping _ -> ());
   let named op id name extra =
     add_header buf (6 + String.length name + extra);
@@ -61,6 +64,9 @@ let encode_request buf req =
   | Write { id; name; value } ->
     named 3 id name 8;
     add_i64 buf value
+  | Add { id; name; delta } ->
+    named 6 id name 8;
+    add_i64 buf delta
   | Stats { id } ->
     add_header buf 5;
     Buffer.add_uint8 buf 4;
@@ -129,18 +135,19 @@ let parse_request b off plen =
     match op with
     | 4 -> if plen = 5 then Some (Stats { id }) else None
     | 5 -> if plen = 5 then Some (Ping { id }) else None
-    | 1 | 2 | 3 ->
+    | 1 | 2 | 3 | 6 ->
       if plen < 6 then None
       else begin
         let nlen = Bytes.get_uint8 b (off + 5) in
-        let extra = if op = 3 then 8 else 0 in
+        let extra = if op = 3 || op = 6 then 8 else 0 in
         if plen <> 6 + nlen + extra then None
         else
           let name = Bytes.sub_string b (off + 6) nlen in
           match op with
           | 1 -> Some (Inc { id; name })
           | 2 -> Some (Read { id; name })
-          | _ -> Some (Write { id; name; value = get_i64 b (off + 6 + nlen) })
+          | 3 -> Some (Write { id; name; value = get_i64 b (off + 6 + nlen) })
+          | _ -> Some (Add { id; name; delta = get_i64 b (off + 6 + nlen) })
       end
     | _ -> None
 

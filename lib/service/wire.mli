@@ -5,11 +5,11 @@
     followed by the payload. Request payloads are
 
     {v
-    byte  0        op      (1=INC 2=READ 3=WRITE 4=STATS 5=PING)
+    byte  0        op      (1=INC 2=READ 3=WRITE 4=STATS 5=PING 6=ADD)
     bytes 1-4      request id, unsigned 32-bit big-endian
-    byte  5        object-name length L        (INC/READ/WRITE only)
-    bytes 6..6+L-1 object name                 (INC/READ/WRITE only)
-    bytes +0..+7   value, signed 64-bit BE     (WRITE only)
+    byte  5        object-name length L        (INC/READ/WRITE/ADD only)
+    bytes 6..6+L-1 object name                 (INC/READ/WRITE/ADD only)
+    bytes +0..+7   value/delta, signed 64-bit BE  (WRITE/ADD only)
     v}
 
     and response payloads are
@@ -52,6 +52,10 @@ type request =
   | Write of { id : int; name : string; value : int }
   | Stats of { id : int }
   | Ping of { id : int }
+  | Add of { id : int; name : string; delta : int }
+      (** Bulk increment: [delta] logical increments in one request.
+          Counters only; the server rejects [delta < 0] as
+          [Bad_request]. Encoded like [Write] under op 6. *)
 
 type response =
   | Value of { id : int; value : int }

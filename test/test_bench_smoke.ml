@@ -53,7 +53,10 @@ let test_json_atomic_write () =
 let test_pipeline_smoke () =
   let path = Filename.temp_file "bench_smoke" ".json" in
   let cfg = { Perf.Pipeline.smoke_config with out_path = path } in
-  Perf.Pipeline.run ~quiet:true cfg;
+  let record = Perf.Pipeline.run ~quiet:true cfg in
+  (match Perf.Pipeline.kcounter_read_heavy_median record with
+   | Some m -> Alcotest.(check bool) "read-heavy median positive" true (m > 0.0)
+   | None -> Alcotest.fail "no kcounter read-heavy median in record");
   let ic = open_in path in
   let s = really_input_string ic (in_channel_length ic) in
   close_in ic;
@@ -65,11 +68,15 @@ let test_pipeline_smoke () =
       Alcotest.(check bool)
         (Printf.sprintf "record mentions %S" needle)
         true (contains ~needle s))
-    [ "schema_version"; "counter_throughput"; "maxreg_throughput";
+    [ "\"schema_version\": 3"; "counter_throughput"; "maxreg_throughput";
       "amortized_steps_per_op"; "ops_per_sec_median"; "ops_per_sec_min";
       "ops_per_sec_max"; "kcounter"; "faa"; "\"domains\": 1";
       "\"domains\": 2"; "\"service\""; "\"shards\": 2"; "p50_ns"; "p99_ns";
-      "\"errors\": 0"; "\"acc_violations\": 0" ]
+      "\"errors\": 0"; "\"acc_violations\": 0"; "\"fastpath\"";
+      "read_ablation"; "inc_batching"; "\"variant\": \"cached\"";
+      "\"variant\": \"uncached\""; "increments_per_sec_median";
+      "effective_cores"; "cores_source"; "\"mix\": \"add-heavy\"";
+      "fused_applies"; "deferred_ops"; "batch_read_hits" ]
 
 let suite =
   [ ("json basic", `Quick, test_json_basic);

@@ -101,6 +101,131 @@ let test_kcounter_accuracy () =
         stats.M.last_exact;
       Cl.close c)
 
+let test_add_op () =
+  with_server (fun srv ->
+      let c = Cl.connect (Srv.sockaddr srv) in
+      (* Exact baseline: ADD sums deltas precisely. *)
+      ignore (value_exn (Cl.add c "faa" 0));
+      for i = 1 to 50 do
+        ignore (value_exn (Cl.add c "faa" i))
+      done;
+      check Alcotest.int "faa sums the deltas exactly" 1275
+        (Cl.read_value c "faa");
+      (* Approximate counter: envelope against the exact shadow. *)
+      let exact = ref 0 in
+      for i = 1 to 30 do
+        ignore (value_exn (Cl.add c "c0" (i * 7)));
+        exact := !exact + (i * 7)
+      done;
+      let served = Cl.read_value c "c0" in
+      Alcotest.(check bool)
+        (Printf.sprintf "ADD total %d served within envelope (%d)" !exact
+           served)
+        true
+        (Zmath.within_k ~k:4 ~exact:!exact served);
+      let stats = obj_stats srv "c0" in
+      check Alcotest.int "adds counted" 30 stats.M.adds;
+      check Alcotest.int "exact shadow tracks the deltas" !exact
+        stats.M.last_exact;
+      (* Rejection: negative and oversized deltas, non-counter target. *)
+      (match Cl.add c "c0" (-1) with
+       | W.Bad_request _ -> ()
+       | _ -> Alcotest.fail "negative delta accepted");
+      (match Cl.add c "c0" (Service.Objects.max_add_delta + 1) with
+       | W.Bad_request _ -> ()
+       | _ -> Alcotest.fail "oversized delta accepted");
+      (match Cl.add c "kmaxreg" 5 with
+       | W.Bad_request _ -> ()
+       | _ -> Alcotest.fail "ADD on a max register accepted");
+      (match Cl.add c "no-such-object" 1 with
+       | W.Unknown_object _ -> ()
+       | _ -> Alcotest.fail "expected Unknown_object");
+      Cl.close c)
+
+(* ------------------------------------------------------------------ *)
+(* Drain-batch fusion                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Server-level fusion counts are timing-dependent (they depend on how
+   many tasks each drain happens to pop), so the deterministic test
+   drives the Objects fusion API directly; the wire-level test below
+   only asserts value correctness and counter consistency. *)
+let test_objects_fusion_deterministic () =
+  let metrics = M.create ~shards:1 in
+  let table =
+    Service.Objects.build ~metrics ~shards:1
+      (Service.Objects.default_specs ~counters:1 ~k:4)
+  in
+  let o = Option.get (Service.Objects.find table "c0") in
+  Alcotest.(check bool) "first defer dirties" true
+    (Service.Objects.defer o ~via_add:false 1);
+  Alcotest.(check bool) "second defer finds it dirty" false
+    (Service.Objects.defer o ~via_add:true 41);
+  Service.Objects.apply_pending o ~pid:0;
+  let stats = Service.Objects.stats o in
+  check Alcotest.int "one inc recorded" 1 stats.M.incs;
+  check Alcotest.int "one add recorded" 1 stats.M.adds;
+  let v1 = Service.Objects.batch_read o ~pid:0 ~stamp:1 in
+  let v2 = Service.Objects.batch_read o ~pid:0 ~stamp:1 in
+  check Alcotest.int "same drain stamp memoizes the value" v1 v2;
+  check Alcotest.int "memo hit counted" 1 stats.M.batch_read_hits;
+  check Alcotest.int "both reads counted" 2 stats.M.reads;
+  Alcotest.(check bool) "fused value within envelope of 42" true
+    (Zmath.within_k ~k:4 ~exact:42 v1);
+  check Alcotest.int "self-check ran once (memo hit skips it)" 1
+    stats.M.acc_checks;
+  check Alcotest.int "no violations" 0 stats.M.acc_violations;
+  Alcotest.(check bool) "defer after apply dirties anew" true
+    (Service.Objects.defer o ~via_add:false 1);
+  Service.Objects.apply_pending o ~pid:0;
+  let v3 = Service.Objects.batch_read o ~pid:0 ~stamp:2 in
+  Alcotest.(check bool) "new stamp recomputes within envelope" true
+    (Zmath.within_k ~k:4 ~exact:43 v3)
+
+let test_pipelined_fusion_burst () =
+  (* max_pending must exceed the burst or the tail gets BUSY replies. *)
+  let config = { Srv.default_config with shards = 1; max_pending = 1_000 } in
+  with_server ~config (fun srv ->
+      let c = Cl.connect (Srv.sockaddr srv) in
+      let total = ref 0 in
+      let reads = ref [] in
+      let nops = 300 in
+      for id = 0 to nops - 1 do
+        if id mod 3 = 2 then Cl.send c (W.Read { id; name = "faa" })
+        else begin
+          Cl.send c (W.Inc { id; name = "faa" });
+          incr total
+        end
+      done;
+      Cl.flush c;
+      for _ = 1 to nops do
+        match Cl.recv c with
+        | W.Value { id; value } ->
+          if id mod 3 = 2 then reads := value :: !reads
+          else check Alcotest.int "inc acks with 0" 0 value
+        | W.Busy _ -> Alcotest.fail "unexpected BUSY (pending bound raised)"
+        | _ -> Alcotest.fail "unexpected reply under the burst"
+      done;
+      (* All ops were concurrently in flight, so any monotone read
+         sequence bounded by the final exact count is linearizable;
+         shard-serial execution makes it monotone in reply order. *)
+      ignore
+        (List.fold_left
+           (fun prev v ->
+             Alcotest.(check bool)
+               (Printf.sprintf "read %d monotone and <= %d" v !total)
+               true
+               (v >= prev && v <= !total);
+             v)
+           0 (List.rev !reads));
+      check Alcotest.int "final count exact" !total (Cl.read_value c "faa");
+      (* Every executed INC went through the defer/apply fusion path. *)
+      let sh = M.shard (Srv.metrics srv) 0 in
+      check Alcotest.int "every inc was deferred" !total sh.M.deferred_ops;
+      Alcotest.(check bool) "bulk applies happened" true
+        (sh.M.fused_applies >= 1 && sh.M.fused_applies <= !total);
+      Cl.close c)
+
 (* ------------------------------------------------------------------ *)
 (* Loadgen against a 4-shard server                                    *)
 (* ------------------------------------------------------------------ *)
@@ -264,8 +389,14 @@ let () =
   Alcotest.run "service_server"
     [ ("serving",
        [ ("basic ops and error replies", `Quick, test_basic_ops);
+         ("ADD: exact sums, envelope, rejection", `Quick, test_add_op);
          ("k-counter accuracy self-check", `Quick, test_kcounter_accuracy);
          ("loadgen against 4 shards", `Quick, test_loadgen_4_shards) ]);
+      ("fusion",
+       [ ("objects-level defer/apply/batch_read", `Quick,
+          test_objects_fusion_deterministic);
+         ("pipelined burst through the fused drain", `Quick,
+          test_pipelined_fusion_burst) ]);
       ("backpressure",
        [ ("bounded queue answers BUSY, stays up", `Quick,
           test_backpressure_bounded);

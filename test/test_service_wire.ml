@@ -33,6 +33,7 @@ let gen_request =
       [ map (fun name -> W.Inc { id; name }) gen_name;
         map (fun name -> W.Read { id; name }) gen_name;
         map2 (fun name value -> W.Write { id; name; value }) gen_name int;
+        map2 (fun name delta -> W.Add { id; name; delta }) gen_name int;
         return (W.Stats { id });
         return (W.Ping { id }) ])
 

@@ -15,9 +15,28 @@ dune runtest
 echo "== backend functor-instantiation smoke matrix =="
 dune exec bin/approx_cli.exe -- backends
 
-echo "== bench pipeline smoke (CLI path) =="
+echo "== bench pipeline smoke (CLI path) + perf regression guard =="
+# Floor: the committed BENCH_2 kcounter read-heavy domains=1 median.
+# The validated-cache read path must not regress below the last
+# committed record even in the smoke configuration.
+FLOOR=$(awk '/"object":/ { obj = ($2 ~ /kcounter/) }
+  obj && /"workload":/ { rh = ($2 ~ /read-heavy/) }
+  obj && rh && /"ops_per_sec_median":/ { gsub(/,/,"",$2); print $2; exit }' \
+  BENCH_2.json)
+[ -n "$FLOOR" ] || { echo "could not extract the BENCH_2 floor"; exit 1; }
+echo "   (floor: kcounter read-heavy median >= $FLOOR ops/s)"
 dune exec bin/approx_cli.exe -- bench --smoke --out /tmp/BENCH_ci_smoke.json \
-  > /dev/null
+  --check-floor "$FLOOR" > /dev/null
+grep -q '"schema_version": 3' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record is not schema_version 3"; exit 1; }
+grep -q '"fastpath"' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record missing the fastpath experiment"; exit 1; }
+grep -q '"read_ablation"' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record missing the read ablation"; exit 1; }
+grep -q '"inc_batching"' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record missing the inc batching sweep"; exit 1; }
+grep -q '"effective_cores"' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record missing host core detection"; exit 1; }
 rm -f /tmp/BENCH_ci_smoke.json
 
 echo "== unknown subcommand exits 2 with usage on stderr =="
@@ -45,7 +64,7 @@ for _ in $(seq 1 100); do
 done
 [ -S "$SOCK" ] || { echo "service socket never appeared"; exit 1; }
 dune exec bin/approx_cli.exe -- loadgen --unix "$SOCK" \
-  --connections 2 --ops 2000 --pipeline 8
+  --connections 2 --ops 2000 --pipeline 8 --mix 2:6:2 --add-delta 8
 dune exec bin/approx_cli.exe -- stats --unix "$SOCK" \
   > /tmp/approx_ci_stats.json
 grep -q '"acc_violations_total": 0' /tmp/approx_ci_stats.json \
