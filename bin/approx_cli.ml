@@ -494,7 +494,7 @@ let bench_cmd =
                    two up to the recognized core count).")
   in
   let out_arg =
-    Arg.(value & opt string "BENCH_3.json"
+    Arg.(value & opt string "BENCH_4.json"
          & info [ "out" ] ~docv:"FILE" ~doc:"Output JSON path.")
   in
   let smoke_arg =
@@ -541,19 +541,20 @@ let counters_arg =
        & info [ "counters" ] ~docv:"C"
            ~doc:"Number of hosted k-counters (named c0 .. c<C-1>).")
 
-let run_serve shards queue_capacity max_batch max_pending unix tcp counters k
-    duration =
-  if shards < 1 || counters < 1 || k < 2 || queue_capacity < 1
-     || max_batch < 1 || max_pending < 1
+let run_serve shards io_domains queue_capacity max_batch max_pending unix tcp
+    counters k duration =
+  if shards < 1 || io_domains < 1 || counters < 1 || k < 2
+     || queue_capacity < 1 || max_batch < 1 || max_pending < 1
   then begin
-    prerr_endline "serve: shards/counters/queue/batch/pending must be \
-                   positive and k >= 2";
+    prerr_endline "serve: shards/io-domains/counters/queue/batch/pending \
+                   must be positive and k >= 2";
     2
   end
   else begin
     let config =
       { Service.Server.default_config with
         shards;
+        io_domains;
         queue_capacity;
         max_batch;
         max_pending;
@@ -571,10 +572,10 @@ let run_serve shards queue_capacity max_batch max_pending unix tcp counters k
       | Unix.ADDR_INET (host, port) ->
         Printf.sprintf "%s:%d" (Unix.string_of_inet_addr host) port
     in
-    Printf.printf "serving %d objects on %s: %d shard(s), batch<=%d, \
-                   queue=%d, pending<=%d\n%!"
-      (List.length config.specs) addr shards max_batch queue_capacity
-      max_pending;
+    Printf.printf "serving %d objects on %s: %d shard(s), %d io domain(s), \
+                   batch<=%d, queue=%d, pending<=%d\n%!"
+      (List.length config.specs) addr shards io_domains max_batch
+      queue_capacity max_pending;
     let stop = ref false in
     let handler = Sys.Signal_handle (fun _ -> stop := true) in
     Sys.set_signal Sys.sigint handler;
@@ -609,6 +610,12 @@ let serve_cmd =
     Arg.(value & opt int 2
          & info [ "shards" ] ~docv:"S" ~doc:"Worker domains.")
   in
+  let io_domains_arg =
+    Arg.(value & opt int 1
+         & info [ "io-domains" ] ~docv:"D"
+             ~doc:"Event-loop domains; connections are dealt to them \
+                   round-robin at accept.")
+  in
   let duration_arg =
     Arg.(value & opt float 0.0
          & info [ "duration" ] ~docv:"SECS"
@@ -618,8 +625,9 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Host approximate objects behind the binary wire protocol \
              (sharded multi-domain server with built-in metrics)")
-    Term.(const run_serve $ shards_arg $ queue_arg $ batch_arg $ pending_arg
-          $ unix_arg $ tcp_arg $ counters_arg $ k_arg $ duration_arg)
+    Term.(const run_serve $ shards_arg $ io_domains_arg $ queue_arg
+          $ batch_arg $ pending_arg $ unix_arg $ tcp_arg $ counters_arg
+          $ k_arg $ duration_arg)
 
 (* --mix R:I:A — relative read:inc:add weights, normalized to permille
    (e.g. 8:1:1 is 800 reads, 100 incs, 100 adds per 1000 ops). *)
@@ -635,7 +643,7 @@ let parse_mix s =
   | _ -> None
 
 let run_loadgen unix tcp connections ops pipeline read_permille mix add_delta
-    targets seed =
+    targets seed min_throughput =
   let mix_permilles =
     match mix with
     | None -> Some (read_permille, 0)
@@ -683,7 +691,15 @@ let run_loadgen unix tcp connections ops pipeline read_permille mix add_delta
     Printf.printf "throughput %.0f ops/s, latency p50 %d ns, p99 %d ns\n"
       r.Service.Loadgen.ops_per_sec r.Service.Loadgen.p50_ns
       r.Service.Loadgen.p99_ns;
-    if r.Service.Loadgen.errors > 0 then 1 else 0
+    if r.Service.Loadgen.errors > 0 then 1
+    else
+      match min_throughput with
+      | Some floor when r.Service.Loadgen.ops_per_sec < floor ->
+        Printf.eprintf
+          "loadgen: throughput floor FAILED: %.0f < %.0f ops/s\n"
+          r.Service.Loadgen.ops_per_sec floor;
+        1
+      | _ -> 0
   end
 
 let loadgen_cmd =
@@ -724,13 +740,20 @@ let loadgen_cmd =
          & info [ "targets" ] ~docv:"NAME,..."
              ~doc:"Counter objects to drive (default c0,c1,c2,c3).")
   in
+  let min_throughput_arg =
+    Arg.(value & opt (some float) None
+         & info [ "min-throughput" ] ~docv:"OPS_PER_SEC"
+             ~doc:"Exit 1 unless the measured throughput reaches $(docv) \
+                   — the CI regression probe against a committed BENCH \
+                   record.")
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:"Run the closed-loop load generator against a running \
              service and report throughput and latency percentiles")
     Term.(const run_loadgen $ unix_arg $ tcp_arg $ connections_arg $ ops_arg
           $ pipeline_arg $ rp_arg $ mix_arg $ add_delta_arg $ targets_arg
-          $ seed_arg)
+          $ seed_arg $ min_throughput_arg)
 
 let run_stats unix tcp =
   match Service.Client.connect (addr_of ~unix ~tcp) with
@@ -788,5 +811,5 @@ let () =
     exit 2
   end;
   let doc = "deterministic approximate objects (ICDCS 2021) playground" in
-  let info = Cmd.info "approx_cli" ~version:"1.3.0" ~doc in
+  let info = Cmd.info "approx_cli" ~version:"1.4.0" ~doc in
   exit (Cmd.eval' (Cmd.group info commands))

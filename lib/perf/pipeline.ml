@@ -21,6 +21,10 @@ type config = {
   service_mixes : service_mix list;
   service_connections : int;
   service_ops_per_connection : int;
+  service_io_domains : int list;
+  service_io_conns : int list;
+  service_io_shards : int list;
+  service_io_ops_per_connection : int;
   out_path : string;
 }
 
@@ -84,7 +88,11 @@ let default_config =
     service_mixes = default_mixes;
     service_connections = 4;
     service_ops_per_connection = 10_000;
-    out_path = "BENCH_3.json" }
+    service_io_domains = [ 1; 2; 4 ];
+    service_io_conns = [ 16; 64 ];
+    service_io_shards = [ 1; 4 ];
+    service_io_ops_per_connection = 1_000;
+    out_path = "BENCH_4.json" }
 
 let smoke_config =
   { trials = 3;
@@ -108,6 +116,10 @@ let smoke_config =
           sm_add_delta = 16 } ];
     service_connections = 2;
     service_ops_per_connection = 300;
+    service_io_domains = [ 1; 2 ];
+    service_io_conns = [ 2 ];
+    service_io_shards = [ 1 ];
+    service_io_ops_per_connection = 200;
     out_path = Filename.concat (Filename.get_temp_dir_name ()) "BENCH_smoke.json" }
 
 (* ------------------------------------------------------------------ *)
@@ -375,6 +387,106 @@ let service_throughput cfg =
     cfg.service_shards
 
 (* ------------------------------------------------------------------ *)
+(* Service I/O plane: io_domains x connections x shards sweep          *)
+(* ------------------------------------------------------------------ *)
+
+let fstats xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  (a.(0), a.(n / 2), a.(n - 1))
+
+(* The scaling experiment behind the multi-domain event loops: every
+   cell is a fresh server per trial (warmup + recorded), driven by the
+   closed-loop loadgen at the mixed op ratio with a fixed pipeline
+   window, summarised as min/median/max ops/s. The per-loop metrics of
+   the last trial are folded in (wakeups, active cycles, per-write
+   flush sizes are in STATS; here we keep the scalar aggregates), and
+   the accuracy self-check doubles as the correctness gate: a cell
+   with errors or violations invalidates the whole record. *)
+let service_io_throughput cfg =
+  let mix = List.hd default_mixes (* mixed *) in
+  let pipeline = 8 in
+  List.concat_map
+    (fun io_domains ->
+      List.concat_map
+        (fun conns ->
+          List.map
+            (fun shards ->
+              let run_once trial =
+                let path =
+                  Filename.concat
+                    (Filename.get_temp_dir_name ())
+                    (Printf.sprintf "approx_io_%d_%d_%d_%d_%d.sock"
+                       (Unix.getpid ()) io_domains conns shards trial)
+                in
+                let config =
+                  { Service.Server.default_config with shards; io_domains }
+                in
+                let srv =
+                  Service.Server.start ~config ~listen:(`Unix path) ()
+                in
+                Fun.protect
+                  ~finally:(fun () -> Service.Server.stop srv)
+                  (fun () ->
+                    let lg =
+                      { Service.Loadgen.default_config with
+                        connections = conns;
+                        ops_per_connection = cfg.service_io_ops_per_connection;
+                        pipeline;
+                        read_permille = mix.sm_read_permille;
+                        add_permille = mix.sm_add_permille;
+                        add_delta = mix.sm_add_delta;
+                        seed = 42 + trial }
+                    in
+                    let r =
+                      Service.Loadgen.run ~addr:(Service.Server.sockaddr srv)
+                        lg
+                    in
+                    let m = Service.Server.metrics srv in
+                    let wakeups = ref 0 and cycles = ref 0 in
+                    for l = 0 to Service.Metrics.io_domains m - 1 do
+                      let il = Service.Metrics.io_loop m l in
+                      wakeups := !wakeups + il.Service.Metrics.l_wakeups;
+                      cycles := !cycles + il.Service.Metrics.l_cycles
+                    done;
+                    (r, Service.Metrics.acc_violations_total m, !wakeups,
+                     !cycles))
+              in
+              for w = 1 to cfg.warmup_trials do
+                ignore (run_once (-w))
+              done;
+              let results = List.init cfg.trials run_once in
+              let rates =
+                List.map
+                  (fun (r, _, _, _) -> r.Service.Loadgen.ops_per_sec)
+                  results
+              in
+              let mn, md, mx = fstats rates in
+              let sum f = List.fold_left (fun acc x -> acc + f x) 0 results in
+              J.Obj
+                [ ("io_domains", J.Int io_domains);
+                  ("connections", J.Int conns);
+                  ("shards", J.Int shards);
+                  ("pipeline", J.Int pipeline);
+                  ("mix", J.Str mix.sm_label);
+                  ("ops_per_connection",
+                   J.Int cfg.service_io_ops_per_connection);
+                  ("trials", J.Int cfg.trials);
+                  ("ops_per_sec_min", J.Float mn);
+                  ("ops_per_sec_median", J.Float md);
+                  ("ops_per_sec_max", J.Float mx);
+                  ("busy", J.Int (sum (fun (r, _, _, _) -> r.Service.Loadgen.busy)));
+                  ("errors",
+                   J.Int (sum (fun (r, _, _, _) -> r.Service.Loadgen.errors)));
+                  ("acc_violations", J.Int (sum (fun (_, a, _, _) -> a)));
+                  ("wakeups", J.Int (sum (fun (_, _, w, _) -> w)));
+                  ("active_cycles", J.Int (sum (fun (_, _, _, c) -> c))) ])
+            cfg.service_io_shards)
+        cfg.service_io_conns)
+    cfg.service_io_domains
+
+(* ------------------------------------------------------------------ *)
 (* Simulator amortized-step metrics (Theorem III.9, Algorithm 1)       *)
 (* ------------------------------------------------------------------ *)
 
@@ -418,7 +530,7 @@ let simulator_metrics cfg =
 let bench_json cfg =
   let cores = detect_cores () in
   J.Obj
-    [ ("schema_version", J.Int 3);
+    [ ("schema_version", J.Int 4);
       ("suite", J.Str "approx_objects perf pipeline");
       ("host",
        J.Obj
@@ -443,11 +555,20 @@ let bench_json cfg =
             J.List (List.map (fun m -> J.Str m.sm_label) cfg.service_mixes));
            ("service_connections", J.Int cfg.service_connections);
            ("service_ops_per_connection",
-            J.Int cfg.service_ops_per_connection) ]);
+            J.Int cfg.service_ops_per_connection);
+           ("service_io_domains",
+            J.List (List.map (fun d -> J.Int d) cfg.service_io_domains));
+           ("service_io_conns",
+            J.List (List.map (fun c -> J.Int c) cfg.service_io_conns));
+           ("service_io_shards",
+            J.List (List.map (fun s -> J.Int s) cfg.service_io_shards));
+           ("service_io_ops_per_connection",
+            J.Int cfg.service_io_ops_per_connection) ]);
       ("counter_throughput", J.List (counter_throughput cfg));
       ("maxreg_throughput", J.List (maxreg_throughput cfg));
       ("fastpath", fastpath cfg);
       ("service", J.List (service_throughput cfg));
+      ("service_io", J.List (service_io_throughput cfg));
       ("simulator", J.Obj [ ("algorithm1", simulator_metrics cfg) ]) ]
 
 (* ------------------------------------------------------------------ *)
@@ -581,6 +702,22 @@ let run ?(quiet = false) cfg =
                   (num_of r "ops_per_sec" /. 1e3)
                   (num_of r "p50_ns") (num_of r "p99_ns")
                   (num_of r "deferred_ops")
+              | _ -> ())
+            rows
+        | _ -> ());
+       (match List.assoc_opt "service_io" fields with
+        | Some (J.List rows) ->
+          List.iter
+            (fun row ->
+              match row with
+              | J.Obj r ->
+                Printf.printf
+                  "  io-plane  loops=%.0f conns=%-3.0f shards=%.0f  median %8.2f kops/s  (min %.2f, max %.2f)\n"
+                  (num_of r "io_domains") (num_of r "connections")
+                  (num_of r "shards")
+                  (num_of r "ops_per_sec_median" /. 1e3)
+                  (num_of r "ops_per_sec_min" /. 1e3)
+                  (num_of r "ops_per_sec_max" /. 1e3)
               | _ -> ())
             rows
         | _ -> ())

@@ -40,6 +40,10 @@ type config = {
   service_mixes : service_mix list;  (** service: op mixes to sweep *)
   service_connections : int;  (** service: loadgen connections *)
   service_ops_per_connection : int;  (** service: ops per connection *)
+  service_io_domains : int list;  (** I/O-plane sweep: event-loop domains *)
+  service_io_conns : int list;  (** I/O-plane sweep: connection counts *)
+  service_io_shards : int list;  (** I/O-plane sweep: shard counts *)
+  service_io_ops_per_connection : int;  (** I/O-plane sweep: ops per conn *)
   out_path : string;  (** where to write the JSON record *)
 }
 
@@ -64,8 +68,10 @@ val default_config : config
     simulator at n = 16, k = ceil(sqrt n) = 4, 2048 ops/process;
     batch sizes {1, 16, 256, 4096}; service swept over shards
     {1, 2, 4} x windows {1, 8, 32} x mixes {mixed, read-heavy,
-    add-heavy} with 4 connections x 10k ops; writes [BENCH_3.json]
-    in the current directory. *)
+    add-heavy} with 4 connections x 10k ops; the I/O-plane sweep over
+    io_domains {1, 2, 4} x connections {16, 64} x shards {1, 4} at
+    the mixed ratio (min/median/max over [trials] fresh-server runs);
+    writes [BENCH_4.json] in the current directory. *)
 
 val smoke_config : config
 (** Tiny counts (3 trials x 500 ops, 64 sim ops) for the [dune runtest]

@@ -29,26 +29,35 @@ type shard = {
   s_latency : Histogram.t;
 }
 
-(* I/O-domain-owned counters live in their own padded record so they
-   never share a cache line with a shard's. *)
-type io_counters = {
-  mutable accepted : int;
-  mutable closed : int;
-  mutable busy_replies : int;
-  mutable protocol_errors : int;
-  mutable oversized_frames : int;
-  mutable stats_requests : int;
+(* One padded record per I/O event loop; every field is written only
+   by its owning loop domain. Connection-level counters that used to
+   be "the io domain's" are per-loop now (a connection is closed by
+   whichever loop owns it) and exposed as sums. *)
+type io_loop = {
+  l_loop : int;
+  mutable l_accepted : int;  (* bumped by the accepting loop (loop 0) *)
+  mutable l_closed : int;
+  mutable l_busy_replies : int;
+  mutable l_protocol_errors : int;
+  mutable l_oversized_frames : int;
+  mutable l_stats_requests : int;
+  mutable l_wakeups : int;
+  mutable l_cycles : int;
+  mutable l_owned_conns : int;
+  l_cycle_ns : Histogram.t;
+  l_flush_bytes : Histogram.t;
+  l_read_batch : Histogram.t;
 }
 
 type t = {
   shards : shard array;
+  io_loops : io_loop array;
   mutable objs : obj list;  (* reversed registration order; build phase only *)
-  io : io_counters;
-  m_read_batch : Histogram.t;
 }
 
-let create ~shards =
+let create ~shards ~io_domains =
   if shards < 1 then invalid_arg "Metrics.create: shards < 1";
+  if io_domains < 1 then invalid_arg "Metrics.create: io_domains < 1";
   { shards =
       Array.init shards (fun s ->
           Backend.Padded.copy
@@ -60,16 +69,23 @@ let create ~shards =
               deferred_ops = 0;
               s_fused = Histogram.create ();
               s_latency = Histogram.create () });
-    objs = [];
-    io =
-      Backend.Padded.copy
-        { accepted = 0;
-          closed = 0;
-          busy_replies = 0;
-          protocol_errors = 0;
-          oversized_frames = 0;
-          stats_requests = 0 };
-    m_read_batch = Histogram.create () }
+    io_loops =
+      Array.init io_domains (fun l ->
+          Backend.Padded.copy
+            { l_loop = l;
+              l_accepted = 0;
+              l_closed = 0;
+              l_busy_replies = 0;
+              l_protocol_errors = 0;
+              l_oversized_frames = 0;
+              l_stats_requests = 0;
+              l_wakeups = 0;
+              l_cycles = 0;
+              l_owned_conns = 0;
+              l_cycle_ns = Histogram.create ();
+              l_flush_bytes = Histogram.create ();
+              l_read_batch = Histogram.create () });
+    objs = [] }
 
 let add_obj t ~name ~kind ~shard =
   let o =
@@ -94,19 +110,19 @@ let add_obj t ~name ~kind ~shard =
   o
 
 let shard t s = t.shards.(s)
+let io_loop t l = t.io_loops.(l)
+let io_domains t = Array.length t.io_loops
 let objects t = List.rev t.objs
-let read_batch t = t.m_read_batch
-let conn_accepted t = t.io.accepted <- t.io.accepted + 1
-let conn_closed t = t.io.closed <- t.io.closed + 1
-let busy_reply t = t.io.busy_replies <- t.io.busy_replies + 1
-let protocol_error t = t.io.protocol_errors <- t.io.protocol_errors + 1
-let oversized_frame t = t.io.oversized_frames <- t.io.oversized_frames + 1
-let stats_request t = t.io.stats_requests <- t.io.stats_requests + 1
-let accepted t = t.io.accepted
-let closed t = t.io.closed
-let busy_replies t = t.io.busy_replies
-let protocol_errors t = t.io.protocol_errors
-let oversized_frames t = t.io.oversized_frames
+
+let sum_loops t f = Array.fold_left (fun acc l -> acc + f l) 0 t.io_loops
+
+let accepted t = sum_loops t (fun l -> l.l_accepted)
+let closed t = sum_loops t (fun l -> l.l_closed)
+let busy_replies t = sum_loops t (fun l -> l.l_busy_replies)
+let protocol_errors t = sum_loops t (fun l -> l.l_protocol_errors)
+let oversized_frames t = sum_loops t (fun l -> l.l_oversized_frames)
+let stats_requests t = sum_loops t (fun l -> l.l_stats_requests)
+let owned_conns t = sum_loops t (fun l -> l.l_owned_conns)
 
 let total_ops t =
   List.fold_left
@@ -145,18 +161,41 @@ let shard_json s =
       ("fused_per_drain", Histogram.to_json s.s_fused);
       ("latency_ns", Histogram.to_json s.s_latency) ]
 
+let io_loop_json l =
+  J.Obj
+    [ ("loop", J.Int l.l_loop);
+      ("accepted", J.Int l.l_accepted);
+      ("closed", J.Int l.l_closed);
+      ("busy_replies", J.Int l.l_busy_replies);
+      ("protocol_errors", J.Int l.l_protocol_errors);
+      ("oversized_frames", J.Int l.l_oversized_frames);
+      ("stats_requests", J.Int l.l_stats_requests);
+      ("wakeups", J.Int l.l_wakeups);
+      ("cycles", J.Int l.l_cycles);
+      ("owned_conns", J.Int l.l_owned_conns);
+      ("cycle_ns", Histogram.to_json l.l_cycle_ns);
+      ("flush_bytes", Histogram.to_json l.l_flush_bytes);
+      ("read_batch", Histogram.to_json l.l_read_batch) ]
+
+let merged_read_batch t =
+  let h = Histogram.create () in
+  Array.iter (fun l -> Histogram.merge ~into:h l.l_read_batch) t.io_loops;
+  h
+
 let to_json t =
   J.Obj
     [ ("server",
        J.Obj
-         [ ("connections_accepted", J.Int t.io.accepted);
-           ("connections_closed", J.Int t.io.closed);
-           ("busy_replies", J.Int t.io.busy_replies);
-           ("protocol_errors", J.Int t.io.protocol_errors);
-           ("oversized_frames", J.Int t.io.oversized_frames);
-           ("stats_requests", J.Int t.io.stats_requests);
+         [ ("connections_accepted", J.Int (accepted t));
+           ("connections_closed", J.Int (closed t));
+           ("busy_replies", J.Int (busy_replies t));
+           ("protocol_errors", J.Int (protocol_errors t));
+           ("oversized_frames", J.Int (oversized_frames t));
+           ("stats_requests", J.Int (stats_requests t));
+           ("io_domains", J.Int (Array.length t.io_loops));
            ("total_ops", J.Int (total_ops t));
            ("acc_violations_total", J.Int (acc_violations_total t)) ]);
-      ("read_batch", Histogram.to_json t.m_read_batch);
+      ("read_batch", Histogram.to_json (merged_read_batch t));
+      ("io_loops", J.List (Array.to_list (Array.map io_loop_json t.io_loops)));
       ("shards", J.List (Array.to_list (Array.map shard_json t.shards)));
       ("objects", J.List (List.map obj_json (objects t))) ]

@@ -1,16 +1,16 @@
 (** The service observability registry: per-object op counters,
-    per-shard latency histograms, I/O-layer counters and the
-    k-multiplicative accuracy self-check results, exported as one JSON
-    document through the STATS protocol op.
+    per-shard latency histograms, per-I/O-loop event-loop counters and
+    the k-multiplicative accuracy self-check results, exported as one
+    JSON document through the STATS protocol op.
 
     Ownership discipline instead of locks: every mutable field has a
     single writing domain — an {!obj} or {!shard} record is written
-    only by the shard that owns it, the connection-level counters only
-    by the I/O domain. Readers (the STATS handler, tests) may look at
+    only by the shard that owns it, an {!io_loop} record only by its
+    event-loop domain. Readers (the STATS handler, tests) may look at
     any field from any domain and observe a momentarily stale but
-    memory-safe snapshot; OCaml immediate ints never tear. Shard and
-    object records are cache-line padded so two shards bumping their
-    own counters never share a line. *)
+    memory-safe snapshot; OCaml immediate ints never tear. Shard,
+    object and io-loop records are cache-line padded so two domains
+    bumping their own counters never share a line. *)
 
 type obj = {
   o_name : string;
@@ -54,9 +54,38 @@ type shard = {
       (** Nanoseconds from I/O-domain enqueue to response encoded. *)
 }
 
+(** Per-event-loop counters; written only by the owning I/O domain.
+    Connection-lifecycle counters are per-loop because a connection is
+    accepted by loop 0 but closed by whichever loop owns it. *)
+type io_loop = {
+  l_loop : int;
+  mutable l_accepted : int;
+      (** Connections accepted (all on the accepting loop 0; rejected
+          over-[max_conns] accepts count here and in [l_closed]). *)
+  mutable l_closed : int;
+  mutable l_busy_replies : int;
+  mutable l_protocol_errors : int;
+  mutable l_oversized_frames : int;
+  mutable l_stats_requests : int;
+  mutable l_wakeups : int;
+      (** Wake-pipe bytes drained — producer-side wake() calls
+          observed by this loop. *)
+  mutable l_cycles : int;
+      (** Event-loop cycles that had at least one ready fd (idle
+          timeout cycles are not counted). *)
+  mutable l_owned_conns : int;
+      (** Gauge: connections currently registered with this loop. *)
+  l_cycle_ns : Histogram.t;
+      (** Duration of active cycles: readiness dispatch + parsing +
+          flushing, select wait excluded. *)
+  l_flush_bytes : Histogram.t;  (** Bytes pushed per flush [write]. *)
+  l_read_batch : Histogram.t;
+      (** Requests decoded per read syscall on this loop. *)
+}
+
 type t
 
-val create : shards:int -> t
+val create : shards:int -> io_domains:int -> t
 
 val add_obj : t -> name:string -> kind:string -> shard:int -> obj
 (** Register an object at server construction time (before any domain
@@ -65,24 +94,21 @@ val add_obj : t -> name:string -> kind:string -> shard:int -> obj
 val shard : t -> int -> shard
 val objects : t -> obj list
 
-val read_batch : t -> Histogram.t
-(** Requests decoded per read syscall (the I/O batching histogram;
-    I/O-domain single-writer). *)
+val io_loop : t -> int -> io_loop
+val io_domains : t -> int
 
-(** I/O-domain counters. *)
-
-val conn_accepted : t -> unit
-val conn_closed : t -> unit
-val busy_reply : t -> unit
-val protocol_error : t -> unit
-val oversized_frame : t -> unit
-val stats_request : t -> unit
+(** {2 Aggregates over the I/O loops (racy snapshots)} *)
 
 val accepted : t -> int
 val closed : t -> int
 val busy_replies : t -> int
 val protocol_errors : t -> int
 val oversized_frames : t -> int
+val stats_requests : t -> int
+
+val owned_conns : t -> int
+(** Sum of the per-loop owned-connection gauges — currently
+    registered connections across the I/O plane. *)
 
 val total_ops : t -> int
 (** Sum of all per-object op counters (racy snapshot). *)

@@ -1,0 +1,63 @@
+(** O(1)-bookkeeping readiness poller over [Unix.select] — one per I/O
+    domain.
+
+    Connections (and the wake pipe / listener) are registered into a
+    dense slot table; each slot carries a caller payload. Interest in
+    readability/writability is maintained {e incrementally}: flipping
+    interest is an O(1) swap-remove on a dense index array, so a wait
+    cycle costs O(interested fds) to assemble the backend's fd lists
+    plus O(ready fds) to mark readiness back into slots — independent
+    of how many idle connections exist, and with no per-connection
+    list-membership scans.
+
+    Single-owner: only the I/O domain that created a poller may touch
+    it. Readiness results from the last {!wait} are exposed as indexed
+    slot arrays and are invalidated by the next {!wait}.
+
+    The backend is [select]: portable, no extra dependencies, and the
+    fd counts per loop stay well under [FD_SETSIZE] once connections
+    are partitioned across [io_domains] loops. The slot API is
+    deliberately backend-shaped like [epoll]/[kqueue] so a kernel
+    readiness backend can replace [select] without touching the
+    server. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val register : 'a t -> Unix.file_descr -> 'a -> int
+(** Allocate a slot for [fd] with no interest; returns the slot id.
+    Slot ids are reused after {!unregister}. *)
+
+val unregister : 'a t -> int -> unit
+(** Drop the slot: interest cleared, payload released, id recycled.
+    Idempotent. Does not close the fd. *)
+
+val set_read : 'a t -> int -> bool -> unit
+(** O(1) interest flip; redundant flips are no-ops. *)
+
+val set_write : 'a t -> int -> bool -> unit
+
+val data : 'a t -> int -> 'a option
+(** The slot's payload, or [None] if the slot is free (e.g. it was
+    unregistered by an earlier callback of the same dispatch). *)
+
+val live : 'a t -> int
+(** Registered slots. *)
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** Visit every live slot (O(capacity); meant for shutdown sweeps,
+    not the hot path). The callback must not mutate the poller. *)
+
+val wait : 'a t -> timeout:float -> unit
+(** Select on the current interest sets; [EINTR] yields an empty
+    ready set. *)
+
+(** {2 Readiness of the last wait} *)
+
+val ready_reads : 'a t -> int
+val ready_read : 'a t -> int -> int
+(** [ready_read t i] for [i < ready_reads t] is the slot id. *)
+
+val ready_writes : 'a t -> int
+val ready_write : 'a t -> int -> int

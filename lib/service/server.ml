@@ -1,5 +1,6 @@
 type config = {
   shards : int;
+  io_domains : int;
   queue_capacity : int;
   max_batch : int;
   max_pending : int;
@@ -9,6 +10,7 @@ type config = {
 
 let default_config =
   { shards = 2;
+    io_domains = 1;
     queue_capacity = 1024;
     max_batch = 64;
     max_pending = 256;
@@ -17,24 +19,56 @@ let default_config =
 
 type listen = [ `Unix of string | `Tcp of string * int ]
 
-(* Connection state is split by owner: [c_in]/[c_in_len] and the flush
-   cursor belong to the I/O domain alone; [c_out] is the only
-   cross-domain field and is guarded by [c_out_mu]; [c_pending] and
-   [c_has_out] are atomics; [c_alive] is written by the I/O domain and
-   read racily by shards (a stale [true] merely encodes a response
-   that is never flushed). *)
+(* Connection state is split by owner: [c_in]/[c_in_len], the flush
+   buffer/cursor and the pause flag belong to the owning I/O loop
+   alone; [c_out] is the only cross-domain buffer and is guarded by
+   [c_out_mu]; [c_pending]/[c_backlog]/[c_has_out] are atomics;
+   [c_alive] is written by the I/O loop and read racily by shards (a
+   stale [true] merely encodes a response that is never flushed).
+
+   The output path is a double buffer: shards append into [c_out]
+   (a growable Obuf) under the mutex; the I/O loop swaps the two
+   buffers' storage in O(1) under the same mutex and writes [c_flush]
+   to the socket — no [Buffer.to_bytes] copy, zero steady-state
+   allocation once both buffers are warm. [c_backlog] counts enqueued-
+   but-unwritten bytes (incremented at enqueue, decremented at write),
+   so the read-pause watermark check is one atomic load instead of a
+   mutex acquisition per connection per cycle. *)
 type conn = {
   c_fd : Unix.file_descr;
   c_in : Bytes.t;
   mutable c_in_len : int;
   c_out_mu : Mutex.t;
-  c_out : Buffer.t;
-  mutable c_flush : Bytes.t;
+  c_out : Obuf.t;
+  c_flush : Obuf.t;
   mutable c_flush_off : int;
+  c_backlog : int Atomic.t;
   c_pending : int Atomic.t;
   c_has_out : bool Atomic.t;
   mutable c_alive : bool;
+  mutable c_slot : int;  (* poller slot in the home loop; -1 = unregistered *)
+  mutable c_paused : bool;  (* read interest off (backlog watermark) *)
+  c_home : io_loop;
 }
+
+(* One event loop per I/O domain. A connection belongs to exactly one
+   loop for its lifetime (round-robin at accept), so all poller and
+   buffer bookkeeping is loop-local; the only cross-domain doors are
+   the two mutex-guarded queues ([l_flushq] from shards with replies,
+   [l_handoff] from the accepting loop) and the wake pipe. *)
+and io_loop = {
+  l_index : int;
+  l_wake_r : Unix.file_descr;
+  l_wake_w : Unix.file_descr;
+  l_metrics : Metrics.io_loop;
+  l_poller : slot_kind Poller.t;
+  l_mu : Mutex.t;  (* guards l_flushq and l_handoff *)
+  mutable l_flushq : conn list;  (* conns that turned flushable *)
+  mutable l_handoff : conn list;  (* accepted conns awaiting registration *)
+  mutable l_paused : conn list;  (* loop-local; no lock *)
+}
+
+and slot_kind = Wake | Listen | Conn of conn
 
 type task = {
   t_conn : conn;
@@ -52,11 +86,12 @@ type t = {
   metrics : Metrics.t;
   table : Objects.table;
   queues : task Bqueue.t array;
-  wake_r : Unix.file_descr;
-  wake_w : Unix.file_descr;
+  loops : io_loop array;
+  live_conns : int Atomic.t;
+  mutable accept_rr : int;  (* accepting loop only *)
   stop_flag : bool Atomic.t;
   stopped : bool Atomic.t;
-  mutable io_domain : unit Domain.t option;
+  mutable io_domain_handles : unit Domain.t array;
   mutable shard_domains : unit Domain.t array;
 }
 
@@ -64,33 +99,46 @@ let sockaddr t = t.addr
 let metrics t = t.metrics
 let table t = t.table
 let config t = t.cfg
+let live_connections t = Atomic.get t.live_conns
 
 (* ------------------------------------------------------------------ *)
-(* Output path (I/O domain and shards)                                 *)
+(* Output path (any domain)                                            *)
 (* ------------------------------------------------------------------ *)
 
-let wake t =
-  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1) with
+let wake_byte = Bytes.make 1 '!'
+
+let wake_loop loop =
+  try ignore (Unix.write loop.l_wake_w wake_byte 0 1) with
   | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _) -> ()
 
-(* Append a response to the connection's buffer; any domain. The
-   [exchange] dedups pipe wakeups: only the writer that turns
-   [c_has_out] on pays the syscall. *)
-let enqueue_response t conn resp =
+(* Append a response to the connection's write-side buffer; any
+   domain. The [exchange] dedups notifications: only the writer that
+   turns [c_has_out] on pushes the connection onto its home loop's
+   flush queue and pays the wake syscall. *)
+let enqueue_response conn resp =
   if conn.c_alive then begin
     Mutex.lock conn.c_out_mu;
-    Wire.encode_response conn.c_out resp;
+    let before = Obuf.length conn.c_out in
+    Wire.encode_response_obuf conn.c_out resp;
+    let added = Obuf.length conn.c_out - before in
     Mutex.unlock conn.c_out_mu;
-    if not (Atomic.exchange conn.c_has_out true) then wake t
+    ignore (Atomic.fetch_and_add conn.c_backlog added);
+    if not (Atomic.exchange conn.c_has_out true) then begin
+      let home = conn.c_home in
+      Mutex.lock home.l_mu;
+      home.l_flushq <- conn :: home.l_flushq;
+      Mutex.unlock home.l_mu;
+      wake_loop home
+    end
   end
 
 (* ------------------------------------------------------------------ *)
 (* Shard domains                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let finish_task t (stats : Metrics.shard) task resp =
+let finish_task (stats : Metrics.shard) task resp =
   stats.tasks <- stats.tasks + 1;
-  enqueue_response t task.t_conn resp;
+  enqueue_response task.t_conn resp;
   Histogram.record stats.s_latency
     (int_of_float ((Unix.gettimeofday () -. task.t_enq) *. 1e9));
   ignore (Atomic.fetch_and_add task.t_conn.c_pending (-1))
@@ -109,7 +157,7 @@ let finish_task t (stats : Metrics.shard) task resp =
    (a WRITE between two READs of a max register in the same drain is
    concurrent with both, so answering both reads from one value
    remains linearizable). *)
-let exec_batch t shard_id (stats : Metrics.shard) batch n ~stamp ~dirty =
+let exec_batch shard_id (stats : Metrics.shard) batch n ~stamp ~dirty =
   let n_dirty = ref 0 in
   let deferred = ref 0 in
   (* Phase 1: writes and rejections inline; increments accumulate;
@@ -126,7 +174,7 @@ let exec_batch t shard_id (stats : Metrics.shard) batch n ~stamp ~dirty =
           | Ok r -> Wire.Value { id; value = r }
           | Error () -> Wire.Bad_request { id }
         in
-        finish_task t stats task resp;
+        finish_task stats task resp;
         batch.(i) <- None
       | `Inc | `Add _ ->
         let bad_delta =
@@ -137,7 +185,7 @@ let exec_batch t shard_id (stats : Metrics.shard) batch n ~stamp ~dirty =
         if bad_delta || not (Objects.is_counter_obj task.t_obj) then begin
           let os = Objects.stats task.t_obj in
           os.rejects <- os.rejects + 1;
-          finish_task t stats task (Wire.Bad_request { id });
+          finish_task stats task (Wire.Bad_request { id });
           batch.(i) <- None
         end
         else begin
@@ -176,7 +224,7 @@ let exec_batch t shard_id (stats : Metrics.shard) batch n ~stamp ~dirty =
             { id; value = Objects.batch_read task.t_obj ~pid:shard_id ~stamp }
         | `Write _ -> assert false (* finished in phase 1 *)
       in
-      finish_task t stats task resp;
+      finish_task stats task resp;
       batch.(i) <- None
   done
 
@@ -192,31 +240,39 @@ let shard_loop t shard_id =
       stats.batches <- stats.batches + 1;
       if n > stats.max_batch then stats.max_batch <- n;
       incr stamp;
-      exec_batch t shard_id stats batch n ~stamp:!stamp ~dirty;
+      exec_batch shard_id stats batch n ~stamp:!stamp ~dirty;
       go ()
     end
   in
   go ()
 
 (* ------------------------------------------------------------------ *)
-(* I/O domain                                                          *)
+(* I/O loops                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let close_conn t conn =
   if conn.c_alive then begin
     conn.c_alive <- false;
-    Metrics.conn_closed t.metrics;
+    let loop = conn.c_home in
+    let il = loop.l_metrics in
+    il.l_closed <- il.l_closed + 1;
+    Atomic.decr t.live_conns;
+    if conn.c_slot >= 0 then begin
+      il.l_owned_conns <- il.l_owned_conns - 1;
+      Poller.unregister loop.l_poller conn.c_slot;
+      conn.c_slot <- -1
+    end;
     try Unix.close conn.c_fd with Unix.Unix_error _ -> ()
   end
 
-let dispatch t conn req =
+let dispatch t (il : Metrics.io_loop) conn req =
   let object_op id name op =
     match Objects.find t.table name with
-    | None -> enqueue_response t conn (Wire.Unknown_object { id })
+    | None -> enqueue_response conn (Wire.Unknown_object { id })
     | Some obj ->
       if Atomic.get conn.c_pending >= t.cfg.max_pending then begin
-        Metrics.busy_reply t.metrics;
-        enqueue_response t conn (Wire.Busy { id })
+        il.l_busy_replies <- il.l_busy_replies + 1;
+        enqueue_response conn (Wire.Busy { id })
       end
       else begin
         let task =
@@ -229,17 +285,17 @@ let dispatch t conn req =
         if Bqueue.try_push t.queues.(Objects.shard_of obj) task then
           Atomic.incr conn.c_pending
         else begin
-          Metrics.busy_reply t.metrics;
-          enqueue_response t conn (Wire.Busy { id })
+          il.l_busy_replies <- il.l_busy_replies + 1;
+          enqueue_response conn (Wire.Busy { id })
         end
       end
   in
   match req with
   | Wire.Stats { id } ->
-    Metrics.stats_request t.metrics;
+    il.l_stats_requests <- il.l_stats_requests + 1;
     let json = Mcore.Bench_json.to_string (Metrics.to_json t.metrics) in
-    enqueue_response t conn (Wire.Stats_json { id; json })
-  | Wire.Ping { id } -> enqueue_response t conn (Wire.Pong { id })
+    enqueue_response conn (Wire.Stats_json { id; json })
+  | Wire.Ping { id } -> enqueue_response conn (Wire.Pong { id })
   | Wire.Inc { id; name } -> object_op id name `Inc
   | Wire.Add { id; name; delta } -> object_op id name (`Add delta)
   | Wire.Read { id; name } -> object_op id name `Read
@@ -247,165 +303,253 @@ let dispatch t conn req =
 
 (* Parse every complete frame in [c_in] — the read batch — then
    compact the leftover prefix of the next frame to the front. *)
-let parse_frames t conn =
+let parse_frames t (il : Metrics.io_loop) conn =
   let rec go off frames =
     match
       Wire.decode_request conn.c_in ~off ~len:(conn.c_in_len - off)
     with
     | Wire.Decoded (req, consumed) ->
-      dispatch t conn req;
+      dispatch t il conn req;
       go (off + consumed) (frames + 1)
     | Wire.Need_more ->
       if conn.c_in_len - off >= Bytes.length conn.c_in then begin
         (* Cannot happen while max_request_payload < buffer size; close
            rather than spin if the invariant is ever broken. *)
-        Metrics.protocol_error t.metrics;
+        il.l_protocol_errors <- il.l_protocol_errors + 1;
         close_conn t conn
       end
       else begin
         if off > 0 then
           Bytes.blit conn.c_in off conn.c_in 0 (conn.c_in_len - off);
         conn.c_in_len <- conn.c_in_len - off;
-        if frames > 0 then
-          Histogram.record (Metrics.read_batch t.metrics) frames
+        if frames > 0 then Histogram.record il.l_read_batch frames
       end
     | Wire.Oversized _ ->
-      Metrics.oversized_frame t.metrics;
-      Metrics.protocol_error t.metrics;
+      il.l_oversized_frames <- il.l_oversized_frames + 1;
+      il.l_protocol_errors <- il.l_protocol_errors + 1;
       close_conn t conn
     | Wire.Malformed _ ->
-      Metrics.protocol_error t.metrics;
+      il.l_protocol_errors <- il.l_protocol_errors + 1;
       close_conn t conn
   in
   go 0 0
 
-let handle_readable t conn =
-  let space = Bytes.length conn.c_in - conn.c_in_len in
-  if space > 0 then
-    match Unix.read conn.c_fd conn.c_in conn.c_in_len space with
-    | 0 -> close_conn t conn
-    | n ->
-      conn.c_in_len <- conn.c_in_len + n;
-      parse_frames t conn
-    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
-    | exception Unix.Unix_error _ -> close_conn t conn
-
-(* Per-connection output backlog: undrained flush bytes plus whatever
-   shards have buffered. Reading pauses past the watermark, so a
-   client that floods requests without consuming responses bounds its
-   own footprint instead of growing the reply buffer forever. *)
+(* Per-connection output backlog: bytes enqueued by shards (or the
+   loop itself) and not yet written to the socket. Reading pauses past
+   the watermark, so a client that floods requests without consuming
+   responses bounds its own footprint instead of growing the reply
+   buffer forever. *)
 let out_high_watermark = 1 lsl 18
 
-let out_backlog conn =
-  let pending_flush = Bytes.length conn.c_flush - conn.c_flush_off in
-  Mutex.lock conn.c_out_mu;
-  let buffered = Buffer.length conn.c_out in
-  Mutex.unlock conn.c_out_mu;
-  pending_flush + buffered
+let pause_reads conn =
+  if (not conn.c_paused) && conn.c_slot >= 0 then begin
+    conn.c_paused <- true;
+    Poller.set_read conn.c_home.l_poller conn.c_slot false;
+    conn.c_home.l_paused <- conn :: conn.c_home.l_paused
+  end
 
-let make_conn fd =
+(* Re-enable reading on paused connections whose backlog has drained.
+   O(paused) per cycle; the list is empty unless a client crossed the
+   watermark. *)
+let recheck_paused loop =
+  match loop.l_paused with
+  | [] -> ()
+  | paused ->
+    loop.l_paused <- [];
+    List.iter
+      (fun conn ->
+        if conn.c_alive then begin
+          if Atomic.get conn.c_backlog < out_high_watermark then begin
+            conn.c_paused <- false;
+            Poller.set_read loop.l_poller conn.c_slot true
+          end
+          else loop.l_paused <- conn :: loop.l_paused
+        end)
+      paused
+
+let handle_readable t (il : Metrics.io_loop) conn =
+  if Atomic.get conn.c_backlog >= out_high_watermark then pause_reads conn
+  else begin
+    let space = Bytes.length conn.c_in - conn.c_in_len in
+    if space > 0 then
+      match Unix.read conn.c_fd conn.c_in conn.c_in_len space with
+      | 0 -> close_conn t conn
+      | n ->
+        conn.c_in_len <- conn.c_in_len + n;
+        parse_frames t il conn
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+      | exception Unix.Unix_error _ -> close_conn t conn
+  end
+
+(* One coalesced write per flushable connection. When the flush side
+   is drained and shards have buffered more, swap the two buffers'
+   storage under the mutex (O(1), no copy) and push as much as the
+   socket accepts; write interest stays on only while bytes remain. *)
+let try_flush t conn =
+  let loop = conn.c_home in
+  let il = loop.l_metrics in
+  if conn.c_flush_off >= Obuf.length conn.c_flush && Atomic.get conn.c_has_out
+  then begin
+    Atomic.set conn.c_has_out false;
+    Mutex.lock conn.c_out_mu;
+    Obuf.swap conn.c_out conn.c_flush;
+    Obuf.clear conn.c_out;
+    Mutex.unlock conn.c_out_mu;
+    conn.c_flush_off <- 0
+  end;
+  let len = Obuf.length conn.c_flush in
+  if conn.c_flush_off < len then begin
+    match
+      Unix.write conn.c_fd (Obuf.bytes conn.c_flush) conn.c_flush_off
+        (len - conn.c_flush_off)
+    with
+    | n ->
+      conn.c_flush_off <- conn.c_flush_off + n;
+      ignore (Atomic.fetch_and_add conn.c_backlog (-n));
+      Histogram.record il.l_flush_bytes n;
+      if conn.c_slot >= 0 then
+        Poller.set_write loop.l_poller conn.c_slot
+          (conn.c_flush_off < len || Atomic.get conn.c_has_out)
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+      if conn.c_slot >= 0 then Poller.set_write loop.l_poller conn.c_slot true
+    | exception Unix.Unix_error _ -> close_conn t conn
+  end
+  else if conn.c_slot >= 0 then
+    Poller.set_write loop.l_poller conn.c_slot false
+
+let make_conn ~home fd =
   { c_fd = fd;
     c_in = Bytes.create 65536;
     c_in_len = 0;
     c_out_mu = Mutex.create ();
-    c_out = Buffer.create 4096;
-    c_flush = Bytes.empty;
+    c_out = Obuf.create ();
+    c_flush = Obuf.create ();
     c_flush_off = 0;
+    c_backlog = Atomic.make 0;
     c_pending = Atomic.make 0;
     c_has_out = Atomic.make false;
-    c_alive = true }
+    c_alive = true;
+    c_slot = -1;
+    c_paused = false;
+    c_home = home }
 
-let rec accept_loop t conns =
+let register_conn loop conn =
+  let slot = Poller.register loop.l_poller conn.c_fd (Conn conn) in
+  conn.c_slot <- slot;
+  Poller.set_read loop.l_poller slot true;
+  loop.l_metrics.l_owned_conns <- loop.l_metrics.l_owned_conns + 1
+
+(* Accept on the accepting loop (index 0); connections are dealt to
+   the io loops round-robin. The live-connection count is an atomic
+   int maintained at accept/close — O(1) per accept, where a
+   [List.length] scan used to make connect bursts O(n^2). *)
+let rec accept_burst t loop =
   match Unix.accept ~cloexec:true t.listen_fd with
   | fd, _ ->
-    if List.length !conns >= t.cfg.max_conns then begin
-      Metrics.conn_accepted t.metrics;
-      Metrics.conn_closed t.metrics;
+    let il = loop.l_metrics in
+    il.l_accepted <- il.l_accepted + 1;
+    if Atomic.get t.live_conns >= t.cfg.max_conns then begin
+      il.l_closed <- il.l_closed + 1;
       (try Unix.close fd with Unix.Unix_error _ -> ())
     end
     else begin
+      Atomic.incr t.live_conns;
       Unix.set_nonblock fd;
       (try Unix.setsockopt fd Unix.TCP_NODELAY true
        with Unix.Unix_error _ -> () (* Unix-domain sockets *));
-      Metrics.conn_accepted t.metrics;
-      conns := make_conn fd :: !conns
+      let target = t.loops.(t.accept_rr mod Array.length t.loops) in
+      t.accept_rr <- t.accept_rr + 1;
+      let conn = make_conn ~home:target fd in
+      if target == loop then register_conn target conn
+      else begin
+        Mutex.lock target.l_mu;
+        target.l_handoff <- conn :: target.l_handoff;
+        Mutex.unlock target.l_mu;
+        wake_loop target
+      end
     end;
-    accept_loop t conns
+    accept_burst t loop
   | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
-  | exception Unix.Unix_error (EINTR, _, _) -> accept_loop t conns
+  | exception Unix.Unix_error (EINTR, _, _) -> accept_burst t loop
   | exception Unix.Unix_error _ -> ()
 
-(* One coalesced write per flushable connection: swap the shared
-   buffer out under its mutex at most once per drained cursor, then
-   push as much as the socket accepts. *)
-let try_flush t conn =
-  if conn.c_flush_off >= Bytes.length conn.c_flush && Atomic.get conn.c_has_out
-  then begin
-    Atomic.set conn.c_has_out false;
-    Mutex.lock conn.c_out_mu;
-    let b = Buffer.to_bytes conn.c_out in
-    Buffer.clear conn.c_out;
-    Mutex.unlock conn.c_out_mu;
-    conn.c_flush <- b;
-    conn.c_flush_off <- 0
+let drain_queue loop which =
+  match which with
+  | `Flush ->
+    Mutex.lock loop.l_mu;
+    let q = loop.l_flushq in
+    loop.l_flushq <- [];
+    Mutex.unlock loop.l_mu;
+    q
+  | `Handoff ->
+    Mutex.lock loop.l_mu;
+    let q = loop.l_handoff in
+    loop.l_handoff <- [];
+    Mutex.unlock loop.l_mu;
+    q
+
+let io_loop_run t loop =
+  let poller = loop.l_poller in
+  let il = loop.l_metrics in
+  let wake_slot = Poller.register poller loop.l_wake_r Wake in
+  Poller.set_read poller wake_slot true;
+  if loop.l_index = 0 then begin
+    let listen_slot = Poller.register poller t.listen_fd Listen in
+    Poller.set_read poller listen_slot true
   end;
-  if conn.c_flush_off < Bytes.length conn.c_flush then begin
-    match
-      Unix.write conn.c_fd conn.c_flush conn.c_flush_off
-        (Bytes.length conn.c_flush - conn.c_flush_off)
-    with
-    | n -> conn.c_flush_off <- conn.c_flush_off + n
-    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
-    | exception Unix.Unix_error _ -> close_conn t conn
-  end
-
-let drain_wake t =
-  let b = Bytes.create 256 in
-  let rec go () =
-    match Unix.read t.wake_r b 0 256 with
-    | 256 -> go ()
-    | _ -> ()
-    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  let wake_buf = Bytes.create 256 in
+  (* Drain the wake pipe to EAGAIN — a short read does not mean empty
+     when a racing [wake_loop] write lands between read and return. *)
+  let drain_wake () =
+    let rec go () =
+      match Unix.read loop.l_wake_r wake_buf 0 (Bytes.length wake_buf) with
+      | 0 -> ()
+      | n ->
+        il.l_wakeups <- il.l_wakeups + n;
+        go ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (EINTR, _, _) -> go ()
+    in
+    go ()
   in
-  go ()
-
-let io_loop t =
-  let conns = ref [] in
   while not (Atomic.get t.stop_flag) do
-    let rs =
-      t.wake_r :: t.listen_fd
-      :: List.filter_map
-           (fun c ->
-             if c.c_alive && out_backlog c < out_high_watermark then
-               Some c.c_fd
-             else None)
-           !conns
-    in
-    let ws =
-      List.filter_map
-        (fun c ->
-          if
-            c.c_alive
-            && (c.c_flush_off < Bytes.length c.c_flush
-                || Atomic.get c.c_has_out)
-          then Some c.c_fd
-          else None)
-        !conns
-    in
-    (match Unix.select rs ws [] 0.25 with
-     | exception Unix.Unix_error (EINTR, _, _) -> ()
-     | r, _, _ ->
-       if List.mem t.wake_r r then drain_wake t;
-       if List.mem t.listen_fd r then accept_loop t conns;
-       List.iter
-         (fun c -> if c.c_alive && List.mem c.c_fd r then handle_readable t c)
-         !conns;
-       (* Flush everything flushable — including output produced by
-          shards while we were parsing, without waiting a cycle. *)
-       List.iter (fun c -> if c.c_alive then try_flush t c) !conns;
-       conns := List.filter (fun c -> c.c_alive) !conns)
+    Poller.wait poller ~timeout:0.25;
+    let nr = Poller.ready_reads poller and nw = Poller.ready_writes poller in
+    if nr > 0 || nw > 0 then begin
+      let t0 = Unix.gettimeofday () in
+      for i = 0 to nr - 1 do
+        let slot = Poller.ready_read poller i in
+        match Poller.data poller slot with
+        | Some Wake -> drain_wake ()
+        | Some Listen -> accept_burst t loop
+        | Some (Conn conn) -> if conn.c_alive then handle_readable t il conn
+        | None -> () (* closed earlier in this dispatch *)
+      done;
+      List.iter (fun conn -> register_conn loop conn) (drain_queue loop `Handoff);
+      (* Flush connections that turned flushable (including replies the
+         shards produced while we were parsing), then write-ready ones. *)
+      List.iter
+        (fun conn -> if conn.c_alive then try_flush t conn)
+        (drain_queue loop `Flush);
+      for i = 0 to nw - 1 do
+        let slot = Poller.ready_write poller i in
+        match Poller.data poller slot with
+        | Some (Conn conn) -> if conn.c_alive then try_flush t conn
+        | Some (Wake | Listen) | None -> ()
+      done;
+      recheck_paused loop;
+      il.l_cycles <- il.l_cycles + 1;
+      Histogram.record il.l_cycle_ns
+        (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+    end
   done;
-  List.iter (fun c -> close_conn t c) !conns
+  (* Shutdown: close every connection this loop owns, including ones
+     still parked in the handoff queue. *)
+  let owned = ref [] in
+  Poller.iter poller (fun _slot kind ->
+      match kind with Conn conn -> owned := conn :: !owned | Wake | Listen -> ());
+  List.iter (fun conn -> close_conn t conn) !owned;
+  List.iter (fun conn -> close_conn t conn) (drain_queue loop `Handoff)
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
@@ -427,17 +571,32 @@ let bind_listen = function
 
 let start ?(config = default_config) ~listen () =
   if config.shards < 1 then invalid_arg "Server.start: shards < 1";
+  if config.io_domains < 1 then invalid_arg "Server.start: io_domains < 1";
   if config.queue_capacity < 1 then invalid_arg "Server.start: queue_capacity < 1";
   if config.max_batch < 1 then invalid_arg "Server.start: max_batch < 1";
   if config.max_pending < 1 then invalid_arg "Server.start: max_pending < 1";
   if config.max_conns < 1 then invalid_arg "Server.start: max_conns < 1";
-  let metrics = Metrics.create ~shards:config.shards in
+  let metrics =
+    Metrics.create ~shards:config.shards ~io_domains:config.io_domains
+  in
   let table = Objects.build ~metrics ~shards:config.shards config.specs in
   let listen_fd, addr, unix_path = bind_listen listen in
   Unix.set_nonblock listen_fd;
-  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
-  Unix.set_nonblock wake_r;
-  Unix.set_nonblock wake_w;
+  let loops =
+    Array.init config.io_domains (fun l ->
+        let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+        Unix.set_nonblock wake_r;
+        Unix.set_nonblock wake_w;
+        { l_index = l;
+          l_wake_r = wake_r;
+          l_wake_w = wake_w;
+          l_metrics = Metrics.io_loop metrics l;
+          l_poller = Poller.create ();
+          l_mu = Mutex.create ();
+          l_flushq = [];
+          l_handoff = [];
+          l_paused = [] })
+  in
   let t =
     { cfg = config;
       listen_fd;
@@ -448,28 +607,34 @@ let start ?(config = default_config) ~listen () =
       queues =
         Array.init config.shards (fun _ ->
             Bqueue.create ~capacity:config.queue_capacity);
-      wake_r;
-      wake_w;
+      loops;
+      live_conns = Atomic.make 0;
+      accept_rr = 0;
       stop_flag = Atomic.make false;
       stopped = Atomic.make false;
-      io_domain = None;
+      io_domain_handles = [||];
       shard_domains = [||] }
   in
   t.shard_domains <-
     Array.init config.shards (fun s -> Domain.spawn (fun () -> shard_loop t s));
-  t.io_domain <- Some (Domain.spawn (fun () -> io_loop t));
+  t.io_domain_handles <-
+    Array.map (fun loop -> Domain.spawn (fun () -> io_loop_run t loop)) loops;
   t
 
 let stop t =
   if not (Atomic.exchange t.stopped true) then begin
     Atomic.set t.stop_flag true;
-    wake t;
-    Option.iter Domain.join t.io_domain;
+    Array.iter wake_loop t.loops;
+    Array.iter Domain.join t.io_domain_handles;
     Array.iter Bqueue.close t.queues;
     Array.iter Domain.join t.shard_domains;
-    List.iter
-      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
-      [ t.listen_fd; t.wake_r; t.wake_w ];
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Array.iter
+      (fun loop ->
+        List.iter
+          (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+          [ loop.l_wake_r; loop.l_wake_w ])
+      t.loops;
     Option.iter
       (fun p -> try Unix.unlink p with Unix.Unix_error _ -> ())
       t.unix_path

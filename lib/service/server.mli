@@ -1,36 +1,46 @@
 (** The sharded, batched approximate-object server.
 
-    Topology: one I/O domain plus [shards] worker domains. The I/O
-    domain owns every socket: it accepts connections, drains each
-    readable socket with a single [read] that may carry many frames
-    (the read batch), decodes requests and routes each to the queue of
-    the shard that owns the named object ({!Objects}). Each shard
-    domain blocks on its bounded queue, drains up to [max_batch] tasks
-    per wakeup, executes them against the multicore algorithm
-    instances with [pid = shard], and appends the encoded responses to
-    the connection's output buffer — which the I/O domain flushes with
-    single coalesced [write]s.
+    Topology: [io_domains] event-loop domains plus [shards] worker
+    domains. Loop 0 accepts connections and deals them round-robin
+    across the loops; from then on a connection belongs to exactly one
+    loop, which owns its socket, input buffer and flush buffer — no
+    cross-loop locking on the per-connection hot path. Each loop runs
+    a slot-indexed {!Poller} (O(1) interest flips, O(ready) dispatch),
+    drains each readable socket with a single [read] that may carry
+    many frames (the read batch), decodes requests and routes each to
+    the queue of the shard that owns the named object ({!Objects}).
+    Each shard domain blocks on its bounded queue, drains up to
+    [max_batch] tasks per wakeup, executes them against the multicore
+    algorithm instances with [pid = shard], and appends the encoded
+    responses to the connection's output buffer. A shard that makes a
+    connection flushable notifies only the owning loop (flush queue +
+    wake pipe); the loop swaps the connection's double buffer in O(1)
+    and flushes with single coalesced [write]s — no copy, no
+    steady-state allocation.
 
     Backpressure is explicit and bounded everywhere: a connection may
     have at most [max_pending] requests in flight and each shard queue
     holds at most [queue_capacity] tasks; a request that would exceed
     either limit is answered immediately with BUSY and nothing is
-    buffered. A frame whose header exceeds the protocol cap closes the
-    connection before the payload is read.
+    buffered. A connection whose un-flushed output exceeds a watermark
+    stops being read until the client drains it. A frame whose header
+    exceeds the protocol cap closes the connection before the payload
+    is read.
 
-    STATS and PING are served directly on the I/O domain (they touch
-    no object); all object ops flow through the owning shard, which
-    also gives every object a serial execution history — the basis of
-    the exact accuracy self-check recorded in {!Metrics}.
+    STATS and PING are served directly on the owning I/O loop (they
+    touch no object); all object ops flow through the owning shard,
+    which also gives every object a serial execution history — the
+    basis of the exact accuracy self-check recorded in {!Metrics}.
 
     A dead client costs nothing: when a socket errors or EOFs
     (including mid-frame), the connection is marked dead and closed by
-    the I/O domain; responses still in flight from shards are encoded
+    its owning loop; responses still in flight from shards are encoded
     into a buffer that is never flushed and the shard stays
     serviceable for every other connection. *)
 
 type config = {
   shards : int;  (** Worker domains (>= 1). *)
+  io_domains : int;  (** Event-loop domains (>= 1). *)
   queue_capacity : int;  (** Per-shard task-queue bound. *)
   max_batch : int;  (** Max tasks one shard wakeup drains. *)
   max_pending : int;  (** Per-connection in-flight request bound. *)
@@ -39,8 +49,8 @@ type config = {
 }
 
 val default_config : config
-(** 2 shards, 1024-task queues, 64-task batches, 256 in-flight
-    requests per connection, 1024 connections,
+(** 2 shards, 1 io domain, 1024-task queues, 64-task batches, 256
+    in-flight requests per connection, 1024 connections,
     [Objects.default_specs ~counters:4 ~k:4]. *)
 
 type listen =
@@ -61,6 +71,10 @@ val sockaddr : t -> Unix.sockaddr
 val metrics : t -> Metrics.t
 val table : t -> Objects.table
 val config : t -> config
+
+val live_connections : t -> int
+(** Currently accepted-and-not-closed connections (racy snapshot of
+    the atomic counter that enforces [max_conns]). *)
 
 val stop : t -> unit
 (** Close the listener and every connection, drain the shard queues,

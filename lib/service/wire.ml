@@ -100,6 +100,38 @@ let encode_response buf resp =
     Buffer.add_string buf json
   | Pong { id } -> bare 5 id
 
+(* The same response encoding into an [Obuf.t] — the server's flush
+   path, where the double-buffer swap makes steady-state encoding
+   allocation-free (a [Buffer.t] would force a [to_bytes] copy per
+   flush). Kept byte-for-byte identical to [encode_response] (asserted
+   by a qcheck parity test). *)
+(* No local [header]/[bare] helpers here: closing over [ob] would
+   allocate a closure per response — measurable heat on the flush
+   path, which must stay allocation-free once warm. *)
+let obuf_bare ob status id =
+  Obuf.add_i32_be ob 5;
+  Obuf.add_u8 ob status;
+  Obuf.add_i32_be ob (mask_id id)
+
+let encode_response_obuf ob resp =
+  match resp with
+  | Value { id; value } ->
+    Obuf.add_i32_be ob 13;
+    Obuf.add_u8 ob 0;
+    Obuf.add_i32_be ob (mask_id id);
+    Obuf.add_i64_be ob value
+  | Busy { id } -> obuf_bare ob 1 id
+  | Unknown_object { id } -> obuf_bare ob 2 id
+  | Bad_request { id } -> obuf_bare ob 3 id
+  | Stats_json { id; json } ->
+    if 5 + String.length json > max_response_payload then
+      invalid_arg "Wire.encode_response_obuf: STATS payload too large";
+    Obuf.add_i32_be ob (5 + String.length json);
+    Obuf.add_u8 ob 4;
+    Obuf.add_i32_be ob (mask_id id);
+    Obuf.add_string ob json
+  | Pong { id } -> obuf_bare ob 5 id
+
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                            *)
 (* ------------------------------------------------------------------ *)

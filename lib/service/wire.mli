@@ -80,6 +80,11 @@ val encode_response : Buffer.t -> response -> unit
 (** @raise Invalid_argument if the STATS payload would exceed
     {!max_response_payload}. *)
 
+val encode_response_obuf : Obuf.t -> response -> unit
+(** [encode_response] into an {!Obuf.t} — byte-identical frames, but
+    appending to a swappable buffer so the server's steady-state flush
+    path never copies or allocates. *)
+
 type 'a decoded =
   | Decoded of 'a * int
       (** One complete message and the bytes consumed (header

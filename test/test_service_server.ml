@@ -151,7 +151,7 @@ let test_add_op () =
    drives the Objects fusion API directly; the wire-level test below
    only asserts value correctness and counter consistency. *)
 let test_objects_fusion_deterministic () =
-  let metrics = M.create ~shards:1 in
+  let metrics = M.create ~shards:1 ~io_domains:1 in
   let table =
     Service.Objects.build ~metrics ~shards:1
       (Service.Objects.default_specs ~counters:1 ~k:4)
@@ -327,8 +327,10 @@ let test_max_pending_bound () =
       Cl.close c)
 
 (* ------------------------------------------------------------------ *)
-(* Chaos: dead clients and poisonous frames                            *)
+(* Connection lifecycle: churn, max_conns, multi-loop ownership        *)
 (* ------------------------------------------------------------------ *)
+
+let open_fds () = Array.length (Sys.readdir "/proc/self/fd")
 
 let raw_connect addr =
   let fd =
@@ -336,6 +338,126 @@ let raw_connect addr =
   in
   Unix.connect fd addr;
   fd
+
+let test_connection_churn () =
+  with_server (fun srv ->
+      let m = Srv.metrics srv in
+      (* One throwaway connection first so lazy allocations (client
+         buffers etc.) don't count against the baseline. *)
+      let c = Cl.connect (Srv.sockaddr srv) in
+      Alcotest.(check bool) "ping" true (Cl.ping c);
+      Cl.close c;
+      await (fun () -> M.closed m >= 1);
+      let fd_baseline = open_fds () in
+      let rounds = 50 in
+      for _ = 1 to rounds do
+        let c = Cl.connect (Srv.sockaddr srv) in
+        ignore (value_exn (Cl.inc c "faa"));
+        Cl.close c
+      done;
+      await (fun () -> M.closed m >= rounds + 1);
+      check Alcotest.int "every churned conn reaped" (rounds + 1) (M.closed m);
+      check Alcotest.int "accept counter matches" (rounds + 1) (M.accepted m);
+      check Alcotest.int "live-connection counter drained" 0
+        (Srv.live_connections srv);
+      check Alcotest.int "owned-connection gauge drained" 0 (M.owned_conns m);
+      check Alcotest.int "no fd leak across churn" fd_baseline (open_fds ()))
+
+let test_max_conns_enforced () =
+  let config = { Srv.default_config with max_conns = 2 } in
+  with_server ~config (fun srv ->
+      let addr = Srv.sockaddr srv in
+      let c1 = Cl.connect addr and c2 = Cl.connect addr in
+      Alcotest.(check bool) "conn 1 served" true (Cl.ping c1);
+      Alcotest.(check bool) "conn 2 served" true (Cl.ping c2);
+      (* The third connection is accepted and immediately closed; the
+         client observes EOF (or a reset, if its write races the
+         close). *)
+      let v = raw_connect addr in
+      let eof =
+        let b = Bytes.create 16 in
+        match Unix.read v b 0 16 with
+        | 0 -> true
+        | _ -> false
+        | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> true
+      in
+      Alcotest.(check bool) "over-limit conn sees EOF" true eof;
+      (try Unix.close v with Unix.Unix_error _ -> ());
+      let m = Srv.metrics srv in
+      await (fun () -> M.accepted m >= 3 && M.closed m >= 1);
+      check Alcotest.int "rejection counted as accept+close" 3 (M.accepted m);
+      check Alcotest.int "only the reject closed" 1 (M.closed m);
+      check Alcotest.int "live count excludes the reject" 2
+        (Srv.live_connections srv);
+      (* Closing an admitted connection frees a slot: the next connect
+         is served. *)
+      Cl.close c2;
+      await (fun () -> Srv.live_connections srv < 2);
+      let c3 = Cl.connect addr in
+      Alcotest.(check bool) "slot reuse after close" true (Cl.ping c3);
+      (* Both survivors still work. *)
+      Alcotest.(check bool) "original conn unaffected" true (Cl.ping c1);
+      Cl.close c3;
+      Cl.close c1)
+
+let test_multi_io_domain_load () =
+  let config = { Srv.default_config with shards = 4; io_domains = 4 } in
+  with_server ~config (fun srv ->
+      let cfg =
+        { Service.Loadgen.default_config with
+          connections = 8;
+          ops_per_connection = 2_000;
+          pipeline = 8;
+          read_permille = 300;
+          add_permille = 200;
+          seed = 7 }
+      in
+      let r = Service.Loadgen.run ~addr:(Srv.sockaddr srv) cfg in
+      check Alcotest.int "no protocol errors" 0 r.Service.Loadgen.errors;
+      check Alcotest.int "every op completed" 16_000
+        (r.Service.Loadgen.ok + r.Service.Loadgen.busy);
+      let m = Srv.metrics srv in
+      check Alcotest.int "no accuracy violations across loops" 0
+        (M.acc_violations_total m);
+      check Alcotest.int "four io loops" 4 (M.io_domains m);
+      await (fun () -> M.closed m >= 8);
+      (* Round-robin dealing: 8 connections over 4 loops, so every loop
+         owned (and by now reaped) its share and did real work. *)
+      for l = 0 to 3 do
+        let il = M.io_loop m l in
+        Alcotest.(check bool)
+          (Printf.sprintf "loop %d owned connections" l)
+          true (il.M.l_closed >= 2);
+        Alcotest.(check bool)
+          (Printf.sprintf "loop %d ran active cycles" l)
+          true (il.M.l_cycles >= 1);
+        Alcotest.(check bool)
+          (Printf.sprintf "loop %d cycle histogram consistent" l)
+          true
+          (Service.Histogram.count il.M.l_cycle_ns = il.M.l_cycles)
+      done;
+      check Alcotest.int "owned-connection gauges drained" 0 (M.owned_conns m);
+      Alcotest.(check bool) "shard wakeups reached the loops" true
+        (let total = ref 0 in
+         for l = 0 to 3 do
+           total := !total + (M.io_loop m l).M.l_wakeups
+         done;
+         !total > 0);
+      (* Per-loop observability is visible over the wire. *)
+      let c = Cl.connect (Srv.sockaddr srv) in
+      let json = Cl.stats_json c in
+      Cl.close c;
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "stats mentions %S" needle)
+            true (contains ~needle json))
+        [ "io_loops"; "\"io_domains\": 4"; "owned_conns"; "cycle_ns";
+          "flush_bytes"; "wakeups"; "\"loop\": 3" ])
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: dead clients and poisonous frames                            *)
+(* ------------------------------------------------------------------ *)
 
 let test_kill_client_mid_request () =
   let config = { Srv.default_config with shards = 2 } in
@@ -402,6 +524,12 @@ let () =
           test_backpressure_bounded);
          ("sequential load never trips pending bound", `Quick,
           test_max_pending_bound) ]);
+      ("lifecycle",
+       [ ("connection churn leaks no fds", `Quick, test_connection_churn);
+         ("max_conns enforced with O(1) accounting", `Quick,
+          test_max_conns_enforced);
+         ("accuracy and ownership across 4 io domains", `Quick,
+          test_multi_io_domain_load) ]);
       ("chaos",
        [ ("clients killed mid-request", `Quick, test_kill_client_mid_request) ])
     ]

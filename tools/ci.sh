@@ -27,14 +27,18 @@ FLOOR=$(awk '/"object":/ { obj = ($2 ~ /kcounter/) }
 echo "   (floor: kcounter read-heavy median >= $FLOOR ops/s)"
 dune exec bin/approx_cli.exe -- bench --smoke --out /tmp/BENCH_ci_smoke.json \
   --check-floor "$FLOOR" > /dev/null
-grep -q '"schema_version": 3' /tmp/BENCH_ci_smoke.json \
-  || { echo "smoke record is not schema_version 3"; exit 1; }
+grep -q '"schema_version": 4' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record is not schema_version 4"; exit 1; }
 grep -q '"fastpath"' /tmp/BENCH_ci_smoke.json \
   || { echo "smoke record missing the fastpath experiment"; exit 1; }
 grep -q '"read_ablation"' /tmp/BENCH_ci_smoke.json \
   || { echo "smoke record missing the read ablation"; exit 1; }
 grep -q '"inc_batching"' /tmp/BENCH_ci_smoke.json \
   || { echo "smoke record missing the inc batching sweep"; exit 1; }
+grep -q '"service_io"' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record missing the I/O-plane sweep"; exit 1; }
+grep -q '"io_domains": 2' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record missing the io_domains=2 cell"; exit 1; }
 grep -q '"effective_cores"' /tmp/BENCH_ci_smoke.json \
   || { echo "smoke record missing host core detection"; exit 1; }
 rm -f /tmp/BENCH_ci_smoke.json
@@ -50,11 +54,24 @@ grep -q "usage: approx_cli COMMAND" /tmp/approx_ci_err.txt \
   || { echo "usage missing from stderr"; exit 1; }
 rm -f /tmp/approx_ci_out.txt /tmp/approx_ci_err.txt
 
-echo "== service smoke: 2-shard server + loadgen + stats JSON =="
+echo "== service smoke: 2-shard, 2-io-domain server + loadgen + stats =="
+# Service throughput floor: half the committed BENCH_3 service median
+# for the same cell (shards=2, pipeline=8, mixed ratio, 4 conns x 10k
+# ops). The wide 50% margin absorbs shared-runner noise while still
+# catching an I/O-plane regression that halves throughput; trend-level
+# tracking lives in the committed BENCH records, not in CI.
+SVC_BASE=$(awk '/"shards":/ { s = ($2+0==2) }
+  /"pipeline":/ { p = ($2+0==8) }
+  /"mix":/ { m = ($2 ~ /"mixed"/) }
+  s && p && m && /"ops_per_sec":/ { gsub(/,/,"",$2); print $2; exit }' \
+  BENCH_3.json)
+[ -n "$SVC_BASE" ] || { echo "could not extract the BENCH_3 service median"; exit 1; }
+SVC_FLOOR=$(awk "BEGIN { print $SVC_BASE * 0.5 }")
+echo "   (floor: service mixed throughput >= $SVC_FLOOR ops/s, 50% of $SVC_BASE)"
 SOCK=/tmp/approx_ci_service.sock
 rm -f "$SOCK"
-dune exec bin/approx_cli.exe -- serve --shards 2 --unix "$SOCK" \
-  --duration 30 &
+dune exec bin/approx_cli.exe -- serve --shards 2 --io-domains 2 \
+  --unix "$SOCK" --duration 60 &
 SERVE_PID=$!
 trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
 # Wait for the socket to appear.
@@ -65,6 +82,10 @@ done
 [ -S "$SOCK" ] || { echo "service socket never appeared"; exit 1; }
 dune exec bin/approx_cli.exe -- loadgen --unix "$SOCK" \
   --connections 2 --ops 2000 --pipeline 8 --mix 2:6:2 --add-delta 8
+# The floor probe drives the same cell shape as the BENCH_3 record.
+dune exec bin/approx_cli.exe -- loadgen --unix "$SOCK" \
+  --connections 4 --ops 10000 --pipeline 8 \
+  --min-throughput "$SVC_FLOOR"
 dune exec bin/approx_cli.exe -- stats --unix "$SOCK" \
   > /tmp/approx_ci_stats.json
 grep -q '"acc_violations_total": 0' /tmp/approx_ci_stats.json \
@@ -73,6 +94,12 @@ grep -q '"latency_ns"' /tmp/approx_ci_stats.json \
   || { echo "stats JSON missing latency histograms"; exit 1; }
 grep -q '"total_ops"' /tmp/approx_ci_stats.json \
   || { echo "stats JSON missing op counters"; exit 1; }
+grep -q '"io_loops"' /tmp/approx_ci_stats.json \
+  || { echo "stats JSON missing per-io-loop metrics"; exit 1; }
+grep -q '"io_domains": 2' /tmp/approx_ci_stats.json \
+  || { echo "stats JSON missing the io-domain count"; exit 1; }
+grep -q '"cycle_ns"' /tmp/approx_ci_stats.json \
+  || { echo "stats JSON missing cycle-duration histograms"; exit 1; }
 kill $SERVE_PID
 wait $SERVE_PID 2>/dev/null || true
 trap - EXIT
