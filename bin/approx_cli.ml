@@ -441,6 +441,10 @@ let run_bench trials warmup ops domains out smoke check_floor =
           (match domains with
            | [] -> Perf.Pipeline.default_config.domains
            | ds -> ds);
+        (* Full runs put the scale-sweep server in its own process so
+           the 10k-connection cells don't split one RLIMIT_NOFILE
+           budget between server and loadgen. *)
+        service_scale_server_exe = Some Sys.executable_name;
         out_path = out }
   in
   if cfg.trials < 1 || cfg.warmup_trials < 0 || cfg.ops_per_domain < 1
@@ -494,7 +498,7 @@ let bench_cmd =
                    two up to the recognized core count).")
   in
   let out_arg =
-    Arg.(value & opt string "BENCH_4.json"
+    Arg.(value & opt string "BENCH_5.json"
          & info [ "out" ] ~docv:"FILE" ~doc:"Output JSON path.")
   in
   let smoke_arg =
@@ -541,23 +545,49 @@ let counters_arg =
        & info [ "counters" ] ~docv:"C"
            ~doc:"Number of hosted k-counters (named c0 .. c<C-1>).")
 
-let run_serve shards io_domains queue_capacity max_batch max_pending unix tcp
-    counters k duration =
+let poller_arg =
+  let poller =
+    Arg.enum
+      [ ("auto", Service.Poller.Auto); ("epoll", Service.Poller.Epoll);
+        ("select", Service.Poller.Select) ]
+  in
+  Arg.(value & opt poller Service.Poller.Auto
+       & info [ "poller" ] ~docv:"BACKEND"
+           ~doc:"Readiness backend: $(b,auto) (epoll where compiled in, \
+                 select elsewhere), $(b,epoll) or $(b,select).")
+
+(* An explicitly requested backend that is compiled out is a usage
+   error (exit 2), same as any other impossible flag combination. *)
+let check_poller which poller =
+  if poller = Service.Poller.Epoll && not Service.Poller.epoll_available then begin
+    Printf.eprintf
+      "%s: --poller epoll requested but the epoll backend is not compiled \
+       in on this platform\n"
+      which;
+    false
+  end
+  else true
+
+let run_serve shards io_domains queue_capacity max_batch max_pending max_conns
+    poller unix tcp counters k duration =
   if shards < 1 || io_domains < 1 || counters < 1 || k < 2
      || queue_capacity < 1 || max_batch < 1 || max_pending < 1
+     || max_conns < 1
   then begin
-    prerr_endline "serve: shards/io-domains/counters/queue/batch/pending \
-                   must be positive and k >= 2";
+    prerr_endline "serve: shards/io-domains/counters/queue/batch/pending/\
+                   max-conns must be positive and k >= 2";
     2
   end
+  else if not (check_poller "serve" poller) then 2
   else begin
     let config =
-      { Service.Server.default_config with
-        shards;
+      { Service.Server.shards;
         io_domains;
         queue_capacity;
         max_batch;
         max_pending;
+        max_conns;
+        poller;
         specs = Service.Objects.default_specs ~counters ~k }
     in
     let listen =
@@ -566,6 +596,15 @@ let run_serve shards io_domains queue_capacity max_batch max_pending unix tcp
       | None -> `Unix unix
     in
     let srv = Service.Server.start ~config ~listen () in
+    (* start already lifted soft -> hard; warn when even the hard
+       limit cannot cover max_conns plus listener/wake/stdio slack. *)
+    let soft, hard = Service.Rlimit.nofile () in
+    let headroom = 64 + (2 * io_domains) in
+    if hard < max_conns + headroom then
+      Printf.eprintf
+        "serve: warning: RLIMIT_NOFILE hard limit %d < max-conns %d + %d \
+         headroom; accepts beyond ~%d fds will fail\n%!"
+        hard max_conns headroom (soft - headroom);
     let addr =
       match Service.Server.sockaddr srv with
       | Unix.ADDR_UNIX p -> p
@@ -573,9 +612,10 @@ let run_serve shards io_domains queue_capacity max_batch max_pending unix tcp
         Printf.sprintf "%s:%d" (Unix.string_of_inet_addr host) port
     in
     Printf.printf "serving %d objects on %s: %d shard(s), %d io domain(s), \
-                   batch<=%d, queue=%d, pending<=%d\n%!"
+                   batch<=%d, queue=%d, pending<=%d, conns<=%d, poller=%s\n%!"
       (List.length config.specs) addr shards io_domains max_batch
-      queue_capacity max_pending;
+      queue_capacity max_pending max_conns
+      (Service.Server.poller_name srv);
     let stop = ref false in
     let handler = Sys.Signal_handle (fun _ -> stop := true) in
     Sys.set_signal Sys.sigint handler;
@@ -621,13 +661,19 @@ let serve_cmd =
          & info [ "duration" ] ~docv:"SECS"
              ~doc:"Exit after $(docv) seconds (0 = run until SIGINT).")
   in
+  let max_conns_arg =
+    Arg.(value & opt int 1024
+         & info [ "max-conns" ] ~docv:"N"
+             ~doc:"Accepted connections beyond $(docv) are closed \
+                   immediately; also sizes the listen backlog.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Host approximate objects behind the binary wire protocol \
              (sharded multi-domain server with built-in metrics)")
     Term.(const run_serve $ shards_arg $ io_domains_arg $ queue_arg
-          $ batch_arg $ pending_arg $ unix_arg $ tcp_arg $ counters_arg
-          $ k_arg $ duration_arg)
+          $ batch_arg $ pending_arg $ max_conns_arg $ poller_arg $ unix_arg
+          $ tcp_arg $ counters_arg $ k_arg $ duration_arg)
 
 (* --mix R:I:A — relative read:inc:add weights, normalized to permille
    (e.g. 8:1:1 is 800 reads, 100 incs, 100 adds per 1000 ops). *)
@@ -643,7 +689,7 @@ let parse_mix s =
   | _ -> None
 
 let run_loadgen unix tcp connections ops pipeline read_permille mix add_delta
-    targets seed min_throughput =
+    targets seed workers ramp poller min_throughput =
   let mix_permilles =
     match mix with
     | None -> Some (read_permille, 0)
@@ -665,18 +711,22 @@ let run_loadgen unix tcp connections ops pipeline read_permille mix add_delta
       read_permille;
       add_permille;
       add_delta;
-      seed }
+      seed;
+      workers;
+      ramp_conns_per_tick = ramp;
+      poller }
   in
   let cfg =
     match targets with [] -> cfg | ts -> { cfg with targets = ts }
   in
   if connections < 1 || ops < 1 || pipeline < 1 || read_permille < 0
-     || read_permille > 1000 || add_delta < 0
+     || read_permille > 1000 || add_delta < 0 || workers < 0 || ramp < 0
   then begin
     prerr_endline "loadgen: connections/ops/pipeline must be positive, \
-                   read-permille in 0..1000 and add-delta >= 0";
+                   read-permille in 0..1000 and workers/ramp/add-delta >= 0";
     2
   end
+  else if not (check_poller "loadgen" poller) then 2
   else begin
     match Service.Loadgen.run ~addr:(addr_of ~unix ~tcp) cfg with
     | exception Unix.Unix_error (e, _, _) ->
@@ -747,13 +797,27 @@ let loadgen_cmd =
                    — the CI regression probe against a committed BENCH \
                    record.")
   in
+  let workers_arg =
+    Arg.(value & opt int 0
+         & info [ "client-workers" ] ~docv:"W"
+             ~doc:"Multiplexer domains driving the connections (0 = \
+                   min(connections, 4)).")
+  in
+  let ramp_arg =
+    Arg.(value & opt int 0
+         & info [ "ramp-conns-per-tick" ] ~docv:"R"
+             ~doc:"Pace connection establishment: at most $(docv) new \
+                   connections per ~1ms tick across all workers (0 = \
+                   connect as fast as possible).")
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:"Run the closed-loop load generator against a running \
              service and report throughput and latency percentiles")
     Term.(const run_loadgen $ unix_arg $ tcp_arg $ connections_arg $ ops_arg
           $ pipeline_arg $ rp_arg $ mix_arg $ add_delta_arg $ targets_arg
-          $ seed_arg $ min_throughput_arg)
+          $ seed_arg $ workers_arg $ ramp_arg $ poller_arg
+          $ min_throughput_arg)
 
 let run_stats unix tcp =
   match Service.Client.connect (addr_of ~unix ~tcp) with
@@ -811,5 +875,5 @@ let () =
     exit 2
   end;
   let doc = "deterministic approximate objects (ICDCS 2021) playground" in
-  let info = Cmd.info "approx_cli" ~version:"1.4.0" ~doc in
+  let info = Cmd.info "approx_cli" ~version:"1.5.0" ~doc in
   exit (Cmd.eval' (Cmd.group info commands))

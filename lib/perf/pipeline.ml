@@ -25,6 +25,16 @@ type config = {
   service_io_conns : int list;
   service_io_shards : int list;
   service_io_ops_per_connection : int;
+  service_scale_conns : int list;  (* epoll cells of the big sweep *)
+  service_scale_select_conns : int list;  (* select contrast cells *)
+  service_scale_ops_per_connection : int;
+  service_scale_trials : int;
+  service_scale_ramp : int;  (* loadgen ramp_conns_per_tick *)
+  service_scale_server_exe : string option;
+      (* [Some exe]: each scale trial runs [exe serve ...] as a child
+         process so server and loadgen each get their own
+         RLIMIT_NOFILE budget (10k conns each side would blow a
+         shared one); [None] serves in-process (smoke/tests). *)
   out_path : string;
 }
 
@@ -92,7 +102,13 @@ let default_config =
     service_io_conns = [ 16; 64 ];
     service_io_shards = [ 1; 4 ];
     service_io_ops_per_connection = 1_000;
-    out_path = "BENCH_4.json" }
+    service_scale_conns = [ 1_000; 4_000; 10_000 ];
+    service_scale_select_conns = [ 1_000; 4_000 ];
+    service_scale_ops_per_connection = 100;
+    service_scale_trials = 3;
+    service_scale_ramp = 500;
+    service_scale_server_exe = None;
+    out_path = "BENCH_5.json" }
 
 let smoke_config =
   { trials = 3;
@@ -120,6 +136,12 @@ let smoke_config =
     service_io_conns = [ 2 ];
     service_io_shards = [ 1 ];
     service_io_ops_per_connection = 200;
+    service_scale_conns = (if Service.Poller.epoll_available then [ 2 ] else []);
+    service_scale_select_conns = [ 2 ];
+    service_scale_ops_per_connection = 100;
+    service_scale_trials = 1;
+    service_scale_ramp = 1;
+    service_scale_server_exe = None;
     out_path = Filename.concat (Filename.get_temp_dir_name ()) "BENCH_smoke.json" }
 
 (* ------------------------------------------------------------------ *)
@@ -451,7 +473,9 @@ let service_io_throughput cfg =
                       cycles := !cycles + il.Service.Metrics.l_cycles
                     done;
                     (r, Service.Metrics.acc_violations_total m, !wakeups,
-                     !cycles))
+                     !cycles, Service.Server.poller_name srv,
+                     Service.Metrics.max_ready_batch m,
+                     Service.Metrics.poller_rejects m))
               in
               for w = 1 to cfg.warmup_trials do
                 ignore (run_once (-w))
@@ -459,32 +483,286 @@ let service_io_throughput cfg =
               let results = List.init cfg.trials run_once in
               let rates =
                 List.map
-                  (fun (r, _, _, _) -> r.Service.Loadgen.ops_per_sec)
+                  (fun (r, _, _, _, _, _, _) -> r.Service.Loadgen.ops_per_sec)
                   results
               in
               let mn, md, mx = fstats rates in
               let sum f = List.fold_left (fun acc x -> acc + f x) 0 results in
+              let poller =
+                match results with
+                | (_, _, _, _, p, _, _) :: _ -> p
+                | [] -> "?"
+              in
+              let max_ready =
+                List.fold_left
+                  (fun acc (_, _, _, _, _, b, _) -> max acc b)
+                  0 results
+              in
               J.Obj
                 [ ("io_domains", J.Int io_domains);
                   ("connections", J.Int conns);
                   ("shards", J.Int shards);
                   ("pipeline", J.Int pipeline);
                   ("mix", J.Str mix.sm_label);
+                  ("poller", J.Str poller);
                   ("ops_per_connection",
                    J.Int cfg.service_io_ops_per_connection);
                   ("trials", J.Int cfg.trials);
                   ("ops_per_sec_min", J.Float mn);
                   ("ops_per_sec_median", J.Float md);
                   ("ops_per_sec_max", J.Float mx);
-                  ("busy", J.Int (sum (fun (r, _, _, _) -> r.Service.Loadgen.busy)));
+                  ("busy",
+                   J.Int
+                     (sum (fun (r, _, _, _, _, _, _) -> r.Service.Loadgen.busy)));
                   ("errors",
-                   J.Int (sum (fun (r, _, _, _) -> r.Service.Loadgen.errors)));
-                  ("acc_violations", J.Int (sum (fun (_, a, _, _) -> a)));
-                  ("wakeups", J.Int (sum (fun (_, _, w, _) -> w)));
-                  ("active_cycles", J.Int (sum (fun (_, _, _, c) -> c))) ])
+                   J.Int
+                     (sum (fun (r, _, _, _, _, _, _) ->
+                          r.Service.Loadgen.errors)));
+                  ("acc_violations",
+                   J.Int (sum (fun (_, a, _, _, _, _, _) -> a)));
+                  ("wakeups", J.Int (sum (fun (_, _, w, _, _, _, _) -> w)));
+                  ("active_cycles",
+                   J.Int (sum (fun (_, _, _, c, _, _, _) -> c)));
+                  ("max_ready_batch", J.Int max_ready);
+                  ("poller_rejects",
+                   J.Int (sum (fun (_, _, _, _, _, _, pr) -> pr))) ])
             cfg.service_io_shards)
         cfg.service_io_conns)
     cfg.service_io_domains
+
+(* ------------------------------------------------------------------ *)
+(* Service I/O scale: the 10k-connection poller-backend sweep          *)
+(* ------------------------------------------------------------------ *)
+
+(* Scalar scans over the STATS JSON text: the wire stats of a child
+   server process arrive as rendered JSON, and pulling four scalars
+   out of it does not justify a parser. Keys are matched as
+   ["key": ] occurrences; the first hit wins. *)
+let scan_json_int json key =
+  let needle = Printf.sprintf "\"%s\": " key in
+  let nl = String.length needle and hl = String.length json in
+  let rec find i =
+    if i + nl > hl then None
+    else if String.sub json i nl = needle then Some (i + nl)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    while
+      !stop < hl
+      && (match json.[!stop] with '0' .. '9' | '-' -> true | _ -> false)
+    do
+      incr stop
+    done;
+    int_of_string_opt (String.sub json start (!stop - start))
+
+let scan_json_str json key =
+  let needle = Printf.sprintf "\"%s\": \"" key in
+  let nl = String.length needle and hl = String.length json in
+  let rec find i =
+    if i + nl > hl then None
+    else if String.sub json i nl = needle then Some (i + nl)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start -> (
+    match String.index_from_opt json start '"' with
+    | None -> None
+    | Some stop -> Some (String.sub json start (stop - start)))
+
+(* What one scale trial observed on the server side, however the
+   server ran. *)
+type scale_obs = {
+  so_rate : float;
+  so_ok : int;
+  so_busy : int;
+  so_errors : int;
+  so_p50 : int;
+  so_p99 : int;
+  so_poller : string;
+  so_acc : int;
+  so_rejects : int;
+  so_max_ready : int;
+}
+
+let scale_shards = 2
+let scale_queue = 16_384
+let scale_pipeline = 2
+
+let wait_for_socket path ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let ok =
+      match Service.Client.connect (Unix.ADDR_UNIX path) with
+      | c ->
+        Service.Client.close c;
+        true
+      | exception Unix.Unix_error _ -> false
+    in
+    if ok then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Unix.sleepf 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let scale_loadgen ~addr ~conns ~ops ~ramp ~seed =
+  Service.Loadgen.run ~addr
+    { Service.Loadgen.default_config with
+      connections = conns;
+      ops_per_connection = ops;
+      pipeline = scale_pipeline;
+      read_permille = 200;
+      seed;
+      ramp_conns_per_tick = ramp }
+
+(* In-process variant (smoke and tests: conns are small enough for
+   one fd budget). *)
+let scale_trial_inproc ~poller ~conns ~ops ~ramp trial =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "approx_scale_%d_%s_%d_%d.sock" (Unix.getpid ())
+         (Service.Poller.choice_to_string poller)
+         conns trial)
+  in
+  let config =
+    { Service.Server.default_config with
+      shards = scale_shards;
+      queue_capacity = scale_queue;
+      max_conns = conns + 64;
+      poller }
+  in
+  let srv = Service.Server.start ~config ~listen:(`Unix path) () in
+  Fun.protect
+    ~finally:(fun () -> Service.Server.stop srv)
+    (fun () ->
+      let r =
+        scale_loadgen ~addr:(Service.Server.sockaddr srv) ~conns ~ops ~ramp
+          ~seed:(42 + trial)
+      in
+      let m = Service.Server.metrics srv in
+      { so_rate = r.Service.Loadgen.ops_per_sec;
+        so_ok = r.Service.Loadgen.ok;
+        so_busy = r.Service.Loadgen.busy;
+        so_errors = r.Service.Loadgen.errors;
+        so_p50 = r.Service.Loadgen.p50_ns;
+        so_p99 = r.Service.Loadgen.p99_ns;
+        so_poller = Service.Server.poller_name srv;
+        so_acc = Service.Metrics.acc_violations_total m;
+        so_rejects = Service.Metrics.poller_rejects m;
+        so_max_ready = Service.Metrics.max_ready_batch m })
+
+(* Subprocess variant: the server gets its own process (and so its own
+   RLIMIT_NOFILE budget); server-side counters come back through the
+   STATS op before the child is terminated. *)
+let scale_trial_exec ~exe ~poller ~conns ~ops ~ramp trial =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "approx_scale_%d_%s_%d_%d.sock" (Unix.getpid ())
+         (Service.Poller.choice_to_string poller)
+         conns trial)
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process exe
+      [| exe; "serve"; "--shards"; string_of_int scale_shards;
+         "--io-domains"; "1"; "--queue"; string_of_int scale_queue;
+         "--max-conns"; string_of_int (conns + 64);
+         "--poller"; Service.Poller.choice_to_string poller;
+         "--unix"; path; "--duration"; "600" |]
+      devnull devnull devnull
+  in
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+      ignore (try Unix.waitpid [] pid with Unix.Unix_error _ -> (0, Unix.WEXITED 0));
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      if not (wait_for_socket path ~timeout_s:10.0) then
+        failwith
+          (Printf.sprintf "scale bench: server %s did not come up on %s" exe
+             path);
+      let r =
+        scale_loadgen ~addr:(Unix.ADDR_UNIX path) ~conns ~ops ~ramp
+          ~seed:(42 + trial)
+      in
+      let stats =
+        let c = Service.Client.connect (Unix.ADDR_UNIX path) in
+        Fun.protect
+          ~finally:(fun () -> Service.Client.close c)
+          (fun () -> Service.Client.stats_json c)
+      in
+      let int key = Option.value ~default:(-1) (scan_json_int stats key) in
+      { so_rate = r.Service.Loadgen.ops_per_sec;
+        so_ok = r.Service.Loadgen.ok;
+        so_busy = r.Service.Loadgen.busy;
+        so_errors = r.Service.Loadgen.errors;
+        so_p50 = r.Service.Loadgen.p50_ns;
+        so_p99 = r.Service.Loadgen.p99_ns;
+        so_poller = Option.value ~default:"?" (scan_json_str stats "poller");
+        so_acc = int "acc_violations_total";
+        so_rejects = int "poller_rejects";
+        so_max_ready = int "max_ready_batch" })
+
+let service_scale_throughput cfg =
+  let cells =
+    List.map (fun c -> (Service.Poller.Epoll, c))
+      (if Service.Poller.epoll_available then cfg.service_scale_conns else [])
+    @ List.map (fun c -> (Service.Poller.Select, c)) cfg.service_scale_select_conns
+  in
+  let ops = cfg.service_scale_ops_per_connection in
+  let ramp = cfg.service_scale_ramp in
+  List.map
+    (fun (poller, conns) ->
+      let run_once trial =
+        match cfg.service_scale_server_exe with
+        | Some exe -> scale_trial_exec ~exe ~poller ~conns ~ops ~ramp trial
+        | None -> scale_trial_inproc ~poller ~conns ~ops ~ramp trial
+      in
+      ignore (run_once (-1) (* warmup *));
+      let results = List.init cfg.service_scale_trials run_once in
+      let mn, md, mx = fstats (List.map (fun o -> o.so_rate) results) in
+      let sum f = List.fold_left (fun acc o -> acc + f o) 0 results in
+      let last = List.nth results (List.length results - 1) in
+      J.Obj
+        [ ("poller", J.Str (Service.Poller.choice_to_string poller));
+          ("poller_active", J.Str last.so_poller);
+          ("connections", J.Int conns);
+          ("shards", J.Int scale_shards);
+          ("io_domains", J.Int 1);
+          ("pipeline", J.Int scale_pipeline);
+          ("ops_per_connection", J.Int ops);
+          ("ramp_conns_per_tick", J.Int ramp);
+          ("server_mode",
+           J.Str
+             (match cfg.service_scale_server_exe with
+              | Some _ -> "subprocess"
+              | None -> "in-process"));
+          ("trials", J.Int cfg.service_scale_trials);
+          ("ops_per_sec_min", J.Float mn);
+          ("ops_per_sec_median", J.Float md);
+          ("ops_per_sec_max", J.Float mx);
+          ("ops_per_sec_per_conn_median",
+           J.Float (md /. float_of_int conns));
+          ("p50_ns", J.Int last.so_p50);
+          ("p99_ns", J.Int last.so_p99);
+          ("ok", J.Int (sum (fun o -> o.so_ok)));
+          ("busy", J.Int (sum (fun o -> o.so_busy)));
+          ("errors", J.Int (sum (fun o -> o.so_errors)));
+          ("acc_violations", J.Int (sum (fun o -> o.so_acc)));
+          ("poller_rejects", J.Int (sum (fun o -> o.so_rejects)));
+          ("max_ready_batch",
+           J.Int (List.fold_left (fun acc o -> max acc o.so_max_ready) 0 results)) ])
+    cells
 
 (* ------------------------------------------------------------------ *)
 (* Simulator amortized-step metrics (Theorem III.9, Algorithm 1)       *)
@@ -530,7 +808,7 @@ let simulator_metrics cfg =
 let bench_json cfg =
   let cores = detect_cores () in
   J.Obj
-    [ ("schema_version", J.Int 4);
+    [ ("schema_version", J.Int 5);
       ("suite", J.Str "approx_objects perf pipeline");
       ("host",
        J.Obj
@@ -563,12 +841,23 @@ let bench_json cfg =
            ("service_io_shards",
             J.List (List.map (fun s -> J.Int s) cfg.service_io_shards));
            ("service_io_ops_per_connection",
-            J.Int cfg.service_io_ops_per_connection) ]);
+            J.Int cfg.service_io_ops_per_connection);
+           ("service_scale_conns",
+            J.List (List.map (fun c -> J.Int c) cfg.service_scale_conns));
+           ("service_scale_select_conns",
+            J.List
+              (List.map (fun c -> J.Int c) cfg.service_scale_select_conns));
+           ("service_scale_ops_per_connection",
+            J.Int cfg.service_scale_ops_per_connection);
+           ("service_scale_trials", J.Int cfg.service_scale_trials);
+           ("service_scale_ramp", J.Int cfg.service_scale_ramp);
+           ("epoll_available", J.Bool Service.Poller.epoll_available) ]);
       ("counter_throughput", J.List (counter_throughput cfg));
       ("maxreg_throughput", J.List (maxreg_throughput cfg));
       ("fastpath", fastpath cfg);
       ("service", J.List (service_throughput cfg));
       ("service_io", J.List (service_io_throughput cfg));
+      ("service_io_scale", J.List (service_scale_throughput cfg));
       ("simulator", J.Obj [ ("algorithm1", simulator_metrics cfg) ]) ]
 
 (* ------------------------------------------------------------------ *)
@@ -718,6 +1007,23 @@ let run ?(quiet = false) cfg =
                   (num_of r "ops_per_sec_median" /. 1e3)
                   (num_of r "ops_per_sec_min" /. 1e3)
                   (num_of r "ops_per_sec_max" /. 1e3)
+              | _ -> ())
+            rows
+        | _ -> ());
+       (match List.assoc_opt "service_io_scale" fields with
+        | Some (J.List rows) ->
+          List.iter
+            (fun row ->
+              match row with
+              | J.Obj r ->
+                Printf.printf
+                  "  io-scale  %-6s conns=%-5.0f  median %8.2f kops/s  %6.2f ops/s/conn  rejects=%.0f  acc=%.0f  err=%.0f\n"
+                  (str_of r "poller") (num_of r "connections")
+                  (num_of r "ops_per_sec_median" /. 1e3)
+                  (num_of r "ops_per_sec_per_conn_median")
+                  (num_of r "poller_rejects")
+                  (num_of r "acc_violations")
+                  (num_of r "errors")
               | _ -> ())
             rows
         | _ -> ())

@@ -44,6 +44,23 @@ type config = {
   service_io_conns : int list;  (** I/O-plane sweep: connection counts *)
   service_io_shards : int list;  (** I/O-plane sweep: shard counts *)
   service_io_ops_per_connection : int;  (** I/O-plane sweep: ops per conn *)
+  service_scale_conns : int list;
+      (** Scale sweep: connection counts run on the epoll backend
+          (skipped when epoll is compiled out). *)
+  service_scale_select_conns : int list;
+      (** Scale sweep: connection counts run on the select backend —
+          its FD_SETSIZE ceiling bounds how far this list can go. *)
+  service_scale_ops_per_connection : int;  (** Scale sweep: ops per conn *)
+  service_scale_trials : int;  (** Scale sweep: recorded trials per cell *)
+  service_scale_ramp : int;
+      (** Scale sweep: loadgen connections established per ~1ms tick. *)
+  service_scale_server_exe : string option;
+      (** [Some exe]: each scale trial spawns [exe serve ...] as a
+          child process, so server and loadgen each get a full
+          [RLIMIT_NOFILE] budget (required for the 10k cells on hosts
+          whose hard limit cannot be raised); server-side counters are
+          read back over the wire via STATS. [None]: in-process server
+          (smoke/tests). *)
   out_path : string;  (** where to write the JSON record *)
 }
 
@@ -71,7 +88,10 @@ val default_config : config
     add-heavy} with 4 connections x 10k ops; the I/O-plane sweep over
     io_domains {1, 2, 4} x connections {16, 64} x shards {1, 4} at
     the mixed ratio (min/median/max over [trials] fresh-server runs);
-    writes [BENCH_4.json] in the current directory. *)
+    the scale sweep at {1k, 4k, 10k} connections on epoll and {1k, 4k}
+    on select (3 trials, ramped connects, in-process server unless
+    [service_scale_server_exe] is set);
+    writes [BENCH_5.json] in the current directory. *)
 
 val smoke_config : config
 (** Tiny counts (3 trials x 500 ops, 64 sim ops) for the [dune runtest]

@@ -7,6 +7,9 @@ type config = {
   add_delta : int;
   targets : string list;
   seed : int;
+  workers : int;
+  ramp_conns_per_tick : int;
+  poller : Poller.choice;
 }
 
 let default_config =
@@ -17,7 +20,10 @@ let default_config =
     add_permille = 0;
     add_delta = 16;
     targets = [ "c0"; "c1"; "c2"; "c3" ];
-    seed = 1 }
+    seed = 1;
+    workers = 0;
+    ramp_conns_per_tick = 0;
+    poller = Poller.Auto }
 
 type result = {
   ok : int;
@@ -35,48 +41,262 @@ let next state =
   state := (!state * 2862933555777941757) + 3037000493;
   (!state lsr 33) land max_int
 
-let worker ~addr ~cfg ~cid ~start =
-  let client = Client.connect addr in
-  let hist = Histogram.create () in
-  let ok = ref 0 and busy = ref 0 and errors = ref 0 in
-  let targets = Array.of_list cfg.targets in
-  let send_times = Array.make cfg.pipeline 0.0 in
-  let state = ref ((cfg.seed * 0x9E3779B9) + cid + 1) in
+(* One logical connection, multiplexed with its siblings on a worker
+   domain's poller. The op sequence is a function of (seed, cid)
+   alone, so the generated load is independent of how connections are
+   packed onto workers — the same totals a domain-per-connection
+   generator produced. *)
+type cstate = {
+  x_cid : int;
+  x_fd : Unix.file_descr;
+  mutable x_slot : int;
+  x_rng : int ref;
+  x_send_times : float array;
+  mutable x_sent : int;
+  mutable x_completed : int;
+  x_out : Buffer.t;  (* staged frames not yet in the flush image *)
+  mutable x_flush : Bytes.t;
+  mutable x_flush_len : int;
+  mutable x_flush_off : int;
+  x_rbuf : Bytes.t;
+  mutable x_rlen : int;
+  mutable x_done : bool;
+}
+
+type wstate = {
+  w_cfg : config;
+  w_poller : cstate Poller.t;
+  w_targets : string array;
+  w_hist : Histogram.t;
+  mutable w_ok : int;
+  mutable w_busy : int;
+  mutable w_errors : int;
+  mutable w_active : int;  (* connected, not yet done *)
+}
+
+let connect_fd addr =
+  let fd =
+    Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0
+  in
+  (try Unix.connect fd addr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error _ -> () (* Unix-domain sockets *));
+  Unix.set_nonblock fd;
+  fd
+
+let finish_conn w c =
+  if not c.x_done then begin
+    c.x_done <- true;
+    if c.x_slot >= 0 then begin
+      Poller.unregister w.w_poller c.x_slot;
+      c.x_slot <- -1
+    end;
+    (try Unix.close c.x_fd with Unix.Unix_error _ -> ());
+    w.w_active <- w.w_active - 1
+  end
+
+(* Top the pipeline window up with freshly generated ops, staged into
+   [x_out]; op choice replays the original per-connection sequence. *)
+let fill_window w c =
+  let cfg = w.w_cfg in
+  while
+    c.x_sent < cfg.ops_per_connection
+    && c.x_sent - c.x_completed < cfg.pipeline
+  do
+    let id = c.x_sent in
+    let r = next c.x_rng in
+    let name = w.w_targets.(r mod Array.length w.w_targets) in
+    let mille = (r / 64) mod 1000 in
+    c.x_send_times.(id mod cfg.pipeline) <- Unix.gettimeofday ();
+    Wire.encode_request c.x_out
+      (if mille < cfg.read_permille then Wire.Read { id; name }
+       else if mille < cfg.read_permille + cfg.add_permille then
+         Wire.Add { id; name; delta = cfg.add_delta }
+       else Wire.Inc { id; name });
+    c.x_sent <- c.x_sent + 1
+  done
+
+(* Push staged bytes to the socket; write interest tracks whether any
+   remain (partial write or EAGAIN). *)
+let try_flush w c =
+  if c.x_flush_off >= c.x_flush_len && Buffer.length c.x_out > 0 then begin
+    let len = Buffer.length c.x_out in
+    if Bytes.length c.x_flush < len then
+      c.x_flush <- Bytes.create (max len (2 * Bytes.length c.x_flush));
+    Buffer.blit c.x_out 0 c.x_flush 0 len;
+    Buffer.clear c.x_out;
+    c.x_flush_len <- len;
+    c.x_flush_off <- 0
+  end;
+  if c.x_flush_off < c.x_flush_len then begin
+    match
+      Unix.write c.x_fd c.x_flush c.x_flush_off (c.x_flush_len - c.x_flush_off)
+    with
+    | n ->
+      c.x_flush_off <- c.x_flush_off + n;
+      if c.x_slot >= 0 then
+        Poller.set_write w.w_poller c.x_slot (c.x_flush_off < c.x_flush_len)
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+      if c.x_slot >= 0 then Poller.set_write w.w_poller c.x_slot true
+    | exception Unix.Unix_error _ ->
+      w.w_errors <- w.w_errors + 1;
+      finish_conn w c
+  end
+  else if c.x_slot >= 0 then Poller.set_write w.w_poller c.x_slot false
+
+let handle_response w c resp =
+  let cfg = w.w_cfg in
+  let id = Wire.response_id resp in
+  Histogram.record w.w_hist
+    (int_of_float
+       ((Unix.gettimeofday () -. c.x_send_times.(id mod cfg.pipeline)) *. 1e9));
+  (match resp with
+   | Wire.Value _ -> w.w_ok <- w.w_ok + 1
+   | Wire.Busy _ -> w.w_busy <- w.w_busy + 1
+   | Wire.Unknown_object _ | Wire.Bad_request _ ->
+     w.w_errors <- w.w_errors + 1
+   | Wire.Stats_json _ | Wire.Pong _ -> w.w_errors <- w.w_errors + 1);
+  c.x_completed <- c.x_completed + 1
+
+let handle_readable w c =
+  let cfg = w.w_cfg in
+  let space = Bytes.length c.x_rbuf - c.x_rlen in
+  if space > 0 then begin
+    match Unix.read c.x_fd c.x_rbuf c.x_rlen space with
+    | 0 ->
+      (* Server closed on us mid-run: surface it as an error rather
+         than hanging on the never-coming responses. *)
+      if c.x_completed < cfg.ops_per_connection then
+        w.w_errors <- w.w_errors + 1;
+      finish_conn w c
+    | n ->
+      c.x_rlen <- c.x_rlen + n;
+      let off = ref 0 in
+      let stop = ref false in
+      while not !stop do
+        match Wire.decode_response c.x_rbuf ~off:!off ~len:(c.x_rlen - !off) with
+        | Wire.Decoded (resp, consumed) ->
+          handle_response w c resp;
+          off := !off + consumed
+        | Wire.Need_more -> stop := true
+        | Wire.Oversized _ | Wire.Malformed _ ->
+          w.w_errors <- w.w_errors + 1;
+          finish_conn w c;
+          stop := true
+      done;
+      if not c.x_done then begin
+        if !off > 0 then begin
+          Bytes.blit c.x_rbuf !off c.x_rbuf 0 (c.x_rlen - !off);
+          c.x_rlen <- c.x_rlen - !off
+        end;
+        if c.x_completed >= cfg.ops_per_connection then finish_conn w c
+        else begin
+          fill_window w c;
+          try_flush w c
+        end
+      end
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ ->
+      w.w_errors <- w.w_errors + 1;
+      finish_conn w c
+  end
+
+(* Failures to connect or to watch the new fd (Backend_limit: a
+   select worker past FD_SETSIZE) cost one error and never a crash —
+   exactly how the BENCH_5 select cells record the fd ceiling. *)
+let start_conn w addr cid =
+  let cfg = w.w_cfg in
+  match connect_fd addr with
+  | exception Unix.Unix_error _ -> w.w_errors <- w.w_errors + 1
+  | fd -> (
+    let c =
+      { x_cid = cid;
+        x_fd = fd;
+        x_slot = -1;
+        x_rng = ref ((cfg.seed * 0x9E3779B9) + cid + 1);
+        x_send_times = Array.make cfg.pipeline 0.0;
+        x_sent = 0;
+        x_completed = 0;
+        x_out = Buffer.create 1024;
+        x_flush = Bytes.create 1024;
+        x_flush_len = 0;
+        x_flush_off = 0;
+        x_rbuf = Bytes.create 8192;
+        x_rlen = 0;
+        x_done = false }
+    in
+    match Poller.register w.w_poller fd c with
+    | slot ->
+      c.x_slot <- slot;
+      Poller.set_read w.w_poller c.x_slot true;
+      w.w_active <- w.w_active + 1;
+      fill_window w c;
+      try_flush w c
+    | exception Poller.Backend_limit _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      w.w_errors <- w.w_errors + 1)
+
+(* A worker drives every connection with [cid mod workers = wid]:
+   paced connects (the ramp), then a poller loop until each has run
+   its ops to completion. *)
+let worker ~addr ~cfg ~wid ~workers ~start =
+  let w =
+    { w_cfg = cfg;
+      w_poller = Poller.create ~choice:cfg.poller ();
+      w_targets = Array.of_list cfg.targets;
+      w_hist = Histogram.create ();
+      w_ok = 0;
+      w_busy = 0;
+      w_errors = 0;
+      w_active = 0 }
+  in
+  let pending = ref [] in
+  for cid = cfg.connections - 1 downto 0 do
+    if cid mod workers = wid then pending := cid :: !pending
+  done;
+  let quota =
+    if cfg.ramp_conns_per_tick <= 0 then max_int
+    else max 1 (cfg.ramp_conns_per_tick / workers)
+  in
   while not (Atomic.get start) do
     Domain.cpu_relax ()
   done;
-  let sent = ref 0 and completed = ref 0 in
-  while !completed < cfg.ops_per_connection do
-    while
-      !sent < cfg.ops_per_connection && !sent - !completed < cfg.pipeline
-    do
-      let id = !sent in
-      let r = next state in
-      let name = targets.(r mod Array.length targets) in
-      let mille = (r / 64) mod 1000 in
-      send_times.(id mod cfg.pipeline) <- Unix.gettimeofday ();
-      Client.send client
-        (if mille < cfg.read_permille then Wire.Read { id; name }
-         else if mille < cfg.read_permille + cfg.add_permille then
-           Wire.Add { id; name; delta = cfg.add_delta }
-         else Wire.Inc { id; name });
-      incr sent
+  while !pending <> [] || w.w_active > 0 do
+    (* One connect burst per cycle; with ramping the cycle timeout is
+       ~1ms, making the quota per-tick. *)
+    let burst = ref quota in
+    while !pending <> [] && !burst > 0 do
+      (match !pending with
+       | cid :: rest ->
+         pending := rest;
+         start_conn w addr cid
+       | [] -> ());
+      decr burst
     done;
-    Client.flush client;
-    let resp = Client.recv client in
-    let id = Wire.response_id resp in
-    Histogram.record hist
-      (int_of_float
-         ((Unix.gettimeofday () -. send_times.(id mod cfg.pipeline)) *. 1e9));
-    (match resp with
-     | Wire.Value _ -> incr ok
-     | Wire.Busy _ -> incr busy
-     | Wire.Unknown_object _ | Wire.Bad_request _ -> incr errors
-     | Wire.Stats_json _ | Wire.Pong _ -> incr errors);
-    incr completed
+    if w.w_active > 0 || !pending <> [] then begin
+      let timeout = if !pending <> [] then 0.001 else 0.25 in
+      Poller.wait w.w_poller ~timeout;
+      let nr = Poller.ready_reads w.w_poller in
+      for i = 0 to nr - 1 do
+        let slot = Poller.ready_read w.w_poller i in
+        match Poller.data w.w_poller slot with
+        | Some c when not c.x_done -> handle_readable w c
+        | _ -> ()
+      done;
+      let nw = Poller.ready_writes w.w_poller in
+      for i = 0 to nw - 1 do
+        let slot = Poller.ready_write w.w_poller i in
+        match Poller.data w.w_poller slot with
+        | Some c when not c.x_done -> try_flush w c
+        | _ -> ()
+      done
+    end
   done;
-  Client.close client;
-  (hist, !ok, !busy, !errors)
+  Poller.close w.w_poller;
+  (w.w_hist, w.w_ok, w.w_busy, w.w_errors)
 
 let run ~addr cfg =
   if cfg.connections < 1 then invalid_arg "Loadgen.run: connections < 1";
@@ -89,10 +309,18 @@ let run ~addr cfg =
     cfg.add_permille < 0 || cfg.read_permille + cfg.add_permille > 1000
   then invalid_arg "Loadgen.run: read + add permille outside 0..1000";
   if cfg.add_delta < 0 then invalid_arg "Loadgen.run: add_delta < 0";
+  if cfg.workers < 0 then invalid_arg "Loadgen.run: workers < 0";
+  if cfg.ramp_conns_per_tick < 0 then
+    invalid_arg "Loadgen.run: ramp_conns_per_tick < 0";
+  ignore (Rlimit.raise_nofile ());
+  let workers =
+    if cfg.workers > 0 then min cfg.workers cfg.connections
+    else min cfg.connections 4
+  in
   let start = Atomic.make false in
   let domains =
-    Array.init cfg.connections (fun cid ->
-        Domain.spawn (fun () -> worker ~addr ~cfg ~cid ~start))
+    Array.init workers (fun wid ->
+        Domain.spawn (fun () -> worker ~addr ~cfg ~wid ~workers ~start))
   in
   let t0 = Unix.gettimeofday () in
   Atomic.set start true;

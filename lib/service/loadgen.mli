@@ -1,15 +1,24 @@
 (** Closed-loop load generator for the service: the measurement side
-    of the BENCH `service` experiment.
+    of the BENCH `service` experiments.
 
-    Each connection runs on its own domain with a window of at most
-    [pipeline] requests in flight: it tops the window up, flushes the
-    batch in one write, then blocks for a response — so client-side
-    latency includes queueing, shard execution and both coalesced
-    I/O paths. Op choice (target object, inc vs read) is a seeded LCG,
-    so a given config replays the same op sequence. *)
+    Connections are multiplexed: [workers] domains each drive their
+    share of the [connections] nonblocking sockets over a {!Poller}
+    (the same backend machinery the server runs on), so 10k-connection
+    sweeps need a handful of domains, not 10k. Each connection keeps a
+    window of at most [pipeline] requests in flight: responses drained
+    from the socket refill the window, so client-side latency includes
+    queueing, shard execution and both coalesced I/O paths.
+
+    Op choice (target object, inc vs add vs read) is a seeded LCG keyed
+    by [(seed, cid)] alone — a given config replays the same op
+    sequence regardless of how connections are packed onto workers.
+
+    Connection establishment can be paced ([ramp_conns_per_tick]) so
+    huge sweeps ramp up instead of presenting the server with one
+    accept burst. *)
 
 type config = {
-  connections : int;  (** Client domains. *)
+  connections : int;  (** Concurrent client connections. *)
   ops_per_connection : int;
   pipeline : int;  (** In-flight window per connection (>= 1). *)
   read_permille : int;  (** Reads per 1000 ops. *)
@@ -19,16 +28,28 @@ type config = {
   add_delta : int;  (** Delta carried by each ADD. *)
   targets : string list;  (** Counter objects to drive. *)
   seed : int;
+  workers : int;
+      (** Multiplexer domains; [0] picks
+          [min connections 4]. Connections are dealt round-robin
+          ([cid mod workers]). *)
+  ramp_conns_per_tick : int;
+      (** Connections established per ~1ms tick across all workers;
+          [0] connects everything as fast as possible. *)
+  poller : Poller.choice;  (** Readiness backend for the workers. *)
 }
 
 val default_config : config
 (** 4 connections x 10_000 ops, pipeline 8, 200 permille reads, no
-    ADDs (delta 16 when enabled), targets [c0 .. c3], seed 1. *)
+    ADDs (delta 16 when enabled), targets [c0 .. c3], seed 1, auto
+    workers/poller, no ramp pacing. *)
 
 type result = {
   ok : int;  (** [Value] replies. *)
   busy : int;  (** BUSY backpressure replies. *)
-  errors : int;  (** Unknown-object / bad-request replies. *)
+  errors : int;
+      (** Unknown-object / bad-request replies, plus connections that
+          failed to connect, were refused by the poller backend
+          ([Backend_limit]) or died before completing their ops. *)
   elapsed_s : float;
   ops_per_sec : float;  (** Completed responses per second. *)
   p50_ns : int;
@@ -37,6 +58,7 @@ type result = {
 }
 
 val run : addr:Unix.sockaddr -> config -> result
-(** Connect, release all connections through a start barrier, run to
-    completion, merge per-connection results.
+(** Raise the fd soft limit, release all workers through a start
+    barrier, connect (paced), run to completion, merge per-worker
+    results.
     @raise Invalid_argument on a nonsensical config. *)

@@ -35,6 +35,7 @@ type shard = {
    whichever loop owns it) and exposed as sums. *)
 type io_loop = {
   l_loop : int;
+  mutable l_poller : string;  (* active backend, set when the loop starts *)
   mutable l_accepted : int;  (* bumped by the accepting loop (loop 0) *)
   mutable l_closed : int;
   mutable l_busy_replies : int;
@@ -44,6 +45,8 @@ type io_loop = {
   mutable l_wakeups : int;
   mutable l_cycles : int;
   mutable l_owned_conns : int;
+  mutable l_max_ready_batch : int;  (* peak ready slots in one wait *)
+  mutable l_poller_rejects : int;  (* conns refused by Backend_limit *)
   l_cycle_ns : Histogram.t;
   l_flush_bytes : Histogram.t;
   l_read_batch : Histogram.t;
@@ -73,6 +76,7 @@ let create ~shards ~io_domains =
       Array.init io_domains (fun l ->
           Backend.Padded.copy
             { l_loop = l;
+              l_poller = "";
               l_accepted = 0;
               l_closed = 0;
               l_busy_replies = 0;
@@ -82,6 +86,8 @@ let create ~shards ~io_domains =
               l_wakeups = 0;
               l_cycles = 0;
               l_owned_conns = 0;
+              l_max_ready_batch = 0;
+              l_poller_rejects = 0;
               l_cycle_ns = Histogram.create ();
               l_flush_bytes = Histogram.create ();
               l_read_batch = Histogram.create () });
@@ -123,6 +129,10 @@ let protocol_errors t = sum_loops t (fun l -> l.l_protocol_errors)
 let oversized_frames t = sum_loops t (fun l -> l.l_oversized_frames)
 let stats_requests t = sum_loops t (fun l -> l.l_stats_requests)
 let owned_conns t = sum_loops t (fun l -> l.l_owned_conns)
+let poller_rejects t = sum_loops t (fun l -> l.l_poller_rejects)
+
+let max_ready_batch t =
+  Array.fold_left (fun acc l -> max acc l.l_max_ready_batch) 0 t.io_loops
 
 let total_ops t =
   List.fold_left
@@ -164,6 +174,7 @@ let shard_json s =
 let io_loop_json l =
   J.Obj
     [ ("loop", J.Int l.l_loop);
+      ("poller", J.Str l.l_poller);
       ("accepted", J.Int l.l_accepted);
       ("closed", J.Int l.l_closed);
       ("busy_replies", J.Int l.l_busy_replies);
@@ -173,6 +184,8 @@ let io_loop_json l =
       ("wakeups", J.Int l.l_wakeups);
       ("cycles", J.Int l.l_cycles);
       ("owned_conns", J.Int l.l_owned_conns);
+      ("max_ready_batch", J.Int l.l_max_ready_batch);
+      ("poller_rejects", J.Int l.l_poller_rejects);
       ("cycle_ns", Histogram.to_json l.l_cycle_ns);
       ("flush_bytes", Histogram.to_json l.l_flush_bytes);
       ("read_batch", Histogram.to_json l.l_read_batch) ]
@@ -193,6 +206,8 @@ let to_json t =
            ("oversized_frames", J.Int (oversized_frames t));
            ("stats_requests", J.Int (stats_requests t));
            ("io_domains", J.Int (Array.length t.io_loops));
+           ("poller_rejects", J.Int (poller_rejects t));
+           ("max_ready_batch", J.Int (max_ready_batch t));
            ("total_ops", J.Int (total_ops t));
            ("acc_violations_total", J.Int (acc_violations_total t)) ]);
       ("read_batch", Histogram.to_json (merged_read_batch t));

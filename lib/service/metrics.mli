@@ -59,6 +59,9 @@ type shard = {
     accepted by loop 0 but closed by whichever loop owns it. *)
 type io_loop = {
   l_loop : int;
+  mutable l_poller : string;
+      (** Active poller backend (["epoll"] or ["select"]); set by the
+          loop as it starts, [""] until then. *)
   mutable l_accepted : int;
       (** Connections accepted (all on the accepting loop 0; rejected
           over-[max_conns] accepts count here and in [l_closed]). *)
@@ -75,6 +78,13 @@ type io_loop = {
           timeout cycles are not counted). *)
   mutable l_owned_conns : int;
       (** Gauge: connections currently registered with this loop. *)
+  mutable l_max_ready_batch : int;
+      (** Peak ready slots (reads + writes) reported by one poller
+          wait — how bursty dispatch gets under load. *)
+  mutable l_poller_rejects : int;
+      (** Connections this loop had to close because the poller
+          backend refused the fd ([Poller.Backend_limit]; select
+          beyond [FD_SETSIZE]). *)
   l_cycle_ns : Histogram.t;
       (** Duration of active cycles: readiness dispatch + parsing +
           flushing, select wait excluded. *)
@@ -109,6 +119,12 @@ val stats_requests : t -> int
 val owned_conns : t -> int
 (** Sum of the per-loop owned-connection gauges — currently
     registered connections across the I/O plane. *)
+
+val poller_rejects : t -> int
+(** Sum of the per-loop [Backend_limit] rejections. *)
+
+val max_ready_batch : t -> int
+(** Max of the per-loop peak ready-batch sizes. *)
 
 val total_ops : t -> int
 (** Sum of all per-object op counters (racy snapshot). *)

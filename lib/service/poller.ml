@@ -1,173 +1,91 @@
-(* Slot-indexed readiness bookkeeping over [Unix.select].
+(* Runtime-dispatch façade over the poller backends.
 
-   Interest sets are dense int arrays of slot ids updated on state
-   change ([interest_pos] gives O(1) membership/removal), so a wait
-   cycle costs O(interested) to build the fd lists and O(ready) to
-   translate select's answer back into slots — never O(slots) per
-   cycle, and never O(slots^2) the way per-connection [List.mem]
-   scans were. *)
+   Backend choice is a CLI flag resolved per event loop at server
+   start, not a link-time decision, so the façade is a two-arm
+   variant rather than a functor application: each operation is one
+   branch on an immutable constructor — cheap, branch-predicted, and
+   monomorphic per loop — and the conformance checks below keep both
+   backends pinned to [Poller_intf.S]. *)
 
-type interest = {
-  mutable set : int array;  (* dense slot ids with this interest *)
-  mutable n : int;
-  mutable pos : int array;  (* slot -> index in [set], -1 if absent *)
-}
+module _ : Poller_intf.S = Poller_select
+module _ : Poller_intf.S = Poller_epoll
 
-type 'a t = {
-  mutable fds : Unix.file_descr array;  (* slot -> fd *)
-  mutable slots : 'a option array;  (* slot -> payload; None = free *)
-  reads : interest;
-  writes : interest;
-  by_fd : (Unix.file_descr, int) Hashtbl.t;
-  mutable free : int list;  (* freed slot ids, reused LIFO *)
-  mutable next : int;  (* lowest never-used slot *)
-  mutable live_count : int;
-  mutable ready_r : int array;  (* slots marked ready by the last wait *)
-  mutable ready_r_n : int;
-  mutable ready_w : int array;
-  mutable ready_w_n : int;
-}
+exception Backend_limit = Poller_intf.Backend_limit
 
-let initial_cap = 64
+type choice = Auto | Select | Epoll
 
-let make_interest cap =
-  { set = Array.make cap 0; n = 0; pos = Array.make cap (-1) }
+let epoll_available = Poller_epoll.available
 
-let create () =
-  { fds = Array.make initial_cap Unix.stdin;
-    slots = Array.make initial_cap None;
-    reads = make_interest initial_cap;
-    writes = make_interest initial_cap;
-    by_fd = Hashtbl.create initial_cap;
-    free = [];
-    next = 0;
-    live_count = 0;
-    ready_r = Array.make initial_cap 0;
-    ready_r_n = 0;
-    ready_w = Array.make initial_cap 0;
-    ready_w_n = 0 }
+let choice_of_string = function
+  | "auto" -> Some Auto
+  | "select" -> Some Select
+  | "epoll" -> Some Epoll
+  | _ -> None
 
-let grow_int_array a cap fill =
-  let b = Array.make cap fill in
-  Array.blit a 0 b 0 (Array.length a);
-  b
+let choice_to_string = function
+  | Auto -> "auto"
+  | Select -> "select"
+  | Epoll -> "epoll"
 
-let ensure_capacity t slot =
-  let cap = Array.length t.slots in
-  if slot >= cap then begin
-    let ncap = max (2 * cap) (slot + 1) in
-    t.fds <-
-      (let b = Array.make ncap Unix.stdin in
-       Array.blit t.fds 0 b 0 cap;
-       b);
-    t.slots <-
-      (let b = Array.make ncap None in
-       Array.blit t.slots 0 b 0 cap;
-       b);
-    t.reads.set <- grow_int_array t.reads.set ncap 0;
-    t.reads.pos <- grow_int_array t.reads.pos ncap (-1);
-    t.writes.set <- grow_int_array t.writes.set ncap 0;
-    t.writes.pos <- grow_int_array t.writes.pos ncap (-1);
-    t.ready_r <- grow_int_array t.ready_r ncap 0;
-    t.ready_w <- grow_int_array t.ready_w ncap 0
-  end
+exception Unavailable of string
+
+type 'a t = S of 'a Poller_select.t | E of 'a Poller_epoll.t
+
+let create ?(choice = Auto) () =
+  match choice with
+  | Select -> S (Poller_select.create ())
+  | Epoll ->
+    if not epoll_available then
+      raise (Unavailable "epoll backend not compiled in on this platform");
+    E (Poller_epoll.create ())
+  | Auto ->
+    if epoll_available then E (Poller_epoll.create ())
+    else S (Poller_select.create ())
+
+let name = function S _ -> Poller_select.name | E _ -> Poller_epoll.name
 
 let register t fd data =
-  let slot =
-    match t.free with
-    | s :: rest ->
-      t.free <- rest;
-      s
-    | [] ->
-      let s = t.next in
-      t.next <- s + 1;
-      s
-  in
-  ensure_capacity t slot;
-  t.fds.(slot) <- fd;
-  t.slots.(slot) <- Some data;
-  Hashtbl.replace t.by_fd fd slot;
-  t.live_count <- t.live_count + 1;
-  slot
+  match t with
+  | S p -> Poller_select.register p fd data
+  | E p -> Poller_epoll.register p fd data
 
-let interest_add i slot =
-  if i.pos.(slot) < 0 then begin
-    i.set.(i.n) <- slot;
-    i.pos.(slot) <- i.n;
-    i.n <- i.n + 1
-  end
+let unregister = function
+  | S p -> Poller_select.unregister p
+  | E p -> Poller_epoll.unregister p
 
-let interest_remove i slot =
-  let p = i.pos.(slot) in
-  if p >= 0 then begin
-    let last = i.set.(i.n - 1) in
-    i.set.(p) <- last;
-    i.pos.(last) <- p;
-    i.pos.(slot) <- -1;
-    i.n <- i.n - 1
-  end
+let set_read = function
+  | S p -> Poller_select.set_read p
+  | E p -> Poller_epoll.set_read p
 
-let set_read t slot want =
-  if want then interest_add t.reads slot else interest_remove t.reads slot
+let set_write = function
+  | S p -> Poller_select.set_write p
+  | E p -> Poller_epoll.set_write p
 
-let set_write t slot want =
-  if want then interest_add t.writes slot else interest_remove t.writes slot
+let data = function S p -> Poller_select.data p | E p -> Poller_epoll.data p
+let live = function S p -> Poller_select.live p | E p -> Poller_epoll.live p
+let iter = function S p -> Poller_select.iter p | E p -> Poller_epoll.iter p
 
-let unregister t slot =
-  match t.slots.(slot) with
-  | None -> ()
-  | Some _ ->
-    interest_remove t.reads slot;
-    interest_remove t.writes slot;
-    (* Only unmap the fd if this slot still owns the mapping (the fd
-       number may already have been reused by a later [register]). *)
-    (match Hashtbl.find_opt t.by_fd t.fds.(slot) with
-     | Some s when s = slot -> Hashtbl.remove t.by_fd t.fds.(slot)
-     | _ -> ());
-    t.slots.(slot) <- None;
-    t.free <- slot :: t.free;
-    t.live_count <- t.live_count - 1
+let close = function
+  | S p -> Poller_select.close p
+  | E p -> Poller_epoll.close p
 
-let data t slot = t.slots.(slot)
-let live t = t.live_count
-
-let iter t f =
-  for slot = 0 to t.next - 1 do
-    match t.slots.(slot) with Some d -> f slot d | None -> ()
-  done
-
-let fd_list i fds =
-  let rec go j acc = if j < 0 then acc else go (j - 1) (fds.(i.set.(j)) :: acc) in
-  go (i.n - 1) []
-
-(* Mark select's ready fds directly into the ready-slot arrays; a fd
-   select returned that was unregistered by an earlier callback in the
-   same dispatch simply no longer resolves and is dropped. *)
 let wait t ~timeout =
-  t.ready_r_n <- 0;
-  t.ready_w_n <- 0;
-  let rs = fd_list t.reads t.fds and ws = fd_list t.writes t.fds in
-  match Unix.select rs ws [] timeout with
-  | exception Unix.Unix_error (EINTR, _, _) -> ()
-  | r, w, _ ->
-    List.iter
-      (fun fd ->
-        match Hashtbl.find_opt t.by_fd fd with
-        | Some slot ->
-          t.ready_r.(t.ready_r_n) <- slot;
-          t.ready_r_n <- t.ready_r_n + 1
-        | None -> ())
-      r;
-    List.iter
-      (fun fd ->
-        match Hashtbl.find_opt t.by_fd fd with
-        | Some slot ->
-          t.ready_w.(t.ready_w_n) <- slot;
-          t.ready_w_n <- t.ready_w_n + 1
-        | None -> ())
-      w
+  match t with
+  | S p -> Poller_select.wait p ~timeout
+  | E p -> Poller_epoll.wait p ~timeout
 
-let ready_reads t = t.ready_r_n
-let ready_read t i = t.ready_r.(i)
-let ready_writes t = t.ready_w_n
-let ready_write t i = t.ready_w.(i)
+let ready_reads = function
+  | S p -> Poller_select.ready_reads p
+  | E p -> Poller_epoll.ready_reads p
+
+let ready_read = function
+  | S p -> Poller_select.ready_read p
+  | E p -> Poller_epoll.ready_read p
+
+let ready_writes = function
+  | S p -> Poller_select.ready_writes p
+  | E p -> Poller_epoll.ready_writes p
+
+let ready_write = function
+  | S p -> Poller_select.ready_write p
+  | E p -> Poller_epoll.ready_write p

@@ -1,33 +1,53 @@
-(** O(1)-bookkeeping readiness poller over [Unix.select] — one per I/O
-    domain.
+(** Readiness poller — one per I/O domain, dispatching over a
+    runtime-selected backend ({!Poller_select} or {!Poller_epoll}).
 
     Connections (and the wake pipe / listener) are registered into a
-    dense slot table; each slot carries a caller payload. Interest in
-    readability/writability is maintained {e incrementally}: flipping
-    interest is an O(1) swap-remove on a dense index array, so a wait
-    cycle costs O(interested fds) to assemble the backend's fd lists
-    plus O(ready fds) to mark readiness back into slots — independent
-    of how many idle connections exist, and with no per-connection
-    list-membership scans.
+    dense slot table; each slot carries a caller payload and slot ids
+    are the only currency of the API (readiness is reported as slots,
+    never fds). Both backends are level-triggered and O(ready) at
+    dispatch; see {!Poller_intf.S} for the full backend contract,
+    including the slot-ownership-vs-fd-reuse guarantees.
 
     Single-owner: only the I/O domain that created a poller may touch
     it. Readiness results from the last {!wait} are exposed as indexed
-    slot arrays and are invalidated by the next {!wait}.
+    slot arrays and are invalidated by the next {!wait}. *)
 
-    The backend is [select]: portable, no extra dependencies, and the
-    fd counts per loop stay well under [FD_SETSIZE] once connections
-    are partitioned across [io_domains] loops. The slot API is
-    deliberately backend-shaped like [epoll]/[kqueue] so a kernel
-    readiness backend can replace [select] without touching the
-    server. *)
+exception Backend_limit of string
+(** Raised by {!register} when the backend cannot watch this fd at
+    all (select: fd number >= [FD_SETSIZE]). The caller decides
+    policy — the server closes the connection and counts a
+    poller-reject rather than crashing the loop. *)
+
+(** Backend selection. [Auto] picks epoll when compiled in (Linux),
+    select otherwise. *)
+type choice = Auto | Select | Epoll
+
+val epoll_available : bool
+(** Whether the epoll backend is compiled in on this platform. *)
+
+val choice_of_string : string -> choice option
+(** Parse ["auto" | "select" | "epoll"]. *)
+
+val choice_to_string : choice -> string
+
+exception Unavailable of string
+(** Raised by {!create} on [~choice:Epoll] when epoll is compiled
+    out. *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?choice:choice -> unit -> 'a t
+(** [create ?choice ()] builds a poller on the chosen backend
+    (default [Auto]).
+    @raise Unavailable if the explicit choice is compiled out. *)
+
+val name : 'a t -> string
+(** The active backend: ["select"] or ["epoll"]. *)
 
 val register : 'a t -> Unix.file_descr -> 'a -> int
 (** Allocate a slot for [fd] with no interest; returns the slot id.
-    Slot ids are reused after {!unregister}. *)
+    Slot ids are reused after {!unregister}.
+    @raise Backend_limit if the backend cannot watch this fd. *)
 
 val unregister : 'a t -> int -> unit
 (** Drop the slot: interest cleared, payload released, id recycled.
@@ -49,9 +69,14 @@ val iter : 'a t -> (int -> 'a -> unit) -> unit
 (** Visit every live slot (O(capacity); meant for shutdown sweeps,
     not the hot path). The callback must not mutate the poller. *)
 
+val close : 'a t -> unit
+(** Release backend-owned kernel resources (the epoll fd). The poller
+    must not be used afterwards. Registered fds are the caller's to
+    close. *)
+
 val wait : 'a t -> timeout:float -> unit
-(** Select on the current interest sets; [EINTR] yields an empty
-    ready set. *)
+(** Block up to [timeout] seconds for readiness; [EINTR] yields an
+    empty ready set. *)
 
 (** {2 Readiness of the last wait} *)
 

@@ -1,0 +1,190 @@
+/* C stubs for the epoll poller backend, plus small POSIX helpers
+ * (RLIMIT_NOFILE, fd-as-int, FD_SETSIZE) shared by the service layer.
+ *
+ * Everything epoll-specific is guarded by __linux__ so the library
+ * still links on other Unixes; there the availability probe answers
+ * 0 and the OCaml side refuses to construct the backend.
+ *
+ * Event bits crossing the OCaml/C boundary use a private encoding
+ * (IN=1, OUT=2, ERR=4, HUP=8) rather than raw EPOLL* constants so the
+ * OCaml code never depends on kernel header values.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/signals.h>
+#include <caml/unixsupport.h>
+
+#include <errno.h>
+#include <sys/resource.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <unistd.h>
+#endif
+
+#define APPROX_EV_IN 1
+#define APPROX_EV_OUT 2
+#define APPROX_EV_ERR 4
+#define APPROX_EV_HUP 8
+
+/* Stack batch for epoll_wait: bounds per-cycle dispatch without
+ * heap traffic; level-triggered epoll re-reports anything beyond it
+ * on the next cycle. */
+#define APPROX_EPOLL_BATCH 1024
+
+CAMLprim value approx_epoll_available(value unit)
+{
+  (void)unit;
+#ifdef __linux__
+  return Val_true;
+#else
+  return Val_false;
+#endif
+}
+
+CAMLprim value approx_epoll_batch_size(value unit)
+{
+  (void)unit;
+  return Val_long(APPROX_EPOLL_BATCH);
+}
+
+CAMLprim value approx_epoll_create(value unit)
+{
+  (void)unit;
+#ifdef __linux__
+  int epfd = epoll_create1(EPOLL_CLOEXEC);
+  if (epfd == -1) uerror("epoll_create1", Nothing);
+  return Val_int(epfd);
+#else
+  caml_failwith("epoll backend not compiled in on this platform");
+#endif
+}
+
+CAMLprim value approx_epoll_close(value vepfd)
+{
+#ifdef __linux__
+  close(Int_val(vepfd));
+#else
+  (void)vepfd;
+#endif
+  return Val_unit;
+}
+
+/* op: 0 = ADD, 1 = MOD, 2 = DEL. [slot] rides in epoll_data.u64 so
+ * dispatch recovers the dense slot id without an fd hash lookup.
+ * DEL tolerates ENOENT/EBADF: unregister races fd close/reuse by
+ * design (the slot-ownership guard lives on the OCaml side). */
+CAMLprim value approx_epoll_ctl(value vepfd, value vop, value vfd,
+                                value vevents, value vslot)
+{
+#ifdef __linux__
+  int op;
+  struct epoll_event ev;
+  int bits = Int_val(vevents);
+  switch (Int_val(vop)) {
+  case 0: op = EPOLL_CTL_ADD; break;
+  case 1: op = EPOLL_CTL_MOD; break;
+  default: op = EPOLL_CTL_DEL; break;
+  }
+  ev.events = 0;
+  if (bits & APPROX_EV_IN) ev.events |= EPOLLIN;
+  if (bits & APPROX_EV_OUT) ev.events |= EPOLLOUT;
+  ev.data.u64 = (uint64_t)Long_val(vslot);
+  if (epoll_ctl(Int_val(vepfd), op, Int_val(vfd), &ev) == -1) {
+    if (op == EPOLL_CTL_DEL && (errno == ENOENT || errno == EBADF))
+      return Val_unit;
+    uerror("epoll_ctl", Nothing);
+  }
+  return Val_unit;
+#else
+  (void)vepfd; (void)vop; (void)vfd; (void)vevents; (void)vslot;
+  caml_failwith("epoll backend not compiled in on this platform");
+#endif
+}
+
+/* Wait up to [timeout_ms]; fill slots[i] / events[i] for i < n and
+ * return n. EINTR reports an empty ready set (the event loop treats
+ * it as a timeout). The runtime lock is released across the blocking
+ * wait so other domains keep running; the OCaml arrays are only
+ * touched after reacquisition, from a local struct buffer. */
+CAMLprim value approx_epoll_wait(value vepfd, value vtimeout_ms,
+                                 value vslots, value vevents)
+{
+  CAMLparam4(vepfd, vtimeout_ms, vslots, vevents);
+#ifdef __linux__
+  struct epoll_event evs[APPROX_EPOLL_BATCH];
+  int epfd = Int_val(vepfd);
+  int timeout = Int_val(vtimeout_ms);
+  int cap = Wosize_val(vslots) < (uintnat)APPROX_EPOLL_BATCH
+                ? (int)Wosize_val(vslots)
+                : APPROX_EPOLL_BATCH;
+  int n, i;
+  caml_enter_blocking_section();
+  n = epoll_wait(epfd, evs, cap, timeout);
+  caml_leave_blocking_section();
+  if (n == -1) {
+    if (errno == EINTR) CAMLreturn(Val_int(0));
+    uerror("epoll_wait", Nothing);
+  }
+  for (i = 0; i < n; i++) {
+    int bits = 0;
+    if (evs[i].events & EPOLLIN) bits |= APPROX_EV_IN;
+    if (evs[i].events & EPOLLOUT) bits |= APPROX_EV_OUT;
+    if (evs[i].events & EPOLLERR) bits |= APPROX_EV_ERR;
+    if (evs[i].events & (EPOLLHUP | EPOLLRDHUP)) bits |= APPROX_EV_HUP;
+    Store_field(vslots, i, Val_long((long)evs[i].data.u64));
+    Store_field(vevents, i, Val_long(bits));
+  }
+  CAMLreturn(Val_int(n));
+#else
+  caml_failwith("epoll backend not compiled in on this platform");
+#endif
+}
+
+/* ------------------------------------------------------------------ */
+/* POSIX helpers (all platforms)                                       */
+/* ------------------------------------------------------------------ */
+
+static long clamp_rlim(rlim_t v)
+{
+  if (v == RLIM_INFINITY || v > (rlim_t)Max_long) return Max_long;
+  return (long)v;
+}
+
+CAMLprim value approx_rlimit_nofile_get(value unit)
+{
+  CAMLparam1(unit);
+  CAMLlocal1(pair);
+  struct rlimit rl;
+  if (getrlimit(RLIMIT_NOFILE, &rl) == -1) uerror("getrlimit", Nothing);
+  pair = caml_alloc_tuple(2);
+  Store_field(pair, 0, Val_long(clamp_rlim(rl.rlim_cur)));
+  Store_field(pair, 1, Val_long(clamp_rlim(rl.rlim_max)));
+  CAMLreturn(pair);
+}
+
+/* Raise the soft limit toward [want], capped at the hard limit;
+ * returns the resulting soft limit. Never lowers the soft limit. */
+CAMLprim value approx_rlimit_nofile_raise(value vwant)
+{
+  struct rlimit rl;
+  rlim_t want = (rlim_t)Long_val(vwant);
+  if (getrlimit(RLIMIT_NOFILE, &rl) == -1) uerror("getrlimit", Nothing);
+  if (want > rl.rlim_max) want = rl.rlim_max;
+  if (want > rl.rlim_cur) {
+    rl.rlim_cur = want;
+    if (setrlimit(RLIMIT_NOFILE, &rl) == -1) uerror("setrlimit", Nothing);
+  }
+  return Val_long(clamp_rlim(rl.rlim_cur > want ? rl.rlim_cur : want));
+}
+
+CAMLprim value approx_fd_int(value vfd) { return vfd; }
+
+CAMLprim value approx_fd_setsize(value unit)
+{
+  (void)unit;
+  return Val_long(FD_SETSIZE);
+}

@@ -1,0 +1,84 @@
+(* The readiness-backend signature — the I/O-layer mirror of
+   [Backend.Backend_intf.S]. A backend owns the dense slot table
+   (slot <-> fd <-> caller payload) and answers one question per
+   cycle: which slots turned readable/writable. Contracts every
+   implementation must honour:
+
+   - Slot ids are dense, reused LIFO after [unregister], and the only
+     currency of the API: readiness is reported as slot ids, never
+     fds, so callers keep O(1) arrays indexed by slot.
+   - Ownership guard: an fd number may be closed and reused by a
+     later [register] while an older slot still names it.
+     [unregister] on the stale slot must not disturb the new
+     registration, and stale readiness must never be delivered for a
+     reused fd (see the fd-reuse test in test_service_poller.ml).
+   - [wait] cost must be O(interest) + O(ready) at worst — never
+     O(slots); kernel backends (epoll) are O(ready) dispatch.
+   - Level-triggered semantics: un-drained readiness is reported
+     again on the next [wait], so callers may stop consuming at any
+     point (read-pause, bounded dispatch) without losing events.
+   - Single-owner: only the domain that created the poller may touch
+     it. Results of the last [wait] are invalidated by the next.
+
+   Backends are packed behind the runtime-dispatch façade in
+   [Poller] because the backend is picked per event loop from a CLI
+   flag (--poller), not at link time the way the algorithm backends
+   are instantiated. *)
+
+(* Raised by [register] when the backend cannot watch this fd at all
+   — e.g. select refuses fd numbers >= FD_SETSIZE. The caller owns
+   the policy (the server closes the connection and counts a
+   poller-reject; it does not crash the loop). *)
+exception Backend_limit of string
+
+module type S = sig
+  val name : string
+
+  val available : bool
+  (** False when the backend is compiled out on this platform (epoll
+      off Linux); [create] then raises [Failure]. *)
+
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val register : 'a t -> Unix.file_descr -> 'a -> int
+  (** Allocate a slot for [fd] with no interest; returns the slot id.
+      @raise Backend_limit if the backend cannot watch this fd. *)
+
+  val unregister : 'a t -> int -> unit
+  (** Drop the slot: interest cleared, payload released, id recycled.
+      Idempotent. Does not close the fd. *)
+
+  val set_read : 'a t -> int -> bool -> unit
+  (** O(1) interest flip; redundant flips are no-ops. *)
+
+  val set_write : 'a t -> int -> bool -> unit
+
+  val data : 'a t -> int -> 'a option
+  (** The slot's payload, or [None] if the slot is free (e.g. it was
+      unregistered by an earlier callback of the same dispatch). *)
+
+  val live : 'a t -> int
+
+  val iter : 'a t -> (int -> 'a -> unit) -> unit
+  (** Visit every live slot (shutdown sweeps, not the hot path). The
+      callback must not mutate the poller. *)
+
+  val close : 'a t -> unit
+  (** Release backend-owned kernel resources (the epoll fd). The
+      poller must not be used afterwards. Registered fds are the
+      caller's to close. *)
+
+  val wait : 'a t -> timeout:float -> unit
+  (** Block up to [timeout] seconds for readiness; [EINTR] yields an
+      empty ready set. *)
+
+  val ready_reads : 'a t -> int
+
+  val ready_read : 'a t -> int -> int
+  (** [ready_read t i] for [i < ready_reads t] is the slot id. *)
+
+  val ready_writes : 'a t -> int
+  val ready_write : 'a t -> int -> int
+end

@@ -1,0 +1,192 @@
+(* Slot-indexed readiness bookkeeping over [Unix.select] — the
+   portable fallback backend of [Poller_intf.S].
+
+   Interest sets are dense int arrays of slot ids updated on state
+   change ([interest_pos] gives O(1) membership/removal), so a wait
+   cycle costs O(interested) to build the fd lists and O(ready) to
+   translate select's answer back into slots — never O(slots) per
+   cycle, and never O(slots^2) the way per-connection [List.mem]
+   scans were. The hard limit select cannot escape is FD_SETSIZE:
+   fd numbers at or above it cannot be watched at all, so [register]
+   raises [Backend_limit] rather than letting a later [Unix.select]
+   blow up the whole event loop with EINVAL. *)
+
+external fd_int : Unix.file_descr -> int = "approx_fd_int" [@@noalloc]
+external fd_setsize : unit -> int = "approx_fd_setsize" [@@noalloc]
+
+let name = "select"
+let available = true
+let setsize = fd_setsize ()
+
+type interest = {
+  mutable set : int array;  (* dense slot ids with this interest *)
+  mutable n : int;
+  mutable pos : int array;  (* slot -> index in [set], -1 if absent *)
+}
+
+type 'a t = {
+  mutable fds : Unix.file_descr array;  (* slot -> fd *)
+  mutable slots : 'a option array;  (* slot -> payload; None = free *)
+  reads : interest;
+  writes : interest;
+  by_fd : (Unix.file_descr, int) Hashtbl.t;
+  mutable free : int list;  (* freed slot ids, reused LIFO *)
+  mutable next : int;  (* lowest never-used slot *)
+  mutable live_count : int;
+  mutable ready_r : int array;  (* slots marked ready by the last wait *)
+  mutable ready_r_n : int;
+  mutable ready_w : int array;
+  mutable ready_w_n : int;
+}
+
+let initial_cap = 64
+
+let make_interest cap =
+  { set = Array.make cap 0; n = 0; pos = Array.make cap (-1) }
+
+let create () =
+  { fds = Array.make initial_cap Unix.stdin;
+    slots = Array.make initial_cap None;
+    reads = make_interest initial_cap;
+    writes = make_interest initial_cap;
+    by_fd = Hashtbl.create initial_cap;
+    free = [];
+    next = 0;
+    live_count = 0;
+    ready_r = Array.make initial_cap 0;
+    ready_r_n = 0;
+    ready_w = Array.make initial_cap 0;
+    ready_w_n = 0 }
+
+let grow_int_array a cap fill =
+  let b = Array.make cap fill in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let ensure_capacity t slot =
+  let cap = Array.length t.slots in
+  if slot >= cap then begin
+    let ncap = max (2 * cap) (slot + 1) in
+    t.fds <-
+      (let b = Array.make ncap Unix.stdin in
+       Array.blit t.fds 0 b 0 cap;
+       b);
+    t.slots <-
+      (let b = Array.make ncap None in
+       Array.blit t.slots 0 b 0 cap;
+       b);
+    t.reads.set <- grow_int_array t.reads.set ncap 0;
+    t.reads.pos <- grow_int_array t.reads.pos ncap (-1);
+    t.writes.set <- grow_int_array t.writes.set ncap 0;
+    t.writes.pos <- grow_int_array t.writes.pos ncap (-1);
+    t.ready_r <- grow_int_array t.ready_r ncap 0;
+    t.ready_w <- grow_int_array t.ready_w ncap 0
+  end
+
+let register t fd data =
+  if fd_int fd >= setsize then
+    raise
+      (Poller_intf.Backend_limit
+         (Printf.sprintf "select: fd %d >= FD_SETSIZE (%d)" (fd_int fd)
+            setsize));
+  let slot =
+    match t.free with
+    | s :: rest ->
+      t.free <- rest;
+      s
+    | [] ->
+      let s = t.next in
+      t.next <- s + 1;
+      s
+  in
+  ensure_capacity t slot;
+  t.fds.(slot) <- fd;
+  t.slots.(slot) <- Some data;
+  Hashtbl.replace t.by_fd fd slot;
+  t.live_count <- t.live_count + 1;
+  slot
+
+let interest_add i slot =
+  if i.pos.(slot) < 0 then begin
+    i.set.(i.n) <- slot;
+    i.pos.(slot) <- i.n;
+    i.n <- i.n + 1
+  end
+
+let interest_remove i slot =
+  let p = i.pos.(slot) in
+  if p >= 0 then begin
+    let last = i.set.(i.n - 1) in
+    i.set.(p) <- last;
+    i.pos.(last) <- p;
+    i.pos.(slot) <- -1;
+    i.n <- i.n - 1
+  end
+
+let set_read t slot want =
+  if want then interest_add t.reads slot else interest_remove t.reads slot
+
+let set_write t slot want =
+  if want then interest_add t.writes slot else interest_remove t.writes slot
+
+let unregister t slot =
+  match t.slots.(slot) with
+  | None -> ()
+  | Some _ ->
+    interest_remove t.reads slot;
+    interest_remove t.writes slot;
+    (* Only unmap the fd if this slot still owns the mapping (the fd
+       number may already have been reused by a later [register]). *)
+    (match Hashtbl.find_opt t.by_fd t.fds.(slot) with
+     | Some s when s = slot -> Hashtbl.remove t.by_fd t.fds.(slot)
+     | _ -> ());
+    t.slots.(slot) <- None;
+    t.free <- slot :: t.free;
+    t.live_count <- t.live_count - 1
+
+let data t slot = t.slots.(slot)
+let live t = t.live_count
+
+let iter t f =
+  for slot = 0 to t.next - 1 do
+    match t.slots.(slot) with Some d -> f slot d | None -> ()
+  done
+
+(* select holds no kernel state beyond the registered fds themselves. *)
+let close (_ : 'a t) = ()
+
+let fd_list i fds =
+  let rec go j acc = if j < 0 then acc else go (j - 1) (fds.(i.set.(j)) :: acc) in
+  go (i.n - 1) []
+
+(* Mark select's ready fds directly into the ready-slot arrays; a fd
+   select returned that was unregistered by an earlier callback in the
+   same dispatch simply no longer resolves and is dropped. *)
+let wait t ~timeout =
+  t.ready_r_n <- 0;
+  t.ready_w_n <- 0;
+  let rs = fd_list t.reads t.fds and ws = fd_list t.writes t.fds in
+  match Unix.select rs ws [] timeout with
+  | exception Unix.Unix_error (EINTR, _, _) -> ()
+  | r, w, _ ->
+    List.iter
+      (fun fd ->
+        match Hashtbl.find_opt t.by_fd fd with
+        | Some slot ->
+          t.ready_r.(t.ready_r_n) <- slot;
+          t.ready_r_n <- t.ready_r_n + 1
+        | None -> ())
+      r;
+    List.iter
+      (fun fd ->
+        match Hashtbl.find_opt t.by_fd fd with
+        | Some slot ->
+          t.ready_w.(t.ready_w_n) <- slot;
+          t.ready_w_n <- t.ready_w_n + 1
+        | None -> ())
+      w
+
+let ready_reads t = t.ready_r_n
+let ready_read t i = t.ready_r.(i)
+let ready_writes t = t.ready_w_n
+let ready_write t i = t.ready_w.(i)

@@ -1,0 +1,9 @@
+external nofile : unit -> int * int = "approx_rlimit_nofile_get"
+external nofile_raise : int -> int = "approx_rlimit_nofile_raise"
+
+let raise_nofile () =
+  let _, hard = nofile () in
+  let soft =
+    try nofile_raise hard with Unix.Unix_error (_, _, _) -> fst (nofile ())
+  in
+  (soft, hard)

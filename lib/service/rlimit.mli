@@ -1,0 +1,16 @@
+(** RLIMIT_NOFILE access for fd-hungry entry points (serve, loadgen).
+
+    The default soft limit (often 1024) is far below what a 10k-conn
+    sweep needs, while the hard limit usually is not — so both the
+    server and the load generator lift soft to hard on startup and
+    leave policy warnings (hard too low for the requested connection
+    count) to the CLI layer. *)
+
+val nofile : unit -> int * int
+(** Current [(soft, hard)] RLIMIT_NOFILE; unlimited maps to
+    [max_int]. *)
+
+val raise_nofile : unit -> int * int
+(** Raise the soft limit to the hard limit (never lowers it; a
+    refused [setrlimit] keeps the current soft limit). Returns the
+    resulting [(soft, hard)]. *)

@@ -5,6 +5,7 @@ type config = {
   max_batch : int;
   max_pending : int;
   max_conns : int;
+  poller : Poller.choice;
   specs : Objects.spec list;
 }
 
@@ -15,6 +16,7 @@ let default_config =
     max_batch = 64;
     max_pending = 256;
     max_conns = 1024;
+    poller = Poller.Auto;
     specs = Objects.default_specs ~counters:4 ~k:4 }
 
 type listen = [ `Unix of string | `Tcp of string * int ]
@@ -417,6 +419,8 @@ let try_flush t conn =
   else if conn.c_slot >= 0 then
     Poller.set_write loop.l_poller conn.c_slot false
 
+let poller_name t = Poller.name t.loops.(0).l_poller
+
 let make_conn ~home fd =
   { c_fd = fd;
     c_in = Bytes.create 65536;
@@ -433,11 +437,19 @@ let make_conn ~home fd =
     c_paused = false;
     c_home = home }
 
-let register_conn loop conn =
-  let slot = Poller.register loop.l_poller conn.c_fd (Conn conn) in
-  conn.c_slot <- slot;
-  Poller.set_read loop.l_poller slot true;
-  loop.l_metrics.l_owned_conns <- loop.l_metrics.l_owned_conns + 1
+(* A backend that cannot watch this fd (select past FD_SETSIZE) is a
+   per-connection capacity refusal, not a loop crash: close the
+   connection and count the reject so operators can see the ceiling
+   in STATS. *)
+let register_conn t loop conn =
+  match Poller.register loop.l_poller conn.c_fd (Conn conn) with
+  | slot ->
+    conn.c_slot <- slot;
+    Poller.set_read loop.l_poller slot true;
+    loop.l_metrics.l_owned_conns <- loop.l_metrics.l_owned_conns + 1
+  | exception Poller.Backend_limit _ ->
+    loop.l_metrics.l_poller_rejects <- loop.l_metrics.l_poller_rejects + 1;
+    close_conn t conn
 
 (* Accept on the accepting loop (index 0); connections are dealt to
    the io loops round-robin. The live-connection count is an atomic
@@ -460,7 +472,7 @@ let rec accept_burst t loop =
       let target = t.loops.(t.accept_rr mod Array.length t.loops) in
       t.accept_rr <- t.accept_rr + 1;
       let conn = make_conn ~home:target fd in
-      if target == loop then register_conn target conn
+      if target == loop then register_conn t target conn
       else begin
         Mutex.lock target.l_mu;
         target.l_handoff <- conn :: target.l_handoff;
@@ -491,6 +503,7 @@ let drain_queue loop which =
 let io_loop_run t loop =
   let poller = loop.l_poller in
   let il = loop.l_metrics in
+  il.l_poller <- Poller.name poller;
   let wake_slot = Poller.register poller loop.l_wake_r Wake in
   Poller.set_read poller wake_slot true;
   if loop.l_index = 0 then begin
@@ -517,6 +530,7 @@ let io_loop_run t loop =
     let nr = Poller.ready_reads poller and nw = Poller.ready_writes poller in
     if nr > 0 || nw > 0 then begin
       let t0 = Unix.gettimeofday () in
+      if nr + nw > il.l_max_ready_batch then il.l_max_ready_batch <- nr + nw;
       for i = 0 to nr - 1 do
         let slot = Poller.ready_read poller i in
         match Poller.data poller slot with
@@ -525,7 +539,7 @@ let io_loop_run t loop =
         | Some (Conn conn) -> if conn.c_alive then handle_readable t il conn
         | None -> () (* closed earlier in this dispatch *)
       done;
-      List.iter (fun conn -> register_conn loop conn) (drain_queue loop `Handoff);
+      List.iter (fun conn -> register_conn t loop conn) (drain_queue loop `Handoff);
       (* Flush connections that turned flushable (including replies the
          shards produced while we were parsing), then write-ready ones. *)
       List.iter
@@ -549,24 +563,25 @@ let io_loop_run t loop =
   Poller.iter poller (fun _slot kind ->
       match kind with Conn conn -> owned := conn :: !owned | Wake | Listen -> ());
   List.iter (fun conn -> close_conn t conn) !owned;
-  List.iter (fun conn -> close_conn t conn) (drain_queue loop `Handoff)
+  List.iter (fun conn -> close_conn t conn) (drain_queue loop `Handoff);
+  Poller.close poller
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let bind_listen = function
+let bind_listen ~backlog = function
   | `Unix path ->
     let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     (try Unix.unlink path with Unix.Unix_error _ -> ());
     Unix.bind fd (Unix.ADDR_UNIX path);
-    Unix.listen fd 128;
+    Unix.listen fd backlog;
     (fd, Unix.ADDR_UNIX path, Some path)
   | `Tcp (host, port) ->
     let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
     Unix.setsockopt fd Unix.SO_REUSEADDR true;
     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-    Unix.listen fd 128;
+    Unix.listen fd backlog;
     (fd, Unix.getsockname fd, None)
 
 let start ?(config = default_config) ~listen () =
@@ -576,11 +591,22 @@ let start ?(config = default_config) ~listen () =
   if config.max_batch < 1 then invalid_arg "Server.start: max_batch < 1";
   if config.max_pending < 1 then invalid_arg "Server.start: max_pending < 1";
   if config.max_conns < 1 then invalid_arg "Server.start: max_conns < 1";
+  (* Fail the unavailable-backend case before any fd is bound. *)
+  if config.poller = Poller.Epoll && not Poller.epoll_available then
+    raise (Poller.Unavailable "epoll backend not compiled in on this platform");
+  (* Lift the fd budget as far as the hard limit allows before
+     binding anything; policy warnings (hard limit still too low for
+     max_conns) belong to the CLI. *)
+  ignore (Rlimit.raise_nofile ());
   let metrics =
     Metrics.create ~shards:config.shards ~io_domains:config.io_domains
   in
   let table = Objects.build ~metrics ~shards:config.shards config.specs in
-  let listen_fd, addr, unix_path = bind_listen listen in
+  (* Size the accept backlog with max_conns so a connect burst from a
+     ramping load generator queues instead of shedding SYNs; the
+     kernel clamps to net.core.somaxconn. *)
+  let backlog = max 128 (min config.max_conns 4096) in
+  let listen_fd, addr, unix_path = bind_listen ~backlog listen in
   Unix.set_nonblock listen_fd;
   let loops =
     Array.init config.io_domains (fun l ->
@@ -591,7 +617,7 @@ let start ?(config = default_config) ~listen () =
           l_wake_r = wake_r;
           l_wake_w = wake_w;
           l_metrics = Metrics.io_loop metrics l;
-          l_poller = Poller.create ();
+          l_poller = Poller.create ~choice:config.poller ();
           l_mu = Mutex.create ();
           l_flushq = [];
           l_handoff = [];

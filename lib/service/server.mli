@@ -45,13 +45,16 @@ type config = {
   max_batch : int;  (** Max tasks one shard wakeup drains. *)
   max_pending : int;  (** Per-connection in-flight request bound. *)
   max_conns : int;  (** Accepted connections beyond this are closed. *)
+  poller : Poller.choice;
+      (** Readiness backend for every event loop ([Auto] = epoll when
+          compiled in, select otherwise). *)
   specs : Objects.spec list;  (** Objects to host (fixed at start). *)
 }
 
 val default_config : config
 (** 2 shards, 1 io domain, 1024-task queues, 64-task batches, 256
-    in-flight requests per connection, 1024 connections,
-    [Objects.default_specs ~counters:4 ~k:4]. *)
+    in-flight requests per connection, 1024 connections, [Auto]
+    poller, [Objects.default_specs ~counters:4 ~k:4]. *)
 
 type listen =
   [ `Unix of string  (** Unix-domain socket path (stale path unlinked). *)
@@ -61,8 +64,12 @@ type t
 
 val start : ?config:config -> listen:listen -> unit -> t
 (** Bind, build the object table, spawn the shard and I/O domains and
-    return immediately; the returned handle is ready to serve.
+    return immediately; the returned handle is ready to serve. Raises
+    the soft [RLIMIT_NOFILE] toward the hard limit and sizes the
+    listen backlog with [max_conns] (clamped to 4096).
     @raise Invalid_argument on a nonsensical config;
+    @raise Poller.Unavailable on [poller = Epoll] when the backend is
+    compiled out;
     @raise Unix.Unix_error if the socket cannot be bound. *)
 
 val sockaddr : t -> Unix.sockaddr
@@ -75,6 +82,10 @@ val config : t -> config
 val live_connections : t -> int
 (** Currently accepted-and-not-closed connections (racy snapshot of
     the atomic counter that enforces [max_conns]). *)
+
+val poller_name : t -> string
+(** The backend the event loops actually run on (["epoll"] or
+    ["select"]) — the [Auto] resolution. *)
 
 val stop : t -> unit
 (** Close the listener and every connection, drain the shard queues,

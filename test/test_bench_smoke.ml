@@ -68,7 +68,7 @@ let test_pipeline_smoke () =
       Alcotest.(check bool)
         (Printf.sprintf "record mentions %S" needle)
         true (contains ~needle s))
-    [ "\"schema_version\": 4"; "counter_throughput"; "maxreg_throughput";
+    [ "\"schema_version\": 5"; "counter_throughput"; "maxreg_throughput";
       "amortized_steps_per_op"; "ops_per_sec_median"; "ops_per_sec_min";
       "ops_per_sec_max"; "kcounter"; "faa"; "\"domains\": 1";
       "\"domains\": 2"; "\"service\""; "\"shards\": 2"; "p50_ns"; "p99_ns";
@@ -77,7 +77,10 @@ let test_pipeline_smoke () =
       "\"variant\": \"uncached\""; "increments_per_sec_median";
       "effective_cores"; "cores_source"; "\"mix\": \"add-heavy\"";
       "fused_applies"; "deferred_ops"; "batch_read_hits"; "\"service_io\"";
-      "\"io_domains\": 1"; "\"io_domains\": 2"; "active_cycles"; "wakeups" ]
+      "\"io_domains\": 1"; "\"io_domains\": 2"; "active_cycles"; "wakeups";
+      "\"service_io_scale\""; "\"poller\""; "poller_rejects";
+      "max_ready_batch"; "\"poller\": \"select\"";
+      "ops_per_sec_per_conn_median"; "\"server_mode\": \"in-process\"" ]
 
 let suite =
   [ ("json basic", `Quick, test_json_basic);

@@ -89,6 +89,46 @@ let test_help_still_works () =
   Alcotest.(check bool) "help mentions commands" true
     (contains ~needle:"COMMAND" out)
 
+let test_bad_poller_value () =
+  let status, _, err =
+    run [ "serve"; "--poller"; "kqueue"; "--duration"; "0.1" ]
+  in
+  (* cmdliner's reserved exit code for CLI parse errors. *)
+  Alcotest.(check int) "bogus backend rejected at parse time" 124
+    (exit_code status);
+  Alcotest.(check bool) "stderr names the option" true
+    (contains ~needle:"poller" err);
+  Alcotest.(check bool) "stderr lists the valid backends" true
+    (contains ~needle:"'auto', 'epoll' or 'select'" err)
+
+(* A short-lived serve on each explicitly selectable backend: select
+   everywhere; epoll must either run (Linux build) or be refused with
+   exit 2 and a clear message — never a crash. *)
+let test_poller_selection () =
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "approx_cli_poller_%d.sock" (Unix.getpid ()))
+  in
+  let serve p =
+    run
+      [ "serve"; "--unix"; sock; "--poller"; p; "--shards"; "1";
+        "--duration"; "0.2" ]
+  in
+  let status, out, err = serve "select" in
+  Alcotest.(check int) "select serve exits 0" 0 (exit_code status);
+  Alcotest.(check bool) "banner reports poller=select" true
+    (contains ~needle:"poller=select" out);
+  Alcotest.(check string) "stderr clean" "" err;
+  let status, out, err = serve "epoll" in
+  (match exit_code status with
+   | 0 ->
+     Alcotest.(check bool) "banner reports poller=epoll" true
+       (contains ~needle:"poller=epoll" out)
+   | 2 ->
+     Alcotest.(check bool) "refusal names the missing backend" true
+       (contains ~needle:"epoll" err)
+   | n -> Alcotest.fail (Printf.sprintf "epoll serve exited %d" n))
+
 let () =
   Alcotest.run "cli"
     [ ("exit codes",
@@ -100,5 +140,9 @@ let () =
           test_unknown_with_options);
          ("known subcommand still works", `Quick,
           test_known_subcommand_still_works);
-         ("--help still works", `Quick, test_help_still_works) ])
+         ("--help still works", `Quick, test_help_still_works) ]);
+      ("poller flag",
+       [ ("bad --poller value exits 2", `Quick, test_bad_poller_value);
+         ("serve runs under each selectable backend", `Quick,
+          test_poller_selection) ])
     ]

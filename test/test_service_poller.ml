@@ -1,0 +1,237 @@
+(* Backend-matrix tests for the Poller: the same contract checked on
+   every compiled-in backend (select everywhere, epoll on Linux), plus
+   backend-specific edges — select's FD_SETSIZE ceiling and epoll's
+   behaviour across kernel fd-number reuse. *)
+
+module P = Service.Poller
+
+let check = Alcotest.check
+
+let backends =
+  ("select", P.Select)
+  :: (if P.epoll_available then [ ("epoll", P.Epoll) ] else [])
+
+let with_poller choice f =
+  let p = P.create ~choice () in
+  Fun.protect ~finally:(fun () -> P.close p) (fun () -> f p)
+
+let with_pair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock a;
+  Unix.set_nonblock b;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let write_byte fd = ignore (Unix.write fd (Bytes.make 1 'x') 0 1)
+
+let ready_read_slots p =
+  List.init (P.ready_reads p) (P.ready_read p) |> List.sort compare
+
+let ready_write_slots p =
+  List.init (P.ready_writes p) (P.ready_write p) |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Contract tests, run on every backend                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_readiness choice () =
+  with_poller choice (fun p ->
+      with_pair (fun a b ->
+          let sa = P.register p a "a" and sb = P.register p b "b" in
+          check Alcotest.int "two live slots" 2 (P.live p);
+          P.set_read p sa true;
+          P.set_read p sb true;
+          (* Nothing pending: no readiness. *)
+          P.wait p ~timeout:0.0;
+          check (Alcotest.list Alcotest.int) "idle pair not readable" []
+            (ready_read_slots p);
+          (* One byte into b makes a (and only a) readable. *)
+          write_byte b;
+          P.wait p ~timeout:1.0;
+          check (Alcotest.list Alcotest.int) "peer byte wakes a" [ sa ]
+            (ready_read_slots p);
+          check
+            (Alcotest.option Alcotest.string)
+            "slot carries its payload" (Some "a") (P.data p sa);
+          (* Level-triggered: un-drained data keeps reporting. *)
+          P.wait p ~timeout:0.0;
+          check (Alcotest.list Alcotest.int) "level-triggered re-report"
+            [ sa ] (ready_read_slots p);
+          (* Interest off silences it without draining. *)
+          P.set_read p sa false;
+          P.wait p ~timeout:0.0;
+          check (Alcotest.list Alcotest.int) "interest off silences" []
+            (ready_read_slots p);
+          (* Write interest on an un-backlogged socket fires at once. *)
+          P.set_write p sb true;
+          P.wait p ~timeout:1.0;
+          check (Alcotest.list Alcotest.int) "empty socket writable" [ sb ]
+            (ready_write_slots p)))
+
+(* The self-pipe wake contract: many queued wake bytes must collapse
+   into one readiness entry per wait, never one entry per byte. *)
+let test_wake_dedup choice () =
+  with_poller choice (fun p ->
+      let r, w = Unix.pipe ~cloexec:true () in
+      Unix.set_nonblock r;
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close r with Unix.Unix_error _ -> ());
+          try Unix.close w with Unix.Unix_error _ -> ())
+        (fun () ->
+          let slot = P.register p r "wake" in
+          P.set_read p slot true;
+          for _ = 1 to 16 do
+            write_byte w
+          done;
+          P.wait p ~timeout:1.0;
+          check Alcotest.int "16 wake bytes, one ready entry" 1
+            (P.ready_reads p);
+          check Alcotest.int "the wake slot" slot (P.ready_read p 0);
+          (* Drain and the level-triggered report stops. *)
+          let buf = Bytes.create 64 in
+          ignore (Unix.read r buf 0 64);
+          P.wait p ~timeout:0.0;
+          check Alcotest.int "drained pipe quiet" 0 (P.ready_reads p)))
+
+let test_slot_recycling choice () =
+  with_poller choice (fun p ->
+      with_pair (fun a b ->
+          let sa = P.register p a "a" in
+          let sb = P.register p b "b" in
+          P.unregister p sa;
+          check Alcotest.int "one live slot after unregister" 1 (P.live p);
+          check
+            (Alcotest.option Alcotest.string)
+            "freed slot has no payload" None (P.data p sa);
+          (* Unregister is idempotent. *)
+          P.unregister p sa;
+          check Alcotest.int "idempotent unregister" 1 (P.live p);
+          (* The freed id is recycled for the next registration. *)
+          with_pair (fun c _ ->
+              let sc = P.register p c "c" in
+              check Alcotest.int "slot id recycled" sa sc;
+              check
+                (Alcotest.option Alcotest.string)
+                "recycled slot carries the new payload" (Some "c")
+                (P.data p sc);
+              check
+                (Alcotest.option Alcotest.string)
+                "survivor untouched" (Some "b") (P.data p sb);
+              let seen = ref [] in
+              P.iter p (fun s d -> seen := (s, d) :: !seen);
+              check Alcotest.int "iter visits the live slots" 2
+                (List.length !seen))))
+
+(* Close an fd, let the kernel hand the same number back, register the
+   new fd: the old slot's readiness must not leak onto the new one and
+   no stale event may surface. This is the epoll fd-reuse edge (the
+   kernel identity is (fd, file description), the API identity is the
+   slot) but the contract holds for both backends. *)
+let test_fd_reuse_no_stale_readiness choice () =
+  with_poller choice (fun p ->
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.set_nonblock a;
+      let old_num : int = Obj.magic a in
+      let sa = P.register p a "old" in
+      P.set_read p sa true;
+      write_byte b;
+      P.wait p ~timeout:1.0;
+      check Alcotest.int "old fd readable" 1 (P.ready_reads p);
+      (* Tear down: unregister, close — the pending byte dies with the
+         socket. *)
+      P.unregister p sa;
+      Unix.close a;
+      Unix.close b;
+      (* Linux reuses the lowest free fd number: the very next socket
+         gets the old number back. *)
+      let c, d = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.set_nonblock c;
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close c with Unix.Unix_error _ -> ());
+          try Unix.close d with Unix.Unix_error _ -> ())
+        (fun () ->
+          check Alcotest.int "kernel reused the fd number" old_num
+            (Obj.magic c : int);
+          let sc = P.register p c "new" in
+          check Alcotest.int "slot recycled too" sa sc;
+          P.set_read p sc true;
+          P.wait p ~timeout:0.0;
+          check Alcotest.int "no stale readiness on the reused fd" 0
+            (P.ready_reads p);
+          (* The new registration still works normally. *)
+          write_byte d;
+          P.wait p ~timeout:1.0;
+          check Alcotest.int "fresh byte, fresh readiness" 1
+            (P.ready_reads p);
+          check
+            (Alcotest.option Alcotest.string)
+            "readiness carries the new payload" (Some "new")
+            (P.data p (P.ready_read p 0))))
+
+(* ------------------------------------------------------------------ *)
+(* Backend-specific edges                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* select cannot watch fd numbers at or above FD_SETSIZE; the backend
+   must refuse the registration (Backend_limit) instead of letting the
+   whole wait loop die with EINVAL. *)
+let test_select_fd_setsize_limit () =
+  with_poller P.Select (fun p ->
+      with_pair (fun a _ ->
+          let high = 4_000 in
+          let high_fd : Unix.file_descr = Obj.magic high in
+          Unix.dup2 a high_fd;
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close high_fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              (match P.register p high_fd "high" with
+               | _ -> Alcotest.fail "fd 4000 accepted by select backend"
+               | exception P.Backend_limit _ -> ());
+              check Alcotest.int "failed register leaves no slot" 0
+                (P.live p);
+              (* The poller is still usable for watchable fds. *)
+              let sa = P.register p a "a" in
+              P.set_write p sa true;
+              P.wait p ~timeout:1.0;
+              check Alcotest.int "poller still serviceable" 1
+                (P.ready_writes p))))
+
+let test_choice_resolution () =
+  check
+    (Alcotest.option Alcotest.string)
+    "round-trip epoll" (Some "epoll")
+    (Option.map P.choice_to_string (P.choice_of_string "epoll"));
+  check (Alcotest.option Alcotest.string) "unknown rejected" None
+    (Option.map P.choice_to_string (P.choice_of_string "kqueue"));
+  with_poller P.Auto (fun p ->
+      let expected = if P.epoll_available then "epoll" else "select" in
+      check Alcotest.string "auto resolves to the best backend" expected
+        (P.name p));
+  if not P.epoll_available then
+    match P.create ~choice:P.Epoll () with
+    | (_ : unit P.t) -> Alcotest.fail "epoll created while unavailable"
+    | exception P.Unavailable _ -> ()
+
+let suite_for (label, choice) =
+  ( label,
+    [ ("readiness, interest flips, level-trigger", `Quick,
+       test_readiness choice);
+      ("wake-pipe bytes dedup to one entry", `Quick, test_wake_dedup choice);
+      ("slot recycling and ownership", `Quick, test_slot_recycling choice);
+      ("fd-number reuse delivers no stale readiness", `Quick,
+       test_fd_reuse_no_stale_readiness choice) ] )
+
+let () =
+  Alcotest.run "service_poller"
+    (List.map suite_for backends
+     @ [ ("edges",
+          [ ("select refuses fd >= FD_SETSIZE", `Quick,
+             test_select_fd_setsize_limit);
+            ("choice parsing and auto resolution", `Quick,
+             test_choice_resolution) ]) ])

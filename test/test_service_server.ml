@@ -230,15 +230,16 @@ let test_pipelined_fusion_burst () =
 (* Loadgen against a 4-shard server                                    *)
 (* ------------------------------------------------------------------ *)
 
-let test_loadgen_4_shards () =
-  let config = { Srv.default_config with shards = 4 } in
+let test_loadgen_4_shards poller () =
+  let config = { Srv.default_config with shards = 4; poller } in
   with_server ~config (fun srv ->
       let cfg =
         { Service.Loadgen.default_config with
           connections = 3;
           ops_per_connection = 2_000;
           pipeline = 16;
-          seed = 11 }
+          seed = 11;
+          poller }
       in
       let r = Service.Loadgen.run ~addr:(Srv.sockaddr srv) cfg in
       check Alcotest.int "no protocol errors" 0 r.Service.Loadgen.errors;
@@ -272,7 +273,9 @@ let test_loadgen_4_shards () =
             (Printf.sprintf "stats mentions %S" needle)
             true (contains ~needle json))
         [ "\"acc_violations_total\": 0"; "latency_ns"; "read_batch";
-          "\"kind\": \"kcounter\""; "total_ops" ])
+          "\"kind\": \"kcounter\""; "total_ops";
+          Printf.sprintf "\"poller\": %S" (Srv.poller_name srv);
+          "max_ready_batch"; "\"poller_rejects\": 0" ])
 
 (* ------------------------------------------------------------------ *)
 (* Backpressure                                                        *)
@@ -339,8 +342,9 @@ let raw_connect addr =
   Unix.connect fd addr;
   fd
 
-let test_connection_churn () =
-  with_server (fun srv ->
+let test_connection_churn poller () =
+  let config = { Srv.default_config with poller } in
+  with_server ~config (fun srv ->
       let m = Srv.metrics srv in
       (* One throwaway connection first so lazy allocations (client
          buffers etc.) don't count against the baseline. *)
@@ -363,8 +367,8 @@ let test_connection_churn () =
       check Alcotest.int "owned-connection gauge drained" 0 (M.owned_conns m);
       check Alcotest.int "no fd leak across churn" fd_baseline (open_fds ()))
 
-let test_max_conns_enforced () =
-  let config = { Srv.default_config with max_conns = 2 } in
+let test_max_conns_enforced poller () =
+  let config = { Srv.default_config with max_conns = 2; poller } in
   with_server ~config (fun srv ->
       let addr = Srv.sockaddr srv in
       let c1 = Cl.connect addr and c2 = Cl.connect addr in
@@ -400,8 +404,10 @@ let test_max_conns_enforced () =
       Cl.close c3;
       Cl.close c1)
 
-let test_multi_io_domain_load () =
-  let config = { Srv.default_config with shards = 4; io_domains = 4 } in
+let test_multi_io_domain_load poller () =
+  let config =
+    { Srv.default_config with shards = 4; io_domains = 4; poller }
+  in
   with_server ~config (fun srv ->
       let cfg =
         { Service.Loadgen.default_config with
@@ -410,7 +416,8 @@ let test_multi_io_domain_load () =
           pipeline = 8;
           read_permille = 300;
           add_permille = 200;
-          seed = 7 }
+          seed = 7;
+          poller }
       in
       let r = Service.Loadgen.run ~addr:(Srv.sockaddr srv) cfg in
       check Alcotest.int "no protocol errors" 0 r.Service.Loadgen.errors;
@@ -507,13 +514,30 @@ let test_kill_client_mid_request () =
         (M.acc_violations_total m);
       Cl.close c)
 
+(* The lifecycle/load suites run once per compiled-in poller backend:
+   the select fallback everywhere, epoll where the stubs are built. *)
+let pollers =
+  ("select", Service.Poller.Select)
+  :: (if Service.Poller.epoll_available then [ ("epoll", Service.Poller.Epoll) ]
+      else [])
+
+let per_poller mk =
+  List.concat_map
+    (fun (label, poller) ->
+      List.map
+        (fun (name, speed, test) ->
+          (Printf.sprintf "%s [%s]" name label, speed, test poller))
+        (mk ()))
+    pollers
+
 let () =
   Alcotest.run "service_server"
     [ ("serving",
        [ ("basic ops and error replies", `Quick, test_basic_ops);
          ("ADD: exact sums, envelope, rejection", `Quick, test_add_op);
-         ("k-counter accuracy self-check", `Quick, test_kcounter_accuracy);
-         ("loadgen against 4 shards", `Quick, test_loadgen_4_shards) ]);
+         ("k-counter accuracy self-check", `Quick, test_kcounter_accuracy) ]
+       @ per_poller (fun () ->
+             [ ("loadgen against 4 shards", `Quick, test_loadgen_4_shards) ]));
       ("fusion",
        [ ("objects-level defer/apply/batch_read", `Quick,
           test_objects_fusion_deterministic);
@@ -525,11 +549,12 @@ let () =
          ("sequential load never trips pending bound", `Quick,
           test_max_pending_bound) ]);
       ("lifecycle",
-       [ ("connection churn leaks no fds", `Quick, test_connection_churn);
-         ("max_conns enforced with O(1) accounting", `Quick,
-          test_max_conns_enforced);
-         ("accuracy and ownership across 4 io domains", `Quick,
-          test_multi_io_domain_load) ]);
+       per_poller (fun () ->
+           [ ("connection churn leaks no fds", `Quick, test_connection_churn);
+             ("max_conns enforced with O(1) accounting", `Quick,
+              test_max_conns_enforced);
+             ("accuracy and ownership across 4 io domains", `Quick,
+              test_multi_io_domain_load) ]));
       ("chaos",
        [ ("clients killed mid-request", `Quick, test_kill_client_mid_request) ])
     ]

@@ -27,8 +27,8 @@ FLOOR=$(awk '/"object":/ { obj = ($2 ~ /kcounter/) }
 echo "   (floor: kcounter read-heavy median >= $FLOOR ops/s)"
 dune exec bin/approx_cli.exe -- bench --smoke --out /tmp/BENCH_ci_smoke.json \
   --check-floor "$FLOOR" > /dev/null
-grep -q '"schema_version": 4' /tmp/BENCH_ci_smoke.json \
-  || { echo "smoke record is not schema_version 4"; exit 1; }
+grep -q '"schema_version": 5' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record is not schema_version 5"; exit 1; }
 grep -q '"fastpath"' /tmp/BENCH_ci_smoke.json \
   || { echo "smoke record missing the fastpath experiment"; exit 1; }
 grep -q '"read_ablation"' /tmp/BENCH_ci_smoke.json \
@@ -41,7 +41,25 @@ grep -q '"io_domains": 2' /tmp/BENCH_ci_smoke.json \
   || { echo "smoke record missing the io_domains=2 cell"; exit 1; }
 grep -q '"effective_cores"' /tmp/BENCH_ci_smoke.json \
   || { echo "smoke record missing host core detection"; exit 1; }
+grep -q '"service_io_scale"' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record missing the poller scale sweep"; exit 1; }
+grep -q '"poller": "select"' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record missing the select scale cell"; exit 1; }
+grep -q '"poller_rejects"' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record missing poller-reject counters"; exit 1; }
 rm -f /tmp/BENCH_ci_smoke.json
+
+echo "== committed BENCH_5 record: schema and poller fields =="
+grep -q '"schema_version": 5' BENCH_5.json \
+  || { echo "BENCH_5.json is not schema_version 5"; exit 1; }
+grep -q '"service_io_scale"' BENCH_5.json \
+  || { echo "BENCH_5.json missing the poller scale sweep"; exit 1; }
+grep -q '"poller": "select"' BENCH_5.json \
+  || { echo "BENCH_5.json missing the select scale cells"; exit 1; }
+grep -q '"connections": 10000' BENCH_5.json \
+  || { echo "BENCH_5.json missing the 10k-connection cell"; exit 1; }
+grep -q '"max_ready_batch"' BENCH_5.json \
+  || { echo "BENCH_5.json missing dispatch-batch observability"; exit 1; }
 
 echo "== unknown subcommand exits 2 with usage on stderr =="
 set +e
@@ -68,41 +86,72 @@ SVC_BASE=$(awk '/"shards":/ { s = ($2+0==2) }
 [ -n "$SVC_BASE" ] || { echo "could not extract the BENCH_3 service median"; exit 1; }
 SVC_FLOOR=$(awk "BEGIN { print $SVC_BASE * 0.5 }")
 echo "   (floor: service mixed throughput >= $SVC_FLOOR ops/s, 50% of $SVC_BASE)"
-SOCK=/tmp/approx_ci_service.sock
-rm -f "$SOCK"
-dune exec bin/approx_cli.exe -- serve --shards 2 --io-domains 2 \
-  --unix "$SOCK" --duration 60 &
-SERVE_PID=$!
-trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
-# Wait for the socket to appear.
-for _ in $(seq 1 100); do
-  [ -S "$SOCK" ] && break
-  sleep 0.1
-done
-[ -S "$SOCK" ] || { echo "service socket never appeared"; exit 1; }
-dune exec bin/approx_cli.exe -- loadgen --unix "$SOCK" \
-  --connections 2 --ops 2000 --pipeline 8 --mix 2:6:2 --add-delta 8
-# The floor probe drives the same cell shape as the BENCH_3 record.
-dune exec bin/approx_cli.exe -- loadgen --unix "$SOCK" \
-  --connections 4 --ops 10000 --pipeline 8 \
-  --min-throughput "$SVC_FLOOR"
-dune exec bin/approx_cli.exe -- stats --unix "$SOCK" \
-  > /tmp/approx_ci_stats.json
-grep -q '"acc_violations_total": 0' /tmp/approx_ci_stats.json \
-  || { echo "stats JSON missing clean accuracy self-check"; exit 1; }
-grep -q '"latency_ns"' /tmp/approx_ci_stats.json \
-  || { echo "stats JSON missing latency histograms"; exit 1; }
-grep -q '"total_ops"' /tmp/approx_ci_stats.json \
-  || { echo "stats JSON missing op counters"; exit 1; }
-grep -q '"io_loops"' /tmp/approx_ci_stats.json \
-  || { echo "stats JSON missing per-io-loop metrics"; exit 1; }
-grep -q '"io_domains": 2' /tmp/approx_ci_stats.json \
-  || { echo "stats JSON missing the io-domain count"; exit 1; }
-grep -q '"cycle_ns"' /tmp/approx_ci_stats.json \
-  || { echo "stats JSON missing cycle-duration histograms"; exit 1; }
-kill $SERVE_PID
-wait $SERVE_PID 2>/dev/null || true
-trap - EXIT
-rm -f /tmp/approx_ci_stats.json "$SOCK"
+# Run the smoke once per poller backend. epoll is skipped (not failed)
+# on platforms where the stubs are compiled out: an explicit
+# `--poller epoll` request there must exit 2 with a clear message,
+# which is itself asserted.
+service_smoke() {
+  POLLER=$1
+  SOCK=/tmp/approx_ci_service_$POLLER.sock
+  rm -f "$SOCK"
+  dune exec bin/approx_cli.exe -- serve --shards 2 --io-domains 2 \
+    --poller "$POLLER" --unix "$SOCK" --duration 60 &
+  SERVE_PID=$!
+  trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
+  # Wait for the socket to appear.
+  for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && break
+    sleep 0.1
+  done
+  [ -S "$SOCK" ] || { echo "service socket never appeared ($POLLER)"; exit 1; }
+  dune exec bin/approx_cli.exe -- loadgen --unix "$SOCK" --poller "$POLLER" \
+    --connections 2 --ops 2000 --pipeline 8 --mix 2:6:2 --add-delta 8
+  # The floor probe drives the same cell shape as the BENCH_3 record.
+  dune exec bin/approx_cli.exe -- loadgen --unix "$SOCK" \
+    --connections 4 --ops 10000 --pipeline 8 \
+    --min-throughput "$SVC_FLOOR"
+  dune exec bin/approx_cli.exe -- stats --unix "$SOCK" \
+    > /tmp/approx_ci_stats.json
+  grep -q '"acc_violations_total": 0' /tmp/approx_ci_stats.json \
+    || { echo "stats JSON missing clean accuracy self-check"; exit 1; }
+  grep -q '"latency_ns"' /tmp/approx_ci_stats.json \
+    || { echo "stats JSON missing latency histograms"; exit 1; }
+  grep -q '"total_ops"' /tmp/approx_ci_stats.json \
+    || { echo "stats JSON missing op counters"; exit 1; }
+  grep -q '"io_loops"' /tmp/approx_ci_stats.json \
+    || { echo "stats JSON missing per-io-loop metrics"; exit 1; }
+  grep -q '"io_domains": 2' /tmp/approx_ci_stats.json \
+    || { echo "stats JSON missing the io-domain count"; exit 1; }
+  grep -q '"cycle_ns"' /tmp/approx_ci_stats.json \
+    || { echo "stats JSON missing cycle-duration histograms"; exit 1; }
+  grep -q "\"poller\": \"$POLLER\"" /tmp/approx_ci_stats.json \
+    || { echo "stats JSON missing the active poller backend"; exit 1; }
+  grep -q '"poller_rejects": 0' /tmp/approx_ci_stats.json \
+    || { echo "stats JSON missing clean poller-reject counters"; exit 1; }
+  kill $SERVE_PID
+  wait $SERVE_PID 2>/dev/null || true
+  trap - EXIT
+  rm -f /tmp/approx_ci_stats.json "$SOCK"
+}
+
+service_smoke select
+
+echo "== service smoke under the epoll backend (skipped if compiled out) =="
+set +e
+dune exec bin/approx_cli.exe -- serve --poller epoll --duration 0.1 \
+  --unix /tmp/approx_ci_epoll_probe.sock >/dev/null 2>/tmp/approx_ci_epoll_err.txt
+EPOLL_PROBE=$?
+set -e
+rm -f /tmp/approx_ci_epoll_probe.sock
+if [ "$EPOLL_PROBE" -eq 0 ]; then
+  service_smoke epoll
+elif [ "$EPOLL_PROBE" -eq 2 ]; then
+  grep -qi "epoll" /tmp/approx_ci_epoll_err.txt \
+    || { echo "epoll refusal has no diagnostic"; exit 1; }
+  echo "   (epoll backend not compiled in on this platform; skipped)"
+else
+  echo "serve --poller epoll exited $EPOLL_PROBE (want 0 or 2)"; exit 1
+fi
+rm -f /tmp/approx_ci_epoll_err.txt
 
 echo "CI checks passed."
