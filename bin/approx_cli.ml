@@ -498,7 +498,7 @@ let bench_cmd =
                    two up to the recognized core count).")
   in
   let out_arg =
-    Arg.(value & opt string "BENCH_5.json"
+    Arg.(value & opt string "BENCH_6.json"
          & info [ "out" ] ~docv:"FILE" ~doc:"Output JSON path.")
   in
   let smoke_arg =
@@ -568,8 +568,47 @@ let check_poller which poller =
   end
   else true
 
+(* --peers ID=ADDR[,ID=ADDR...] where ADDR is HOST:PORT (TCP) or a
+   Unix-socket path. Node ids refer to the same 0-based numbering as
+   --node-id. *)
+let parse_peers s =
+  let parse_one entry =
+    match String.index_opt entry '=' with
+    | None -> None
+    | Some eq ->
+      let id = String.sub entry 0 eq in
+      let addr = String.sub entry (eq + 1) (String.length entry - eq - 1) in
+      (match int_of_string_opt id with
+       | None -> None
+       | Some id when id < 0 -> None
+       | Some id ->
+         (match String.rindex_opt addr ':' with
+          | Some colon
+            when (match
+                    int_of_string_opt
+                      (String.sub addr (colon + 1)
+                         (String.length addr - colon - 1))
+                  with
+                 | Some p -> p > 0
+                 | None -> false) ->
+            let host = String.sub addr 0 colon in
+            let port =
+              int_of_string
+                (String.sub addr (colon + 1) (String.length addr - colon - 1))
+            in
+            Some (id, `Tcp (host, port))
+          | _ -> if addr = "" then None else Some (id, `Unix addr)))
+  in
+  if s = "" then Some []
+  else
+    let entries = String.split_on_char ',' s in
+    let parsed = List.map parse_one entries in
+    if List.exists Option.is_none parsed then None
+    else Some (List.map Option.get parsed)
+
 let run_serve shards io_domains queue_capacity max_batch max_pending max_conns
-    poller unix tcp counters k duration =
+    poller unix tcp counters k duration node_id nodes replicas
+    gossip_interval_ms k_staleness peers_spec =
   if shards < 1 || io_domains < 1 || counters < 1 || k < 2
      || queue_capacity < 1 || max_batch < 1 || max_pending < 1
      || max_conns < 1
@@ -578,8 +617,24 @@ let run_serve shards io_domains queue_capacity max_batch max_pending max_conns
                    max-conns must be positive and k >= 2";
     2
   end
+  else if nodes < 1 || node_id < 0 || node_id >= nodes || replicas < 1
+          || gossip_interval_ms < 1 || k_staleness < 1
+  then begin
+    prerr_endline "serve: need nodes >= 1, node-id in 0..nodes-1, \
+                   replicas >= 1, gossip-interval-ms >= 1 and \
+                   k-staleness >= 1";
+    2
+  end
   else if not (check_poller "serve" poller) then 2
   else begin
+    match parse_peers peers_spec with
+    | None ->
+      Printf.eprintf
+        "serve: malformed --peers %S (expected ID=HOST:PORT or \
+         ID=UNIX_PATH, comma-separated)\n"
+        peers_spec;
+      2
+    | Some peers ->
     let config =
       { Service.Server.shards;
         io_domains;
@@ -588,7 +643,13 @@ let run_serve shards io_domains queue_capacity max_batch max_pending max_conns
         max_pending;
         max_conns;
         poller;
-        specs = Service.Objects.default_specs ~counters ~k }
+        specs = Service.Objects.default_specs ~counters ~k;
+        node_id;
+        nodes;
+        replicas;
+        gossip_interval_ms;
+        k_staleness;
+        peers }
     in
     let listen =
       match tcp with
@@ -616,6 +677,12 @@ let run_serve shards io_domains queue_capacity max_batch max_pending max_conns
       (List.length config.specs) addr shards io_domains max_batch
       queue_capacity max_pending max_conns
       (Service.Server.poller_name srv);
+    if nodes > 1 then
+      Printf.printf
+        "cluster: node %d of %d, replicas=%d, gossip every %d ms, \
+         k-staleness=%d, %d peer(s)\n%!"
+        node_id nodes replicas gossip_interval_ms k_staleness
+        (List.length peers);
     let stop = ref false in
     let handler = Sys.Signal_handle (fun _ -> stop := true) in
     Sys.set_signal Sys.sigint handler;
@@ -667,13 +734,51 @@ let serve_cmd =
              ~doc:"Accepted connections beyond $(docv) are closed \
                    immediately; also sizes the listen backlog.")
   in
+  let node_id_arg =
+    Arg.(value & opt int 0
+         & info [ "node-id" ] ~docv:"ID"
+             ~doc:"This node's id in the cluster (0-based).")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 1
+         & info [ "nodes" ] ~docv:"N"
+             ~doc:"Cluster size; every node must agree on $(docv) (1 = \
+                   standalone, no gossip).")
+  in
+  let replicas_arg =
+    Arg.(value & opt int 1
+         & info [ "replicas" ] ~docv:"R"
+             ~doc:"Copies of each object on the placement ring (clamped \
+                   to the node count).")
+  in
+  let gossip_arg =
+    Arg.(value & opt int 50
+         & info [ "gossip-interval-ms" ] ~docv:"MS"
+             ~doc:"Delta-gossip cadence toward the peers.")
+  in
+  let k_staleness_arg =
+    Arg.(value & opt int 2
+         & info [ "staleness" ] ~docv:"KS"
+             ~doc:"Staleness budget: local growth past this factor since \
+                   the last export triggers eager gossip; the cluster \
+                   accuracy bound is k x $(docv).")
+  in
+  let peers_arg =
+    Arg.(value & opt string ""
+         & info [ "peers" ] ~docv:"ID=ADDR,..."
+             ~doc:"Peer nodes as $(b,ID=HOST:PORT) or $(b,ID=UNIX_PATH), \
+                   comma-separated (every node except this one).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Host approximate objects behind the binary wire protocol \
-             (sharded multi-domain server with built-in metrics)")
+             (sharded multi-domain server with built-in metrics and \
+             optional delta-gossip clustering)")
     Term.(const run_serve $ shards_arg $ io_domains_arg $ queue_arg
           $ batch_arg $ pending_arg $ max_conns_arg $ poller_arg $ unix_arg
-          $ tcp_arg $ counters_arg $ k_arg $ duration_arg)
+          $ tcp_arg $ counters_arg $ k_arg $ duration_arg $ node_id_arg
+          $ nodes_arg $ replicas_arg $ gossip_arg $ k_staleness_arg
+          $ peers_arg)
 
 (* --mix R:I:A — relative read:inc:add weights, normalized to permille
    (e.g. 8:1:1 is 800 reads, 100 incs, 100 adds per 1000 ops). *)
@@ -688,8 +793,36 @@ let parse_mix s =
      | _ -> None)
   | _ -> None
 
+(* --nodes ADDR,ADDR,... — cluster node addresses in node-id order;
+   each is HOST:PORT or a Unix-socket path. Empty = the single address
+   from --unix/--tcp. *)
+let parse_node_addrs s =
+  let parse_one a =
+    match String.rindex_opt a ':' with
+    | Some colon
+      when (match
+              int_of_string_opt
+                (String.sub a (colon + 1) (String.length a - colon - 1))
+            with
+           | Some p -> p > 0
+           | None -> false) ->
+      let host = String.sub a 0 colon in
+      let port =
+        int_of_string (String.sub a (colon + 1) (String.length a - colon - 1))
+      in
+      (try Some (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+       with Failure _ -> None)
+    | _ -> if a = "" then None else Some (Unix.ADDR_UNIX a)
+  in
+  if s = "" then Some []
+  else
+    let parsed = List.map parse_one (String.split_on_char ',' s) in
+    if List.exists Option.is_none parsed then None
+    else Some (List.map Option.get parsed)
+
 let run_loadgen unix tcp connections ops pipeline read_permille mix add_delta
-    targets seed workers ramp poller min_throughput =
+    targets seed workers ramp poller min_throughput nodes_spec replicas
+    max_reconnects =
   let mix_permilles =
     match mix with
     | None -> Some (read_permille, 0)
@@ -703,6 +836,17 @@ let run_loadgen unix tcp connections ops pipeline read_permille mix add_delta
       (Option.value mix ~default:"");
     2
   | Some (read_permille, add_permille) ->
+  match parse_node_addrs nodes_spec with
+  | None ->
+    Printf.eprintf
+      "loadgen: malformed --nodes %S (expected HOST:PORT or UNIX_PATH, \
+       comma-separated, node-id order)\n"
+      nodes_spec;
+    2
+  | Some node_addrs ->
+  let addrs =
+    match node_addrs with [] -> [ addr_of ~unix ~tcp ] | l -> l
+  in
   let cfg =
     { Service.Loadgen.default_config with
       connections;
@@ -714,30 +858,35 @@ let run_loadgen unix tcp connections ops pipeline read_permille mix add_delta
       seed;
       workers;
       ramp_conns_per_tick = ramp;
-      poller }
+      poller;
+      replicas;
+      max_reconnects }
   in
   let cfg =
     match targets with [] -> cfg | ts -> { cfg with targets = ts }
   in
   if connections < 1 || ops < 1 || pipeline < 1 || read_permille < 0
      || read_permille > 1000 || add_delta < 0 || workers < 0 || ramp < 0
+     || replicas < 1 || max_reconnects < 0
   then begin
-    prerr_endline "loadgen: connections/ops/pipeline must be positive, \
-                   read-permille in 0..1000 and workers/ramp/add-delta >= 0";
+    prerr_endline "loadgen: connections/ops/pipeline/replicas must be \
+                   positive, read-permille in 0..1000 and workers/ramp/\
+                   add-delta/max-reconnects >= 0";
     2
   end
   else if not (check_poller "loadgen" poller) then 2
   else begin
-    match Service.Loadgen.run ~addr:(addr_of ~unix ~tcp) cfg with
+    match Service.Loadgen.run ~addrs cfg with
     | exception Unix.Unix_error (e, _, _) ->
       Printf.eprintf "loadgen: cannot reach the service: %s\n"
         (Unix.error_message e);
       1
     | r ->
     Printf.printf
-      "loadgen: %d conn x %d ops (window %d): %d ok, %d busy, %d errors\n"
+      "loadgen: %d conn x %d ops (window %d): %d ok, %d busy, %d errors, \
+       %d reconnects\n"
       connections ops pipeline r.Service.Loadgen.ok r.Service.Loadgen.busy
-      r.Service.Loadgen.errors;
+      r.Service.Loadgen.errors r.Service.Loadgen.reconnects;
     Printf.printf "throughput %.0f ops/s, latency p50 %d ns, p99 %d ns\n"
       r.Service.Loadgen.ops_per_sec r.Service.Loadgen.p50_ns
       r.Service.Loadgen.p99_ns;
@@ -810,6 +959,27 @@ let loadgen_cmd =
                    connections per ~1ms tick across all workers (0 = \
                    connect as fast as possible).")
   in
+  let nodes_arg =
+    Arg.(value & opt string ""
+         & info [ "nodes" ] ~docv:"ADDR,..."
+             ~doc:"Cluster node addresses in node-id order \
+                   ($(b,HOST:PORT) or $(b,UNIX_PATH)); overrides \
+                   $(b,--unix)/$(b,--tcp) and enables placement-aware \
+                   routing with failover.")
+  in
+  let replicas_arg =
+    Arg.(value & opt int 1
+         & info [ "replicas" ] ~docv:"R"
+             ~doc:"The cluster's replica count — must match the servers' \
+                   so the derived placement ring is identical.")
+  in
+  let max_reconnects_arg =
+    Arg.(value & opt int 0
+         & info [ "max-reconnects" ] ~docv:"N"
+             ~doc:"Transport-failure reconnects allowed per connection \
+                   before it counts as an error (failing over across \
+                   nodes in cluster mode).")
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:"Run the closed-loop load generator against a running \
@@ -817,7 +987,8 @@ let loadgen_cmd =
     Term.(const run_loadgen $ unix_arg $ tcp_arg $ connections_arg $ ops_arg
           $ pipeline_arg $ rp_arg $ mix_arg $ add_delta_arg $ targets_arg
           $ seed_arg $ workers_arg $ ramp_arg $ poller_arg
-          $ min_throughput_arg)
+          $ min_throughput_arg $ nodes_arg $ replicas_arg
+          $ max_reconnects_arg)
 
 let run_stats unix tcp =
   match Service.Client.connect (addr_of ~unix ~tcp) with
@@ -875,5 +1046,5 @@ let () =
     exit 2
   end;
   let doc = "deterministic approximate objects (ICDCS 2021) playground" in
-  let info = Cmd.info "approx_cli" ~version:"1.5.0" ~doc in
+  let info = Cmd.info "approx_cli" ~version:"1.6.0" ~doc in
   exit (Cmd.eval' (Cmd.group info commands))

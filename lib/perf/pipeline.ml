@@ -34,7 +34,17 @@ type config = {
       (* [Some exe]: each scale trial runs [exe serve ...] as a child
          process so server and loadgen each get their own
          RLIMIT_NOFILE budget (10k conns each side would blow a
-         shared one); [None] serves in-process (smoke/tests). *)
+         shared one); [None] serves in-process (smoke/tests). Also
+         selects subprocess nodes (and kill -9 chaos) for the cluster
+         sweep. *)
+  service_cluster_cells : (int * int * int) list;
+      (* (nodes, replicas, gossip_interval_ms) sweep of the
+         delta-gossip replication plane. *)
+  service_cluster_connections : int;
+  service_cluster_ops_per_connection : int;
+  service_cluster_chaos_ops : int;
+      (* ops per connection of the node-kill chaos cell (3 nodes,
+         2 replicas, fastest gossip); 0 skips the chaos cell. *)
   out_path : string;
 }
 
@@ -108,7 +118,13 @@ let default_config =
     service_scale_trials = 3;
     service_scale_ramp = 500;
     service_scale_server_exe = None;
-    out_path = "BENCH_5.json" }
+    service_cluster_cells =
+      [ (1, 1, 10); (1, 1, 100); (3, 1, 10); (3, 1, 100); (3, 2, 10);
+        (3, 2, 100) ];
+    service_cluster_connections = 6;
+    service_cluster_ops_per_connection = 5_000;
+    service_cluster_chaos_ops = 50_000;
+    out_path = "BENCH_6.json" }
 
 let smoke_config =
   { trials = 3;
@@ -142,6 +158,10 @@ let smoke_config =
     service_scale_trials = 1;
     service_scale_ramp = 1;
     service_scale_server_exe = None;
+    service_cluster_cells = [ (1, 1, 10); (3, 2, 10) ];
+    service_cluster_connections = 4;
+    service_cluster_ops_per_connection = 500;
+    service_cluster_chaos_ops = 20_000;
     out_path = Filename.concat (Filename.get_temp_dir_name ()) "BENCH_smoke.json" }
 
 (* ------------------------------------------------------------------ *)
@@ -365,7 +385,7 @@ let service_throughput cfg =
                         seed = 42 }
                     in
                     let r =
-                      Service.Loadgen.run ~addr:(Service.Server.sockaddr srv) lg
+                      Service.Loadgen.run ~addrs:[ Service.Server.sockaddr srv ] lg
                     in
                     let m = Service.Server.metrics srv in
                     let fused = ref 0 and deferred = ref 0 in
@@ -462,7 +482,7 @@ let service_io_throughput cfg =
                         seed = 42 + trial }
                     in
                     let r =
-                      Service.Loadgen.run ~addr:(Service.Server.sockaddr srv)
+                      Service.Loadgen.run ~addrs:[ Service.Server.sockaddr srv ]
                         lg
                     in
                     let m = Service.Server.metrics srv in
@@ -612,7 +632,7 @@ let wait_for_socket path ~timeout_s =
   go ()
 
 let scale_loadgen ~addr ~conns ~ops ~ramp ~seed =
-  Service.Loadgen.run ~addr
+  Service.Loadgen.run ~addrs:[ addr ]
     { Service.Loadgen.default_config with
       connections = conns;
       ops_per_connection = ops;
@@ -765,6 +785,286 @@ let service_scale_throughput cfg =
     cells
 
 (* ------------------------------------------------------------------ *)
+(* Cluster sweep: the delta-gossip replication plane                   *)
+(* (nodes x replicas x gossip interval, plus a node-kill chaos cell)   *)
+(* ------------------------------------------------------------------ *)
+
+let cluster_counters = 4
+let cluster_k = 4
+let cluster_k_staleness = 2
+
+(* Per-object replication state scraped from one node's STATS JSON:
+   (name, kind, own_contribution, merged_known, acc_violations). The
+   scan starts at the "objects" key so name-like fields in earlier
+   sections can never alias an object entry. *)
+let scan_stats_objects stats =
+  let hl = String.length stats in
+  let find_from needle i0 =
+    let nl = String.length needle in
+    let rec go i =
+      if i + nl > hl then None
+      else if String.sub stats i nl = needle then Some (i + nl)
+      else go (i + 1)
+    in
+    go i0
+  in
+  match find_from "\"objects\"" 0 with
+  | None -> []
+  | Some objs_start ->
+    let anchor = "\"name\": \"" in
+    let rec entries acc i =
+      match find_from anchor i with
+      | None -> List.rev acc
+      | Some start -> (
+        match String.index_from_opt stats start '"' with
+        | None -> List.rev acc
+        | Some stop ->
+          let name = String.sub stats start (stop - start) in
+          let slice_end =
+            match find_from anchor stop with None -> hl | Some nxt -> nxt
+          in
+          let slice = String.sub stats stop (slice_end - stop) in
+          let int key = Option.value ~default:0 (scan_json_int slice key) in
+          let kind = Option.value ~default:"?" (scan_json_str slice "kind") in
+          entries
+            ((name, kind, int "repl_own_total", int "repl_known",
+              int "acc_violations")
+             :: acc)
+            stop)
+    in
+    entries [] objs_start
+
+type cluster_node = {
+  cn_id : int;
+  cn_path : string;
+  mutable cn_state : [ `Proc of int | `Inproc of Service.Server.t | `Down ];
+}
+
+let start_cluster_node ~exe ~paths ~nodes ~replicas ~gossip_ms node =
+  (try Unix.unlink node.cn_path with Unix.Unix_error _ -> ());
+  match exe with
+  | Some exe ->
+    let peers =
+      String.concat ","
+        (List.filter_map
+           (fun j ->
+             if j = node.cn_id then None
+             else Some (Printf.sprintf "%d=%s" j paths.(j)))
+           (List.init nodes Fun.id))
+    in
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+    let pid =
+      Unix.create_process exe
+        [| exe; "serve"; "--shards"; string_of_int scale_shards;
+           "--io-domains"; "1"; "--queue"; string_of_int scale_queue;
+           "--counters"; string_of_int cluster_counters; "-k";
+           string_of_int cluster_k; "--node-id"; string_of_int node.cn_id;
+           "--nodes"; string_of_int nodes; "--replicas";
+           string_of_int replicas; "--gossip-interval-ms";
+           string_of_int gossip_ms; "--staleness";
+           string_of_int cluster_k_staleness; "--peers"; peers; "--unix";
+           node.cn_path; "--duration"; "600" |]
+        devnull devnull devnull
+    in
+    Unix.close devnull;
+    node.cn_state <- `Proc pid
+  | None ->
+    let config =
+      { Service.Server.default_config with
+        shards = scale_shards;
+        queue_capacity = scale_queue;
+        specs =
+          Service.Objects.default_specs ~counters:cluster_counters
+            ~k:cluster_k;
+        node_id = node.cn_id;
+        nodes;
+        replicas;
+        gossip_interval_ms = gossip_ms;
+        k_staleness = cluster_k_staleness;
+        peers =
+          List.filter_map
+            (fun j ->
+              if j = node.cn_id then None else Some (j, `Unix paths.(j)))
+            (List.init nodes Fun.id) }
+    in
+    node.cn_state <-
+      `Inproc (Service.Server.start ~config ~listen:(`Unix node.cn_path) ())
+
+(* [hard]: SIGKILL for subprocess nodes (the chaos kill — no shutdown
+   path runs, un-gossiped state is lost); in-process nodes can only
+   stop cleanly, which still resets their volatile state and cuts
+   every client connection. *)
+let kill_cluster_node ~hard node =
+  (match node.cn_state with
+   | `Proc pid ->
+     (try Unix.kill pid (if hard then Sys.sigkill else Sys.sigterm)
+      with Unix.Unix_error _ -> ());
+     ignore
+       (try Unix.waitpid [] pid with Unix.Unix_error _ -> (0, Unix.WEXITED 0))
+   | `Inproc srv -> Service.Server.stop srv
+   | `Down -> ());
+  node.cn_state <- `Down;
+  try Unix.unlink node.cn_path with Unix.Unix_error _ -> ()
+
+let cluster_node_stats node =
+  match node.cn_state with
+  | `Down -> None
+  | `Proc _ | `Inproc _ -> (
+    match Service.Client.connect (Unix.ADDR_UNIX node.cn_path) with
+    | exception _ -> None
+    | c ->
+      Fun.protect
+        ~finally:(fun () -> Service.Client.close c)
+        (fun () -> Some (Service.Client.stats_json c)))
+
+let cluster_trial cfg ~nodes ~replicas ~gossip_ms ~chaos =
+  let exe = cfg.service_scale_server_exe in
+  let paths =
+    Array.init nodes (fun i ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "approx_cluster_%d_%d_%d_%d_%d%s.sock"
+             (Unix.getpid ()) nodes replicas gossip_ms i
+             (if chaos then "_chaos" else "")))
+  in
+  let handles =
+    Array.init nodes (fun i ->
+        { cn_id = i; cn_path = paths.(i); cn_state = `Down })
+  in
+  let addrs = Array.to_list (Array.map (fun p -> Unix.ADDR_UNIX p) paths) in
+  Fun.protect
+    ~finally:(fun () -> Array.iter (kill_cluster_node ~hard:false) handles)
+    (fun () ->
+      Array.iter
+        (start_cluster_node ~exe ~paths ~nodes ~replicas ~gossip_ms)
+        handles;
+      Array.iter
+        (fun p ->
+          if not (wait_for_socket p ~timeout_s:10.0) then
+            failwith ("cluster bench: node did not come up on " ^ p))
+        paths;
+      let ops =
+        if chaos then cfg.service_cluster_chaos_ops
+        else cfg.service_cluster_ops_per_connection
+      in
+      let lg_cfg =
+        { Service.Loadgen.default_config with
+          connections = cfg.service_cluster_connections;
+          ops_per_connection = ops;
+          pipeline = 8;
+          read_permille = 200;
+          add_permille = 100;
+          add_delta = 16;
+          seed = 42;
+          replicas;
+          max_reconnects = (if chaos then 8 else 2) }
+      in
+      (* The chaos cell loses one node to a hard kill mid-run and
+         brings a blank replacement back while the load is still
+         flowing: failover and reconnects must absorb it (errors stay
+         0) and the merged state must re-converge. *)
+      let killer =
+        if not chaos then None
+        else begin
+          let victim = handles.(1) in
+          let kill_delay = if exe = None then 0.08 else 0.4 in
+          let down_for = if exe = None then 0.1 else 0.3 in
+          Some
+            (Domain.spawn (fun () ->
+                 Unix.sleepf kill_delay;
+                 kill_cluster_node ~hard:true victim;
+                 Unix.sleepf down_for;
+                 start_cluster_node ~exe ~paths ~nodes ~replicas ~gossip_ms
+                   victim;
+                 ignore (wait_for_socket victim.cn_path ~timeout_s:10.0)))
+        end
+      in
+      let r = Service.Loadgen.run ~addrs lg_cfg in
+      Option.iter Domain.join killer;
+      (* Quiesce before judging staleness: a few intervals, plus slack
+         for a full-sync round to repair any gossip entry dropped on a
+         full shard queue. *)
+      Unix.sleepf (Float.max 0.3 (4.0 *. float_of_int gossip_ms /. 1000.0));
+      let stats =
+        List.filter_map Fun.id
+          (Array.to_list (Array.map cluster_node_stats handles))
+      in
+      (* The cluster-level exact shadow: per counter, the sum of every
+         replica's own contribution. Each replica's merged total is a
+         monotone lower bound on it and must sit inside the
+         k_staleness envelope; at quiescence they coincide. *)
+      let objs = List.concat_map scan_stats_objects stats in
+      let counters =
+        List.filter (fun (_, kind, _, _, _) -> kind = "kcounter") objs
+      in
+      let names =
+        List.sort_uniq compare (List.map (fun (n, _, _, _, _) -> n) counters)
+      in
+      let staleness_violations = ref 0 in
+      let converged = ref true in
+      List.iter
+        (fun name ->
+          let hosted =
+            List.filter (fun (n, _, _, _, _) -> n = name) counters
+          in
+          let exact =
+            List.fold_left (fun acc (_, _, own, _, _) -> acc + own) 0 hosted
+          in
+          List.iter
+            (fun (_, _, _, known, _) ->
+              if known <> exact then converged := false;
+              if
+                (known > exact || exact > known * cluster_k_staleness)
+                && not (known = 0 && exact = 0)
+              then incr staleness_violations)
+            hosted)
+        names;
+      let sum key =
+        List.fold_left
+          (fun acc s -> acc + Option.value ~default:0 (scan_json_int s key))
+          0 stats
+      in
+      J.Obj
+        [ ("nodes", J.Int nodes);
+          ("replicas", J.Int replicas);
+          ("gossip_interval_ms", J.Int gossip_ms);
+          ("chaos", J.Bool chaos);
+          ("node_mode",
+           J.Str (match exe with Some _ -> "subprocess" | None -> "in-process"));
+          ("connections", J.Int cfg.service_cluster_connections);
+          ("ops_per_connection", J.Int ops);
+          ("k", J.Int cluster_k);
+          ("k_staleness", J.Int cluster_k_staleness);
+          ("k_total", J.Int (cluster_k * cluster_k_staleness));
+          ("ops_per_sec", J.Float r.Service.Loadgen.ops_per_sec);
+          ("p50_ns", J.Int r.Service.Loadgen.p50_ns);
+          ("p99_ns", J.Int r.Service.Loadgen.p99_ns);
+          ("ok", J.Int r.Service.Loadgen.ok);
+          ("busy", J.Int r.Service.Loadgen.busy);
+          ("errors", J.Int r.Service.Loadgen.errors);
+          ("reconnects", J.Int r.Service.Loadgen.reconnects);
+          ("acc_violations", J.Int (sum "acc_violations_total"));
+          ("staleness_violations", J.Int !staleness_violations);
+          ("converged", J.Bool !converged);
+          ("gossip_frames_sent", J.Int (sum "gossip_frames_sent"));
+          ("gossip_entries_sent", J.Int (sum "gossip_entries_sent"));
+          ("gossip_frames_received", J.Int (sum "gossip_frames_received"));
+          ("gossip_entries_merged", J.Int (sum "gossip_entries_merged"));
+          ("gossip_send_failures", J.Int (sum "gossip_send_failures"));
+          ("boundary_kicks", J.Int (sum "boundary_kicks"));
+          ("peer_reconnects", J.Int (sum "peer_reconnects"));
+          ("nodes_reporting", J.Int (List.length stats)) ])
+
+let service_cluster cfg =
+  List.map
+    (fun (nodes, replicas, gossip_ms) ->
+      cluster_trial cfg ~nodes ~replicas ~gossip_ms ~chaos:false)
+    cfg.service_cluster_cells
+  @
+  if cfg.service_cluster_chaos_ops <= 0 then []
+  else [ cluster_trial cfg ~nodes:3 ~replicas:2 ~gossip_ms:10 ~chaos:true ]
+
+(* ------------------------------------------------------------------ *)
 (* Simulator amortized-step metrics (Theorem III.9, Algorithm 1)       *)
 (* ------------------------------------------------------------------ *)
 
@@ -808,7 +1108,7 @@ let simulator_metrics cfg =
 let bench_json cfg =
   let cores = detect_cores () in
   J.Obj
-    [ ("schema_version", J.Int 5);
+    [ ("schema_version", J.Int 6);
       ("suite", J.Str "approx_objects perf pipeline");
       ("host",
        J.Obj
@@ -851,6 +1151,19 @@ let bench_json cfg =
             J.Int cfg.service_scale_ops_per_connection);
            ("service_scale_trials", J.Int cfg.service_scale_trials);
            ("service_scale_ramp", J.Int cfg.service_scale_ramp);
+           ("service_cluster_cells",
+            J.List
+              (List.map
+                 (fun (n, r, g) ->
+                   J.Obj
+                     [ ("nodes", J.Int n); ("replicas", J.Int r);
+                       ("gossip_interval_ms", J.Int g) ])
+                 cfg.service_cluster_cells));
+           ("service_cluster_connections",
+            J.Int cfg.service_cluster_connections);
+           ("service_cluster_ops_per_connection",
+            J.Int cfg.service_cluster_ops_per_connection);
+           ("service_cluster_chaos_ops", J.Int cfg.service_cluster_chaos_ops);
            ("epoll_available", J.Bool Service.Poller.epoll_available) ]);
       ("counter_throughput", J.List (counter_throughput cfg));
       ("maxreg_throughput", J.List (maxreg_throughput cfg));
@@ -858,6 +1171,7 @@ let bench_json cfg =
       ("service", J.List (service_throughput cfg));
       ("service_io", J.List (service_io_throughput cfg));
       ("service_io_scale", J.List (service_scale_throughput cfg));
+      ("service_cluster", J.List (service_cluster cfg));
       ("simulator", J.Obj [ ("algorithm1", simulator_metrics cfg) ]) ]
 
 (* ------------------------------------------------------------------ *)

@@ -60,7 +60,23 @@ type config = {
           [RLIMIT_NOFILE] budget (required for the 10k cells on hosts
           whose hard limit cannot be raised); server-side counters are
           read back over the wire via STATS. [None]: in-process server
-          (smoke/tests). *)
+          (smoke/tests). The cluster sweep reuses the same switch:
+          with an exe its nodes are child processes and the chaos cell
+          kills one with SIGKILL; in-process nodes stop cleanly. *)
+  service_cluster_cells : (int * int * int) list;
+      (** Cluster sweep: [(nodes, replicas, gossip_interval_ms)] cells
+          of the delta-gossip replication plane. Each cell starts the
+          nodes, drives the cluster-aware loadgen across all of them,
+          quiesces, then checks every replica's merged total against
+          the cluster-level exact shadow (the sum of per-node own
+          contributions) within the [k * k_staleness] envelope. *)
+  service_cluster_connections : int;  (** Cluster sweep: loadgen conns *)
+  service_cluster_ops_per_connection : int;
+      (** Cluster sweep: ops per connection of the plain cells. *)
+  service_cluster_chaos_ops : int;
+      (** Ops per connection of the node-kill chaos cell (3 nodes, 2
+          replicas, 10 ms gossip; one node is killed and restarted
+          blank mid-run). 0 skips the chaos cell. *)
   out_path : string;  (** where to write the JSON record *)
 }
 
@@ -90,8 +106,10 @@ val default_config : config
     the mixed ratio (min/median/max over [trials] fresh-server runs);
     the scale sweep at {1k, 4k, 10k} connections on epoll and {1k, 4k}
     on select (3 trials, ramped connects, in-process server unless
-    [service_scale_server_exe] is set);
-    writes [BENCH_5.json] in the current directory. *)
+    [service_scale_server_exe] is set); the cluster sweep over nodes
+    {1, 3} x replicas {1, 2} x gossip {10 ms, 100 ms} plus the
+    node-kill chaos cell (6 connections, 5k ops/conn; 50k ops/conn
+    under chaos); writes [BENCH_6.json] in the current directory. *)
 
 val smoke_config : config
 (** Tiny counts (3 trials x 500 ops, 64 sim ops) for the [dune runtest]

@@ -7,21 +7,7 @@ type t = {
   mutable next_id : int;
 }
 
-let connect addr =
-  let domain = Unix.domain_of_sockaddr addr in
-  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd addr
-   with e ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     raise e);
-  (try Unix.setsockopt fd Unix.TCP_NODELAY true
-   with Unix.Unix_error _ -> () (* Unix-domain sockets *));
-  { fd;
-    rbuf = Bytes.create 65536;
-    roff = 0;
-    rlen = 0;
-    out = Buffer.create 4096;
-    next_id = 0 }
+type role = [ `Client | `Peer ]
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
@@ -83,6 +69,52 @@ let roundtrip t req =
     failwith "Service.Client: response id does not match request id";
   resp
 
+exception Version_mismatch of { server : int; client : int }
+
+let connect ?(role = `Client) addr =
+  (* A server that dies under us must surface as EPIPE on the write
+     (callers fail over on Unix_error), not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let domain = Unix.domain_of_sockaddr addr in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error _ -> () (* Unix-domain sockets *));
+  let t =
+    { fd;
+      rbuf = Bytes.create 65536;
+      roff = 0;
+      rlen = 0;
+      out = Buffer.create 4096;
+      next_id = 0 }
+  in
+  (* The mandatory handshake: HELLO must be the first frame on every
+     connection, and its reply is matched before the client is handed
+     out, so user code never sees handshake traffic. *)
+  let role_byte =
+    match role with `Client -> Wire.role_client | `Peer -> Wire.role_peer
+  in
+  let hello =
+    Wire.Hello
+      { id = fresh_id t; version = Wire.protocol_version; role = role_byte }
+  in
+  (match roundtrip t hello with
+   | Wire.Hello_ok _ -> ()
+   | Wire.Bad_version { version; _ } ->
+     close t;
+     raise (Version_mismatch { server = version; client = Wire.protocol_version })
+   | _ ->
+     close t;
+     failwith "Service.Client.connect: unexpected handshake reply"
+   | exception e ->
+     close t;
+     raise e);
+  t
+
 let inc t name = roundtrip t (Wire.Inc { id = fresh_id t; name })
 let add t name delta = roundtrip t (Wire.Add { id = fresh_id t; name; delta })
 let read_op t name = roundtrip t (Wire.Read { id = fresh_id t; name })
@@ -104,3 +136,94 @@ let stats_json t =
   match roundtrip t (Wire.Stats { id = fresh_id t }) with
   | Wire.Stats_json { json; _ } -> json
   | _ -> failwith "Service.Client.stats_json: non-STATS reply"
+
+let gossip t ~node entries =
+  match roundtrip t (Wire.Gossip { id = fresh_id t; node; entries }) with
+  | Wire.Gossip_ack { merged; _ } -> merged
+  | _ -> failwith "Service.Client.gossip: non-ack reply"
+
+(* ------------------------------------------------------------------ *)
+(* Cluster-aware façade                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Cluster = struct
+  let client_close = close
+  let client_connect = connect
+
+  type node = {
+    n_addr : Unix.sockaddr;
+    mutable n_client : t option;  (* lazy; None after a failure *)
+  }
+
+  type nonrec t = {
+    placement : Placement.t;
+    cnodes : node array;  (* index = node id *)
+    mutable failovers : int;
+  }
+
+  let connect ?(replicas = 1) addrs =
+    if addrs = [] then invalid_arg "Client.Cluster.connect: no nodes";
+    { placement = Placement.create ~nodes:(List.length addrs) ~replicas;
+      cnodes =
+        Array.of_list
+          (List.map (fun a -> { n_addr = a; n_client = None }) addrs);
+      failovers = 0 }
+
+  let close t =
+    Array.iter
+      (fun n ->
+        match n.n_client with
+        | Some cl ->
+          n.n_client <- None;
+          client_close cl
+        | None -> ())
+      t.cnodes
+
+  let failovers t = t.failovers
+  let placement t = t.placement
+
+  let drop t i =
+    match t.cnodes.(i).n_client with
+    | Some cl ->
+      t.cnodes.(i).n_client <- None;
+      client_close cl
+    | None -> ()
+
+  (* Run [f] against the first reachable replica of [name], walking
+     the owner list in ring order. Only transport-level failures
+     (connect refusal, reset, EOF) fail over; protocol errors
+     propagate — retrying those elsewhere would mask bugs. *)
+  let with_replica t name f =
+    let owners = Placement.owners t.placement name in
+    let rec go = function
+      | [] -> failwith ("Client.Cluster: no replica reachable for " ^ name)
+      | i :: rest -> (
+        let node = t.cnodes.(i) in
+        match
+          match node.n_client with
+          | Some cl -> cl
+          | None ->
+            let cl = client_connect node.n_addr in
+            node.n_client <- Some cl;
+            cl
+        with
+        | exception (Unix.Unix_error _ | Version_mismatch _) ->
+          if rest <> [] then t.failovers <- t.failovers + 1;
+          go rest
+        | cl -> (
+          try f cl
+          with Unix.Unix_error _ | End_of_file ->
+            drop t i;
+            if rest <> [] then t.failovers <- t.failovers + 1;
+            go rest))
+    in
+    go owners
+
+  let inc t name = with_replica t name (fun cl -> inc cl name)
+  let add t name delta = with_replica t name (fun cl -> add cl name delta)
+  let read_op t name = with_replica t name (fun cl -> read_op cl name)
+  let write t name v = with_replica t name (fun cl -> write cl name v)
+
+  let read_value t name =
+    with_replica t name (fun cl -> read_value cl name)
+end

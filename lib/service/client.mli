@@ -1,7 +1,9 @@
 (** Client library for the approximate-object service.
 
-    A client owns one blocking socket. Requests can be issued two
-    ways:
+    A client owns one blocking socket. {!connect} performs the
+    mandatory HELLO handshake (protocol version + role) before
+    returning, so user code never sees handshake traffic. Requests can
+    then be issued two ways:
 
     - {e convenience}: {!inc} / {!read_value} / {!write} / {!ping} /
       {!stats_json} send one request, flush, and block for its
@@ -13,12 +15,25 @@
       server may interleave BUSY replies ahead of earlier object ops,
       so match on ids, not arrival order.
 
-    Clients are not domain-safe: one client per domain. *)
+    Clients are not domain-safe: one client per domain.
+
+    {!Cluster} wraps several per-node clients behind consistent-hash
+    routing: ops on a name go to its primary replica and fail over
+    down the owner list on transport errors. *)
 
 type t
 
-val connect : Unix.sockaddr -> t
-(** @raise Unix.Unix_error if the server is unreachable. *)
+type role = [ `Client | `Peer ]
+
+exception Version_mismatch of { server : int; client : int }
+(** The server answered HELLO with BAD_VERSION. *)
+
+val connect : ?role:role -> Unix.sockaddr -> t
+(** Connect and complete the HELLO handshake. [`Peer] negotiates the
+    replication role (unlocks GOSSIP and the large peer frame cap);
+    the default [`Client] is an ordinary client connection.
+    @raise Unix.Unix_error if the server is unreachable;
+    @raise Version_mismatch on a protocol-version mismatch. *)
 
 val close : t -> unit
 
@@ -55,3 +70,40 @@ val ping : t -> bool
 val stats_json : t -> string
 (** The server's metrics registry as JSON text.
     @raise Failure unless the reply is [Stats_json]. *)
+
+val gossip : t -> node:int -> (string * Delta.t) list -> int
+(** Send one GOSSIP frame carrying [entries] as replica state from
+    [node]; returns the number of entries the receiver merged.
+    Requires a [`Peer] connection.
+    @raise Failure unless the reply is [Gossip_ack]. *)
+
+(** {2 Cluster-aware façade} *)
+
+module Cluster : sig
+  type t
+
+  val connect : ?replicas:int -> Unix.sockaddr list -> t
+  (** Remember the static node list (index = node id) and derive the
+      same placement ring the servers use. Connections are opened
+      lazily per node; nothing is dialled here.
+      @raise Invalid_argument on an empty list. *)
+
+  val close : t -> unit
+
+  val inc : t -> string -> Wire.response
+  val add : t -> string -> int -> Wire.response
+  val read_op : t -> string -> Wire.response
+  val write : t -> string -> int -> Wire.response
+  val read_value : t -> string -> int
+
+  (** Each op routes to the named object's primary replica and walks
+      the owner list on transport errors (connect refusal, reset,
+      EOF); any replica can answer a read locally thanks to the
+      widened envelope. Protocol-level failures propagate.
+      @raise Failure when no replica is reachable. *)
+
+  val failovers : t -> int
+  (** Ops that had to leave their first-choice replica (racy count). *)
+
+  val placement : t -> Placement.t
+end

@@ -1,0 +1,195 @@
+(* The delta-gossip sender: one domain per server pushing mergeable
+   object state to every peer over persistent `Peer-role client
+   connections.
+
+   Cadence is hybrid. The domain sleeps in [select] on its wake pipe
+   with the gossip interval as timeout, so a tick fires either
+   periodically or eagerly when a shard crosses the k_staleness
+   boundary ({!Server} writes one byte). A tick exports every object
+   whose dirty flag is set (plus everything on a full-sync round),
+   filters each peer's share by the placement ring, and sends chunked
+   GOSSIP frames. Because merges are idempotent joins, every failure
+   mode has the same cheap answer: re-mark the exported objects dirty
+   and resend on the next tick. *)
+
+type addr = [ `Unix of string | `Tcp of string * int ]
+
+type peer = {
+  p_node : int;
+  p_addr : Unix.sockaddr;
+  mutable p_client : Client.t option;
+  mutable p_ever_connected : bool;  (* distinguishes re- from first connect *)
+}
+
+type state = {
+  node_id : int;
+  interval_ms : int;
+  placement : Placement.t;
+  table : Objects.table;
+  cluster : Metrics.cluster;
+  peers : peer list;
+  wake_r : Unix.file_descr;
+  stop : bool Atomic.t;
+  kick : bool Atomic.t;
+}
+
+type t = { g_domain : unit Domain.t }
+
+let sockaddr_of_addr = function
+  | `Unix path -> Unix.ADDR_UNIX path
+  | `Tcp (host, port) ->
+    Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
+(* Every [full_sync_period]th tick ships full state instead of the
+   dirty set — anti-entropy that heals anything a lost ack, a crashed
+   peer or a dropped dirty flag left behind. *)
+let full_sync_period = 16
+
+let entry_wire_len (name, d) =
+  1 + String.length name + 1
+  + (match d with
+    | Delta.Counter v -> 1 + (8 * Array.length v)
+    | Delta.Max _ -> 8)
+
+(* Greedily pack entries into frames under the peer payload cap (the
+   base-8 gossip header plus slack for the frame header). *)
+let chunk_entries entries =
+  let budget = Wire.max_peer_payload - 64 in
+  let rec go cur cur_len acc = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | e :: rest ->
+      let l = entry_wire_len e in
+      if cur <> [] && (cur_len + l > budget || List.length cur >= Wire.max_gossip_entries)
+      then go [ e ] l (List.rev cur :: acc) rest
+      else go (e :: cur) (cur_len + l) acc rest
+  in
+  go [] 0 [] entries
+
+let peer_client st p =
+  match p.p_client with
+  | Some cl -> Some cl
+  | None -> (
+    match Client.connect ~role:`Peer p.p_addr with
+    | cl ->
+      if p.p_ever_connected then
+        st.cluster.g_peer_reconnects <- st.cluster.g_peer_reconnects + 1;
+      p.p_ever_connected <- true;
+      p.p_client <- Some cl;
+      Some cl
+    | exception (Unix.Unix_error _ | Client.Version_mismatch _ | Failure _) ->
+      None)
+
+(* Push [entries] to one peer; [false] drops the connection so the
+   next tick redials. *)
+let send_to_peer st p entries =
+  match peer_client st p with
+  | None ->
+    st.cluster.g_send_failures <- st.cluster.g_send_failures + 1;
+    false
+  | Some cl -> (
+    try
+      List.iter
+        (fun chunk ->
+          ignore (Client.gossip cl ~node:st.node_id chunk);
+          st.cluster.g_frames_sent <- st.cluster.g_frames_sent + 1;
+          st.cluster.g_entries_sent <-
+            st.cluster.g_entries_sent + List.length chunk)
+        (chunk_entries entries);
+      true
+    with Unix.Unix_error _ | End_of_file | Failure _ ->
+      Client.close cl;
+      p.p_client <- None;
+      st.cluster.g_send_failures <- st.cluster.g_send_failures + 1;
+      false)
+
+let tick st =
+  let c = st.cluster in
+  c.g_rounds <- c.g_rounds + 1;
+  let full = c.g_rounds mod full_sync_period = 0 in
+  if full then c.g_full_syncs <- c.g_full_syncs + 1;
+  (* Export once per object; the dirty flag is consumed here and
+     restored below if any peer misses the frame. *)
+  let picked =
+    List.filter_map
+      (fun o ->
+        let dirty = Objects.take_dirty o in
+        if full || dirty then
+          Some (o, ((Objects.spec o).Objects.name, Objects.export_delta o))
+        else None)
+      (Objects.to_list st.table)
+  in
+  if picked <> [] then begin
+    let all_ok =
+      List.fold_left
+        (fun ok p ->
+          let share =
+            List.filter
+              (fun (_, (name, _)) ->
+                Placement.hosts st.placement ~node:p.p_node name)
+              picked
+          in
+          if share = [] then ok
+          else send_to_peer st p (List.map snd share) && ok)
+        true st.peers
+    in
+    if all_ok then List.iter (fun (o, _) -> Objects.mark_exported o) picked
+    else List.iter (fun (o, _) -> Objects.mark_dirty o) picked
+  end
+
+let run st =
+  let interval = float_of_int st.interval_ms /. 1000.0 in
+  let buf = Bytes.create 64 in
+  let drain_wake () =
+    let rec go () =
+      match Unix.read st.wake_r buf 0 (Bytes.length buf) with
+      | 0 -> ()
+      | _ -> go ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (EINTR, _, _) -> go ()
+    in
+    go ()
+  in
+  while not (Atomic.get st.stop) do
+    (match Unix.select [ st.wake_r ] [] [] interval with
+     | [ _ ], _, _ ->
+       (* Clear the kick before draining: a boundary crossed during
+          this tick re-kicks and is picked up next round. *)
+       Atomic.set st.kick false;
+       drain_wake ()
+     | _ -> ()
+     | exception Unix.Unix_error (EINTR, _, _) -> ());
+    if not (Atomic.get st.stop) then tick st
+  done;
+  List.iter
+    (fun p ->
+      match p.p_client with
+      | Some cl ->
+        p.p_client <- None;
+        Client.close cl
+      | None -> ())
+    st.peers
+
+let start ~node_id ~peers ~interval_ms ~placement ~table ~cluster ~wake_r
+    ~stop ~kick () =
+  if interval_ms < 1 then invalid_arg "Gossip.start: interval_ms < 1";
+  let st =
+    { node_id;
+      interval_ms;
+      placement;
+      table;
+      cluster;
+      peers =
+        List.map
+          (fun (node, addr) ->
+            { p_node = node;
+              p_addr = sockaddr_of_addr addr;
+              p_client = None;
+              p_ever_connected = false })
+          peers;
+      wake_r;
+      stop;
+      kick }
+  in
+  { g_domain = Domain.spawn (fun () -> run st) }
+
+let join t = Domain.join t.g_domain

@@ -1,0 +1,44 @@
+(** The delta-gossip sender domain of a cluster node.
+
+    Owns one persistent [`Peer]-role {!Client} per peer node and
+    pushes mergeable object state ({!Delta.t}) on a hybrid cadence:
+    periodically every [interval_ms], plus eagerly whenever a shard
+    crosses the k_staleness growth boundary and writes the wake pipe
+    ({!Server}'s [kick]). Dirty-only ticks carry just the objects
+    mutated since the last export; every 16th tick is a full
+    anti-entropy sync. Each peer receives only the entries the
+    placement ring hosts on it, chunked into frames under
+    {!Wire.max_peer_payload}.
+
+    Failure handling leans entirely on merge idempotence: a connect or
+    send error drops that peer's connection, counts a send failure and
+    re-marks the exported objects dirty, so the next tick (re)dials
+    and resends — duplicated or reordered deltas can never widen a
+    replica's envelope. *)
+
+type addr = [ `Unix of string | `Tcp of string * int ]
+
+type t
+
+val start :
+  node_id:int ->
+  peers:(int * addr) list ->
+  interval_ms:int ->
+  placement:Placement.t ->
+  table:Objects.table ->
+  cluster:Metrics.cluster ->
+  wake_r:Unix.file_descr ->
+  stop:bool Atomic.t ->
+  kick:bool Atomic.t ->
+  unit ->
+  t
+(** Spawn the sender domain. [peers] maps peer node ids to their
+    listen addresses ([node_id] itself must not appear); [wake_r] is
+    the read end of the server's gossip wake pipe (non-blocking);
+    [stop] is polled each tick and on every wake; [kick] is the
+    dedup flag the server sets before writing the pipe.
+    @raise Invalid_argument if [interval_ms < 1]. *)
+
+val join : t -> unit
+(** Wait for the domain to exit (after [stop] is set and the wake
+    pipe written); closes the peer connections. *)

@@ -13,6 +13,16 @@
     by [(seed, cid)] alone — a given config replays the same op
     sequence regardless of how connections are packed onto workers.
 
+    Cluster mode: {!run} takes the node address list (index = node
+    id); each connection homes on [cid mod nodes] and — deriving the
+    same placement ring as the servers from [(nodes, replicas)] —
+    drives only the objects its home node hosts. On a transport
+    failure (reset, EOF from a killed node, refused connect) the
+    connection reconnects up to [max_reconnects] times, failing over
+    to the next node that hosts its targets and resetting its pipeline
+    window to the completed prefix; budget exhaustion costs one error.
+    Every (re)connection leads with the HELLO handshake.
+
     Connection establishment can be paced ([ramp_conns_per_tick]) so
     huge sweeps ramp up instead of presenting the server with one
     accept burst. *)
@@ -36,12 +46,18 @@ type config = {
       (** Connections established per ~1ms tick across all workers;
           [0] connects everything as fast as possible. *)
   poller : Poller.choice;  (** Readiness backend for the workers. *)
+  replicas : int;
+      (** The cluster's replica count — must match the servers' so
+          the derived placement ring is identical. *)
+  max_reconnects : int;
+      (** Transport-failure reconnects allowed per connection; [0]
+          (the default) fails a dropped connection immediately. *)
 }
 
 val default_config : config
 (** 4 connections x 10_000 ops, pipeline 8, 200 permille reads, no
     ADDs (delta 16 when enabled), targets [c0 .. c3], seed 1, auto
-    workers/poller, no ramp pacing. *)
+    workers/poller, no ramp pacing, 1 replica, no reconnects. *)
 
 type result = {
   ok : int;  (** [Value] replies. *)
@@ -49,7 +65,12 @@ type result = {
   errors : int;
       (** Unknown-object / bad-request replies, plus connections that
           failed to connect, were refused by the poller backend
-          ([Backend_limit]) or died before completing their ops. *)
+          ([Backend_limit]), hit a protocol-version mismatch or spent
+          their reconnect budget before completing their ops. *)
+  reconnects : int;
+      (** Mid-run transport failures absorbed by a successful-or-
+          retried reconnect (node kills show up here, not in
+          [errors], as long as the budget holds). *)
   elapsed_s : float;
   ops_per_sec : float;  (** Completed responses per second. *)
   p50_ns : int;
@@ -57,8 +78,9 @@ type result = {
   latency : Histogram.t;  (** Merged client-side latency. *)
 }
 
-val run : addr:Unix.sockaddr -> config -> result
+val run : addrs:Unix.sockaddr list -> config -> result
 (** Raise the fd soft limit, release all workers through a start
     barrier, connect (paced), run to completion, merge per-worker
-    results.
-    @raise Invalid_argument on a nonsensical config. *)
+    results. [addrs] lists every cluster node in node-id order (a
+    single element = the standalone server).
+    @raise Invalid_argument on a nonsensical config or empty [addrs]. *)

@@ -4,6 +4,7 @@ type obj = {
   o_name : string;
   o_kind : string;
   o_shard : int;
+  o_k : int;
   mutable incs : int;
   mutable adds : int;
   mutable reads : int;
@@ -16,6 +17,8 @@ type obj = {
   mutable batch_read_hits : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable repl_own_total : int;
+  mutable repl_known : int;
 }
 
 type shard = {
@@ -25,6 +28,8 @@ type shard = {
   mutable max_batch : int;
   mutable fused_applies : int;
   mutable deferred_ops : int;
+  mutable merge_tasks : int;
+  mutable boundary_kicks : int;
   s_fused : Histogram.t;
   s_latency : Histogram.t;
 }
@@ -47,18 +52,40 @@ type io_loop = {
   mutable l_owned_conns : int;
   mutable l_max_ready_batch : int;  (* peak ready slots in one wait *)
   mutable l_poller_rejects : int;  (* conns refused by Backend_limit *)
+  mutable l_hellos : int;  (* accepted handshakes *)
+  mutable l_hello_rejects : int;  (* Bad_version / missing HELLO closes *)
+  mutable l_gossip_frames : int;  (* inbound GOSSIP frames *)
+  mutable l_gossip_entries : int;  (* entries routed to shards *)
   l_cycle_ns : Histogram.t;
   l_flush_bytes : Histogram.t;
   l_read_batch : Histogram.t;
 }
 
+(* The gossip-sender side of the replication plane: static topology
+   plus counters written only by the single gossip domain. *)
+type cluster = {
+  c_node_id : int;
+  c_nodes : int;
+  c_replicas : int;
+  c_gossip_interval_ms : int;
+  c_k_staleness : int;
+  mutable g_frames_sent : int;
+  mutable g_entries_sent : int;
+  mutable g_send_failures : int;
+  mutable g_full_syncs : int;
+  mutable g_peer_reconnects : int;
+  mutable g_rounds : int;
+}
+
 type t = {
   shards : shard array;
   io_loops : io_loop array;
+  cluster : cluster;
   mutable objs : obj list;  (* reversed registration order; build phase only *)
 }
 
-let create ~shards ~io_domains =
+let create ?(node_id = 0) ?(nodes = 1) ?(replicas = 1)
+    ?(gossip_interval_ms = 0) ?(k_staleness = 1) ~shards ~io_domains () =
   if shards < 1 then invalid_arg "Metrics.create: shards < 1";
   if io_domains < 1 then invalid_arg "Metrics.create: io_domains < 1";
   { shards =
@@ -70,8 +97,23 @@ let create ~shards ~io_domains =
               max_batch = 0;
               fused_applies = 0;
               deferred_ops = 0;
+              merge_tasks = 0;
+              boundary_kicks = 0;
               s_fused = Histogram.create ();
               s_latency = Histogram.create () });
+    cluster =
+      Backend.Padded.copy
+        { c_node_id = node_id;
+          c_nodes = nodes;
+          c_replicas = replicas;
+          c_gossip_interval_ms = gossip_interval_ms;
+          c_k_staleness = k_staleness;
+          g_frames_sent = 0;
+          g_entries_sent = 0;
+          g_send_failures = 0;
+          g_full_syncs = 0;
+          g_peer_reconnects = 0;
+          g_rounds = 0 };
     io_loops =
       Array.init io_domains (fun l ->
           Backend.Padded.copy
@@ -88,17 +130,22 @@ let create ~shards ~io_domains =
               l_owned_conns = 0;
               l_max_ready_batch = 0;
               l_poller_rejects = 0;
+              l_hellos = 0;
+              l_hello_rejects = 0;
+              l_gossip_frames = 0;
+              l_gossip_entries = 0;
               l_cycle_ns = Histogram.create ();
               l_flush_bytes = Histogram.create ();
               l_read_batch = Histogram.create () });
     objs = [] }
 
-let add_obj t ~name ~kind ~shard =
+let add_obj t ~name ~kind ~k ~shard =
   let o =
     Backend.Padded.copy
       { o_name = name;
         o_kind = kind;
         o_shard = shard;
+        o_k = k;
         incs = 0;
         adds = 0;
         reads = 0;
@@ -110,12 +157,15 @@ let add_obj t ~name ~kind ~shard =
         last_exact = 0;
         batch_read_hits = 0;
         cache_hits = 0;
-        cache_misses = 0 }
+        cache_misses = 0;
+        repl_own_total = 0;
+        repl_known = 0 }
   in
   t.objs <- o :: t.objs;
   o
 
 let shard t s = t.shards.(s)
+let cluster t = t.cluster
 let io_loop t l = t.io_loops.(l)
 let io_domains t = Array.length t.io_loops
 let objects t = List.rev t.objs
@@ -130,6 +180,15 @@ let oversized_frames t = sum_loops t (fun l -> l.l_oversized_frames)
 let stats_requests t = sum_loops t (fun l -> l.l_stats_requests)
 let owned_conns t = sum_loops t (fun l -> l.l_owned_conns)
 let poller_rejects t = sum_loops t (fun l -> l.l_poller_rejects)
+let hellos t = sum_loops t (fun l -> l.l_hellos)
+let hello_rejects t = sum_loops t (fun l -> l.l_hello_rejects)
+let gossip_frames_received t = sum_loops t (fun l -> l.l_gossip_frames)
+let gossip_entries_merged t = sum_loops t (fun l -> l.l_gossip_entries)
+
+let sum_shards t f = Array.fold_left (fun acc s -> acc + f s) 0 t.shards
+
+let merge_tasks t = sum_shards t (fun s -> s.merge_tasks)
+let boundary_kicks t = sum_shards t (fun s -> s.boundary_kicks)
 
 let max_ready_batch t =
   Array.fold_left (fun acc l -> max acc l.l_max_ready_batch) 0 t.io_loops
@@ -147,6 +206,7 @@ let obj_json o =
     [ ("name", J.Str o.o_name);
       ("kind", J.Str o.o_kind);
       ("shard", J.Int o.o_shard);
+      ("k", J.Int o.o_k);
       ("incs", J.Int o.incs);
       ("adds", J.Int o.adds);
       ("reads", J.Int o.reads);
@@ -158,7 +218,9 @@ let obj_json o =
       ("last_exact", J.Int o.last_exact);
       ("batch_read_hits", J.Int o.batch_read_hits);
       ("cache_hits", J.Int o.cache_hits);
-      ("cache_misses", J.Int o.cache_misses) ]
+      ("cache_misses", J.Int o.cache_misses);
+      ("repl_own_total", J.Int o.repl_own_total);
+      ("repl_known", J.Int o.repl_known) ]
 
 let shard_json s =
   J.Obj
@@ -168,6 +230,8 @@ let shard_json s =
       ("max_batch", J.Int s.max_batch);
       ("fused_applies", J.Int s.fused_applies);
       ("deferred_ops", J.Int s.deferred_ops);
+      ("merge_tasks", J.Int s.merge_tasks);
+      ("boundary_kicks", J.Int s.boundary_kicks);
       ("fused_per_drain", Histogram.to_json s.s_fused);
       ("latency_ns", Histogram.to_json s.s_latency) ]
 
@@ -186,6 +250,10 @@ let io_loop_json l =
       ("owned_conns", J.Int l.l_owned_conns);
       ("max_ready_batch", J.Int l.l_max_ready_batch);
       ("poller_rejects", J.Int l.l_poller_rejects);
+      ("hellos", J.Int l.l_hellos);
+      ("hello_rejects", J.Int l.l_hello_rejects);
+      ("gossip_frames", J.Int l.l_gossip_frames);
+      ("gossip_entries", J.Int l.l_gossip_entries);
       ("cycle_ns", Histogram.to_json l.l_cycle_ns);
       ("flush_bytes", Histogram.to_json l.l_flush_bytes);
       ("read_batch", Histogram.to_json l.l_read_batch) ]
@@ -210,6 +278,26 @@ let to_json t =
            ("max_ready_batch", J.Int (max_ready_batch t));
            ("total_ops", J.Int (total_ops t));
            ("acc_violations_total", J.Int (acc_violations_total t)) ]);
+      ("cluster",
+       (let c = t.cluster in
+        J.Obj
+          [ ("node_id", J.Int c.c_node_id);
+            ("nodes", J.Int c.c_nodes);
+            ("replicas", J.Int c.c_replicas);
+            ("gossip_interval_ms", J.Int c.c_gossip_interval_ms);
+            ("k_staleness", J.Int c.c_k_staleness);
+            ("gossip_frames_sent", J.Int c.g_frames_sent);
+            ("gossip_entries_sent", J.Int c.g_entries_sent);
+            ("gossip_send_failures", J.Int c.g_send_failures);
+            ("gossip_full_syncs", J.Int c.g_full_syncs);
+            ("gossip_rounds", J.Int c.g_rounds);
+            ("peer_reconnects", J.Int c.g_peer_reconnects);
+            ("gossip_frames_received", J.Int (gossip_frames_received t));
+            ("gossip_entries_merged", J.Int (gossip_entries_merged t));
+            ("merge_tasks", J.Int (merge_tasks t));
+            ("boundary_kicks", J.Int (boundary_kicks t));
+            ("hellos", J.Int (hellos t));
+            ("hello_rejects", J.Int (hello_rejects t)) ]));
       ("read_batch", Histogram.to_json (merged_read_batch t));
       ("io_loops", J.List (Array.to_list (Array.map io_loop_json t.io_loops)));
       ("shards", J.List (Array.to_list (Array.map shard_json t.shards)));

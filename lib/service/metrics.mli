@@ -16,6 +16,7 @@ type obj = {
   o_name : string;
   o_kind : string;  (** ["kcounter"], ["faa"], ["kmaxreg"], ["cas-maxreg"] *)
   o_shard : int;
+  o_k : int;  (** Approximation factor of the kind ([1] for exact kinds). *)
   mutable incs : int;
   mutable adds : int;  (** Bulk ADD requests (each worth its delta). *)
   mutable reads : int;
@@ -36,6 +37,15 @@ type obj = {
       (** The algorithm-level validated-cache hit counter (snapshot of
           the owning pid's [fast_hits]); approximate kinds only. *)
   mutable cache_misses : int;
+  mutable repl_own_total : int;
+      (** This node's own contribution to the object — recovered base
+          plus locally applied increments (counters) or the largest
+          locally written value (max registers). Summed (or maxed)
+          across nodes this is the cluster-level exact shadow. *)
+  mutable repl_known : int;
+      (** The node's full merged view: own contribution joined with
+          every gossiped remote delta — what the widened-envelope
+          accuracy self-check compares served reads against. *)
 }
 
 type shard = {
@@ -47,6 +57,11 @@ type shard = {
       (** Bulk applies performed — dirty objects per drain, summed. *)
   mutable deferred_ops : int;
       (** INC/ADD requests that were coalesced into those applies. *)
+  mutable merge_tasks : int;
+      (** Gossip entries merged into objects this shard owns. *)
+  mutable boundary_kicks : int;
+      (** Drains whose growth crossed the k_staleness boundary and
+          eagerly woke the gossip sender. *)
   s_fused : Histogram.t;
       (** Per drain: INC/ADD requests coalesced (the fused-ops-per-
           drain distribution; 0 for drains with no increments). *)
@@ -85,6 +100,12 @@ type io_loop = {
       (** Connections this loop had to close because the poller
           backend refused the fd ([Poller.Backend_limit]; select
           beyond [FD_SETSIZE]). *)
+  mutable l_hellos : int;  (** Handshakes accepted on this loop. *)
+  mutable l_hello_rejects : int;
+      (** Connections closed for a version mismatch or a non-HELLO
+          first frame. *)
+  mutable l_gossip_frames : int;  (** Inbound GOSSIP frames. *)
+  mutable l_gossip_entries : int;  (** Entries routed to shard queues. *)
   l_cycle_ns : Histogram.t;
       (** Duration of active cycles: readiness dispatch + parsing +
           flushing, select wait excluded. *)
@@ -93,15 +114,43 @@ type io_loop = {
       (** Requests decoded per read syscall on this loop. *)
 }
 
+(** Gossip-sender counters and the static cluster topology; mutable
+    fields are written only by the single gossip domain. *)
+type cluster = {
+  c_node_id : int;
+  c_nodes : int;
+  c_replicas : int;
+  c_gossip_interval_ms : int;
+  c_k_staleness : int;
+  mutable g_frames_sent : int;
+  mutable g_entries_sent : int;
+  mutable g_send_failures : int;  (** Frames lost to peer connect/send errors. *)
+  mutable g_full_syncs : int;  (** Anti-entropy rounds (full state, not dirty-only). *)
+  mutable g_peer_reconnects : int;
+  mutable g_rounds : int;  (** Gossip ticks executed (kicked or periodic). *)
+}
+
 type t
 
-val create : shards:int -> io_domains:int -> t
+val create :
+  ?node_id:int ->
+  ?nodes:int ->
+  ?replicas:int ->
+  ?gossip_interval_ms:int ->
+  ?k_staleness:int ->
+  shards:int ->
+  io_domains:int ->
+  unit ->
+  t
+(** The cluster parameters default to the standalone topology:
+    node 0 of 1, 1 replica, gossip disabled, [k_staleness = 1]. *)
 
-val add_obj : t -> name:string -> kind:string -> shard:int -> obj
+val add_obj : t -> name:string -> kind:string -> k:int -> shard:int -> obj
 (** Register an object at server construction time (before any domain
-    shares [t]). *)
+    shares [t]). [k] is the kind's approximation factor (1 = exact). *)
 
 val shard : t -> int -> shard
+val cluster : t -> cluster
 val objects : t -> obj list
 
 val io_loop : t -> int -> io_loop
@@ -122,6 +171,17 @@ val owned_conns : t -> int
 
 val poller_rejects : t -> int
 (** Sum of the per-loop [Backend_limit] rejections. *)
+
+val hellos : t -> int
+val hello_rejects : t -> int
+
+val gossip_frames_received : t -> int
+val gossip_entries_merged : t -> int
+(** Inbound gossip aggregates over the I/O loops. *)
+
+val merge_tasks : t -> int
+val boundary_kicks : t -> int
+(** Replication aggregates over the shards. *)
 
 val max_ready_batch : t -> int
 (** Max of the per-loop peak ready-batch sizes. *)

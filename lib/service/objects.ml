@@ -16,6 +16,10 @@ let is_counter = function
   | Kcounter _ | Faa -> true
   | Kmaxreg _ | Cas_maxreg -> false
 
+let kind_k = function
+  | Kcounter { k } | Kmaxreg { k; _ } -> k
+  | Faa | Cas_maxreg -> 1
+
 let default_specs ~counters ~k =
   if counters < 1 then invalid_arg "Objects.default_specs: counters < 1";
   if k < 2 then invalid_arg "Objects.default_specs: k < 2";
@@ -37,16 +41,33 @@ type impl =
    drain-batch scratch, touched only by the owning shard between a
    queue drain's accumulate and reply phases (Server.exec_batch):
    deferred increments fused into one [apply_pending], and the one
-   computed read value every READ of the drain is answered from. *)
+   computed read value every READ of the drain is answered from.
+
+   Replication state ([r_*]) is written only by the owning shard —
+   remote merges are routed through the shard queue like any other op
+   — and read racily by the gossip-sender domain. Every replicated
+   quantity is monotone (G-counter slots, maxima), so a torn export is
+   a pointwise lower bound of the current state, which gossip merges
+   absorb harmlessly. [r_last_sent] is the one field the sender writes
+   (its export watermark); the shard only reads it, for the
+   k_staleness boundary check. *)
 type obj = {
   o_spec : spec;
   o_shard : int;
+  o_node : int;  (* this server's node id *)
+  o_nodes : int;  (* cluster width = counter vector width *)
   impl : impl;
   o_stats : Metrics.obj;
   mutable pending_delta : int;
   mutable o_dirty : bool;
   mutable batch_value : int;
   mutable batch_stamp : int;  (* drain stamp of batch_value; -1 = none *)
+  mutable r_base : int;  (* own contribution recovered from peers after restart *)
+  r_vec : int array;  (* merged remote slots (own slot unused) *)
+  mutable r_remote : int;  (* cached r_base + sum of remote slots *)
+  mutable r_max_remote : int;  (* merged remote max (max kinds) *)
+  mutable r_last_sent : int;  (* gossip sender's export watermark *)
+  r_gossip_dirty : bool Atomic.t;  (* shard sets, sender test-and-clears *)
 }
 
 let spec o = o.o_spec
@@ -63,8 +84,12 @@ type table = { by_name : (string, obj) Hashtbl.t; order : obj list }
 
 let shard_of_name ~shards name = Hashtbl.hash name mod shards
 
-let build ~metrics ~shards specs =
-  if specs = [] then invalid_arg "Objects.build: no objects";
+let build ?(nodes = 1) ?(node_id = 0) ~metrics ~shards specs =
+  (* An empty spec list is legal: a cluster node may own no slice of
+     the placement ring and still serve STATS/gossip. *)
+  if nodes < 1 then invalid_arg "Objects.build: nodes < 1";
+  if node_id < 0 || node_id >= nodes then
+    invalid_arg "Objects.build: node_id outside 0..nodes-1";
   let by_name = Hashtbl.create 64 in
   let order =
     List.map
@@ -86,14 +111,22 @@ let build ~metrics ~shards specs =
         let o =
           { o_spec = s;
             o_shard = shard;
+            o_node = node_id;
+            o_nodes = nodes;
             impl;
             o_stats =
               Metrics.add_obj metrics ~name:s.name ~kind:(kind_label s.kind)
-                ~shard;
+                ~k:(kind_k s.kind) ~shard;
             pending_delta = 0;
             o_dirty = false;
             batch_value = 0;
-            batch_stamp = -1 }
+            batch_stamp = -1;
+            r_base = 0;
+            r_vec = Array.make nodes 0;
+            r_remote = 0;
+            r_max_remote = 0;
+            r_last_sent = 0;
+            r_gossip_dirty = Atomic.make false }
         in
         Hashtbl.add by_name s.name o;
         o)
@@ -105,6 +138,100 @@ let find t name = Hashtbl.find_opt t.by_name name
 let to_list t = t.order
 
 (* ------------------------------------------------------------------ *)
+(* Replication (merge on owning shard; export from any domain)         *)
+(* ------------------------------------------------------------------ *)
+
+(* This node's locally applied contribution, excluding the recovered
+   base: applied increments for counters, the largest local write for
+   max registers. *)
+let own_applied o =
+  match o.impl with
+  | I_kcounter (_, exact, _) -> !exact
+  | I_faa c -> Mcore.Mc_baselines.Faa_counter.read c
+  | I_kmaxreg (_, exact, _, _) -> !exact
+  | I_casmax r -> Mcore.Mc_baselines.Cas_maxreg.read r
+
+let own_total o =
+  if is_counter_obj o then o.r_base + own_applied o else own_applied o
+
+(* The node's full merged (exact-side) view: what the cluster is known
+   to have reached. The widened-envelope accuracy check compares
+   served reads against this. *)
+let known o =
+  if is_counter_obj o then own_applied o + o.r_remote
+  else max (own_applied o) o.r_max_remote
+
+let refresh_repl o =
+  o.o_stats.repl_own_total <- own_total o;
+  o.o_stats.repl_known <- known o
+
+(* Standalone servers skip the dirty flag entirely — nothing drains
+   it — keeping the single-node hot path byte-identical. *)
+let mark_dirty o = if o.o_nodes > 1 then Atomic.set o.r_gossip_dirty true
+
+let merge_delta o (d : Delta.t) =
+  match (d, o.impl) with
+  | Delta.Counter v, (I_kcounter _ | I_faa _)
+    when Array.length v = o.o_nodes ->
+    let self = o.o_node in
+    let remote = ref 0 in
+    let changed = ref false in
+    for j = 0 to o.o_nodes - 1 do
+      if j = self then begin
+        (* Our own slot echoed back: after a restart it carries
+           contributions we applied in a past life — recover them as a
+           base so the cluster total is not double-counted or lost. *)
+        let recovered = v.(j) - own_applied o in
+        if recovered > o.r_base then begin
+          o.r_base <- recovered;
+          changed := true
+        end
+      end
+      else begin
+        if v.(j) > o.r_vec.(j) then begin
+          o.r_vec.(j) <- v.(j);
+          changed := true
+        end;
+        remote := !remote + o.r_vec.(j)
+      end
+    done;
+    o.r_remote <- o.r_base + !remote;
+    if !changed then mark_dirty o;
+    refresh_repl o;
+    true
+  | Delta.Max v, (I_kmaxreg _ | I_casmax _) ->
+    if v > o.r_max_remote then begin
+      o.r_max_remote <- v;
+      mark_dirty o
+    end;
+    refresh_repl o;
+    true
+  | Delta.Counter _, _ | Delta.Max _, _ ->
+    o.o_stats.rejects <- o.o_stats.rejects + 1;
+    false
+
+(* Racy export from the gossip domain: every field read is monotone,
+   so a torn snapshot is a pointwise lower bound of the current state
+   — safe to merge anywhere, any number of times. *)
+let export_delta o =
+  if is_counter_obj o then
+    Delta.Counter
+      (Array.init o.o_nodes (fun j ->
+           if j = o.o_node then own_total o else o.r_vec.(j)))
+  else Delta.Max (max (own_applied o) o.r_max_remote)
+
+(* Has our own contribution grown past the staleness budget since the
+   last export? Crossing it wakes the gossip sender early, so a peer
+   that merged the previous export still holds >= own/k_staleness. *)
+let boundary_crossed o ~k_staleness =
+  let own = own_total o in
+  own > 0 && own >= k_staleness * o.r_last_sent
+
+let take_dirty o = Atomic.exchange o.r_gossip_dirty false
+let mark_exported o = o.r_last_sent <- own_total o
+let last_sent o = o.r_last_sent
+
+(* ------------------------------------------------------------------ *)
 (* Operations (owning shard only)                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -114,10 +241,14 @@ let inc o ~pid =
     Mcore.Mc_kcounter.increment c ~pid;
     incr exact;
     o.o_stats.incs <- o.o_stats.incs + 1;
+    mark_dirty o;
+    refresh_repl o;
     Ok 0
   | I_faa c ->
     Mcore.Mc_baselines.Faa_counter.increment c;
     o.o_stats.incs <- o.o_stats.incs + 1;
+    mark_dirty o;
+    refresh_repl o;
     Ok 0
   | I_kmaxreg _ | I_casmax _ ->
     o.o_stats.rejects <- o.o_stats.rejects + 1;
@@ -135,27 +266,36 @@ let accuracy_check o ~k ~served ~exact ~lower_exact =
   in
   if not ok then o.o_stats.acc_violations <- o.o_stats.acc_violations + 1
 
-(* Reads take the validated-cache fast path. The accuracy self-check
-   stays exact: the owning shard is the object's only mutator, so an
-   unchanged watermark means the switch state is untouched and a fresh
-   full read would return the very same value the cache holds. *)
+(* Reads take the validated-cache fast path, then widen with the
+   merged remote state: counters serve local approx + remote exact
+   contributions, max registers serve the max of both sides. The
+   self-check stays exact and node-local — the owning shard is the
+   object's only mutator (merges included), so comparing against
+   [known] at the same serialised step is race-free. Adding the same
+   remote constant to both sides preserves the multiplicative
+   envelope (C/k <= C <= C*k for k >= 1), so a read within k of the
+   local count stays within k of [known]; the remaining gap between
+   [known] and the true cluster total is the gossip staleness, bounded
+   by k_staleness and checked cluster-wide at quiescence. *)
 let read o ~pid =
   o.o_stats.reads <- o.o_stats.reads + 1;
   match o.impl with
   | I_kcounter (c, exact, k) ->
-    let served = Mcore.Mc_kcounter.read_fast c ~pid in
+    let served = Mcore.Mc_kcounter.read_fast c ~pid + o.r_remote in
     o.o_stats.cache_hits <- Mcore.Mc_kcounter.fast_hits c ~pid;
     o.o_stats.cache_misses <- Mcore.Mc_kcounter.fast_misses c ~pid;
-    accuracy_check o ~k ~served ~exact:!exact ~lower_exact:false;
+    accuracy_check o ~k ~served ~exact:(!exact + o.r_remote)
+      ~lower_exact:false;
     served
-  | I_faa c -> Mcore.Mc_baselines.Faa_counter.read c
+  | I_faa c -> Mcore.Mc_baselines.Faa_counter.read c + o.r_remote
   | I_kmaxreg (r, exact, k, _) ->
-    let served = Mcore.Mc_kmaxreg.read_fast r in
+    let served = max (Mcore.Mc_kmaxreg.read_fast r) o.r_max_remote in
     o.o_stats.cache_hits <- Mcore.Mc_kmaxreg.fast_hits r;
     o.o_stats.cache_misses <- Mcore.Mc_kmaxreg.fast_misses r;
-    accuracy_check o ~k ~served ~exact:!exact ~lower_exact:true;
+    accuracy_check o ~k ~served ~exact:(max !exact o.r_max_remote)
+      ~lower_exact:true;
     served
-  | I_casmax r -> Mcore.Mc_baselines.Cas_maxreg.read r
+  | I_casmax r -> max (Mcore.Mc_baselines.Cas_maxreg.read r) o.r_max_remote
 
 (* ------------------------------------------------------------------ *)
 (* Drain-batch fusion (owning shard only; see Server.exec_batch)       *)
@@ -181,13 +321,16 @@ let apply_pending o ~pid =
   let n = o.pending_delta in
   o.pending_delta <- 0;
   o.o_dirty <- false;
-  if n > 0 then
-    match o.impl with
-    | I_kcounter (c, exact, _) ->
-      Mcore.Mc_kcounter.add c ~pid n;
-      exact := !exact + n
-    | I_faa c -> Mcore.Mc_baselines.Faa_counter.add c n
-    | I_kmaxreg _ | I_casmax _ -> assert false (* defer checks the kind *)
+  if n > 0 then begin
+    (match o.impl with
+     | I_kcounter (c, exact, _) ->
+       Mcore.Mc_kcounter.add c ~pid n;
+       exact := !exact + n
+     | I_faa c -> Mcore.Mc_baselines.Faa_counter.add c n
+     | I_kmaxreg _ | I_casmax _ -> assert false (* defer checks the kind *));
+    mark_dirty o;
+    refresh_repl o
+  end
 
 (* Serve a READ within drain [stamp]: compute the value once per
    (object, drain), answer every further READ of the drain from the
@@ -219,6 +362,8 @@ let write o ~pid:_ v =
       Mcore.Mc_kmaxreg.write r v;
       if v > !exact then exact := v;
       o.o_stats.writes <- o.o_stats.writes + 1;
+      mark_dirty o;
+      refresh_repl o;
       Ok 0
     end
   | I_casmax r ->
@@ -229,6 +374,8 @@ let write o ~pid:_ v =
     else begin
       Mcore.Mc_baselines.Cas_maxreg.write r v;
       o.o_stats.writes <- o.o_stats.writes + 1;
+      mark_dirty o;
+      refresh_repl o;
       Ok 0
     end
   | I_kcounter _ | I_faa _ ->

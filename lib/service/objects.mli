@@ -28,6 +28,9 @@ type spec = { name : string; kind : kind }
 val kind_label : kind -> string
 val is_counter : kind -> bool
 
+val kind_k : kind -> int
+(** The kind's approximation factor k (1 for the exact baselines). *)
+
 val default_specs : counters:int -> k:int -> spec list
 (** [counters] k-counters named [c0 .. c<n-1>], one [faa] baseline,
     one [kmaxreg] (bound [2^30]) and one [cas-maxreg] — the default
@@ -50,13 +53,82 @@ val max_add_delta : int
 
 type table
 
-val build : metrics:Metrics.t -> shards:int -> spec list -> table
-(** Construct every object (build phase, no concurrency).
-    @raise Invalid_argument on duplicate names, empty specs, a name
-    over {!Wire.max_name_len}, or invalid kind parameters. *)
+val build :
+  ?nodes:int ->
+  ?node_id:int ->
+  metrics:Metrics.t ->
+  shards:int ->
+  spec list ->
+  table
+(** Construct every object (build phase, no concurrency). [nodes] and
+    [node_id] size the per-object replication vector — slot [node_id]
+    of an [nodes]-wide G-counter is this node's own contribution;
+    defaults describe a standalone node (1 node, id 0). An empty spec
+    list is legal (a placement-filtered node may host nothing).
+    @raise Invalid_argument on duplicate names, a name over
+    {!Wire.max_name_len}, invalid kind parameters, or a node id
+    outside [0 .. nodes-1]. *)
 
 val find : table -> string -> obj option
 val to_list : table -> obj list
+
+(** {2 Replication}
+
+    An object's mergeable representation: counters export their full
+    G-counter vector (own cumulative total in slot [node_id], the
+    merged view of every remote node elsewhere), max registers export
+    the merged maximum. Merging is pointwise [max] — commutative,
+    associative and idempotent, so gossip frames may be duplicated,
+    reordered or replayed without widening the served envelope.
+
+    Writer discipline matches the rest of the table: {!merge_delta}
+    runs only on the owning shard (gossip entries are routed to shard
+    queues like any other op); {!export_delta}, {!own_total} and
+    {!known} are racy snapshot reads — safe because every slot is
+    monotone, so a torn vector is a pointwise lower bound of some
+    reachable state. {!mark_exported}/{!last_sent} are written only by
+    the single gossip-sender domain. *)
+
+val merge_delta : obj -> Delta.t -> bool
+(** Join a gossiped delta into the object (owning shard only). The
+    sender's view of {e this} node's slot recovers a restart base:
+    own-slot excess over locally applied increments is added to the
+    object's base so a restarted node re-learns its own pre-crash
+    contribution from its peers. [false] (and a recorded reject) on a
+    kind or vector-width mismatch. *)
+
+val export_delta : obj -> Delta.t
+(** The object's current merged state as a gossip payload. *)
+
+val own_total : obj -> int
+(** This node's own contribution: recovered base + locally applied
+    increments (counters) or the largest locally written value (max
+    registers). Summed/maxed across nodes this is the cluster-level
+    exact shadow. *)
+
+val known : obj -> int
+(** The node's full merged view (own + every remote delta) — the
+    exact shadow the widened-envelope accuracy self-check uses. *)
+
+val boundary_crossed : obj -> k_staleness:int -> bool
+(** Whether own growth since the last gossip export crossed the
+    staleness boundary ([own > 0 && own >= k_staleness * last_sent])
+    — the condition for eagerly waking the gossip sender, which keeps
+    the cluster-wide factor within [k_local * k_staleness]. *)
+
+val take_dirty : obj -> bool
+(** Atomically read-and-clear the object's gossip-dirty flag (gossip
+    sender only; a concurrent mutation re-raises it). *)
+
+val mark_dirty : obj -> unit
+(** Re-raise the gossip-dirty flag — the gossip sender's undo of
+    {!take_dirty} when a send failed, so the next periodic tick
+    retries (merges are idempotent, resending is always safe). *)
+
+val mark_exported : obj -> unit
+(** Record the own-total just exported (gossip sender only). *)
+
+val last_sent : obj -> int
 
 (** {2 Operations}
 

@@ -1,0 +1,72 @@
+(* Consistent-hash placement of object names onto cluster nodes.
+
+   Every node projects [vnodes] points onto a hash ring; an object
+   lives on the first [replicas] distinct nodes clockwise from its
+   name's hash. The ring is built from [Hashtbl.hash] over synthetic
+   vnode labels, so any process that knows (nodes, replicas) computes
+   the same placement — server, client and loadgen never exchange a
+   ring, they each derive it. Ties (hash collisions between vnode
+   labels) are broken by node id so the ring order is total and
+   deterministic. *)
+
+type t = {
+  p_nodes : int;
+  p_replicas : int;
+  points : int array;  (* ring positions, ascending *)
+  point_node : int array;  (* owning node of points.(i) *)
+}
+
+let vnodes_per_node = 64
+
+let nodes t = t.p_nodes
+let replicas t = t.p_replicas
+
+let create ~nodes ~replicas =
+  if nodes < 1 then invalid_arg "Placement.create: nodes < 1";
+  if replicas < 1 then invalid_arg "Placement.create: replicas < 1";
+  let replicas = min replicas nodes in
+  let pairs =
+    Array.init (nodes * vnodes_per_node) (fun i ->
+        let node = i / vnodes_per_node and v = i mod vnodes_per_node in
+        (Hashtbl.hash (Printf.sprintf "vnode-%d#%d" node v), node))
+  in
+  Array.sort compare pairs;
+  { p_nodes = nodes;
+    p_replicas = replicas;
+    points = Array.map fst pairs;
+    point_node = Array.map snd pairs }
+
+(* First ring index with points.(i) >= h, or 0 past the last point
+   (the ring wraps). *)
+let ring_start t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let owners t name =
+  if t.p_nodes = 1 then [ 0 ]
+  else begin
+    let n = Array.length t.points in
+    let start = ring_start t (Hashtbl.hash name) in
+    let seen = Array.make t.p_nodes false in
+    let found = ref [] in
+    let count = ref 0 in
+    let i = ref 0 in
+    while !count < t.p_replicas && !i < n do
+      let node = t.point_node.((start + !i) mod n) in
+      if not seen.(node) then begin
+        seen.(node) <- true;
+        found := node :: !found;
+        incr count
+      end;
+      incr i
+    done;
+    List.rev !found
+  end
+
+let primary t name = List.hd (owners t name)
+let hosts t ~node name = List.mem node (owners t name)

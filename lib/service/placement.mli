@@ -1,0 +1,31 @@
+(** Consistent-hash placement of object names onto cluster nodes.
+
+    Deterministic: built only from [(nodes, replicas)] and
+    [Hashtbl.hash], so every participant — server nodes, the cluster
+    client, the load generator — derives the identical ring without
+    exchanging any state. A single-node ring ([nodes = 1]) places
+    everything on node 0, which keeps the standalone server exactly
+    as it was. *)
+
+type t
+
+val vnodes_per_node : int
+(** Ring points projected per node (64). *)
+
+val create : nodes:int -> replicas:int -> t
+(** [replicas] is clamped to [nodes].
+    @raise Invalid_argument if either is [< 1]. *)
+
+val nodes : t -> int
+
+val replicas : t -> int
+(** The effective (clamped) replica count. *)
+
+val owners : t -> string -> int list
+(** The [replicas] distinct nodes hosting the named object, primary
+    first, in ring order. *)
+
+val primary : t -> string -> int
+
+val hosts : t -> node:int -> string -> bool
+(** Whether [node] is among {!owners}. *)

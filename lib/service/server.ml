@@ -1,3 +1,5 @@
+type listen = [ `Unix of string | `Tcp of string * int ]
+
 type config = {
   shards : int;
   io_domains : int;
@@ -7,6 +9,12 @@ type config = {
   max_conns : int;
   poller : Poller.choice;
   specs : Objects.spec list;
+  node_id : int;
+  nodes : int;
+  replicas : int;
+  gossip_interval_ms : int;
+  k_staleness : int;
+  peers : (int * listen) list;
 }
 
 let default_config =
@@ -17,9 +25,13 @@ let default_config =
     max_pending = 256;
     max_conns = 1024;
     poller = Poller.Auto;
-    specs = Objects.default_specs ~counters:4 ~k:4 }
-
-type listen = [ `Unix of string | `Tcp of string * int ]
+    specs = Objects.default_specs ~counters:4 ~k:4;
+    node_id = 0;
+    nodes = 1;
+    replicas = 1;
+    gossip_interval_ms = 50;
+    k_staleness = 2;
+    peers = [] }
 
 (* Connection state is split by owner: [c_in]/[c_in_len], the flush
    buffer/cursor and the pause flag belong to the owning I/O loop
@@ -36,10 +48,19 @@ type listen = [ `Unix of string | `Tcp of string * int ]
    but-unwritten bytes (incremented at enqueue, decremented at write),
    so the read-pause watermark check is one atomic load instead of a
    mutex acquisition per connection per cycle. *)
+(* Until HELLO lands a connection is [Pending]: any other frame is a
+   handshake violation. The negotiated role picks the inbound frame
+   cap (peers may ship ~1 MiB gossip frames, so [c_in] grows on
+   demand) and gates GOSSIP. *)
+type conn_role = Pending | Client_role | Peer_role
+
 type conn = {
   c_fd : Unix.file_descr;
-  c_in : Bytes.t;
+  mutable c_in : Bytes.t;
   mutable c_in_len : int;
+  mutable c_role : conn_role;
+  mutable c_close_after_flush : bool;
+      (* set with the BAD_VERSION reply: drain the buffer, then close *)
   c_out_mu : Mutex.t;
   c_out : Obuf.t;
   c_flush : Obuf.t;
@@ -72,10 +93,14 @@ and io_loop = {
 
 and slot_kind = Wake | Listen | Conn of conn
 
+(* [`Merge] is the gossip plane riding the shard queues: it executes
+   under the same single-writer discipline as every client op, but has
+   no response and no [c_pending] slot (the I/O loop acks the whole
+   frame immediately). *)
 type task = {
   t_conn : conn;
   t_obj : Objects.obj;
-  t_op : [ `Inc | `Add of int | `Read | `Write of int ];
+  t_op : [ `Inc | `Add of int | `Read | `Write of int | `Merge of Delta.t ];
   t_id : int;
   t_enq : float;
 }
@@ -87,12 +112,17 @@ type t = {
   unix_path : string option;
   metrics : Metrics.t;
   table : Objects.table;
+  placement : Placement.t;
   queues : task Bqueue.t array;
   loops : io_loop array;
   live_conns : int Atomic.t;
   mutable accept_rr : int;  (* accepting loop only *)
   stop_flag : bool Atomic.t;
   stopped : bool Atomic.t;
+  g_wake_r : Unix.file_descr;  (* gossip wake pipe (exists even standalone) *)
+  g_wake_w : Unix.file_descr;
+  g_kick : bool Atomic.t;  (* dedups boundary-kick wake bytes *)
+  mutable gossip : Gossip.t option;
   mutable io_domain_handles : unit Domain.t array;
   mutable shard_domains : unit Domain.t array;
 }
@@ -101,6 +131,7 @@ let sockaddr t = t.addr
 let metrics t = t.metrics
 let table t = t.table
 let config t = t.cfg
+let placement t = t.placement
 let live_connections t = Atomic.get t.live_conns
 
 (* ------------------------------------------------------------------ *)
@@ -112,6 +143,14 @@ let wake_byte = Bytes.make 1 '!'
 let wake_loop loop =
   try ignore (Unix.write loop.l_wake_w wake_byte 0 1) with
   | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _) -> ()
+
+(* Wake the gossip sender out of its interval sleep (shard domains,
+   when local growth crosses the k_staleness boundary). The exchange
+   dedups: one pipe byte per sleep, however many shards kick. *)
+let kick_gossip t =
+  if not (Atomic.exchange t.g_kick true) then
+    try ignore (Unix.write t.g_wake_w wake_byte 0 1) with
+    | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _) -> ()
 
 (* Append a response to the connection's write-side buffer; any
    domain. The [exchange] dedups notifications: only the writer that
@@ -159,21 +198,36 @@ let finish_task (stats : Metrics.shard) task resp =
    (a WRITE between two READs of a max register in the same drain is
    concurrent with both, so answering both reads from one value
    remains linearizable). *)
-let exec_batch shard_id (stats : Metrics.shard) batch n ~stamp ~dirty =
+let exec_batch t shard_id (stats : Metrics.shard) batch n ~stamp ~dirty =
   let n_dirty = ref 0 in
   let deferred = ref 0 in
-  (* Phase 1: writes and rejections inline; increments accumulate;
-     reads wait for phase 3. *)
+  let clustered = t.cfg.nodes > 1 in
+  let want_kick = ref false in
+  let check_boundary obj =
+    if
+      clustered
+      && Objects.boundary_crossed obj ~k_staleness:t.cfg.k_staleness
+    then want_kick := true
+  in
+  (* Phase 1: writes, merges and rejections inline; increments
+     accumulate; reads wait for phase 3. *)
   for i = 0 to n - 1 do
     match batch.(i) with
     | None -> ()
     | Some task -> (
       let id = task.t_id in
       match task.t_op with
+      | `Merge d ->
+        (* Gossip entry: no response, no c_pending slot. *)
+        if Objects.merge_delta task.t_obj d then
+          stats.merge_tasks <- stats.merge_tasks + 1;
+        batch.(i) <- None
       | `Write v ->
         let resp =
           match Objects.write task.t_obj ~pid:shard_id v with
-          | Ok r -> Wire.Value { id; value = r }
+          | Ok r ->
+            check_boundary task.t_obj;
+            Wire.Value { id; value = r }
           | Error () -> Wire.Bad_request { id }
         in
         finish_task stats task resp;
@@ -205,13 +259,19 @@ let exec_batch shard_id (stats : Metrics.shard) batch n ~stamp ~dirty =
   (* Phase 2: one bulk add per dirty object. *)
   for j = 0 to !n_dirty - 1 do
     (match dirty.(j) with
-     | Some obj -> Objects.apply_pending obj ~pid:shard_id
+     | Some obj ->
+       Objects.apply_pending obj ~pid:shard_id;
+       check_boundary obj
      | None -> ());
     dirty.(j) <- None
   done;
   stats.fused_applies <- stats.fused_applies + !n_dirty;
   stats.deferred_ops <- stats.deferred_ops + !deferred;
   Histogram.record stats.s_fused !deferred;
+  if !want_kick then begin
+    stats.boundary_kicks <- stats.boundary_kicks + 1;
+    kick_gossip t
+  end;
   (* Phase 3: replies in arrival order. *)
   for i = 0 to n - 1 do
     match batch.(i) with
@@ -224,7 +284,7 @@ let exec_batch shard_id (stats : Metrics.shard) batch n ~stamp ~dirty =
         | `Read ->
           Wire.Value
             { id; value = Objects.batch_read task.t_obj ~pid:shard_id ~stamp }
-        | `Write _ -> assert false (* finished in phase 1 *)
+        | `Write _ | `Merge _ -> assert false (* finished in phase 1 *)
       in
       finish_task stats task resp;
       batch.(i) <- None
@@ -242,7 +302,7 @@ let shard_loop t shard_id =
       stats.batches <- stats.batches + 1;
       if n > stats.max_batch then stats.max_batch <- n;
       incr stamp;
-      exec_batch shard_id stats batch n ~stamp:!stamp ~dirty;
+      exec_batch t shard_id stats batch n ~stamp:!stamp ~dirty;
       go ()
     end
   in
@@ -293,6 +353,57 @@ let dispatch t (il : Metrics.io_loop) conn req =
       end
   in
   match req with
+  | Wire.Hello { id; version; role } ->
+    if version <> Wire.protocol_version then begin
+      (* Typed rejection, then a clean close once it is flushed. *)
+      il.l_hello_rejects <- il.l_hello_rejects + 1;
+      conn.c_close_after_flush <- true;
+      enqueue_response conn
+        (Wire.Bad_version { id; version = Wire.protocol_version })
+    end
+    else begin
+      if conn.c_role = Pending then il.l_hellos <- il.l_hellos + 1;
+      conn.c_role <-
+        (if role = Wire.role_peer then Peer_role else Client_role);
+      enqueue_response conn
+        (Wire.Hello_ok { id; version = Wire.protocol_version })
+    end
+  | _ when conn.c_role = Pending ->
+    (* The first frame must be HELLO; anything else is a handshake
+       violation and unrecoverable. *)
+    il.l_hello_rejects <- il.l_hello_rejects + 1;
+    il.l_protocol_errors <- il.l_protocol_errors + 1;
+    close_conn t conn
+  | Wire.Gossip { id; node = _; entries } ->
+    if conn.c_role <> Peer_role then begin
+      il.l_protocol_errors <- il.l_protocol_errors + 1;
+      close_conn t conn
+    end
+    else begin
+      il.l_gossip_frames <- il.l_gossip_frames + 1;
+      (* Route each entry to its owning shard as a responseless merge
+         task; a full queue drops the entry — idempotent gossip
+         resends it next tick. The ack counts what was routed. *)
+      let merged = ref 0 in
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun (name, delta) ->
+          match Objects.find t.table name with
+          | None -> ()
+          | Some obj ->
+            let task =
+              { t_conn = conn;
+                t_obj = obj;
+                t_op = `Merge delta;
+                t_id = 0;
+                t_enq = now }
+            in
+            if Bqueue.try_push t.queues.(Objects.shard_of obj) task then
+              incr merged)
+        entries;
+      il.l_gossip_entries <- il.l_gossip_entries + !merged;
+      enqueue_response conn (Wire.Gossip_ack { id; merged = !merged })
+    end
   | Wire.Stats { id } ->
     il.l_stats_requests <- il.l_stats_requests + 1;
     let json = Mcore.Bench_json.to_string (Metrics.to_json t.metrics) in
@@ -304,35 +415,60 @@ let dispatch t (il : Metrics.io_loop) conn req =
   | Wire.Write { id; name; value } -> object_op id name (`Write value)
 
 (* Parse every complete frame in [c_in] — the read batch — then
-   compact the leftover prefix of the next frame to the front. *)
+   compact the leftover prefix of the next frame to the front. The
+   decoder is picked per frame: the HELLO that upgrades a connection
+   to [Peer_role] widens the cap for the frames behind it in the same
+   read batch. *)
 let parse_frames t (il : Metrics.io_loop) conn =
   let rec go off frames =
-    match
-      Wire.decode_request conn.c_in ~off ~len:(conn.c_in_len - off)
-    with
-    | Wire.Decoded (req, consumed) ->
-      dispatch t il conn req;
-      go (off + consumed) (frames + 1)
-    | Wire.Need_more ->
-      if conn.c_in_len - off >= Bytes.length conn.c_in then begin
-        (* Cannot happen while max_request_payload < buffer size; close
-           rather than spin if the invariant is ever broken. *)
+    if (not conn.c_alive) || conn.c_close_after_flush then
+      (* Closed (or closing after the BAD_VERSION flush): drop any
+         bytes behind the fatal frame. *)
+      conn.c_in_len <- 0
+    else
+      let decode =
+        if conn.c_role = Peer_role then Wire.decode_request_peer
+        else Wire.decode_request
+      in
+      match decode conn.c_in ~off ~len:(conn.c_in_len - off) with
+      | Wire.Decoded (req, consumed) ->
+        dispatch t il conn req;
+        go (off + consumed) (frames + 1)
+      | Wire.Need_more ->
+        if conn.c_in_len - off >= Bytes.length conn.c_in then begin
+          (* Buffer full holding one incomplete frame. Client frames
+             always fit (max_request_payload < initial size); peer
+             frames may run to the peer cap — grow toward it. *)
+          let cap =
+            Wire.header_len
+            + (if conn.c_role = Peer_role then Wire.max_peer_payload
+               else Wire.max_request_payload)
+          in
+          if Bytes.length conn.c_in >= cap then begin
+            il.l_protocol_errors <- il.l_protocol_errors + 1;
+            close_conn t conn
+          end
+          else begin
+            let nb = Bytes.create (min cap (2 * Bytes.length conn.c_in)) in
+            Bytes.blit conn.c_in off nb 0 (conn.c_in_len - off);
+            conn.c_in <- nb;
+            conn.c_in_len <- conn.c_in_len - off;
+            if frames > 0 then Histogram.record il.l_read_batch frames
+          end
+        end
+        else begin
+          if off > 0 then
+            Bytes.blit conn.c_in off conn.c_in 0 (conn.c_in_len - off);
+          conn.c_in_len <- conn.c_in_len - off;
+          if frames > 0 then Histogram.record il.l_read_batch frames
+        end
+      | Wire.Oversized _ ->
+        il.l_oversized_frames <- il.l_oversized_frames + 1;
         il.l_protocol_errors <- il.l_protocol_errors + 1;
         close_conn t conn
-      end
-      else begin
-        if off > 0 then
-          Bytes.blit conn.c_in off conn.c_in 0 (conn.c_in_len - off);
-        conn.c_in_len <- conn.c_in_len - off;
-        if frames > 0 then Histogram.record il.l_read_batch frames
-      end
-    | Wire.Oversized _ ->
-      il.l_oversized_frames <- il.l_oversized_frames + 1;
-      il.l_protocol_errors <- il.l_protocol_errors + 1;
-      close_conn t conn
-    | Wire.Malformed _ ->
-      il.l_protocol_errors <- il.l_protocol_errors + 1;
-      close_conn t conn
+      | Wire.Malformed _ ->
+        il.l_protocol_errors <- il.l_protocol_errors + 1;
+        close_conn t conn
   in
   go 0 0
 
@@ -409,13 +545,18 @@ let try_flush t conn =
       conn.c_flush_off <- conn.c_flush_off + n;
       ignore (Atomic.fetch_and_add conn.c_backlog (-n));
       Histogram.record il.l_flush_bytes n;
-      if conn.c_slot >= 0 then
-        Poller.set_write loop.l_poller conn.c_slot
-          (conn.c_flush_off < len || Atomic.get conn.c_has_out)
+      let drained =
+        conn.c_flush_off >= len && not (Atomic.get conn.c_has_out)
+      in
+      if conn.c_close_after_flush && drained then close_conn t conn
+      else if conn.c_slot >= 0 then
+        Poller.set_write loop.l_poller conn.c_slot (not drained)
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
       if conn.c_slot >= 0 then Poller.set_write loop.l_poller conn.c_slot true
     | exception Unix.Unix_error _ -> close_conn t conn
   end
+  else if conn.c_close_after_flush && not (Atomic.get conn.c_has_out) then
+    close_conn t conn
   else if conn.c_slot >= 0 then
     Poller.set_write loop.l_poller conn.c_slot false
 
@@ -425,6 +566,8 @@ let make_conn ~home fd =
   { c_fd = fd;
     c_in = Bytes.create 65536;
     c_in_len = 0;
+    c_role = Pending;
+    c_close_after_flush = false;
     c_out_mu = Mutex.create ();
     c_out = Obuf.create ();
     c_flush = Obuf.create ();
@@ -591,17 +734,52 @@ let start ?(config = default_config) ~listen () =
   if config.max_batch < 1 then invalid_arg "Server.start: max_batch < 1";
   if config.max_pending < 1 then invalid_arg "Server.start: max_pending < 1";
   if config.max_conns < 1 then invalid_arg "Server.start: max_conns < 1";
+  if config.nodes < 1 then invalid_arg "Server.start: nodes < 1";
+  if config.node_id < 0 || config.node_id >= config.nodes then
+    invalid_arg "Server.start: node_id outside 0..nodes-1";
+  if config.replicas < 1 then invalid_arg "Server.start: replicas < 1";
+  if config.k_staleness < 1 then invalid_arg "Server.start: k_staleness < 1";
+  if config.nodes > 1 && config.gossip_interval_ms < 1 then
+    invalid_arg "Server.start: gossip_interval_ms < 1";
+  if config.specs = [] then invalid_arg "Server.start: no objects";
+  List.iter
+    (fun (node, _) ->
+      if node < 0 || node >= config.nodes || node = config.node_id then
+        invalid_arg "Server.start: peer node id out of range (or self)")
+    config.peers;
   (* Fail the unavailable-backend case before any fd is bound. *)
   if config.poller = Poller.Epoll && not Poller.epoll_available then
     raise (Poller.Unavailable "epoll backend not compiled in on this platform");
+  (* A peer or client that dies mid-write must surface as EPIPE on the
+     write (handled per-connection), not as a process-killing signal —
+     essential once the gossip sender dials peers that can crash. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> () (* not a Unix platform *));
   (* Lift the fd budget as far as the hard limit allows before
      binding anything; policy warnings (hard limit still too low for
      max_conns) belong to the CLI. *)
   ignore (Rlimit.raise_nofile ());
   let metrics =
-    Metrics.create ~shards:config.shards ~io_domains:config.io_domains
+    Metrics.create ~node_id:config.node_id ~nodes:config.nodes
+      ~replicas:config.replicas ~gossip_interval_ms:config.gossip_interval_ms
+      ~k_staleness:config.k_staleness ~shards:config.shards
+      ~io_domains:config.io_domains ()
   in
-  let table = Objects.build ~metrics ~shards:config.shards config.specs in
+  (* Every participant derives the same ring from (nodes, replicas);
+     this node builds only the slice it owns. *)
+  let placement =
+    Placement.create ~nodes:config.nodes ~replicas:config.replicas
+  in
+  let hosted =
+    List.filter
+      (fun (s : Objects.spec) ->
+        Placement.hosts placement ~node:config.node_id s.name)
+      config.specs
+  in
+  let table =
+    Objects.build ~nodes:config.nodes ~node_id:config.node_id ~metrics
+      ~shards:config.shards hosted
+  in
   (* Size the accept backlog with max_conns so a connect burst from a
      ramping load generator queues instead of shedding SYNs; the
      kernel clamps to net.core.somaxconn. *)
@@ -623,6 +801,9 @@ let start ?(config = default_config) ~listen () =
           l_handoff = [];
           l_paused = [] })
   in
+  let g_wake_r, g_wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock g_wake_r;
+  Unix.set_nonblock g_wake_w;
   let t =
     { cfg = config;
       listen_fd;
@@ -630,6 +811,7 @@ let start ?(config = default_config) ~listen () =
       unix_path;
       metrics;
       table;
+      placement;
       queues =
         Array.init config.shards (fun _ ->
             Bqueue.create ~capacity:config.queue_capacity);
@@ -638,6 +820,10 @@ let start ?(config = default_config) ~listen () =
       accept_rr = 0;
       stop_flag = Atomic.make false;
       stopped = Atomic.make false;
+      g_wake_r;
+      g_wake_w;
+      g_kick = Atomic.make false;
+      gossip = None;
       io_domain_handles = [||];
       shard_domains = [||] }
   in
@@ -645,16 +831,33 @@ let start ?(config = default_config) ~listen () =
     Array.init config.shards (fun s -> Domain.spawn (fun () -> shard_loop t s));
   t.io_domain_handles <-
     Array.map (fun loop -> Domain.spawn (fun () -> io_loop_run t loop)) loops;
+  if config.nodes > 1 && config.peers <> [] then
+    t.gossip <-
+      Some
+        (Gossip.start ~node_id:config.node_id
+           ~peers:(config.peers :> (int * Gossip.addr) list)
+           ~interval_ms:config.gossip_interval_ms ~placement ~table
+           ~cluster:(Metrics.cluster metrics) ~wake_r:g_wake_r
+           ~stop:t.stop_flag ~kick:t.g_kick ());
   t
 
 let stop t =
   if not (Atomic.exchange t.stopped true) then begin
     Atomic.set t.stop_flag true;
+    (* Wake the gossip sender out of its interval sleep and join it
+       first — it still uses client connections to peers. *)
+    (try ignore (Unix.write t.g_wake_w wake_byte 0 1)
+     with Unix.Unix_error _ -> ());
+    Option.iter Gossip.join t.gossip;
+    t.gossip <- None;
     Array.iter wake_loop t.loops;
     Array.iter Domain.join t.io_domain_handles;
     Array.iter Bqueue.close t.queues;
     Array.iter Domain.join t.shard_domains;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      [ t.g_wake_r; t.g_wake_w ];
     Array.iter
       (fun loop ->
         List.iter

@@ -36,7 +36,24 @@
     (including mid-frame), the connection is marked dead and closed by
     its owning loop; responses still in flight from shards are encoded
     into a buffer that is never flushed and the shard stays
-    serviceable for every other connection. *)
+    serviceable for every other connection.
+
+    {b Cluster mode} ([nodes > 1]): every participant derives the same
+    consistent-hash ring from [(nodes, replicas)], and this node
+    builds only the object slice placed on [node_id]. The first frame
+    on every connection must be a HELLO carrying the protocol version
+    and a role; peer-role connections unlock GOSSIP frames (merged
+    into objects through the owning shard's queue, preserving the
+    single-writer discipline) and the large peer frame cap. A gossip
+    sender domain pushes dirty deltas to [peers] every
+    [gossip_interval_ms] — or eagerly, when a shard observes an
+    object's own contribution growing past [k_staleness] times the
+    last export, which bounds the cluster-wide factor of any replica's
+    read at [k_local * k_staleness]. *)
+
+type listen =
+  [ `Unix of string  (** Unix-domain socket path (stale path unlinked). *)
+  | `Tcp of string * int  (** Host and port; port 0 picks a free one. *) ]
 
 type config = {
   shards : int;  (** Worker domains (>= 1). *)
@@ -48,17 +65,28 @@ type config = {
   poller : Poller.choice;
       (** Readiness backend for every event loop ([Auto] = epoll when
           compiled in, select otherwise). *)
-  specs : Objects.spec list;  (** Objects to host (fixed at start). *)
+  specs : Objects.spec list;
+      (** Objects the {e cluster} hosts (fixed at start); this node
+          builds the placement-owned subset. *)
+  node_id : int;  (** This node's id in [0 .. nodes-1]. *)
+  nodes : int;  (** Cluster size; 1 = standalone (no handshake change
+                    for peers, no gossip domain). *)
+  replicas : int;  (** Copies of each object (clamped to [nodes]). *)
+  gossip_interval_ms : int;  (** Periodic gossip cadence ([nodes > 1]). *)
+  k_staleness : int;
+      (** Staleness budget: own growth past this factor since the last
+          export wakes the gossip sender eagerly; the cluster-wide
+          accuracy bound is [k * k_staleness]. *)
+  peers : (int * listen) list;
+      (** Peer node ids (not [node_id]) and their listen addresses;
+          the gossip domain starts only if non-empty and [nodes > 1]. *)
 }
 
 val default_config : config
 (** 2 shards, 1 io domain, 1024-task queues, 64-task batches, 256
     in-flight requests per connection, 1024 connections, [Auto]
-    poller, [Objects.default_specs ~counters:4 ~k:4]. *)
-
-type listen =
-  [ `Unix of string  (** Unix-domain socket path (stale path unlinked). *)
-  | `Tcp of string * int  (** Host and port; port 0 picks a free one. *) ]
+    poller, [Objects.default_specs ~counters:4 ~k:4]; standalone
+    topology (node 0 of 1, no peers, 50 ms interval, k_staleness 2). *)
 
 type t
 
@@ -78,6 +106,10 @@ val sockaddr : t -> Unix.sockaddr
 val metrics : t -> Metrics.t
 val table : t -> Objects.table
 val config : t -> config
+
+val placement : t -> Placement.t
+(** The ring derived from [(nodes, replicas)] — identical on every
+    participant. *)
 
 val live_connections : t -> int
 (** Currently accepted-and-not-closed connections (racy snapshot of

@@ -1,7 +1,15 @@
 let header_len = 4
 let max_request_payload = 4096
+let max_peer_payload = 1 lsl 20
 let max_response_payload = 1 lsl 20
 let max_name_len = 255
+let max_gossip_entries = 0xFFFF
+
+(* The unversioned pre-handshake protocol is retroactively version 1;
+   version 2 added HELLO and the gossip peer frames. *)
+let protocol_version = 2
+let role_client = 0
+let role_peer = 1
 
 type request =
   | Inc of { id : int; name : string }
@@ -10,6 +18,8 @@ type request =
   | Stats of { id : int }
   | Ping of { id : int }
   | Add of { id : int; name : string; delta : int }
+  | Hello of { id : int; version : int; role : int }
+  | Gossip of { id : int; node : int; entries : (string * Delta.t) list }
 
 type response =
   | Value of { id : int; value : int }
@@ -18,15 +28,19 @@ type response =
   | Bad_request of { id : int }
   | Stats_json of { id : int; json : string }
   | Pong of { id : int }
+  | Hello_ok of { id : int; version : int }
+  | Bad_version of { id : int; version : int }
+  | Gossip_ack of { id : int; merged : int }
 
 let request_id = function
   | Inc { id; _ } | Read { id; _ } | Write { id; _ } | Stats { id }
-  | Ping { id } | Add { id; _ } ->
+  | Ping { id } | Add { id; _ } | Hello { id; _ } | Gossip { id; _ } ->
     id
 
 let response_id = function
   | Value { id; _ } | Busy { id } | Unknown_object { id } | Bad_request { id }
-  | Stats_json { id; _ } | Pong { id } ->
+  | Stats_json { id; _ } | Pong { id } | Hello_ok { id; _ }
+  | Bad_version { id; _ } | Gossip_ack { id; _ } ->
     id
 
 let mask_id id = id land 0xFFFF_FFFF
@@ -45,12 +59,24 @@ let check_name name =
   if String.length name > max_name_len then
     invalid_arg "Wire.encode_request: object name longer than 255 bytes"
 
+(* A gossip entry on the wire: name-length byte, name, kind-tag byte,
+   then either a width byte + [width] slot i64s (counter) or one i64
+   (max register). *)
+let entry_wire_len (name, delta) =
+  1 + String.length name + 1
+  + (match (delta : Delta.t) with
+     | Delta.Counter v -> 1 + (8 * Array.length v)
+     | Delta.Max _ -> 8)
+
+let gossip_payload_len entries =
+  List.fold_left (fun acc e -> acc + entry_wire_len e) 8 entries
+
 let encode_request buf req =
   (match req with
    | Inc { name; _ } | Read { name; _ } | Write { name; _ }
    | Add { name; _ } ->
      check_name name
-   | Stats _ | Ping _ -> ());
+   | Stats _ | Ping _ | Hello _ | Gossip _ -> ());
   let named op id name extra =
     add_header buf (6 + String.length name + extra);
     Buffer.add_uint8 buf op;
@@ -75,6 +101,51 @@ let encode_request buf req =
     add_header buf 5;
     Buffer.add_uint8 buf 5;
     add_u32 buf id
+  | Hello { id; version; role } ->
+    if version < 0 || version > 255 then
+      invalid_arg "Wire.encode_request: HELLO version outside 0..255";
+    if role <> role_client && role <> role_peer then
+      invalid_arg "Wire.encode_request: bad HELLO role";
+    add_header buf 7;
+    Buffer.add_uint8 buf 7;
+    add_u32 buf id;
+    Buffer.add_uint8 buf version;
+    Buffer.add_uint8 buf role
+  | Gossip { id; node; entries } ->
+    if node < 0 || node > 255 then
+      invalid_arg "Wire.encode_request: gossip node id outside 0..255";
+    if List.length entries > max_gossip_entries then
+      invalid_arg "Wire.encode_request: too many gossip entries";
+    List.iter
+      (fun (name, delta) ->
+        check_name name;
+        if String.length name = 0 then
+          invalid_arg "Wire.encode_request: empty gossip object name";
+        match (delta : Delta.t) with
+        | Delta.Counter v ->
+          if Array.length v < 1 || Array.length v > 255 then
+            invalid_arg "Wire.encode_request: gossip vector width outside 1..255"
+        | Delta.Max _ -> ())
+      entries;
+    let plen = gossip_payload_len entries in
+    if plen > max_peer_payload then
+      invalid_arg "Wire.encode_request: gossip frame exceeds max_peer_payload";
+    add_header buf plen;
+    Buffer.add_uint8 buf 8;
+    add_u32 buf id;
+    Buffer.add_uint8 buf node;
+    Buffer.add_uint16_be buf (List.length entries);
+    List.iter
+      (fun (name, delta) ->
+        Buffer.add_uint8 buf (String.length name);
+        Buffer.add_string buf name;
+        Buffer.add_uint8 buf (Delta.kind_tag delta);
+        match (delta : Delta.t) with
+        | Delta.Counter v ->
+          Buffer.add_uint8 buf (Array.length v);
+          Array.iter (fun slot -> add_i64 buf slot) v
+        | Delta.Max v -> add_i64 buf v)
+      entries
 
 let encode_response buf resp =
   let bare status id =
@@ -99,6 +170,21 @@ let encode_response buf resp =
     add_u32 buf id;
     Buffer.add_string buf json
   | Pong { id } -> bare 5 id
+  | Hello_ok { id; version } ->
+    add_header buf 6;
+    Buffer.add_uint8 buf 6;
+    add_u32 buf id;
+    Buffer.add_uint8 buf (version land 0xFF)
+  | Bad_version { id; version } ->
+    add_header buf 6;
+    Buffer.add_uint8 buf 7;
+    add_u32 buf id;
+    Buffer.add_uint8 buf (version land 0xFF)
+  | Gossip_ack { id; merged } ->
+    add_header buf 9;
+    Buffer.add_uint8 buf 8;
+    add_u32 buf id;
+    add_u32 buf merged
 
 (* The same response encoding into an [Obuf.t] — the server's flush
    path, where the double-buffer swap makes steady-state encoding
@@ -131,6 +217,21 @@ let encode_response_obuf ob resp =
     Obuf.add_i32_be ob (mask_id id);
     Obuf.add_string ob json
   | Pong { id } -> obuf_bare ob 5 id
+  | Hello_ok { id; version } ->
+    Obuf.add_i32_be ob 6;
+    Obuf.add_u8 ob 6;
+    Obuf.add_i32_be ob (mask_id id);
+    Obuf.add_u8 ob (version land 0xFF)
+  | Bad_version { id; version } ->
+    Obuf.add_i32_be ob 6;
+    Obuf.add_u8 ob 7;
+    Obuf.add_i32_be ob (mask_id id);
+    Obuf.add_u8 ob (version land 0xFF)
+  | Gossip_ack { id; merged } ->
+    Obuf.add_i32_be ob 9;
+    Obuf.add_u8 ob 8;
+    Obuf.add_i32_be ob (mask_id id);
+    Obuf.add_i32_be ob (mask_id merged)
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                            *)
@@ -159,6 +260,41 @@ let decode ~max_payload ~parse b ~off ~len =
       | None -> Malformed "unparseable payload"
   end
 
+(* Gossip entries, parsed with a running cursor that must land exactly
+   on the payload end. *)
+let parse_gossip_entries b ~cursor ~stop ~count =
+  let rec go cur remaining acc =
+    if remaining = 0 then if cur = stop then Some (List.rev acc) else None
+    else if cur + 2 > stop then None
+    else begin
+      let nlen = Bytes.get_uint8 b cur in
+      if nlen < 1 || cur + 1 + nlen + 1 > stop then None
+      else begin
+        let name = Bytes.sub_string b (cur + 1) nlen in
+        let tag_off = cur + 1 + nlen in
+        match Bytes.get_uint8 b tag_off with
+        | 0 ->
+          if tag_off + 2 > stop then None
+          else begin
+            let width = Bytes.get_uint8 b (tag_off + 1) in
+            let slots_off = tag_off + 2 in
+            if width < 1 || slots_off + (8 * width) > stop then None
+            else
+              let v = Array.init width (fun i -> get_i64 b (slots_off + (8 * i))) in
+              go (slots_off + (8 * width)) (remaining - 1)
+                ((name, Delta.Counter v) :: acc)
+          end
+        | 1 ->
+          if tag_off + 9 > stop then None
+          else
+            go (tag_off + 9) (remaining - 1)
+              ((name, Delta.Max (get_i64 b (tag_off + 1))) :: acc)
+        | _ -> None
+      end
+    end
+  in
+  go cursor count []
+
 let parse_request b off plen =
   if plen < 5 then None
   else
@@ -167,6 +303,25 @@ let parse_request b off plen =
     match op with
     | 4 -> if plen = 5 then Some (Stats { id }) else None
     | 5 -> if plen = 5 then Some (Ping { id }) else None
+    | 7 ->
+      if plen = 7 then
+        Some
+          (Hello
+             { id;
+               version = Bytes.get_uint8 b (off + 5);
+               role = Bytes.get_uint8 b (off + 6) })
+      else None
+    | 8 ->
+      if plen < 8 then None
+      else begin
+        let node = Bytes.get_uint8 b (off + 5) in
+        let count = Bytes.get_uint16_be b (off + 6) in
+        match
+          parse_gossip_entries b ~cursor:(off + 8) ~stop:(off + plen) ~count
+        with
+        | Some entries -> Some (Gossip { id; node; entries })
+        | None -> None
+      end
     | 1 | 2 | 3 | 6 ->
       if plen < 6 then None
       else begin
@@ -195,10 +350,24 @@ let parse_response b off plen =
     | 3 -> if plen = 5 then Some (Bad_request { id }) else None
     | 4 -> Some (Stats_json { id; json = Bytes.sub_string b (off + 5) (plen - 5) })
     | 5 -> if plen = 5 then Some (Pong { id }) else None
+    | 6 ->
+      if plen = 6 then
+        Some (Hello_ok { id; version = Bytes.get_uint8 b (off + 5) })
+      else None
+    | 7 ->
+      if plen = 6 then
+        Some (Bad_version { id; version = Bytes.get_uint8 b (off + 5) })
+      else None
+    | 8 ->
+      if plen = 9 then Some (Gossip_ack { id; merged = get_u32 b (off + 5) })
+      else None
     | _ -> None
 
 let decode_request b ~off ~len =
   decode ~max_payload:max_request_payload ~parse:parse_request b ~off ~len
+
+let decode_request_peer b ~off ~len =
+  decode ~max_payload:max_peer_payload ~parse:parse_request b ~off ~len
 
 let decode_response b ~off ~len =
   decode ~max_payload:max_response_payload ~parse:parse_response b ~off ~len

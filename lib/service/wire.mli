@@ -5,46 +5,84 @@
     followed by the payload. Request payloads are
 
     {v
-    byte  0        op      (1=INC 2=READ 3=WRITE 4=STATS 5=PING 6=ADD)
+    byte  0        op      (1=INC 2=READ 3=WRITE 4=STATS 5=PING 6=ADD
+                            7=HELLO 8=GOSSIP)
     bytes 1-4      request id, unsigned 32-bit big-endian
     byte  5        object-name length L        (INC/READ/WRITE/ADD only)
     bytes 6..6+L-1 object name                 (INC/READ/WRITE/ADD only)
     bytes +0..+7   value/delta, signed 64-bit BE  (WRITE/ADD only)
     v}
 
-    and response payloads are
+    HELLO carries two extra bytes (protocol version, connection role);
+    GOSSIP carries the sending node id (u8), an entry count (u16 BE)
+    and that many entries — each a name-length byte, the name, a
+    kind-tag byte, then either a width byte + width slot i64s
+    (counter G-vector) or one i64 (max register).
+
+    Response payloads are
 
     {v
     byte  0        status  (0=VALUE 1=BUSY 2=UNKNOWN_OBJECT
-                            3=BAD_REQUEST 4=STATS_JSON 5=PONG)
+                            3=BAD_REQUEST 4=STATS_JSON 5=PONG
+                            6=HELLO_OK 7=BAD_VERSION 8=GOSSIP_ACK)
     bytes 1-4      echoed request id
     bytes +0..+7   value, signed 64-bit BE     (VALUE only)
     bytes 5..      UTF-8 JSON text             (STATS_JSON only)
+    byte  5        protocol version            (HELLO_OK/BAD_VERSION)
+    bytes 5-8      merged entry count, u32 BE  (GOSSIP_ACK only)
     v}
 
     Request ids are echoed verbatim, so a client may pipeline requests
     and match responses out of order (the server preserves per-object
     order but interleaves backpressure replies immediately).
 
+    The first frame on any connection must be a HELLO naming
+    {!protocol_version} and a role; a version mismatch is answered
+    with BAD_VERSION and a clean close. The negotiated role selects
+    the inbound frame cap: client connections stay under the tiny
+    {!max_request_payload}, peer (gossip) connections may send frames
+    up to {!max_peer_payload}.
+
     Decoders are incremental: they inspect a byte range that may hold
     any prefix of a frame stream and either decode one complete
     message, ask for more bytes, or reject the stream. A frame whose
     header announces more than the direction's maximum payload
-    ({!max_request_payload} / {!max_response_payload}) is rejected as
-    [Oversized] {e before} any of the payload arrives, so a malicious
-    length header cannot make a peer buffer unboundedly. *)
+    ({!max_request_payload} / {!max_peer_payload} /
+    {!max_response_payload}) is rejected as [Oversized] {e before} any
+    of the payload arrives, so a malicious length header cannot make a
+    peer buffer unboundedly. *)
 
 val header_len : int
 (** Frame-header bytes (4). *)
 
 val max_request_payload : int
-(** Requests are tiny; anything above this (4096) is [Oversized]. *)
+(** Client requests are tiny; anything above this (4096) is
+    [Oversized]. *)
+
+val max_peer_payload : int
+(** Peer (gossip) frames may carry whole replica states; the cap is
+    2^20 bytes — split from the client request cap so a gossip burst
+    cannot be weaponised through the client path. *)
 
 val max_response_payload : int
 (** Responses carry STATS JSON; the cap is 2^20 bytes. *)
 
 val max_name_len : int
 (** Object names fit the 1-byte length field: 255. *)
+
+val max_gossip_entries : int
+(** Entry-count field width: 65535. *)
+
+val protocol_version : int
+(** The version byte HELLO must carry (2; the pre-handshake protocol
+    is retroactively 1). *)
+
+val role_client : int
+(** HELLO role byte: an ordinary client connection (0). *)
+
+val role_peer : int
+(** HELLO role byte: a replication peer (1) — unlocks GOSSIP frames
+    and the {!max_peer_payload} inbound cap. *)
 
 type request =
   | Inc of { id : int; name : string }
@@ -56,6 +94,12 @@ type request =
       (** Bulk increment: [delta] logical increments in one request.
           Counters only; the server rejects [delta < 0] as
           [Bad_request]. Encoded like [Write] under op 6. *)
+  | Hello of { id : int; version : int; role : int }
+      (** Mandatory first frame: protocol version and connection role
+          ({!role_client} or {!role_peer}). *)
+  | Gossip of { id : int; node : int; entries : (string * Delta.t) list }
+      (** Replica state from [node]: one mergeable {!Delta.t} per
+          named object. Peer connections only. *)
 
 type response =
   | Value of { id : int; value : int }
@@ -64,6 +108,13 @@ type response =
   | Bad_request of { id : int }
   | Stats_json of { id : int; json : string }
   | Pong of { id : int }
+  | Hello_ok of { id : int; version : int }
+      (** Handshake accepted; echoes the server's version. *)
+  | Bad_version of { id : int; version : int }
+      (** Version mismatch: carries the server's version; the server
+          closes the connection after flushing this. *)
+  | Gossip_ack of { id : int; merged : int }
+      (** Gossip accepted; [merged] entries were routed to shards. *)
 
 val request_id : request -> int
 val response_id : response -> int
@@ -74,7 +125,10 @@ val mask_id : int -> int
 
 val encode_request : Buffer.t -> request -> unit
 (** Append one full frame (header + payload).
-    @raise Invalid_argument if the name exceeds {!max_name_len}. *)
+    @raise Invalid_argument if a name exceeds {!max_name_len} (or is
+    empty in a gossip entry), a HELLO field or gossip node id is out
+    of byte range, a counter vector is wider than 255 slots, or a
+    gossip frame would exceed {!max_peer_payload}. *)
 
 val encode_response : Buffer.t -> response -> unit
 (** @raise Invalid_argument if the STATS payload would exceed
@@ -104,6 +158,11 @@ type 'a decoded =
           Unrecoverable. *)
 
 val decode_request : Bytes.t -> off:int -> len:int -> request decoded
-(** Decode the first request frame of [bytes off .. off+len-1]. *)
+(** Decode the first request frame of [bytes off .. off+len-1] under
+    the client cap ({!max_request_payload}). *)
+
+val decode_request_peer : Bytes.t -> off:int -> len:int -> request decoded
+(** [decode_request] under the peer cap ({!max_peer_payload}) — used
+    for connections whose HELLO negotiated {!role_peer}. *)
 
 val decode_response : Bytes.t -> off:int -> len:int -> response decoded

@@ -68,7 +68,7 @@ let test_pipeline_smoke () =
       Alcotest.(check bool)
         (Printf.sprintf "record mentions %S" needle)
         true (contains ~needle s))
-    [ "\"schema_version\": 5"; "counter_throughput"; "maxreg_throughput";
+    [ "\"schema_version\": 6"; "counter_throughput"; "maxreg_throughput";
       "amortized_steps_per_op"; "ops_per_sec_median"; "ops_per_sec_min";
       "ops_per_sec_max"; "kcounter"; "faa"; "\"domains\": 1";
       "\"domains\": 2"; "\"service\""; "\"shards\": 2"; "p50_ns"; "p99_ns";
@@ -80,7 +80,12 @@ let test_pipeline_smoke () =
       "\"io_domains\": 1"; "\"io_domains\": 2"; "active_cycles"; "wakeups";
       "\"service_io_scale\""; "\"poller\""; "poller_rejects";
       "max_ready_batch"; "\"poller\": \"select\"";
-      "ops_per_sec_per_conn_median"; "\"server_mode\": \"in-process\"" ]
+      "ops_per_sec_per_conn_median"; "\"server_mode\": \"in-process\"";
+      "\"service_cluster\""; "\"nodes\": 3"; "\"replicas\": 2";
+      "\"chaos\": true"; "\"converged\": true";
+      "\"staleness_violations\": 0"; "gossip_frames_sent";
+      "gossip_entries_merged"; "\"k_staleness\": 2"; "\"k_total\": 8";
+      "\"reconnects\"" ]
 
 let suite =
   [ ("json basic", `Quick, test_json_basic);

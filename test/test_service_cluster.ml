@@ -1,0 +1,502 @@
+(* The replication plane: consistent-hash placement properties,
+   qcheck laws for the mergeable delta representation (the gossip
+   layer may deliver late, duplicated, reordered — merges must be
+   commutative, associative, idempotent, and replay must never widen
+   a replica past the cluster state), object-table merge semantics,
+   the HELLO handshake gate, and an in-process 3-node cluster driven
+   end to end through the cluster-aware client and loadgen with a
+   node killed and restarted mid-test. *)
+
+module Srv = Service.Server
+module Cl = Service.Client
+module W = Service.Wire
+module D = Service.Delta
+module P = Service.Placement
+
+let check = Alcotest.check
+
+let sock_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "approx_cluster_test_%d_%d.sock" (Unix.getpid ()) !n)
+
+(* ------------------------------------------------------------------ *)
+(* Placement                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let gen_name =
+  QCheck.Gen.(
+    int_range 1 32 >>= fun n ->
+    string_size ~gen:(char_range 'a' 'z') (return n))
+
+let prop_placement_deterministic =
+  QCheck.Test.make ~count:300
+    ~name:"same (nodes, replicas) -> same owners on every participant"
+    (QCheck.make
+       QCheck.Gen.(triple (int_range 1 8) (int_range 1 8) gen_name))
+    (fun (nodes, replicas, name) ->
+      let a = P.create ~nodes ~replicas in
+      let b = P.create ~nodes ~replicas in
+      P.owners a name = P.owners b name)
+
+let prop_placement_owner_set =
+  QCheck.Test.make ~count:300
+    ~name:"owners: min(replicas, nodes) distinct in-range nodes"
+    (QCheck.make
+       QCheck.Gen.(triple (int_range 1 8) (int_range 1 8) gen_name))
+    (fun (nodes, replicas, name) ->
+      let p = P.create ~nodes ~replicas in
+      let owners = P.owners p name in
+      List.length owners = min replicas nodes
+      && List.length (List.sort_uniq compare owners) = List.length owners
+      && List.for_all (fun i -> i >= 0 && i < nodes) owners)
+
+let prop_placement_hosts_agree =
+  QCheck.Test.make ~count:300
+    ~name:"hosts node name <-> node in owners name"
+    (QCheck.make
+       QCheck.Gen.(triple (int_range 1 8) (int_range 1 8) gen_name))
+    (fun (nodes, replicas, name) ->
+      let p = P.create ~nodes ~replicas in
+      let owners = P.owners p name in
+      List.for_all
+        (fun node -> P.hosts p ~node name = List.mem node owners)
+        (List.init nodes Fun.id))
+
+let test_placement_single_node () =
+  let p = P.create ~nodes:1 ~replicas:3 in
+  check Alcotest.(list int) "one node owns everything" [ 0 ]
+    (P.owners p "anything");
+  check Alcotest.int "replicas clamped to nodes" 1 (P.replicas p)
+
+(* ------------------------------------------------------------------ *)
+(* Delta merge laws                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let gen_counter_pair_same_width =
+  QCheck.Gen.(
+    int_range 1 8 >>= fun w ->
+    let vec = list_size (return w) (int_bound 1_000_000) in
+    pair
+      (map (fun l -> D.Counter (Array.of_list l)) vec)
+      (map (fun l -> D.Counter (Array.of_list l)) vec))
+
+let gen_delta_pair =
+  QCheck.Gen.(
+    oneof
+      [ gen_counter_pair_same_width;
+        pair
+          (map (fun v -> D.Max v) (int_bound 1_000_000))
+          (map (fun v -> D.Max v) (int_bound 1_000_000)) ])
+
+let gen_delta_triple =
+  QCheck.Gen.(
+    gen_delta_pair >>= fun (a, b) ->
+    gen_delta_pair >>= fun (c, _) ->
+    match (a, c) with
+    | D.Counter v, _ ->
+      let w = Array.length v in
+      map
+        (fun l -> (a, b, D.Counter (Array.of_list l)))
+        (list_size (return w) (int_bound 1_000_000))
+    | D.Max _, _ -> map (fun v -> (a, b, D.Max v)) (int_bound 1_000_000))
+
+let prop_merge_commutative =
+  QCheck.Test.make ~count:500 ~name:"merge a b = merge b a"
+    (QCheck.make gen_delta_pair) (fun (a, b) ->
+      D.equal (D.merge a b) (D.merge b a))
+
+let prop_merge_associative =
+  QCheck.Test.make ~count:500 ~name:"merge (merge a b) c = merge a (merge b c)"
+    (QCheck.make gen_delta_triple) (fun (a, b, c) ->
+      D.equal (D.merge (D.merge a b) c) (D.merge a (D.merge b c)))
+
+let prop_merge_idempotent =
+  QCheck.Test.make ~count:500 ~name:"merge a a = a, merge (merge a b) b = merge a b"
+    (QCheck.make gen_delta_pair) (fun (a, b) ->
+      D.equal (D.merge a a) a && D.equal (D.merge (D.merge a b) b) (D.merge a b))
+
+(* Replayed, duplicated, reordered gossip never widens a replica past
+   the cluster state: per-node histories are monotone snapshot
+   sequences; merging ANY multiset of snapshots (duplicates and all)
+   stays at or below the sum of final own totals — so a local read,
+   which serves within k_local of the merged total, stays within
+   k_local * k_staleness of the cluster-exact value. Delivering every
+   final snapshot closes the gap exactly. *)
+let gen_histories =
+  QCheck.Gen.(
+    int_range 1 5 >>= fun nodes ->
+    let history node =
+      list_size (int_range 1 6) (int_range 0 1000) >>= fun increments ->
+      (* Monotone per-node snapshots of that node's own slot. *)
+      let snaps =
+        List.rev
+          (snd
+             (List.fold_left
+                (fun (total, acc) d ->
+                  let t = total + d in
+                  let v = Array.make nodes 0 in
+                  v.(node) <- t;
+                  (t, D.Counter v :: acc))
+                (0, []) increments))
+      in
+      return snaps
+    in
+    flatten_l (List.init nodes history) >>= fun hists ->
+    (* A delivery schedule: indices into each history, with
+       duplicates, in arbitrary order. *)
+    list_size (int_range 0 20)
+      (pair (int_bound (nodes - 1)) (int_bound 99))
+    >>= fun picks -> return (nodes, hists, picks))
+
+let prop_replay_never_overshoots =
+  QCheck.Test.make ~count:300
+    ~name:"duplicated/reordered replay <= cluster exact; full delivery = exact"
+    (QCheck.make gen_histories) (fun (nodes, hists, picks) ->
+      let finals = List.map (fun h -> List.nth h (List.length h - 1)) hists in
+      let exact = List.fold_left (fun acc d -> acc + D.value d) 0 finals in
+      let zero = D.Counter (Array.make nodes 0) in
+      let deliver acc (node, i) =
+        let h = List.nth hists node in
+        D.merge acc (List.nth h (i mod List.length h))
+      in
+      let partial = List.fold_left deliver zero picks in
+      let complete = List.fold_left D.merge partial finals in
+      D.value partial <= exact && D.value complete = exact)
+
+(* ------------------------------------------------------------------ *)
+(* Object-table merge semantics                                        *)
+(* ------------------------------------------------------------------ *)
+
+let build_node ~node_id ~nodes =
+  let metrics = Service.Metrics.create ~node_id ~nodes ~shards:1 ~io_domains:1 () in
+  Service.Objects.build ~nodes ~node_id ~metrics ~shards:1
+    (Service.Objects.default_specs ~counters:1 ~k:4)
+
+let test_objects_merge_roundtrip () =
+  let t0 = build_node ~node_id:0 ~nodes:2 in
+  let t1 = build_node ~node_id:1 ~nodes:2 in
+  let o0 = Option.get (Service.Objects.find t0 "c0") in
+  let o1 = Option.get (Service.Objects.find t1 "c0") in
+  for _ = 1 to 25 do
+    ignore (Service.Objects.defer o0 ~via_add:false 1)
+  done;
+  Service.Objects.apply_pending o0 ~pid:0;
+  ignore (Service.Objects.defer o1 ~via_add:true 10);
+  Service.Objects.apply_pending o1 ~pid:0;
+  check Alcotest.int "node0 own contribution" 25 (Service.Objects.own_total o0);
+  check Alcotest.int "node0 known before merge" 25 (Service.Objects.known o0);
+  let d0 = Service.Objects.export_delta o0 in
+  Alcotest.(check bool) "merge accepted by node1" true
+    (Service.Objects.merge_delta o1 d0);
+  check Alcotest.int "node1 knows both contributions" 35
+    (Service.Objects.known o1);
+  check Alcotest.int "node1 own contribution untouched" 10
+    (Service.Objects.own_total o1);
+  Alcotest.(check bool) "duplicated delivery accepted" true
+    (Service.Objects.merge_delta o1 d0);
+  check Alcotest.int "known unchanged by the replay" 35
+    (Service.Objects.known o1);
+  (* Merge back the other way: node0 learns node1's slot. *)
+  Alcotest.(check bool) "reverse merge accepted by node0" true
+    (Service.Objects.merge_delta o0 (Service.Objects.export_delta o1));
+  check Alcotest.int "both replicas converge" 35 (Service.Objects.known o0);
+  (* Kind mismatch is a recorded reject, not a merge. *)
+  Alcotest.(check bool) "kind mismatch rejected" false
+    (Service.Objects.merge_delta o1 (Service.Delta.Max 99));
+  Alcotest.(check bool) "width mismatch rejected" false
+    (Service.Objects.merge_delta o1 (Service.Delta.Counter [| 1; 2; 3 |]))
+
+let test_objects_boundary_flag () =
+  let t0 = build_node ~node_id:0 ~nodes:2 in
+  let o = Option.get (Service.Objects.find t0 "c0") in
+  Alcotest.(check bool) "empty object is inside the boundary" false
+    (Service.Objects.boundary_crossed o ~k_staleness:2);
+  ignore (Service.Objects.defer o ~via_add:true 5);
+  Service.Objects.apply_pending o ~pid:0;
+  Alcotest.(check bool) "never-exported growth crosses" true
+    (Service.Objects.boundary_crossed o ~k_staleness:2);
+  ignore (Service.Objects.take_dirty o);
+  Service.Objects.mark_exported o;
+  Alcotest.(check bool) "just-exported state is clean" false
+    (Service.Objects.boundary_crossed o ~k_staleness:2);
+  ignore (Service.Objects.defer o ~via_add:true 4);
+  Service.Objects.apply_pending o ~pid:0;
+  Alcotest.(check bool) "sub-threshold growth stays inside (9 < 2*5)" false
+    (Service.Objects.boundary_crossed o ~k_staleness:2);
+  ignore (Service.Objects.defer o ~via_add:true 1);
+  Service.Objects.apply_pending o ~pid:0;
+  Alcotest.(check bool) "k_staleness-fold growth crosses (10 >= 2*5)" true
+    (Service.Objects.boundary_crossed o ~k_staleness:2)
+
+(* ------------------------------------------------------------------ *)
+(* HELLO gate                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let raw_connect srv =
+  let fd =
+    Unix.socket ~cloexec:true
+      (Unix.domain_of_sockaddr (Srv.sockaddr srv))
+      Unix.SOCK_STREAM 0
+  in
+  Unix.connect fd (Srv.sockaddr srv);
+  fd
+
+let raw_send fd req =
+  let b = Buffer.create 64 in
+  W.encode_request b req;
+  let bytes = Buffer.to_bytes b in
+  ignore (Unix.write fd bytes 0 (Bytes.length bytes))
+
+(* Read until EOF; returns every decodable response frame. *)
+let raw_drain fd =
+  let buf = Bytes.create 65536 in
+  let len = ref 0 in
+  (try
+     let rec go () =
+       let n = Unix.read fd buf !len (Bytes.length buf - !len) in
+       if n > 0 then begin
+         len := !len + n;
+         go ()
+       end
+     in
+     go ()
+   with Unix.Unix_error _ -> ());
+  let rec decode off acc =
+    match W.decode_response buf ~off ~len:(!len - off) with
+    | W.Decoded (resp, consumed) -> decode (off + consumed) (resp :: acc)
+    | _ -> List.rev acc
+  in
+  decode 0 []
+
+let with_server ?config f =
+  let srv = Srv.start ?config ~listen:(`Unix (sock_path ())) () in
+  Fun.protect ~finally:(fun () -> Srv.stop srv) (fun () -> f srv)
+
+let test_hello_gate_rejects_early_ops () =
+  with_server (fun srv ->
+      let fd = raw_connect srv in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* First frame is an op, not HELLO: no reply, clean close. *)
+          raw_send fd (W.Inc { id = 1; name = "c0" });
+          check Alcotest.int "no responses before the handshake" 0
+            (List.length (raw_drain fd)));
+      let m = Srv.metrics srv in
+      Alcotest.(check bool) "rejection counted" true
+        (Service.Metrics.hello_rejects m >= 1))
+
+let test_hello_gate_bad_version () =
+  with_server (fun srv ->
+      let fd = raw_connect srv in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          raw_send fd
+            (W.Hello { id = 5; version = 99; role = W.role_client });
+          match raw_drain fd with
+          | [ W.Bad_version { id = 5; version } ] ->
+            check Alcotest.int "carries the server's version"
+              W.protocol_version version
+          | other ->
+            Alcotest.failf "expected exactly one BAD_VERSION, got %d frames"
+              (List.length other)))
+
+let test_gossip_requires_peer_role () =
+  with_server (fun srv ->
+      (* A client-role connection must not be able to inject gossip. *)
+      let cl = Cl.connect (Srv.sockaddr srv) in
+      Fun.protect
+        ~finally:(fun () -> Cl.close cl)
+        (fun () ->
+          match Cl.gossip cl ~node:0 [ ("c0", D.Counter [| 100 |]) ] with
+          | exception (End_of_file | Failure _ | Unix.Unix_error _) -> ()
+          | merged ->
+            Alcotest.failf "client-role gossip accepted (%d merged)" merged))
+
+(* ------------------------------------------------------------------ *)
+(* In-process 3-node cluster, end to end                               *)
+(* ------------------------------------------------------------------ *)
+
+let cluster_config ~node_id ~nodes ~replicas ~paths =
+  { Srv.default_config with
+    shards = 2;
+    specs = Service.Objects.default_specs ~counters:4 ~k:4;
+    node_id;
+    nodes;
+    replicas;
+    gossip_interval_ms = 10;
+    k_staleness = 2;
+    peers =
+      List.filter_map
+        (fun j -> if j = node_id then None else Some (j, `Unix (List.nth paths j)))
+        (List.init nodes Fun.id) }
+
+let with_cluster ~nodes ~replicas f =
+  let paths = List.init nodes (fun _ -> sock_path ()) in
+  let servers =
+    Array.of_list
+      (List.mapi
+         (fun node_id path ->
+           Some
+             (Srv.start
+                ~config:(cluster_config ~node_id ~nodes ~replicas ~paths)
+                ~listen:(`Unix path) ()))
+         paths)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun s -> Option.iter Srv.stop s) servers)
+    (fun () -> f ~paths ~servers)
+
+let quiesce () = Unix.sleepf 0.15 (* >> 2 gossip intervals of 10 ms *)
+
+let k_total = 4 * 2 (* k_local * k_staleness *)
+
+let test_cluster_end_to_end () =
+  with_cluster ~nodes:3 ~replicas:2 (fun ~paths ~servers:_ ->
+      let cc =
+        Cl.Cluster.connect ~replicas:2
+          (List.map (fun p -> Unix.ADDR_UNIX p) paths)
+      in
+      Fun.protect
+        ~finally:(fun () -> Cl.Cluster.close cc)
+        (fun () ->
+          let exact = Array.make 4 0 in
+          for round = 1 to 10 do
+            for c = 0 to 3 do
+              let name = Printf.sprintf "c%d" c in
+              for _ = 1 to round do
+                (match Cl.Cluster.inc cc name with
+                 | W.Value _ -> ()
+                 | _ -> Alcotest.fail "INC rejected");
+                exact.(c) <- exact.(c) + 1
+              done;
+              ignore (Cl.Cluster.add cc name 5);
+              exact.(c) <- exact.(c) + 5
+            done
+          done;
+          quiesce ();
+          for c = 0 to 3 do
+            let name = Printf.sprintf "c%d" c in
+            let served = Cl.Cluster.read_value cc name in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %d within k_total envelope of %d" name
+                 served exact.(c))
+              true
+              (Zmath.within_k ~k:k_total ~exact:exact.(c) served)
+          done;
+          (* The exactly-served kinds survive placement + replication:
+             writes land on a replica, reads reach one. *)
+          ignore (Cl.Cluster.write cc "cas-maxreg" 777);
+          check Alcotest.int "max register reads back" 777
+            (Cl.Cluster.read_value cc "cas-maxreg")))
+
+let test_cluster_node_kill_and_restart () =
+  with_cluster ~nodes:3 ~replicas:2 (fun ~paths ~servers ->
+      let cc =
+        Cl.Cluster.connect ~replicas:2
+          (List.map (fun p -> Unix.ADDR_UNIX p) paths)
+      in
+      Fun.protect
+        ~finally:(fun () -> Cl.Cluster.close cc)
+        (fun () ->
+          let exact = ref 0 in
+          let drive n =
+            for _ = 1 to n do
+              (match Cl.Cluster.inc cc "c0" with
+               | W.Value _ -> ()
+               | _ -> Alcotest.fail "INC rejected");
+              incr exact
+            done
+          in
+          drive 50;
+          quiesce ();
+          (* Kill c0's primary replica — every in-flight connection to
+             it is cut, so subsequent c0 ops are forced to fail over
+             to the surviving owner. The gossip had quiesced, so no
+             contributions are lost with it. *)
+          let victim = P.primary (Cl.Cluster.placement cc) "c0" in
+          Option.iter Srv.stop servers.(victim);
+          servers.(victim) <- None;
+          drive 50;
+          Alcotest.(check bool) "reads survive one replica down" true
+            (Zmath.within_k ~k:k_total ~exact:!exact
+               (Cl.Cluster.read_value cc "c0"));
+          (* Restart it blank: gossip must re-teach it everything,
+             including its own pre-crash contribution (slot recovery
+             from the peers' echo of its G-counter slot). *)
+          servers.(victim) <-
+            Some
+              (Srv.start
+                 ~config:
+                   (cluster_config ~node_id:victim ~nodes:3 ~replicas:2
+                      ~paths)
+                 ~listen:(`Unix (List.nth paths victim)) ());
+          drive 25;
+          quiesce ();
+          quiesce ();
+          Alcotest.(check bool) "reads converge after the restart" true
+            (Zmath.within_k ~k:k_total ~exact:!exact
+               (Cl.Cluster.read_value cc "c0"));
+          Alcotest.(check bool) "failovers were exercised" true
+            (Cl.Cluster.failovers cc > 0)))
+
+let test_cluster_loadgen_failover () =
+  with_cluster ~nodes:3 ~replicas:2 (fun ~paths ~servers ->
+      (* One node is already dead when the load starts: its homed
+         connections must reconnect across the ring, not error. *)
+      Option.iter Srv.stop servers.(1);
+      servers.(1) <- None;
+      let r =
+        Service.Loadgen.run
+          ~addrs:(List.map (fun p -> Unix.ADDR_UNIX p) paths)
+          { Service.Loadgen.default_config with
+            connections = 6;
+            ops_per_connection = 1_000;
+            pipeline = 4;
+            read_permille = 200;
+            add_permille = 100;
+            replicas = 2;
+            max_reconnects = 4 }
+      in
+      check Alcotest.int "every op completed" 6_000
+        (r.Service.Loadgen.ok + r.Service.Loadgen.busy);
+      check Alcotest.int "no errors" 0 r.Service.Loadgen.errors;
+      Alcotest.(check bool) "dead node absorbed by reconnects" true
+        (r.Service.Loadgen.reconnects > 0))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "service_cluster"
+    [ ("placement",
+       ("single node owns everything", `Quick, test_placement_single_node)
+       :: List.map QCheck_alcotest.to_alcotest
+            [ prop_placement_deterministic;
+              prop_placement_owner_set;
+              prop_placement_hosts_agree ]);
+      ("delta laws",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_merge_commutative;
+           prop_merge_associative;
+           prop_merge_idempotent;
+           prop_replay_never_overshoots ]);
+      ("object merge",
+       [ ("export/merge roundtrip", `Quick, test_objects_merge_roundtrip);
+         ("staleness boundary flag", `Quick, test_objects_boundary_flag) ]);
+      ("handshake gate",
+       [ ("ops before HELLO are rejected", `Quick,
+          test_hello_gate_rejects_early_ops);
+         ("version mismatch", `Quick, test_hello_gate_bad_version);
+         ("gossip needs the peer role", `Quick,
+          test_gossip_requires_peer_role) ]);
+      ("cluster",
+       [ ("3 nodes, 2 replicas, end to end", `Quick, test_cluster_end_to_end);
+         ("node kill and blank restart", `Quick,
+          test_cluster_node_kill_and_restart);
+         ("loadgen fails over a dead node", `Quick,
+          test_cluster_loadgen_failover) ]) ]

@@ -151,7 +151,7 @@ let test_add_op () =
    drives the Objects fusion API directly; the wire-level test below
    only asserts value correctness and counter consistency. *)
 let test_objects_fusion_deterministic () =
-  let metrics = M.create ~shards:1 ~io_domains:1 in
+  let metrics = M.create ~shards:1 ~io_domains:1 () in
   let table =
     Service.Objects.build ~metrics ~shards:1
       (Service.Objects.default_specs ~counters:1 ~k:4)
@@ -241,7 +241,7 @@ let test_loadgen_4_shards poller () =
           seed = 11;
           poller }
       in
-      let r = Service.Loadgen.run ~addr:(Srv.sockaddr srv) cfg in
+      let r = Service.Loadgen.run ~addrs:[ Srv.sockaddr srv ] cfg in
       check Alcotest.int "no protocol errors" 0 r.Service.Loadgen.errors;
       check Alcotest.int "every op completed" 6_000
         (r.Service.Loadgen.ok + r.Service.Loadgen.busy);
@@ -419,7 +419,7 @@ let test_multi_io_domain_load poller () =
           seed = 7;
           poller }
       in
-      let r = Service.Loadgen.run ~addr:(Srv.sockaddr srv) cfg in
+      let r = Service.Loadgen.run ~addrs:[ Srv.sockaddr srv ] cfg in
       check Alcotest.int "no protocol errors" 0 r.Service.Loadgen.errors;
       check Alcotest.int "every op completed" 16_000
         (r.Service.Loadgen.ok + r.Service.Loadgen.busy);

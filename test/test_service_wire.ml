@@ -5,6 +5,8 @@
 
 module W = Service.Wire
 
+let check = Alcotest.check
+
 let encode_req req =
   let b = Buffer.create 64 in
   W.encode_request b req;
@@ -26,6 +28,23 @@ let gen_name =
     int_range 1 W.max_name_len >>= fun n ->
     string_size ~gen:(char_range 'a' 'z') (return n))
 
+let gen_delta =
+  QCheck.Gen.(
+    oneof
+      [ (int_range 1 8 >>= fun w ->
+         map
+           (fun l -> Service.Delta.Counter (Array.of_list l))
+           (list_size (return w) (int_bound 1_000_000)));
+        map (fun v -> Service.Delta.Max v) (int_bound 1_000_000) ])
+
+let gen_gossip_entries =
+  QCheck.Gen.(
+    list_size (int_range 0 16) (pair gen_name gen_delta) >>= fun entries ->
+    (* Distinct names keep the comparison structural (duplicates are
+       legal on the wire but make little sense in one frame). *)
+    return
+      (List.sort_uniq (fun (a, _) (b, _) -> compare a b) entries))
+
 let gen_request =
   QCheck.Gen.(
     gen_id >>= fun id ->
@@ -35,7 +54,14 @@ let gen_request =
         map2 (fun name value -> W.Write { id; name; value }) gen_name int;
         map2 (fun name delta -> W.Add { id; name; delta }) gen_name int;
         return (W.Stats { id });
-        return (W.Ping { id }) ])
+        return (W.Ping { id });
+        map2
+          (fun version role -> W.Hello { id; version; role })
+          (int_bound 255)
+          (oneofl [ W.role_client; W.role_peer ]);
+        map2
+          (fun node entries -> W.Gossip { id; node; entries })
+          (int_bound 255) gen_gossip_entries ])
 
 let gen_response =
   QCheck.Gen.(
@@ -48,7 +74,12 @@ let gen_response =
         map
           (fun json -> W.Stats_json { id; json })
           (string_size ~gen:printable (int_bound 200));
-        return (W.Pong { id }) ])
+        return (W.Pong { id });
+        map (fun version -> W.Hello_ok { id; version }) (int_bound 255);
+        map (fun version -> W.Bad_version { id; version }) (int_bound 255);
+        map
+          (fun merged -> W.Gossip_ack { id; merged })
+          (int_bound 0xFFFF) ])
 
 let arb_request = QCheck.make gen_request
 let arb_response = QCheck.make gen_response
@@ -57,11 +88,14 @@ let arb_response = QCheck.make gen_response
 (* Roundtrip properties                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* Generated gossip frames may legally exceed the client cap, so the
+   request properties decode under the peer cap (a superset); the
+   client/peer cap split has its own dedicated tests below. *)
 let prop_request_roundtrip =
   QCheck.Test.make ~count:1000 ~name:"request roundtrip" arb_request
     (fun req ->
       let b = encode_req req in
-      match W.decode_request b ~off:0 ~len:(Bytes.length b) with
+      match W.decode_request_peer b ~off:0 ~len:(Bytes.length b) with
       | W.Decoded (req', consumed) ->
         req' = req && consumed = Bytes.length b
       | _ -> false)
@@ -82,7 +116,7 @@ let prop_request_truncation =
       let b = encode_req req in
       let ok = ref true in
       for len = 0 to Bytes.length b - 1 do
-        match W.decode_request b ~off:0 ~len with
+        match W.decode_request_peer b ~off:0 ~len with
         | W.Need_more -> ()
         | _ -> ok := false
       done;
@@ -98,7 +132,9 @@ let prop_request_offset =
       let off = Buffer.length buf in
       W.encode_request buf b';
       let bytes = Buffer.to_bytes buf in
-      match W.decode_request bytes ~off ~len:(Bytes.length bytes - off) with
+      match
+        W.decode_request_peer bytes ~off ~len:(Bytes.length bytes - off)
+      with
       | W.Decoded (m, consumed) ->
         m = b' && consumed = Bytes.length bytes - off
       | _ -> false)
@@ -174,6 +210,81 @@ let test_name_too_long () =
     (fun () ->
       ignore (encode_req (W.Inc { id = 0; name = String.make 256 'x' })))
 
+(* ------------------------------------------------------------------ *)
+(* Handshake and gossip frames                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_hello_roundtrip () =
+  let hello =
+    W.Hello { id = 7; version = W.protocol_version; role = W.role_peer }
+  in
+  let b = encode_req hello in
+  (match W.decode_request b ~off:0 ~len:(Bytes.length b) with
+   | W.Decoded (req, consumed) ->
+     Alcotest.(check bool) "hello survives the client-cap decoder" true
+       (req = hello && consumed = Bytes.length b)
+   | _ -> Alcotest.fail "HELLO frame did not decode");
+  let ok = encode_resp (W.Hello_ok { id = 7; version = W.protocol_version }) in
+  (match W.decode_response ok ~off:0 ~len:(Bytes.length ok) with
+   | W.Decoded (W.Hello_ok { id = 7; version }, _) ->
+     check Alcotest.int "echoed version" W.protocol_version version
+   | _ -> Alcotest.fail "HELLO_OK did not decode");
+  let bad = encode_resp (W.Bad_version { id = 9; version = 99 }) in
+  match W.decode_response bad ~off:0 ~len:(Bytes.length bad) with
+  | W.Decoded (W.Bad_version { id = 9; version = 99 }, _) -> ()
+  | _ -> Alcotest.fail "BAD_VERSION did not decode"
+
+let test_hello_malformed () =
+  (* HELLO is exactly 7 payload bytes: op, id, version, role. *)
+  expect_malformed "hello truncated payload" (frame_of_payload "\x07AAAA\x02");
+  expect_malformed "hello trailing bytes" (frame_of_payload "\x07AAAA\x02\x00Z")
+
+let test_gossip_malformed () =
+  (* Entry count promises one entry but the payload ends. *)
+  expect_malformed "gossip missing entries"
+    (frame_of_payload "\x08AAAA\x01\x00\x01");
+  (* Entry with an unknown kind tag. *)
+  expect_malformed "gossip bad kind tag"
+    (frame_of_payload "\x08AAAA\x01\x00\x01\x01c\x07");
+  (* Zero-length entry name. *)
+  expect_malformed "gossip empty name"
+    (frame_of_payload "\x08AAAA\x01\x00\x01\x00\x01AAAAAAAA")
+
+(* The role split: one frame, two caps. A gossip frame bigger than the
+   client cap must be rejected by the client decoder before its
+   payload arrives, yet decode fine under the peer cap. *)
+let test_peer_cap_split () =
+  let wide =
+    (* 16 entries x 255-byte names x 8 slots ~ 5.5 KB > 4096. *)
+    List.init 16 (fun i ->
+        (Printf.sprintf "%s%02d" (String.make 253 'g') i,
+         Service.Delta.Counter (Array.make 8 max_int)))
+  in
+  let b = encode_req (W.Gossip { id = 3; node = 1; entries = wide }) in
+  Alcotest.(check bool) "frame exceeds the client cap" true
+    (Bytes.length b - W.header_len > W.max_request_payload);
+  (match W.decode_request b ~off:0 ~len:(Bytes.length b) with
+   | W.Oversized n ->
+     check Alcotest.int "announced length" (Bytes.length b - W.header_len) n
+   | _ -> Alcotest.fail "client decoder accepted a peer-sized frame");
+  match W.decode_request_peer b ~off:0 ~len:(Bytes.length b) with
+  | W.Decoded (W.Gossip { entries; _ }, consumed) ->
+    check Alcotest.int "all entries back" 16 (List.length entries);
+    check Alcotest.int "whole frame consumed" (Bytes.length b) consumed
+  | _ -> Alcotest.fail "peer decoder rejected a legal gossip frame"
+
+let test_gossip_encode_guards () =
+  let entry v = [ ("c0", Service.Delta.Counter (Array.make v 0)) ] in
+  Alcotest.check_raises "vector wider than 255 slots"
+    (Invalid_argument
+       "Wire.encode_request: gossip vector width outside 1..255")
+    (fun () ->
+      ignore (encode_req (W.Gossip { id = 0; node = 0; entries = entry 256 })));
+  Alcotest.check_raises "node id out of byte range"
+    (Invalid_argument "Wire.encode_request: gossip node id outside 0..255")
+    (fun () ->
+      ignore (encode_req (W.Gossip { id = 0; node = 256; entries = entry 1 })))
+
 let () =
   Alcotest.run "service_wire"
     [ ("roundtrip",
@@ -186,4 +297,11 @@ let () =
        [ ("oversized frames", `Quick, test_oversized);
          ("malformed frames", `Quick, test_malformed);
          ("request-size boundary", `Quick, test_max_request_boundary);
-         ("name length cap", `Quick, test_name_too_long) ]) ]
+         ("name length cap", `Quick, test_name_too_long) ]);
+      ("handshake",
+       [ ("hello/hello_ok/bad_version roundtrip", `Quick, test_hello_roundtrip);
+         ("malformed hello", `Quick, test_hello_malformed) ]);
+      ("gossip",
+       [ ("malformed gossip", `Quick, test_gossip_malformed);
+         ("client/peer cap split", `Quick, test_peer_cap_split);
+         ("encode guards", `Quick, test_gossip_encode_guards) ]) ]

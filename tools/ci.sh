@@ -27,8 +27,8 @@ FLOOR=$(awk '/"object":/ { obj = ($2 ~ /kcounter/) }
 echo "   (floor: kcounter read-heavy median >= $FLOOR ops/s)"
 dune exec bin/approx_cli.exe -- bench --smoke --out /tmp/BENCH_ci_smoke.json \
   --check-floor "$FLOOR" > /dev/null
-grep -q '"schema_version": 5' /tmp/BENCH_ci_smoke.json \
-  || { echo "smoke record is not schema_version 5"; exit 1; }
+grep -q '"schema_version": 6' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record is not schema_version 6"; exit 1; }
 grep -q '"fastpath"' /tmp/BENCH_ci_smoke.json \
   || { echo "smoke record missing the fastpath experiment"; exit 1; }
 grep -q '"read_ablation"' /tmp/BENCH_ci_smoke.json \
@@ -47,19 +47,35 @@ grep -q '"poller": "select"' /tmp/BENCH_ci_smoke.json \
   || { echo "smoke record missing the select scale cell"; exit 1; }
 grep -q '"poller_rejects"' /tmp/BENCH_ci_smoke.json \
   || { echo "smoke record missing poller-reject counters"; exit 1; }
+grep -q '"service_cluster"' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record missing the cluster sweep"; exit 1; }
+grep -q '"chaos": true' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record missing the node-kill chaos cell"; exit 1; }
+grep -q '"converged": true' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke cluster cells did not converge"; exit 1; }
+grep -q '"staleness_violations": 0' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke cluster cells violated the staleness envelope"; exit 1; }
 rm -f /tmp/BENCH_ci_smoke.json
 
-echo "== committed BENCH_5 record: schema and poller fields =="
-grep -q '"schema_version": 5' BENCH_5.json \
-  || { echo "BENCH_5.json is not schema_version 5"; exit 1; }
-grep -q '"service_io_scale"' BENCH_5.json \
-  || { echo "BENCH_5.json missing the poller scale sweep"; exit 1; }
-grep -q '"poller": "select"' BENCH_5.json \
-  || { echo "BENCH_5.json missing the select scale cells"; exit 1; }
-grep -q '"connections": 10000' BENCH_5.json \
-  || { echo "BENCH_5.json missing the 10k-connection cell"; exit 1; }
-grep -q '"max_ready_batch"' BENCH_5.json \
-  || { echo "BENCH_5.json missing dispatch-batch observability"; exit 1; }
+echo "== committed BENCH_6 record: schema, poller and cluster fields =="
+grep -q '"schema_version": 6' BENCH_6.json \
+  || { echo "BENCH_6.json is not schema_version 6"; exit 1; }
+grep -q '"service_io_scale"' BENCH_6.json \
+  || { echo "BENCH_6.json missing the poller scale sweep"; exit 1; }
+grep -q '"poller": "select"' BENCH_6.json \
+  || { echo "BENCH_6.json missing the select scale cells"; exit 1; }
+grep -q '"connections": 10000' BENCH_6.json \
+  || { echo "BENCH_6.json missing the 10k-connection cell"; exit 1; }
+grep -q '"max_ready_batch"' BENCH_6.json \
+  || { echo "BENCH_6.json missing dispatch-batch observability"; exit 1; }
+grep -q '"service_cluster"' BENCH_6.json \
+  || { echo "BENCH_6.json missing the cluster sweep"; exit 1; }
+grep -q '"nodes": 3' BENCH_6.json \
+  || { echo "BENCH_6.json missing the 3-node cells"; exit 1; }
+grep -q '"chaos": true' BENCH_6.json \
+  || { echo "BENCH_6.json missing the node-kill chaos cell"; exit 1; }
+grep -q '"gossip_frames_received"' BENCH_6.json \
+  || { echo "BENCH_6.json missing gossip counters"; exit 1; }
 
 echo "== unknown subcommand exits 2 with usage on stderr =="
 set +e
@@ -153,5 +169,79 @@ else
   echo "serve --poller epoll exited $EPOLL_PROBE (want 0 or 2)"; exit 1
 fi
 rm -f /tmp/approx_ci_epoll_err.txt
+
+echo "== 3-node cluster smoke: delta gossip, hard node kill + blank restart =="
+# Exercise the replication plane end to end: three server processes
+# wired as gossip peers, the cluster-aware loadgen fanned out across
+# all of them, one node SIGKILLed mid-run and restarted blank. The
+# loadgen exits nonzero on any op error, so failover correctness is
+# asserted by the exit code; the stats scrape then asserts that every
+# surviving replica kept its widened accuracy self-check clean and
+# that gossip actually flowed.
+EXE=_build/default/bin/approx_cli.exe
+CLBASE=/tmp/approx_ci_cluster_$$
+rm -f "${CLBASE}"_*.sock
+start_node() {
+  N=$1
+  PEERS=""
+  for J in 0 1 2; do
+    [ "$J" = "$N" ] && continue
+    PEERS="${PEERS}${PEERS:+,}${J}=${CLBASE}_${J}.sock"
+  done
+  "$EXE" serve --shards 2 --io-domains 1 --counters 4 -k 4 \
+    --node-id "$N" --nodes 3 --replicas 2 --gossip-interval-ms 10 \
+    --staleness 2 --peers "$PEERS" --unix "${CLBASE}_${N}.sock" \
+    --duration 120 &
+  eval "NODE${N}_PID=\$!"
+}
+for N in 0 1 2; do start_node "$N"; done
+trap 'kill $NODE0_PID $NODE1_PID $NODE2_PID 2>/dev/null || true' EXIT
+for N in 0 1 2; do
+  for _ in $(seq 1 100); do
+    [ -S "${CLBASE}_${N}.sock" ] && break
+    sleep 0.1
+  done
+  [ -S "${CLBASE}_${N}.sock" ] \
+    || { echo "cluster node $N socket never appeared"; exit 1; }
+done
+CLNODES="${CLBASE}_0.sock,${CLBASE}_1.sock,${CLBASE}_2.sock"
+"$EXE" loadgen --nodes "$CLNODES" --replicas 2 --connections 6 \
+  --ops 60000 --pipeline 8 --mix 2:7:1 --max-reconnects 8 \
+  > /tmp/approx_ci_cluster_lg.txt &
+LG_PID=$!
+sleep 0.6
+kill -9 "$NODE1_PID" 2>/dev/null || true
+wait "$NODE1_PID" 2>/dev/null || true
+sleep 0.4
+start_node 1
+wait "$LG_PID" \
+  || { echo "cluster loadgen reported op errors under chaos"; \
+       cat /tmp/approx_ci_cluster_lg.txt; exit 1; }
+grep -q " 0 errors" /tmp/approx_ci_cluster_lg.txt \
+  || { echo "cluster loadgen summary reports errors"; \
+       cat /tmp/approx_ci_cluster_lg.txt; exit 1; }
+grep -q " 0 reconnects" /tmp/approx_ci_cluster_lg.txt \
+  && { echo "node kill produced no loadgen reconnects"; \
+       cat /tmp/approx_ci_cluster_lg.txt; exit 1; }
+# Let gossip re-teach the restarted node, then scrape every replica.
+sleep 0.5
+GOSSIP_SENT=0
+for N in 0 1 2; do
+  "$EXE" stats --unix "${CLBASE}_${N}.sock" > /tmp/approx_ci_cluster_stats.json
+  grep -q '"acc_violations_total": 0' /tmp/approx_ci_cluster_stats.json \
+    || { echo "node $N violated the widened accuracy envelope"; exit 1; }
+  grep -q '"nodes": 3' /tmp/approx_ci_cluster_stats.json \
+    || { echo "node $N stats missing cluster topology"; exit 1; }
+  if ! grep -q '"gossip_frames_sent": 0,' /tmp/approx_ci_cluster_stats.json; then
+    GOSSIP_SENT=$((GOSSIP_SENT + 1))
+  fi
+done
+[ "$GOSSIP_SENT" -ge 2 ] \
+  || { echo "gossip never flowed ($GOSSIP_SENT nodes sent frames)"; exit 1; }
+kill "$NODE0_PID" "$NODE1_PID" "$NODE2_PID" 2>/dev/null || true
+wait "$NODE0_PID" "$NODE1_PID" "$NODE2_PID" 2>/dev/null || true
+trap - EXIT
+rm -f "${CLBASE}"_*.sock /tmp/approx_ci_cluster_lg.txt \
+  /tmp/approx_ci_cluster_stats.json
 
 echo "CI checks passed."
