@@ -1024,6 +1024,12 @@ let usage_to_stderr () =
   prerr_endline "run 'approx_cli COMMAND --help' for details"
 
 let () =
+  (* A dead server end must surface as EPIPE on the write (loadgen
+     reconnects, one-shot clients report the error) — not kill the
+     process. Signal disposition is process-global state, so it is set
+     here at the binary entry; the library modules never touch it. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   (* An unknown (or missing) subcommand prints usage to stderr and
      exits 2 — not cmdliner's generic CLI-error status. Unambiguous
      command prefixes still reach cmdliner's own resolution. *)

@@ -72,10 +72,6 @@ let roundtrip t req =
 exception Version_mismatch of { server : int; client : int }
 
 let connect ?(role = `Client) addr =
-  (* A server that dies under us must surface as EPIPE on the write
-     (callers fail over on Unix_error), not kill the process. *)
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-   with Invalid_argument _ -> ());
   let domain = Unix.domain_of_sockaddr addr in
   let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
   (try Unix.connect fd addr

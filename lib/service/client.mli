@@ -32,6 +32,11 @@ val connect : ?role:role -> Unix.sockaddr -> t
 (** Connect and complete the HELLO handshake. [`Peer] negotiates the
     replication role (unlocks GOSSIP and the large peer frame cap);
     the default [`Client] is an ordinary client connection.
+
+    The library never alters process-global signal state: unless the
+    host process ignores SIGPIPE (as the [approx_cli] binary does at
+    entry), a write to a connection the server has closed kills the
+    process instead of raising [EPIPE].
     @raise Unix.Unix_error if the server is unreachable;
     @raise Version_mismatch on a protocol-version mismatch. *)
 

@@ -105,10 +105,15 @@ let send_to_peer st p entries =
 let tick st =
   let c = st.cluster in
   c.g_rounds <- c.g_rounds + 1;
-  let full = c.g_rounds mod full_sync_period = 0 in
+  (* The first round counts as a full sync too: a freshly started
+     cluster announces everything at once instead of waiting out the
+     anti-entropy period, and those first frames carry the own-slot
+     echoes a restarted peer needs to close its recovery window. *)
+  let full = c.g_rounds = 1 || c.g_rounds mod full_sync_period = 0 in
   if full then c.g_full_syncs <- c.g_full_syncs + 1;
+  let objs = Objects.to_list st.table in
   (* Export once per object; the dirty flag is consumed here and
-     restored below if any peer misses the frame. *)
+     restored below if a connected peer misses the frame. *)
   let picked =
     List.filter_map
       (fun o ->
@@ -116,25 +121,44 @@ let tick st =
         if full || dirty then
           Some (o, ((Objects.spec o).Objects.name, Objects.export_delta o))
         else None)
-      (Objects.to_list st.table)
+      objs
   in
-  if picked <> [] then begin
-    let all_ok =
-      List.fold_left
-        (fun ok p ->
-          let share =
-            List.filter
-              (fun (_, (name, _)) ->
-                Placement.hosts st.placement ~node:p.p_node name)
-              picked
-          in
-          if share = [] then ok
-          else send_to_peer st p (List.map snd share) && ok)
-        true st.peers
-    in
-    if all_ok then List.iter (fun (o, _) -> Objects.mark_exported o) picked
+  (* A peer with no live connection gets the full hosted set instead
+     of the dirty share, every tick until a send lands: the other end
+     may have restarted blank, and only a full send is guaranteed to
+     carry every object — and so the peer's own pre-crash slots —
+     back to it. Forced lazily; at steady state every peer is
+     connected and this is never built. *)
+  let full_export =
+    lazy
+      (List.map
+         (fun o -> ((Objects.spec o).Objects.name, Objects.export_delta o))
+         objs)
+  in
+  let dirty_ok = ref true in
+  List.iter
+    (fun p ->
+      let hosts name = Placement.hosts st.placement ~node:p.p_node name in
+      if p.p_client = None then begin
+        (* A failure needs no bookkeeping: the peer stays unconnected
+           and the next tick retries the full send. *)
+        let share =
+          List.filter (fun (name, _) -> hosts name) (Lazy.force full_export)
+        in
+        if share <> [] then ignore (send_to_peer st p share)
+      end
+      else if picked <> [] then begin
+        let share =
+          List.filter_map
+            (fun (_, (name, d)) -> if hosts name then Some (name, d) else None)
+            picked
+        in
+        if share <> [] && not (send_to_peer st p share) then dirty_ok := false
+      end)
+    st.peers;
+  if picked <> [] then
+    if !dirty_ok then List.iter (fun (o, _) -> Objects.mark_exported o) picked
     else List.iter (fun (o, _) -> Objects.mark_dirty o) picked
-  end
 
 let run st =
   let interval = float_of_int st.interval_ms /. 1000.0 in
@@ -152,10 +176,17 @@ let run st =
   while not (Atomic.get st.stop) do
     (match Unix.select [ st.wake_r ] [] [] interval with
      | [ _ ], _, _ ->
-       (* Clear the kick before draining: a boundary crossed during
-          this tick re-kicks and is picked up next round. *)
-       Atomic.set st.kick false;
-       drain_wake ()
+       (* Drain the pipe first, then clear the flag. The reverse order
+          loses wakeups: a kick arriving between the clear and the end
+          of the drain would have its byte eaten while leaving [kick]
+          true, and with [kick] stuck true every later boundary
+          crossing sees "already kicked" and never writes the pipe —
+          eager gossip silently degrades to the periodic timer. This
+          order can only err the other way: a byte written after the
+          clear is left in the pipe and wakes the next select
+          immediately, which is one harmless extra tick. *)
+       drain_wake ();
+       Atomic.set st.kick false
      | _ -> ()
      | exception Unix.Unix_error (EINTR, _, _) -> ());
     if not (Atomic.get st.stop) then tick st

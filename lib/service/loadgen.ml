@@ -441,10 +441,6 @@ let run ~addrs cfg =
     invalid_arg "Loadgen.run: ramp_conns_per_tick < 0";
   if cfg.replicas < 1 then invalid_arg "Loadgen.run: replicas < 1";
   if cfg.max_reconnects < 0 then invalid_arg "Loadgen.run: max_reconnects < 0";
-  (* A killed node must surface as EPIPE/ECONNRESET on the write —
-     reconnect fuel, not a process-killing signal. *)
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-   with Invalid_argument _ -> ());
   ignore (Rlimit.raise_nofile ());
   let addrs = Array.of_list addrs in
   let workers =

@@ -83,4 +83,9 @@ val run : addrs:Unix.sockaddr list -> config -> result
     barrier, connect (paced), run to completion, merge per-worker
     results. [addrs] lists every cluster node in node-id order (a
     single element = the standalone server).
+
+    The host process should ignore SIGPIPE (the [approx_cli] binary
+    does, at entry): this module treats a dead server end as reconnect
+    fuel via [EPIPE]/[ECONNRESET], but never mutates process-global
+    signal state itself.
     @raise Invalid_argument on a nonsensical config or empty [addrs]. *)

@@ -19,6 +19,7 @@ type obj = {
   mutable cache_misses : int;
   mutable repl_own_total : int;
   mutable repl_known : int;
+  mutable repl_recovering : bool;  (* restart-base recovery window open *)
 }
 
 type shard = {
@@ -159,7 +160,8 @@ let add_obj t ~name ~kind ~k ~shard =
         cache_hits = 0;
         cache_misses = 0;
         repl_own_total = 0;
-        repl_known = 0 }
+        repl_known = 0;
+        repl_recovering = false }
   in
   t.objs <- o :: t.objs;
   o
@@ -220,7 +222,8 @@ let obj_json o =
       ("cache_hits", J.Int o.cache_hits);
       ("cache_misses", J.Int o.cache_misses);
       ("repl_own_total", J.Int o.repl_own_total);
-      ("repl_known", J.Int o.repl_known) ]
+      ("repl_known", J.Int o.repl_known);
+      ("repl_recovering", J.Bool o.repl_recovering) ]
 
 let shard_json s =
   J.Obj

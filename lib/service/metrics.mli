@@ -46,6 +46,10 @@ type obj = {
       (** The node's full merged view: own contribution joined with
           every gossiped remote delta — what the widened-envelope
           accuracy self-check compares served reads against. *)
+  mutable repl_recovering : bool;
+      (** Restart-base recovery window still open: the object's own
+          slot is withheld from gossip exports until a peer echoes its
+          pre-crash contribution back ({!Objects.begin_recovery}). *)
 }
 
 type shard = {

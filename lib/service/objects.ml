@@ -63,6 +63,7 @@ type obj = {
   mutable batch_value : int;
   mutable batch_stamp : int;  (* drain stamp of batch_value; -1 = none *)
   mutable r_base : int;  (* own contribution recovered from peers after restart *)
+  mutable r_recovering : bool;  (* withhold own slot until the first echo *)
   r_vec : int array;  (* merged remote slots (own slot unused) *)
   mutable r_remote : int;  (* cached r_base + sum of remote slots *)
   mutable r_max_remote : int;  (* merged remote max (max kinds) *)
@@ -122,6 +123,7 @@ let build ?(nodes = 1) ?(node_id = 0) ~metrics ~shards specs =
             batch_value = 0;
             batch_stamp = -1;
             r_base = 0;
+            r_recovering = false;
             r_vec = Array.make nodes 0;
             r_remote = 0;
             r_max_remote = 0;
@@ -163,7 +165,33 @@ let known o =
 
 let refresh_repl o =
   o.o_stats.repl_own_total <- own_total o;
-  o.o_stats.repl_known <- known o
+  o.o_stats.repl_known <- known o;
+  o.o_stats.repl_recovering <- o.r_recovering
+
+(* Restart-base recovery. A blank node cannot tell its pre-crash
+   contribution T apart from post-restart increments, and a peer's
+   echo of its slot cannot either — so the two epochs must never be
+   reconciled by subtraction while both are moving. Instead the node
+   starts [recovering]: it keeps serving clients (increments apply
+   locally as usual) but exports only [r_base] in its own slot, never
+   the mixed [own_total]. Peer echoes therefore stay purely pre-crash
+   and recovery is plain [max] into [r_base]; the first echo ends the
+   window and unlocks [own_total] exports, so nothing acked during the
+   window is lost. The server arms this only for clustered counters
+   that some configured peer also hosts — an un-replicated object has
+   no echo to wait for. *)
+let begin_recovery o =
+  if is_counter_obj o && o.o_nodes > 1 then begin
+    o.r_recovering <- true;
+    refresh_repl o
+  end
+
+let recovering o = o.r_recovering
+
+(* The own-slot value gossip may carry: the recovered base alone while
+   recovering, the full own contribution after. Read racily by the
+   gossip sender — both stale answers are monotone lower bounds. *)
+let own_export o = if o.r_recovering then o.r_base else own_total o
 
 (* Standalone servers skip the dirty flag entirely — nothing drains
    it — keeping the single-node hot path byte-identical. *)
@@ -178,12 +206,25 @@ let merge_delta o (d : Delta.t) =
     let changed = ref false in
     for j = 0 to o.o_nodes - 1 do
       if j = self then begin
-        (* Our own slot echoed back: after a restart it carries
-           contributions we applied in a past life — recover them as a
-           base so the cluster total is not double-counted or lost. *)
-        let recovered = v.(j) - own_applied o in
+        (* Our own slot echoed back: while recovering it is purely
+           pre-crash state (we export only [r_base], see
+           [begin_recovery]), so the base is a plain max. Afterwards
+           every echo should sit at or below [own_total]; one that
+           does not proves a pre-crash contribution this node still
+           has not claimed, and the subtraction conservatively folds
+           the excess into the base. *)
+        let recovered =
+          if o.r_recovering then v.(j) else v.(j) - own_applied o
+        in
         if recovered > o.r_base then begin
           o.r_base <- recovered;
+          changed := true
+        end;
+        if o.r_recovering then begin
+          (* First echo: the recovery window closes and the withheld
+             own contribution becomes exportable — mark dirty so the
+             next tick ships it. *)
+          o.r_recovering <- false;
           changed := true
         end
       end
@@ -217,18 +258,20 @@ let export_delta o =
   if is_counter_obj o then
     Delta.Counter
       (Array.init o.o_nodes (fun j ->
-           if j = o.o_node then own_total o else o.r_vec.(j)))
+           if j = o.o_node then own_export o else o.r_vec.(j)))
   else Delta.Max (max (own_applied o) o.r_max_remote)
 
 (* Has our own contribution grown past the staleness budget since the
    last export? Crossing it wakes the gossip sender early, so a peer
-   that merged the previous export still holds >= own/k_staleness. *)
+   that merged the previous export still holds >= own/k_staleness.
+   Quiet while recovering: the own slot is withheld from exports, so
+   kicking the sender could not narrow the gap anyway. *)
 let boundary_crossed o ~k_staleness =
   let own = own_total o in
-  own > 0 && own >= k_staleness * o.r_last_sent
+  (not o.r_recovering) && own > 0 && own >= k_staleness * o.r_last_sent
 
 let take_dirty o = Atomic.exchange o.r_gossip_dirty false
-let mark_exported o = o.r_last_sent <- own_total o
+let mark_exported o = o.r_last_sent <- own_export o
 let last_sent o = o.r_last_sent
 
 (* ------------------------------------------------------------------ *)

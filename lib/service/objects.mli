@@ -92,10 +92,24 @@ val to_list : table -> obj list
 val merge_delta : obj -> Delta.t -> bool
 (** Join a gossiped delta into the object (owning shard only). The
     sender's view of {e this} node's slot recovers a restart base:
-    own-slot excess over locally applied increments is added to the
-    object's base so a restarted node re-learns its own pre-crash
-    contribution from its peers. [false] (and a recorded reject) on a
-    kind or vector-width mismatch. *)
+    while {!recovering} the echo is purely pre-crash state (the own
+    slot is withheld from exports), so it folds into the base by plain
+    [max] and the first echo closes the recovery window; afterwards
+    only own-slot excess over [own_total] is folded in. [false] (and a
+    recorded reject) on a kind or vector-width mismatch. *)
+
+val begin_recovery : obj -> unit
+(** Arm restart-base recovery (build phase, clustered counters only;
+    a no-op otherwise): until the first own-slot echo is merged, the
+    object exports only its recovered base in its own slot — never the
+    mix of base and post-restart increments — so pre- and post-crash
+    epochs are never reconciled by subtraction while clients write.
+    Callers must only arm objects some peer also hosts: without a
+    possible echo the window would never close and the node's own
+    contribution would stay withheld from the cluster. *)
+
+val recovering : obj -> bool
+(** Whether the object is still waiting for its first own-slot echo. *)
 
 val export_delta : obj -> Delta.t
 (** The object's current merged state as a gossip payload. *)
@@ -126,7 +140,7 @@ val mark_dirty : obj -> unit
     retries (merges are idempotent, resending is always safe). *)
 
 val mark_exported : obj -> unit
-(** Record the own-total just exported (gossip sender only). *)
+(** Record the own-slot value just exported (gossip sender only). *)
 
 val last_sent : obj -> int
 

@@ -354,15 +354,35 @@ let dispatch t (il : Metrics.io_loop) conn req =
   in
   match req with
   | Wire.Hello { id; version; role } ->
-    if version <> Wire.protocol_version then begin
+    if conn.c_role <> Pending then begin
+      (* A repeated HELLO could silently switch an established
+         connection's role (and with it the inbound frame cap):
+         a protocol violation, not a renegotiation. *)
+      il.l_protocol_errors <- il.l_protocol_errors + 1;
+      close_conn t conn
+    end
+    else if version <> Wire.protocol_version then begin
       (* Typed rejection, then a clean close once it is flushed. *)
       il.l_hello_rejects <- il.l_hello_rejects + 1;
       conn.c_close_after_flush <- true;
       enqueue_response conn
         (Wire.Bad_version { id; version = Wire.protocol_version })
     end
+    else if
+      (role <> Wire.role_client && role <> Wire.role_peer)
+      || (role = Wire.role_peer && t.cfg.nodes < 2)
+    then begin
+      (* Unknown role bytes never default to anything, and the peer
+         role — which unlocks the 1 MiB frame cap and GOSSIP merges —
+         is refused outright on a standalone server. Clustered servers
+         accept it from any connection: gossip assumes a trusted
+         network (see server.mli). *)
+      il.l_hello_rejects <- il.l_hello_rejects + 1;
+      conn.c_close_after_flush <- true;
+      enqueue_response conn (Wire.Bad_request { id })
+    end
     else begin
-      if conn.c_role = Pending then il.l_hellos <- il.l_hellos + 1;
+      il.l_hellos <- il.l_hellos + 1;
       conn.c_role <-
         (if role = Wire.role_peer then Peer_role else Client_role);
       enqueue_response conn
@@ -780,6 +800,23 @@ let start ?(config = default_config) ~listen () =
     Objects.build ~nodes:config.nodes ~node_id:config.node_id ~metrics
       ~shards:config.shards hosted
   in
+  (* A blank clustered node cannot tell a fresh start from a restart,
+     so every replicated counter opens in the recovery window: its own
+     slot is withheld from gossip exports until a peer echoes the
+     (possibly pre-crash) contribution back, keeping the two epochs
+     from being reconciled by subtraction while clients write. Only
+     armed where an echo can actually arrive — some configured peer
+     must also host the object. *)
+  if config.nodes > 1 && config.peers <> [] then
+    List.iter
+      (fun o ->
+        if
+          List.exists
+            (fun (node, _) ->
+              Placement.hosts placement ~node (Objects.spec o).Objects.name)
+            config.peers
+        then Objects.begin_recovery o)
+      (Objects.to_list table);
   (* Size the accept backlog with max_conns so a connect burst from a
      ramping load generator queues instead of shedding SYNs; the
      kernel clamps to net.core.somaxconn. *)

@@ -49,7 +49,16 @@
     [gossip_interval_ms] — or eagerly, when a shard observes an
     object's own contribution growing past [k_staleness] times the
     last export, which bounds the cluster-wide factor of any replica's
-    read at [k_local * k_staleness]. *)
+    read at [k_local * k_staleness].
+
+    The peer role is {e authorised by network position, not by
+    credential}: any connection that completes a peer-role HELLO on a
+    clustered node may send GOSSIP, and counter merges are monotone
+    and irreversible. Peer listen addresses must therefore only be
+    reachable over a trusted network (loopback, a private segment, or
+    an authenticated tunnel). Standalone servers ([nodes = 1]) reject
+    peer-role HELLOs outright, as they reject a repeated HELLO or an
+    unknown role byte on any node. *)
 
 type listen =
   [ `Unix of string  (** Unix-domain socket path (stale path unlinked). *)

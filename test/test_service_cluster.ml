@@ -231,6 +231,68 @@ let test_objects_boundary_flag () =
   Alcotest.(check bool) "k_staleness-fold growth crosses (10 >= 2*5)" true
     (Service.Objects.boundary_crossed o ~k_staleness:2)
 
+(* A restarted node must not reconcile its pre-crash contribution
+   (echoed back by a peer) against post-restart increments by
+   subtraction: during the recovery window the own slot is withheld
+   from exports, the echo folds into the base by plain max, and acked
+   post-restart increments ride on top untouched. *)
+let test_objects_restart_recovery () =
+  (* Pre-crash epoch: node0 had contributed 25, and node1 holds the
+     echo of that slot. *)
+  let t1 = build_node ~node_id:1 ~nodes:2 in
+  let o1 = Option.get (Service.Objects.find t1 "c0") in
+  let pre_crash = D.Counter [| 25; 0 |] in
+  Alcotest.(check bool) "peer learned the pre-crash slot" true
+    (Service.Objects.merge_delta o1 pre_crash);
+  (* node0 restarts blank, armed for recovery. *)
+  let t0 = build_node ~node_id:0 ~nodes:2 in
+  let o0 = Option.get (Service.Objects.find t0 "c0") in
+  Service.Objects.begin_recovery o0;
+  Alcotest.(check bool) "recovery window open" true
+    (Service.Objects.recovering o0);
+  (* Clients keep writing through the window: applied and acked... *)
+  for _ = 1 to 7 do
+    ignore (Service.Objects.defer o0 ~via_add:false 1)
+  done;
+  Service.Objects.apply_pending o0 ~pid:0;
+  check Alcotest.int "post-restart increments applied locally" 7
+    (Service.Objects.own_total o0);
+  (* ...but withheld from exports, so any echo stays pre-crash pure. *)
+  (match Service.Objects.export_delta o0 with
+   | D.Counter v ->
+     check Alcotest.int "own slot withheld while recovering" 0 v.(0)
+   | D.Max _ -> Alcotest.fail "counter exported a max delta");
+  Alcotest.(check bool) "no eager kick while recovering" false
+    (Service.Objects.boundary_crossed o0 ~k_staleness:2);
+  (* The first own-slot echo recovers the base and closes the window;
+     the acked increments are preserved on top of it. *)
+  Alcotest.(check bool) "echo merged" true
+    (Service.Objects.merge_delta o0 (Service.Objects.export_delta o1));
+  Alcotest.(check bool) "recovery window closed" false
+    (Service.Objects.recovering o0);
+  check Alcotest.int "base + post-restart increments" 32
+    (Service.Objects.own_total o0);
+  (match Service.Objects.export_delta o0 with
+   | D.Counter v ->
+     check Alcotest.int "own slot exported after recovery" 32 v.(0)
+   | D.Max _ -> Alcotest.fail "counter exported a max delta");
+  (* A stale replay of the echo after the flip must not regress. *)
+  Alcotest.(check bool) "stale echo replay accepted" true
+    (Service.Objects.merge_delta o0 pre_crash);
+  check Alcotest.int "replay does not regress own_total" 32
+    (Service.Objects.own_total o0);
+  (* Standalone nodes and non-counters never arm. *)
+  let ts = build_node ~node_id:0 ~nodes:1 in
+  let os = Option.get (Service.Objects.find ts "c0") in
+  Service.Objects.begin_recovery os;
+  Alcotest.(check bool) "standalone node never recovers" false
+    (Service.Objects.recovering os);
+  let tm = build_node ~node_id:0 ~nodes:2 in
+  let om = Option.get (Service.Objects.find tm "kmaxreg") in
+  Service.Objects.begin_recovery om;
+  Alcotest.(check bool) "max register never recovers" false
+    (Service.Objects.recovering om)
+
 (* ------------------------------------------------------------------ *)
 (* HELLO gate                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -304,6 +366,71 @@ let test_hello_gate_bad_version () =
           | other ->
             Alcotest.failf "expected exactly one BAD_VERSION, got %d frames"
               (List.length other)))
+
+let test_hello_gate_repeated_hello () =
+  with_server (fun srv ->
+      let fd = raw_connect srv in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          raw_send fd
+            (W.Hello { id = 1; version = W.protocol_version; role = W.role_client });
+          raw_send fd
+            (W.Hello { id = 2; version = W.protocol_version; role = W.role_client });
+          (* The second HELLO closes the connection as a protocol
+             error; whether the first HELLO_OK was flushed before the
+             close depends on read batching, so accept both shapes. *)
+          match raw_drain fd with
+          | [] | [ W.Hello_ok { id = 1; _ } ] -> ()
+          | other ->
+            Alcotest.failf "expected at most HELLO_OK then close, got %d frames"
+              (List.length other));
+      Alcotest.(check bool) "repeat counted as a protocol error" true
+        (Service.Metrics.protocol_errors (Srv.metrics srv) >= 1))
+
+let test_hello_gate_unknown_role () =
+  with_server (fun srv ->
+      let fd = raw_connect srv in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* [encode_request] refuses bad role bytes, so craft the
+             frame by hand: length 7, op 7, id, version, role 9. *)
+          let b = Buffer.create 16 in
+          Buffer.add_int32_be b 7l;
+          Buffer.add_uint8 b 7;
+          Buffer.add_int32_be b 3l;
+          Buffer.add_uint8 b W.protocol_version;
+          Buffer.add_uint8 b 9;
+          let bytes = Buffer.to_bytes b in
+          ignore (Unix.write fd bytes 0 (Bytes.length bytes));
+          match raw_drain fd with
+          | [ W.Bad_request { id = 3 } ] -> ()
+          | other ->
+            Alcotest.failf "expected BAD_REQUEST for role 9, got %d frames"
+              (List.length other));
+      Alcotest.(check bool) "rejection counted" true
+        (Service.Metrics.hello_rejects (Srv.metrics srv) >= 1))
+
+let test_hello_gate_peer_role_standalone () =
+  with_server (fun srv ->
+      (* A standalone server has no peers, so nothing may claim the
+         peer role (and its 1 MiB frame budget). *)
+      let fd = raw_connect srv in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          raw_send fd
+            (W.Hello { id = 4; version = W.protocol_version; role = W.role_peer });
+          match raw_drain fd with
+          | [ W.Bad_request { id = 4 } ] -> ()
+          | other ->
+            Alcotest.failf
+              "expected BAD_REQUEST for peer role on a standalone server, \
+               got %d frames"
+              (List.length other));
+      Alcotest.(check bool) "rejection counted" true
+        (Service.Metrics.hello_rejects (Srv.metrics srv) >= 1))
 
 let test_gossip_requires_peer_role () =
   with_server (fun srv ->
@@ -442,6 +569,34 @@ let test_cluster_node_kill_and_restart () =
           Alcotest.(check bool) "reads converge after the restart" true
             (Zmath.within_k ~k:k_total ~exact:!exact
                (Cl.Cluster.read_value cc "c0"));
+          (* Exact convergence, not just envelope membership: every
+             owner's merged view of c0 must equal the client-side op
+             count. This is the discriminating check for restart-base
+             recovery — increments acked by the restarted node before
+             its first own-slot echo would otherwise vanish from every
+             replica, and the envelope check alone absorbs the loss. *)
+          let owners_converged () =
+            Array.for_all
+              (fun s ->
+                match s with
+                | None -> true
+                | Some srv -> (
+                  match Service.Objects.find (Srv.table srv) "c0" with
+                  | None -> true
+                  | Some o -> Service.Objects.known o = !exact))
+              servers
+          in
+          let rec await n =
+            owners_converged ()
+            ||
+            (n > 0
+             &&
+             (quiesce ();
+              await (n - 1)))
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "every owner's merged view equals %d" !exact)
+            true (await 10);
           Alcotest.(check bool) "failovers were exercised" true
             (Cl.Cluster.failovers cc > 0)))
 
@@ -487,11 +642,18 @@ let () =
            prop_replay_never_overshoots ]);
       ("object merge",
        [ ("export/merge roundtrip", `Quick, test_objects_merge_roundtrip);
-         ("staleness boundary flag", `Quick, test_objects_boundary_flag) ]);
+         ("staleness boundary flag", `Quick, test_objects_boundary_flag);
+         ("restart-base recovery", `Quick, test_objects_restart_recovery) ]);
       ("handshake gate",
        [ ("ops before HELLO are rejected", `Quick,
           test_hello_gate_rejects_early_ops);
          ("version mismatch", `Quick, test_hello_gate_bad_version);
+         ("repeated HELLO closes the connection", `Quick,
+          test_hello_gate_repeated_hello);
+         ("unknown role byte is rejected", `Quick,
+          test_hello_gate_unknown_role);
+         ("peer role needs a cluster", `Quick,
+          test_hello_gate_peer_role_standalone);
          ("gossip needs the peer role", `Quick,
           test_gossip_requires_peer_role) ]);
       ("cluster",
