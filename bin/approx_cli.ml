@@ -498,7 +498,7 @@ let bench_cmd =
                    two up to the recognized core count).")
   in
   let out_arg =
-    Arg.(value & opt string "BENCH_6.json"
+    Arg.(value & opt string "BENCH_7.json"
          & info [ "out" ] ~docv:"FILE" ~doc:"Output JSON path.")
   in
   let smoke_arg =
@@ -606,9 +606,24 @@ let parse_peers s =
     if List.exists Option.is_none parsed then None
     else Some (List.map Option.get parsed)
 
+(* --fsync never | interval-ms:N | every-n-records:N *)
+let parse_fsync s =
+  if s = "never" then Some Persist.Wal.Never
+  else
+    match String.index_opt s ':' with
+    | None -> None
+    | Some colon ->
+      let key = String.sub s 0 colon in
+      let v = String.sub s (colon + 1) (String.length s - colon - 1) in
+      (match (key, int_of_string_opt v) with
+       | "interval-ms", Some n when n >= 1 -> Some (Persist.Wal.Interval_ms n)
+       | "every-n-records", Some n when n >= 1 -> Some (Persist.Wal.Every_n n)
+       | _ -> None)
+
 let run_serve shards io_domains queue_capacity max_batch max_pending max_conns
     poller unix tcp counters k duration node_id nodes replicas
-    gossip_interval_ms k_staleness peers_spec =
+    gossip_interval_ms k_staleness peers_spec data_dir fsync_spec
+    snapshot_interval_ms =
   if shards < 1 || io_domains < 1 || counters < 1 || k < 2
      || queue_capacity < 1 || max_batch < 1 || max_pending < 1
      || max_conns < 1
@@ -625,8 +640,20 @@ let run_serve shards io_domains queue_capacity max_batch max_pending max_conns
                    k-staleness >= 1";
     2
   end
+  else if snapshot_interval_ms < 0 then begin
+    prerr_endline "serve: snapshot-interval-ms must be >= 0 (0 disables)";
+    2
+  end
   else if not (check_poller "serve" poller) then 2
   else begin
+    match parse_fsync fsync_spec with
+    | None ->
+      Printf.eprintf
+        "serve: malformed --fsync %S (expected never, interval-ms:N or \
+         every-n-records:N)\n"
+        fsync_spec;
+      2
+    | Some fsync ->
     match parse_peers peers_spec with
     | None ->
       Printf.eprintf
@@ -649,7 +676,11 @@ let run_serve shards io_domains queue_capacity max_batch max_pending max_conns
         replicas;
         gossip_interval_ms;
         k_staleness;
-        peers }
+        peers;
+        data_dir = (if data_dir = "" then None else Some data_dir);
+        fsync;
+        snapshot_interval_ms;
+        wal_every_op = false }
     in
     let listen =
       match tcp with
@@ -683,6 +714,22 @@ let run_serve shards io_domains queue_capacity max_batch max_pending max_conns
          k-staleness=%d, %d peer(s)\n%!"
         node_id nodes replicas gossip_interval_ms k_staleness
         (List.length peers);
+    (match config.data_dir with
+    | Some dir ->
+      let d = Service.Metrics.durability (Service.Server.metrics srv) in
+      Printf.printf
+        "durability: data-dir=%s, fsync=%s, snapshots every %d ms; \
+         recovered %d log record(s), snapshot %s%s\n%!"
+        dir
+        (Persist.Wal.policy_to_string fsync)
+        snapshot_interval_ms
+        d.Service.Metrics.d_recovery_replayed_records
+        (if d.Service.Metrics.d_recovery_snapshot_loaded then "loaded"
+         else "absent")
+        (if d.Service.Metrics.d_torn_tail_truncated > 0 then
+           ", torn tail truncated"
+         else "")
+    | None -> ());
     let stop = ref false in
     let handler = Sys.Signal_handle (fun _ -> stop := true) in
     Sys.set_signal Sys.sigint handler;
@@ -769,6 +816,28 @@ let serve_cmd =
              ~doc:"Peer nodes as $(b,ID=HOST:PORT) or $(b,ID=UNIX_PATH), \
                    comma-separated (every node except this one).")
   in
+  let data_dir_arg =
+    Arg.(value & opt string ""
+         & info [ "data-dir" ] ~docv:"DIR"
+             ~doc:"Durability root: replay $(docv)'s snapshot + delta log \
+                   at start, then log envelope-crossing deltas and write \
+                   periodic fuzzy snapshots into it. Empty = no \
+                   persistence.")
+  in
+  let fsync_arg =
+    Arg.(value & opt string "never"
+         & info [ "fsync" ] ~docv:"POLICY"
+             ~doc:"WAL fsync policy: $(b,never), $(b,interval-ms:N) or \
+                   $(b,every-n-records:N). Unsynced data still survives \
+                   kill -9 (page cache); fsync narrows the power-loss \
+                   window.")
+  in
+  let snapshot_arg =
+    Arg.(value & opt int 1000
+         & info [ "snapshot-interval-ms" ] ~docv:"MS"
+             ~doc:"Fuzzy-snapshot cadence (0 disables periodic snapshots; \
+                   the shutdown snapshot still runs).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Host approximate objects behind the binary wire protocol \
@@ -778,7 +847,7 @@ let serve_cmd =
           $ batch_arg $ pending_arg $ max_conns_arg $ poller_arg $ unix_arg
           $ tcp_arg $ counters_arg $ k_arg $ duration_arg $ node_id_arg
           $ nodes_arg $ replicas_arg $ gossip_arg $ k_staleness_arg
-          $ peers_arg)
+          $ peers_arg $ data_dir_arg $ fsync_arg $ snapshot_arg)
 
 (* --mix R:I:A — relative read:inc:add weights, normalized to permille
    (e.g. 8:1:1 is 800 reads, 100 incs, 100 adds per 1000 ops). *)
@@ -821,8 +890,8 @@ let parse_node_addrs s =
     else Some (List.map Option.get parsed)
 
 let run_loadgen unix tcp connections ops pipeline read_permille mix add_delta
-    targets seed workers ramp poller min_throughput nodes_spec replicas
-    max_reconnects =
+    targets zipf seed workers ramp poller min_throughput slo_p99_us nodes_spec
+    replicas max_reconnects json =
   let mix_permilles =
     match mix with
     | None -> Some (read_permille, 0)
@@ -855,6 +924,7 @@ let run_loadgen unix tcp connections ops pipeline read_permille mix add_delta
       read_permille;
       add_permille;
       add_delta;
+      zipf_s = zipf;
       seed;
       workers;
       ramp_conns_per_tick = ramp;
@@ -874,6 +944,10 @@ let run_loadgen unix tcp connections ops pipeline read_permille mix add_delta
                    add-delta/max-reconnects >= 0";
     2
   end
+  else if not (Float.is_finite zipf) || zipf < 0.0 then begin
+    prerr_endline "loadgen: --zipf must be a finite exponent >= 0";
+    2
+  end
   else if not (check_poller "loadgen" poller) then 2
   else begin
     match Service.Loadgen.run ~addrs cfg with
@@ -882,23 +956,56 @@ let run_loadgen unix tcp connections ops pipeline read_permille mix add_delta
         (Unix.error_message e);
       1
     | r ->
-    Printf.printf
-      "loadgen: %d conn x %d ops (window %d): %d ok, %d busy, %d errors, \
-       %d reconnects\n"
-      connections ops pipeline r.Service.Loadgen.ok r.Service.Loadgen.busy
-      r.Service.Loadgen.errors r.Service.Loadgen.reconnects;
-    Printf.printf "throughput %.0f ops/s, latency p50 %d ns, p99 %d ns\n"
-      r.Service.Loadgen.ops_per_sec r.Service.Loadgen.p50_ns
-      r.Service.Loadgen.p99_ns;
-    if r.Service.Loadgen.errors > 0 then 1
+    let open Service.Loadgen in
+    if json then
+      let module J = Mcore.Bench_json in
+      print_endline
+        (J.to_string
+           (J.Obj
+              [ ("connections", J.Int connections);
+                ("ops_per_connection", J.Int ops);
+                ("pipeline", J.Int pipeline);
+                ("zipf_s", J.Float zipf);
+                ("ok", J.Int r.ok);
+                ("busy", J.Int r.busy);
+                ("errors", J.Int r.errors);
+                ("reconnects", J.Int r.reconnects);
+                ("elapsed_s", J.Float r.elapsed_s);
+                ("ops_per_sec", J.Float r.ops_per_sec);
+                ("p50_ns", J.Int r.p50_ns);
+                ("p95_ns", J.Int r.p95_ns);
+                ("p99_ns", J.Int r.p99_ns);
+                ("max_ns", J.Int r.max_ns) ]))
+    else begin
+      Printf.printf
+        "loadgen: %d conn x %d ops (window %d): %d ok, %d busy, %d errors, \
+         %d reconnects\n"
+        connections ops pipeline r.ok r.busy r.errors r.reconnects;
+      Printf.printf
+        "throughput %.0f ops/s, latency p50 %d ns, p95 %d ns, p99 %d ns, \
+         max %d ns\n"
+        r.ops_per_sec r.p50_ns r.p95_ns r.p99_ns r.max_ns
+    end;
+    if r.errors > 0 then 1
     else
-      match min_throughput with
-      | Some floor when r.Service.Loadgen.ops_per_sec < floor ->
-        Printf.eprintf
-          "loadgen: throughput floor FAILED: %.0f < %.0f ops/s\n"
-          r.Service.Loadgen.ops_per_sec floor;
-        1
-      | _ -> 0
+      let floor_failed =
+        match min_throughput with
+        | Some floor when r.ops_per_sec < floor ->
+          Printf.eprintf
+            "loadgen: throughput floor FAILED: %.0f < %.0f ops/s\n"
+            r.ops_per_sec floor;
+          true
+        | _ -> false
+      in
+      let slo_failed =
+        match slo_p99_us with
+        | Some budget_us when r.p99_ns > budget_us * 1000 ->
+          Printf.eprintf
+            "loadgen: p99 SLO FAILED: %d ns > %d us\n" r.p99_ns budget_us;
+          true
+        | _ -> false
+      in
+      if floor_failed || slo_failed then 1 else 0
   end
 
 let loadgen_cmd =
@@ -939,12 +1046,32 @@ let loadgen_cmd =
          & info [ "targets" ] ~docv:"NAME,..."
              ~doc:"Counter objects to drive (default c0,c1,c2,c3).")
   in
+  let zipf_arg =
+    Arg.(value & opt float 0.0
+         & info [ "zipf" ] ~docv:"S"
+             ~doc:"Zipf exponent for target popularity: 0 (default) picks \
+                   targets uniformly; $(docv) > 0 skews the seeded draw so \
+                   the first target is the hot key ($(b,1.0) is classic \
+                   Zipf, larger is hotter).")
+  in
   let min_throughput_arg =
     Arg.(value & opt (some float) None
          & info [ "min-throughput" ] ~docv:"OPS_PER_SEC"
              ~doc:"Exit 1 unless the measured throughput reaches $(docv) \
                    — the CI regression probe against a committed BENCH \
                    record.")
+  in
+  let slo_p99_arg =
+    Arg.(value & opt (some int) None
+         & info [ "slo-p99-us" ] ~docv:"US"
+             ~doc:"Exit 1 when the measured p99 latency exceeds $(docv) \
+                   microseconds — a latency SLO gate for scripted runs.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the result as a JSON object on stdout instead of \
+                   the two-line summary.")
   in
   let workers_arg =
     Arg.(value & opt int 0
@@ -986,9 +1113,9 @@ let loadgen_cmd =
              service and report throughput and latency percentiles")
     Term.(const run_loadgen $ unix_arg $ tcp_arg $ connections_arg $ ops_arg
           $ pipeline_arg $ rp_arg $ mix_arg $ add_delta_arg $ targets_arg
-          $ seed_arg $ workers_arg $ ramp_arg $ poller_arg
-          $ min_throughput_arg $ nodes_arg $ replicas_arg
-          $ max_reconnects_arg)
+          $ zipf_arg $ seed_arg $ workers_arg $ ramp_arg $ poller_arg
+          $ min_throughput_arg $ slo_p99_arg $ nodes_arg $ replicas_arg
+          $ max_reconnects_arg $ json_arg)
 
 let run_stats unix tcp =
   match Service.Client.connect (addr_of ~unix ~tcp) with
@@ -1052,5 +1179,5 @@ let () =
     exit 2
   end;
   let doc = "deterministic approximate objects (ICDCS 2021) playground" in
-  let info = Cmd.info "approx_cli" ~version:"1.6.0" ~doc in
+  let info = Cmd.info "approx_cli" ~version:"1.7.0" ~doc in
   exit (Cmd.eval' (Cmd.group info commands))

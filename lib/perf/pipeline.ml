@@ -45,6 +45,12 @@ type config = {
   service_cluster_chaos_ops : int;
       (* ops per connection of the node-kill chaos cell (3 nodes,
          2 replicas, fastest gossip); 0 skips the chaos cell. *)
+  service_durability_connections : int;
+  service_durability_ops_per_connection : int;
+      (* the fsync-ablation cells of the durability plane *)
+  service_durability_chaos_ops : int;
+      (* ops per connection of the kill -9 recovery cell (subprocess
+         server; skipped without [service_scale_server_exe]); 0 skips. *)
   out_path : string;
 }
 
@@ -124,7 +130,12 @@ let default_config =
     service_cluster_connections = 6;
     service_cluster_ops_per_connection = 5_000;
     service_cluster_chaos_ops = 50_000;
-    out_path = "BENCH_6.json" }
+    service_durability_connections = 4;
+    service_durability_ops_per_connection = 10_000;
+    (* Sized so the 0.25 s SIGKILL lands mid-load on this host (~0.3 s
+       of ops would finish before a later kill). *)
+    service_durability_chaos_ops = 150_000;
+    out_path = "BENCH_7.json" }
 
 let smoke_config =
   { trials = 3;
@@ -162,6 +173,9 @@ let smoke_config =
     service_cluster_connections = 4;
     service_cluster_ops_per_connection = 500;
     service_cluster_chaos_ops = 20_000;
+    service_durability_connections = 2;
+    service_durability_ops_per_connection = 300;
+    service_durability_chaos_ops = 5_000;
     out_path = Filename.concat (Filename.get_temp_dir_name ()) "BENCH_smoke.json" }
 
 (* ------------------------------------------------------------------ *)
@@ -355,78 +369,101 @@ let fastpath cfg =
    end-to-end correctness gate for the benchmark itself. The fused-op
    counters come from the same metrics registry and quantify how much
    work the drain-batch fast path absorbed. *)
+let service_cell cfg ~shards ~pipeline ~(mix : service_mix) ~zipf ~label =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "approx_bench_%d_%d_%d_%s.sock" (Unix.getpid ()) shards
+         pipeline label)
+  in
+  let config = { Service.Server.default_config with shards } in
+  let srv = Service.Server.start ~config ~listen:(`Unix path) () in
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Service.Server.stop srv)
+      (fun () ->
+        let lg =
+          { Service.Loadgen.default_config with
+            connections = cfg.service_connections;
+            ops_per_connection = cfg.service_ops_per_connection;
+            pipeline;
+            read_permille = mix.sm_read_permille;
+            add_permille = mix.sm_add_permille;
+            add_delta = mix.sm_add_delta;
+            zipf_s = zipf;
+            seed = 42 }
+        in
+        let r =
+          Service.Loadgen.run ~addrs:[ Service.Server.sockaddr srv ] lg
+        in
+        let m = Service.Server.metrics srv in
+        let fused = ref 0 and deferred = ref 0 in
+        for s = 0 to shards - 1 do
+          let sh = Service.Metrics.shard m s in
+          fused := !fused + sh.Service.Metrics.fused_applies;
+          deferred := !deferred + sh.Service.Metrics.deferred_ops
+        done;
+        let memo_hits =
+          List.fold_left
+            (fun acc (o : Service.Metrics.obj) ->
+              acc + o.Service.Metrics.batch_read_hits)
+            0
+            (Service.Metrics.objects m)
+        in
+        (r, Service.Metrics.acc_violations_total m, !fused, !deferred,
+         memo_hits))
+  in
+  let lg_r, acc, fused, deferred, memo_hits = r in
+  J.Obj
+    [ ("shards", J.Int shards);
+      ("pipeline", J.Int pipeline);
+      ("mix", J.Str label);
+      ("read_permille", J.Int mix.sm_read_permille);
+      ("add_permille", J.Int mix.sm_add_permille);
+      ("add_delta", J.Int mix.sm_add_delta);
+      ("zipf_s", J.Float zipf);
+      ("connections", J.Int cfg.service_connections);
+      ("ops_per_connection", J.Int cfg.service_ops_per_connection);
+      ("ok", J.Int lg_r.Service.Loadgen.ok);
+      ("busy", J.Int lg_r.Service.Loadgen.busy);
+      ("errors", J.Int lg_r.Service.Loadgen.errors);
+      ("ops_per_sec", J.Float lg_r.Service.Loadgen.ops_per_sec);
+      ("p50_ns", J.Int lg_r.Service.Loadgen.p50_ns);
+      ("p95_ns", J.Int lg_r.Service.Loadgen.p95_ns);
+      ("p99_ns", J.Int lg_r.Service.Loadgen.p99_ns);
+      ("max_ns", J.Int lg_r.Service.Loadgen.max_ns);
+      ("fused_applies", J.Int fused);
+      ("deferred_ops", J.Int deferred);
+      ("batch_read_hits", J.Int memo_hits);
+      ("acc_violations", J.Int acc) ]
+
 let service_throughput cfg =
-  List.concat_map
-    (fun shards ->
-      List.concat_map
-        (fun pipeline ->
-          List.map
-            (fun mix ->
-              let path =
-                Filename.concat
-                  (Filename.get_temp_dir_name ())
-                  (Printf.sprintf "approx_bench_%d_%d_%d_%s.sock"
-                     (Unix.getpid ()) shards pipeline mix.sm_label)
-              in
-              let config = { Service.Server.default_config with shards } in
-              let srv = Service.Server.start ~config ~listen:(`Unix path) () in
-              let r =
-                Fun.protect
-                  ~finally:(fun () -> Service.Server.stop srv)
-                  (fun () ->
-                    let lg =
-                      { Service.Loadgen.default_config with
-                        connections = cfg.service_connections;
-                        ops_per_connection = cfg.service_ops_per_connection;
-                        pipeline;
-                        read_permille = mix.sm_read_permille;
-                        add_permille = mix.sm_add_permille;
-                        add_delta = mix.sm_add_delta;
-                        seed = 42 }
-                    in
-                    let r =
-                      Service.Loadgen.run ~addrs:[ Service.Server.sockaddr srv ] lg
-                    in
-                    let m = Service.Server.metrics srv in
-                    let fused = ref 0 and deferred = ref 0 in
-                    for s = 0 to shards - 1 do
-                      let sh = Service.Metrics.shard m s in
-                      fused := !fused + sh.Service.Metrics.fused_applies;
-                      deferred := !deferred + sh.Service.Metrics.deferred_ops
-                    done;
-                    let memo_hits =
-                      List.fold_left
-                        (fun acc (o : Service.Metrics.obj) ->
-                          acc + o.Service.Metrics.batch_read_hits)
-                        0
-                        (Service.Metrics.objects m)
-                    in
-                    (r, Service.Metrics.acc_violations_total m, !fused,
-                     !deferred, memo_hits))
-              in
-              let lg_r, acc, fused, deferred, memo_hits = r in
-              J.Obj
-                [ ("shards", J.Int shards);
-                  ("pipeline", J.Int pipeline);
-                  ("mix", J.Str mix.sm_label);
-                  ("read_permille", J.Int mix.sm_read_permille);
-                  ("add_permille", J.Int mix.sm_add_permille);
-                  ("add_delta", J.Int mix.sm_add_delta);
-                  ("connections", J.Int cfg.service_connections);
-                  ("ops_per_connection", J.Int cfg.service_ops_per_connection);
-                  ("ok", J.Int lg_r.Service.Loadgen.ok);
-                  ("busy", J.Int lg_r.Service.Loadgen.busy);
-                  ("errors", J.Int lg_r.Service.Loadgen.errors);
-                  ("ops_per_sec", J.Float lg_r.Service.Loadgen.ops_per_sec);
-                  ("p50_ns", J.Int lg_r.Service.Loadgen.p50_ns);
-                  ("p99_ns", J.Int lg_r.Service.Loadgen.p99_ns);
-                  ("fused_applies", J.Int fused);
-                  ("deferred_ops", J.Int deferred);
-                  ("batch_read_hits", J.Int memo_hits);
-                  ("acc_violations", J.Int acc) ])
-            cfg.service_mixes)
-        cfg.service_pipeline)
-    cfg.service_shards
+  let matrix =
+    List.concat_map
+      (fun shards ->
+        List.concat_map
+          (fun pipeline ->
+            List.map
+              (fun mix ->
+                service_cell cfg ~shards ~pipeline ~mix ~zipf:0.0
+                  ~label:mix.sm_label)
+              cfg.service_mixes)
+          cfg.service_pipeline)
+      cfg.service_shards
+  in
+  (* One hot-key contrast cell: the mixed ratio at Zipf 1.2 popularity,
+     where most traffic lands on a single counter and hence a single
+     shard — how much the per-object serialization costs vs the uniform
+     cell at the same shard count. *)
+  let hotkey =
+    match cfg.service_mixes with
+    | [] -> []
+    | mix :: _ ->
+      let shards = List.fold_left max 1 cfg.service_shards in
+      [ service_cell cfg ~shards ~pipeline:8 ~mix ~zipf:1.2
+          ~label:(mix.sm_label ^ "-hotkey") ]
+  in
+  matrix @ hotkey
 
 (* ------------------------------------------------------------------ *)
 (* Service I/O plane: io_domains x connections x shards sweep          *)
@@ -1065,6 +1102,298 @@ let service_cluster cfg =
   else [ cluster_trial cfg ~nodes:3 ~replicas:2 ~gossip_ms:10 ~chaos:true ]
 
 (* ------------------------------------------------------------------ *)
+(* Durability plane: fsync ablation, envelope batching, kill -9 replay *)
+(* ------------------------------------------------------------------ *)
+
+(* Data dirs hold only the WAL, the snapshot and their rename temps —
+   one flat directory, no recursion needed. *)
+let rm_rf_dir dir =
+  match Sys.readdir dir with
+  | entries ->
+    Array.iter
+      (fun e ->
+        try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+      entries;
+    (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let scan_json_bool json key =
+  let needle = Printf.sprintf "\"%s\": " key in
+  let nl = String.length needle and hl = String.length json in
+  let rec find i =
+    if i + nl > hl then None
+    else if String.sub json i nl = needle then Some (i + nl)
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some start when start + 4 <= hl && String.sub json start 4 = "true" ->
+    Some true
+  | Some start when start + 5 <= hl && String.sub json start 5 = "false" ->
+    Some false
+  | _ -> None
+
+(* The ablation axis: no durability at all, then the WAL under each
+   fsync policy, plus the per-op-logging contrast that quantifies what
+   envelope-aware batching saves. *)
+let durability_variants =
+  [ ("off", None, false);
+    ("never", Some Persist.Wal.Never, false);
+    ("never-every-op", Some Persist.Wal.Never, true);
+    ("every-n-32", Some (Persist.Wal.Every_n 32), false);
+    ("interval-5ms", Some (Persist.Wal.Interval_ms 5), false) ]
+
+let durability_mixes =
+  [ { sm_label = "write-heavy";
+      sm_read_permille = 0;
+      sm_add_permille = 0;
+      sm_add_delta = 16 };
+    { sm_label = "mixed";
+      sm_read_permille = 200;
+      sm_add_permille = 0;
+      sm_add_delta = 16 } ]
+
+(* In-process cell: serve with (or without) a data dir, drive the
+   closed-loop loadgen, then stop — the clean shutdown writes the
+   final snapshot, so the durability counters read after [stop] include
+   the whole run. Returns the scalars the summary needs alongside the
+   JSON row. *)
+let durability_cell cfg ~variant ~fsync ~every_op ~(mix : service_mix) =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "approx_dur_%d_%s_%s" (Unix.getpid ()) variant
+         mix.sm_label)
+  in
+  rm_rf_dir dir;
+  let path = dir ^ ".sock" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf_dir dir)
+    (fun () ->
+      let config =
+        { Service.Server.default_config with
+          shards = 2;
+          data_dir = (match fsync with None -> None | Some _ -> Some dir);
+          fsync = Option.value ~default:Persist.Wal.Never fsync;
+          snapshot_interval_ms = 500;
+          wal_every_op = every_op }
+      in
+      let srv = Service.Server.start ~config ~listen:(`Unix path) () in
+      let r =
+        match
+          Service.Loadgen.run
+            ~addrs:[ Service.Server.sockaddr srv ]
+            { Service.Loadgen.default_config with
+              connections = cfg.service_durability_connections;
+              ops_per_connection = cfg.service_durability_ops_per_connection;
+              pipeline = 8;
+              read_permille = mix.sm_read_permille;
+              add_permille = mix.sm_add_permille;
+              add_delta = mix.sm_add_delta;
+              seed = 42 }
+        with
+        | r ->
+          Service.Server.stop srv;
+          r
+        | exception e ->
+          Service.Server.stop srv;
+          raise e
+      in
+      let m = Service.Server.metrics srv in
+      let d = Service.Metrics.durability m in
+      let fsync_label =
+        match fsync with
+        | None -> "off"
+        | Some f -> Persist.Wal.policy_to_string f
+      in
+      let row =
+        J.Obj
+          [ ("variant", J.Str variant);
+            ("mix", J.Str mix.sm_label);
+            ("fsync", J.Str fsync_label);
+            ("every_op", J.Bool every_op);
+            ("connections", J.Int cfg.service_durability_connections);
+            ("ops_per_connection",
+             J.Int cfg.service_durability_ops_per_connection);
+            ("ok", J.Int r.Service.Loadgen.ok);
+            ("busy", J.Int r.Service.Loadgen.busy);
+            ("errors", J.Int r.Service.Loadgen.errors);
+            ("ops_per_sec", J.Float r.Service.Loadgen.ops_per_sec);
+            ("p50_ns", J.Int r.Service.Loadgen.p50_ns);
+            ("p95_ns", J.Int r.Service.Loadgen.p95_ns);
+            ("p99_ns", J.Int r.Service.Loadgen.p99_ns);
+            ("max_ns", J.Int r.Service.Loadgen.max_ns);
+            ("wal_appends", J.Int d.Service.Metrics.d_wal_appends);
+            ("wal_bytes", J.Int d.Service.Metrics.d_wal_bytes);
+            ("wal_flushes", J.Int d.Service.Metrics.d_wal_flushes);
+            ("fsyncs", J.Int d.Service.Metrics.d_fsyncs);
+            ("snapshots", J.Int d.Service.Metrics.d_snapshots);
+            ("wal_truncations", J.Int d.Service.Metrics.d_wal_truncations);
+            ("acc_violations",
+             J.Int (Service.Metrics.acc_violations_total m)) ]
+      in
+      ((variant, mix.sm_label, r.Service.Loadgen.ops_per_sec,
+        d.Service.Metrics.d_wal_appends),
+       row))
+
+(* The headline claims, computed from the cells themselves so the
+   record is self-contained: write-heavy WAL overhead at fsync=never
+   vs no durability, and how many appends envelope batching saved vs
+   logging every change. *)
+let durability_summary cells =
+  let find variant mix =
+    List.find_map
+      (fun ((v, m, rate, appends), _) ->
+        if v = variant && m = mix then Some (rate, appends) else None)
+      cells
+  in
+  let overhead =
+    match (find "off" "write-heavy", find "never" "write-heavy") with
+    | Some (off, _), Some (nev, _) when off > 0.0 ->
+      J.Float ((off -. nev) /. off *. 100.0)
+    | _ -> J.Null
+  in
+  let ratio =
+    match (find "never-every-op" "write-heavy", find "never" "write-heavy")
+    with
+    | Some (_, per_op), Some (_, env) when env > 0 ->
+      J.Float (float_of_int per_op /. float_of_int env)
+    | _ -> J.Null
+  in
+  J.Obj
+    [ ("write_heavy_wal_overhead_pct", overhead);
+      ("appends_every_op_over_envelope", ratio) ]
+
+let dur_counters = 4
+let dur_k = 4
+
+(* The recovery chaos cell: a subprocess server with a data dir takes
+   a SIGKILL mid-load and is immediately restarted on the same dir;
+   the loadgen's reconnect budget carries its pure-INC run across the
+   outage. The restarted server must have replayed the log, and the
+   recovered counters must cover every acked increment within the
+   factor-k envelope: an op is only acked after its covering WAL
+   record reached the page cache, so [k * sum(own_total) >= acked]
+   has no allowed failure mode short of an actual durability bug. *)
+let durability_chaos_cell cfg ~exe =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "approx_dur_chaos_%d" (Unix.getpid ()))
+  in
+  rm_rf_dir dir;
+  let path = dir ^ ".sock" in
+  let start () =
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+    let pid =
+      Unix.create_process exe
+        [| exe; "serve"; "--shards"; "2"; "--io-domains"; "1"; "--queue";
+           string_of_int scale_queue; "--counters";
+           string_of_int dur_counters; "-k"; string_of_int dur_k; "--unix";
+           path; "--duration"; "600"; "--data-dir"; dir; "--fsync"; "never";
+           "--snapshot-interval-ms"; "200" |]
+        devnull devnull devnull
+    in
+    Unix.close devnull;
+    pid
+  in
+  let pid = ref (start ()) in
+  let kill_wait signal =
+    (try Unix.kill !pid signal with Unix.Unix_error _ -> ());
+    ignore
+      (try Unix.waitpid [] !pid with Unix.Unix_error _ -> (0, Unix.WEXITED 0))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_wait Sys.sigkill;
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      rm_rf_dir dir)
+    (fun () ->
+      if not (wait_for_socket path ~timeout_s:10.0) then
+        failwith ("durability bench: server did not come up on " ^ path);
+      let killer =
+        Domain.spawn (fun () ->
+            Unix.sleepf 0.25;
+            kill_wait Sys.sigkill;
+            pid := start ();
+            ignore (wait_for_socket path ~timeout_s:10.0))
+      in
+      let r =
+        Service.Loadgen.run ~addrs:[ Unix.ADDR_UNIX path ]
+          { Service.Loadgen.default_config with
+            connections = cfg.service_durability_connections;
+            ops_per_connection = cfg.service_durability_chaos_ops;
+            pipeline = 8;
+            read_permille = 0;
+            add_permille = 0;
+            seed = 42;
+            max_reconnects = 1000 }
+      in
+      Domain.join killer;
+      let stats =
+        let c = Service.Client.connect (Unix.ADDR_UNIX path) in
+        Fun.protect
+          ~finally:(fun () -> Service.Client.close c)
+          (fun () -> Service.Client.stats_json c)
+      in
+      let int key = Option.value ~default:(-1) (scan_json_int stats key) in
+      let replayed = int "recovery_replayed_records" in
+      let snapshot_loaded =
+        Option.value ~default:false
+          (scan_json_bool stats "recovery_snapshot_loaded")
+      in
+      let recovered_sum =
+        List.fold_left
+          (fun acc (_, kind, own, _, _) ->
+            if kind = "kcounter" then acc + own else acc)
+          0 (scan_stats_objects stats)
+      in
+      let acked = r.Service.Loadgen.ok in
+      J.Obj
+        [ ("kind", J.Str "kill9-restart-replay");
+          ("fsync", J.Str "never");
+          ("k", J.Int dur_k);
+          ("connections", J.Int cfg.service_durability_connections);
+          ("ops_per_connection", J.Int cfg.service_durability_chaos_ops);
+          ("ok", J.Int acked);
+          ("busy", J.Int r.Service.Loadgen.busy);
+          ("errors", J.Int r.Service.Loadgen.errors);
+          ("reconnects", J.Int r.Service.Loadgen.reconnects);
+          ("ops_per_sec", J.Float r.Service.Loadgen.ops_per_sec);
+          ("recovery_replayed_records", J.Int replayed);
+          ("recovery_snapshot_loaded", J.Bool snapshot_loaded);
+          ("recovered_counter_sum", J.Int recovered_sum);
+          ("recovered_within_envelope",
+           J.Bool (dur_k * recovered_sum >= acked));
+          ("acked_ops_lost_beyond_envelope",
+           J.Int (max 0 (acked - (dur_k * recovered_sum))));
+          (* Envelope batching keeps the post-snapshot log tail tiny,
+             so a restart may legitimately find zero records to replay
+             — the disk-recovery assertion is snapshot OR log. *)
+          ("recovered_from_disk", J.Bool (replayed > 0 || snapshot_loaded));
+          ("acc_violations", J.Int (int "acc_violations_total")) ])
+
+let service_durability cfg =
+  let cells =
+    List.concat_map
+      (fun (variant, fsync, every_op) ->
+        List.map
+          (fun mix -> durability_cell cfg ~variant ~fsync ~every_op ~mix)
+          durability_mixes)
+      durability_variants
+  in
+  let chaos =
+    match cfg.service_scale_server_exe with
+    | Some exe when cfg.service_durability_chaos_ops > 0 ->
+      [ durability_chaos_cell cfg ~exe ]
+    | _ -> []
+  in
+  J.Obj
+    [ ("cells", J.List (List.map snd cells));
+      ("summary", durability_summary cells);
+      ("chaos", J.List chaos) ]
+
+(* ------------------------------------------------------------------ *)
 (* Simulator amortized-step metrics (Theorem III.9, Algorithm 1)       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1108,7 +1437,7 @@ let simulator_metrics cfg =
 let bench_json cfg =
   let cores = detect_cores () in
   J.Obj
-    [ ("schema_version", J.Int 6);
+    [ ("schema_version", J.Int 7);
       ("suite", J.Str "approx_objects perf pipeline");
       ("host",
        J.Obj
@@ -1164,6 +1493,12 @@ let bench_json cfg =
            ("service_cluster_ops_per_connection",
             J.Int cfg.service_cluster_ops_per_connection);
            ("service_cluster_chaos_ops", J.Int cfg.service_cluster_chaos_ops);
+           ("service_durability_connections",
+            J.Int cfg.service_durability_connections);
+           ("service_durability_ops_per_connection",
+            J.Int cfg.service_durability_ops_per_connection);
+           ("service_durability_chaos_ops",
+            J.Int cfg.service_durability_chaos_ops);
            ("epoll_available", J.Bool Service.Poller.epoll_available) ]);
       ("counter_throughput", J.List (counter_throughput cfg));
       ("maxreg_throughput", J.List (maxreg_throughput cfg));
@@ -1172,6 +1507,7 @@ let bench_json cfg =
       ("service_io", J.List (service_io_throughput cfg));
       ("service_io_scale", J.List (service_scale_throughput cfg));
       ("service_cluster", J.List (service_cluster cfg));
+      ("service_durability", service_durability cfg);
       ("simulator", J.Obj [ ("algorithm1", simulator_metrics cfg) ]) ]
 
 (* ------------------------------------------------------------------ *)
@@ -1340,6 +1676,39 @@ let run ?(quiet = false) cfg =
                   (num_of r "errors")
               | _ -> ())
             rows
+        | _ -> ());
+       (match List.assoc_opt "service_durability" fields with
+        | Some (J.Obj dur) ->
+          (match List.assoc_opt "cells" dur with
+           | Some (J.List rows) ->
+             List.iter
+               (fun row ->
+                 match row with
+                 | J.Obj r ->
+                   Printf.printf
+                     "  durability %-14s %-11s %8.2f kops/s  appends=%.0f fsyncs=%.0f  p99 %8.0f ns\n"
+                     (str_of r "variant") (str_of r "mix")
+                     (num_of r "ops_per_sec" /. 1e3)
+                     (num_of r "wal_appends") (num_of r "fsyncs")
+                     (num_of r "p99_ns")
+                 | _ -> ())
+               rows
+           | _ -> ());
+          (match List.assoc_opt "chaos" dur with
+           | Some (J.List rows) ->
+             List.iter
+               (fun row ->
+                 match row with
+                 | J.Obj r ->
+                   Printf.printf
+                     "  durability chaos: replayed=%.0f recovered_sum=%.0f acked=%.0f lost_beyond_envelope=%.0f errors=%.0f\n"
+                     (num_of r "recovery_replayed_records")
+                     (num_of r "recovered_counter_sum") (num_of r "ok")
+                     (num_of r "acked_ops_lost_beyond_envelope")
+                     (num_of r "errors")
+                 | _ -> ())
+               rows
+           | _ -> ())
         | _ -> ())
      | _ -> ());
     Printf.printf "written to %s\n" cfg.out_path

@@ -77,6 +77,22 @@ type config = {
       (** Ops per connection of the node-kill chaos cell (3 nodes, 2
           replicas, 10 ms gossip; one node is killed and restarted
           blank mid-run). 0 skips the chaos cell. *)
+  service_durability_connections : int;  (** Durability sweep: conns *)
+  service_durability_ops_per_connection : int;
+      (** Durability sweep: ops per connection of the fsync-ablation
+          cells (no durability, then the WAL at fsync never /
+          every-n / interval, plus a log-every-op contrast) x
+          {write-heavy, mixed}, each an in-process server on a fresh
+          data dir. A summary reports the write-heavy WAL overhead at
+          fsync=never and the appends ratio of per-op logging over
+          envelope batching. *)
+  service_durability_chaos_ops : int;
+      (** Ops per connection of the kill -9 recovery cell: a
+          subprocess server (requires [service_scale_server_exe]) is
+          SIGKILLed mid-load and restarted on the same data dir; the
+          record asserts log replay happened, recovered counters cover
+          every acked increment within the factor-k envelope, and the
+          reconnecting loadgen finished without errors. 0 skips. *)
   out_path : string;  (** where to write the JSON record *)
 }
 
@@ -109,7 +125,10 @@ val default_config : config
     [service_scale_server_exe] is set); the cluster sweep over nodes
     {1, 3} x replicas {1, 2} x gossip {10 ms, 100 ms} plus the
     node-kill chaos cell (6 connections, 5k ops/conn; 50k ops/conn
-    under chaos); writes [BENCH_6.json] in the current directory. *)
+    under chaos); the durability sweep (4 connections x 10k ops per
+    ablation cell, 150k ops/conn for the kill -9 recovery cell) plus a
+    hot-key Zipf(1.2) service cell; writes [BENCH_7.json] in the
+    current directory. *)
 
 val smoke_config : config
 (** Tiny counts (3 trials x 500 ops, 64 sim ops) for the [dune runtest]

@@ -1,0 +1,47 @@
+(* Mergeable (CRDT-style) replica state for the hosted object kinds.
+
+   Counters are G-counters: slot [j] holds node [j]'s cumulative
+   contribution (its locally applied increments, plus any recovered
+   base after a restart). Max registers are merged maxima of exactly
+   written values. Both merges are joins of a semilattice — pointwise
+   max and max — so they are commutative, associative and idempotent
+   (checked by qcheck laws in the test suite), which is what makes
+   gossip safe under reordering, duplication and replay: merging the
+   same delta twice, or out of order, can only move a replica's view
+   monotonically toward the cluster state, never past it. *)
+
+type t =
+  | Counter of int array
+  | Max of int
+
+let kind_tag = function Counter _ -> 0 | Max _ -> 1
+
+let width = function Counter v -> Array.length v | Max _ -> 0
+
+let value = function
+  | Counter v -> Array.fold_left ( + ) 0 v
+  | Max v -> v
+
+let merge a b =
+  match (a, b) with
+  | Counter u, Counter v ->
+    let n = Array.length u in
+    if Array.length v <> n then
+      invalid_arg "Delta.merge: counter vector width mismatch";
+    Counter (Array.init n (fun i -> max u.(i) v.(i)))
+  | Max u, Max v -> Max (max u v)
+  | Counter _, Max _ | Max _, Counter _ ->
+    invalid_arg "Delta.merge: kind mismatch"
+
+let equal a b =
+  match (a, b) with
+  | Counter u, Counter v -> u = v
+  | Max u, Max v -> u = v
+  | Counter _, Max _ | Max _, Counter _ -> false
+
+let to_string = function
+  | Counter v ->
+    "counter["
+    ^ String.concat ";" (Array.to_list (Array.map string_of_int v))
+    ^ "]"
+  | Max v -> Printf.sprintf "max[%d]" v

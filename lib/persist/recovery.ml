@@ -1,0 +1,60 @@
+(* Startup replay: snapshot base + WAL tail, merged per object.
+
+   The snapshot (if any) seeds each object's state; every WAL record is
+   then joined on top. Records the snapshot already covers merge as
+   no-ops (idempotence), so replay never needs to know exactly where
+   the snapshot's coverage ends — the WAL index in the snapshot header
+   only drives truncation, not correctness. A torn WAL tail or an
+   invalid snapshot can only shrink the recovered state, never abort
+   the start; whatever is lost is bounded by the envelope slack plus
+   what the fsync policy left unsynced. *)
+
+type result = {
+  r_state : (string * Delta.t) list;  (** Merged per-object state. *)
+  r_replayed_records : int;  (** Good WAL records replayed. *)
+  r_snapshot_loaded : bool;
+  r_snapshot_entries : int;
+  r_torn : bool;  (** A torn/corrupt WAL tail was cut. *)
+  r_scan : Wal.scan_result;  (** Pass to {!Wal.open_}. *)
+}
+
+let merge_into tbl (name, d) =
+  match Hashtbl.find_opt tbl name with
+  | None -> Hashtbl.replace tbl name d
+  | Some prev -> (
+    match Delta.merge prev d with
+    | merged -> Hashtbl.replace tbl name merged
+    | exception Invalid_argument _ ->
+      (* Kind or width mismatch across epochs of the same name: keep
+         whichever side is later (the new record), matching the
+         never-refuse-to-start rule. *)
+      Hashtbl.replace tbl name d)
+
+let run ~dir =
+  let scan = Wal.scan ~dir in
+  let snapshot = Snapshot.load ~dir in
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  let note name = if not (Hashtbl.mem tbl name) then order := name :: !order in
+  let snap_entries =
+    match snapshot with Some (entries, _) -> entries | None -> []
+  in
+  List.iter
+    (fun (name, d) ->
+      note name;
+      merge_into tbl (name, d))
+    snap_entries;
+  List.iter
+    (fun (name, d) ->
+      note name;
+      merge_into tbl (name, d))
+    scan.Wal.s_entries;
+  let state =
+    List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
+  in
+  { r_state = state;
+    r_replayed_records = List.length scan.Wal.s_entries;
+    r_snapshot_loaded = snapshot <> None;
+    r_snapshot_entries = List.length snap_entries;
+    r_torn = scan.Wal.s_torn;
+    r_scan = scan }

@@ -1,0 +1,20 @@
+(** Startup replay: snapshot base joined with every WAL record.
+
+    Never refuses to start: a torn WAL tail is cut at the first bad
+    frame, an invalid snapshot is ignored, and a kind/width mismatch
+    between epochs of the same object name resolves to the newer
+    record. What is lost is bounded by envelope slack plus whatever
+    the fsync policy left unsynced at the crash. *)
+
+type result = {
+  r_state : (string * Delta.t) list;
+  r_replayed_records : int;
+  r_snapshot_loaded : bool;
+  r_snapshot_entries : int;
+  r_torn : bool;
+  r_scan : Wal.scan_result;
+}
+
+val run : dir:string -> result
+(** Scan [dir] and merge snapshot + log into per-object recovered
+    state. Read-only; pass [r_scan] to {!Wal.open_} afterwards. *)

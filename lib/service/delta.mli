@@ -1,38 +1,14 @@
-(** Mergeable replica state exchanged by the gossip plane.
+(** Alias of {!Persist.Delta} with a manifest type equation so pattern
+    matches across the service keep compiling. See
+    [lib/persist/delta.mli] for the full contract. *)
 
-    Each hosted object kind has a join-semilattice representation:
-
-    - counters are G-counters — one slot per node holding that node's
-      cumulative contribution; {!merge} is pointwise max and
-      {!value} is the slot sum;
-    - max registers carry the largest exactly written value;
-      {!merge} is max.
-
-    Both merges are commutative, associative and idempotent, so the
-    gossip layer may deliver deltas late, duplicated, reordered or via
-    third parties without ever moving a replica past the cluster
-    state. Slots (and the max) are monotone, which additionally makes
-    racy exports safe: a torn read of a vector under concurrent
-    updates is still a pointwise lower bound of the current state. *)
-
-type t =
-  | Counter of int array  (** Slot [j] = node [j]'s cumulative total. *)
-  | Max of int  (** Largest exactly written value seen. *)
+type t = Persist.Delta.t =
+  | Counter of int array
+  | Max of int
 
 val kind_tag : t -> int
-(** Wire tag: [0] for counters, [1] for max registers. *)
-
 val width : t -> int
-(** Counter vector width ([0] for [Max]). *)
-
 val value : t -> int
-(** The replica-visible value: slot sum, or the max. *)
-
 val merge : t -> t -> t
-(** The semilattice join.
-    @raise Invalid_argument on a kind or vector-width mismatch. *)
-
 val equal : t -> t -> bool
-
 val to_string : t -> string
-(** Debug rendering (tests and error messages). *)

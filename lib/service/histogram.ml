@@ -2,6 +2,7 @@ type t = {
   counts : int array;
   mutable total : int;
   mutable value_sum : int;
+  mutable value_max : int;
 }
 
 (* OCaml ints are 63-bit, so max_int = 2^62 - 1 falls in bucket 61;
@@ -9,7 +10,8 @@ type t = {
    every bucket_lo representable. *)
 let buckets = 62
 
-let create () = { counts = Array.make buckets 0; total = 0; value_sum = 0 }
+let create () =
+  { counts = Array.make buckets 0; total = 0; value_sum = 0; value_max = 0 }
 
 (* Tail-recursive integer log2 so [bucket_index] never allocates (a
    [ref] cell would). *)
@@ -24,10 +26,12 @@ let bucket_hi i =
 let record t v =
   t.counts.(bucket_index v) <- t.counts.(bucket_index v) + 1;
   t.total <- t.total + 1;
-  t.value_sum <- t.value_sum + (if v < 0 then 0 else v)
+  t.value_sum <- t.value_sum + (if v < 0 then 0 else v);
+  if v > t.value_max then t.value_max <- v
 
 let count t = t.total
 let sum t = t.value_sum
+let max_value t = t.value_max
 let bucket_count t i = t.counts.(i)
 
 let percentile t p =
@@ -50,12 +54,14 @@ let merge ~into t =
     into.counts.(i) <- into.counts.(i) + t.counts.(i)
   done;
   into.total <- into.total + t.total;
-  into.value_sum <- into.value_sum + t.value_sum
+  into.value_sum <- into.value_sum + t.value_sum;
+  if t.value_max > into.value_max then into.value_max <- t.value_max
 
 let reset t =
   Array.fill t.counts 0 buckets 0;
   t.total <- 0;
-  t.value_sum <- 0
+  t.value_sum <- 0;
+  t.value_max <- 0
 
 let to_json t =
   let module J = Mcore.Bench_json in
@@ -78,4 +84,5 @@ let to_json t =
       ("p50", J.Int (percentile t 0.5));
       ("p90", J.Int (percentile t 0.9));
       ("p99", J.Int (percentile t 0.99));
+      ("max", J.Int t.value_max);
       ("buckets", J.List !nonzero) ]

@@ -44,6 +44,11 @@ val sum : t -> int
 (** Sum of all recorded samples (for means; wraps only beyond
     [max_int] total). *)
 
+val max_value : t -> int
+(** Largest sample recorded since creation or {!reset} ([0] when
+    empty; negative samples never lower it). Exact, unlike
+    {!percentile}'s bucket upper bound. *)
+
 val bucket_count : t -> int -> int
 (** Samples recorded in bucket [i]. *)
 
@@ -61,5 +66,5 @@ val merge : into:t -> t -> unit
 val reset : t -> unit
 
 val to_json : t -> Mcore.Bench_json.t
-(** [{count; sum; mean; p50; p90; p99; buckets: [{lo; hi; count}]}]
+(** [{count; sum; mean; p50; p90; p99; max; buckets: [{lo; hi; count}]}]
     with only non-empty buckets listed. *)

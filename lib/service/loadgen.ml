@@ -6,6 +6,7 @@ type config = {
   add_permille : int;
   add_delta : int;
   targets : string list;
+  zipf_s : float;
   seed : int;
   workers : int;
   ramp_conns_per_tick : int;
@@ -22,6 +23,7 @@ let default_config =
     add_permille = 0;
     add_delta = 16;
     targets = [ "c0"; "c1"; "c2"; "c3" ];
+    zipf_s = 0.0;
     seed = 1;
     workers = 0;
     ramp_conns_per_tick = 0;
@@ -37,7 +39,9 @@ type result = {
   elapsed_s : float;
   ops_per_sec : float;
   p50_ns : int;
+  p95_ns : int;
   p99_ns : int;
+  max_ns : int;
   latency : Histogram.t;
 }
 
@@ -64,6 +68,7 @@ type cstate = {
   mutable x_connected : bool;  (* x_fd is a live socket *)
   mutable x_node : int;  (* current node index *)
   mutable x_targets : string array;  (* cfg targets hosted at x_node *)
+  mutable x_cdf : float array;  (* Zipf CDF over x_targets; [||] = uniform *)
   mutable x_reconnects : int;
   mutable x_slot : int;
   x_rng : int ref;
@@ -124,6 +129,27 @@ let finish_conn w c =
     w.w_active <- w.w_active - 1
   end
 
+(* Cumulative Zipf(s) distribution over [x_targets]: position in the
+   (node-filtered) target list is the popularity rank, so the first
+   hosted target is the hot key. Rebuilt on failover because the
+   hosted subset — and hence the ranks — changes with the node. *)
+let build_cdf w c =
+  let s = w.w_cfg.zipf_s in
+  let n = Array.length c.x_targets in
+  if s <= 0.0 || n = 0 then c.x_cdf <- [||]
+  else begin
+    let cdf = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) s);
+      cdf.(i) <- !acc
+    done;
+    for i = 0 to n - 1 do
+      cdf.(i) <- cdf.(i) /. !acc
+    done;
+    c.x_cdf <- cdf
+  end
+
 (* Point the connection at the first node from [x_node] onward that
    hosts at least one of the configured targets (with replicas >= 1
    every target is hosted somewhere, so this only leaves [x_targets]
@@ -145,7 +171,8 @@ let retarget w c =
       end
     end
   in
-  go 0
+  go 0;
+  build_cdf w c
 
 (* Top the pipeline window up with freshly generated ops, staged into
    [x_out]; op choice replays the original per-connection sequence. *)
@@ -157,7 +184,21 @@ let fill_window w c =
   do
     let id = c.x_sent in
     let r = next c.x_rng in
-    let name = c.x_targets.(r mod Array.length c.x_targets) in
+    let name =
+      if Array.length c.x_cdf = 0 then
+        c.x_targets.(r mod Array.length c.x_targets)
+      else begin
+        (* A dedicated draw for the skewed pick: [next] yields 30
+           uniform bits, and reusing [r] would correlate target choice
+           with the op-mix decision below. *)
+        let u = float_of_int (next c.x_rng) /. 1073741824.0 in
+        let n = Array.length c.x_cdf in
+        let rec pick i =
+          if i >= n - 1 || u < c.x_cdf.(i) then i else pick (i + 1)
+        in
+        c.x_targets.(pick 0)
+      end
+    in
     let mille = (r / 64) mod 1000 in
     c.x_send_times.(id mod cfg.pipeline) <- Unix.gettimeofday ();
     Wire.encode_request c.x_out
@@ -328,6 +369,7 @@ let start_conn w cid =
       x_connected = false;
       x_node = cid mod Array.length w.w_addrs;
       x_targets = [||];
+      x_cdf = [||];
       x_reconnects = 0;
       x_slot = -1;
       x_rng = ref ((cfg.seed * 0x9E3779B9) + cid + 1);
@@ -436,6 +478,8 @@ let run ~addrs cfg =
     cfg.add_permille < 0 || cfg.read_permille + cfg.add_permille > 1000
   then invalid_arg "Loadgen.run: read + add permille outside 0..1000";
   if cfg.add_delta < 0 then invalid_arg "Loadgen.run: add_delta < 0";
+  if not (Float.is_finite cfg.zipf_s) || cfg.zipf_s < 0.0 then
+    invalid_arg "Loadgen.run: zipf_s must be finite and >= 0";
   if cfg.workers < 0 then invalid_arg "Loadgen.run: workers < 0";
   if cfg.ramp_conns_per_tick < 0 then
     invalid_arg "Loadgen.run: ramp_conns_per_tick < 0";
@@ -476,5 +520,7 @@ let run ~addrs cfg =
       (if elapsed_s > 0.0 then float_of_int completed /. elapsed_s
        else Float.infinity);
     p50_ns = Histogram.percentile latency 0.5;
+    p95_ns = Histogram.percentile latency 0.95;
     p99_ns = Histogram.percentile latency 0.99;
+    max_ns = Histogram.max_value latency;
     latency }

@@ -37,6 +37,12 @@ type config = {
           remainder are unit INCs. *)
   add_delta : int;  (** Delta carried by each ADD. *)
   targets : string list;  (** Counter objects to drive. *)
+  zipf_s : float;
+      (** Target-popularity skew: [0.0] (the default) picks targets
+          uniformly; [s > 0] draws them Zipf(s)-distributed with list
+          position as popularity rank, so [targets] head is the hot
+          key ([s = 1] is classic Zipf; larger is hotter). In cluster
+          mode the rank order applies to the node-hosted subset. *)
   seed : int;
   workers : int;
       (** Multiplexer domains; [0] picks
@@ -56,8 +62,9 @@ type config = {
 
 val default_config : config
 (** 4 connections x 10_000 ops, pipeline 8, 200 permille reads, no
-    ADDs (delta 16 when enabled), targets [c0 .. c3], seed 1, auto
-    workers/poller, no ramp pacing, 1 replica, no reconnects. *)
+    ADDs (delta 16 when enabled), targets [c0 .. c3] picked uniformly
+    ([zipf_s = 0]), seed 1, auto workers/poller, no ramp pacing, 1
+    replica, no reconnects. *)
 
 type result = {
   ok : int;  (** [Value] replies. *)
@@ -74,7 +81,9 @@ type result = {
   elapsed_s : float;
   ops_per_sec : float;  (** Completed responses per second. *)
   p50_ns : int;
-  p99_ns : int;
+  p95_ns : int;
+  p99_ns : int;  (** Bucket upper bounds ({!Histogram.percentile}). *)
+  max_ns : int;  (** Exact worst sample ({!Histogram.max_value}). *)
   latency : Histogram.t;  (** Merged client-side latency. *)
 }
 

@@ -78,10 +78,29 @@ type cluster = {
   mutable g_rounds : int;
 }
 
+(* The durability plane: recovery facts are set once at startup; the
+   live WAL counters are refreshed from [Wal.stats] by whoever serves
+   STATS (and by the snapshot domain after each snapshot), so the
+   record is a mirror, not the source of truth. *)
+type durability = {
+  mutable d_enabled : bool;
+  mutable d_fsync_policy : string;
+  mutable d_wal_appends : int;
+  mutable d_wal_bytes : int;
+  mutable d_wal_flushes : int;
+  mutable d_fsyncs : int;
+  mutable d_snapshots : int;
+  mutable d_wal_truncations : int;
+  mutable d_recovery_replayed_records : int;
+  mutable d_recovery_snapshot_loaded : bool;
+  mutable d_torn_tail_truncated : int;
+}
+
 type t = {
   shards : shard array;
   io_loops : io_loop array;
   cluster : cluster;
+  durability : durability;
   mutable objs : obj list;  (* reversed registration order; build phase only *)
 }
 
@@ -115,6 +134,19 @@ let create ?(node_id = 0) ?(nodes = 1) ?(replicas = 1)
           g_full_syncs = 0;
           g_peer_reconnects = 0;
           g_rounds = 0 };
+    durability =
+      Backend.Padded.copy
+        { d_enabled = false;
+          d_fsync_policy = "";
+          d_wal_appends = 0;
+          d_wal_bytes = 0;
+          d_wal_flushes = 0;
+          d_fsyncs = 0;
+          d_snapshots = 0;
+          d_wal_truncations = 0;
+          d_recovery_replayed_records = 0;
+          d_recovery_snapshot_loaded = false;
+          d_torn_tail_truncated = 0 };
     io_loops =
       Array.init io_domains (fun l ->
           Backend.Padded.copy
@@ -168,6 +200,7 @@ let add_obj t ~name ~kind ~k ~shard =
 
 let shard t s = t.shards.(s)
 let cluster t = t.cluster
+let durability t = t.durability
 let io_loop t l = t.io_loops.(l)
 let io_domains t = Array.length t.io_loops
 let objects t = List.rev t.objs
@@ -301,6 +334,20 @@ let to_json t =
             ("boundary_kicks", J.Int (boundary_kicks t));
             ("hellos", J.Int (hellos t));
             ("hello_rejects", J.Int (hello_rejects t)) ]));
+      ("durability",
+       (let d = t.durability in
+        J.Obj
+          [ ("enabled", J.Bool d.d_enabled);
+            ("fsync_policy", J.Str d.d_fsync_policy);
+            ("wal_appends", J.Int d.d_wal_appends);
+            ("wal_bytes", J.Int d.d_wal_bytes);
+            ("wal_flushes", J.Int d.d_wal_flushes);
+            ("fsyncs", J.Int d.d_fsyncs);
+            ("snapshots", J.Int d.d_snapshots);
+            ("wal_truncations", J.Int d.d_wal_truncations);
+            ("recovery_replayed_records", J.Int d.d_recovery_replayed_records);
+            ("recovery_snapshot_loaded", J.Bool d.d_recovery_snapshot_loaded);
+            ("torn_tail_truncated", J.Int d.d_torn_tail_truncated) ]));
       ("read_batch", Histogram.to_json (merged_read_batch t));
       ("io_loops", J.List (Array.to_list (Array.map io_loop_json t.io_loops)));
       ("shards", J.List (Array.to_list (Array.map shard_json t.shards)));

@@ -134,6 +134,26 @@ type cluster = {
   mutable g_rounds : int;  (** Gossip ticks executed (kicked or periodic). *)
 }
 
+(** The durability plane's STATS mirror. Recovery facts are written
+    once at startup (before any domain shares the registry); the live
+    WAL counters are refreshed from [Wal.stats] by the STATS handler
+    and the snapshot domain. *)
+type durability = {
+  mutable d_enabled : bool;  (** A [--data-dir] was configured. *)
+  mutable d_fsync_policy : string;
+  mutable d_wal_appends : int;  (** Records staged to the delta log. *)
+  mutable d_wal_bytes : int;
+  mutable d_wal_flushes : int;
+  mutable d_fsyncs : int;
+  mutable d_snapshots : int;  (** Fuzzy snapshots written this run. *)
+  mutable d_wal_truncations : int;
+  mutable d_recovery_replayed_records : int;
+      (** Good WAL records replayed at startup. *)
+  mutable d_recovery_snapshot_loaded : bool;
+  mutable d_torn_tail_truncated : int;
+      (** 1 if startup cut a torn/corrupt WAL tail. *)
+}
+
 type t
 
 val create :
@@ -155,6 +175,7 @@ val add_obj : t -> name:string -> kind:string -> k:int -> shard:int -> obj
 
 val shard : t -> int -> shard
 val cluster : t -> cluster
+val durability : t -> durability
 val objects : t -> obj list
 
 val io_loop : t -> int -> io_loop

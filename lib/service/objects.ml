@@ -69,6 +69,7 @@ type obj = {
   mutable r_max_remote : int;  (* merged remote max (max kinds) *)
   mutable r_last_sent : int;  (* gossip sender's export watermark *)
   r_gossip_dirty : bool Atomic.t;  (* shard sets, sender test-and-clears *)
+  mutable p_last_logged : int;  (* [known] at the last WAL record *)
 }
 
 let spec o = o.o_spec
@@ -128,7 +129,8 @@ let build ?(nodes = 1) ?(node_id = 0) ~metrics ~shards specs =
             r_remote = 0;
             r_max_remote = 0;
             r_last_sent = 0;
-            r_gossip_dirty = Atomic.make false }
+            r_gossip_dirty = Atomic.make false;
+            p_last_logged = 0 }
         in
         Hashtbl.add by_name s.name o;
         o)
@@ -273,6 +275,76 @@ let boundary_crossed o ~k_staleness =
 let take_dirty o = Atomic.exchange o.r_gossip_dirty false
 let mark_exported o = o.r_last_sent <- own_export o
 let last_sent o = o.r_last_sent
+
+(* ------------------------------------------------------------------ *)
+(* Durability (owning shard, except the fuzzy snapshot export)          *)
+(* ------------------------------------------------------------------ *)
+
+(* The WAL/snapshot export. Unlike the gossip export it always puts
+   the full [own_total] in the own slot, recovery window or not:
+   replay happens only at process start, before any client op or peer
+   echo, so the epoch-subtraction hazard that makes gossip withhold
+   the own slot cannot arise on the disk path. Max kinds persist the
+   full merged maximum. Racy when called from the snapshot domain —
+   every field is monotone, so a torn export is a pointwise lower
+   bound, which is exactly what a fuzzy snapshot is allowed to be. *)
+let persist_export o =
+  if is_counter_obj o then
+    Delta.Counter
+      (Array.init o.o_nodes (fun j ->
+           if j = o.o_node then own_total o else o.r_vec.(j)))
+  else Delta.Max (known o)
+
+(* Envelope-aware batching: a record is due only when the merged value
+   has grown past the object's approximation factor since the last
+   record, so losing every unlogged op still leaves a restart within
+   the k-envelope. Exact kinds (k = 1) have no slack to spend and log
+   every change. [every_op] (bench ablation) forces the k = 1 rule for
+   everyone — the contrast cell for the appends ratio. *)
+let persist_due o ~every_op =
+  let v = known o in
+  let k = kind_k o.o_spec.kind in
+  if every_op || k < 2 then v <> o.p_last_logged
+  else v > 0 && v >= k * o.p_last_logged
+
+let mark_persisted o = o.p_last_logged <- known o
+
+(* Install recovered state (build phase, before any client op, peer
+   echo or [begin_recovery]). Counters fold the recovered own slot
+   into [r_base] — post-restart increments then stack on top — and
+   remote slots into the merged view; max kinds fold into the merged
+   remote max, which reads already serve. A kind or width mismatch
+   (the name was redefined across restarts) drops the record and
+   counts a reject rather than refusing to start. *)
+let recover o (d : Delta.t) =
+  match (d, o.impl) with
+  | Delta.Counter v, (I_kcounter _ | I_faa _)
+    when Array.length v = o.o_nodes ->
+    let self = o.o_node in
+    let remote = ref 0 in
+    for j = 0 to o.o_nodes - 1 do
+      if j = self then begin
+        if v.(j) > o.r_base then o.r_base <- v.(j)
+      end
+      else begin
+        if v.(j) > o.r_vec.(j) then o.r_vec.(j) <- v.(j);
+        remote := !remote + o.r_vec.(j)
+      end
+    done;
+    o.r_remote <- o.r_base + !remote;
+    o.p_last_logged <- known o;
+    mark_dirty o;
+    refresh_repl o;
+    true
+  | Delta.Max v, (I_kmaxreg _ | I_casmax _) ->
+    if v > o.r_max_remote then o.r_max_remote <- v;
+    o.p_last_logged <- known o;
+    mark_dirty o;
+    refresh_repl o;
+    true
+  | Delta.Counter _, _ | Delta.Max _, _ ->
+    o.o_stats.rejects <- o.o_stats.rejects + 1;
+    false
 
 (* ------------------------------------------------------------------ *)
 (* Operations (owning shard only)                                      *)

@@ -144,6 +144,38 @@ val mark_exported : obj -> unit
 
 val last_sent : obj -> int
 
+(** {2 Durability}
+
+    The WAL/snapshot face of the object. {!persist_export} may race
+    with the owning shard (the fuzzy-snapshot domain calls it): every
+    exported field is monotone, so a torn export is a pointwise lower
+    bound — the definition of a valid fuzzy snapshot under the
+    k-envelope. {!persist_due}/{!mark_persisted} and {!recover} are
+    owning-shard / build-phase only. *)
+
+val persist_export : obj -> Delta.t
+(** Full durable state: own slot carries [own_total] even during a
+    recovery window (disk replay happens only at process start, so the
+    gossip epoch-subtraction hazard cannot arise); max kinds export the
+    merged maximum. *)
+
+val persist_due : obj -> every_op:bool -> bool
+(** Whether the merged value has outgrown the last WAL record by the
+    object's approximation factor — the envelope-aware batching rule.
+    Exact kinds (k = 1) are due on any change; [every_op] forces that
+    rule for all kinds (the bench ablation's contrast). *)
+
+val mark_persisted : obj -> unit
+(** Record that the current merged value was just staged to the WAL. *)
+
+val recover : obj -> Delta.t -> bool
+(** Install recovered state (build phase, before any op, echo or
+    {!begin_recovery}): counters fold the own slot into the restart
+    base and remote slots into the merged view; max kinds fold into
+    the merged maximum. [false] (and a recorded reject) on a kind or
+    width mismatch — recovery drops the record, never refuses to
+    start. *)
+
 (** {2 Operations}
 
     Called only by the owning shard ([pid] = the object's shard).

@@ -1,49 +1,18 @@
-(** Growable output byte buffer with swappable storage — the service's
-    zero-copy alternative to [Buffer.t] on the response flush path.
+(** Alias of {!Persist.Obuf}, kept so service-internal callers (and
+    tests) keep their [Service.Obuf] paths. See [lib/persist/obuf.mli]
+    for the full contract. *)
 
-    [Buffer.to_bytes] copies the whole contents on every flush cycle;
-    {!swap} instead exchanges the {e storage} of two buffers in O(1)
-    with no allocation, so a connection can keep one buffer on the
-    shard-write side and one on the I/O-flush side and rotate them
-    under its mutex forever. Once both buffers have grown to the
-    steady-state response volume, the enqueue/swap/write cycle
-    allocates zero heap words (asserted by a [Gc.minor_words] test).
-
-    Not thread-safe: callers serialize access (the server uses the
-    per-connection output mutex). *)
-
-type t
+type t = Persist.Obuf.t
 
 val create : ?size:int -> unit -> t
-(** Fresh buffer with [size] (default 4096) bytes of capacity.
-    @raise Invalid_argument if [size < 1]. *)
-
 val length : t -> int
-(** Bytes currently held. *)
-
 val capacity : t -> int
-
 val bytes : t -> Bytes.t
-(** The underlying storage; valid data is [[0, length)]. The reference
-    is invalidated by the next growing append or {!swap}. *)
-
 val clear : t -> unit
-(** Drop the contents, keep the capacity. *)
-
 val reserve : t -> int -> unit
-(** Ensure capacity for [n] more bytes (doubling growth). *)
-
 val add_u8 : t -> int -> unit
 val add_i32_be : t -> int -> unit
-
 val add_i64_be : t -> int -> unit
-(** Append the low 64 bits of an OCaml [int], big-endian. *)
-
 val add_string : t -> string -> unit
-
 val swap : t -> t -> unit
-(** Exchange the two buffers' storage and lengths. O(1), no copy, no
-    allocation. *)
-
 val contents : t -> string
-(** Copy out the valid bytes (tests and debugging; allocates). *)

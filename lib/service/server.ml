@@ -15,6 +15,10 @@ type config = {
   gossip_interval_ms : int;
   k_staleness : int;
   peers : (int * listen) list;
+  data_dir : string option;
+  fsync : Persist.Wal.fsync_policy;
+  snapshot_interval_ms : int;
+  wal_every_op : bool;
 }
 
 let default_config =
@@ -31,7 +35,11 @@ let default_config =
     replicas = 1;
     gossip_interval_ms = 50;
     k_staleness = 2;
-    peers = [] }
+    peers = [];
+    data_dir = None;
+    fsync = Persist.Wal.Never;
+    snapshot_interval_ms = 1000;
+    wal_every_op = false }
 
 (* Connection state is split by owner: [c_in]/[c_in_len], the flush
    buffer/cursor and the pause flag belong to the owning I/O loop
@@ -122,9 +130,11 @@ type t = {
   g_wake_r : Unix.file_descr;  (* gossip wake pipe (exists even standalone) *)
   g_wake_w : Unix.file_descr;
   g_kick : bool Atomic.t;  (* dedups boundary-kick wake bytes *)
+  wal : Persist.Wal.t option;  (* the durability plane, if --data-dir *)
   mutable gossip : Gossip.t option;
   mutable io_domain_handles : unit Domain.t array;
   mutable shard_domains : unit Domain.t array;
+  mutable snap_domain : unit Domain.t option;
 }
 
 let sockaddr t = t.addr
@@ -194,10 +204,19 @@ let finish_task (stats : Metrics.shard) task resp =
      value ([Objects.batch_read], keyed by the drain stamp) — they
      all linearize at that one read.
    Replies still go out in arrival order with per-task latency
-   accounting; WRITEs and rejections are handled inline in phase 1
-   (a WRITE between two READs of a max register in the same drain is
-   concurrent with both, so answering both reads from one value
-   remains linearizable). *)
+   accounting; rejections are handled inline in phase 1 (a WRITE
+   between two READs of a max register in the same drain is concurrent
+   with both, so answering both reads from one value remains
+   linearizable).
+
+   Durability rides the same drain: phase 1/2 mutations that outgrow
+   the envelope stage a WAL record ([check_persist], the disk analogue
+   of [check_boundary]); the staged frames are flushed once per drain,
+   after phase 2 and before phase 3 — so every mutation ack (WRITE Ok,
+   deferred for exactly this reason, and INC/ADD) goes out only after
+   its covering record has reached at least the page cache, which is
+   what "no acked op lost beyond the envelope under kill -9" rests
+   on. *)
 let exec_batch t shard_id (stats : Metrics.shard) batch n ~stamp ~dirty =
   let n_dirty = ref 0 in
   let deferred = ref 0 in
@@ -209,6 +228,14 @@ let exec_batch t shard_id (stats : Metrics.shard) batch n ~stamp ~dirty =
       && Objects.boundary_crossed obj ~k_staleness:t.cfg.k_staleness
     then want_kick := true
   in
+  let check_persist obj =
+    match t.wal with
+    | Some wal when Objects.persist_due obj ~every_op:t.cfg.wal_every_op ->
+      Persist.Wal.append wal
+        ((Objects.spec obj).Objects.name, Objects.persist_export obj);
+      Objects.mark_persisted obj
+    | Some _ | None -> ()
+  in
   (* Phase 1: writes, merges and rejections inline; increments
      accumulate; reads wait for phase 3. *)
   for i = 0 to n - 1 do
@@ -219,19 +246,22 @@ let exec_batch t shard_id (stats : Metrics.shard) batch n ~stamp ~dirty =
       match task.t_op with
       | `Merge d ->
         (* Gossip entry: no response, no c_pending slot. *)
-        if Objects.merge_delta task.t_obj d then
+        if Objects.merge_delta task.t_obj d then begin
           stats.merge_tasks <- stats.merge_tasks + 1;
+          check_persist task.t_obj
+        end;
         batch.(i) <- None
-      | `Write v ->
-        let resp =
-          match Objects.write task.t_obj ~pid:shard_id v with
-          | Ok r ->
-            check_boundary task.t_obj;
-            Wire.Value { id; value = r }
-          | Error () -> Wire.Bad_request { id }
-        in
-        finish_task stats task resp;
-        batch.(i) <- None
+      | `Write v -> (
+        (* A successful WRITE mutates state, so its Ok waits for
+           phase 3 behind the WAL flush; a rejection mutates nothing
+           and is answered inline. *)
+        match Objects.write task.t_obj ~pid:shard_id v with
+        | Ok _ ->
+          check_boundary task.t_obj;
+          check_persist task.t_obj
+        | Error () ->
+          finish_task stats task (Wire.Bad_request { id });
+          batch.(i) <- None)
       | `Inc | `Add _ ->
         let bad_delta =
           match task.t_op with
@@ -261,7 +291,8 @@ let exec_batch t shard_id (stats : Metrics.shard) batch n ~stamp ~dirty =
     (match dirty.(j) with
      | Some obj ->
        Objects.apply_pending obj ~pid:shard_id;
-       check_boundary obj
+       check_boundary obj;
+       check_persist obj
      | None -> ());
     dirty.(j) <- None
   done;
@@ -272,6 +303,9 @@ let exec_batch t shard_id (stats : Metrics.shard) batch n ~stamp ~dirty =
     stats.boundary_kicks <- stats.boundary_kicks + 1;
     kick_gossip t
   end;
+  (* Group commit: one write(2) for every record this drain staged,
+     before any mutation ack leaves in phase 3. *)
+  (match t.wal with Some wal -> Persist.Wal.flush wal | None -> ());
   (* Phase 3: replies in arrival order. *)
   for i = 0 to n - 1 do
     match batch.(i) with
@@ -280,11 +314,11 @@ let exec_batch t shard_id (stats : Metrics.shard) batch n ~stamp ~dirty =
       let id = task.t_id in
       let resp =
         match task.t_op with
-        | `Inc | `Add _ -> Wire.Value { id; value = 0 }
+        | `Inc | `Add _ | `Write _ -> Wire.Value { id; value = 0 }
         | `Read ->
           Wire.Value
             { id; value = Objects.batch_read task.t_obj ~pid:shard_id ~stamp }
-        | `Write _ | `Merge _ -> assert false (* finished in phase 1 *)
+        | `Merge _ -> assert false (* finished in phase 1 *)
       in
       finish_task stats task resp;
       batch.(i) <- None
@@ -326,6 +360,62 @@ let close_conn t conn =
     end;
     try Unix.close conn.c_fd with Unix.Unix_error _ -> ()
   end
+
+(* ------------------------------------------------------------------ *)
+(* Durability plane                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirror the WAL counters into the STATS registry (any domain; the
+   registry is the mirror, the WAL is the source of truth). *)
+let refresh_durability t =
+  match t.wal with
+  | None -> ()
+  | Some wal ->
+    let s = Persist.Wal.stats wal in
+    let d = Metrics.durability t.metrics in
+    d.Metrics.d_wal_appends <- s.Persist.Wal.appends;
+    d.Metrics.d_wal_bytes <- s.Persist.Wal.bytes;
+    d.Metrics.d_wal_flushes <- s.Persist.Wal.flushes;
+    d.Metrics.d_fsyncs <- s.Persist.Wal.fsyncs;
+    d.Metrics.d_wal_truncations <- s.Persist.Wal.truncations
+
+(* One fuzzy snapshot: capture the truncation watermark *before*
+   exporting (any record staged after the capture may reflect state
+   concurrent with the export and must survive truncation), export
+   every object racily — monotone fields make a torn export a valid
+   lower bound — then rotate the log. *)
+let snapshot_tick t wal dir =
+  let idx = Persist.Wal.next_index wal in
+  let entries =
+    List.map
+      (fun o -> ((Objects.spec o).Objects.name, Objects.persist_export o))
+      (Objects.to_list t.table)
+  in
+  Persist.Snapshot.write ~dir ~wal_index:idx entries;
+  let d = Metrics.durability t.metrics in
+  d.Metrics.d_snapshots <- d.Metrics.d_snapshots + 1;
+  Persist.Wal.truncate_upto wal idx;
+  refresh_durability t
+
+(* The snapshot domain sleeps in short slices so stop never waits more
+   than ~50 ms for it; a failing tick (disk full, permissions) is
+   swallowed — the service keeps serving with durability degraded and
+   the WAL still growing. *)
+let snapshot_loop t wal dir interval_ms =
+  let interval = float_of_int interval_ms /. 1000.0 in
+  let rec sleep remaining =
+    if (not (Atomic.get t.stop_flag)) && remaining > 0.0 then begin
+      let dt = Float.min remaining 0.05 in
+      (try ignore (Unix.select [] [] [] dt)
+       with Unix.Unix_error (EINTR, _, _) -> ());
+      sleep (remaining -. dt)
+    end
+  in
+  while not (Atomic.get t.stop_flag) do
+    sleep interval;
+    if not (Atomic.get t.stop_flag) then
+      try snapshot_tick t wal dir with Unix.Unix_error _ -> ()
+  done
 
 let dispatch t (il : Metrics.io_loop) conn req =
   let object_op id name op =
@@ -426,6 +516,7 @@ let dispatch t (il : Metrics.io_loop) conn req =
     end
   | Wire.Stats { id } ->
     il.l_stats_requests <- il.l_stats_requests + 1;
+    refresh_durability t;
     let json = Mcore.Bench_json.to_string (Metrics.to_json t.metrics) in
     enqueue_response conn (Wire.Stats_json { id; json })
   | Wire.Ping { id } -> enqueue_response conn (Wire.Pong { id })
@@ -761,6 +852,8 @@ let start ?(config = default_config) ~listen () =
   if config.k_staleness < 1 then invalid_arg "Server.start: k_staleness < 1";
   if config.nodes > 1 && config.gossip_interval_ms < 1 then
     invalid_arg "Server.start: gossip_interval_ms < 1";
+  if config.snapshot_interval_ms < 0 then
+    invalid_arg "Server.start: snapshot_interval_ms < 0";
   if config.specs = [] then invalid_arg "Server.start: no objects";
   List.iter
     (fun (node, _) ->
@@ -799,6 +892,37 @@ let start ?(config = default_config) ~listen () =
   let table =
     Objects.build ~nodes:config.nodes ~node_id:config.node_id ~metrics
       ~shards:config.shards hosted
+  in
+  (* Disk recovery runs first (build phase, before any client op and
+     before the export-hold window below is armed): snapshot + WAL
+     replay seeds each object's restart base, and a later peer echo
+     folds into the same base by plain max — a clustered node thus
+     prefers max(local-replayed, peer-echo) without any extra logic.
+     Records for objects this node no longer hosts (placement changed)
+     are dropped silently. *)
+  let wal =
+    match config.data_dir with
+    | None -> None
+    | Some dir ->
+      let recovered = Persist.Recovery.run ~dir in
+      List.iter
+        (fun (name, delta) ->
+          match Objects.find table name with
+          | Some o -> ignore (Objects.recover o delta)
+          | None -> ())
+        recovered.Persist.Recovery.r_state;
+      let d = Metrics.durability metrics in
+      d.Metrics.d_enabled <- true;
+      d.Metrics.d_fsync_policy <- Persist.Wal.policy_to_string config.fsync;
+      d.Metrics.d_recovery_replayed_records <-
+        recovered.Persist.Recovery.r_replayed_records;
+      d.Metrics.d_recovery_snapshot_loaded <-
+        recovered.Persist.Recovery.r_snapshot_loaded;
+      d.Metrics.d_torn_tail_truncated <-
+        (if recovered.Persist.Recovery.r_torn then 1 else 0);
+      Some
+        (Persist.Wal.open_ ~dir ~fsync:config.fsync
+           ~scan:recovered.Persist.Recovery.r_scan)
   in
   (* A blank clustered node cannot tell a fresh start from a restart,
      so every replicated counter opens in the recovery window: its own
@@ -860,14 +984,23 @@ let start ?(config = default_config) ~listen () =
       g_wake_r;
       g_wake_w;
       g_kick = Atomic.make false;
+      wal;
       gossip = None;
       io_domain_handles = [||];
-      shard_domains = [||] }
+      shard_domains = [||];
+      snap_domain = None }
   in
   t.shard_domains <-
     Array.init config.shards (fun s -> Domain.spawn (fun () -> shard_loop t s));
   t.io_domain_handles <-
     Array.map (fun loop -> Domain.spawn (fun () -> io_loop_run t loop)) loops;
+  (match (wal, config.data_dir) with
+  | Some w, Some dir when config.snapshot_interval_ms > 0 ->
+    t.snap_domain <-
+      Some
+        (Domain.spawn (fun () ->
+             snapshot_loop t w dir config.snapshot_interval_ms))
+  | _ -> ());
   if config.nodes > 1 && config.peers <> [] then
     t.gossip <-
       Some
@@ -891,6 +1024,18 @@ let stop t =
     Array.iter Domain.join t.io_domain_handles;
     Array.iter Bqueue.close t.queues;
     Array.iter Domain.join t.shard_domains;
+    (* Durability shutdown, after the last possible append: the
+       snapshot domain exits within ~50 ms of the stop flag; a final
+       snapshot + truncate + synced close makes restart replay-free.
+       Best-effort — a failure here degrades to normal crash replay. *)
+    Option.iter Domain.join t.snap_domain;
+    t.snap_domain <- None;
+    (match (t.wal, t.cfg.data_dir) with
+    | Some wal, Some dir ->
+      (try snapshot_tick t wal dir
+       with Unix.Unix_error _ | Sys_error _ -> ());
+      (try Persist.Wal.close wal with Unix.Unix_error _ -> ())
+    | _ -> ());
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     List.iter
       (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())

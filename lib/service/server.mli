@@ -89,13 +89,30 @@ type config = {
   peers : (int * listen) list;
       (** Peer node ids (not [node_id]) and their listen addresses;
           the gossip domain starts only if non-empty and [nodes > 1]. *)
+  data_dir : string option;
+      (** Durability plane root: [None] disables persistence entirely;
+          [Some dir] replays [dir]'s snapshot + delta log at start
+          (tolerating a torn tail) and logs/snapshots into it while
+          serving. *)
+  fsync : Persist.Wal.fsync_policy;
+      (** When WAL batches are forced to stable storage. [Never] still
+          survives [kill -9] (page cache); fsync narrows the power-loss
+          window. *)
+  snapshot_interval_ms : int;
+      (** Fuzzy-snapshot cadence; [0] disables periodic snapshots (the
+          shutdown snapshot still runs). *)
+  wal_every_op : bool;
+      (** Log every value change instead of envelope-aware batching —
+          the bench ablation's contrast cell, not a serving mode. *)
 }
 
 val default_config : config
 (** 2 shards, 1 io domain, 1024-task queues, 64-task batches, 256
     in-flight requests per connection, 1024 connections, [Auto]
     poller, [Objects.default_specs ~counters:4 ~k:4]; standalone
-    topology (node 0 of 1, no peers, 50 ms interval, k_staleness 2). *)
+    topology (node 0 of 1, no peers, 50 ms interval, k_staleness 2);
+    durability off ([data_dir = None]; fsync [Never], 1 s snapshots,
+    envelope-batched logging when enabled). *)
 
 type t
 
@@ -130,5 +147,9 @@ val poller_name : t -> string
 
 val stop : t -> unit
 (** Close the listener and every connection, drain the shard queues,
-    join all domains and unlink a Unix socket path. Idempotent;
-    blocks until the domains have exited. *)
+    join all domains and unlink a Unix socket path. With a [data_dir],
+    additionally write a final snapshot, truncate the log and close
+    the WAL with an fsync (best-effort, bounded by the ~50 ms snapshot
+    wakeup slice) so a clean shutdown restarts replay-free; [kill -9]
+    instead relies on startup replay. Idempotent; blocks until the
+    domains have exited. *)

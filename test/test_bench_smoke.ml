@@ -68,7 +68,7 @@ let test_pipeline_smoke () =
       Alcotest.(check bool)
         (Printf.sprintf "record mentions %S" needle)
         true (contains ~needle s))
-    [ "\"schema_version\": 6"; "counter_throughput"; "maxreg_throughput";
+    [ "\"schema_version\": 7"; "counter_throughput"; "maxreg_throughput";
       "amortized_steps_per_op"; "ops_per_sec_median"; "ops_per_sec_min";
       "ops_per_sec_max"; "kcounter"; "faa"; "\"domains\": 1";
       "\"domains\": 2"; "\"service\""; "\"shards\": 2"; "p50_ns"; "p99_ns";
@@ -85,7 +85,13 @@ let test_pipeline_smoke () =
       "\"chaos\": true"; "\"converged\": true";
       "\"staleness_violations\": 0"; "gossip_frames_sent";
       "gossip_entries_merged"; "\"k_staleness\": 2"; "\"k_total\": 8";
-      "\"reconnects\"" ]
+      "\"reconnects\""; "\"service_durability\""; "\"variant\": \"off\"";
+      "\"variant\": \"never\""; "\"variant\": \"every-n-32\"";
+      "\"variant\": \"interval-5ms\"";
+      "\"variant\": \"never-every-op\""; "wal_appends"; "wal_flushes";
+      "\"fsyncs\""; "\"snapshots\""; "appends_every_op_over_envelope";
+      "write_heavy_wal_overhead_pct"; "p95_ns"; "max_ns"; "\"zipf_s\": 1.2";
+      "-hotkey" ]
 
 let suite =
   [ ("json basic", `Quick, test_json_basic);

@@ -27,8 +27,8 @@ FLOOR=$(awk '/"object":/ { obj = ($2 ~ /kcounter/) }
 echo "   (floor: kcounter read-heavy median >= $FLOOR ops/s)"
 dune exec bin/approx_cli.exe -- bench --smoke --out /tmp/BENCH_ci_smoke.json \
   --check-floor "$FLOOR" > /dev/null
-grep -q '"schema_version": 6' /tmp/BENCH_ci_smoke.json \
-  || { echo "smoke record is not schema_version 6"; exit 1; }
+grep -q '"schema_version": 7' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record is not schema_version 7"; exit 1; }
 grep -q '"fastpath"' /tmp/BENCH_ci_smoke.json \
   || { echo "smoke record missing the fastpath experiment"; exit 1; }
 grep -q '"read_ablation"' /tmp/BENCH_ci_smoke.json \
@@ -55,27 +55,37 @@ grep -q '"converged": true' /tmp/BENCH_ci_smoke.json \
   || { echo "smoke cluster cells did not converge"; exit 1; }
 grep -q '"staleness_violations": 0' /tmp/BENCH_ci_smoke.json \
   || { echo "smoke cluster cells violated the staleness envelope"; exit 1; }
+grep -q '"service_durability"' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record missing the durability sweep"; exit 1; }
+grep -q '"variant": "never-every-op"' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record missing the log-every-op ablation cell"; exit 1; }
+grep -q '"wal_appends"' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record missing WAL counters"; exit 1; }
+grep -q '"zipf_s": 1.2' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record missing the hot-key Zipf cell"; exit 1; }
 rm -f /tmp/BENCH_ci_smoke.json
 
-echo "== committed BENCH_6 record: schema, poller and cluster fields =="
-grep -q '"schema_version": 6' BENCH_6.json \
-  || { echo "BENCH_6.json is not schema_version 6"; exit 1; }
-grep -q '"service_io_scale"' BENCH_6.json \
-  || { echo "BENCH_6.json missing the poller scale sweep"; exit 1; }
-grep -q '"poller": "select"' BENCH_6.json \
-  || { echo "BENCH_6.json missing the select scale cells"; exit 1; }
-grep -q '"connections": 10000' BENCH_6.json \
-  || { echo "BENCH_6.json missing the 10k-connection cell"; exit 1; }
-grep -q '"max_ready_batch"' BENCH_6.json \
-  || { echo "BENCH_6.json missing dispatch-batch observability"; exit 1; }
-grep -q '"service_cluster"' BENCH_6.json \
-  || { echo "BENCH_6.json missing the cluster sweep"; exit 1; }
-grep -q '"nodes": 3' BENCH_6.json \
-  || { echo "BENCH_6.json missing the 3-node cells"; exit 1; }
-grep -q '"chaos": true' BENCH_6.json \
-  || { echo "BENCH_6.json missing the node-kill chaos cell"; exit 1; }
-grep -q '"gossip_frames_received"' BENCH_6.json \
-  || { echo "BENCH_6.json missing gossip counters"; exit 1; }
+echo "== committed BENCH_7 record: schema, cluster and durability fields =="
+grep -q '"schema_version": 7' BENCH_7.json \
+  || { echo "BENCH_7.json is not schema_version 7"; exit 1; }
+grep -q '"service_io_scale"' BENCH_7.json \
+  || { echo "BENCH_7.json missing the poller scale sweep"; exit 1; }
+grep -q '"poller": "select"' BENCH_7.json \
+  || { echo "BENCH_7.json missing the select scale cells"; exit 1; }
+grep -q '"connections": 10000' BENCH_7.json \
+  || { echo "BENCH_7.json missing the 10k-connection cell"; exit 1; }
+grep -q '"service_cluster"' BENCH_7.json \
+  || { echo "BENCH_7.json missing the cluster sweep"; exit 1; }
+grep -q '"chaos": true' BENCH_7.json \
+  || { echo "BENCH_7.json missing the node-kill chaos cell"; exit 1; }
+grep -q '"service_durability"' BENCH_7.json \
+  || { echo "BENCH_7.json missing the durability sweep"; exit 1; }
+grep -q '"variant": "never-every-op"' BENCH_7.json \
+  || { echo "BENCH_7.json missing the log-every-op ablation cell"; exit 1; }
+grep -q '"recovered_within_envelope": true' BENCH_7.json \
+  || { echo "BENCH_7.json kill -9 cell lost acked writes beyond the envelope"; exit 1; }
+grep -q '"recovered_from_disk": true' BENCH_7.json \
+  || { echo "BENCH_7.json kill -9 cell recovered nothing from disk"; exit 1; }
 
 echo "== unknown subcommand exits 2 with usage on stderr =="
 set +e
@@ -169,6 +179,59 @@ else
   echo "serve --poller epoll exited $EPOLL_PROBE (want 0 or 2)"; exit 1
 fi
 rm -f /tmp/approx_ci_epoll_err.txt
+
+echo "== durability smoke: WAL + fuzzy snapshots survive kill -9 =="
+# End-to-end crash recovery through the real binary: serve with a data
+# dir, push a write burst, SIGKILL (no shutdown path runs), restart on
+# the same dir and assert the state came back from disk; a follow-up
+# burst must then pass its own accuracy self-check on the recovered
+# state. SLO flag is exercised with a generous budget so the new exit
+# path stays covered.
+EXE=_build/default/bin/approx_cli.exe
+DURDIR=/tmp/approx_ci_dur_$$
+DURSOCK=${DURDIR}.sock
+rm -rf "$DURDIR" "$DURSOCK"
+mkdir -p "$DURDIR"
+start_dur_server() {
+  "$EXE" serve --shards 2 --io-domains 1 --unix "$DURSOCK" --duration 120 \
+    --data-dir "$DURDIR" --fsync never --snapshot-interval-ms 100 &
+  DUR_PID=$!
+}
+start_dur_server
+trap 'kill -9 $DUR_PID 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  [ -S "$DURSOCK" ] && break
+  sleep 0.1
+done
+[ -S "$DURSOCK" ] || { echo "durability server socket never appeared"; exit 1; }
+"$EXE" loadgen --unix "$DURSOCK" --connections 2 --ops 5000 --pipeline 8 \
+  --mix 0:9:1 --add-delta 8 --slo-p99-us 1000000
+kill -9 "$DUR_PID" 2>/dev/null || true
+wait "$DUR_PID" 2>/dev/null || true
+rm -f "$DURSOCK"
+start_dur_server
+for _ in $(seq 1 100); do
+  [ -S "$DURSOCK" ] && break
+  sleep 0.1
+done
+[ -S "$DURSOCK" ] || { echo "restarted durability server never came up"; exit 1; }
+"$EXE" stats --unix "$DURSOCK" > /tmp/approx_ci_dur_stats.json
+grep -q '"wal_appends"' /tmp/approx_ci_dur_stats.json \
+  || { echo "stats JSON missing durability counters"; exit 1; }
+if grep -q '"recovery_replayed_records": 0,' /tmp/approx_ci_dur_stats.json \
+   && ! grep -q '"recovery_snapshot_loaded": true' /tmp/approx_ci_dur_stats.json; then
+  echo "restart after kill -9 recovered nothing from disk"; exit 1
+fi
+# The recovered state must still satisfy the accuracy envelope under
+# fresh load (exact shadows are rebuilt from the recovered baseline).
+"$EXE" loadgen --unix "$DURSOCK" --connections 2 --ops 3000 --pipeline 8
+"$EXE" stats --unix "$DURSOCK" > /tmp/approx_ci_dur_stats.json
+grep -q '"acc_violations_total": 0' /tmp/approx_ci_dur_stats.json \
+  || { echo "recovered server violated the accuracy self-check"; exit 1; }
+kill "$DUR_PID" 2>/dev/null || true
+wait "$DUR_PID" 2>/dev/null || true
+trap - EXIT
+rm -rf "$DURDIR" "$DURSOCK" /tmp/approx_ci_dur_stats.json
 
 echo "== 3-node cluster smoke: delta gossip, hard node kill + blank restart =="
 # Exercise the replication plane end to end: three server processes
