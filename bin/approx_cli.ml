@@ -498,7 +498,7 @@ let bench_cmd =
                    two up to the recognized core count).")
   in
   let out_arg =
-    Arg.(value & opt string "BENCH_7.json"
+    Arg.(value & opt string "BENCH_8.json"
          & info [ "out" ] ~docv:"FILE" ~doc:"Output JSON path.")
   in
   let smoke_arg =
@@ -889,6 +889,28 @@ let parse_node_addrs s =
     if List.exists Option.is_none parsed then None
     else Some (List.map Option.get parsed)
 
+(* The first ["key": N] in a JSON blob — enough to lift a server-
+   stanza aggregate out of STATS without a parser. The server stanza
+   precedes the per-loop records in [Metrics.to_json], so the first
+   occurrence of a duplicated key is the cross-loop sum. *)
+let scan_json_int json key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let plen = String.length pat and jlen = String.length json in
+  let rec find i =
+    if i + plen > jlen then None
+    else if String.sub json i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+    let j = ref i in
+    while !j < jlen && json.[!j] = ' ' do incr j done;
+    let s = !j in
+    if !j < jlen && json.[!j] = '-' then incr j;
+    while !j < jlen && json.[!j] >= '0' && json.[!j] <= '9' do incr j done;
+    int_of_string_opt (String.sub json s (!j - s))
+
 let run_loadgen unix tcp connections ops pipeline read_permille mix add_delta
     targets zipf seed workers ramp poller min_throughput slo_p99_us nodes_spec
     replicas max_reconnects json =
@@ -957,7 +979,20 @@ let run_loadgen unix tcp connections ops pipeline read_permille mix add_delta
       1
     | r ->
     let open Service.Loadgen in
-    if json then
+    if json then begin
+      (* The name-intern counters live server-side: fetch STATS once
+         after the run so the JSON record carries the cache's hit rate
+         next to the client-side throughput it helped produce. -1 =
+         the post-run fetch failed (server already gone). *)
+      let intern_hits, intern_misses =
+        match Service.Client.connect (List.hd addrs) with
+        | exception Unix.Unix_error _ -> (-1, -1)
+        | client ->
+          let stats = Service.Client.stats_json client in
+          Service.Client.close client;
+          ( Option.value (scan_json_int stats "intern_hits") ~default:(-1),
+            Option.value (scan_json_int stats "intern_misses") ~default:(-1) )
+      in
       let module J = Mcore.Bench_json in
       print_endline
         (J.to_string
@@ -975,7 +1010,10 @@ let run_loadgen unix tcp connections ops pipeline read_permille mix add_delta
                 ("p50_ns", J.Int r.p50_ns);
                 ("p95_ns", J.Int r.p95_ns);
                 ("p99_ns", J.Int r.p99_ns);
-                ("max_ns", J.Int r.max_ns) ]))
+                ("max_ns", J.Int r.max_ns);
+                ("intern_hits", J.Int intern_hits);
+                ("intern_misses", J.Int intern_misses) ]))
+    end
     else begin
       Printf.printf
         "loadgen: %d conn x %d ops (window %d): %d ok, %d busy, %d errors, \
@@ -1179,5 +1217,5 @@ let () =
     exit 2
   end;
   let doc = "deterministic approximate objects (ICDCS 2021) playground" in
-  let info = Cmd.info "approx_cli" ~version:"1.7.0" ~doc in
+  let info = Cmd.info "approx_cli" ~version:"1.8.0" ~doc in
   exit (Cmd.eval' (Cmd.group info commands))

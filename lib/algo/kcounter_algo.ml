@@ -143,15 +143,40 @@ module Make (B : Backend.Backend_intf.S) = struct
     if u <> 0 && t.k > max_int / u then raise Zmath.Overflow;
     t.k * u
 
+  (* Unconditional scan of all n announcement cells, unrolled 4-wide:
+     the four [ann_load]s per iteration carry no data dependence on one
+     another, so on the flat strided announcement layout their cache
+     misses issue in parallel instead of one per loop-carried step.
+     Load order (0, 1, 2, ..., n-1) and load count are exactly the
+     plain loop's, so the charged-step sequence under Sim_backend is
+     unchanged. *)
   let collect_help t s ~pid =
-    for j = 0 to t.n - 1 do
-      s.help.(j) <- B.ann_sn (B.ann_load t.h ~pid j)
+    let n = t.n in
+    let j = ref 0 in
+    while !j + 3 < n do
+      let j0 = !j in
+      let a0 = B.ann_load t.h ~pid j0 in
+      let a1 = B.ann_load t.h ~pid (j0 + 1) in
+      let a2 = B.ann_load t.h ~pid (j0 + 2) in
+      let a3 = B.ann_load t.h ~pid (j0 + 3) in
+      s.help.(j0) <- B.ann_sn a0;
+      s.help.(j0 + 1) <- B.ann_sn a1;
+      s.help.(j0 + 2) <- B.ann_sn a2;
+      s.help.(j0 + 3) <- B.ann_sn a3;
+      j := j0 + 4
+    done;
+    while !j < n do
+      s.help.(!j) <- B.ann_sn (B.ann_load t.h ~pid !j);
+      incr j
     done
 
   (* The switch index announced by any process that announced at least
      twice since [collect_help], or -1. A top-level recursion, not a
      nested [let rec]: capturing [t]/[s] would allocate a closure on
-     the read path. *)
+     the read path. Deliberately *not* unrolled: this scan early-exits
+     at the first helper found, so issuing speculative extra [ann_load]s
+     would change the charged-step sequence the simulator counts
+     (unlike [collect_help], whose load count is unconditional). *)
   let rec check_help_from t s ~pid j =
     if j >= t.n then -1
     else begin

@@ -1,8 +1,14 @@
-(* The hardware instantiation of Backend_intf.S: primitives are OCaml 5
-   [Atomic] cells, padded to cache-line granularity (Padded) so
-   logically independent per-process state never false-shares, with
-   announcements packed into single immediate words (Packed) so the
-   announcement/helping paths stay allocation-free.
+(* The hardware instantiation of Backend_intf.S: array primitives are
+   contiguous Flat blocks (C11 atomics over unboxed words — see
+   flat.ml) laid out for memory-level parallelism: multi-writer
+   register arrays at stride 1 (sibling switches share cache lines, so
+   tree walks and unrolled scans issue independent line fetches),
+   single-writer slots and packed announcements at one-slot-per-line
+   stride (no false sharing between owning processes, still one block
+   to scan), and the switch sequence as stride-1 chunks behind a
+   growable directory. Scalar cells stay padded OCaml 5 [Atomic]s;
+   announcements are packed into single immediate words (Packed) so
+   the announcement/helping paths stay allocation-free.
 
    Step accounting is opt-in: a counting context keeps one padded
    per-pid slot and every primitive bumps the caller's slot (single
@@ -50,8 +56,15 @@ let write r ~pid v =
   bump r.r_ctx pid;
   Atomic.set r.cell v
 
-(* Multi-writer register arrays are materialised eagerly (one padded
-   atomic per slot); lazy materialisation is a simulator luxury.
+(* Multi-writer register arrays are one contiguous Flat block, stride
+   1: slot [i] is word [i], so siblings in a tree layout share a cache
+   line and an unrolled scan issues independent line fetches — the
+   memory-level-parallelism layout (the old one-padded-Atomic-per-slot
+   layout made every slot access a dependent pointer chase through
+   scattered heap blocks). Adjacent slots can false-share on writes; we
+   take that trade because reg arrays back the switch tree, whose
+   switches are written at most a handful of times but read on every
+   walk.
 
    [version] is the array's monotone modification watermark: bumped
    with a fetch&add *after* each write lands (the signature's ordering
@@ -60,35 +73,57 @@ let write r ~pid v =
    readers never contend with the data cells. *)
 type reg_array = {
   ra_ctx : ctx;
-  cells : int Atomic.t array;
+  cells : Flat.t;
   ra_version : int Atomic.t;
 }
 
 let reg_array c ?name:_ ~len ~init () =
   if len < 0 then invalid_arg "Atomic_backend.reg_array: negative length";
-  { ra_ctx = c; cells = Padded.atomic_array len init; ra_version = Padded.atomic 0 }
+  { ra_ctx = c; cells = Flat.make len init; ra_version = Padded.atomic 0 }
 
 let reg_get a ~pid i =
   bump a.ra_ctx pid;
-  Atomic.get a.cells.(i)
+  Flat.get a.cells i
 
 let reg_set a ~pid i v =
   bump a.ra_ctx pid;
-  Atomic.set a.cells.(i) v;
+  Flat.set a.cells i v;
   ignore (Atomic.fetch_and_add a.ra_version 1)
 
 let reg_array_version a ~pid =
   bump a.ra_ctx pid;
   Atomic.get a.ra_version
 
-type swmr_array = reg_array
+let reg_prefetch a i = Flat.prefetch a.cells i
 
-let swmr_array c ?name ~n ~init () =
+(* Single-writer slots are written concurrently by distinct pids, so
+   stride them one cache line apart inside one Flat block: no false
+   sharing on writes, yet a collect still walks one contiguous block
+   with index arithmetic (no per-slot pointer dereference) and its
+   unrolled loads issue in parallel. No version word — the signature
+   has no swmr watermark, so the old reg_array-backed implementation
+   paid a pure-overhead fetch&add on every write. *)
+let swmr_stride = Padded.padding_words + 1
+
+type swmr_array = { sw_ctx : ctx; sw_cells : Flat.t }
+
+let swmr_array c ?name:_ ~n ~init () =
   if n < 1 then invalid_arg "Atomic_backend.swmr_array: n < 1";
-  reg_array c ?name ~len:n ~init ()
+  let cells = Flat.make (n * swmr_stride) 0 in
+  for i = 0 to n - 1 do
+    Flat.set cells (i * swmr_stride) init
+  done;
+  { sw_ctx = c; sw_cells = cells }
 
-let swmr_read a ~pid i = reg_get a ~pid i
-let swmr_write a ~pid v = reg_set a ~pid pid v
+let swmr_read a ~pid i =
+  bump a.sw_ctx pid;
+  Flat.get a.sw_cells (i * swmr_stride)
+
+let swmr_write a ~pid v =
+  bump a.sw_ctx pid;
+  Flat.set a.sw_cells (pid * swmr_stride) v
+
+let swmr_prefetch a i = Flat.prefetch a.sw_cells (i * swmr_stride)
 
 (* ------------------------------------------------------------------ *)
 (* Test&set switch sequences                                           *)
@@ -102,43 +137,64 @@ exception Ts_capacity_exceeded of { index : int; max_capacity : int }
    so even j = 2^20 with k = 2 needs 2^(2^19) increments. *)
 let ts_max_capacity = Packed.max_value + 1
 
+(* Switches live in fixed-size Flat chunks behind a growable chunk
+   directory. Within a chunk the bits are contiguous (stride 1 — a
+   switch flips 0 -> 1 once, so write false sharing is a non-issue and
+   read scans get line locality); growing installs a larger directory
+   whose prefix *shares the chunk blocks* with the old one, so a
+   concurrent test&set racing a grow lands in a chunk both directories
+   point at and is never lost — the same cell-sharing property the old
+   copy-the-Atomic-pointers grow had, without copying any switch
+   state. *)
+let ts_chunk_bits = 8
+let ts_chunk_size = 1 lsl ts_chunk_bits
+
 type ts_array = {
   ts_ctx : ctx;
-  switches : int Atomic.t array Atomic.t;
+  chunks : Flat.t array Atomic.t;  (* directory of [ts_chunk_size] blocks *)
   ts_ver : int Atomic.t;  (* flip watermark; bumped after each 0 -> 1 flip *)
 }
+
+let[@inline] ts_chunks_for capacity =
+  (capacity + ts_chunk_size - 1) lsr ts_chunk_bits
 
 let ts_array c ?name:_ ?(capacity_hint = 1024) () =
   if capacity_hint < 1 || capacity_hint > ts_max_capacity then
     invalid_arg "Atomic_backend.ts_array: capacity_hint out of range";
   { ts_ctx = c;
-    switches = Atomic.make (Padded.atomic_array capacity_hint 0);
+    chunks =
+      Atomic.make
+        (Array.init (ts_chunks_for capacity_hint) (fun _ ->
+             Flat.make ts_chunk_size 0));
     ts_ver = Padded.atomic 0 }
 
-(* Install a larger switch array. The atomic cells themselves are
-   shared between the old and new arrays, so concurrent test&sets on
-   existing switches are unaffected; racing growers CAS and the losers
-   simply retry against the winner's (at least as large) array. *)
-let rec grow t j =
-  let arr = Atomic.get t.switches in
-  let len = Array.length arr in
-  if j < len then arr
+(* Install a larger directory for switch index [j] (chunk [chunk]).
+   Racing growers CAS and the losers retry against the winner's (at
+   least as large) directory. *)
+let rec grow t chunk j =
+  let dir = Atomic.get t.chunks in
+  let len = Array.length dir in
+  if chunk < len then dir
   else if j >= ts_max_capacity then
     raise (Ts_capacity_exceeded { index = j; max_capacity = ts_max_capacity })
   else begin
-    let len' = min ts_max_capacity (max (2 * len) (j + 1)) in
+    let len' = min (ts_chunks_for ts_max_capacity) (max (2 * len) (chunk + 1)) in
     let bigger =
-      Array.init len' (fun i -> if i < len then arr.(i) else Padded.atomic 0)
+      Array.init len' (fun i ->
+          if i < len then dir.(i) else Flat.make ts_chunk_size 0)
     in
-    ignore (Atomic.compare_and_set t.switches arr bigger);
-    grow t j
+    ignore (Atomic.compare_and_set t.chunks dir bigger);
+    grow t chunk j
   end
 
 let test_and_set t ~pid j =
   bump t.ts_ctx pid;
-  let arr = Atomic.get t.switches in
-  let arr = if j < Array.length arr then arr else grow t j in
-  let flipped = Atomic.compare_and_set arr.(j) 0 1 in
+  let chunk = j lsr ts_chunk_bits in
+  let dir = Atomic.get t.chunks in
+  let dir = if chunk < Array.length dir then dir else grow t chunk j in
+  let flipped =
+    Flat.compare_and_set dir.(chunk) (j land (ts_chunk_size - 1)) 0 1
+  in
   if flipped then ignore (Atomic.fetch_and_add t.ts_ver 1);
   flipped
 
@@ -146,17 +202,22 @@ let ts_version t ~pid =
   bump t.ts_ctx pid;
   Atomic.get t.ts_ver
 
-(* A switch beyond the current array was never set. *)
+(* A switch beyond the materialised chunks was never set. *)
 let ts_read t ~pid j =
   bump t.ts_ctx pid;
-  let arr = Atomic.get t.switches in
-  j < Array.length arr && Atomic.get arr.(j) <> 0
+  let chunk = j lsr ts_chunk_bits in
+  let dir = Atomic.get t.chunks in
+  chunk < Array.length dir
+  && Flat.get dir.(chunk) (j land (ts_chunk_size - 1)) <> 0
 
-let ts_capacity t = Array.length (Atomic.get t.switches)
+let ts_capacity t = Array.length (Atomic.get t.chunks) * ts_chunk_size
 
 let ts_states t =
-  let arr = Atomic.get t.switches in
-  List.init (Array.length arr) (fun i -> (i, Atomic.get arr.(i) <> 0))
+  let dir = Atomic.get t.chunks in
+  List.init
+    (Array.length dir * ts_chunk_size)
+    (fun j ->
+      (j, Flat.get dir.(j lsr ts_chunk_bits) (j land (ts_chunk_size - 1)) <> 0))
 
 (* ------------------------------------------------------------------ *)
 (* CAS cells                                                           *)
@@ -175,23 +236,31 @@ let compare_and_set r ~pid ~expect ~value =
 (* Announcements: Packed single-word atomics                           *)
 (* ------------------------------------------------------------------ *)
 
-type ann_array = { an_ctx : ctx; cells : int Atomic.t array }
+(* One Packed word per process, cache-line strided in a single Flat
+   block (announcements are single-writer like swmr slots): the
+   helping scan's unrolled loads walk one block with independent line
+   fetches instead of chasing a boxed Atomic per process. *)
+type ann_array = { an_ctx : ctx; an_cells : Flat.t }
 
 type ann = int
 
 let ann_max_value = Packed.max_value
 
+let ann_stride = Padded.padding_words + 1
+
 let ann_array c ?name:_ ~n () =
   if n < 1 then invalid_arg "Atomic_backend.ann_array: n < 1";
-  { an_ctx = c; cells = Padded.atomic_array n (Packed.pack ~value:0 ~sn:0) }
+  let zero = Packed.pack ~value:0 ~sn:0 in
+  let cells = Flat.make (n * ann_stride) zero in
+  { an_ctx = c; an_cells = cells }
 
 let announce a ~pid ~value ~sn =
   bump a.an_ctx pid;
-  Atomic.set a.cells.(pid) (Packed.pack ~value ~sn)
+  Flat.set a.an_cells (pid * ann_stride) (Packed.pack ~value ~sn)
 
 let ann_load a ~pid i =
   bump a.an_ctx pid;
-  Atomic.get a.cells.(i)
+  Flat.get a.an_cells (i * ann_stride)
 
 let ann_value = Packed.value
 let ann_sn = Packed.sn

@@ -1,11 +1,18 @@
-(** The hardware backend: primitives over padded OCaml 5 [Atomic]
-    cells, runnable across domains.
+(** The hardware backend: array primitives over contiguous {!Flat}
+    atomic blocks, scalar cells over padded OCaml 5 [Atomic]s,
+    runnable across domains.
 
     Satisfies {!Backend_intf.S} with every operation allocation-free
-    ([ann] is a {!Packed} immediate word; per-process state is padded
-    to cache-line granularity so distinct pids never contend on a
-    line). The switch sequence starts at [capacity_hint] cells and
-    grows lock-free (by doubling) on demand; the absolute ceiling is
+    ([ann] is a {!Packed} immediate word). Layouts are chosen for
+    memory-level parallelism: multi-writer register arrays are one
+    flat block at stride 1 (tree siblings share cache lines; unrolled
+    scans issue independent line fetches; {!Backend_intf.S.reg_prefetch}
+    is a real [__builtin_prefetch]), while single-writer slots and
+    announcements are one flat block at one-slot-per-cache-line stride
+    so distinct pids never contend on a line. The switch sequence is
+    stride-1 flat chunks behind a directory that grows lock-free on
+    demand from [capacity_hint], sharing chunk blocks across grows so
+    concurrent test&sets are never lost; the absolute ceiling is
     [Packed.max_value + 1 = 2^20] switches, imposed by the packed
     announcement encoding, beyond which {!Ts_capacity_exceeded}
     reports both the index and the ceiling. *)

@@ -92,6 +92,17 @@ module type S = sig
       agree), because a write may land between a stamp load and the
       value read. *)
 
+  val reg_prefetch : reg_array -> int -> unit
+  (** Uncharged memory-locality hint: ask the backend to start pulling
+      slot [i] toward the caller's cache. Semantically a no-op — zero
+      charged steps, no [~pid], no fault injection, no observable
+      value — so algorithms may hint speculatively (e.g. a tree walk
+      hints both children before the switch read that picks one)
+      without perturbing the primitive step sequence the simulator
+      charges. Tolerates any index — a hint for a slot that does not
+      exist is simply useless, never an error. Backends without a
+      physical cache ignore it. *)
+
   (** {2 Single-writer register arrays}
 
       One slot per process; slot [i] is written only by process [i]
@@ -106,6 +117,10 @@ module type S = sig
 
   val swmr_write : swmr_array -> pid:int -> int -> unit
   (** [swmr_write a ~pid v] writes [pid]'s own slot. *)
+
+  val swmr_prefetch : swmr_array -> int -> unit
+  (** Uncharged locality hint for slot [i]; same contract as
+      {!reg_prefetch}. *)
 
   (** {2 Test&set switch sequences}
 

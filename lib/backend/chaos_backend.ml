@@ -86,6 +86,12 @@ module Make (B : Backend_intf.S) = struct
     maybe_pause a.ra_ctx pid;
     B.reg_array_version a.ra ~pid
 
+  (* Hints are uncharged non-primitives, so no [maybe_pause]: injecting
+     around them would advance the per-pid RNG stream and change which
+     *real* primitives get paused, breaking the pure-function-of-
+     (seed, pid, #primitives) determinism contract. *)
+  let reg_prefetch a i = B.reg_prefetch a.ra i
+
   type swmr_array = { sw_ctx : ctx; sw : B.swmr_array }
 
   let swmr_array c ?name ~n ~init () =
@@ -98,6 +104,8 @@ module Make (B : Backend_intf.S) = struct
   let swmr_write a ~pid v =
     maybe_pause a.sw_ctx pid;
     B.swmr_write a.sw ~pid v
+
+  let swmr_prefetch a i = B.swmr_prefetch a.sw i
 
   exception Ts_capacity_exceeded = B.Ts_capacity_exceeded
 

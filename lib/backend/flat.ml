@@ -1,0 +1,38 @@
+(* Contiguous atomic int arrays: a plain [int array] whose slots are
+   accessed exclusively through C stubs performing C11 seq_cst atomic
+   operations on the tagged words in place (see flat_stubs.c).
+
+   Contrast with [Padded.atomic_array], which boxes every slot in its
+   own padded [Atomic.t] block: there a scan dereferences one pointer
+   per slot (a dependent load chain through scattered heap blocks),
+   here a scan walks consecutive words of one block, so unrolled reads
+   issue independent cache-line fetches and siblings share lines. The
+   cost is write-side false sharing between adjacent slots — callers
+   that write concurrently from distinct processes should space their
+   slots out (see [Atomic_backend]'s stride-16 layouts). *)
+
+type t = int array
+
+let make len init =
+  if len < 0 then invalid_arg "Flat.make: negative length";
+  Array.make len init
+
+let length = Array.length
+
+external get : t -> int -> int = "caml_flat_get" [@@noalloc]
+external set : t -> int -> int -> unit = "caml_flat_set" [@@noalloc]
+
+external compare_and_set : t -> int -> int -> int -> bool = "caml_flat_cas"
+[@@noalloc]
+
+external fetch_add : t -> int -> int -> int = "caml_flat_fetch_add"
+[@@noalloc]
+
+(* The hint must be a true prefetch instruction, not a discarded real
+   load: a demand load that misses occupies a load-buffer entry until
+   the line arrives and cannot retire before it completes, so issuing
+   several per tree level stalls the pipeline at exactly the moment
+   the walk wants to run ahead. [__builtin_prefetch] retires
+   immediately and lets the fill proceed fully in the background —
+   measurably faster on cold walks despite the C-call overhead. *)
+external prefetch : t -> int -> unit = "caml_flat_prefetch" [@@noalloc]

@@ -1,0 +1,67 @@
+/* C11 atomic operations (plus a prefetch hint) over the fields of an
+   ordinary OCaml [int array].
+
+   An [int array] stores its elements as tagged immediates (2v + 1) in
+   consecutive words, so treating a field address as [_Atomic intnat *]
+   gives sequentially-consistent loads/stores/CAS on the tagged word
+   directly — no boxing, no indirection, and adjacent logical slots sit
+   on the same cache line, which is what the memory-level-parallelism
+   pass needs (sibling loads coalesce; unrolled scans issue independent
+   lines).
+
+   Tagging arithmetic: tag(a + d) = 2(a + d) + 1 = tag(a) + 2d, so
+   fetch-and-add adds the *untagged* delta twice to the tagged word.
+
+   Safety: every stub is [@@noalloc] and contains no allocation and no
+   safepoint poll, so the GC cannot move the array while a call is in
+   flight (moving requires every domain to reach a poll). All access to
+   a Flat array goes through these stubs; the OCaml side never reads
+   the fields directly. */
+
+#include <stdatomic.h>
+#include <caml/mlvalues.h>
+
+static _Atomic intnat *flat_slot(value arr, value idx)
+{
+  return &((_Atomic intnat *)Op_val(arr))[Long_val(idx)];
+}
+
+CAMLprim value caml_flat_get(value arr, value idx)
+{
+  return (value)atomic_load_explicit(flat_slot(arr, idx),
+                                     memory_order_seq_cst);
+}
+
+CAMLprim value caml_flat_set(value arr, value idx, value v)
+{
+  atomic_store_explicit(flat_slot(arr, idx), (intnat)v,
+                        memory_order_seq_cst);
+  return Val_unit;
+}
+
+CAMLprim value caml_flat_cas(value arr, value idx, value expect, value desired)
+{
+  intnat e = (intnat)expect;
+  return Val_bool(atomic_compare_exchange_strong_explicit(
+      flat_slot(arr, idx), &e, (intnat)desired, memory_order_seq_cst,
+      memory_order_seq_cst));
+}
+
+CAMLprim value caml_flat_fetch_add(value arr, value idx, value delta)
+{
+  return (value)atomic_fetch_add_explicit(flat_slot(arr, idx),
+                                          2 * Long_val(delta),
+                                          memory_order_seq_cst);
+}
+
+/* A true prefetch instruction, not a discarded load: a demand load
+   that misses pins a load-buffer entry and cannot retire until the
+   line arrives, which stalls the very walk the hint is meant to
+   accelerate; the hint form retires immediately and fills in the
+   background. Read-intent, moderate temporal locality. */
+CAMLprim value caml_flat_prefetch(value arr, value idx)
+{
+  __builtin_prefetch((void *)flat_slot(arr, idx), 0, 2);
+  return Val_unit;
+}
+

@@ -91,6 +91,12 @@ let reg_array_version a ~pid =
   ignore (Sim.Api.read a.ra_ctx.scratch);
   a.ra_version
 
+(* Prefetch hints are pure no-ops here: they are uncharged (no [bump],
+   no simulated access), which is exactly what keeps the flattened hot
+   paths step-exact — hints change nothing about the charged-step
+   sequence the paper's complexity statements count. *)
+let reg_prefetch _ _ = ()
+
 type swmr_array = { sw_ctx : ctx; cells : Sim.Memory.obj_id array }
 
 let swmr_array c ?(name = "swmr") ~n ~init () =
@@ -105,6 +111,8 @@ let swmr_read a ~pid i =
 let swmr_write a ~pid v =
   bump a.sw_ctx pid;
   Sim.Api.write a.cells.(pid) v
+
+let swmr_prefetch _ _ = ()
 
 (* ------------------------------------------------------------------ *)
 (* Test&set switch sequences: an unbounded region                      *)

@@ -16,6 +16,17 @@ type config = {
   sim_k : int;
   sim_ops_per_process : int;
   fastpath_batch_sizes : int list;
+  mlp_cells : (string * int * int) list;
+      (* (label, objects, m) working-set sweep of the walk-vs-flat
+         memory-level-parallelism cells: [objects] tree max registers
+         of bound [m] each, driven read-heavy. Sized so the boxed
+         pre-PR layout (one padded cache line per switch) crosses the
+         LLC while the flat layout may still fit — the density gap is
+         part of what the flat layout buys. *)
+  mlp_write_permille : int;
+      (* random-value writes per 1000 ops in the mlp cells (the rest
+         are reads); writes keep the registers' max paths moving so
+         reads do not settle on one immutable spine *)
   service_shards : int list;
   service_pipeline : int list;
   service_mixes : service_mix list;
@@ -109,6 +120,21 @@ let default_config =
     sim_k = 4;
     sim_ops_per_process = 2048;
     fastpath_batch_sizes = [ 1; 16; 256; 4096 ];
+    (* Boxed-layout footprint per cell: objects * 2^(ceil_log2 m + 1)
+       nodes * 144 B/node (a 136 B padded box plus its pointer slot) —
+       72 MiB / 576 MiB / 1.1 GiB across the three cells, walking the
+       pre-PR layout from comfortably cache-resident to several times
+       any plausible LLC; the flat layout is 18x denser (8 B/node), so
+       it still fits where the boxed heap has long since spilled.
+       Many medium-depth objects with random per-op object selection,
+       rather than one giant register, is what keeps each object's
+       root-to-leaf spine cold between visits — a single object's
+       current-max path stays hot no matter how large m is. *)
+    mlp_cells =
+      [ ("cache-resident", 256, 1 lsl 10);
+        ("llc-edge", 1024, 1 lsl 11);
+        ("llc-exceeding", 1024, 1 lsl 12) ];
+    mlp_write_permille = 50;
     service_shards = [ 1; 2; 4 ];
     service_pipeline = [ 1; 8; 32 ];
     service_mixes = default_mixes;
@@ -135,7 +161,7 @@ let default_config =
     (* Sized so the 0.25 s SIGKILL lands mid-load on this host (~0.3 s
        of ops would finish before a later kill). *)
     service_durability_chaos_ops = 150_000;
-    out_path = "BENCH_7.json" }
+    out_path = "BENCH_8.json" }
 
 let smoke_config =
   { trials = 3;
@@ -146,6 +172,8 @@ let smoke_config =
     sim_k = 2;
     sim_ops_per_process = 64;
     fastpath_batch_sizes = [ 1; 16 ];
+    mlp_cells = [ ("smoke", 2, 1 lsl 8) ];
+    mlp_write_permille = 50;
     service_shards = [ 2 ];
     service_pipeline = [ 1; 8 ];
     service_mixes =
@@ -358,6 +386,178 @@ let fastpath cfg =
   J.Obj
     [ ("read_ablation", J.List (fastpath_read_ablation cfg));
       ("inc_batching", J.List (fastpath_inc_batching cfg)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Memory-level parallelism: walk vs flat tree-maxreg layouts          *)
+(* ------------------------------------------------------------------ *)
+
+(* The flat layout under test: the AACH switch tree over the atomic
+   backend's contiguous register block — stride-1 siblings, the read
+   loop's index arithmetic and uncharged prefetch hints. *)
+module Mlp_flat_tree = Algo.Tree_maxreg_algo.Make (Backend.Atomic_backend)
+
+(* The pre-PR layout, replicated bench-locally so the record carries
+   the ablation instead of a before/after diff across revisions: an
+   [int Atomic.t array] of per-slot boxed atomics, each inflated to
+   its own cache line ([Padded.atomic_array] — exactly what the
+   atomic backend's register arrays used to be), walked by the old
+   (index, span) recursion with no hints. Every level of the walk is
+   two dependent loads (pointer-array slot, then the box it points
+   at) and every node is 128 B apart, so a cold walk is a serial
+   chain of line misses — the behaviour the flat layout kills. The
+   node sequence and split arithmetic are identical to the flat
+   walk's, so both variants do the same number of switch probes per
+   op; only memory layout and load independence differ. (The flat
+   side also pays one predictable ctx branch per probe for step
+   accounting — noise next to a line fetch.) *)
+module Mlp_boxed_tree = struct
+  type t = { m : int; cells : int Atomic.t array }
+
+  let create ~m =
+    let len = 2 * Zmath.pow 2 (Zmath.ceil_log2 (max m 1)) in
+    { m; cells = Backend.Padded.atomic_array len 0 }
+
+  let rec write_node t i span v =
+    if span > 1 then begin
+      let half = (span + 1) / 2 in
+      if v < half then begin
+        if Atomic.get t.cells.(i) = 0 then write_node t (2 * i) half v
+      end
+      else begin
+        write_node t ((2 * i) + 1) (span - half) (v - half);
+        Atomic.set t.cells.(i) 1
+      end
+    end
+
+  let write t v = write_node t 1 t.m v
+
+  let rec read_node t i span acc =
+    if span <= 1 then acc
+    else
+      let half = (span + 1) / 2 in
+      if Atomic.get t.cells.(i) = 1 then
+        read_node t ((2 * i) + 1) (span - half) (acc + half)
+      else read_node t (2 * i) half acc
+
+  let read t = read_node t 1 t.m 0
+end
+
+(* Deterministic 48-bit LCG (the classic drand48 multiplier): both
+   variants of a cell replay the identical op sequence from the same
+   seed, so their final register values must agree — recorded as a
+   correctness gate on the bench itself. Constants fit OCaml's 63-bit
+   ints without assembly. *)
+let mlp_lcg_next s =
+  s := ((!s * 25214903917) + 11) land 0xFFFFFFFFFFFF;
+  !s lsr 16
+
+(* One (objects, m) cell, one layout variant. Read-heavy: most ops
+   walk one of [objects] trees root-to-leaf; [write_permille] ops
+   write a uniformly random value, which (a) descends a uniformly
+   random root-to-leaf path — at the large-m cells those paths range
+   over a heap far past the LLC, so the walk runs against cold lines
+   — and (b) keeps the maximum (and with it the read path) moving
+   until it saturates. Reads re-walk the current-max path; their cost
+   is what the interleaved write traffic leaves of it in cache. *)
+let mlp_cell cfg ~label ~objects ~m ~write_permille =
+  let variants =
+    [ ("boxed-walk",
+       fun () ->
+         let ts = Array.init objects (fun _ -> Mlp_boxed_tree.create ~m) in
+         ((fun j v -> Mlp_boxed_tree.write ts.(j) v),
+          (fun j -> Mlp_boxed_tree.read ts.(j))));
+      ("flat",
+       fun () ->
+         let ctx = Backend.Atomic_backend.ctx () in
+         let ts =
+           Array.init objects (fun j ->
+               Mlp_flat_tree.create ctx ~name:(Printf.sprintf "mlp%d" j) ~m ())
+         in
+         ((fun j v -> Mlp_flat_tree.write ts.(j) ~pid:0 v),
+          (fun j -> Mlp_flat_tree.read ts.(j) ~pid:0))) ]
+  in
+  let rows =
+    List.map
+      (fun (variant, make) ->
+        let write, read = make () in
+        let rng = ref 42 in
+        let final = ref 0 in
+        let worker ~pid:_ ~op_index:_ =
+          let r = mlp_lcg_next rng in
+          let j = r mod objects in
+          if mlp_lcg_next rng mod 1000 < write_permille then
+            write j (mlp_lcg_next rng mod m)
+          else final := read j
+        in
+        let stats =
+          Mcore.Throughput.measure ~warmup_trials:cfg.warmup_trials
+            ~trials:cfg.trials ~domains:1 ~ops_per_domain:cfg.ops_per_domain
+            ~worker ()
+        in
+        (variant, stats, !final))
+      variants
+  in
+  let median variant =
+    List.find_map
+      (fun (v, s, _) ->
+        if String.equal v variant then
+          Some s.Mcore.Throughput.s_median_ops_per_sec
+        else None)
+      rows
+  in
+  let finals = List.map (fun (_, _, f) -> f) rows in
+  let agree =
+    match finals with f :: rest -> List.for_all (Int.equal f) rest | [] -> true
+  in
+  let speedup =
+    match (median "flat", median "boxed-walk") with
+    | Some f, Some b when b > 0.0 -> f /. b
+    | _ -> Float.nan
+  in
+  ( J.Obj
+      [ ("cell", J.Str label);
+        ("objects", J.Int objects);
+        ("m", J.Int m);
+        ("write_permille", J.Int write_permille);
+        ("workload", J.Str "read-heavy");
+        ("boxed_heap_bytes",
+         (* 17-word padded box + pointer-array slot per node *)
+         J.Int (objects * 2 * Zmath.pow 2 (Zmath.ceil_log2 m) * 144));
+        ("flat_heap_bytes",
+         (* one word per node in the contiguous block *)
+         J.Int (objects * 2 * Zmath.pow 2 (Zmath.ceil_log2 m) * 8));
+        ("variants",
+         J.List
+           (List.map
+              (fun (variant, stats, _) ->
+                J.Obj (("variant", J.Str variant) :: stats_fields stats))
+              rows));
+        ("finals_agree", J.Bool agree);
+        ("flat_over_boxed_speedup", J.Float speedup) ],
+    (label, speedup, agree) )
+
+let mlp cfg =
+  let cells =
+    List.map
+      (fun (label, objects, m) ->
+        mlp_cell cfg ~label ~objects ~m
+          ~write_permille:cfg.mlp_write_permille)
+      cfg.mlp_cells
+  in
+  let rows = List.map fst cells in
+  let summaries = List.map snd cells in
+  (* The headline number: the largest (last) cell — the LLC-exceeding
+     regime where dependent-load serialisation dominates. *)
+  let last_speedup =
+    match List.rev summaries with (_, s, _) :: _ -> s | [] -> Float.nan
+  in
+  let all_agree = List.for_all (fun (_, _, a) -> a) summaries in
+  J.Obj
+    [ ("cells", J.List rows);
+      ("summary",
+       J.Obj
+         [ ("largest_cell_flat_over_boxed_speedup", J.Float last_speedup);
+           ("all_finals_agree", J.Bool all_agree) ]) ]
 
 (* ------------------------------------------------------------------ *)
 (* Service layer: end-to-end throughput through the wire protocol      *)
@@ -1437,7 +1637,7 @@ let simulator_metrics cfg =
 let bench_json cfg =
   let cores = detect_cores () in
   J.Obj
-    [ ("schema_version", J.Int 7);
+    [ ("schema_version", J.Int 8);
       ("suite", J.Str "approx_objects perf pipeline");
       ("host",
        J.Obj
@@ -1454,6 +1654,15 @@ let bench_json cfg =
            ("domains", J.List (List.map (fun d -> J.Int d) cfg.domains));
            ("fastpath_batch_sizes",
             J.List (List.map (fun b -> J.Int b) cfg.fastpath_batch_sizes));
+           ("mlp_cells",
+            J.List
+              (List.map
+                 (fun (label, objects, m) ->
+                   J.Obj
+                     [ ("cell", J.Str label); ("objects", J.Int objects);
+                       ("m", J.Int m) ])
+                 cfg.mlp_cells));
+           ("mlp_write_permille", J.Int cfg.mlp_write_permille);
            ("service_shards",
             J.List (List.map (fun s -> J.Int s) cfg.service_shards));
            ("service_pipeline",
@@ -1503,6 +1712,7 @@ let bench_json cfg =
       ("counter_throughput", J.List (counter_throughput cfg));
       ("maxreg_throughput", J.List (maxreg_throughput cfg));
       ("fastpath", fastpath cfg);
+      ("mlp", mlp cfg);
       ("service", J.List (service_throughput cfg));
       ("service_io", J.List (service_io_throughput cfg));
       ("service_io_scale", J.List (service_scale_throughput cfg));
@@ -1625,6 +1835,35 @@ let run ?(quiet = false) cfg =
                      "  batching  %-9s batch=%-5.0f domains=%.0f  %8.2f M incs/s\n"
                      (str_of r "object") (num_of r "batch") (num_of r "domains")
                      (num_of r "increments_per_sec_median" /. 1e6)
+                 | _ -> ())
+               rows
+           | _ -> ())
+        | _ -> ());
+       (match List.assoc_opt "mlp" fields with
+        | Some (J.Obj mlp) ->
+          (match List.assoc_opt "cells" mlp with
+           | Some (J.List rows) ->
+             List.iter
+               (fun row ->
+                 match row with
+                 | J.Obj r ->
+                   let med variant =
+                     match List.assoc_opt "variants" r with
+                     | Some (J.List vs) ->
+                       List.fold_left
+                         (fun acc v ->
+                           match v with
+                           | J.Obj vr when str_of vr "variant" = variant ->
+                             num_of vr "ops_per_sec_median"
+                           | _ -> acc)
+                         Float.nan vs
+                     | _ -> Float.nan
+                   in
+                   Printf.printf
+                     "  mlp       %-14s m=%-7.0f boxed %8.2f Mops/s  flat %8.2f Mops/s  speedup %5.2fx\n"
+                     (str_of r "cell") (num_of r "m")
+                     (med "boxed-walk" /. 1e6) (med "flat" /. 1e6)
+                     (num_of r "flat_over_boxed_speedup")
                  | _ -> ())
                rows
            | _ -> ())

@@ -5,7 +5,10 @@
     exact baselines, across domain counts and operation mixes, each
     summarised as min/median/max over repeated trials), the slack-aware
     fast-path ablation (validated-cache reads vs plain reads, and
-    batched [add] vs unit increments across batch sizes), end-to-end
+    batched [add] vs unit increments across batch sizes), the
+    memory-level-parallelism working-set sweep (the pre-PR boxed
+    switch walk vs the flat prefetching layout on the tree max
+    register, from cache-resident to LLC-exceeding), end-to-end
     service-layer throughput and latency percentiles (the sharded
     server of {!Service.Server} driven by {!Service.Loadgen} over the
     wire protocol, swept across shard counts, pipeline windows and
@@ -35,6 +38,24 @@ type config = {
   sim_ops_per_process : int;  (** simulator: ops per process *)
   fastpath_batch_sizes : int list;
       (** batch sizes for the [add] batching ablation *)
+  mlp_cells : (string * int * int) list;
+      (** Memory-level-parallelism sweep: [(label, objects, m)] cells,
+          each measuring [objects] tree max registers of bound [m]
+          under a read-heavy single-domain workload, once over the
+          pre-PR boxed layout (one padded cache line per switch,
+          recursive walk, no hints) and once over the flat contiguous
+          layout (stride-1 block, index-arithmetic read loop, prefetch
+          hints). Labels should run from cache-resident to
+          LLC-exceeding; the record carries per-variant min/median/max
+          plus the flat-over-boxed speedup, and a cross-variant
+          final-value agreement gate (both layouts replay the same
+          seeded op sequence). *)
+  mlp_write_permille : int;
+      (** Random-value writes per 1000 ops in the mlp cells; the
+          remaining ops are reads. Each op picks a uniformly random
+          object, so with enough objects every walk starts cold —
+          the object-count axis, not the write ratio, is what drags
+          the working set past the LLC. *)
   service_shards : int list;  (** service: shard counts to sweep *)
   service_pipeline : int list;  (** service: in-flight windows to sweep *)
   service_mixes : service_mix list;  (** service: op mixes to sweep *)
@@ -127,8 +148,10 @@ val default_config : config
     node-kill chaos cell (6 connections, 5k ops/conn; 50k ops/conn
     under chaos); the durability sweep (4 connections x 10k ops per
     ablation cell, 150k ops/conn for the kill -9 recovery cell) plus a
-    hot-key Zipf(1.2) service cell; writes [BENCH_7.json] in the
-    current directory. *)
+    hot-key Zipf(1.2) service cell; the mlp sweep over three
+    working-set cells (pre-PR boxed footprints 72 MiB / 576 MiB /
+    1.1 GiB; 18x smaller flat) at 50 permille writes; writes
+    [BENCH_8.json] in the current directory. *)
 
 val smoke_config : config
 (** Tiny counts (3 trials x 500 ops, 64 sim ops) for the [dune runtest]

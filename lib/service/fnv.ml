@@ -1,0 +1,48 @@
+(* Seeded FNV-1a over the full byte string, folded into OCaml's 63-bit
+   nonnegative int range.
+
+   Why not [Hashtbl.hash]: it stops sampling after a prefix of the
+   input (10 "significant" characters by default), so object names
+   that share a long common prefix — exactly the shape generated
+   namespaces produce ("tenant-0042-counter-…") — collide wholesale,
+   and every collision is a shard or ring hotspot. FNV-1a consumes
+   every byte, is allocation-free, and is trivially seedable, which
+   placement uses to keep the vnode ring and the name hash in
+   distinct streams.
+
+   The constants are the standard 64-bit FNV parameters. The offset
+   basis 0xCBF29CE484222325 does not fit a 62-bit OCaml int literal,
+   so it is assembled from two halves; multiplication and xor then
+   wrap in native int arithmetic, and the final [land max_int] clears
+   the sign bit so results are directly usable as [mod]/[land]
+   indices. Every participant (server, client, loadgen) derives
+   placement from this same function, so they agree on the ring
+   without exchanging state — the property the old Hashtbl.hash ring
+   relied on, preserved here.
+
+   The raw FNV state is run through a splitmix64-style finalizer
+   before folding: FNV's multiply only carries entropy upward, so for
+   short strings the low bits mix well but the high bits are
+   dominated by the common prefix — measured on "vnode-N#V" labels,
+   all 64 of a node's raw hashes land in 1-2 of the top-level
+   octants, which skews the sorted placement ring badly (one node
+   owned half the arc). The xor-shift/multiply rounds avalanche every
+   input bit into every output bit, making both [mod shards] (low
+   bits) and ring order (high bits) uniform. The mix constants wrap
+   through OCaml's 63-bit ints; only their mixing quality matters,
+   not their exact 64-bit values. *)
+
+let offset_basis = (0x4BF29CE4 lsl 32) lor 0x84222325
+let prime = 0x100000001B3
+let mix1 = (0x7F51AFD7 lsl 32) lor 0xED558CCD
+let mix2 = (0x44CEB9FE lsl 32) lor 0x1A85EC53
+
+let hash ?(seed = 0) s =
+  let h = ref (offset_basis lxor seed) in
+  for i = 0 to String.length s - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * prime
+  done;
+  let h = !h in
+  let h = (h lxor (h lsr 33)) * mix1 in
+  let h = (h lxor (h lsr 33)) * mix2 in
+  (h lxor (h lsr 33)) land max_int

@@ -1,0 +1,20 @@
+(** Seeded FNV-1a string hashing (64-bit parameters, folded to the
+    nonnegative OCaml int range).
+
+    The service plane's one hash function: shard routing
+    ({!Objects.shard_of_name}), the consistent-hash ring
+    ({!Placement}), and the connection-local name-intern cache all
+    key off it. Unlike [Hashtbl.hash] it consumes {e every} byte of
+    the input — names differing only deep in a long common prefix
+    hash apart — and is deterministic across processes and OCaml
+    versions, which placement depends on: every participant derives
+    the same ring from the same names.
+
+    Allocation-free. *)
+
+val hash : ?seed:int -> string -> int
+(** [hash ?seed s] is FNV-1a over all bytes of [s], xor-seeded into
+    the offset basis, with the sign bit cleared ([>= 0] always).
+    [seed] defaults to [0]; distinct seeds give independent streams
+    (placement separates vnode-ring points from name lookups this
+    way). *)

@@ -111,17 +111,20 @@ let tick st =
      echoes a restarted peer needs to close its recovery window. *)
   let full = c.g_rounds = 1 || c.g_rounds mod full_sync_period = 0 in
   if full then c.g_full_syncs <- c.g_full_syncs + 1;
-  let objs = Objects.to_list st.table in
-  (* Export once per object; the dirty flag is consumed here and
-     restored below if a connected peer misses the frame. *)
+  (* Export once per object (an array sweep over the table, newest
+     dense-id order = registration order); the dirty flag is consumed
+     here and restored below if a connected peer misses the frame. *)
   let picked =
-    List.filter_map
+    let acc = ref [] in
+    Objects.iter
       (fun o ->
         let dirty = Objects.take_dirty o in
         if full || dirty then
-          Some (o, ((Objects.spec o).Objects.name, Objects.export_delta o))
-        else None)
-      objs
+          acc :=
+            (o, ((Objects.spec o).Objects.name, Objects.export_delta o))
+            :: !acc)
+      st.table;
+    List.rev !acc
   in
   (* A peer with no live connection gets the full hosted set instead
      of the dirty share, every tick until a send lands: the other end
@@ -131,9 +134,13 @@ let tick st =
      connected and this is never built. *)
   let full_export =
     lazy
-      (List.map
-         (fun o -> ((Objects.spec o).Objects.name, Objects.export_delta o))
-         objs)
+      (let acc = ref [] in
+       Objects.iter
+         (fun o ->
+           acc := ((Objects.spec o).Objects.name, Objects.export_delta o)
+                  :: !acc)
+         st.table;
+       List.rev !acc)
   in
   let dirty_ok = ref true in
   List.iter

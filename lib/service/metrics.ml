@@ -57,6 +57,8 @@ type io_loop = {
   mutable l_hello_rejects : int;  (* Bad_version / missing HELLO closes *)
   mutable l_gossip_frames : int;  (* inbound GOSSIP frames *)
   mutable l_gossip_entries : int;  (* entries routed to shards *)
+  mutable l_intern_hits : int;  (* object ops resolved from the conn cache *)
+  mutable l_intern_misses : int;  (* object ops that walked the name table *)
   l_cycle_ns : Histogram.t;
   l_flush_bytes : Histogram.t;
   l_read_batch : Histogram.t;
@@ -167,6 +169,8 @@ let create ?(node_id = 0) ?(nodes = 1) ?(replicas = 1)
               l_hello_rejects = 0;
               l_gossip_frames = 0;
               l_gossip_entries = 0;
+              l_intern_hits = 0;
+              l_intern_misses = 0;
               l_cycle_ns = Histogram.create ();
               l_flush_bytes = Histogram.create ();
               l_read_batch = Histogram.create () });
@@ -219,6 +223,8 @@ let hellos t = sum_loops t (fun l -> l.l_hellos)
 let hello_rejects t = sum_loops t (fun l -> l.l_hello_rejects)
 let gossip_frames_received t = sum_loops t (fun l -> l.l_gossip_frames)
 let gossip_entries_merged t = sum_loops t (fun l -> l.l_gossip_entries)
+let intern_hits t = sum_loops t (fun l -> l.l_intern_hits)
+let intern_misses t = sum_loops t (fun l -> l.l_intern_misses)
 
 let sum_shards t f = Array.fold_left (fun acc s -> acc + f s) 0 t.shards
 
@@ -290,6 +296,8 @@ let io_loop_json l =
       ("hello_rejects", J.Int l.l_hello_rejects);
       ("gossip_frames", J.Int l.l_gossip_frames);
       ("gossip_entries", J.Int l.l_gossip_entries);
+      ("intern_hits", J.Int l.l_intern_hits);
+      ("intern_misses", J.Int l.l_intern_misses);
       ("cycle_ns", Histogram.to_json l.l_cycle_ns);
       ("flush_bytes", Histogram.to_json l.l_flush_bytes);
       ("read_batch", Histogram.to_json l.l_read_batch) ]
@@ -312,6 +320,8 @@ let to_json t =
            ("io_domains", J.Int (Array.length t.io_loops));
            ("poller_rejects", J.Int (poller_rejects t));
            ("max_ready_batch", J.Int (max_ready_batch t));
+           ("intern_hits", J.Int (intern_hits t));
+           ("intern_misses", J.Int (intern_misses t));
            ("total_ops", J.Int (total_ops t));
            ("acc_violations_total", J.Int (acc_violations_total t)) ]);
       ("cluster",

@@ -110,6 +110,12 @@ type io_loop = {
           first frame. *)
   mutable l_gossip_frames : int;  (** Inbound GOSSIP frames. *)
   mutable l_gossip_entries : int;  (** Entries routed to shard queues. *)
+  mutable l_intern_hits : int;
+      (** Object ops whose name resolved from the connection's intern
+          cache — no hashtable walk on the request path. *)
+  mutable l_intern_misses : int;
+      (** Object ops that fell back to the name table (first use of a
+          name on a connection, or a cache-slot collision). *)
   l_cycle_ns : Histogram.t;
       (** Duration of active cycles: readiness dispatch + parsing +
           flushing, select wait excluded. *)
@@ -203,6 +209,10 @@ val hello_rejects : t -> int
 val gossip_frames_received : t -> int
 val gossip_entries_merged : t -> int
 (** Inbound gossip aggregates over the I/O loops. *)
+
+val intern_hits : t -> int
+val intern_misses : t -> int
+(** Name-intern cache aggregates over the I/O loops. *)
 
 val merge_tasks : t -> int
 val boundary_kicks : t -> int

@@ -52,6 +52,7 @@ type impl =
    (its export watermark); the shard only reads it, for the
    k_staleness boundary check. *)
 type obj = {
+  o_id : int;  (* dense index into the table array *)
   o_spec : spec;
   o_shard : int;
   o_node : int;  (* this server's node id *)
@@ -72,6 +73,7 @@ type obj = {
   mutable p_last_logged : int;  (* [known] at the last WAL record *)
 }
 
+let id o = o.o_id
 let spec o = o.o_spec
 let shard_of o = o.o_shard
 let stats o = o.o_stats
@@ -82,9 +84,16 @@ let is_counter_obj o = is_counter o.o_spec.kind
    allowing any sane client-side batch. *)
 let max_add_delta = 1 lsl 32
 
-type table = { by_name : (string, obj) Hashtbl.t; order : obj list }
+(* Name -> dense id; the id indexes the immutable [objs] array. The
+   per-request hot path never touches the Hashtbl after a
+   connection's first request for a name — the connection's intern
+   cache short-circuits straight to the id (see {!Intern}). *)
+type table = { by_name : (string, int) Hashtbl.t; objs : obj array }
 
-let shard_of_name ~shards name = Hashtbl.hash name mod shards
+(* Routing hashes the full name (FNV-1a), not Hashtbl.hash's sampled
+   prefix: generated namespaces with long shared prefixes would
+   otherwise pile onto one shard. *)
+let shard_of_name ~shards name = Fnv.hash name mod shards
 
 let build ?(nodes = 1) ?(node_id = 0) ~metrics ~shards specs =
   (* An empty spec list is legal: a cluster node may own no slice of
@@ -93,9 +102,9 @@ let build ?(nodes = 1) ?(node_id = 0) ~metrics ~shards specs =
   if node_id < 0 || node_id >= nodes then
     invalid_arg "Objects.build: node_id outside 0..nodes-1";
   let by_name = Hashtbl.create 64 in
-  let order =
-    List.map
-      (fun s ->
+  let objs =
+    List.mapi
+      (fun i s ->
         if Hashtbl.mem by_name s.name then
           invalid_arg ("Objects.build: duplicate object name " ^ s.name);
         if String.length s.name > Wire.max_name_len || s.name = "" then
@@ -111,7 +120,8 @@ let build ?(nodes = 1) ?(node_id = 0) ~metrics ~shards specs =
           | Cas_maxreg -> I_casmax (Mcore.Mc_baselines.Cas_maxreg.create ())
         in
         let o =
-          { o_spec = s;
+          { o_id = i;
+            o_spec = s;
             o_shard = shard;
             o_node = node_id;
             o_nodes = nodes;
@@ -132,14 +142,76 @@ let build ?(nodes = 1) ?(node_id = 0) ~metrics ~shards specs =
             r_gossip_dirty = Atomic.make false;
             p_last_logged = 0 }
         in
-        Hashtbl.add by_name s.name o;
+        Hashtbl.add by_name s.name i;
         o)
       specs
+    |> Array.of_list
   in
-  { by_name; order }
+  { by_name; objs }
 
-let find t name = Hashtbl.find_opt t.by_name name
-let to_list t = t.order
+(* [Hashtbl.find] rather than [find_opt]: the stored value is an
+   immediate int and [Not_found] is a preallocated constant, so the
+   miss path of the intern cache allocates nothing either way. *)
+let find_id t name =
+  match Hashtbl.find t.by_name name with
+  | i -> i
+  | exception Not_found -> -1
+
+let find t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some i -> Some t.objs.(i)
+  | None -> None
+
+let get t i = t.objs.(i)
+let count t = Array.length t.objs
+let iter f t = Array.iter f t.objs
+let to_list t = Array.to_list t.objs
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection name interning                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A direct-mapped cache from object name to dense id, one per
+   connection. The per-request path used to pay a full [Hashtbl.hash]
+   + bucket-chain walk per frame — a dependent-load chain through the
+   bucket list on every op. A client overwhelmingly re-sends the same
+   few names on one connection, so a 64-slot direct-mapped probe (one
+   FNV pass over the name, one array read, one string compare — the
+   compare's loads are independent of the table's) almost always
+   resolves the id without touching the Hashtbl. Misses fall back to
+   the table and install the mapping. No invalidation is ever needed:
+   the table is immutable after [build], so a cached (name, id) pair
+   can never go stale.
+
+   The probe is split from the install ([find_cached] / [store]) so
+   the hit path returns a bare int — no option, no tuple, zero
+   allocation. *)
+module Intern = struct
+  let slots = 64
+
+  type t = {
+    in_names : string array;  (* "" = empty slot *)
+    in_ids : int array;  (* -1 = empty slot *)
+  }
+
+  let create () =
+    { in_names = Array.make slots ""; in_ids = Array.make slots (-1) }
+
+  let slot name = Fnv.hash name land (slots - 1)
+
+  (* The cached dense id, or -1. A hit costs one FNV pass plus one
+     string compare; both operand streams are independent loads. *)
+  let find_cached t name =
+    let s = slot name in
+    if String.equal (Array.unsafe_get t.in_names s) name then
+      Array.unsafe_get t.in_ids s
+    else -1
+
+  let store t name id =
+    let s = slot name in
+    t.in_names.(s) <- name;
+    t.in_ids.(s) <- id
+end
 
 (* ------------------------------------------------------------------ *)
 (* Replication (merge on owning shard; export from any domain)         *)

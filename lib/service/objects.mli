@@ -15,7 +15,11 @@
     whatever domain owns the shard.
 
     The table is immutable after {!build}; lookups from the I/O domain
-    race with nothing. *)
+    race with nothing. Objects carry a dense id (their index in the
+    table array, registration order), which is what the per-request
+    hot path resolves names to — via a per-connection {!Intern} cache
+    — so steady-state dispatch is an array read, not a hash-bucket
+    walk. *)
 
 type kind =
   | Kcounter of { k : int }  (** Algorithm 1 + a debug exact count. *)
@@ -38,6 +42,10 @@ val default_specs : counters:int -> k:int -> spec list
     @raise Invalid_argument if [counters < 1] or [k < 2]. *)
 
 type obj
+
+val id : obj -> int
+(** The object's dense id: its index in the table array, assigned in
+    registration order at {!build}. Stable for the table's lifetime. *)
 
 val spec : obj -> spec
 val shard_of : obj -> int
@@ -70,7 +78,45 @@ val build :
     outside [0 .. nodes-1]. *)
 
 val find : table -> string -> obj option
+
+val find_id : table -> string -> int
+(** The dense id for [name], or [-1] if unknown. Allocation-free
+    (unlike {!find}, which boxes an option) — the miss path of the
+    per-connection intern cache. *)
+
+val get : table -> int -> obj
+(** The object with dense id [i] (from {!find_id}, {!id} or an
+    {!Intern} hit). Unchecked array access semantics: only feed it
+    ids the same table produced. *)
+
+val count : table -> int
+
+val iter : (obj -> unit) -> table -> unit
+(** Apply to every object in registration order — an array walk, no
+    list spine. What the snapshot, gossip and recovery sweeps use. *)
+
 val to_list : table -> obj list
+(** Registration-order list (allocates; diagnostics and tests). *)
+
+(** A per-connection direct-mapped name -> dense-id cache (64 slots,
+    FNV-indexed). The table is immutable after {!build}, so entries
+    never go stale; a colliding name simply overwrites the slot.
+    {!Intern.find_cached} is allocation-free; on a miss ([-1]) the
+    caller resolves via {!find_id} and installs with
+    {!Intern.store}. *)
+module Intern : sig
+  type t
+
+  val slots : int
+  (** Cache capacity (64). *)
+
+  val create : unit -> t
+
+  val find_cached : t -> string -> int
+  (** The cached dense id for [name], or [-1]. *)
+
+  val store : t -> string -> int -> unit
+end
 
 (** {2 Replication}
 

@@ -2,12 +2,13 @@
 
    Every node projects [vnodes] points onto a hash ring; an object
    lives on the first [replicas] distinct nodes clockwise from its
-   name's hash. The ring is built from [Hashtbl.hash] over synthetic
-   vnode labels, so any process that knows (nodes, replicas) computes
-   the same placement — server, client and loadgen never exchange a
-   ring, they each derive it. Ties (hash collisions between vnode
-   labels) are broken by node id so the ring order is total and
-   deterministic. *)
+   name's hash. The ring is built from seeded FNV-1a ({!Fnv}) over
+   synthetic vnode labels, so any process that knows (nodes, replicas)
+   computes the same placement — server, client and loadgen never
+   exchange a ring, they each derive it. Ring points and name lookups
+   hash under distinct seeds, so the two streams are independent; ties
+   (hash collisions between vnode labels) are broken by node id so the
+   ring order is total and deterministic. *)
 
 type t = {
   p_nodes : int;
@@ -17,6 +18,12 @@ type t = {
 }
 
 let vnodes_per_node = 64
+
+(* Distinct FNV seeds for the two hash streams: where a name lands on
+   the ring must not correlate with where the ring points themselves
+   sit. *)
+let ring_seed = 0x52494E47 (* "RING" *)
+let name_seed = 0
 
 let nodes t = t.p_nodes
 let replicas t = t.p_replicas
@@ -28,7 +35,7 @@ let create ~nodes ~replicas =
   let pairs =
     Array.init (nodes * vnodes_per_node) (fun i ->
         let node = i / vnodes_per_node and v = i mod vnodes_per_node in
-        (Hashtbl.hash (Printf.sprintf "vnode-%d#%d" node v), node))
+        (Fnv.hash ~seed:ring_seed (Printf.sprintf "vnode-%d#%d" node v), node))
   in
   Array.sort compare pairs;
   { p_nodes = nodes;
@@ -51,7 +58,7 @@ let owners t name =
   if t.p_nodes = 1 then [ 0 ]
   else begin
     let n = Array.length t.points in
-    let start = ring_start t (Hashtbl.hash name) in
+    let start = ring_start t (Fnv.hash ~seed:name_seed name) in
     let seen = Array.make t.p_nodes false in
     let found = ref [] in
     let count = ref 0 in

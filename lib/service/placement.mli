@@ -1,9 +1,11 @@
 (** Consistent-hash placement of object names onto cluster nodes.
 
-    Deterministic: built only from [(nodes, replicas)] and
-    [Hashtbl.hash], so every participant — server nodes, the cluster
-    client, the load generator — derives the identical ring without
-    exchanging any state. A single-node ring ([nodes = 1]) places
+    Deterministic: built only from [(nodes, replicas)] and seeded
+    FNV-1a ({!Fnv.hash}), so every participant — server nodes, the
+    cluster client, the load generator — derives the identical ring
+    without exchanging any state. FNV consumes every byte of a name,
+    so long-common-prefix namespaces spread instead of clumping the
+    way [Hashtbl.hash]'s prefix sampling made them. A single-node ring ([nodes = 1]) places
     everything on node 0, which keeps the standalone server exactly
     as it was. *)
 

@@ -80,6 +80,9 @@ type conn = {
   mutable c_slot : int;  (* poller slot in the home loop; -1 = unregistered *)
   mutable c_paused : bool;  (* read interest off (backlog watermark) *)
   c_home : io_loop;
+  c_intern : Objects.Intern.t;
+      (* connection-local name -> dense-id cache; only the owning
+         loop touches it, and the table it mirrors is immutable *)
 }
 
 (* One event loop per I/O domain. A connection belongs to exactly one
@@ -386,12 +389,13 @@ let refresh_durability t =
    lower bound — then rotate the log. *)
 let snapshot_tick t wal dir =
   let idx = Persist.Wal.next_index wal in
-  let entries =
-    List.map
-      (fun o -> ((Objects.spec o).Objects.name, Objects.persist_export o))
-      (Objects.to_list t.table)
-  in
-  Persist.Snapshot.write ~dir ~wal_index:idx entries;
+  let entries = ref [] in
+  Objects.iter
+    (fun o ->
+      entries :=
+        ((Objects.spec o).Objects.name, Objects.persist_export o) :: !entries)
+    t.table;
+  Persist.Snapshot.write ~dir ~wal_index:idx (List.rev !entries);
   let d = Metrics.durability t.metrics in
   d.Metrics.d_snapshots <- d.Metrics.d_snapshots + 1;
   Persist.Wal.truncate_upto wal idx;
@@ -418,10 +422,29 @@ let snapshot_loop t wal dir interval_ms =
   done
 
 let dispatch t (il : Metrics.io_loop) conn req =
+  (* Name -> dense id through the connection's intern cache. The warm
+     path (a client re-sending a name it already used) is one FNV pass
+     and two array reads — no [Hashtbl.hash], no bucket-chain walk,
+     no allocation. Misses consult the table once and install the
+     mapping; -1 = unknown name. *)
+  let resolve name =
+    let cached = Objects.Intern.find_cached conn.c_intern name in
+    if cached >= 0 then begin
+      il.l_intern_hits <- il.l_intern_hits + 1;
+      cached
+    end
+    else begin
+      il.l_intern_misses <- il.l_intern_misses + 1;
+      let i = Objects.find_id t.table name in
+      if i >= 0 then Objects.Intern.store conn.c_intern name i;
+      i
+    end
+  in
   let object_op id name op =
-    match Objects.find t.table name with
-    | None -> enqueue_response conn (Wire.Unknown_object { id })
-    | Some obj ->
+    let oid = resolve name in
+    if oid < 0 then enqueue_response conn (Wire.Unknown_object { id })
+    else begin
+      let obj = Objects.get t.table oid in
       if Atomic.get conn.c_pending >= t.cfg.max_pending then begin
         il.l_busy_replies <- il.l_busy_replies + 1;
         enqueue_response conn (Wire.Busy { id })
@@ -441,6 +464,7 @@ let dispatch t (il : Metrics.io_loop) conn req =
           enqueue_response conn (Wire.Busy { id })
         end
       end
+    end
   in
   match req with
   | Wire.Hello { id; version; role } ->
@@ -498,9 +522,11 @@ let dispatch t (il : Metrics.io_loop) conn req =
       let now = Unix.gettimeofday () in
       List.iter
         (fun (name, delta) ->
-          match Objects.find t.table name with
-          | None -> ()
-          | Some obj ->
+          (* Peer connections resend the same object names every tick,
+             so their intern cache converges just like a client's. *)
+          let oid = resolve name in
+          if oid >= 0 then begin
+            let obj = Objects.get t.table oid in
             let task =
               { t_conn = conn;
                 t_obj = obj;
@@ -509,7 +535,8 @@ let dispatch t (il : Metrics.io_loop) conn req =
                 t_enq = now }
             in
             if Bqueue.try_push t.queues.(Objects.shard_of obj) task then
-              incr merged)
+              incr merged
+          end)
         entries;
       il.l_gossip_entries <- il.l_gossip_entries + !merged;
       enqueue_response conn (Wire.Gossip_ack { id; merged = !merged })
@@ -689,7 +716,8 @@ let make_conn ~home fd =
     c_alive = true;
     c_slot = -1;
     c_paused = false;
-    c_home = home }
+    c_home = home;
+    c_intern = Objects.Intern.create () }
 
 (* A backend that cannot watch this fd (select past FD_SETSIZE) is a
    per-connection capacity refusal, not a loop crash: close the
@@ -932,7 +960,7 @@ let start ?(config = default_config) ~listen () =
      armed where an echo can actually arrive — some configured peer
      must also host the object. *)
   if config.nodes > 1 && config.peers <> [] then
-    List.iter
+    Objects.iter
       (fun o ->
         if
           List.exists
@@ -940,7 +968,7 @@ let start ?(config = default_config) ~listen () =
               Placement.hosts placement ~node (Objects.spec o).Objects.name)
             config.peers
         then Objects.begin_recovery o)
-      (Objects.to_list table);
+      table;
   (* Size the accept backlog with max_conns so a connect burst from a
      ramping load generator queues instead of shedding SYNs; the
      kernel clamps to net.core.somaxconn. *)

@@ -158,6 +158,114 @@ let test_kmaxreg_diff () =
     [ (1, 2, 7); (2, 3, 8); (4, 2, 9) ]
 
 (* ------------------------------------------------------------------ *)
+(* Exact tree max register: flat read loop vs recursive walk           *)
+(* ------------------------------------------------------------------ *)
+
+(* The flattened index-arithmetic read (the shipped implementation)
+   against the (index, span) recursion it replaced, replayed over the
+   same interleavings. The reference maintains its own switch-heap
+   mirror with the textbook recursive rules; sequentially the two
+   heaps evolve identically, so any divergence is a flattening bug —
+   an index slip, a wrong half split on a non-power-of-2 span, a hint
+   that turned into a real (semantics-changing) access. *)
+module Recursive_tree_ref = struct
+  type t = { m : int; switch : int array }
+
+  let create ~m =
+    { m; switch = Array.make (2 * Zmath.pow 2 (Zmath.ceil_log2 (max m 1))) 0 }
+
+  let rec write_node t i span v =
+    if span > 1 then begin
+      let half = (span + 1) / 2 in
+      if v < half then begin
+        if t.switch.(i) = 0 then write_node t (2 * i) half v
+      end
+      else begin
+        write_node t ((2 * i) + 1) (span - half) (v - half);
+        t.switch.(i) <- 1
+      end
+    end
+
+  let write t v = write_node t 1 t.m v
+
+  let rec read_node t i span acc =
+    if span <= 1 then acc
+    else
+      let half = (span + 1) / 2 in
+      if t.switch.(i) = 1 then
+        read_node t ((2 * i) + 1) (span - half) (acc + half)
+      else read_node t (2 * i) half acc
+
+  let read t = read_node t 1 t.m 0
+end
+
+module TA = Algo.Tree_maxreg_algo.Make (Backend.Atomic_backend)
+module TS = Algo.Tree_maxreg_algo.Make (Sim_backend)
+
+let test_tree_flat_vs_recursive () =
+  List.iter
+    (fun (n, m, seed) ->
+      let script =
+        Workload.Script.writes_then_read ~seed ~n ~writes_per_process:30
+          ~max_value:m
+      in
+      let seq = Workload.Script.interleave ~seed script in
+      let flat = TA.create (Backend.Atomic_backend.ctx ()) ~m () in
+      let reference = Recursive_tree_ref.create ~m in
+      let running_max = ref 0 in
+      List.iter
+        (fun (pid, op) ->
+          match op with
+          | Workload.Script.Write v ->
+            TA.write flat ~pid v;
+            Recursive_tree_ref.write reference v;
+            running_max := max !running_max v
+          | Workload.Script.Read ->
+            (* Compare after every read op AND keep a plain-max oracle
+               so flat and reference cannot agree by being wrong the
+               same way. *)
+            let f = TA.read flat ~pid in
+            check Alcotest.int
+              (Printf.sprintf "flat = recursive (n=%d m=%d seed=%d)" n m seed)
+              (Recursive_tree_ref.read reference)
+              f;
+            check Alcotest.int "flat = running max" !running_max f
+          | Workload.Script.Inc -> assert false)
+        seq;
+      check Alcotest.int "final values agree"
+        (Recursive_tree_ref.read reference)
+        (TA.read flat ~pid:0))
+    (* Non-power-of-2 bounds exercise the half = (span+1)/2 splits. *)
+    [ (1, 1 lsl 16, 21); (2, 100_000, 22); (3, 777, 23); (4, 2, 24) ]
+
+(* The same exact tree through Sim_backend: the flat loop issues the
+   identical primitive sequence on a backend that charges steps, so a
+   sequential replay must read identically to the hardware backend. *)
+let test_tree_sim_vs_atomic () =
+  List.iter
+    (fun (n, m, seed) ->
+      let script =
+        Workload.Script.writes_then_read ~seed ~n ~writes_per_process:20
+          ~max_value:m
+      in
+      let seq = Workload.Script.interleave ~seed script in
+      let sim_reads =
+        run_in_sim ~n
+          ~build:(fun exec -> TS.create (Sim_backend.ctx exec) ~m ())
+          ~apply:(apply_maxreg TS.write TS.read)
+          seq
+      in
+      let atomic = TA.create (Backend.Atomic_backend.ctx ()) ~m () in
+      let atomic_reads =
+        run_direct ~apply:(apply_maxreg TA.write TA.read) atomic seq
+      in
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "tree reads agree (n=%d m=%d seed=%d)" n m seed)
+        sim_reads atomic_reads)
+    [ (1, 1 lsl 12, 31); (3, 999, 32) ]
+
+(* ------------------------------------------------------------------ *)
 (* Collect counter baseline (exact)                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -232,6 +340,8 @@ let suite =
   [ ("kcounter sim vs atomic", `Quick, test_kcounter_diff);
     ("kcounter atomic vs chaos", `Quick, test_kcounter_diff_chaos);
     ("kmaxreg sim vs atomic", `Quick, test_kmaxreg_diff);
+    ("tree flat vs recursive walk", `Quick, test_tree_flat_vs_recursive);
+    ("tree sim vs atomic", `Quick, test_tree_sim_vs_atomic);
     ("collect sim vs atomic", `Quick, test_collect_diff);
     ("interleave properties", `Quick, test_interleave_properties) ]
 

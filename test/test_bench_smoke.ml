@@ -68,7 +68,7 @@ let test_pipeline_smoke () =
       Alcotest.(check bool)
         (Printf.sprintf "record mentions %S" needle)
         true (contains ~needle s))
-    [ "\"schema_version\": 7"; "counter_throughput"; "maxreg_throughput";
+    [ "\"schema_version\": 8"; "counter_throughput"; "maxreg_throughput";
       "amortized_steps_per_op"; "ops_per_sec_median"; "ops_per_sec_min";
       "ops_per_sec_max"; "kcounter"; "faa"; "\"domains\": 1";
       "\"domains\": 2"; "\"service\""; "\"shards\": 2"; "p50_ns"; "p99_ns";
@@ -91,7 +91,10 @@ let test_pipeline_smoke () =
       "\"variant\": \"never-every-op\""; "wal_appends"; "wal_flushes";
       "\"fsyncs\""; "\"snapshots\""; "appends_every_op_over_envelope";
       "write_heavy_wal_overhead_pct"; "p95_ns"; "max_ns"; "\"zipf_s\": 1.2";
-      "-hotkey" ]
+      "-hotkey"; "\"mlp\""; "\"variant\": \"boxed-walk\"";
+      "\"variant\": \"flat\""; "flat_over_boxed_speedup";
+      "\"finals_agree\": true"; "boxed_heap_bytes";
+      "largest_cell_flat_over_boxed_speedup"; "\"all_finals_agree\": true" ]
 
 let suite =
   [ ("json basic", `Quick, test_json_basic);

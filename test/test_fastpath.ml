@@ -24,6 +24,7 @@ module Chaos_atomic = Backend.Chaos_backend.Make (Backend.Atomic_backend)
 module CK = Algo.Kcounter_algo.Make (Chaos_atomic)
 module AM = Algo.Kmaxreg_algo.Make (Backend.Atomic_backend)
 module AT = Algo.Tree_maxreg_algo.Make (Backend.Atomic_backend)
+module AColl = Algo.Collect_counter_algo.Make (Backend.Atomic_backend)
 
 (* ------------------------------------------------------------------ *)
 (* Cross-backend differential property                                 *)
@@ -241,6 +242,29 @@ let test_add_no_alloc () =
   assert_no_alloc "bulk add" ~ops:100_000 (fun _ ->
       Mcore.Mc_kcounter.add counter ~pid:0 3)
 
+(* The flattened (index-arithmetic) tree read: the loop and its
+   prefetch hints must stay allocation-free, or the layout win drowns
+   in GC traffic. Full-depth walk (m = 2^20, 21 levels). *)
+let test_tree_read_no_alloc () =
+  let tree = AT.create (Backend.Atomic_backend.ctx ()) ~m:(1 lsl 20) () in
+  AT.write tree ~pid:0 123_456;
+  assert_no_alloc "flattened tree read" ~ops:100_000 (fun _ ->
+      ignore (Sys.opaque_identity (AT.read tree ~pid:0)));
+  check Alcotest.int "window read the written maximum" 123_456
+    (AT.read tree ~pid:0)
+
+(* The strided 4-accumulator collect scan, including the n mod 4 tail. *)
+let test_collect_read_no_alloc () =
+  let c = AColl.create (Backend.Atomic_backend.ctx ()) ~n:7 () in
+  for pid = 0 to 6 do
+    for _ = 1 to pid + 1 do
+      AColl.increment c ~pid
+    done
+  done;
+  assert_no_alloc "strided collect read" ~ops:100_000 (fun _ ->
+      ignore (Sys.opaque_identity (AColl.read c ~pid:0)));
+  check Alcotest.int "strided sum is exact" 28 (AColl.read c ~pid:0)
+
 (* ------------------------------------------------------------------ *)
 (* kmaxreg validated cache                                             *)
 (* ------------------------------------------------------------------ *)
@@ -314,7 +338,11 @@ let () =
       ("allocation",
        [ ("read_fast hit allocates nothing", `Quick,
           test_read_fast_hit_no_alloc);
-         ("bulk add allocates nothing", `Quick, test_add_no_alloc) ]);
+         ("bulk add allocates nothing", `Quick, test_add_no_alloc);
+         ("flattened tree read allocates nothing", `Quick,
+          test_tree_read_no_alloc);
+         ("strided collect read allocates nothing", `Quick,
+          test_collect_read_no_alloc) ]);
       ("kmaxreg",
        [ ("read_fast agrees with read", `Quick, test_kmaxreg_read_fast_agrees);
          ("custom inner degrades to plain read", `Quick,

@@ -27,14 +27,20 @@ FLOOR=$(awk '/"object":/ { obj = ($2 ~ /kcounter/) }
 echo "   (floor: kcounter read-heavy median >= $FLOOR ops/s)"
 dune exec bin/approx_cli.exe -- bench --smoke --out /tmp/BENCH_ci_smoke.json \
   --check-floor "$FLOOR" > /dev/null
-grep -q '"schema_version": 7' /tmp/BENCH_ci_smoke.json \
-  || { echo "smoke record is not schema_version 7"; exit 1; }
+grep -q '"schema_version": 8' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record is not schema_version 8"; exit 1; }
 grep -q '"fastpath"' /tmp/BENCH_ci_smoke.json \
   || { echo "smoke record missing the fastpath experiment"; exit 1; }
 grep -q '"read_ablation"' /tmp/BENCH_ci_smoke.json \
   || { echo "smoke record missing the read ablation"; exit 1; }
 grep -q '"inc_batching"' /tmp/BENCH_ci_smoke.json \
   || { echo "smoke record missing the inc batching sweep"; exit 1; }
+grep -q '"mlp"' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record missing the mlp working-set sweep"; exit 1; }
+grep -q '"flat_over_boxed_speedup"' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record missing the walk-vs-flat speedup"; exit 1; }
+grep -q '"finals_agree": true' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke mlp layouts disagreed on final register values"; exit 1; }
 grep -q '"service_io"' /tmp/BENCH_ci_smoke.json \
   || { echo "smoke record missing the I/O-plane sweep"; exit 1; }
 grep -q '"io_domains": 2' /tmp/BENCH_ci_smoke.json \
@@ -87,6 +93,18 @@ grep -q '"recovered_within_envelope": true' BENCH_7.json \
 grep -q '"recovered_from_disk": true' BENCH_7.json \
   || { echo "BENCH_7.json kill -9 cell recovered nothing from disk"; exit 1; }
 
+echo "== committed BENCH_8 record: schema and mlp-sweep fields =="
+grep -q '"schema_version": 8' BENCH_8.json \
+  || { echo "BENCH_8.json is not schema_version 8"; exit 1; }
+grep -q '"mlp"' BENCH_8.json \
+  || { echo "BENCH_8.json missing the mlp working-set sweep"; exit 1; }
+grep -q '"cell": "llc-exceeding"' BENCH_8.json \
+  || { echo "BENCH_8.json missing the LLC-exceeding mlp cell"; exit 1; }
+grep -q '"boxed_heap_bytes"' BENCH_8.json \
+  || { echo "BENCH_8.json missing the layout footprint fields"; exit 1; }
+grep -q '"all_finals_agree": true' BENCH_8.json \
+  || { echo "BENCH_8.json mlp layouts disagreed on final register values"; exit 1; }
+
 echo "== unknown subcommand exits 2 with usage on stderr =="
 set +e
 dune exec bin/approx_cli.exe -- frobnicate >/tmp/approx_ci_out.txt \
@@ -99,17 +117,19 @@ grep -q "usage: approx_cli COMMAND" /tmp/approx_ci_err.txt \
 rm -f /tmp/approx_ci_out.txt /tmp/approx_ci_err.txt
 
 echo "== service smoke: 2-shard, 2-io-domain server + loadgen + stats =="
-# Service throughput floor: half the committed BENCH_3 service median
+# Service throughput floor: half the committed BENCH_7 service median
 # for the same cell (shards=2, pipeline=8, mixed ratio, 4 conns x 10k
-# ops). The wide 50% margin absorbs shared-runner noise while still
-# catching an I/O-plane regression that halves throughput; trend-level
-# tracking lives in the committed BENCH records, not in CI.
+# ops) — the last record from before the dense-id lookup landed, so a
+# silent fall-back to the hashed path shows up against it. The wide
+# 50% margin absorbs shared-runner noise while still catching an
+# I/O-plane regression that halves throughput; trend-level tracking
+# lives in the committed BENCH records, not in CI.
 SVC_BASE=$(awk '/"shards":/ { s = ($2+0==2) }
   /"pipeline":/ { p = ($2+0==8) }
-  /"mix":/ { m = ($2 ~ /"mixed"/) }
+  /"mix":/ { m = ($2 ~ /"mixed",/) }
   s && p && m && /"ops_per_sec":/ { gsub(/,/,"",$2); print $2; exit }' \
-  BENCH_3.json)
-[ -n "$SVC_BASE" ] || { echo "could not extract the BENCH_3 service median"; exit 1; }
+  BENCH_7.json)
+[ -n "$SVC_BASE" ] || { echo "could not extract the BENCH_7 service median"; exit 1; }
 SVC_FLOOR=$(awk "BEGIN { print $SVC_BASE * 0.5 }")
 echo "   (floor: service mixed throughput >= $SVC_FLOOR ops/s, 50% of $SVC_BASE)"
 # Run the smoke once per poller backend. epoll is skipped (not failed)
@@ -136,8 +156,21 @@ service_smoke() {
   dune exec bin/approx_cli.exe -- loadgen --unix "$SOCK" \
     --connections 4 --ops 10000 --pipeline 8 \
     --min-throughput "$SVC_FLOOR"
+  # The dense-id fast path must actually be exercised: the loadgen
+  # JSON summary carries the server's interned-lookup counters, and
+  # -1 means the server never reported them.
+  dune exec bin/approx_cli.exe -- loadgen --unix "$SOCK" --poller "$POLLER" \
+    --connections 2 --ops 2000 --pipeline 8 --json \
+    > /tmp/approx_ci_lg.json
+  grep -q '"intern_hits"' /tmp/approx_ci_lg.json \
+    || { echo "loadgen JSON missing interned-lookup counters"; exit 1; }
+  grep -q '"intern_hits": -1' /tmp/approx_ci_lg.json \
+    && { echo "server STATS did not report interned-lookup counters"; exit 1; }
+  rm -f /tmp/approx_ci_lg.json
   dune exec bin/approx_cli.exe -- stats --unix "$SOCK" \
     > /tmp/approx_ci_stats.json
+  grep -q '"intern_hits"' /tmp/approx_ci_stats.json \
+    || { echo "stats JSON missing interned-lookup counters"; exit 1; }
   grep -q '"acc_violations_total": 0' /tmp/approx_ci_stats.json \
     || { echo "stats JSON missing clean accuracy self-check"; exit 1; }
   grep -q '"latency_ns"' /tmp/approx_ci_stats.json \
