@@ -498,7 +498,7 @@ let bench_cmd =
                    two up to the recognized core count).")
   in
   let out_arg =
-    Arg.(value & opt string "BENCH_8.json"
+    Arg.(value & opt string "BENCH_9.json"
          & info [ "out" ] ~docv:"FILE" ~doc:"Output JSON path.")
   in
   let smoke_arg =
@@ -622,8 +622,8 @@ let parse_fsync s =
 
 let run_serve shards io_domains queue_capacity max_batch max_pending max_conns
     poller unix tcp counters k duration node_id nodes replicas
-    gossip_interval_ms k_staleness peers_spec data_dir fsync_spec
-    snapshot_interval_ms =
+    gossip_interval_ms k_staleness digest_interval_ticks gossip_wire_spec
+    peers_spec data_dir fsync_spec snapshot_interval_ms =
   if shards < 1 || io_domains < 1 || counters < 1 || k < 2
      || queue_capacity < 1 || max_batch < 1 || max_pending < 1
      || max_conns < 1
@@ -634,10 +634,11 @@ let run_serve shards io_domains queue_capacity max_batch max_pending max_conns
   end
   else if nodes < 1 || node_id < 0 || node_id >= nodes || replicas < 1
           || gossip_interval_ms < 1 || k_staleness < 1
+          || digest_interval_ticks < 1
   then begin
     prerr_endline "serve: need nodes >= 1, node-id in 0..nodes-1, \
-                   replicas >= 1, gossip-interval-ms >= 1 and \
-                   k-staleness >= 1";
+                   replicas >= 1, gossip-interval-ms >= 1, \
+                   k-staleness >= 1 and digest-interval-ticks >= 1";
     2
   end
   else if snapshot_interval_ms < 0 then begin
@@ -662,6 +663,13 @@ let run_serve shards io_domains queue_capacity max_batch max_pending max_conns
         peers_spec;
       2
     | Some peers ->
+    if gossip_wire_spec <> "compact" && gossip_wire_spec <> "legacy" then begin
+      Printf.eprintf
+        "serve: malformed --gossip-wire %S (expected compact or legacy)\n"
+        gossip_wire_spec;
+      2
+    end
+    else
     let config =
       { Service.Server.shards;
         io_domains;
@@ -676,6 +684,9 @@ let run_serve shards io_domains queue_capacity max_batch max_pending max_conns
         replicas;
         gossip_interval_ms;
         k_staleness;
+        digest_interval_ticks;
+        gossip_wire =
+          (if gossip_wire_spec = "legacy" then `Legacy else `Compact);
         peers;
         data_dir = (if data_dir = "" then None else Some data_dir);
         fsync;
@@ -810,6 +821,22 @@ let serve_cmd =
                    the last export triggers eager gossip; the cluster \
                    accuracy bound is k x $(docv).")
   in
+  let digest_interval_arg =
+    Arg.(value & opt int 32
+         & info [ "digest-interval-ticks" ] ~docv:"T"
+             ~doc:"Anti-entropy cadence: ship per-object digest \
+                   fingerprints to every peer each $(docv) gossip \
+                   ticks (plus one on every reconnect). In legacy \
+                   wire mode this is the full-state sync period.")
+  in
+  let gossip_wire_arg =
+    Arg.(value & opt string "compact"
+         & info [ "gossip-wire" ] ~docv:"WIRE"
+             ~doc:"Peer wire encoding: $(b,compact) (varint deltas, \
+                   digest anti-entropy, coalesced frames) or \
+                   $(b,legacy) (protocol-2 fixed-width acked frames, \
+                   for bandwidth A/B runs).")
+  in
   let peers_arg =
     Arg.(value & opt string ""
          & info [ "peers" ] ~docv:"ID=ADDR,..."
@@ -847,6 +874,7 @@ let serve_cmd =
           $ batch_arg $ pending_arg $ max_conns_arg $ poller_arg $ unix_arg
           $ tcp_arg $ counters_arg $ k_arg $ duration_arg $ node_id_arg
           $ nodes_arg $ replicas_arg $ gossip_arg $ k_staleness_arg
+          $ digest_interval_arg $ gossip_wire_arg
           $ peers_arg $ data_dir_arg $ fsync_arg $ snapshot_arg)
 
 (* --mix R:I:A — relative read:inc:add weights, normalized to permille
@@ -984,15 +1012,22 @@ let run_loadgen unix tcp connections ops pipeline read_permille mix add_delta
          after the run so the JSON record carries the cache's hit rate
          next to the client-side throughput it helped produce. -1 =
          the post-run fetch failed (server already gone). *)
-      let intern_hits, intern_misses =
+      let scrape =
         match Service.Client.connect (List.hd addrs) with
-        | exception Unix.Unix_error _ -> (-1, -1)
+        | exception Unix.Unix_error _ -> fun _ -> -1
         | client ->
           let stats = Service.Client.stats_json client in
           Service.Client.close client;
-          ( Option.value (scan_json_int stats "intern_hits") ~default:(-1),
-            Option.value (scan_json_int stats "intern_misses") ~default:(-1) )
+          fun key -> Option.value (scan_json_int stats key) ~default:(-1)
       in
+      let intern_hits = scrape "intern_hits"
+      and intern_misses = scrape "intern_misses"
+      (* Peer-bandwidth aggregates (schema-9 comms bench): -1 when the
+         post-run STATS fetch failed or the server predates them. *)
+      and gossip_bytes_sent = scrape "gossip_bytes_sent"
+      and gossip_bytes_suppressed = scrape "gossip_bytes_suppressed"
+      and gossip_digest_rounds = scrape "gossip_digest_rounds"
+      and gossip_repair_objects = scrape "gossip_repair_objects" in
       let module J = Mcore.Bench_json in
       print_endline
         (J.to_string
@@ -1012,7 +1047,11 @@ let run_loadgen unix tcp connections ops pipeline read_permille mix add_delta
                 ("p99_ns", J.Int r.p99_ns);
                 ("max_ns", J.Int r.max_ns);
                 ("intern_hits", J.Int intern_hits);
-                ("intern_misses", J.Int intern_misses) ]))
+                ("intern_misses", J.Int intern_misses);
+                ("gossip_bytes_sent", J.Int gossip_bytes_sent);
+                ("gossip_bytes_suppressed", J.Int gossip_bytes_suppressed);
+                ("gossip_digest_rounds", J.Int gossip_digest_rounds);
+                ("gossip_repair_objects", J.Int gossip_repair_objects) ]))
     end
     else begin
       Printf.printf
@@ -1217,5 +1256,5 @@ let () =
     exit 2
   end;
   let doc = "deterministic approximate objects (ICDCS 2021) playground" in
-  let info = Cmd.info "approx_cli" ~version:"1.8.0" ~doc in
+  let info = Cmd.info "approx_cli" ~version:"1.9.0" ~doc in
   exit (Cmd.eval' (Cmd.group info commands))

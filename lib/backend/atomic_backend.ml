@@ -56,45 +56,89 @@ let write r ~pid v =
   bump r.r_ctx pid;
   Atomic.set r.cell v
 
-(* Multi-writer register arrays are one contiguous Flat block, stride
-   1: slot [i] is word [i], so siblings in a tree layout share a cache
-   line and an unrolled scan issues independent line fetches — the
-   memory-level-parallelism layout (the old one-padded-Atomic-per-slot
-   layout made every slot access a dependent pointer chase through
-   scattered heap blocks). Adjacent slots can false-share on writes; we
-   take that trade because reg arrays back the switch tree, whose
-   switches are written at most a handful of times but read on every
-   walk.
+(* Multi-writer register arrays pick their layout by size.
+
+   At or above [flat_threshold] slots they are one contiguous Flat
+   block, stride 1: slot [i] is word [i], so siblings in a tree layout
+   share a cache line and an unrolled scan issues independent line
+   fetches — the memory-level-parallelism layout. Adjacent slots can
+   false-share on writes; we take that trade because reg arrays back
+   the switch tree, whose switches are written at most a handful of
+   times but read on every walk.
+
+   Below the threshold the array is boxed [Padded.atomic]s — one
+   padded cell per slot. A small array is cache-resident whatever its
+   layout, so the flat block's density and load independence buy
+   nothing there, while the padding removes even the residual write
+   false-sharing between adjacent switches; the boxed walk's pointer
+   chase only starts to lose once the working set outgrows a couple of
+   cache lines (the BENCH mlp sweep quantifies the crossover). The
+   default threshold is deliberately far below the mlp cells' heap
+   sizes so large trees always get the flat layout.
 
    [version] is the array's monotone modification watermark: bumped
    with a fetch&add *after* each write lands (the signature's ordering
    contract — a write a reader hasn't seen the bump of belongs to an
    operation that hasn't returned). Padded so validation loads by
    readers never contend with the data cells. *)
+let default_flat_threshold = 256
+
+let flat_threshold =
+  ref
+    (match Sys.getenv_opt "APPROX_REG_FLAT_THRESHOLD" with
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> n
+      | _ -> default_flat_threshold)
+    | None -> default_flat_threshold)
+
+let set_flat_threshold n =
+  if n < 0 then invalid_arg "Atomic_backend.set_flat_threshold: negative";
+  flat_threshold := n
+
+let current_flat_threshold () = !flat_threshold
+
+type reg_cells =
+  | Boxed of int Atomic.t array  (* small: padded box per slot *)
+  | Flat_cells of Flat.t  (* large: one contiguous block, stride 1 *)
+
 type reg_array = {
   ra_ctx : ctx;
-  cells : Flat.t;
+  cells : reg_cells;
   ra_version : int Atomic.t;
 }
 
 let reg_array c ?name:_ ~len ~init () =
   if len < 0 then invalid_arg "Atomic_backend.reg_array: negative length";
-  { ra_ctx = c; cells = Flat.make len init; ra_version = Padded.atomic 0 }
+  let cells =
+    if len >= !flat_threshold then Flat_cells (Flat.make len init)
+    else Boxed (Padded.atomic_array len init)
+  in
+  { ra_ctx = c; cells; ra_version = Padded.atomic 0 }
 
 let reg_get a ~pid i =
   bump a.ra_ctx pid;
-  Flat.get a.cells i
+  match a.cells with
+  | Flat_cells f -> Flat.get f i
+  | Boxed b -> Atomic.get b.(i)
 
 let reg_set a ~pid i v =
   bump a.ra_ctx pid;
-  Flat.set a.cells i v;
+  (match a.cells with
+  | Flat_cells f -> Flat.set f i v
+  | Boxed b -> Atomic.set b.(i) v);
   ignore (Atomic.fetch_and_add a.ra_version 1)
 
 let reg_array_version a ~pid =
   bump a.ra_ctx pid;
   Atomic.get a.ra_version
 
-let reg_prefetch a i = Flat.prefetch a.cells i
+(* Prefetching a boxed slot would need the pointer load the hint is
+   supposed to hide, so the hint is only real on the flat layout. *)
+let reg_prefetch a i =
+  match a.cells with
+  | Flat_cells f -> Flat.prefetch f i
+  | Boxed _ -> ()
 
 (* Single-writer slots are written concurrently by distinct pids, so
    stride them one cache line apart inside one Flat block: no false

@@ -62,6 +62,19 @@ type config = {
   service_durability_chaos_ops : int;
       (* ops per connection of the kill -9 recovery cell (subprocess
          server; skipped without [service_scale_server_exe]); 0 skips. *)
+  service_comms_cells : (int * int) list;
+      (* (nodes, replicas) A/B sweep of the gossip data path: each
+         cell runs once per wire encoding (legacy fixed-width vs
+         compact varint+digest) and records steady-state peer
+         bytes-per-op for both. *)
+  service_comms_connections : int;
+  service_comms_ops_per_connection : int;
+  service_comms_heal_diverged : int list;
+      (* partition/reconnect heal cells (3 nodes, 2 replicas, compact
+         wire, durable victim): each entry diverges that many of the
+         cluster counters while one node is down and measures the heal
+         bytes and time after it rejoins — the proportional-to-
+         divergence claim needs at least two sizes. Empty skips. *)
   out_path : string;
 }
 
@@ -156,12 +169,16 @@ let default_config =
     service_cluster_connections = 6;
     service_cluster_ops_per_connection = 5_000;
     service_cluster_chaos_ops = 50_000;
+    service_comms_cells = [ (1, 1); (1, 2); (3, 1); (3, 2) ];
+    service_comms_connections = 6;
+    service_comms_ops_per_connection = 5_000;
+    service_comms_heal_diverged = [ 1; 4 ];
     service_durability_connections = 4;
     service_durability_ops_per_connection = 10_000;
     (* Sized so the 0.25 s SIGKILL lands mid-load on this host (~0.3 s
        of ops would finish before a later kill). *)
     service_durability_chaos_ops = 150_000;
-    out_path = "BENCH_8.json" }
+    out_path = "BENCH_9.json" }
 
 let smoke_config =
   { trials = 3;
@@ -201,6 +218,10 @@ let smoke_config =
     service_cluster_connections = 4;
     service_cluster_ops_per_connection = 500;
     service_cluster_chaos_ops = 20_000;
+    service_comms_cells = [ (1, 1); (3, 2) ];
+    service_comms_connections = 4;
+    service_comms_ops_per_connection = 500;
+    service_comms_heal_diverged = [ 1; 4 ];
     service_durability_connections = 2;
     service_durability_ops_per_connection = 300;
     service_durability_chaos_ops = 5_000;
@@ -469,10 +490,17 @@ let mlp_cell cfg ~label ~objects ~m ~write_permille =
       ("flat",
        fun () ->
          let ctx = Backend.Atomic_backend.ctx () in
+         (* This variant *is* the flat layout: pin the backend's size
+            heuristic to 0 while building so the cell measures it even
+            if a small smoke tree or an APPROX_REG_FLAT_THRESHOLD
+            override would otherwise pick the boxed layout. *)
+         let saved = Backend.Atomic_backend.current_flat_threshold () in
+         Backend.Atomic_backend.set_flat_threshold 0;
          let ts =
            Array.init objects (fun j ->
                Mlp_flat_tree.create ctx ~name:(Printf.sprintf "mlp%d" j) ~m ())
          in
+         Backend.Atomic_backend.set_flat_threshold saved;
          ((fun j v -> Mlp_flat_tree.write ts.(j) ~pid:0 v),
           (fun j -> Mlp_flat_tree.read ts.(j) ~pid:0))) ]
   in
@@ -1077,8 +1105,17 @@ type cluster_node = {
   mutable cn_state : [ `Proc of int | `Inproc of Service.Server.t | `Down ];
 }
 
-let start_cluster_node ~exe ~paths ~nodes ~replicas ~gossip_ms node =
+let start_cluster_node ?(wire = `Compact) ?data_root ~exe ~paths ~nodes
+    ~replicas ~gossip_ms node =
   (try Unix.unlink node.cn_path with Unix.Unix_error _ -> ());
+  let data_dir =
+    Option.map
+      (fun root ->
+        let dir = Filename.concat root (Printf.sprintf "node%d" node.cn_id) in
+        (try Unix.mkdir dir 0o755 with Unix.Unix_error (EEXIST, _, _) -> ());
+        dir)
+      data_root
+  in
   match exe with
   | Some exe ->
     let peers =
@@ -1090,18 +1127,21 @@ let start_cluster_node ~exe ~paths ~nodes ~replicas ~gossip_ms node =
            (List.init nodes Fun.id))
     in
     let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+    let args =
+      [ exe; "serve"; "--shards"; string_of_int scale_shards;
+        "--io-domains"; "1"; "--queue"; string_of_int scale_queue;
+        "--counters"; string_of_int cluster_counters; "-k";
+        string_of_int cluster_k; "--node-id"; string_of_int node.cn_id;
+        "--nodes"; string_of_int nodes; "--replicas";
+        string_of_int replicas; "--gossip-interval-ms";
+        string_of_int gossip_ms; "--staleness";
+        string_of_int cluster_k_staleness; "--gossip-wire";
+        (match wire with `Compact -> "compact" | `Legacy -> "legacy");
+        "--peers"; peers; "--unix"; node.cn_path; "--duration"; "600" ]
+      @ (match data_dir with Some d -> [ "--data-dir"; d ] | None -> [])
+    in
     let pid =
-      Unix.create_process exe
-        [| exe; "serve"; "--shards"; string_of_int scale_shards;
-           "--io-domains"; "1"; "--queue"; string_of_int scale_queue;
-           "--counters"; string_of_int cluster_counters; "-k";
-           string_of_int cluster_k; "--node-id"; string_of_int node.cn_id;
-           "--nodes"; string_of_int nodes; "--replicas";
-           string_of_int replicas; "--gossip-interval-ms";
-           string_of_int gossip_ms; "--staleness";
-           string_of_int cluster_k_staleness; "--peers"; peers; "--unix";
-           node.cn_path; "--duration"; "600" |]
-        devnull devnull devnull
+      Unix.create_process exe (Array.of_list args) devnull devnull devnull
     in
     Unix.close devnull;
     node.cn_state <- `Proc pid
@@ -1118,6 +1158,8 @@ let start_cluster_node ~exe ~paths ~nodes ~replicas ~gossip_ms node =
         replicas;
         gossip_interval_ms = gossip_ms;
         k_staleness = cluster_k_staleness;
+        gossip_wire = wire;
+        data_dir;
         peers =
           List.filter_map
             (fun j ->
@@ -1594,6 +1636,317 @@ let service_durability cfg =
       ("chaos", J.List chaos) ]
 
 (* ------------------------------------------------------------------ *)
+(* Gossip data path: wire-encoding A/B and partition-heal cost         *)
+(* ------------------------------------------------------------------ *)
+
+(* The comms sweep charges the replication plane by the byte: the same
+   load runs once per wire encoding (legacy protocol-2 fixed-width
+   acked frames with periodic full syncs vs the compact varint
+   GOSSIP2/DIGEST path) and the record keeps steady-state peer
+   bytes-per-op for both, plus the digest/suppression counters that
+   explain the gap. Both encodings run at the same gossip interval and
+   the same anti-entropy period, so the ratio isolates the encoding
+   and the diffing — not a cadence change. *)
+
+let comms_gossip_ms = 10
+
+(* Every hosted copy of every counter agrees with the cluster-exact
+   sum of own contributions — the quiescent-convergence predicate the
+   heal and steady cells poll. *)
+let comms_converged handles =
+  let stats =
+    List.filter_map Fun.id
+      (Array.to_list (Array.map cluster_node_stats handles))
+  in
+  stats <> []
+  &&
+  let counters =
+    List.filter
+      (fun (_, kind, _, _, _) -> kind = "kcounter")
+      (List.concat_map scan_stats_objects stats)
+  in
+  let names =
+    List.sort_uniq compare (List.map (fun (n, _, _, _, _) -> n) counters)
+  in
+  List.for_all
+    (fun name ->
+      let hosted = List.filter (fun (n, _, _, _, _) -> n = name) counters in
+      let exact =
+        List.fold_left (fun acc (_, _, own, _, _) -> acc + own) 0 hosted
+      in
+      List.for_all (fun (_, _, _, known, _) -> known = exact) hosted)
+    names
+
+(* Poll until converged or the deadline passes; returns (converged,
+   elapsed ms) — the record's convergence-latency figure. *)
+let comms_await_convergence ?(deadline_s = 10.0) handles =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if comms_converged handles then
+      (true, (Unix.gettimeofday () -. t0) *. 1000.0)
+    else if Unix.gettimeofday () -. t0 > deadline_s then
+      (false, (Unix.gettimeofday () -. t0) *. 1000.0)
+    else begin
+      Unix.sleepf 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let comms_sum_stats handles key =
+  List.fold_left
+    (fun acc s -> acc + Option.value ~default:0 (scan_json_int s key))
+    0
+    (List.filter_map Fun.id
+       (Array.to_list (Array.map cluster_node_stats handles)))
+
+let comms_trial cfg ~nodes ~replicas ~wire =
+  let exe = cfg.service_scale_server_exe in
+  let wire_label = match wire with `Compact -> "compact" | `Legacy -> "legacy" in
+  let paths =
+    Array.init nodes (fun i ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "approx_comms_%d_%d_%d_%s_%d.sock" (Unix.getpid ())
+             nodes replicas wire_label i))
+  in
+  let handles =
+    Array.init nodes (fun i ->
+        { cn_id = i; cn_path = paths.(i); cn_state = `Down })
+  in
+  let addrs = Array.to_list (Array.map (fun p -> Unix.ADDR_UNIX p) paths) in
+  Fun.protect
+    ~finally:(fun () -> Array.iter (kill_cluster_node ~hard:false) handles)
+    (fun () ->
+      Array.iter
+        (start_cluster_node ~wire ~exe ~paths ~nodes ~replicas
+           ~gossip_ms:comms_gossip_ms)
+        handles;
+      Array.iter
+        (fun p ->
+          if not (wait_for_socket p ~timeout_s:10.0) then
+            failwith ("comms bench: node did not come up on " ^ p))
+        paths;
+      let lg_cfg =
+        { Service.Loadgen.default_config with
+          connections = cfg.service_comms_connections;
+          ops_per_connection = cfg.service_comms_ops_per_connection;
+          pipeline = 8;
+          read_permille = 200;
+          add_permille = 100;
+          add_delta = 16;
+          seed = 42;
+          replicas;
+          max_reconnects = 2 }
+      in
+      let r = Service.Loadgen.run ~addrs lg_cfg in
+      Unix.sleepf (4.0 *. float_of_int comms_gossip_ms /. 1000.0);
+      let converged, converge_wait_ms = comms_await_convergence handles in
+      let sum = comms_sum_stats handles in
+      let bytes_sent = sum "gossip_bytes_sent" in
+      let ops = r.Service.Loadgen.ok in
+      let bytes_per_op =
+        if ops > 0 then float_of_int bytes_sent /. float_of_int ops else 0.0
+      in
+      let row =
+        J.Obj
+          [ ("wire", J.Str wire_label);
+            ("ops_per_sec", J.Float r.Service.Loadgen.ops_per_sec);
+            ("ok", J.Int ops);
+            ("busy", J.Int r.Service.Loadgen.busy);
+            ("errors", J.Int r.Service.Loadgen.errors);
+            ("acc_violations", J.Int (sum "acc_violations_total"));
+            ("converged", J.Bool converged);
+            ("converge_wait_ms", J.Float converge_wait_ms);
+            ("gossip_bytes_sent", J.Int bytes_sent);
+            ("gossip_bytes_suppressed", J.Int (sum "gossip_bytes_suppressed"));
+            ("gossip_digest_rounds", J.Int (sum "gossip_digest_rounds"));
+            ("gossip_repair_objects", J.Int (sum "gossip_repair_objects"));
+            ("gossip_frames_sent", J.Int (sum "gossip_frames_sent"));
+            ("gossip_entries_sent", J.Int (sum "gossip_entries_sent"));
+            ("digest_frames_received", J.Int (sum "digest_frames_received"));
+            ("digest_mismatches", J.Int (sum "digest_mismatches"));
+            ("bytes_per_op", J.Float bytes_per_op) ]
+      in
+      (row, bytes_per_op, r.Service.Loadgen.errors = 0 && converged))
+
+let comms_cell cfg ~nodes ~replicas =
+  let legacy_row, legacy_bpo, legacy_clean =
+    comms_trial cfg ~nodes ~replicas ~wire:`Legacy
+  in
+  let compact_row, compact_bpo, compact_clean =
+    comms_trial cfg ~nodes ~replicas ~wire:`Compact
+  in
+  let ratio =
+    if compact_bpo > 0.0 then legacy_bpo /. compact_bpo
+    else if legacy_bpo = 0.0 then 1.0 (* no peer traffic either side *)
+    else Float.infinity
+  in
+  ( J.Obj
+      [ ("nodes", J.Int nodes);
+        ("replicas", J.Int replicas);
+        ("gossip_interval_ms", J.Int comms_gossip_ms);
+        ("k", J.Int cluster_k);
+        ("k_staleness", J.Int cluster_k_staleness);
+        ("connections", J.Int cfg.service_comms_connections);
+        ("ops_per_connection", J.Int cfg.service_comms_ops_per_connection);
+        ("rows", J.List [ legacy_row; compact_row ]);
+        ("legacy_bytes_per_op", J.Float legacy_bpo);
+        ("compact_bytes_per_op", J.Float compact_bpo);
+        ("legacy_over_compact_bytes_ratio", J.Float ratio) ],
+    (nodes, replicas, legacy_bpo, ratio, legacy_clean && compact_clean) )
+
+(* Partition/reconnect heal: one durable node leaves cleanly, the load
+   diverges [diverged] of the counters while it is away, and it
+   rejoins with its pre-partition state recovered from disk — so the
+   digest exchange sees exactly [diverged] mismatched objects, and the
+   bytes spent from rejoin to convergence are the heal cost. Two cell
+   sizes make the proportionality claim checkable: heal bytes must
+   track the divergence, not the hosted share. *)
+let comms_heal_cell cfg ~diverged =
+  let exe = cfg.service_scale_server_exe in
+  let nodes = 3 and replicas = 2 in
+  let diverged = max 1 (min diverged cluster_counters) in
+  let tmp = Filename.get_temp_dir_name () in
+  let tag = Printf.sprintf "%d_heal%d" (Unix.getpid ()) diverged in
+  let data_root = Filename.concat tmp ("approx_comms_data_" ^ tag) in
+  (try Unix.mkdir data_root 0o755 with Unix.Unix_error (EEXIST, _, _) -> ());
+  let paths =
+    Array.init nodes (fun i ->
+        Filename.concat tmp (Printf.sprintf "approx_comms_%s_%d.sock" tag i))
+  in
+  let handles =
+    Array.init nodes (fun i ->
+        { cn_id = i; cn_path = paths.(i); cn_state = `Down })
+  in
+  let addrs = Array.to_list (Array.map (fun p -> Unix.ADDR_UNIX p) paths) in
+  let start = start_cluster_node ~data_root ~exe ~paths ~nodes ~replicas
+      ~gossip_ms:comms_gossip_ms in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (kill_cluster_node ~hard:false) handles;
+      Array.iter
+        (fun i -> rm_rf_dir (Filename.concat data_root (Printf.sprintf "node%d" i)))
+        [| 0; 1; 2 |];
+      try Unix.rmdir data_root with Unix.Unix_error _ -> ())
+    (fun () ->
+      Array.iter start handles;
+      Array.iter
+        (fun p ->
+          if not (wait_for_socket p ~timeout_s:10.0) then
+            failwith ("comms heal bench: node did not come up on " ^ p))
+        paths;
+      let lg_cfg ~targets =
+        { Service.Loadgen.default_config with
+          connections = cfg.service_comms_connections;
+          ops_per_connection = cfg.service_comms_ops_per_connection;
+          pipeline = 8;
+          read_permille = 100;
+          add_permille = 100;
+          add_delta = 16;
+          seed = 42;
+          targets;
+          replicas;
+          max_reconnects = 4 }
+      in
+      (* Phase A: populate every counter, converge. *)
+      let all = List.init cluster_counters (Printf.sprintf "c%d") in
+      let ra = Service.Loadgen.run ~addrs (lg_cfg ~targets:all) in
+      ignore (comms_await_convergence handles);
+      (* Partition: the victim leaves cleanly (snapshot on stop), then
+         the survivors diverge [diverged] counters without it. *)
+      let victim = handles.(1) in
+      kill_cluster_node ~hard:false victim;
+      let rb =
+        Service.Loadgen.run ~addrs
+          (lg_cfg ~targets:(List.filteri (fun i _ -> i < diverged) all))
+      in
+      Unix.sleepf (4.0 *. float_of_int comms_gossip_ms /. 1000.0);
+      let bytes_before = comms_sum_stats handles "gossip_bytes_sent" in
+      let repairs_before = comms_sum_stats handles "gossip_repair_objects" in
+      (* Reconnect: the victim replays its pre-partition state from
+         disk and rejoins; digest anti-entropy heals it. *)
+      start victim;
+      if not (wait_for_socket victim.cn_path ~timeout_s:10.0) then
+        failwith "comms heal bench: victim did not come back";
+      let healed, heal_ms = comms_await_convergence handles in
+      let bytes_after = comms_sum_stats handles "gossip_bytes_sent" in
+      let repairs_after = comms_sum_stats handles "gossip_repair_objects" in
+      let heal_bytes = bytes_after - bytes_before in
+      ( J.Obj
+          [ ("nodes", J.Int nodes);
+            ("replicas", J.Int replicas);
+            ("gossip_interval_ms", J.Int comms_gossip_ms);
+            ("hosted_counters", J.Int cluster_counters);
+            ("diverged_counters", J.Int diverged);
+            ("phase_errors", J.Int (ra.Service.Loadgen.errors
+                                    + rb.Service.Loadgen.errors));
+            ("acc_violations",
+             J.Int (comms_sum_stats handles "acc_violations_total"));
+            ("healed", J.Bool healed);
+            ("heal_ms", J.Float heal_ms);
+            ("heal_bytes", J.Int heal_bytes);
+            ("repair_objects", J.Int (repairs_after - repairs_before)) ],
+        (diverged, heal_bytes, healed) ))
+
+let service_cluster_comms cfg =
+  let cells = List.map
+      (fun (nodes, replicas) -> comms_cell cfg ~nodes ~replicas)
+      cfg.service_comms_cells
+  in
+  let heal =
+    List.map (fun d -> comms_heal_cell cfg ~diverged:d)
+      (List.sort_uniq compare cfg.service_comms_heal_diverged)
+  in
+  (* The acceptance ratio is judged where peer traffic exists: the
+     worst (smallest) ratio across multi-node cells that actually
+     replicate. A nodes>1, replicas=1 cell is single-homed by
+     placement — zero gossip either way — and says nothing about the
+     encodings, so it is excluded rather than diluting the min with
+     its neutral 1.0. *)
+  let multi_ratios =
+    List.filter_map
+      (fun (_, (nodes, _, legacy_bpo, ratio, _)) ->
+        if nodes > 1 && legacy_bpo > 0.0 then Some ratio else None)
+      cells
+  in
+  let min_ratio =
+    match multi_ratios with
+    | [] -> Float.nan
+    | l -> List.fold_left Float.min Float.infinity l
+  in
+  let all_clean =
+    List.for_all (fun (_, (_, _, _, _, clean)) -> clean) cells
+  in
+  (* Proportionality: heal bytes per diverged counter between the
+     smallest and largest heal cells. A full-share heal would keep
+     total bytes flat as divergence shrinks (ratio >> 1); a
+     proportional heal keeps bytes-per-diverged-object flat
+     (ratio near 1, always well below the share ratio). *)
+  let heal_prop =
+    match
+      List.sort (fun (d1, _, _) (d2, _, _) -> compare d1 d2)
+        (List.map snd heal)
+    with
+    | (d_lo, b_lo, _) :: (_ :: _ as rest) ->
+      let d_hi, b_hi, _ = List.nth rest (List.length rest - 1) in
+      if b_hi > 0 && d_lo > 0 && d_hi > d_lo then
+        Some
+          (float_of_int (b_lo * d_hi) /. float_of_int (b_hi * d_lo))
+      else None
+    | _ -> None
+  in
+  J.Obj
+    ([ ("cells", J.List (List.map fst cells));
+       ("heal", J.List (List.map fst heal));
+       ("all_cells_clean", J.Bool all_clean);
+       ("min_legacy_over_compact_bytes_ratio", J.Float min_ratio) ]
+    @
+    match heal_prop with
+    | Some p -> [ ("heal_bytes_per_diverged_ratio", J.Float p) ]
+    | None -> [])
+
+(* ------------------------------------------------------------------ *)
 (* Simulator amortized-step metrics (Theorem III.9, Algorithm 1)       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1637,7 +1990,7 @@ let simulator_metrics cfg =
 let bench_json cfg =
   let cores = detect_cores () in
   J.Obj
-    [ ("schema_version", J.Int 8);
+    [ ("schema_version", J.Int 9);
       ("suite", J.Str "approx_objects perf pipeline");
       ("host",
        J.Obj
@@ -1708,6 +2061,16 @@ let bench_json cfg =
             J.Int cfg.service_durability_ops_per_connection);
            ("service_durability_chaos_ops",
             J.Int cfg.service_durability_chaos_ops);
+           ("service_comms_cells",
+            J.List
+              (List.map
+                 (fun (n, r) -> J.List [ J.Int n; J.Int r ])
+                 cfg.service_comms_cells));
+           ("service_comms_connections", J.Int cfg.service_comms_connections);
+           ("service_comms_ops_per_connection",
+            J.Int cfg.service_comms_ops_per_connection);
+           ("service_comms_heal_diverged",
+            J.List (List.map (fun d -> J.Int d) cfg.service_comms_heal_diverged));
            ("epoll_available", J.Bool Service.Poller.epoll_available) ]);
       ("counter_throughput", J.List (counter_throughput cfg));
       ("maxreg_throughput", J.List (maxreg_throughput cfg));
@@ -1717,6 +2080,7 @@ let bench_json cfg =
       ("service_io", J.List (service_io_throughput cfg));
       ("service_io_scale", J.List (service_scale_throughput cfg));
       ("service_cluster", J.List (service_cluster cfg));
+      ("service_cluster_comms", service_cluster_comms cfg);
       ("service_durability", service_durability cfg);
       ("simulator", J.Obj [ ("algorithm1", simulator_metrics cfg) ]) ]
 
@@ -1945,6 +2309,52 @@ let run ?(quiet = false) cfg =
                      (num_of r "recovered_counter_sum") (num_of r "ok")
                      (num_of r "acked_ops_lost_beyond_envelope")
                      (num_of r "errors")
+                 | _ -> ())
+               rows
+           | _ -> ())
+        | _ -> ());
+       (match List.assoc_opt "service_cluster_comms" fields with
+        | Some (J.Obj comms) ->
+          (match List.assoc_opt "cells" comms with
+           | Some (J.List cells) ->
+             List.iter
+               (fun cell ->
+                 match cell with
+                 | J.Obj c ->
+                   (match List.assoc_opt "rows" c with
+                    | Some (J.List rows) ->
+                      List.iter
+                        (fun row ->
+                          match row with
+                          | J.Obj r ->
+                            Printf.printf
+                              "  comms     nodes=%.0f repl=%.0f %-7s %8.2f kops/s  peer %7.3f B/op  digests=%.0f repairs=%.0f\n"
+                              (num_of c "nodes") (num_of c "replicas")
+                              (str_of r "wire")
+                              (num_of r "ops_per_sec" /. 1e3)
+                              (num_of r "bytes_per_op")
+                              (num_of r "gossip_digest_rounds")
+                              (num_of r "gossip_repair_objects")
+                          | _ -> ())
+                        rows
+                    | _ -> ())
+                 | _ -> ())
+               cells
+           | _ -> ());
+          (match List.assoc_opt "heal" comms with
+           | Some (J.List rows) ->
+             List.iter
+               (fun row ->
+                 match row with
+                 | J.Obj r ->
+                   Printf.printf
+                     "  comms     heal diverged=%.0f/%.0f  %6.0f B in %6.1f ms  repairs=%.0f healed=%s\n"
+                     (num_of r "diverged_counters") (num_of r "hosted_counters")
+                     (num_of r "heal_bytes") (num_of r "heal_ms")
+                     (num_of r "repair_objects")
+                     (match List.assoc_opt "healed" r with
+                     | Some (J.Bool true) -> "yes"
+                     | _ -> "NO")
                  | _ -> ())
                rows
            | _ -> ())

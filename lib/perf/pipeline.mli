@@ -114,6 +114,23 @@ type config = {
           record asserts log replay happened, recovered counters cover
           every acked increment within the factor-k envelope, and the
           reconnecting loadgen finished without errors. 0 skips. *)
+  service_comms_cells : (int * int) list;
+      (** [(nodes, replicas)] A/B sweep of the gossip data path: each
+          cell runs the same load once per wire encoding (legacy
+          fixed-width acked frames with periodic full sync vs compact
+          varint GOSSIP2 + digest anti-entropy) at the same gossip
+          interval, recording steady-state peer bytes-per-op for both
+          and their ratio. *)
+  service_comms_connections : int;  (** Connections per comms cell. *)
+  service_comms_ops_per_connection : int;
+      (** Ops per connection of each comms cell run. *)
+  service_comms_heal_diverged : int list;
+      (** Partition-heal cells (3 nodes, 2 replicas, compact wire):
+          each entry diverges that many of the cluster counters while
+          one durable node is down cleanly, then measures the bytes
+          and time the digest exchange spends healing it after it
+          rejoins — heal cost must track the divergence, not the
+          hosted share. *)
   out_path : string;  (** where to write the JSON record *)
 }
 

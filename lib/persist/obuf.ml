@@ -9,6 +9,10 @@ let capacity t = Bytes.length t.buf
 let bytes t = t.buf
 let clear t = t.len <- 0
 
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Obuf.truncate: length out of range";
+  t.len <- n
+
 let reserve t n =
   let need = t.len + n in
   if need > Bytes.length t.buf then begin
@@ -50,6 +54,31 @@ let add_i64_be t v =
   Bytes.unsafe_set b (o + 6) (Char.unsafe_chr ((v asr 8) land 0xff));
   Bytes.unsafe_set b (o + 7) (Char.unsafe_chr (v land 0xff));
   t.len <- o + 8
+
+(* Unsigned LEB128 over the int's 63-bit pattern. [lsr] (not [asr])
+   makes the loop terminate for negative ints too: they emit the full
+   9-byte two's-complement pattern and decode back exactly, so the
+   codec is total over [int] even though the compact gossip plane only
+   ever carries non-negative values. Allocation-free. *)
+let add_varint t v =
+  reserve t 9;
+  let b = t.buf in
+  let o = ref t.len and v = ref v in
+  while !v lsr 7 <> 0 do
+    Bytes.unsafe_set b !o (Char.unsafe_chr (0x80 lor (!v land 0x7f)));
+    incr o;
+    v := !v lsr 7
+  done;
+  Bytes.unsafe_set b !o (Char.unsafe_chr !v);
+  t.len <- !o + 1
+
+let varint_len v =
+  let n = ref 1 and v = ref (v lsr 7) in
+  while !v <> 0 do
+    incr n;
+    v := !v lsr 7
+  done;
+  !n
 
 let add_string t s =
   let n = String.length s in

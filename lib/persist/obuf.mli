@@ -30,6 +30,11 @@ val bytes : t -> Bytes.t
 val clear : t -> unit
 (** Drop the contents, keep the capacity. *)
 
+val truncate : t -> int -> unit
+(** Rewind the length to [n], dropping everything appended after that
+    offset (the frame builder's abort of an empty frame).
+    @raise Invalid_argument unless [0 <= n <= length]. *)
+
 val reserve : t -> int -> unit
 (** Ensure capacity for [n] more bytes (doubling growth). *)
 
@@ -38,6 +43,18 @@ val add_i32_be : t -> int -> unit
 
 val add_i64_be : t -> int -> unit
 (** Append the low 64 bits of an OCaml [int], big-endian. *)
+
+val add_varint : t -> int -> unit
+(** Append an unsigned LEB128 varint of the int's 63-bit pattern
+    (7 data bits per byte, low group first, high bit = continuation).
+    Non-negative values take [1 + bits/7] bytes — 1 byte below 128,
+    which is the common case for gossip slot values and dense object
+    ids; negative ints emit the full 9-byte pattern and round-trip
+    exactly. Allocation-free once capacity suffices. *)
+
+val varint_len : int -> int
+(** Encoded size in bytes of {!add_varint}[ v] (1..9), without
+    writing anything — used for frame-budget accounting. *)
 
 val add_string : t -> string -> unit
 

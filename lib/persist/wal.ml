@@ -34,6 +34,8 @@ type stats = {
   bytes : int;
   flushes : int;
   fsyncs : int;
+  fsyncs_deferred : int;
+  fsync_records_covered : int;
   truncations : int;
 }
 
@@ -54,12 +56,14 @@ type t = {
   mutable fd : Unix.file_descr;
   mutable base : int;
   mutable next : int;  (* index of the next record to be appended *)
-  mutable unsynced : int;  (* records written since the last fsync *)
+  mutable unsynced : int;  (* records staged or written since the last fsync *)
   mutable last_sync : float;  (* Interval_ms only *)
   mutable appends : int;
   mutable bytes : int;
   mutable flushes : int;
   mutable fsyncs : int;
+  mutable fsyncs_deferred : int;
+  mutable fsync_records_covered : int;
   mutable truncations : int;
   mutable closed : bool;
 }
@@ -215,6 +219,8 @@ let open_ ~dir ~fsync ~scan:s =
     bytes = 0;
     flushes = 0;
     fsyncs = 0;
+    fsyncs_deferred = 0;
+    fsync_records_covered = 0;
     truncations = 0;
     closed = false }
 
@@ -238,6 +244,7 @@ let append t entry =
      Bytes.unsafe_set b (crc_off + 3) (Char.unsafe_chr (crc land 0xff));
      t.next <- t.next + 1;
      t.appends <- t.appends + 1;
+     t.unsynced <- t.unsynced + 1;
      t.bytes <- t.bytes + frame_header_len + plen
    end);
   Mutex.unlock t.mu
@@ -245,19 +252,29 @@ let append t entry =
 let do_fsync t =
   (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
   t.fsyncs <- t.fsyncs + 1;
+  t.fsync_records_covered <- t.fsync_records_covered + t.unsynced;
   t.unsynced <- 0
 
+(* [unsynced] counts *records* since the last fsync (bumped in
+   [append]), not flush calls. Under [Every_n k] this makes the policy
+   a cross-shard group commit: every shard's appends of one drain
+   cycle land in the same staging buffer, and the flush that tips the
+   record count over [k] pays one fsync covering all of them. Flushes
+   that wrote records but stayed under the threshold are counted as
+   deferred so STATS can show the batching rate honestly. *)
 let flush_locked t =
   let n = Obuf.length t.staging in
-  if n > 0 then begin
+  let wrote = n > 0 in
+  if wrote then begin
     write_all t.fd (Obuf.bytes t.staging) 0 n;
     Obuf.clear t.staging;
-    t.flushes <- t.flushes + 1;
-    t.unsynced <- t.unsynced + 1
+    t.flushes <- t.flushes + 1
   end;
   match t.fsync with
   | Never -> ()
-  | Every_n k -> if t.unsynced >= k then do_fsync t
+  | Every_n k ->
+    if t.unsynced >= k then do_fsync t
+    else if wrote then t.fsyncs_deferred <- t.fsyncs_deferred + 1
   | Interval_ms ms ->
     if t.unsynced > 0 then begin
       let now = Unix.gettimeofday () in
@@ -265,6 +282,7 @@ let flush_locked t =
         do_fsync t;
         t.last_sync <- now
       end
+      else if wrote then t.fsyncs_deferred <- t.fsyncs_deferred + 1
     end
 
 let flush t =
@@ -333,6 +351,8 @@ let stats t =
       bytes = t.bytes;
       flushes = t.flushes;
       fsyncs = t.fsyncs;
+      fsyncs_deferred = t.fsyncs_deferred;
+      fsync_records_covered = t.fsync_records_covered;
       truncations = t.truncations }
   in
   Mutex.unlock t.mu;

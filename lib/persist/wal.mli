@@ -11,7 +11,11 @@
 type fsync_policy =
   | Never  (** Group-commit to the page cache only. *)
   | Interval_ms of int  (** fsync at most once per interval. *)
-  | Every_n of int  (** fsync after every [n] flushed batches. *)
+  | Every_n of int
+      (** fsync once at least [n] records have accumulated since the
+          last sync — a cross-shard group commit: the log is one
+          shared file, so the flush that tips the count pays a single
+          fsync covering every shard's appends of that drain cycle. *)
 
 val policy_to_string : fsync_policy -> string
 
@@ -20,6 +24,12 @@ type stats = {
   bytes : int;  (** Frame bytes staged (headers + payloads). *)
   flushes : int;  (** Flush calls that wrote data. *)
   fsyncs : int;
+  fsyncs_deferred : int;
+      (** Flushes that wrote records but deferred the sync under the
+          [Every_n]/[Interval_ms] batching rule. *)
+  fsync_records_covered : int;
+      (** Records made durable by the fsyncs that did run; divided by
+          [fsyncs] this is the achieved per-fsync batch size. *)
   truncations : int;  (** Snapshot-driven log rotations. *)
 }
 

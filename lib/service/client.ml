@@ -138,6 +138,22 @@ let gossip t ~node entries =
   | Wire.Gossip_ack { merged; _ } -> merged
   | _ -> failwith "Service.Client.gossip: non-ack reply"
 
+let digest t ~node entries =
+  match roundtrip t (Wire.Digest { id = fresh_id t; node; entries }) with
+  | Wire.Digest_ack { oids; _ } -> oids
+  | _ -> failwith "Service.Client.digest: non-ack reply"
+
+(* The coalesced gossip sender's frame path: frames are pre-encoded
+   into a caller-owned buffer (the per-peer Obuf), so sending is one
+   bare write loop — no staging copy through [out], no per-frame
+   syscall. The caller still uses [recv] for any acked frames (DIGEST)
+   it included. *)
+let write_raw t b ~len =
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write t.fd b !off (len - !off)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Cluster-aware façade                                                *)
 (* ------------------------------------------------------------------ *)

@@ -79,8 +79,24 @@ val stats_json : t -> string
 val gossip : t -> node:int -> (string * Delta.t) list -> int
 (** Send one GOSSIP frame carrying [entries] as replica state from
     [node]; returns the number of entries the receiver merged.
-    Requires a [`Peer] connection.
+    Requires a [`Peer] connection. Legacy fixed-width encoding —
+    the compact path goes through {!write_raw} with frames built by
+    the {!Wire} streaming builder.
     @raise Failure unless the reply is [Gossip_ack]. *)
+
+val digest : t -> node:int -> Wire.digest_entry list -> int list
+(** Send one DIGEST frame and block for its DIGEST_ACK; returns the
+    sender-side dense ids the receiver flagged as diverged. Requires
+    a [`Peer] connection.
+    @raise Failure unless the reply is [Digest_ack]. *)
+
+val write_raw : t -> Bytes.t -> len:int -> unit
+(** Write the first [len] bytes — pre-encoded complete frames — to
+    the socket in one coalesced write loop, bypassing the client's
+    staging buffer. The caller is responsible for frame integrity
+    (use the {!Wire} builder) and for {!recv}-ing the responses of
+    any acked frames included.
+    @raise Unix.Unix_error on transport failure. *)
 
 (** {2 Cluster-aware façade} *)
 

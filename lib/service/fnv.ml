@@ -37,6 +37,27 @@ let prime = 0x100000001B3
 let mix1 = (0x7F51AFD7 lsl 32) lor 0xED558CCD
 let mix2 = (0x44CEB9FE lsl 32) lor 0x1A85EC53
 
+(* Incremental int-mixing for digest fingerprints: fold whole ints
+   into a running FNV state without rendering them as strings. Same
+   FNV-1a step per byte (little-endian order) so the stream is just
+   "the bytes of the values"; the caller finishes with [finish] to get
+   the avalanched fold. Allocation-free — the gossip digest pass runs
+   this over every hosted object's export every digest round. *)
+let init = offset_basis
+
+let mix_int h v =
+  let h = ref h and v = ref v in
+  for _ = 0 to 7 do
+    h := (!h lxor (!v land 0xff)) * prime;
+    v := !v lsr 8
+  done;
+  !h
+
+let finish h =
+  let h = (h lxor (h lsr 33)) * mix1 in
+  let h = (h lxor (h lsr 33)) * mix2 in
+  (h lxor (h lsr 33)) land max_int
+
 let hash ?(seed = 0) s =
   let h = ref (offset_basis lxor seed) in
   for i = 0 to String.length s - 1 do

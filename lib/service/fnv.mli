@@ -18,3 +18,21 @@ val hash : ?seed:int -> string -> int
     [seed] defaults to [0]; distinct seeds give independent streams
     (placement separates vnode-ring points from name lookups this
     way). *)
+
+(** {1 Incremental int folding}
+
+    Digest fingerprints fold an object's export vector — a handful of
+    ints — into one hash without formatting anything: seed a state
+    with {!init}, {!mix_int} each value, {!finish} to avalanche.
+    [finish (mix_int init v)] over the 8 little-endian bytes of [v]
+    matches the string hash's byte-at-a-time FNV-1a step, so the two
+    entry points share all constants. Allocation-free. *)
+
+val init : int
+(** Fresh FNV accumulator (the offset basis). *)
+
+val mix_int : int -> int -> int
+(** [mix_int h v] folds the 8 little-endian bytes of [v] into [h]. *)
+
+val finish : int -> int
+(** Avalanche and fold to the nonnegative int range ([>= 0]). *)

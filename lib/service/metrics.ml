@@ -55,13 +55,29 @@ type io_loop = {
   mutable l_poller_rejects : int;  (* conns refused by Backend_limit *)
   mutable l_hellos : int;  (* accepted handshakes *)
   mutable l_hello_rejects : int;  (* Bad_version / missing HELLO closes *)
-  mutable l_gossip_frames : int;  (* inbound GOSSIP frames *)
+  mutable l_gossip_frames : int;  (* inbound GOSSIP/GOSSIP2 frames *)
   mutable l_gossip_entries : int;  (* entries routed to shards *)
+  mutable l_digest_frames : int;  (* inbound DIGEST frames *)
+  mutable l_digest_mismatches : int;  (* digest entries flagged diverged *)
   mutable l_intern_hits : int;  (* object ops resolved from the conn cache *)
   mutable l_intern_misses : int;  (* object ops that walked the name table *)
   l_cycle_ns : Histogram.t;
   l_flush_bytes : Histogram.t;
   l_read_batch : Histogram.t;
+}
+
+(* Per-peer bandwidth accounting on the sender side; every field is
+   written only by the single gossip domain. [pl_bytes_suppressed]
+   charges the bytes the legacy fixed-width export would have cost
+   for state the compact path did not send (unchanged slots, clean
+   objects a full sync would have re-shipped) — the honest
+   denominator for "how much did the diff encoding save". *)
+type peer_link = {
+  pl_node : int;
+  mutable pl_bytes_sent : int;
+  mutable pl_bytes_suppressed : int;
+  mutable pl_digest_rounds : int;
+  mutable pl_repair_objects : int;
 }
 
 (* The gossip-sender side of the replication plane: static topology
@@ -78,6 +94,7 @@ type cluster = {
   mutable g_full_syncs : int;
   mutable g_peer_reconnects : int;
   mutable g_rounds : int;
+  mutable c_peers : peer_link list;  (* gossip-start registration order *)
 }
 
 (* The durability plane: recovery facts are set once at startup; the
@@ -91,6 +108,8 @@ type durability = {
   mutable d_wal_bytes : int;
   mutable d_wal_flushes : int;
   mutable d_fsyncs : int;
+  mutable d_fsyncs_deferred : int;  (* flushes that left records unsynced *)
+  mutable d_fsync_records_covered : int;  (* records made durable by fsyncs *)
   mutable d_snapshots : int;
   mutable d_wal_truncations : int;
   mutable d_recovery_replayed_records : int;
@@ -135,7 +154,8 @@ let create ?(node_id = 0) ?(nodes = 1) ?(replicas = 1)
           g_send_failures = 0;
           g_full_syncs = 0;
           g_peer_reconnects = 0;
-          g_rounds = 0 };
+          g_rounds = 0;
+          c_peers = [] };
     durability =
       Backend.Padded.copy
         { d_enabled = false;
@@ -144,6 +164,8 @@ let create ?(node_id = 0) ?(nodes = 1) ?(replicas = 1)
           d_wal_bytes = 0;
           d_wal_flushes = 0;
           d_fsyncs = 0;
+          d_fsyncs_deferred = 0;
+          d_fsync_records_covered = 0;
           d_snapshots = 0;
           d_wal_truncations = 0;
           d_recovery_replayed_records = 0;
@@ -169,6 +191,8 @@ let create ?(node_id = 0) ?(nodes = 1) ?(replicas = 1)
               l_hello_rejects = 0;
               l_gossip_frames = 0;
               l_gossip_entries = 0;
+              l_digest_frames = 0;
+              l_digest_mismatches = 0;
               l_intern_hits = 0;
               l_intern_misses = 0;
               l_cycle_ns = Histogram.create ();
@@ -202,6 +226,28 @@ let add_obj t ~name ~kind ~k ~shard =
   t.objs <- o :: t.objs;
   o
 
+(* Gossip-start registration (before the sender domain spawns): one
+   padded link per configured peer. *)
+let add_peer t ~node =
+  let pl =
+    Backend.Padded.copy
+      { pl_node = node;
+        pl_bytes_sent = 0;
+        pl_bytes_suppressed = 0;
+        pl_digest_rounds = 0;
+        pl_repair_objects = 0 }
+  in
+  t.cluster.c_peers <- t.cluster.c_peers @ [ pl ];
+  pl
+
+let sum_peers t f =
+  List.fold_left (fun acc pl -> acc + f pl) 0 t.cluster.c_peers
+
+let gossip_bytes_sent t = sum_peers t (fun pl -> pl.pl_bytes_sent)
+let gossip_bytes_suppressed t = sum_peers t (fun pl -> pl.pl_bytes_suppressed)
+let gossip_digest_rounds t = sum_peers t (fun pl -> pl.pl_digest_rounds)
+let gossip_repair_objects t = sum_peers t (fun pl -> pl.pl_repair_objects)
+
 let shard t s = t.shards.(s)
 let cluster t = t.cluster
 let durability t = t.durability
@@ -223,6 +269,8 @@ let hellos t = sum_loops t (fun l -> l.l_hellos)
 let hello_rejects t = sum_loops t (fun l -> l.l_hello_rejects)
 let gossip_frames_received t = sum_loops t (fun l -> l.l_gossip_frames)
 let gossip_entries_merged t = sum_loops t (fun l -> l.l_gossip_entries)
+let digest_frames_received t = sum_loops t (fun l -> l.l_digest_frames)
+let digest_mismatches t = sum_loops t (fun l -> l.l_digest_mismatches)
 let intern_hits t = sum_loops t (fun l -> l.l_intern_hits)
 let intern_misses t = sum_loops t (fun l -> l.l_intern_misses)
 
@@ -296,6 +344,8 @@ let io_loop_json l =
       ("hello_rejects", J.Int l.l_hello_rejects);
       ("gossip_frames", J.Int l.l_gossip_frames);
       ("gossip_entries", J.Int l.l_gossip_entries);
+      ("digest_frames", J.Int l.l_digest_frames);
+      ("digest_mismatches", J.Int l.l_digest_mismatches);
       ("intern_hits", J.Int l.l_intern_hits);
       ("intern_misses", J.Int l.l_intern_misses);
       ("cycle_ns", Histogram.to_json l.l_cycle_ns);
@@ -338,12 +388,29 @@ let to_json t =
             ("gossip_full_syncs", J.Int c.g_full_syncs);
             ("gossip_rounds", J.Int c.g_rounds);
             ("peer_reconnects", J.Int c.g_peer_reconnects);
+            ("gossip_bytes_sent", J.Int (gossip_bytes_sent t));
+            ("gossip_bytes_suppressed", J.Int (gossip_bytes_suppressed t));
+            ("gossip_digest_rounds", J.Int (gossip_digest_rounds t));
+            ("gossip_repair_objects", J.Int (gossip_repair_objects t));
             ("gossip_frames_received", J.Int (gossip_frames_received t));
             ("gossip_entries_merged", J.Int (gossip_entries_merged t));
+            ("digest_frames_received", J.Int (digest_frames_received t));
+            ("digest_mismatches", J.Int (digest_mismatches t));
             ("merge_tasks", J.Int (merge_tasks t));
             ("boundary_kicks", J.Int (boundary_kicks t));
             ("hellos", J.Int (hellos t));
-            ("hello_rejects", J.Int (hello_rejects t)) ]));
+            ("hello_rejects", J.Int (hello_rejects t));
+            ("peers",
+             J.List
+               (List.map
+                  (fun pl ->
+                    J.Obj
+                      [ ("node", J.Int pl.pl_node);
+                        ("bytes_sent", J.Int pl.pl_bytes_sent);
+                        ("bytes_suppressed", J.Int pl.pl_bytes_suppressed);
+                        ("digest_rounds", J.Int pl.pl_digest_rounds);
+                        ("repair_objects", J.Int pl.pl_repair_objects) ])
+                  c.c_peers)) ]));
       ("durability",
        (let d = t.durability in
         J.Obj
@@ -353,6 +420,8 @@ let to_json t =
             ("wal_bytes", J.Int d.d_wal_bytes);
             ("wal_flushes", J.Int d.d_wal_flushes);
             ("fsyncs", J.Int d.d_fsyncs);
+            ("fsyncs_deferred", J.Int d.d_fsyncs_deferred);
+            ("fsync_records_covered", J.Int d.d_fsync_records_covered);
             ("snapshots", J.Int d.d_snapshots);
             ("wal_truncations", J.Int d.d_wal_truncations);
             ("recovery_replayed_records", J.Int d.d_recovery_replayed_records);

@@ -108,8 +108,13 @@ type io_loop = {
   mutable l_hello_rejects : int;
       (** Connections closed for a version mismatch or a non-HELLO
           first frame. *)
-  mutable l_gossip_frames : int;  (** Inbound GOSSIP frames. *)
+  mutable l_gossip_frames : int;  (** Inbound GOSSIP/GOSSIP2 frames. *)
   mutable l_gossip_entries : int;  (** Entries routed to shard queues. *)
+  mutable l_digest_frames : int;  (** Inbound DIGEST frames. *)
+  mutable l_digest_mismatches : int;
+      (** Digest entries whose fingerprint or total disagreed with the
+          local export — each one becomes a repair request in the
+          DIGEST_ACK. *)
   mutable l_intern_hits : int;
       (** Object ops whose name resolved from the connection's intern
           cache — no hashtable walk on the request path. *)
@@ -122,6 +127,23 @@ type io_loop = {
   l_flush_bytes : Histogram.t;  (** Bytes pushed per flush [write]. *)
   l_read_batch : Histogram.t;
       (** Requests decoded per read syscall on this loop. *)
+}
+
+(** Per-peer sender-side bandwidth accounting; written only by the
+    single gossip domain. *)
+type peer_link = {
+  pl_node : int;
+  mutable pl_bytes_sent : int;
+      (** Frame bytes (headers included) actually written to this
+          peer: GOSSIP2 pushes, digests and repairs — or legacy
+          GOSSIP frames when the legacy wire mode is selected. *)
+  mutable pl_bytes_suppressed : int;
+      (** Bytes the legacy fixed-width export would have cost for
+          state the compact path did not send (unchanged slots, clean
+          objects a full sync would have re-shipped). *)
+  mutable pl_digest_rounds : int;  (** DIGEST frames sent to this peer. *)
+  mutable pl_repair_objects : int;
+      (** Objects re-shipped in full because a digest flagged them. *)
 }
 
 (** Gossip-sender counters and the static cluster topology; mutable
@@ -138,6 +160,8 @@ type cluster = {
   mutable g_full_syncs : int;  (** Anti-entropy rounds (full state, not dirty-only). *)
   mutable g_peer_reconnects : int;
   mutable g_rounds : int;  (** Gossip ticks executed (kicked or periodic). *)
+  mutable c_peers : peer_link list;
+      (** One {!peer_link} per configured peer, in {!add_peer} order. *)
 }
 
 (** The durability plane's STATS mirror. Recovery facts are written
@@ -151,6 +175,13 @@ type durability = {
   mutable d_wal_bytes : int;
   mutable d_wal_flushes : int;
   mutable d_fsyncs : int;
+  mutable d_fsyncs_deferred : int;
+      (** Flushes that wrote records but deferred the fsync under the
+          [every-n-records] batching rule. *)
+  mutable d_fsync_records_covered : int;
+      (** Records made durable by the fsyncs that did run — divided by
+          [d_fsyncs] this is the per-fsync batch size the cross-shard
+          group commit achieves. *)
   mutable d_snapshots : int;  (** Fuzzy snapshots written this run. *)
   mutable d_wal_truncations : int;
   mutable d_recovery_replayed_records : int;
@@ -178,6 +209,12 @@ val create :
 val add_obj : t -> name:string -> kind:string -> k:int -> shard:int -> obj
 (** Register an object at server construction time (before any domain
     shares [t]). [k] is the kind's approximation factor (1 = exact). *)
+
+val add_peer : t -> node:int -> peer_link
+(** Register a gossip peer link at sender start (before the gossip
+    domain spawns, or from the gossip domain itself — the list is
+    only ever appended by that one writer). Padded like every other
+    single-writer record. *)
 
 val shard : t -> int -> shard
 val cluster : t -> cluster
@@ -209,6 +246,18 @@ val hello_rejects : t -> int
 val gossip_frames_received : t -> int
 val gossip_entries_merged : t -> int
 (** Inbound gossip aggregates over the I/O loops. *)
+
+val digest_frames_received : t -> int
+val digest_mismatches : t -> int
+(** Inbound anti-entropy aggregates over the I/O loops. *)
+
+val gossip_bytes_sent : t -> int
+val gossip_bytes_suppressed : t -> int
+val gossip_digest_rounds : t -> int
+val gossip_repair_objects : t -> int
+(** Sender-side bandwidth aggregates over the peer links — the
+    top-level counters the comms bench and the loadgen [--json]
+    summary scrape. *)
 
 val intern_hits : t -> int
 val intern_misses : t -> int

@@ -280,26 +280,35 @@ let merge_delta o (d : Delta.t) =
     let changed = ref false in
     for j = 0 to o.o_nodes - 1 do
       if j = self then begin
-        (* Our own slot echoed back: while recovering it is purely
-           pre-crash state (we export only [r_base], see
-           [begin_recovery]), so the base is a plain max. Afterwards
-           every echo should sit at or below [own_total]; one that
-           does not proves a pre-crash contribution this node still
-           has not claimed, and the subtraction conservatively folds
-           the excess into the base. *)
-        let recovered =
-          if o.r_recovering then v.(j) else v.(j) - own_applied o
-        in
-        if recovered > o.r_base then begin
-          o.r_base <- recovered;
-          changed := true
-        end;
-        if o.r_recovering then begin
-          (* First echo: the recovery window closes and the withheld
-             own contribution becomes exportable — mark dirty so the
-             next tick ships it. *)
-          o.r_recovering <- false;
-          changed := true
+        (* Our own slot echoed back. A negative value is the sparse
+           sentinel, not an echo: compact GOSSIP2 dirty pushes omit
+           the receiver's slot, and the server rebuilds the absent
+           slot as -1 so "the sender did not speak about it" cannot
+           be confused with "the sender's copy is zero" — a zero
+           (full-vector) echo legitimately closes the recovery window
+           below, an absent slot must leave it open. While recovering
+           the echo is purely pre-crash state (we export only
+           [r_base], see [begin_recovery]), so the base is a plain
+           max. Afterwards every echo should sit at or below
+           [own_total]; one that does not proves a pre-crash
+           contribution this node still has not claimed, and the
+           subtraction conservatively folds the excess into the
+           base. *)
+        if v.(j) >= 0 then begin
+          let recovered =
+            if o.r_recovering then v.(j) else v.(j) - own_applied o
+          in
+          if recovered > o.r_base then begin
+            o.r_base <- recovered;
+            changed := true
+          end;
+          if o.r_recovering then begin
+            (* First echo: the recovery window closes and the withheld
+               own contribution becomes exportable — mark dirty so the
+               next tick ships it. *)
+            o.r_recovering <- false;
+            changed := true
+          end
         end
       end
       else begin
@@ -347,6 +356,60 @@ let boundary_crossed o ~k_staleness =
 let take_dirty o = Atomic.exchange o.r_gossip_dirty false
 let mark_exported o = o.r_last_sent <- own_export o
 let last_sent o = o.r_last_sent
+let nodes o = o.o_nodes
+
+(* Allocation-free export for the coalesced sender: fill the caller's
+   scratch array (>= o_nodes wide) with the gossip export vector.
+   Same racy-monotone contract as [export_delta]. *)
+let export_counter_into o dst =
+  let self = o.o_node in
+  for j = 0 to o.o_nodes - 1 do
+    Array.unsafe_set dst j
+      (if j = self then own_export o else Array.unsafe_get o.r_vec j)
+  done
+
+let export_max o = max (own_applied o) o.r_max_remote
+
+(* Anti-entropy summary of the gossip export: a 32-bit truncated FNV
+   fold of the vector plus its total. Two replicas whose exports are
+   equal produce equal (fp, total); a divergence flips the total
+   unless the vectors differ in compensating slots, and then the
+   avalanche-mixed fingerprint catches it — the pair colliding while
+   the vectors differ needs a 32-bit fp collision on top of an equal
+   total. Racy from the gossip domain like every export: a torn read
+   can only produce a stale summary, and a spurious mismatch just
+   costs one redundant repair push (merges are idempotent). *)
+let digest o =
+  if is_counter_obj o then begin
+    let h = ref Fnv.init and total = ref 0 in
+    let self = o.o_node in
+    for j = 0 to o.o_nodes - 1 do
+      let v = if j = self then own_export o else Array.unsafe_get o.r_vec j in
+      h := Fnv.mix_int !h v;
+      total := !total + v
+    done;
+    (Fnv.finish !h land 0xFFFF_FFFF, !total)
+  end
+  else begin
+    let v = export_max o in
+    (Fnv.finish (Fnv.mix_int Fnv.init v) land 0xFFFF_FFFF, v)
+  end
+
+(* A digest agreed with a peer while this object was still waiting
+   for its restart echo: the peer's copy of our own slot equals our
+   exported [r_base], so the pre-crash contribution is fully
+   accounted for and the window may close. This is the anti-entropy
+   replacement for the full-sync frames that used to close the
+   window as a side effect — without it a fresh all-zero cluster
+   (both sides recovering, exports identical, nothing ever diverges)
+   would withhold own contributions forever. Owning shard only,
+   routed like a merge. *)
+let confirm_echo o =
+  if o.r_recovering then begin
+    o.r_recovering <- false;
+    mark_dirty o;
+    refresh_repl o
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Durability (owning shard, except the fuzzy snapshot export)          *)

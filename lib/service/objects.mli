@@ -190,6 +190,36 @@ val mark_exported : obj -> unit
 
 val last_sent : obj -> int
 
+val nodes : obj -> int
+(** The replication width the object was built with (the counter
+    vector length; 1 on a standalone node). *)
+
+val export_counter_into : obj -> int array -> unit
+(** Fill the first {!nodes}[ o] slots of the caller's scratch array
+    with the gossip export vector (own slot = {!own_export} rules,
+    remote slots = merged view). Allocation-free — the coalesced
+    gossip sender's replacement for {!export_delta}. Counter objects
+    only; same racy-monotone contract. *)
+
+val export_max : obj -> int
+(** The merged maximum a max-kind object exports (local writes joined
+    with the merged remote max). *)
+
+val digest : obj -> int * int
+(** [(fingerprint, total)] of the current gossip export: a 32-bit
+    truncated FNV fold over the export vector plus the exported
+    total. Equal exports give equal digests; the total acts as the
+    collision backstop — anti-entropy treats the object as diverged
+    when {e either} component disagrees. Racy from the gossip domain;
+    a torn read costs at most one redundant (idempotent) repair. *)
+
+val confirm_echo : obj -> unit
+(** Close the restart-recovery window after a digest agreed with a
+    peer: equal exports prove the peer already holds everything this
+    node's own slot withheld, so there is no echo left to wait for.
+    No-op unless {!recovering}. Owning shard only — route it through
+    the shard queue like a merge. *)
+
 (** {2 Durability}
 
     The WAL/snapshot face of the object. {!persist_export} may race

@@ -9,10 +9,13 @@ val length : t -> int
 val capacity : t -> int
 val bytes : t -> Bytes.t
 val clear : t -> unit
+val truncate : t -> int -> unit
 val reserve : t -> int -> unit
 val add_u8 : t -> int -> unit
 val add_i32_be : t -> int -> unit
 val add_i64_be : t -> int -> unit
+val add_varint : t -> int -> unit
+val varint_len : int -> int
 val add_string : t -> string -> unit
 val swap : t -> t -> unit
 val contents : t -> string

@@ -14,6 +14,13 @@ type config = {
   replicas : int;
   gossip_interval_ms : int;
   k_staleness : int;
+  digest_interval_ticks : int;
+      (* anti-entropy cadence: a DIGEST sweep every this many gossip
+         ticks (plus one on every (re)connect) *)
+  gossip_wire : [ `Compact | `Legacy ];
+      (* peer wire encoding: the varint GOSSIP2/DIGEST data path, or
+         the fixed-width acked GOSSIP frames of protocol 2 (kept for
+         bandwidth A/B runs) *)
   peers : (int * listen) list;
   data_dir : string option;
   fsync : Persist.Wal.fsync_policy;
@@ -35,6 +42,8 @@ let default_config =
     replicas = 1;
     gossip_interval_ms = 50;
     k_staleness = 2;
+    digest_interval_ticks = 32;
+    gossip_wire = `Compact;
     peers = [];
     data_dir = None;
     fsync = Persist.Wal.Never;
@@ -83,6 +92,11 @@ type conn = {
   c_intern : Objects.Intern.t;
       (* connection-local name -> dense-id cache; only the owning
          loop touches it, and the table it mirrors is immutable *)
+  mutable c_peer_map : int array;
+      (* peer connections only: sender dense id -> local dense id
+         (-1 unmapped), taught by the named first mention of each
+         object (GOSSIP2/DIGEST wire interning). Grown on demand;
+         owned by the connection's I/O loop like [c_intern]. *)
 }
 
 (* One event loop per I/O domain. A connection belongs to exactly one
@@ -107,11 +121,14 @@ and slot_kind = Wake | Listen | Conn of conn
 (* [`Merge] is the gossip plane riding the shard queues: it executes
    under the same single-writer discipline as every client op, but has
    no response and no [c_pending] slot (the I/O loop acks the whole
-   frame immediately). *)
+   frame immediately). [`Echo] is the digest receiver closing an
+   object's restart-recovery window after a fingerprint agreed with a
+   peer — same responseless routing. *)
 type task = {
   t_conn : conn;
   t_obj : Objects.obj;
-  t_op : [ `Inc | `Add of int | `Read | `Write of int | `Merge of Delta.t ];
+  t_op :
+    [ `Inc | `Add of int | `Read | `Write of int | `Merge of Delta.t | `Echo ];
   t_id : int;
   t_enq : float;
 }
@@ -254,6 +271,13 @@ let exec_batch t shard_id (stats : Metrics.shard) batch n ~stamp ~dirty =
           check_persist task.t_obj
         end;
         batch.(i) <- None
+      | `Echo ->
+        (* A digest agreed with a peer while the object was still in
+           its restart-recovery window: equal exports prove the peer
+           holds everything the withheld own slot would say, so the
+           window can close. Responseless, like a merge. *)
+        Objects.confirm_echo task.t_obj;
+        batch.(i) <- None
       | `Write v -> (
         (* A successful WRITE mutates state, so its Ok waits for
            phase 3 behind the WAL flush; a rejection mutates nothing
@@ -321,7 +345,7 @@ let exec_batch t shard_id (stats : Metrics.shard) batch n ~stamp ~dirty =
         | `Read ->
           Wire.Value
             { id; value = Objects.batch_read task.t_obj ~pid:shard_id ~stamp }
-        | `Merge _ -> assert false (* finished in phase 1 *)
+        | `Merge _ | `Echo -> assert false (* finished in phase 1 *)
       in
       finish_task stats task resp;
       batch.(i) <- None
@@ -380,6 +404,8 @@ let refresh_durability t =
     d.Metrics.d_wal_bytes <- s.Persist.Wal.bytes;
     d.Metrics.d_wal_flushes <- s.Persist.Wal.flushes;
     d.Metrics.d_fsyncs <- s.Persist.Wal.fsyncs;
+    d.Metrics.d_fsyncs_deferred <- s.Persist.Wal.fsyncs_deferred;
+    d.Metrics.d_fsync_records_covered <- s.Persist.Wal.fsync_records_covered;
     d.Metrics.d_wal_truncations <- s.Persist.Wal.truncations
 
 (* One fuzzy snapshot: capture the truncation watermark *before*
@@ -439,6 +465,29 @@ let dispatch t (il : Metrics.io_loop) conn req =
       if i >= 0 then Objects.Intern.store conn.c_intern name i;
       i
     end
+  in
+  (* Sender-oid -> local-oid resolution for the compact peer frames.
+     A named entry (first mention on this connection) teaches the
+     binding; unnamed entries replay it from [c_peer_map]. An unknown
+     name (placement mismatch) or an unmapped oid resolves to -1 and
+     the entry is dropped — the same silent tolerance the legacy
+     GOSSIP path extends to unknown names, and the next digest round
+     re-teaches any binding lost with a dropped entry. *)
+  let resolve_peer_oid oid name =
+    match name with
+    | Some nm ->
+      let local = resolve nm in
+      if local >= 0 && oid < Wire.max_gossip_entries then begin
+        (if oid >= Array.length conn.c_peer_map then begin
+           let n = Array.make (max 64 (oid + 1)) (-1) in
+           Array.blit conn.c_peer_map 0 n 0 (Array.length conn.c_peer_map);
+           conn.c_peer_map <- n
+         end);
+        conn.c_peer_map.(oid) <- local
+      end;
+      local
+    | None ->
+      if oid < Array.length conn.c_peer_map then conn.c_peer_map.(oid) else -1
   in
   let object_op id name op =
     let oid = resolve name in
@@ -540,6 +589,108 @@ let dispatch t (il : Metrics.io_loop) conn req =
         entries;
       il.l_gossip_entries <- il.l_gossip_entries + !merged;
       enqueue_response conn (Wire.Gossip_ack { id; merged = !merged })
+    end
+  | Wire.Gossip2 { node = _; entries } ->
+    if conn.c_role <> Peer_role then begin
+      il.l_protocol_errors <- il.l_protocol_errors + 1;
+      close_conn t conn
+    end
+    else begin
+      il.l_gossip_frames <- il.l_gossip_frames + 1;
+      (* The compact, unacked push: rebuild each entry's full-width
+         delta from its (slot, total) pairs against the local
+         replication topology and route it to the owning shard. A
+         full queue drops the entry — absolute totals make resends
+         (the next dirty push or digest repair) converge anyway. *)
+      let merged = ref 0 in
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun (e : Wire.g2_entry) ->
+          let oid = resolve_peer_oid e.Wire.g2_oid e.Wire.g2_name in
+          if oid >= 0 then begin
+            let obj = Objects.get t.table oid in
+            let delta =
+              match e.Wire.g2_body with
+              | Wire.G2_max v -> Some (Delta.Max v)
+              | Wire.G2_counter pairs ->
+                let w = Objects.nodes obj in
+                let v = Array.make w 0 in
+                (* Dirty pushes omit our own slot; -1 marks it absent
+                   so [Objects.merge_delta] cannot mistake the gap for
+                   a zero-valued echo and close a recovery window
+                   early. A repair (full vector) overwrites it. *)
+                if t.cfg.node_id < w then v.(t.cfg.node_id) <- -1;
+                let ok =
+                  List.for_all
+                    (fun (slot, total) ->
+                      slot < w && total >= 0
+                      &&
+                      (v.(slot) <- total;
+                       true))
+                    pairs
+                in
+                if ok then Some (Delta.Counter v) else None
+            in
+            match delta with
+            | None ->
+              (* slot beyond this node's replication width: topology
+                 disagreement, a real protocol violation *)
+              il.l_protocol_errors <- il.l_protocol_errors + 1
+            | Some d ->
+              let task =
+                { t_conn = conn;
+                  t_obj = obj;
+                  t_op = `Merge d;
+                  t_id = 0;
+                  t_enq = now }
+              in
+              if Bqueue.try_push t.queues.(Objects.shard_of obj) task then
+                incr merged
+          end)
+        entries;
+      il.l_gossip_entries <- il.l_gossip_entries + !merged
+    end
+  | Wire.Digest { id; node = _; entries } ->
+    if conn.c_role <> Peer_role then begin
+      il.l_protocol_errors <- il.l_protocol_errors + 1;
+      close_conn t conn
+    end
+    else begin
+      il.l_digest_frames <- il.l_digest_frames + 1;
+      (* Anti-entropy probe: compare each entry's fingerprint+total
+         against the local export and ack back the sender-side ids
+         that disagree — the sender answers those with full repair
+         exports. Fingerprint equality while the local object still
+         waits for its restart echo closes the window (see [`Echo]). *)
+      let diverged = ref [] in
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun (e : Wire.digest_entry) ->
+          let oid = resolve_peer_oid e.Wire.d_oid e.Wire.d_name in
+          if oid >= 0 then begin
+            let obj = Objects.get t.table oid in
+            let fp, total = Objects.digest obj in
+            if fp <> e.Wire.d_fp || total <> e.Wire.d_total then begin
+              il.l_digest_mismatches <- il.l_digest_mismatches + 1;
+              (* Divergence is symmetric news: our state may be ahead
+                 of the sender too, so flag the object for our own
+                 sender's next dirty push. *)
+              Objects.mark_dirty obj;
+              diverged := e.Wire.d_oid :: !diverged
+            end
+            else if Objects.recovering obj then begin
+              let task =
+                { t_conn = conn;
+                  t_obj = obj;
+                  t_op = `Echo;
+                  t_id = 0;
+                  t_enq = now }
+              in
+              ignore (Bqueue.try_push t.queues.(Objects.shard_of obj) task)
+            end
+          end)
+        entries;
+      enqueue_response conn (Wire.Digest_ack { id; oids = List.rev !diverged })
     end
   | Wire.Stats { id } ->
     il.l_stats_requests <- il.l_stats_requests + 1;
@@ -717,7 +868,8 @@ let make_conn ~home fd =
     c_slot = -1;
     c_paused = false;
     c_home = home;
-    c_intern = Objects.Intern.create () }
+    c_intern = Objects.Intern.create ();
+    c_peer_map = [||] }
 
 (* A backend that cannot watch this fd (select past FD_SETSIZE) is a
    per-connection capacity refusal, not a loop crash: close the
@@ -880,6 +1032,8 @@ let start ?(config = default_config) ~listen () =
   if config.k_staleness < 1 then invalid_arg "Server.start: k_staleness < 1";
   if config.nodes > 1 && config.gossip_interval_ms < 1 then
     invalid_arg "Server.start: gossip_interval_ms < 1";
+  if config.digest_interval_ticks < 1 then
+    invalid_arg "Server.start: digest_interval_ticks < 1";
   if config.snapshot_interval_ms < 0 then
     invalid_arg "Server.start: snapshot_interval_ms < 0";
   if config.specs = [] then invalid_arg "Server.start: no objects";
@@ -1034,9 +1188,10 @@ let start ?(config = default_config) ~listen () =
       Some
         (Gossip.start ~node_id:config.node_id
            ~peers:(config.peers :> (int * Gossip.addr) list)
-           ~interval_ms:config.gossip_interval_ms ~placement ~table
-           ~cluster:(Metrics.cluster metrics) ~wake_r:g_wake_r
-           ~stop:t.stop_flag ~kick:t.g_kick ());
+           ~interval_ms:config.gossip_interval_ms
+           ~digest_interval_ticks:config.digest_interval_ticks
+           ~wire:config.gossip_wire ~placement ~table ~metrics
+           ~wake_r:g_wake_r ~stop:t.stop_flag ~kick:t.g_kick ());
   t
 
 let stop t =

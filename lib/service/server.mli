@@ -58,7 +58,16 @@
     reachable over a trusted network (loopback, a private segment, or
     an authenticated tunnel). Standalone servers ([nodes = 1]) reject
     peer-role HELLOs outright, as they reject a repeated HELLO or an
-    unknown role byte on any node. *)
+    unknown role byte on any node.
+
+    The compact gossip data path (GOSSIP2/DIGEST, protocol 3)
+    inherits the same trust model unchanged: entries are unsigned,
+    the per-connection oid dictionary is taught by whoever sends the
+    named first mention, and a digest ack steers what the sender
+    re-ships. None of that is hardened against a hostile peer —
+    digest anti-entropy narrows {e bandwidth}, not the attack
+    surface, so the trusted-network requirement carries over
+    verbatim. *)
 
 type listen =
   [ `Unix of string  (** Unix-domain socket path (stale path unlinked). *)
@@ -86,6 +95,19 @@ type config = {
       (** Staleness budget: own growth past this factor since the last
           export wakes the gossip sender eagerly; the cluster-wide
           accuracy bound is [k * k_staleness]. *)
+  digest_interval_ticks : int;
+      (** Anti-entropy cadence: the gossip sender ships a DIGEST sweep
+          (per-object fingerprints) every this many ticks, plus one on
+          every peer (re)connect. Replaces the old hardwired
+          full-state sync every 16 ticks; in [`Legacy] wire mode it is
+          the full-sync period instead. *)
+  gossip_wire : [ `Compact | `Legacy ];
+      (** Peer wire encoding: [`Compact] (default) is the varint
+          GOSSIP2/DIGEST data path — diffed slots, unacked pushes,
+          digest anti-entropy, coalesced writes; [`Legacy] reproduces
+          the protocol-2 fixed-width acked GOSSIP path for bandwidth
+          A/B runs. Both speak wire protocol 3 on the socket; the
+          receiver always accepts all three peer ops. *)
   peers : (int * listen) list;
       (** Peer node ids (not [node_id]) and their listen addresses;
           the gossip domain starts only if non-empty and [nodes > 1]. *)
@@ -110,9 +132,10 @@ val default_config : config
 (** 2 shards, 1 io domain, 1024-task queues, 64-task batches, 256
     in-flight requests per connection, 1024 connections, [Auto]
     poller, [Objects.default_specs ~counters:4 ~k:4]; standalone
-    topology (node 0 of 1, no peers, 50 ms interval, k_staleness 2);
-    durability off ([data_dir = None]; fsync [Never], 1 s snapshots,
-    envelope-batched logging when enabled). *)
+    topology (node 0 of 1, no peers, 50 ms interval, k_staleness 2,
+    digests every 32 ticks, compact wire); durability off
+    ([data_dir = None]; fsync [Never], 1 s snapshots, envelope-batched
+    logging when enabled). *)
 
 type t
 

@@ -293,6 +293,116 @@ let test_objects_restart_recovery () =
   Alcotest.(check bool) "max register never recovers" false
     (Service.Objects.recovering om)
 
+(* Compact dirty pushes omit the receiver's own slot, which the server
+   rebuilds as -1: "the sender said nothing about me". During a
+   recovery window that absence must not masquerade as a zero-valued
+   echo and close the window early — only a real (>= 0) own-slot value
+   may. Regression for exactly that confusion. *)
+let test_objects_recovery_ignores_absent_own_slot () =
+  let t0 = build_node ~node_id:0 ~nodes:2 in
+  let o0 = Option.get (Service.Objects.find t0 "c0") in
+  Service.Objects.begin_recovery o0;
+  ignore (Service.Objects.defer o0 ~via_add:true 7);
+  Service.Objects.apply_pending o0 ~pid:0;
+  (* A sparse push carrying only the peer's slot: merged, but the
+     window stays open and the own slot stays withheld. *)
+  Alcotest.(check bool) "sparse push merged" true
+    (Service.Objects.merge_delta o0 (D.Counter [| -1; 11 |]));
+  Alcotest.(check bool) "absent own slot leaves the window open" true
+    (Service.Objects.recovering o0);
+  check Alcotest.int "peer slot learned" 18 (Service.Objects.known o0);
+  (match Service.Objects.export_delta o0 with
+   | D.Counter v ->
+     check Alcotest.int "own slot still withheld" 0 v.(0)
+   | D.Max _ -> Alcotest.fail "counter exported a max delta");
+  (* A full-vector repair (own slot >= 0, here the pre-crash 25)
+     recovers the base and closes the window. *)
+  Alcotest.(check bool) "repair merged" true
+    (Service.Objects.merge_delta o0 (D.Counter [| 25; 11 |]));
+  Alcotest.(check bool) "real echo closes the window" false
+    (Service.Objects.recovering o0);
+  check Alcotest.int "base + post-restart increments" 32
+    (Service.Objects.own_total o0)
+
+(* ------------------------------------------------------------------ *)
+(* Digest anti-entropy                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The object-level reconciliation loop the DIGEST/DIGEST_ACK exchange
+   drives over the wire: compare (fingerprint, total) summaries,
+   repair exactly the objects that disagree with full-vector exports,
+   and agree after one symmetric exchange. The exported total rides
+   in every digest as the fingerprint-collision backstop — divergence
+   is flagged when {e either} field disagrees, so the test's
+   reconcile predicate mirrors the server's. *)
+let test_objects_digest_exchange () =
+  let build id =
+    let metrics =
+      Service.Metrics.create ~node_id:id ~nodes:2 ~shards:1 ~io_domains:1 ()
+    in
+    Service.Objects.build ~nodes:2 ~node_id:id ~metrics ~shards:1
+      (Service.Objects.default_specs ~counters:3 ~k:4)
+  in
+  let t0 = build 0 and t1 = build 1 in
+  let obj t name = Option.get (Service.Objects.find t name) in
+  let bump t name d =
+    let o = obj t name in
+    ignore (Service.Objects.defer o ~via_add:true d);
+    Service.Objects.apply_pending o ~pid:0
+  in
+  (* Diverge two of the counters (one per side); c2 stays identical. *)
+  bump t0 "c0" 5;
+  bump t1 "c1" 9;
+  let differs name =
+    Service.Objects.digest (obj t0 name)
+    <> Service.Objects.digest (obj t1 name)
+  in
+  Alcotest.(check bool) "c0 digests disagree" true (differs "c0");
+  Alcotest.(check bool) "c1 digests disagree" true (differs "c1");
+  Alcotest.(check bool) "untouched c2 digests agree" false (differs "c2");
+  (* One symmetric exchange: each side repairs only flagged objects. *)
+  let repair src dst =
+    let repaired = ref [] in
+    Service.Objects.iter
+      (fun o_src ->
+        let name = (Service.Objects.spec o_src).Service.Objects.name in
+        let o_dst = obj dst name in
+        let fp_s, tot_s = Service.Objects.digest o_src in
+        let fp_d, tot_d = Service.Objects.digest o_dst in
+        if fp_s <> fp_d || tot_s <> tot_d then begin
+          repaired := name :: !repaired;
+          Alcotest.(check bool)
+            ("repair of " ^ name ^ " merged")
+            true
+            (Service.Objects.merge_delta o_dst
+               (Service.Objects.export_delta o_src))
+        end)
+      src;
+    List.rev !repaired
+  in
+  check
+    Alcotest.(list string)
+    "t0 -> t1 repairs only the diverged pair" [ "c0"; "c1" ] (repair t0 t1);
+  (* The first pass already equalised c0 (t1 had nothing of its own
+     there), so the return pass flags exactly the one remaining
+     divergence. *)
+  check
+    Alcotest.(list string)
+    "t1 -> t0 repairs only what still differs" [ "c1" ] (repair t1 t0);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " digests agree after one exchange") false
+        (differs name);
+      check Alcotest.int
+        (name ^ " views converge")
+        (Service.Objects.known (obj t0 name))
+        (Service.Objects.known (obj t1 name)))
+    [ "c0"; "c1"; "c2" ];
+  check Alcotest.int "c0 merged view" 5 (Service.Objects.known (obj t1 "c0"));
+  check Alcotest.int "c1 merged view" 9 (Service.Objects.known (obj t0 "c1"));
+  (* And nothing is flagged on an immediate re-exchange. *)
+  check Alcotest.(list string) "second exchange is empty" [] (repair t0 t1)
+
 (* ------------------------------------------------------------------ *)
 (* HELLO gate                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -643,7 +753,11 @@ let () =
       ("object merge",
        [ ("export/merge roundtrip", `Quick, test_objects_merge_roundtrip);
          ("staleness boundary flag", `Quick, test_objects_boundary_flag);
-         ("restart-base recovery", `Quick, test_objects_restart_recovery) ]);
+         ("restart-base recovery", `Quick, test_objects_restart_recovery);
+         ("absent own slot keeps recovery open", `Quick,
+          test_objects_recovery_ignores_absent_own_slot);
+         ("digest exchange reconciles divergence", `Quick,
+          test_objects_digest_exchange) ]);
       ("handshake gate",
        [ ("ops before HELLO are rejected", `Quick,
           test_hello_gate_rejects_early_ops);

@@ -45,6 +45,38 @@ let gen_gossip_entries =
     return
       (List.sort_uniq (fun (a, _) (b, _) -> compare a b) entries))
 
+(* Compact peer-frame entries: counter pairs carry strictly increasing
+   slots in 0..254 and non-negative absolute totals (the varint wire
+   domain); oids are small dense ids; names are optional first
+   mentions. *)
+let gen_g2_body =
+  QCheck.Gen.(
+    oneof
+      [ (list_size (int_range 1 8) (int_bound 254) >>= fun slots ->
+         let slots = List.sort_uniq compare slots in
+         map
+           (fun vals -> W.G2_counter (List.combine slots vals))
+           (list_size (return (List.length slots)) (int_bound 1_000_000)));
+        map (fun v -> W.G2_max v) (int_bound 1_000_000) ])
+
+let gen_g2_entries =
+  QCheck.Gen.(
+    map
+      (List.map (fun ((oid, name), body) ->
+           { W.g2_oid = oid; g2_name = name; g2_body = body }))
+      (list_size (int_range 0 12)
+         (pair (pair (int_bound 1000) (option gen_name)) gen_g2_body)))
+
+let gen_digest_entries =
+  QCheck.Gen.(
+    map
+      (List.map (fun ((oid, name), (fp, total)) ->
+           { W.d_oid = oid; d_name = name; d_fp = fp; d_total = total }))
+      (list_size (int_range 0 12)
+         (pair
+            (pair (int_bound 1000) (option gen_name))
+            (pair (int_bound 0xFFFF_FFFF) (int_bound 1_000_000)))))
+
 let gen_request =
   QCheck.Gen.(
     gen_id >>= fun id ->
@@ -61,7 +93,13 @@ let gen_request =
           (oneofl [ W.role_client; W.role_peer ]);
         map2
           (fun node entries -> W.Gossip { id; node; entries })
-          (int_bound 255) gen_gossip_entries ])
+          (int_bound 255) gen_gossip_entries;
+        map2
+          (fun node entries -> W.Gossip2 { node; entries })
+          (int_bound 255) gen_g2_entries;
+        map2
+          (fun node entries -> W.Digest { id; node; entries })
+          (int_bound 255) gen_digest_entries ])
 
 let gen_response =
   QCheck.Gen.(
@@ -273,6 +311,196 @@ let test_peer_cap_split () =
     check Alcotest.int "whole frame consumed" (Bytes.length b) consumed
   | _ -> Alcotest.fail "peer decoder rejected a legal gossip frame"
 
+(* ------------------------------------------------------------------ *)
+(* Compact peer frames: varints, the streaming builder, legacy parity  *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference LEB128 reader (the decoder side lives inside Wire's frame
+   parser; the tests keep their own so the encoding is pinned, not
+   merely self-consistent). *)
+let decode_varint bytes off =
+  let v = ref 0 and shift = ref 0 and i = ref off in
+  let continue = ref true in
+  while !continue do
+    let b = Char.code (Bytes.get bytes !i) in
+    v := !v lor ((b land 0x7F) lsl !shift);
+    shift := !shift + 7;
+    incr i;
+    if b < 0x80 then continue := false
+  done;
+  (!v, !i - off)
+
+let test_varint_boundaries () =
+  List.iter
+    (fun v ->
+      let ob = Service.Obuf.create () in
+      Service.Obuf.add_varint ob v;
+      check Alcotest.int
+        (Printf.sprintf "varint_len agrees for %d" v)
+        (Service.Obuf.varint_len v)
+        (Service.Obuf.length ob);
+      let v', n = decode_varint (Service.Obuf.bytes ob) 0 in
+      check Alcotest.int (Printf.sprintf "roundtrip %d" v) v v';
+      check Alcotest.int "consumed everything" (Service.Obuf.length ob) n)
+    [ 0; 1; 127; 128; 129; 255; 16383; 16384; (1 lsl 21) - 1; 1 lsl 21;
+      (1 lsl 28) - 1; 1 lsl 28; (1 lsl 35) - 1; 0x7FFF_FFFF; max_int ]
+
+let prop_varint_roundtrip =
+  QCheck.Test.make ~count:2000 ~name:"varint roundtrip at declared length"
+    (QCheck.make QCheck.Gen.(map (fun i -> i land max_int) int))
+    (fun v ->
+      let ob = Service.Obuf.create () in
+      Service.Obuf.add_varint ob v;
+      let v', n = decode_varint (Service.Obuf.bytes ob) 0 in
+      v' = v && n = Service.Obuf.length ob && n = Service.Obuf.varint_len v)
+
+(* The gossip sender's streaming builder must emit byte-identical
+   frames to the typed encoder — the builder is the hot path, the
+   typed encoder the specification (and what the decoder roundtrips
+   against). Two frames back to back in one Obuf also pins the
+   coalescing contract: finishing a frame leaves the buffer ready for
+   the next. *)
+let encode_via_builder ob (id, node, g2s, digs) =
+  let bld = W.builder () in
+  W.g2_start bld ob ~node;
+  List.iter
+    (fun e ->
+      let name = Option.value ~default:"" e.W.g2_name in
+      match e.W.g2_body with
+      | W.G2_max v -> W.g2_add_max bld ~oid:e.W.g2_oid ~name v
+      | W.G2_counter pairs ->
+        let n = List.length pairs in
+        let slots = Array.make n 0 and vals = Array.make n 0 in
+        List.iteri
+          (fun i (s, v) ->
+            slots.(i) <- s;
+            vals.(i) <- v)
+          pairs;
+        W.g2_add_counter bld ~oid:e.W.g2_oid ~name ~slots ~vals ~n)
+    g2s;
+  W.frame_finish bld;
+  W.digest_start bld ob ~id ~node;
+  List.iter
+    (fun d ->
+      let name = Option.value ~default:"" d.W.d_name in
+      W.digest_add bld ~oid:d.W.d_oid ~name ~fp:d.W.d_fp ~total:d.W.d_total)
+    digs;
+  W.frame_finish bld
+
+let prop_builder_parity =
+  QCheck.Test.make ~count:500
+    ~name:"streaming builder frames = typed encoder frames"
+    (QCheck.make
+       QCheck.Gen.(
+         pair (pair gen_id (int_bound 255))
+           (pair gen_g2_entries gen_digest_entries)))
+    (fun ((id, node), (g2s, digs)) ->
+      let ob = Service.Obuf.create () in
+      encode_via_builder ob (id, node, g2s, digs);
+      let buf = Buffer.create 256 in
+      W.encode_request buf (W.Gossip2 { node; entries = g2s });
+      W.encode_request buf (W.Digest { id; node; entries = digs });
+      Service.Obuf.contents ob = Buffer.contents buf)
+
+(* Old-vs-new encoder equivalence on exports: a replica vector pushed
+   through the legacy fixed-width GOSSIP frame and through a compact
+   GOSSIP2 frame (nonzero slots as gap-encoded pairs — the sender's
+   zero-slot skipping) must decode back to the same state, and the
+   compact frame must never be the larger of the two at realistic
+   magnitudes. *)
+let gen_exports =
+  QCheck.Gen.(
+    list_size (int_range 1 8)
+      (pair gen_name
+         (int_range 1 8 >>= fun w ->
+          map Array.of_list (list_size (return w) (int_bound 1_000_000))))
+    >>= fun l -> return (List.sort_uniq (fun (a, _) (b, _) -> compare a b) l))
+
+let prop_legacy_compact_equivalence =
+  QCheck.Test.make ~count:500
+    ~name:"compact gap-encoded exports = legacy fixed-width exports"
+    (QCheck.make gen_exports) (fun exports ->
+      let node = 1 in
+      let legacy_entries =
+        List.map (fun (n, v) -> (n, Service.Delta.Counter v)) exports
+      in
+      let g2_entries =
+        List.mapi
+          (fun oid (n, v) ->
+            let pairs = ref [] in
+            Array.iteri
+              (fun slot total ->
+                if total > 0 then pairs := (slot, total) :: !pairs)
+              v;
+            (* An all-zero vector still pins its slot-0 total so the
+               frame carries a legal non-empty entry. *)
+            let pairs =
+              if !pairs = [] then [ (0, 0) ] else List.rev !pairs
+            in
+            { W.g2_oid = oid; g2_name = Some n; g2_body = W.G2_counter pairs })
+          exports
+      in
+      let legacy = encode_req (W.Gossip { id = 7; node; entries = legacy_entries }) in
+      let compact = encode_req (W.Gossip2 { node; entries = g2_entries }) in
+      let decoded_legacy =
+        match W.decode_request_peer legacy ~off:0 ~len:(Bytes.length legacy) with
+        | W.Decoded (W.Gossip { entries; _ }, _) -> entries
+        | _ -> []
+      in
+      let decoded_compact =
+        match
+          W.decode_request_peer compact ~off:0 ~len:(Bytes.length compact)
+        with
+        | W.Decoded (W.Gossip2 { entries; _ }, _) ->
+          List.map
+            (fun e ->
+              match (e.W.g2_name, e.W.g2_body) with
+              | Some n, W.G2_counter pairs ->
+                let _, orig = List.find (fun (n', _) -> n' = n) exports in
+                let v = Array.make (Array.length orig) 0 in
+                List.iter (fun (slot, total) -> v.(slot) <- total) pairs;
+                (n, Service.Delta.Counter v)
+              | _ -> ("", Service.Delta.Max (-1)))
+            entries
+        | _ -> []
+      in
+      decoded_legacy = legacy_entries
+      && decoded_compact = legacy_entries
+      && Bytes.length compact - W.header_len
+         <= W.gossip_payload_len legacy_entries)
+
+(* The coalesced sender's warm path — open frame, append interned
+   entries, finish, repeat — must not allocate once the Obuf has grown
+   to steady state: that is what lets a gossip round encode every
+   dirty object and flush with one write, GC-silently.
+   [Gc.minor_words] itself boxes a float, hence the small slack. *)
+let test_builder_warm_no_alloc () =
+  let ob = Service.Obuf.create () in
+  let bld = W.builder () in
+  let slots = [| 2 |] and vals = [| 0 |] in
+  let round i =
+    Service.Obuf.clear ob;
+    W.g2_start bld ob ~node:1;
+    vals.(0) <- i;
+    W.g2_add_counter bld ~oid:3 ~name:"" ~slots ~vals ~n:1;
+    W.g2_add_max bld ~oid:4 ~name:"" (2 * i);
+    W.frame_finish bld;
+    W.digest_start bld ob ~id:i ~node:1;
+    W.digest_add bld ~oid:3 ~name:"" ~fp:(i land 0xFFFF_FFFF) ~total:i;
+    W.frame_finish bld
+  in
+  for i = 1 to 64 do
+    round i
+  done;
+  let before = Gc.minor_words () in
+  for i = 0 to 9_999 do
+    round i
+  done;
+  let delta = Gc.minor_words () -. before in
+  if delta > 256.0 then
+    Alcotest.failf "warm builder path allocated %.0f minor words over 10k rounds"
+      delta
+
 let test_gossip_encode_guards () =
   let entry v = [ ("c0", Service.Delta.Counter (Array.make v 0)) ] in
   Alcotest.check_raises "vector wider than 255 slots"
@@ -304,4 +532,12 @@ let () =
       ("gossip",
        [ ("malformed gossip", `Quick, test_gossip_malformed);
          ("client/peer cap split", `Quick, test_peer_cap_split);
-         ("encode guards", `Quick, test_gossip_encode_guards) ]) ]
+         ("encode guards", `Quick, test_gossip_encode_guards) ]);
+      ("compact peer frames",
+       ("varint boundaries", `Quick, test_varint_boundaries)
+       :: ("builder warm path allocation-free", `Quick,
+           test_builder_warm_no_alloc)
+       :: List.map QCheck_alcotest.to_alcotest
+            [ prop_varint_roundtrip;
+              prop_builder_parity;
+              prop_legacy_compact_equivalence ]) ]

@@ -27,8 +27,8 @@ FLOOR=$(awk '/"object":/ { obj = ($2 ~ /kcounter/) }
 echo "   (floor: kcounter read-heavy median >= $FLOOR ops/s)"
 dune exec bin/approx_cli.exe -- bench --smoke --out /tmp/BENCH_ci_smoke.json \
   --check-floor "$FLOOR" > /dev/null
-grep -q '"schema_version": 8' /tmp/BENCH_ci_smoke.json \
-  || { echo "smoke record is not schema_version 8"; exit 1; }
+grep -q '"schema_version": 9' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record is not schema_version 9"; exit 1; }
 grep -q '"fastpath"' /tmp/BENCH_ci_smoke.json \
   || { echo "smoke record missing the fastpath experiment"; exit 1; }
 grep -q '"read_ablation"' /tmp/BENCH_ci_smoke.json \
@@ -69,6 +69,14 @@ grep -q '"wal_appends"' /tmp/BENCH_ci_smoke.json \
   || { echo "smoke record missing WAL counters"; exit 1; }
 grep -q '"zipf_s": 1.2' /tmp/BENCH_ci_smoke.json \
   || { echo "smoke record missing the hot-key Zipf cell"; exit 1; }
+grep -q '"service_cluster_comms"' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record missing the gossip data-path sweep"; exit 1; }
+grep -q '"wire": "legacy"' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record missing the legacy-encoding A/B rows"; exit 1; }
+grep -q '"legacy_over_compact_bytes_ratio"' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record missing the encoding byte ratio"; exit 1; }
+grep -q '"healed": true' /tmp/BENCH_ci_smoke.json \
+  || { echo "smoke record partition-heal cells did not heal"; exit 1; }
 rm -f /tmp/BENCH_ci_smoke.json
 
 echo "== committed BENCH_7 record: schema, cluster and durability fields =="
@@ -104,6 +112,28 @@ grep -q '"boxed_heap_bytes"' BENCH_8.json \
   || { echo "BENCH_8.json missing the layout footprint fields"; exit 1; }
 grep -q '"all_finals_agree": true' BENCH_8.json \
   || { echo "BENCH_8.json mlp layouts disagreed on final register values"; exit 1; }
+
+echo "== committed BENCH_9 record: schema and gossip data-path fields =="
+grep -q '"schema_version": 9' BENCH_9.json \
+  || { echo "BENCH_9.json is not schema_version 9"; exit 1; }
+grep -q '"service_cluster_comms"' BENCH_9.json \
+  || { echo "BENCH_9.json missing the gossip data-path sweep"; exit 1; }
+grep -q '"wire": "legacy"' BENCH_9.json \
+  || { echo "BENCH_9.json missing the legacy-encoding A/B rows"; exit 1; }
+grep -q '"gossip_bytes_suppressed"' BENCH_9.json \
+  || { echo "BENCH_9.json missing the suppressed-bytes counters"; exit 1; }
+grep -q '"all_cells_clean": true' BENCH_9.json \
+  || { echo "BENCH_9.json comms cells had errors or did not converge"; exit 1; }
+grep -q '"healed": true' BENCH_9.json \
+  || { echo "BENCH_9.json partition-heal cells did not heal"; exit 1; }
+# The headline claim: the compact wire path spends at least 4x fewer
+# steady-state peer bytes per op than the legacy encoding.
+RATIO=$(awk -F'[:,]' '/"min_legacy_over_compact_bytes_ratio"/ \
+  { gsub(/ /,"",$2); print $2; exit }' BENCH_9.json)
+[ -n "$RATIO" ] || { echo "BENCH_9.json missing the byte-ratio summary"; exit 1; }
+RATIO_OK=$(awk "BEGIN { print ($RATIO >= 4.0) ? 1 : 0 }")
+[ "$RATIO_OK" -eq 1 ] \
+  || { echo "BENCH_9.json compact encoding ratio $RATIO below 4x"; exit 1; }
 
 echo "== unknown subcommand exits 2 with usage on stderr =="
 set +e
@@ -322,6 +352,8 @@ grep -q " 0 reconnects" /tmp/approx_ci_cluster_lg.txt \
 # Let gossip re-teach the restarted node, then scrape every replica.
 sleep 0.5
 GOSSIP_SENT=0
+DIGEST_ROUNDS=0
+PEER_BYTES=0
 for N in 0 1 2; do
   "$EXE" stats --unix "${CLBASE}_${N}.sock" > /tmp/approx_ci_cluster_stats.json
   grep -q '"acc_violations_total": 0' /tmp/approx_ci_cluster_stats.json \
@@ -331,9 +363,24 @@ for N in 0 1 2; do
   if ! grep -q '"gossip_frames_sent": 0,' /tmp/approx_ci_cluster_stats.json; then
     GOSSIP_SENT=$((GOSSIP_SENT + 1))
   fi
+  DR=$(awk -F'[:,]' '/"gossip_digest_rounds"/ { gsub(/ /,"",$2); print $2; exit }' \
+    /tmp/approx_ci_cluster_stats.json)
+  PB=$(awk -F'[:,]' '/"gossip_bytes_sent"/ { gsub(/ /,"",$2); print $2; exit }' \
+    /tmp/approx_ci_cluster_stats.json)
+  DIGEST_ROUNDS=$((DIGEST_ROUNDS + ${DR:-0}))
+  PEER_BYTES=$((PEER_BYTES + ${PB:-0}))
 done
 [ "$GOSSIP_SENT" -ge 2 ] \
   || { echo "gossip never flowed ($GOSSIP_SENT nodes sent frames)"; exit 1; }
+# Digest anti-entropy must have run (the restart heal depends on it),
+# and steady-state peer traffic must stay compact: the run pushed
+# 360k ops, so a generous 64 B/op ceiling still catches a fall-back
+# to full-state blasts (which measure in the hundreds of B/op).
+[ "$DIGEST_ROUNDS" -gt 0 ] \
+  || { echo "digest anti-entropy never ran"; exit 1; }
+BPO_OK=$(awk "BEGIN { print ($PEER_BYTES / 360000 <= 64) ? 1 : 0 }")
+[ "$BPO_OK" -eq 1 ] \
+  || { echo "peer traffic too heavy: $PEER_BYTES bytes over 360k ops"; exit 1; }
 kill "$NODE0_PID" "$NODE1_PID" "$NODE2_PID" 2>/dev/null || true
 wait "$NODE0_PID" "$NODE1_PID" "$NODE2_PID" 2>/dev/null || true
 trap - EXIT
